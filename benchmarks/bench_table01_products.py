@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 1 -- active mailing-list users per product.
+
+Times the active-user count (distinct Feb-Apr 2017 senders) over the
+synthetic review corpus and asserts it matches the published table.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.data.paper_tables import paper_table
+from repro.mining.pipeline import reproduce_table1
+
+
+def test_table01_products(benchmark, review_corpus):
+    table = benchmark(reproduce_table1, review_corpus)
+    expected = paper_table("1")
+    print()
+    print(render_comparison(expected, table))
+    comparison = compare_tables(expected, table)
+    assert comparison.exact, comparison.diffs[:5]

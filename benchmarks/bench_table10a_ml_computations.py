@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 10a -- ML computations (survey + literature).
+
+Times the tabulation (an honest recount over the calibrated synthetic
+population) and asserts the result matches the published table cell for
+cell. Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+paper-vs-measured rows.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.core.tables import reproduce_table10a
+from repro.data.paper_tables import paper_table
+
+
+def test_table10a_ml_computations(benchmark, population, literature):
+    table = benchmark(reproduce_table10a, population, literature)
+    expected = paper_table("10a")
+    print()
+    print(render_comparison(expected, table))
+    comparison = compare_tables(expected, table)
+    assert comparison.exact, comparison.diffs[:5]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 12 -- Software for queries (survey + literature).
+
+Times the tabulation (an honest recount over the calibrated synthetic
+population) and asserts the result matches the published table cell for
+cell. Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+paper-vs-measured rows.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.core.tables import reproduce_table12
+from repro.data.paper_tables import paper_table
+
+
+def test_table12_query_software(benchmark, population, literature):
+    table = benchmark(reproduce_table12, population, literature)
+    expected = paper_table("12")
+    print()
+    print(render_comparison(expected, table))
+    comparison = compare_tables(expected, table)
+    assert comparison.exact, comparison.diffs[:5]

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 17 -- Data storage formats.
+
+Times the tabulation (an honest recount over the calibrated synthetic
+population) and asserts the result matches the published table cell for
+cell. Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+paper-vs-measured rows.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.core.tables import reproduce_table17
+from repro.data.paper_tables import paper_table
+
+
+def test_table17_storage_formats(benchmark, population):
+    table = benchmark(reproduce_table17, population)
+    expected = paper_table("17")
+    print()
+    print(render_comparison(expected, table))
+    comparison = compare_tables(expected, table)
+    assert comparison.exact, comparison.diffs[:5]

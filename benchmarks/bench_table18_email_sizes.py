@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Tables 18a/18b -- graph sizes in user emails.
+
+Times the regex size-extraction pass over all ~6000 synthetic messages and
+asserts both bucket tables match the paper.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.data.paper_tables import paper_table
+from repro.mining.pipeline import reproduce_table18
+
+
+def test_table18_email_sizes(benchmark, review_corpus):
+    table18a, table18b = benchmark(reproduce_table18, review_corpus)
+    for expected_id, actual in (("18a", table18a), ("18b", table18b)):
+        expected = paper_table(expected_id)
+        print()
+        print(render_comparison(expected, actual))
+        comparison = compare_tables(expected, actual)
+        assert comparison.exact, comparison.diffs[:5]

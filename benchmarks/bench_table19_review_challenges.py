@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 19 -- challenges in user emails/issues.
+
+Times the full rule-based classification pass over the synthetic corpus
+and asserts the challenge counts match the paper exactly.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.data.paper_tables import paper_table
+from repro.mining.pipeline import reproduce_table19
+
+
+def test_table19_review_challenges(benchmark, review_corpus):
+    table = benchmark(reproduce_table19, review_corpus)
+    expected = paper_table("19")
+    print()
+    print(render_comparison(expected, table))
+    comparison = compare_tables(expected, table)
+    assert comparison.exact, comparison.diffs[:5]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 20 -- emails/issues/commits per product.
+
+Times the per-product volume recount over the synthetic corpus.
+"""
+
+from repro.core import compare_tables
+from repro.core.report import render_comparison
+from repro.data.paper_tables import paper_table
+from repro.mining.pipeline import reproduce_table20
+
+
+def test_table20_review_volume(benchmark, review_corpus):
+    table = benchmark(reproduce_table20, review_corpus)
+    expected = paper_table("20")
+    print()
+    print(render_comparison(expected, table))
+    comparison = compare_tables(expected, table)
+    assert comparison.exact, comparison.diffs[:5]

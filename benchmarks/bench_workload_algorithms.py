@@ -1,0 +1,130 @@
+"""Benchmark: the Table 9 computations as running code.
+
+The survey ranks computations by how many participants run them; this
+bench times our implementation of each on a common scenario graph, so the
+taxonomy is backed by measured, executable kernels. Assertions check the
+structural sanity of each result.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality,
+    connected_components,
+    core_numbers,
+    densest_subgraph,
+    double_sweep_lower_bound,
+    exact_diameter,
+    greedy_coloring,
+    is_proper_coloring,
+    is_reachable,
+    k_hop_neighbors,
+    kruskal_mst,
+    pagerank,
+    partition_graph,
+    shortest_path,
+    simrank,
+    triangle_count,
+)
+from repro.algorithms.matching import count_motif
+from repro.algorithms.similarity import most_similar
+from repro.workloads import build_scenario
+
+
+@pytest.fixture(scope="module")
+def social():
+    return build_scenario("social", seed=17)  # 200-vertex BA graph
+
+
+@pytest.fixture(scope="module")
+def small_social():
+    from repro.generators import barabasi_albert
+
+    return barabasi_albert(60, 2, seed=17)
+
+
+def test_connected_components(benchmark, social):
+    components = benchmark(connected_components, social)
+    assert sum(len(c) for c in components) == social.num_vertices()
+
+
+def test_neighborhood_queries(benchmark, social):
+    source = next(iter(social.vertices()))
+    neighbors = benchmark(k_hop_neighbors, social, source, 2)
+    assert neighbors
+
+
+def test_shortest_paths(benchmark, social):
+    vertices = list(social.vertices())
+    path = benchmark(shortest_path, social, vertices[0], vertices[-1])
+    assert path is None or path[0] == vertices[0]
+
+
+def test_subgraph_matching(benchmark, small_social):
+    triangles = benchmark(count_motif, small_social, "triangle")
+    assert triangles == triangle_count(small_social)
+
+
+def test_pagerank(benchmark, social):
+    scores = benchmark(pagerank, social)
+    assert sum(scores.values()) == pytest.approx(1.0)
+
+
+def test_betweenness(benchmark, small_social):
+    scores = benchmark(betweenness_centrality, small_social)
+    assert max(scores.values()) > 0
+
+
+def test_aggregations(benchmark, social):
+    triangles = benchmark(triangle_count, social)
+    assert triangles >= 0
+
+
+def test_reachability(benchmark, social):
+    vertices = list(social.vertices())
+    assert benchmark(is_reachable, social, vertices[0], vertices[1]) in (
+        True, False)
+
+
+def test_partitioning(benchmark, social):
+    partition = benchmark(partition_graph, social, 4)
+    assert set(partition.values()) <= {0, 1, 2, 3}
+
+
+def test_node_similarity_simrank(benchmark):
+    from repro.generators import gnp_random_graph
+
+    g = gnp_random_graph(40, 0.1, directed=True, seed=17)
+    scores = benchmark(simrank, g, max_iter=5)
+    assert scores
+
+
+def test_node_similarity_neighborhood(benchmark, social):
+    source = next(iter(social.vertices()))
+    ranked = benchmark(most_similar, social, source)
+    assert isinstance(ranked, list)
+
+
+def test_densest_subgraph(benchmark, social):
+    subgraph, density = benchmark(densest_subgraph, social)
+    assert density > 0
+
+
+def test_k_core(benchmark, social):
+    cores = benchmark(core_numbers, social)
+    assert max(cores.values()) >= 2
+
+
+def test_mst(benchmark, social):
+    edges = benchmark(kruskal_mst, social)
+    assert len(edges) == social.num_vertices() - 1  # BA graphs connected
+
+
+def test_coloring(benchmark, social):
+    coloring = benchmark(greedy_coloring, social, "smallest_last")
+    assert is_proper_coloring(social, coloring)
+
+
+def test_diameter_estimation(benchmark, small_social):
+    lower = benchmark(double_sweep_lower_bound, small_social)
+    assert lower <= exact_diameter(small_social)

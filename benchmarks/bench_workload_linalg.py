@@ -1,0 +1,55 @@
+"""Benchmark: linear-algebra kernels vs direct implementations.
+
+Table 12 lists linear-algebra software (BLAS, MATLAB) as a graph-
+processing tool class of its own; the paper's conclusion points to the
+GraphBLAS standardization effort. This bench times the semiring-based
+kernels of :mod:`repro.algorithms.linalg` against the direct graph
+implementations and asserts equivalence.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    bfs_distances,
+    linalg,
+    pagerank,
+    triangle_count,
+)
+from repro.generators import barabasi_albert
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert(400, 3, seed=33)
+
+
+def test_bfs_matrix(benchmark, graph):
+    levels = benchmark(linalg.bfs_levels_matrix, graph, 0)
+    assert levels == bfs_distances(graph, 0)
+
+
+def test_bfs_direct(benchmark, graph):
+    levels = benchmark(bfs_distances, graph, 0)
+    assert levels[0] == 0
+
+
+def test_pagerank_matrix(benchmark, graph):
+    scores = benchmark(linalg.pagerank_matrix, graph)
+    direct = pagerank(graph)
+    worst = max(abs(scores[v] - direct[v]) for v in graph.vertices())
+    assert worst < 1e-6
+
+
+def test_pagerank_direct(benchmark, graph):
+    scores = benchmark(pagerank, graph)
+    assert abs(sum(scores.values()) - 1.0) < 1e-6
+
+
+def test_triangles_matrix(benchmark, graph):
+    count = benchmark(linalg.triangle_count_matrix, graph)
+    assert count == triangle_count(graph)
+
+
+def test_triangles_direct(benchmark, graph):
+    count = benchmark(triangle_count, graph)
+    assert count >= 0

@@ -1,0 +1,101 @@
+"""Benchmark: the Table 10 machine learning computations as running code.
+
+One timed kernel per Table 10a computation and Table 10b problem, each on
+a survey-flavoured synthetic workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ml
+from repro.workloads import (
+    build_scenario,
+    customer_product_ratings,
+    generate_product_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def social():
+    return build_scenario("social", seed=23)
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    graph = generate_product_graph(seed=23)
+    return ml.RatingMatrix.from_ratings(customer_product_ratings(graph))
+
+
+def test_clustering(benchmark, social):
+    labels = benchmark(ml.label_propagation_clustering, social, 1)
+    assert len(labels) == social.num_vertices()
+
+
+def test_classification(benchmark, social):
+    vertices = list(social.vertices())
+    seeds = {vertices[0]: "a", vertices[-1]: "b"}
+    labels = benchmark(ml.label_spreading, social, seeds)
+    assert set(labels.values()) <= {"a", "b"}
+
+
+def test_regression_sgd(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(500, 4))
+    y = x @ np.array([1.0, -2.0, 0.5, 3.0]) + 1.0
+    model = benchmark(ml.fit_linear_sgd, x, y, 0.01, 50)
+    assert ml.mean_squared_error(y, model.predict_linear(x)) < 1.0
+
+
+def test_graphical_model_inference(benchmark):
+    from repro.generators import grid_graph
+
+    grid = grid_graph(6, 6)
+    mrf = ml.PairwiseMRF(graph=grid, num_states=2)
+    mrf.set_pairwise((0, 0), (0, 1), [[0.6, 0.4], [0.4, 0.6]])
+    marginals = benchmark(
+        ml.loopy_belief_propagation, mrf, 50, 1e-6, 0.2)
+    assert len(marginals) == 36
+
+
+def test_collaborative_filtering_knn(benchmark, ratings):
+    knn = benchmark(lambda: ml.ItemKNN(k=5).fit(ratings))
+    user = ratings.users[0]
+    assert knn.recommend(user, n=3) is not None
+
+
+def test_matrix_factorization_sgd(benchmark, ratings):
+    model = benchmark(
+        ml.matrix_factorization_sgd, ratings, 4, 0.01, 0.05, 20)
+    assert model.rmse() < 3.0
+
+
+def test_matrix_factorization_als(benchmark, ratings):
+    model = benchmark(ml.matrix_factorization_als, ratings, 4, 0.1, 8)
+    assert model.rmse() < 2.0
+
+
+def test_community_detection(benchmark, social):
+    communities = benchmark(ml.louvain, social, 0)
+    assert ml.modularity(social, communities) > 0
+
+
+def test_recommendation(benchmark, ratings):
+    knn = ml.ItemKNN(k=5).fit(ratings)
+    user = ratings.users[0]
+    recommendations = benchmark(knn.recommend, user, 5)
+    assert len(recommendations) <= 5
+
+
+def test_link_prediction(benchmark, social):
+    aucs = benchmark(
+        ml.evaluate_methods, social, 0.2, 1, ("adamic_adar",))
+    assert aucs["adamic_adar"] > 0.5
+
+
+def test_influence_maximization(benchmark):
+    from repro.generators import gnp_random_graph
+
+    g = gnp_random_graph(60, 0.08, directed=True, seed=23)
+    seeds = benchmark(
+        ml.celf_influence_maximization, g, 3, 0.1, 20, 1)
+    assert len(seeds) == 3

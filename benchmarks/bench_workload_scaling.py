@@ -1,0 +1,62 @@
+"""Benchmark: algorithm runtime vs graph size.
+
+Scalability is the survey's number-one challenge (Table 15). This bench
+makes the scaling behaviour of the core kernels measurable: connected
+components, PageRank, and triangle counting across a size sweep of RMAT
+graphs (the Graph500-style workload). The expected shape is near-linear
+growth for components/PageRank and super-linear for triangles.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank, triangle_count
+from repro.generators import RMATSpec, rmat_graph
+
+SCALES = (8, 9, 10)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        scale: rmat_graph(RMATSpec(scale=scale, edge_factor=8), seed=1)
+        for scale in SCALES
+    }
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_components_scaling(benchmark, graphs, scale):
+    graph = graphs[scale]
+    components = benchmark(connected_components, graph)
+    assert sum(len(c) for c in components) == graph.num_vertices()
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_pagerank_scaling(benchmark, graphs, scale):
+    graph = graphs[scale]
+    scores = benchmark(pagerank, graph, 0.85, 1e-8, 100)
+    assert len(scores) == graph.num_vertices()
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_triangle_scaling(benchmark, graphs, scale):
+    graph = graphs[scale]
+    triangles = benchmark(triangle_count, graph)
+    assert triangles >= 0
+
+
+def test_components_growth_is_subquadratic(graphs):
+    """Doubling the graph should far less than 4x the component time."""
+    timings = {}
+    for scale, graph in graphs.items():
+        start = time.perf_counter()
+        for _ in range(3):
+            connected_components(graph)
+        timings[scale] = (time.perf_counter() - start) / 3
+    small, large = timings[SCALES[0]], timings[SCALES[-1]]
+    size_ratio = (graphs[SCALES[-1]].num_edges()
+                  / graphs[SCALES[0]].num_edges())
+    print(f"\ncomponents: {size_ratio:.1f}x edges -> "
+          f"{large / small:.1f}x time")
+    assert large / small < size_ratio * 3

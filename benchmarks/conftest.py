@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_table*.py`` regenerates one table of the paper and asserts
+the reproduction; run with ``pytest benchmarks/ --benchmark-only``.
+Pass ``-s`` to also see the paper-vs-measured rows printed for each table.
+"""
+
+import pytest
+
+from repro.synthesis import (
+    build_literature_corpus,
+    build_population,
+    build_review_corpus,
+)
+
+
+@pytest.fixture(scope="session")
+def population():
+    return build_population()
+
+
+@pytest.fixture(scope="session")
+def literature():
+    return build_literature_corpus()
+
+
+@pytest.fixture(scope="session")
+def review_corpus():
+    return build_review_corpus()
+
+
+def report(expected, actual):
+    """Print the side-by-side table (visible with -s) and return the
+    comparison."""
+    from repro.core import compare_tables
+    from repro.core.report import render_comparison
+
+    print()
+    print(render_comparison(expected, actual))
+    return compare_tables(expected, actual)

@@ -1,0 +1,66 @@
+"""Run every computation the survey asked about, on survey-shaped graphs.
+
+Table 9 lists 13 graph computations, Table 10 lists 11 machine-learning
+computations and problems, and Table 11 lists the two fundamental
+traversals. This example executes all of them against scenario graphs
+matching the survey's own entity taxonomy (social, web, road,
+collaboration), printing the participant counts from the paper next to
+each measured result -- the taxonomy as running code.
+
+Run:
+    python examples/survey_workloads.py
+"""
+
+import time
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.workloads import build_scenario, run_computation
+from repro.workloads.runner import (
+    ML_COMPUTATION_RUNNERS,
+    ML_PROBLEM_RUNNERS,
+    TRAVERSAL_RUNNERS,
+)
+
+
+def participants_for(name: str) -> str:
+    for table in (pt.TABLE_9, pt.TABLE_10A, pt.TABLE_10B):
+        if name in table.rows:
+            return f"{table.rows[name]['Total']:>3} participants"
+    if name.startswith("Breadth"):
+        return f"{pt.TABLE_11.rows[name]['Total']:>3} participants"
+    if name.startswith("Depth"):
+        return f"{pt.TABLE_11.rows[name]['Total']:>3} participants"
+    return "  - participants"
+
+
+def run_section(title: str, names, graph, seed: int) -> None:
+    print(f"\n== {title} (on {graph.num_vertices()} vertices, "
+          f"{graph.num_edges()} edges) ==")
+    for name in names:
+        start = time.perf_counter()
+        result = run_computation(name, graph, seed=seed)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"  {participants_for(name)} | {name:<42} "
+              f"{elapsed:7.1f} ms  {result.summary}")
+
+
+def main() -> None:
+    social = build_scenario("social", seed=1)
+    web = build_scenario("web", seed=1)
+    collaboration = build_scenario("collaboration", seed=1)
+
+    run_section("Table 9: graph computations",
+                taxonomy.GRAPH_COMPUTATIONS, social, seed=1)
+    run_section("Table 10a: machine learning computations",
+                ML_COMPUTATION_RUNNERS, collaboration, seed=1)
+    run_section("Table 10b: problems solved with ML",
+                ML_PROBLEM_RUNNERS, social, seed=1)
+    run_section("Table 11: fundamental traversals",
+                TRAVERSAL_RUNNERS, web, seed=1)
+
+    print("\nevery surveyed computation executed successfully")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of "The Ubiquity of Large Graphs and Surprising
+Challenges of Graph Processing" (Sahu et al., VLDB 2017).
+
+The package has two halves:
+
+* the **study** -- survey instrument, calibrated synthetic population,
+  literature corpus, mailing-list/issue review, and the tabulation
+  pipeline that regenerates every table of the paper
+  (:mod:`repro.survey`, :mod:`repro.synthesis`, :mod:`repro.core`,
+  :mod:`repro.mining`, :mod:`repro.data`);
+* the **subject matter** -- a working single-machine graph-processing
+  stack implementing everything the survey catalogs: graph structures
+  (:mod:`repro.graphs`), the Table 9 computations
+  (:mod:`repro.algorithms`), the Table 10 machine learning
+  (:mod:`repro.ml`), generators (:mod:`repro.generators`), a query
+  language (:mod:`repro.query`), visualization (:mod:`repro.viz`) and
+  workload harnesses (:mod:`repro.workloads`).
+
+Quick start::
+
+    from repro.synthesis import build_population, build_literature_corpus
+    from repro.core import reproduce_survey_tables, compare_tables
+    from repro.data.paper_tables import paper_table
+
+    population = build_population()
+    corpus = build_literature_corpus()
+    tables = reproduce_survey_tables(population, corpus)
+    assert compare_tables(paper_table("9"), tables["9"]).exact
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``      -- regenerate all 26 tables; print match summaries
+  (``--verbose`` for full side-by-side values, ``--table ID`` for one).
+* ``findings``    -- re-derive and print the paper's Section 1 findings.
+* ``experiments`` -- write the full EXPERIMENTS.md report
+  (``--output PATH``, default stdout).
+* ``workload``    -- run every surveyed computation on a scenario graph.
+* ``query``       -- run a GQL-lite query against the bundled product
+  graph (``--explain`` prints the plan instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_inputs():
+    from repro.synthesis import (
+        build_literature_corpus,
+        build_population,
+        build_review_corpus,
+    )
+
+    return (build_population(), build_literature_corpus(),
+            build_review_corpus())
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core import compare_tables
+    from repro.core.paper_report import reproduce_all_tables, table_sort_key
+    from repro.core.report import render_comparison, summary_line
+    from repro.data.paper_tables import paper_table
+
+    population, literature, corpus = _build_inputs()
+    tables = reproduce_all_tables(population, literature, corpus)
+    wanted = ([args.table] if args.table
+              else sorted(tables, key=table_sort_key))
+    exact = 0
+    for table_id in wanted:
+        if table_id not in tables:
+            print(f"unknown table id {table_id!r}", file=sys.stderr)
+            return 2
+        expected = paper_table(table_id)
+        actual = tables[table_id]
+        comparison = compare_tables(expected, actual)
+        exact += comparison.exact
+        if args.verbose or args.table:
+            print(render_comparison(expected, actual))
+            print()
+        else:
+            print(summary_line(comparison))
+    if not args.table:
+        print(f"\n{exact}/{len(wanted)} tables reproduced exactly")
+    return 0 if exact == len(wanted) else 1
+
+
+def cmd_findings(args: argparse.Namespace) -> int:
+    from repro.core import derive_findings, render_findings
+    from repro.synthesis import build_literature_corpus, build_population
+
+    findings = derive_findings(build_population(args.seed),
+                               build_literature_corpus())
+    print(render_findings(findings))
+    return 0 if all(f.holds for f in findings) else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.core.paper_report import generate_experiments_markdown
+
+    population, literature, corpus = _build_inputs()
+    markdown = generate_experiments_markdown(population, literature,
+                                             corpus)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(markdown)
+        print(f"wrote {args.output} ({len(markdown)} bytes)",
+              file=sys.stderr)
+    else:
+        print(markdown, end="")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import build_scenario, run_survey_workload
+
+    graph = build_scenario(args.scenario, seed=args.seed)
+    print(f"scenario {args.scenario!r}: {graph.num_vertices()} vertices, "
+          f"{graph.num_edges()} edges")
+    for result in run_survey_workload(graph, seed=args.seed):
+        print(f"  {result.name:<42} {result.summary}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.query import explain, run_query
+    from repro.workloads import generate_product_graph
+
+    graph = generate_product_graph(seed=args.seed)
+    if args.explain:
+        print(explain(graph, args.text))
+        return 0
+    result = run_query(graph, args.text)
+    print("\t".join(result.columns))
+    for row in result.rows:
+        print("\t".join(str(cell) for cell in row))
+    print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction toolkit for 'The Ubiquity of Large "
+                    "Graphs' (VLDB 2017)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tables = commands.add_parser(
+        "tables", help="regenerate and compare all paper tables")
+    tables.add_argument("--verbose", action="store_true",
+                        help="print full side-by-side values")
+    tables.add_argument("--table", help="one table id, e.g. 5b")
+    tables.set_defaults(fn=cmd_tables)
+
+    findings = commands.add_parser(
+        "findings", help="re-derive the Section 1 findings")
+    findings.add_argument("--seed", type=int, default=2017)
+    findings.set_defaults(fn=cmd_findings)
+
+    experiments = commands.add_parser(
+        "experiments", help="write the EXPERIMENTS.md report")
+    experiments.add_argument("--output", help="file path (default stdout)")
+    experiments.set_defaults(fn=cmd_experiments)
+
+    workload = commands.add_parser(
+        "workload", help="run every surveyed computation")
+    workload.add_argument("--scenario", default="social",
+                          choices=["social", "web", "road",
+                                   "collaboration", "infrastructure"])
+    workload.add_argument("--seed", type=int, default=1)
+    workload.set_defaults(fn=cmd_workload)
+
+    query = commands.add_parser(
+        "query", help="query the bundled product graph")
+    query.add_argument("text", help="a GQL-lite query string")
+    query.add_argument("--explain", action="store_true")
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(fn=cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

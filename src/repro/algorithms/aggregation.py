@@ -1,0 +1,167 @@
+"""Graph aggregations (Table 9: "e.g., counting the number of triangles").
+
+Triangle counting (exact, via degree-ordered wedge checks), clustering
+coefficients, degree distributions, and assortativity -- the statistics
+participants compute over whole graphs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.graphs.adjacency import Graph, Vertex
+
+
+def _undirected_neighbor_sets(graph) -> dict[Vertex, set[Vertex]]:
+    """Neighbor sets ignoring direction, parallel edges and self-loops."""
+    sets: dict[Vertex, set[Vertex]] = {v: set() for v in graph.vertices()}
+    for edge in graph.edges():
+        if edge.u == edge.v:
+            continue
+        sets[edge.u].add(edge.v)
+        sets[edge.v].add(edge.u)
+    return sets
+
+
+def triangle_count(graph) -> int:
+    """Total number of triangles (each counted once).
+
+    Uses the degree-ordering technique: orient each edge from the
+    lower-ranked to the higher-ranked endpoint and count common forward
+    neighbors, giving O(m^(3/2)) worst case.
+    """
+    neighbors = _undirected_neighbor_sets(graph)
+    rank = {
+        v: (len(neighbors[v]), i)
+        for i, v in enumerate(neighbors)
+    }
+    forward: dict[Vertex, set[Vertex]] = {v: set() for v in neighbors}
+    for v, adjacent in neighbors.items():
+        for w in adjacent:
+            if rank[v] < rank[w]:
+                forward[v].add(w)
+    triangles = 0
+    for v, out in forward.items():
+        for w in out:
+            triangles += len(out & forward[w])
+    return triangles
+
+
+def triangles_per_vertex(graph) -> dict[Vertex, int]:
+    """Number of triangles through each vertex."""
+    neighbors = _undirected_neighbor_sets(graph)
+    counts = {v: 0 for v in neighbors}
+    for v, adjacent in neighbors.items():
+        adjacent_list = list(adjacent)
+        for i, a in enumerate(adjacent_list):
+            for b in adjacent_list[i + 1:]:
+                if b in neighbors[a]:
+                    counts[v] += 1
+    return counts
+
+
+def local_clustering_coefficient(graph, vertex: Vertex) -> float:
+    """Fraction of a vertex's neighbor pairs that are themselves linked."""
+    neighbors = _undirected_neighbor_sets(graph)
+    adjacent = neighbors[vertex]
+    k = len(adjacent)
+    if k < 2:
+        return 0.0
+    links = 0
+    adjacent_list = list(adjacent)
+    for i, a in enumerate(adjacent_list):
+        for b in adjacent_list[i + 1:]:
+            if b in neighbors[a]:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph) -> float:
+    """Mean local clustering coefficient (0.0 for an empty graph)."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0.0
+    return sum(
+        local_clustering_coefficient(graph, v) for v in vertices
+    ) / len(vertices)
+
+
+def global_clustering(graph) -> float:
+    """Transitivity: 3 * triangles / wedges."""
+    neighbors = _undirected_neighbor_sets(graph)
+    wedges = sum(
+        len(adjacent) * (len(adjacent) - 1) // 2
+        for adjacent in neighbors.values())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / wedges
+
+
+def degree_histogram(graph) -> dict[int, int]:
+    """degree -> number of vertices with that degree."""
+    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+def degree_statistics(graph) -> dict[str, float]:
+    """Min/max/mean degree plus vertex and edge counts."""
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    if not degrees:
+        return {"vertices": 0, "edges": 0, "min_degree": 0.0,
+                "max_degree": 0.0, "mean_degree": 0.0}
+    return {
+        "vertices": float(graph.num_vertices()),
+        "edges": float(graph.num_edges()),
+        "min_degree": float(min(degrees)),
+        "max_degree": float(max(degrees)),
+        "mean_degree": sum(degrees) / len(degrees),
+    }
+
+
+def degree_assortativity(graph) -> float:
+    """Pearson correlation of endpoint degrees over edges.
+
+    Returns 0.0 when undefined (no edges or zero variance).
+    """
+    xs: list[float] = []
+    ys: list[float] = []
+    for edge in graph.edges():
+        du, dv = graph.degree(edge.u), graph.degree(edge.v)
+        xs.extend((du, dv))
+        ys.extend((dv, du))
+    if not xs:
+        return 0.0
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def density(graph) -> float:
+    """Edges over possible edges (simple-graph semantics)."""
+    n = graph.num_vertices()
+    if n < 2:
+        return 0.0
+    possible = n * (n - 1)
+    if not graph.directed:
+        possible //= 2
+    return graph.num_edges() / possible
+
+
+def reciprocity(graph: Graph) -> float:
+    """Fraction of directed edges whose reverse also exists."""
+    if not graph.directed:
+        return 1.0
+    total = 0
+    mutual = 0
+    for edge in graph.edges():
+        if edge.u == edge.v:
+            continue
+        total += 1
+        if graph.has_edge(edge.v, edge.u):
+            mutual += 1
+    return mutual / total if total else 0.0

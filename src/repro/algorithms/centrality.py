@@ -1,0 +1,139 @@
+"""Centrality scores (Table 9 "Ranking & Centrality Scores").
+
+Degree, closeness, betweenness (Brandes' algorithm, exact and sampled),
+and harmonic centrality. Betweenness follows out-edges on directed graphs
+and treats undirected graphs symmetrically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.graphs.adjacency import Vertex
+
+
+def degree_centrality(graph) -> dict[Vertex, float]:
+    """Degree / (n - 1); the standard normalization."""
+    n = graph.num_vertices()
+    if n <= 1:
+        return {v: 0.0 for v in graph.vertices()}
+    return {v: graph.degree(v) / (n - 1) for v in graph.vertices()}
+
+
+def closeness_centrality(graph) -> dict[Vertex, float]:
+    """Wasserman-Faust closeness: reachable-set-scaled inverse mean
+    distance, 0 for isolated vertices."""
+    from repro.algorithms.paths import bfs_distances
+
+    n = graph.num_vertices()
+    scores: dict[Vertex, float] = {}
+    for vertex in graph.vertices():
+        distances = bfs_distances(graph, vertex)
+        reachable = len(distances) - 1
+        if reachable <= 0:
+            scores[vertex] = 0.0
+            continue
+        total = sum(distances.values())
+        scores[vertex] = (reachable / total) * (reachable / (n - 1))
+    return scores
+
+
+def harmonic_centrality(graph) -> dict[Vertex, float]:
+    """Sum of reciprocal distances to every other vertex."""
+    from repro.algorithms.paths import bfs_distances
+
+    scores: dict[Vertex, float] = {}
+    for vertex in graph.vertices():
+        distances = bfs_distances(graph, vertex)
+        scores[vertex] = sum(
+            1.0 / d for target, d in distances.items() if target != vertex)
+    return scores
+
+
+def betweenness_centrality(
+    graph,
+    normalized: bool = True,
+    sources: list[Vertex] | None = None,
+) -> dict[Vertex, float]:
+    """Brandes' betweenness centrality (unweighted).
+
+    ``sources`` restricts the accumulation to a subset of source vertices
+    (the standard sampling approximation); scores are then scaled by
+    ``n / len(sources)`` to stay comparable to the exact values.
+    """
+    vertices = list(graph.vertices())
+    scores = {v: 0.0 for v in vertices}
+    if sources is None:
+        pivots = vertices
+        scale_up = 1.0
+    else:
+        pivots = list(sources)
+        if not pivots:
+            raise ValueError("sources must be non-empty")
+        scale_up = len(vertices) / len(pivots)
+
+    for source in pivots:
+        _brandes_accumulate(graph, source, scores)
+
+    n = len(vertices)
+    for vertex in scores:
+        scores[vertex] *= scale_up
+    if not graph.directed:
+        for vertex in scores:
+            scores[vertex] /= 2.0
+    if normalized and n > 2:
+        denominator = (n - 1) * (n - 2)
+        if not graph.directed:
+            denominator /= 2.0
+        for vertex in scores:
+            scores[vertex] /= denominator
+    return scores
+
+
+def _brandes_accumulate(graph, source: Vertex,
+                        scores: dict[Vertex, float]) -> None:
+    stack: list[Vertex] = []
+    predecessors: dict[Vertex, list[Vertex]] = {}
+    sigma: dict[Vertex, float] = {source: 1.0}
+    distance: dict[Vertex, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        stack.append(vertex)
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in distance:
+                distance[neighbor] = distance[vertex] + 1
+                queue.append(neighbor)
+            if distance[neighbor] == distance[vertex] + 1:
+                sigma[neighbor] = sigma.get(neighbor, 0.0) + sigma[vertex]
+                predecessors.setdefault(neighbor, []).append(vertex)
+    delta = {vertex: 0.0 for vertex in stack}
+    while stack:
+        vertex = stack.pop()
+        for predecessor in predecessors.get(vertex, ()):
+            delta[predecessor] += (
+                sigma[predecessor] / sigma[vertex]) * (1 + delta[vertex])
+        if vertex != source:
+            scores[vertex] += delta[vertex]
+
+
+def approximate_betweenness(
+    graph,
+    num_samples: int,
+    seed: int = 0,
+    normalized: bool = True,
+) -> dict[Vertex, float]:
+    """Sampled Brandes: accumulate from ``num_samples`` random sources."""
+    vertices = list(graph.vertices())
+    if num_samples >= len(vertices):
+        return betweenness_centrality(graph, normalized=normalized)
+    rng = random.Random(seed)
+    sources = rng.sample(vertices, num_samples)
+    return betweenness_centrality(graph, normalized=normalized,
+                                  sources=sources)
+
+
+def top_central(scores: dict[Vertex, float], k: int) -> list[Vertex]:
+    """The k most central vertices, ties broken by repr."""
+    return sorted(scores, key=lambda v: (-scores[v], repr(v)))[:k]

@@ -1,0 +1,147 @@
+"""Graph coloring (Table 9, row 12).
+
+Greedy coloring under several vertex orderings (insertion, largest-first /
+Welsh-Powell, smallest-last) and DSatur. All operate on the undirected
+adjacency (direction ignored) and ignore self-loops, which are uncolorable
+in the proper-coloring sense.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.adjacency import Vertex
+
+Coloring = dict[Vertex, int]
+
+
+def _neighbor_sets(graph) -> dict[Vertex, set[Vertex]]:
+    sets: dict[Vertex, set[Vertex]] = {v: set() for v in graph.vertices()}
+    for edge in graph.edges():
+        if edge.u == edge.v:
+            continue
+        sets[edge.u].add(edge.v)
+        sets[edge.v].add(edge.u)
+    return sets
+
+
+def _greedy(neighbors: dict[Vertex, set[Vertex]],
+            order: list[Vertex]) -> Coloring:
+    coloring: Coloring = {}
+    for vertex in order:
+        used = {coloring[w] for w in neighbors[vertex] if w in coloring}
+        color = 0
+        while color in used:
+            color += 1
+        coloring[vertex] = color
+    return coloring
+
+
+def greedy_coloring(graph, strategy: str = "largest_first") -> Coloring:
+    """Greedy proper coloring.
+
+    Strategies: ``insertion`` (graph order), ``largest_first``
+    (Welsh-Powell), ``smallest_last`` (degeneracy order, optimal for
+    chordal graphs and never worse than degeneracy+1 colors).
+    """
+    neighbors = _neighbor_sets(graph)
+    vertices = list(neighbors)
+    if strategy == "insertion":
+        order = vertices
+    elif strategy == "largest_first":
+        order = sorted(vertices, key=lambda v: (-len(neighbors[v]), repr(v)))
+    elif strategy == "smallest_last":
+        order = _smallest_last_order(neighbors)
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose insertion, "
+            f"largest_first, or smallest_last")
+    return _greedy(neighbors, order)
+
+
+def _smallest_last_order(neighbors: dict[Vertex, set[Vertex]]) -> list[Vertex]:
+    working = {v: set(adjacent) for v, adjacent in neighbors.items()}
+    order: list[Vertex] = []
+    remaining = set(working)
+    while remaining:
+        vertex = min(remaining,
+                     key=lambda v: (len(working[v] & remaining), repr(v)))
+        order.append(vertex)
+        remaining.discard(vertex)
+    order.reverse()
+    return order
+
+
+def dsatur_coloring(graph) -> Coloring:
+    """DSatur: color the vertex with the most distinctly colored neighbors
+    first. Exact on bipartite graphs."""
+    neighbors = _neighbor_sets(graph)
+    coloring: Coloring = {}
+    saturation: dict[Vertex, set[int]] = {v: set() for v in neighbors}
+    uncolored = set(neighbors)
+    while uncolored:
+        vertex = max(
+            uncolored,
+            key=lambda v: (len(saturation[v]), len(neighbors[v]), repr(v)))
+        used = saturation[vertex]
+        color = 0
+        while color in used:
+            color += 1
+        coloring[vertex] = color
+        uncolored.discard(vertex)
+        for neighbor in neighbors[vertex]:
+            saturation[neighbor].add(color)
+    return coloring
+
+
+def num_colors(coloring: Coloring) -> int:
+    return len(set(coloring.values())) if coloring else 0
+
+
+def is_proper_coloring(graph, coloring: Coloring) -> bool:
+    """Every edge bichromatic and every vertex colored."""
+    for vertex in graph.vertices():
+        if vertex not in coloring:
+            return False
+    for edge in graph.edges():
+        if edge.u != edge.v and coloring[edge.u] == coloring[edge.v]:
+            return False
+    return True
+
+
+def chromatic_number_exact(graph, limit: int = 8) -> int:
+    """Exact chromatic number by branch and bound (tiny graphs only).
+
+    Tries k = 1, 2, ... up to ``limit``; raises ``ValueError`` beyond.
+    """
+    neighbors = _neighbor_sets(graph)
+    vertices = sorted(neighbors, key=lambda v: -len(neighbors[v]))
+    if not vertices:
+        return 0
+    if all(not adjacent for adjacent in neighbors.values()):
+        return 1
+
+    def colorable(k: int) -> bool:
+        assignment: Coloring = {}
+
+        def backtrack(index: int) -> bool:
+            if index == len(vertices):
+                return True
+            vertex = vertices[index]
+            used = {assignment[w] for w in neighbors[vertex]
+                    if w in assignment}
+            for color in range(k):
+                if color in used:
+                    continue
+                assignment[vertex] = color
+                if backtrack(index + 1):
+                    return True
+                del assignment[vertex]
+                if color not in assignment.values():
+                    break  # first unused color; symmetric siblings pruned
+            return False
+
+        return backtrack(0)
+
+    for k in range(2, limit + 1):
+        if colorable(k):
+            return k
+    raise ValueError(f"chromatic number exceeds limit {limit}")

@@ -1,0 +1,179 @@
+"""Dense subgraph discovery (Table 9: "Finding Frequent or Densest
+Subgraphs") plus k-core decomposition (a Section 4.3 user computation).
+
+* :func:`densest_subgraph` -- Charikar's greedy peeling, a 1/2
+  approximation to the maximum average-degree subgraph.
+* :func:`k_core` / :func:`core_numbers` -- the degeneracy ordering
+  algorithm (Batagelj-Zaversnik).
+* :func:`k_truss` -- triangle-support peeling.
+* :func:`frequent_subgraphs` -- frequency counting of the small motifs
+  over a database of graphs (the "frequent subgraphs" reading of the
+  Table 9 row).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.graphs.adjacency import Graph, Vertex
+
+
+def _simple_undirected_sets(graph) -> dict[Vertex, set[Vertex]]:
+    sets: dict[Vertex, set[Vertex]] = {v: set() for v in graph.vertices()}
+    for edge in graph.edges():
+        if edge.u == edge.v:
+            continue
+        sets[edge.u].add(edge.v)
+        sets[edge.v].add(edge.u)
+    return sets
+
+
+def subgraph_density(graph, vertices: set[Vertex]) -> float:
+    """Average degree density |E(S)| / |S| of an induced subgraph."""
+    if not vertices:
+        return 0.0
+    edges = sum(
+        1 for edge in graph.edges()
+        if edge.u in vertices and edge.v in vertices and edge.u != edge.v
+    )
+    return edges / len(vertices)
+
+
+def densest_subgraph(graph) -> tuple[set[Vertex], float]:
+    """Charikar's peeling: repeatedly remove the minimum-degree vertex,
+    return the densest prefix. Guaranteed within 1/2 of optimal."""
+    neighbors = _simple_undirected_sets(graph)
+    degree = {v: len(adjacent) for v, adjacent in neighbors.items()}
+    edges = sum(degree.values()) // 2
+    remaining = set(neighbors)
+
+    best_density = edges / len(remaining) if remaining else 0.0
+    best_size = len(remaining)
+    removal_order: list[Vertex] = []
+
+    buckets: dict[int, set[Vertex]] = defaultdict(set)
+    for vertex, d in degree.items():
+        buckets[d].add(vertex)
+    current_min = 0
+
+    while remaining:
+        while current_min not in buckets or not buckets[current_min]:
+            current_min += 1
+        vertex = buckets[current_min].pop()
+        remaining.discard(vertex)
+        removal_order.append(vertex)
+        edges -= degree[vertex]
+        for neighbor in neighbors[vertex]:
+            if neighbor in remaining:
+                buckets[degree[neighbor]].discard(neighbor)
+                degree[neighbor] -= 1
+                buckets[degree[neighbor]].add(neighbor)
+                current_min = min(current_min, degree[neighbor])
+        neighbors_of_removed = neighbors[vertex]
+        for neighbor in neighbors_of_removed:
+            neighbors[neighbor].discard(vertex)
+        if remaining:
+            density = edges / len(remaining)
+            if density > best_density:
+                best_density = density
+                best_size = len(remaining)
+
+    all_vertices = removal_order
+    best_set = set(all_vertices[len(all_vertices) - best_size:])
+    return best_set, best_density
+
+
+def core_numbers(graph) -> dict[Vertex, int]:
+    """Core number of every vertex (Batagelj-Zaversnik peeling)."""
+    neighbors = _simple_undirected_sets(graph)
+    degree = {v: len(adjacent) for v, adjacent in neighbors.items()}
+    cores: dict[Vertex, int] = {}
+    buckets: dict[int, set[Vertex]] = defaultdict(set)
+    for vertex, d in degree.items():
+        buckets[d].add(vertex)
+    current = 0
+    remaining = len(degree)
+    while remaining:
+        while current not in buckets or not buckets[current]:
+            current += 1
+        vertex = buckets[current].pop()
+        cores[vertex] = current
+        remaining -= 1
+        for neighbor in neighbors[vertex]:
+            if neighbor in cores:
+                continue
+            if degree[neighbor] > current:
+                buckets[degree[neighbor]].discard(neighbor)
+                degree[neighbor] -= 1
+                buckets[degree[neighbor]].add(neighbor)
+        for neighbor in neighbors[vertex]:
+            neighbors[neighbor].discard(vertex)
+    return cores
+
+
+def k_core(graph, k: int) -> set[Vertex]:
+    """Vertices of the maximal subgraph with minimum degree >= k."""
+    return {v for v, core in core_numbers(graph).items() if core >= k}
+
+
+def degeneracy(graph) -> int:
+    """The maximum core number (0 for an empty graph)."""
+    cores = core_numbers(graph)
+    return max(cores.values(), default=0)
+
+
+def k_truss(graph, k: int) -> set[tuple[Vertex, Vertex]]:
+    """Edges of the k-truss: every edge supported by >= k-2 triangles.
+
+    Returned as canonical (u, v) pairs (repr-ordered endpoints).
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    neighbors = _simple_undirected_sets(graph)
+
+    def canonical(u: Vertex, v: Vertex) -> tuple[Vertex, Vertex]:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    edges = {canonical(u, v)
+             for u, adjacent in neighbors.items() for v in adjacent}
+    support = {}
+    for u, v in edges:
+        support[u, v] = len(neighbors[u] & neighbors[v])
+
+    changed = True
+    while changed:
+        changed = False
+        for edge_key in [e for e in edges if support[e] < k - 2]:
+            u, v = edge_key
+            edges.discard(edge_key)
+            changed = True
+            neighbors[u].discard(v)
+            neighbors[v].discard(u)
+            for w in neighbors[u] & neighbors[v]:
+                for other in (canonical(u, w), canonical(v, w)):
+                    if other in edges:
+                        support[other] -= 1
+    return edges
+
+
+def frequent_subgraphs(
+    graphs: list[Graph],
+    min_support: int,
+    motifs: tuple[str, ...] = ("path3", "star3", "triangle", "square",
+                               "diamond"),
+) -> dict[str, int]:
+    """Motifs appearing in at least ``min_support`` of the given graphs.
+
+    Returns ``{motif_name: supporting_graph_count}`` for the motifs that
+    meet the support threshold -- the transaction-style frequent-subgraph
+    counting used in graph mining, restricted to the canonical small
+    motifs of :mod:`repro.algorithms.matching`.
+    """
+    from repro.algorithms.matching import count_motif
+
+    support: dict[str, int] = {}
+    for motif in motifs:
+        count = sum(1 for g in graphs if count_motif(g, motif) > 0)
+        if count >= min_support:
+            support[motif] = count
+    return support

@@ -1,0 +1,107 @@
+"""Diameter estimation (Table 9, row 13).
+
+Exact diameter by all-pairs BFS (small graphs), the classic double-sweep
+lower bound, and an iFUB-style exact-with-early-exit computation that is
+usually far cheaper than all-pairs on real graphs. All operate on hop
+distances over the largest connected component unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.paths import bfs_distances
+from repro.graphs.adjacency import Vertex
+
+
+def eccentricity(graph, vertex: Vertex) -> int:
+    """Largest hop distance from ``vertex`` to any reachable vertex."""
+    distances = bfs_distances(graph, vertex)
+    return max(distances.values(), default=0)
+
+
+def exact_diameter(graph) -> int:
+    """Exact diameter of the reachable structure: max eccentricity over
+    all vertices. O(V*(V+E)); use on small graphs."""
+    best = 0
+    for vertex in graph.vertices():
+        best = max(best, eccentricity(graph, vertex))
+    return best
+
+
+def double_sweep_lower_bound(graph, seed: int = 0) -> int:
+    """The double-sweep heuristic: BFS from a random vertex, then BFS from
+    the farthest vertex found; the second eccentricity is a lower bound
+    (exact on trees)."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0
+    rng = random.Random(seed)
+    start = rng.choice(vertices)
+    first = bfs_distances(graph, start)
+    far = max(first, key=lambda v: first[v])
+    second = bfs_distances(graph, far)
+    return max(second.values(), default=0)
+
+
+def ifub_diameter(graph, seed: int = 0) -> int:
+    """iFUB-style exact diameter for undirected connected graphs.
+
+    Root a BFS at a high-eccentricity vertex (found by double sweep),
+    then process vertices level by level from the deepest: the diameter is
+    found once the current best exceeds twice the next level's depth.
+    Falls back to :func:`exact_diameter` for directed graphs.
+    """
+    if graph.directed:
+        return exact_diameter(graph)
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0
+    rng = random.Random(seed)
+    start = rng.choice(vertices)
+    first = bfs_distances(graph, start)
+    far = max(first, key=lambda v: first[v])
+    root_distances = bfs_distances(graph, far)
+    levels: dict[int, list[Vertex]] = {}
+    for vertex, depth in root_distances.items():
+        levels.setdefault(depth, []).append(vertex)
+    best = 0
+    for depth in sorted(levels, reverse=True):
+        if best >= 2 * depth:
+            return best
+        for vertex in levels[depth]:
+            best = max(best, eccentricity(graph, vertex))
+    return best
+
+
+def effective_diameter(graph, percentile: float = 0.9,
+                       sample_size: int | None = None,
+                       seed: int = 0) -> float:
+    """The 90th-percentile pairwise distance, the robust "diameter" used
+    for heavy-tailed real graphs. Optionally sampled sources."""
+    if not 0 < percentile <= 1:
+        raise ValueError("percentile must be in (0, 1]")
+    vertices = list(graph.vertices())
+    if not vertices:
+        return 0.0
+    rng = random.Random(seed)
+    if sample_size is not None and sample_size < len(vertices):
+        sources = rng.sample(vertices, sample_size)
+    else:
+        sources = vertices
+    distances: list[int] = []
+    for source in sources:
+        for target, distance in bfs_distances(graph, source).items():
+            if target != source:
+                distances.append(distance)
+    if not distances:
+        return 0.0
+    distances.sort()
+    index = max(0, int(percentile * len(distances)) - 1)
+    return float(distances[index])
+
+
+def radius(graph) -> int:
+    """Minimum eccentricity over vertices (small graphs)."""
+    eccentricities = [eccentricity(graph, v) for v in graph.vertices()]
+    return min(eccentricities, default=0)

@@ -1,0 +1,266 @@
+"""Subgraph matching (Table 9: "finding all diamond patterns, SPARQL").
+
+A backtracking subgraph-isomorphism matcher in the VF2 style: candidate
+ordering by pattern connectivity, endpoint-degree pruning, and optional
+vertex/edge label compatibility for property graphs. Also provides motif
+counting for the classic small patterns (triangle, diamond, square) and a
+SPARQL-flavored triple-pattern matcher used by the query layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.graphs.adjacency import Graph, Vertex
+
+Assignment = dict[Vertex, Vertex]
+Compatibility = Callable[[Vertex, Vertex], bool]
+
+
+def find_subgraph_isomorphisms(
+    pattern: Graph,
+    target: Graph,
+    vertex_compatible: Compatibility | None = None,
+    limit: int | None = None,
+) -> Iterator[Assignment]:
+    """All injective mappings pattern -> target preserving pattern edges.
+
+    This is subgraph *monomorphism*: every pattern edge must map onto a
+    target edge, extra target edges are allowed. Directed patterns match
+    edge direction; undirected patterns match either direction.
+
+    Args:
+        pattern: the small query graph.
+        target: the data graph (same directedness as the pattern).
+        vertex_compatible: optional predicate
+            ``(pattern_vertex, target_vertex) -> bool`` for label checks.
+        limit: stop after this many matches.
+    """
+    if pattern.directed != target.directed:
+        raise ValueError("pattern and target must agree on directedness")
+    order = _matching_order(pattern)
+    if not order:
+        yield {}
+        return
+    compatible = vertex_compatible or (lambda p, t: True)
+    target_vertices = list(target.vertices())
+    found = 0
+
+    def candidates(index: int, assignment: Assignment) -> Iterator[Vertex]:
+        pattern_vertex = order[index]
+        # Prefer extending from an already-mapped pattern neighbor.
+        for neighbor in _pattern_neighbors(pattern, pattern_vertex):
+            if neighbor in assignment:
+                anchor = assignment[neighbor]
+                if pattern.directed:
+                    if pattern.has_edge(neighbor, pattern_vertex):
+                        yield from target.out_neighbors(anchor)
+                    else:
+                        yield from target.in_neighbors(anchor)
+                else:
+                    yield from target.neighbors(anchor)
+                return
+        yield from target_vertices
+
+    def feasible(pattern_vertex: Vertex, candidate: Vertex,
+                 assignment: Assignment) -> bool:
+        if candidate in assignment.values():
+            return False
+        if not compatible(pattern_vertex, candidate):
+            return False
+        if target.degree(candidate) < pattern.degree(pattern_vertex):
+            return False
+        for neighbor in _pattern_neighbors(pattern, pattern_vertex):
+            if neighbor not in assignment:
+                continue
+            mapped = assignment[neighbor]
+            if pattern.directed:
+                if (pattern.has_edge(pattern_vertex, neighbor)
+                        and not target.has_edge(candidate, mapped)):
+                    return False
+                if (pattern.has_edge(neighbor, pattern_vertex)
+                        and not target.has_edge(mapped, candidate)):
+                    return False
+            else:
+                if not target.has_edge(candidate, mapped):
+                    return False
+        return True
+
+    def backtrack(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        nonlocal found
+        if limit is not None and found >= limit:
+            return
+        if index == len(order):
+            found += 1
+            yield dict(assignment)
+            return
+        pattern_vertex = order[index]
+        seen: set[Vertex] = set()
+        for candidate in candidates(index, assignment):
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if feasible(pattern_vertex, candidate, assignment):
+                assignment[pattern_vertex] = candidate
+                yield from backtrack(index + 1, assignment)
+                del assignment[pattern_vertex]
+                if limit is not None and found >= limit:
+                    return
+
+    yield from backtrack(0, {})
+
+
+def _pattern_neighbors(pattern: Graph, vertex: Vertex) -> set[Vertex]:
+    return set(pattern.neighbors(vertex))
+
+
+def _matching_order(pattern: Graph) -> list[Vertex]:
+    """Connectivity-first ordering: start at the highest-degree vertex,
+    then repeatedly add the unmatched vertex with most matched neighbors."""
+    vertices = list(pattern.vertices())
+    if not vertices:
+        return []
+    order = [max(vertices, key=pattern.degree)]
+    placed = {order[0]}
+    while len(order) < len(vertices):
+        def key(v: Vertex):
+            attached = sum(
+                1 for w in _pattern_neighbors(pattern, v) if w in placed)
+            return (attached, pattern.degree(v))
+
+        best = max((v for v in vertices if v not in placed), key=key)
+        order.append(best)
+        placed.add(best)
+    return order
+
+
+def count_subgraph_isomorphisms(pattern: Graph, target: Graph,
+                                **kwargs) -> int:
+    return sum(1 for _ in find_subgraph_isomorphisms(pattern, target,
+                                                     **kwargs))
+
+
+def count_motif(target: Graph, motif: str) -> int:
+    """Count unlabeled undirected motifs, each occurrence once.
+
+    Supported motifs: ``triangle``, ``square`` (4-cycle), ``diamond``
+    (4-cycle plus one chord), ``path3`` (3-vertex path), ``star3``
+    (claw). Counts divide the matcher's output by the motif's
+    automorphism count.
+    """
+    pattern, automorphisms = _MOTIFS[motif]()
+    matches = count_subgraph_isomorphisms(pattern, target.to_undirected()
+                                          if target.directed else target)
+    return matches // automorphisms
+
+
+def _triangle() -> tuple[Graph, int]:
+    g = Graph(directed=False)
+    g.add_edges([(0, 1), (1, 2), (2, 0)])
+    return g, 6
+
+
+def _square() -> tuple[Graph, int]:
+    g = Graph(directed=False)
+    g.add_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    return g, 8
+
+
+def _diamond() -> tuple[Graph, int]:
+    g = Graph(directed=False)
+    g.add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    return g, 4
+
+
+def _path3() -> tuple[Graph, int]:
+    g = Graph(directed=False)
+    g.add_edges([(0, 1), (1, 2)])
+    return g, 2
+
+
+def _star3() -> tuple[Graph, int]:
+    g = Graph(directed=False)
+    g.add_edges([(0, 1), (0, 2), (0, 3)])
+    return g, 6
+
+
+_MOTIFS = {
+    "triangle": _triangle,
+    "square": _square,
+    "diamond": _diamond,
+    "path3": _path3,
+    "star3": _star3,
+}
+
+
+# ---------------------------------------------------------------------------
+# Triple patterns (the SPARQL-flavored interface)
+# ---------------------------------------------------------------------------
+
+class Var:
+    """A query variable in a triple pattern."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"?{self.name}"
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+
+def match_triples(
+    graph,
+    triples: list[tuple],
+    edge_label_of: Callable[[int], str | None] | None = None,
+) -> Iterator[dict[str, Vertex]]:
+    """Match a conjunction of ``(subject, predicate, object)`` patterns.
+
+    Subjects/objects are constants or :class:`Var`; predicates are edge
+    labels (string constants, :class:`Var`, or ``None`` for "any edge").
+    Works on a :class:`~repro.graphs.property_graph.PropertyGraph` (labels
+    from the graph) or any graph when ``edge_label_of`` is supplied.
+    """
+    if edge_label_of is None:
+        label_of = getattr(graph, "edge_label", None)
+        if label_of is None:
+            label_of = lambda edge_id: None  # noqa: E731 - tiny adapter
+    else:
+        label_of = edge_label_of
+
+    edges = [(edge.u, label_of(edge.edge_id), edge.v)
+             for edge in graph.edges()]
+    if not graph.directed:
+        edges.extend((v, label, u) for u, label, v in list(edges))
+
+    def solve(index: int, binding: dict[str, Vertex]):
+        if index == len(triples):
+            yield dict(binding)
+            return
+        subject, predicate, obj = triples[index]
+        for u, label, v in edges:
+            trial = dict(binding)
+            if not _bind(trial, subject, u):
+                continue
+            if not _bind(trial, obj, v):
+                continue
+            if predicate is not None and not _bind(trial, predicate, label):
+                continue
+            yield from solve(index + 1, trial)
+
+    yield from solve(0, {})
+
+
+def _bind(binding: dict[str, Vertex], term, value) -> bool:
+    if isinstance(term, Var):
+        if term.name in binding:
+            return binding[term.name] == value
+        binding[term.name] = value
+        return True
+    return term == value

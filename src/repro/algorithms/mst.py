@@ -1,0 +1,99 @@
+"""Minimum spanning trees (Table 9, row 11).
+
+Kruskal (union-find) and Prim (binary heap) over undirected weighted
+graphs. On disconnected graphs both return a minimum spanning *forest*.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.algorithms.components import UnionFind
+from repro.graphs.adjacency import Edge, Graph
+
+
+def _require_undirected(graph) -> None:
+    if graph.directed:
+        raise ValueError(
+            "minimum spanning tree requires an undirected graph; "
+            "call to_undirected() first")
+
+
+def kruskal_mst(graph) -> list[Edge]:
+    """MST/forest edges by Kruskal's algorithm (stable for equal weights:
+    insertion order breaks ties)."""
+    _require_undirected(graph)
+    uf = UnionFind(graph.vertices())
+    chosen: list[Edge] = []
+    for edge in sorted(graph.edges(), key=lambda e: (e.weight, e.edge_id)):
+        if edge.u == edge.v:
+            continue
+        if uf.union(edge.u, edge.v):
+            chosen.append(edge)
+    return chosen
+
+
+def prim_mst(graph) -> list[Edge]:
+    """MST/forest edges by Prim's algorithm with a lazy heap."""
+    _require_undirected(graph)
+    chosen: list[Edge] = []
+    visited: set = set()
+    for start in graph.vertices():
+        if start in visited:
+            continue
+        visited.add(start)
+        heap: list[tuple[float, int, Edge, object]] = []
+        _push_incident(graph, start, visited, heap)
+        while heap:
+            _, _, edge, frontier_vertex = heapq.heappop(heap)
+            if frontier_vertex in visited:
+                continue
+            visited.add(frontier_vertex)
+            chosen.append(edge)
+            _push_incident(graph, frontier_vertex, visited, heap)
+    return chosen
+
+
+def _push_incident(graph, vertex, visited, heap) -> None:
+    for edge in graph.incident_edges(vertex):
+        other = edge.other(vertex)
+        if other not in visited:
+            heapq.heappush(heap, (edge.weight, edge.edge_id, edge, other))
+
+
+def mst_weight(edges: list[Edge]) -> float:
+    return sum(edge.weight for edge in edges)
+
+
+def maximum_spanning_tree(graph) -> list[Edge]:
+    """Maximum-weight spanning tree via negated Kruskal."""
+    _require_undirected(graph)
+    uf = UnionFind(graph.vertices())
+    chosen: list[Edge] = []
+    for edge in sorted(graph.edges(), key=lambda e: (-e.weight, e.edge_id)):
+        if edge.u == edge.v:
+            continue
+        if uf.union(edge.u, edge.v):
+            chosen.append(edge)
+    return chosen
+
+
+def is_spanning_forest(graph, edges: list[Edge]) -> bool:
+    """Check a candidate solution: acyclic and spanning each component."""
+    from repro.algorithms.components import connected_components
+
+    uf = UnionFind(graph.vertices())
+    for edge in edges:
+        if not uf.union(edge.u, edge.v):
+            return False  # cycle
+    expected_trees = len(connected_components(graph))
+    return uf.component_count() == expected_trees
+
+
+def tree_from_edges(graph, edges: list[Edge]) -> Graph:
+    """Materialize MST edges as a graph over the same vertex set."""
+    tree = Graph(directed=False, multigraph=False)
+    tree.add_vertices(graph.vertices())
+    for edge in edges:
+        tree.add_edge(edge.u, edge.v, weight=edge.weight)
+    return tree

@@ -1,0 +1,268 @@
+"""Shortest paths and reachability (Table 9, rows 3 and 7).
+
+Unweighted distances use BFS; weighted distances use Dijkstra (binary
+heap) with non-negative weights enforced; point-to-point queries get a
+bidirectional BFS. Reachability offers both the one-off check and an
+index for repeated queries (transitive closure over SCC condensation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterator
+
+from repro.errors import VertexNotFound
+from repro.graphs.adjacency import Vertex
+
+
+def bfs_distances(graph, source: Vertex) -> dict[Vertex, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in distances:
+                distances[neighbor] = distances[vertex] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def shortest_path(graph, source: Vertex, target: Vertex) -> list[Vertex] | None:
+    """An unweighted shortest path as a vertex list, or ``None``."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    if target not in graph:
+        raise VertexNotFound(target)
+    if source == target:
+        return [source]
+    parent: dict[Vertex, Vertex] = {}
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor in seen:
+                continue
+            parent[neighbor] = vertex
+            if neighbor == target:
+                return _reconstruct(parent, source, target)
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return None
+
+
+def _reconstruct(parent, source, target) -> list[Vertex]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def bidirectional_shortest_path(
+    graph, source: Vertex, target: Vertex,
+) -> list[Vertex] | None:
+    """Point-to-point BFS from both ends; much faster on expander-like
+    graphs. Directed graphs walk out-edges forward and in-edges backward."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    if target not in graph:
+        raise VertexNotFound(target)
+    if source == target:
+        return [source]
+    forward_parent: dict[Vertex, Vertex | None] = {source: None}
+    backward_parent: dict[Vertex, Vertex | None] = {target: None}
+    forward_frontier = [source]
+    backward_frontier = [target]
+    while forward_frontier and backward_frontier:
+        if len(forward_frontier) <= len(backward_frontier):
+            meet = _expand(graph, forward_frontier, forward_parent,
+                           backward_parent, forward=True)
+        else:
+            meet = _expand(graph, backward_frontier, backward_parent,
+                           forward_parent, forward=False)
+        if meet is not None:
+            return _join(forward_parent, backward_parent, meet)
+    return None
+
+
+def _expand(graph, frontier, parents, other_parents, forward):
+    next_frontier = []
+    for vertex in frontier:
+        neighbors = (graph.out_neighbors(vertex) if forward
+                     else graph.in_neighbors(vertex))
+        for neighbor in neighbors:
+            if neighbor in parents:
+                continue
+            parents[neighbor] = vertex
+            if neighbor in other_parents:
+                return neighbor
+            next_frontier.append(neighbor)
+    frontier[:] = next_frontier
+    return None
+
+
+def _join(forward_parent, backward_parent, meet) -> list[Vertex]:
+    path = []
+    vertex = meet
+    while vertex is not None:
+        path.append(vertex)
+        vertex = forward_parent[vertex]
+    path.reverse()
+    vertex = backward_parent[meet]
+    while vertex is not None:
+        path.append(vertex)
+        vertex = backward_parent[vertex]
+    return path
+
+
+def dijkstra(graph, source: Vertex,
+             target: Vertex | None = None) -> dict[Vertex, float]:
+    """Weighted single-source distances (non-negative edge weights).
+
+    Stops early when ``target`` is given and settled. Parallel edges use
+    the cheapest weight (see ``Graph.edge_weight``).
+    """
+    if source not in graph:
+        raise VertexNotFound(source)
+    if target is not None and target not in graph:
+        raise VertexNotFound(target)
+    distances: dict[Vertex, float] = {}
+    heap: list[tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        distance, _, vertex = heapq.heappop(heap)
+        if vertex in distances:
+            continue
+        distances[vertex] = distance
+        if vertex == target:
+            break
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor in distances:
+                continue
+            weight = graph.edge_weight(vertex, neighbor)
+            if weight < 0:
+                raise ValueError(
+                    f"negative edge weight {weight} on "
+                    f"{vertex!r}->{neighbor!r}; Dijkstra requires >= 0")
+            heapq.heappush(heap, (distance + weight, counter, neighbor))
+            counter += 1
+    return distances
+
+
+def dijkstra_path(graph, source: Vertex, target: Vertex,
+                  ) -> tuple[list[Vertex], float] | None:
+    """Cheapest path and its cost, or ``None`` when unreachable."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    if target not in graph:
+        raise VertexNotFound(target)
+    parent: dict[Vertex, Vertex] = {}
+    settled: set[Vertex] = set()
+    best: dict[Vertex, float] = {source: 0.0}
+    heap: list[tuple[float, int, Vertex]] = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        distance, _, vertex = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex == target:
+            return _reconstruct(parent, source, target), distance
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor in settled:
+                continue
+            weight = graph.edge_weight(vertex, neighbor)
+            if weight < 0:
+                raise ValueError("Dijkstra requires non-negative weights")
+            candidate = distance + weight
+            if candidate < best.get(neighbor, float("inf")):
+                best[neighbor] = candidate
+                parent[neighbor] = vertex
+                heapq.heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+    return None
+
+
+def k_shortest_path_lengths(graph, source: Vertex, k: int) -> list[float]:
+    """The k smallest distinct path costs leaving ``source`` (weighted,
+    simple loopless relaxation of Yen for lengths only)."""
+    distances = sorted(dijkstra(graph, source).values())
+    return distances[:k]
+
+
+def is_reachable(graph, source: Vertex, target: Vertex) -> bool:
+    """Table 9 reachability query: can ``target`` be reached from
+    ``source`` following edge direction?"""
+    if source not in graph:
+        raise VertexNotFound(source)
+    if target not in graph:
+        raise VertexNotFound(target)
+    if source == target:
+        return True
+    seen = {source}
+    stack = [source]
+    while stack:
+        vertex = stack.pop()
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor == target:
+                return True
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return False
+
+
+class ReachabilityIndex:
+    """Precomputed reachability for repeated queries.
+
+    Builds the SCC condensation and its descendant sets; queries are then
+    two dictionary lookups plus a set membership test. Suitable for DAG-ish
+    graphs where the condensation is small.
+    """
+
+    def __init__(self, graph):
+        from repro.algorithms.components import strongly_connected_components
+        from repro.algorithms.traversal import topological_order
+        from repro.graphs.adjacency import Graph
+
+        sccs = strongly_connected_components(graph)
+        self._component_of: dict[Vertex, int] = {}
+        for index, component in enumerate(sccs):
+            for vertex in component:
+                self._component_of[vertex] = index
+        dag = Graph(directed=True)
+        dag.add_vertices(range(len(sccs)))
+        seen_pairs = set()
+        for edge in graph.edges():
+            a = self._component_of[edge.u]
+            b = self._component_of[edge.v]
+            if a != b and (a, b) not in seen_pairs:
+                seen_pairs.add((a, b))
+                dag.add_edge(a, b)
+        # Descendant sets in reverse topological order (children first).
+        self._descendants: dict[int, frozenset[int]] = {}
+        for node in reversed(topological_order(dag)):
+            reach = {node}
+            for child in dag.out_neighbors(node):
+                reach |= self._descendants[child]
+            self._descendants[node] = frozenset(reach)
+
+    def reachable(self, source: Vertex, target: Vertex) -> bool:
+        try:
+            a = self._component_of[source]
+            b = self._component_of[target]
+        except KeyError as exc:
+            raise VertexNotFound(exc.args[0]) from None
+        return b in self._descendants[a]
+
+
+def all_pairs_bfs_distances(graph) -> Iterator[tuple[Vertex, dict[Vertex, int]]]:
+    """Stream of (source, distances) for every vertex; use on small
+    graphs only (O(V*(V+E)))."""
+    for source in graph.vertices():
+        yield source, bfs_distances(graph, source)

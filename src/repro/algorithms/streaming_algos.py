@@ -1,0 +1,211 @@
+"""Streaming and incremental computations (Section 4.3).
+
+Participants described incremental/streaming runs of connected
+components, k-core, and hill climbing, plus graph-level statistics and
+aggregations over streams. This module provides:
+
+* :class:`StreamingTriangleCounter` -- reservoir-sampled triangle count
+  estimation over an edge stream (TRIEST-BASE).
+* :class:`StreamingDegreeStats` -- exact running degree statistics.
+* :class:`IncrementalKCore` -- k-core membership maintained under edge
+  insertions.
+* :func:`hill_climb` -- generic local-search maximization used by the
+  streaming hill-climbing answer and by influence maximization.
+
+(Insert-only incremental connected components live in
+:mod:`repro.algorithms.components`.)
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from repro.graphs.adjacency import Vertex
+
+State = TypeVar("State")
+
+
+class StreamingTriangleCounter:
+    """TRIEST-BASE: estimate the global triangle count of an edge stream
+    with a fixed-size edge reservoir.
+
+    The estimate is unbiased; accuracy improves with reservoir size. With
+    a reservoir at least as large as the stream, the count is exact.
+    """
+
+    def __init__(self, reservoir_size: int, seed: int = 0):
+        if reservoir_size < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self.reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+        self._edges: list[tuple[Vertex, Vertex]] = []
+        self._adjacency: dict[Vertex, set[Vertex]] = defaultdict(set)
+        self._stream_length = 0
+        self._sample_triangles = 0
+
+    def push(self, u: Vertex, v: Vertex) -> None:
+        """Observe one undirected edge arrival."""
+        if u == v:
+            return
+        self._stream_length += 1
+        if len(self._edges) < self.reservoir_size:
+            self._insert(u, v)
+            return
+        # Reservoir sampling: keep with probability M/t.
+        keep_index = self._rng.randrange(self._stream_length)
+        if keep_index < self.reservoir_size:
+            self._remove(*self._edges[keep_index])
+            self._edges[keep_index] = (u, v)
+            self._insert(u, v, replace_index=keep_index)
+
+    def _insert(self, u: Vertex, v: Vertex,
+                replace_index: int | None = None) -> None:
+        self._sample_triangles += len(
+            self._adjacency[u] & self._adjacency[v])
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        if replace_index is None:
+            self._edges.append((u, v))
+
+    def _remove(self, u: Vertex, v: Vertex) -> None:
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._sample_triangles -= len(
+            self._adjacency[u] & self._adjacency[v])
+
+    def estimate(self) -> float:
+        """Current estimate of the stream's total triangle count."""
+        t = self._stream_length
+        m = self.reservoir_size
+        if t <= m:
+            return float(self._sample_triangles)
+        scale = (t / m) * ((t - 1) / (m - 1)) * ((t - 2) / (m - 2))
+        return self._sample_triangles * scale
+
+    @property
+    def stream_length(self) -> int:
+        return self._stream_length
+
+
+class StreamingDegreeStats:
+    """Exact running vertex/edge counts and degree moments of a stream."""
+
+    def __init__(self):
+        self._degree: dict[Vertex, int] = defaultdict(int)
+        self._edges = 0
+
+    def push(self, u: Vertex, v: Vertex) -> None:
+        self._degree[u] += 1
+        self._degree[v] += 1
+        self._edges += 1
+
+    def snapshot(self) -> dict[str, float]:
+        degrees = list(self._degree.values())
+        n = len(degrees)
+        return {
+            "vertices": float(n),
+            "edges": float(self._edges),
+            "mean_degree": sum(degrees) / n if n else 0.0,
+            "max_degree": float(max(degrees, default=0)),
+        }
+
+
+class IncrementalKCore:
+    """Maintain the k-core under edge insertions.
+
+    On every insertion the affected region is locally re-peeled: only
+    vertices whose core membership can change (a bounded neighborhood of
+    the new edge) are revisited, which is the standard incremental k-core
+    maintenance strategy.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._adjacency: dict[Vertex, set[Vertex]] = defaultdict(set)
+        self._core: set[Vertex] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        if u == v:
+            return
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._recompute_from({u, v})
+
+    def _recompute_from(self, changed: set[Vertex]) -> None:
+        # Candidate region: vertices not in the core that might now join.
+        frontier = set(changed)
+        candidate = set()
+        while frontier:
+            vertex = frontier.pop()
+            if vertex in candidate:
+                continue
+            if len(self._adjacency[vertex]) >= self.k:
+                candidate.add(vertex)
+                for neighbor in self._adjacency[vertex]:
+                    if neighbor not in candidate:
+                        frontier.add(neighbor)
+        region = candidate | self._core
+        # Peel the region to the k-core fixed point.
+        degree = {
+            v: len(self._adjacency[v] & region) for v in region}
+        removal = [v for v in region if degree[v] < self.k]
+        alive = set(region)
+        while removal:
+            vertex = removal.pop()
+            if vertex not in alive:
+                continue
+            alive.discard(vertex)
+            for neighbor in self._adjacency[vertex]:
+                if neighbor in alive:
+                    degree[neighbor] -= 1
+                    if degree[neighbor] < self.k:
+                        removal.append(neighbor)
+        self._core = alive
+
+    def core(self) -> set[Vertex]:
+        return set(self._core)
+
+    def in_core(self, vertex: Vertex) -> bool:
+        return vertex in self._core
+
+
+def hill_climb(
+    initial: State,
+    neighbors: Callable[[State], Iterable[State]],
+    score: Callable[[State], float],
+    max_steps: int = 1000,
+) -> tuple[State, float]:
+    """Generic greedy hill climbing: move to the best-scoring neighbor
+    until no neighbor improves. Returns ``(state, score)``."""
+    current = initial
+    current_score = score(current)
+    for _ in range(max_steps):
+        best_neighbor = None
+        best_score = current_score
+        for candidate in neighbors(current):
+            candidate_score = score(candidate)
+            if candidate_score > best_score:
+                best_neighbor = candidate
+                best_score = candidate_score
+        if best_neighbor is None:
+            break
+        current, current_score = best_neighbor, best_score
+    return current, current_score
+
+
+def streaming_connected_components(
+    edges: Iterable[tuple[Hashable, Hashable]],
+):
+    """Convenience wrapper: feed a stream into
+    :class:`~repro.algorithms.components.IncrementalComponents` and return
+    the final structure."""
+    from repro.algorithms.components import IncrementalComponents
+
+    tracker = IncrementalComponents()
+    for u, v in edges:
+        tracker.add_edge(u, v)
+    return tracker

@@ -1,0 +1,185 @@
+"""Fundamental traversals: BFS, DFS, and neighborhood queries.
+
+Table 11 of the survey shows most participants use breadth-first search,
+depth-first search, or both; Table 9 puts *neighborhood queries* ("finding
+2-degree neighbors of a vertex") second among all graph computations.
+
+All traversals accept any object implementing the read API of
+:class:`~repro.graphs.adjacency.Graph` (including
+:class:`~repro.graphs.views.GraphView`), and follow out-edges; pass
+``graph.reverse()`` or use in-neighbors explicitly for backward walks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.errors import VertexNotFound
+from repro.graphs.adjacency import Vertex
+
+
+def bfs_order(graph, source: Vertex) -> Iterator[Vertex]:
+    """Vertices in breadth-first order from ``source``."""
+    for vertex, _ in bfs_with_depth(graph, source):
+        yield vertex
+
+
+def bfs_with_depth(graph, source: Vertex) -> Iterator[tuple[Vertex, int]]:
+    """Breadth-first traversal yielding ``(vertex, depth)`` pairs."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    seen = {source}
+    queue = deque([(source, 0)])
+    while queue:
+        vertex, depth = queue.popleft()
+        yield vertex, depth
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append((neighbor, depth + 1))
+
+
+def bfs_tree(graph, source: Vertex) -> dict[Vertex, Vertex | None]:
+    """Parent pointers of the BFS tree (source maps to ``None``)."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    parent: dict[Vertex, Vertex | None] = {source: None}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in parent:
+                parent[neighbor] = vertex
+                queue.append(neighbor)
+    return parent
+
+
+def bfs_layers(graph, source: Vertex) -> list[list[Vertex]]:
+    """Vertices grouped by BFS depth."""
+    layers: list[list[Vertex]] = []
+    for vertex, depth in bfs_with_depth(graph, source):
+        if depth == len(layers):
+            layers.append([])
+        layers[depth].append(vertex)
+    return layers
+
+
+def dfs_preorder(graph, source: Vertex) -> Iterator[Vertex]:
+    """Iterative depth-first preorder from ``source``."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    seen: set[Vertex] = set()
+    stack = [source]
+    while stack:
+        vertex = stack.pop()
+        if vertex in seen:
+            continue
+        seen.add(vertex)
+        yield vertex
+        # Reversed so the first-listed neighbor is visited first.
+        stack.extend(reversed(list(graph.out_neighbors(vertex))))
+
+
+def dfs_postorder(graph, source: Vertex) -> Iterator[Vertex]:
+    """Iterative depth-first postorder from ``source``."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    seen = {source}
+    stack: list[tuple[Vertex, Iterator[Vertex]]] = [
+        (source, iter(graph.out_neighbors(source)))]
+    while stack:
+        vertex, neighbors = stack[-1]
+        advanced = False
+        for neighbor in neighbors:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append((neighbor, iter(graph.out_neighbors(neighbor))))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            yield vertex
+
+
+def dfs_edges(graph, source: Vertex) -> Iterator[tuple[Vertex, Vertex]]:
+    """Tree edges of the DFS from ``source`` in visit order."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    seen = {source}
+    stack: list[tuple[Vertex, Iterator[Vertex]]] = [
+        (source, iter(graph.out_neighbors(source)))]
+    while stack:
+        vertex, neighbors = stack[-1]
+        advanced = False
+        for neighbor in neighbors:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                yield vertex, neighbor
+                stack.append((neighbor, iter(graph.out_neighbors(neighbor))))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+
+
+def topological_order(graph) -> list[Vertex]:
+    """Kahn topological sort; raises ``ValueError`` on a cycle."""
+    if not graph.directed:
+        raise ValueError("topological order requires a directed graph")
+    in_degree = {v: 0 for v in graph.vertices()}
+    for v in graph.vertices():
+        for w in graph.out_neighbors(v):
+            in_degree[w] += 1
+    ready = deque(v for v, d in in_degree.items() if d == 0)
+    order = []
+    while ready:
+        vertex = ready.popleft()
+        order.append(vertex)
+        for neighbor in graph.out_neighbors(vertex):
+            in_degree[neighbor] -= 1
+            if in_degree[neighbor] == 0:
+                ready.append(neighbor)
+    if len(order) != len(in_degree):
+        raise ValueError("graph contains a cycle")
+    return order
+
+
+def k_hop_neighbors(graph, source: Vertex, k: int) -> set[Vertex]:
+    """The Table 9 neighborhood query: vertices within ``k`` hops
+    (excluding the source itself)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result = {
+        vertex
+        for vertex, depth in bfs_with_depth(graph, source)
+        if 0 < depth <= k
+    }
+    return result
+
+
+def neighborhood_at_exact_distance(graph, source: Vertex, k: int) -> set[Vertex]:
+    """Vertices at BFS distance exactly ``k``."""
+    return {
+        vertex
+        for vertex, depth in bfs_with_depth(graph, source)
+        if depth == k
+    }
+
+
+def walk(graph, source: Vertex, steps: int,
+         choose: Callable[[list[Vertex]], Vertex]) -> list[Vertex]:
+    """A generic guided walk: at each step ``choose`` picks the next vertex
+    among the out-neighbors. Stops early at a sink. Used by sampling-based
+    visualization and by tests as a traversal building block."""
+    if source not in graph:
+        raise VertexNotFound(source)
+    path = [source]
+    current = source
+    for _ in range(steps):
+        neighbors = list(graph.out_neighbors(current))
+        if not neighbors:
+            break
+        current = choose(neighbors)
+        path.append(current)
+    return path

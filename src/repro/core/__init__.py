@@ -1,0 +1,23 @@
+"""Survey-study core: tabulation, table reproduction, comparison and
+reporting."""
+
+from repro.core.compare import (
+    CellDiff,
+    TableComparison,
+    compare_tables,
+    rank_agreement,
+    top_k_preserved,
+)
+from repro.core.report import (
+    render_comparison,
+    render_side_by_side,
+    render_table,
+    summary_line,
+)
+from repro.core.tables import reproduce_survey_tables
+
+from repro.core.insights import (  # noqa: E402 (Section 1 findings)
+    Finding,
+    derive_findings,
+    render_findings,
+)

@@ -1,0 +1,121 @@
+"""Comparison metrics between a published table and a reproduced table.
+
+The reproduction claim of this project is "shape holds": for the survey
+tables the marginals match exactly; for the review tables (18-20) the
+classifier may disagree with the planted counts by small amounts, so we
+also provide rank agreement and relative-error summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.table_model import Table
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    row: str
+    column: str
+    expected: int | None
+    actual: int | None
+
+    @property
+    def abs_diff(self) -> int:
+        if self.expected is None or self.actual is None:
+            return 0
+        return abs(self.expected - self.actual)
+
+
+@dataclass(frozen=True)
+class TableComparison:
+    table_id: str
+    diffs: tuple[CellDiff, ...]
+    cells: int
+
+    @property
+    def exact(self) -> bool:
+        return not self.diffs
+
+    @property
+    def max_abs_diff(self) -> int:
+        return max((d.abs_diff for d in self.diffs), default=0)
+
+    @property
+    def total_abs_diff(self) -> int:
+        return sum(d.abs_diff for d in self.diffs)
+
+    @property
+    def matching_cells(self) -> int:
+        return self.cells - len(self.diffs)
+
+
+def compare_tables(expected: Table, actual: Table) -> TableComparison:
+    """Cell-by-cell diff of two tables with identical layout.
+
+    Raises ``ValueError`` when the layouts (row labels or columns) differ,
+    because that signals a reproduction bug rather than a count mismatch.
+    """
+    if expected.columns != actual.columns:
+        raise ValueError(
+            f"table {expected.table_id}: column mismatch "
+            f"{expected.columns} vs {actual.columns}")
+    if expected.row_labels() != actual.row_labels():
+        raise ValueError(
+            f"table {expected.table_id}: row-label mismatch "
+            f"{expected.row_labels()} vs {actual.row_labels()}")
+    diffs = []
+    cells = 0
+    for label in expected.row_labels():
+        for column in expected.columns:
+            cells += 1
+            exp = expected.cell(label, column)
+            act = actual.cell(label, column)
+            if exp != act:
+                diffs.append(CellDiff(label, column, exp, act))
+    return TableComparison(
+        table_id=expected.table_id, diffs=tuple(diffs), cells=cells)
+
+
+def rank_agreement(expected: Table, actual: Table, column: str) -> float:
+    """Kendall-tau-style agreement of the row ranking induced by a column.
+
+    Returns the fraction of row pairs ordered identically in both tables
+    (ties count as agreeing when tied in both). 1.0 means the "who is
+    bigger than whom" story of the column is fully preserved.
+    """
+    labels = [lb for lb in expected.row_labels()
+              if expected.cell(lb, column) is not None
+              and actual.cell(lb, column) is not None]
+    if len(labels) < 2:
+        return 1.0
+    agreeing = 0
+    pairs = 0
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            pairs += 1
+            exp_order = _sign(expected.cell(a, column) - expected.cell(b, column))
+            act_order = _sign(actual.cell(a, column) - actual.cell(b, column))
+            agreeing += exp_order == act_order
+    return agreeing / pairs
+
+
+def _sign(value: int) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def top_k_preserved(expected: Table, actual: Table, column: str, k: int) -> bool:
+    """True iff the top-``k`` rows by ``column`` are the same set."""
+
+    def top(table: Table) -> set[str]:
+        ranked = sorted(
+            (lb for lb in table.row_labels()
+             if table.cell(lb, column) is not None),
+            key=lambda lb: -table.cell(lb, column))
+        return set(ranked[:k])
+
+    return top(expected) == top(actual)

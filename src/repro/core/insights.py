@@ -1,0 +1,201 @@
+"""The paper's headline findings, derived programmatically.
+
+Section 1 of the paper summarizes five major findings (variety, ubiquity
+of very large graphs, scalability, visualization, prevalence of RDBMSes)
+plus several secondary observations. This module re-derives each from a
+population/literature recount, so the qualitative claims -- not just the
+table cells -- are checked artifacts of the reproduction.
+
+Each :class:`Finding` carries the paper's claim, the measured evidence,
+and whether it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import tabulate
+from repro.data import taxonomy
+from repro.survey.respondent import Population
+from repro.synthesis.literature import LiteratureCorpus
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checked claim."""
+
+    name: str
+    claim: str
+    evidence: str
+    holds: bool
+
+
+def derive_findings(
+    population: Population,
+    literature: LiteratureCorpus,
+) -> list[Finding]:
+    """Re-derive every Section 1 finding from the data."""
+    return [
+        _variety(population),
+        _ubiquity_of_large_graphs(population),
+        _scalability_top_challenge(population),
+        _visualization_finding(population),
+        _rdbms_prevalence(population),
+        _ml_prevalence(population),
+        _product_graphs(population, literature),
+        _dgps_inversion(population, literature),
+        _connected_components_most_popular(population),
+    ]
+
+
+def _variety(population: Population) -> Finding:
+    kinds = tabulate.count_multiselect(
+        population, "entities", taxonomy.ENTITY_KINDS)
+    used = [k for k, counts in kinds.items() if counts["Total"] > 0]
+    nh = tabulate.count_multiselect(
+        population, "non_human_categories", taxonomy.NON_HUMAN_CATEGORIES)
+    nh_used = [k for k, counts in nh.items() if counts["Total"] > 0]
+    holds = len(used) == 4 and len(nh_used) == 7
+    return Finding(
+        name="variety",
+        claim="Graphs represent a very wide variety of entities",
+        evidence=(f"all {len(used)} entity kinds and all {len(nh_used)} "
+                  f"non-human categories appear in responses"),
+        holds=holds)
+
+
+def _ubiquity_of_large_graphs(population: Population) -> Finding:
+    big = [r for r in population if ">1B" in r.edge_buckets]
+    org_sizes = {r.org_size for r in big if r.org_size is not None}
+    holds = len(big) == 20 and len(org_sizes) >= 4
+    return Finding(
+        name="ubiquity_of_very_large_graphs",
+        claim=("Many graphs exceed a billion edges, across organizations "
+               "of every scale"),
+        evidence=(f"{len(big)} participants with >1B-edge graphs from "
+                  f"{len(org_sizes)} distinct organization sizes"),
+        holds=holds)
+
+
+def _scalability_top_challenge(population: Population) -> Finding:
+    counts = tabulate.count_multiselect(
+        population, "challenges", taxonomy.CHALLENGES)
+    ranking = tabulate.rank_by(counts)
+    top = ranking[0]
+    second_set = set(ranking[1:3])
+    holds = (top == "Scalability"
+             and second_set == {"Visualization",
+                                "Query Languages / Programming APIs"})
+    return Finding(
+        name="scalability",
+        claim="Scalability is the most pressing challenge",
+        evidence=(f"challenge ranking: {ranking[:3]} "
+                  f"({counts[top]['Total']} selections for the leader)"),
+        holds=holds)
+
+
+def _visualization_finding(population: Population) -> Finding:
+    non_query = tabulate.count_multiselect(
+        population, "non_query_software", taxonomy.NON_QUERY_SOFTWARE)
+    top_software = tabulate.rank_by(non_query)[0]
+    challenge_counts = tabulate.count_multiselect(
+        population, "challenges", taxonomy.CHALLENGES)
+    viz_rank = tabulate.rank_by(challenge_counts).index("Visualization")
+    holds = top_software == "Graph Visualization" and viz_rank <= 2
+    return Finding(
+        name="visualization",
+        claim=("Visualization is the top non-query task and a top-3 "
+               "challenge"),
+        evidence=(f"top non-query software: {top_software}; "
+                  f"visualization challenge rank: {viz_rank + 1}"),
+        holds=holds)
+
+
+def _rdbms_prevalence(population: Population) -> Finding:
+    counts = tabulate.count_multiselect(
+        population, "query_software", taxonomy.QUERY_SOFTWARE)
+    rdbms = counts["Relational Database Management System"]["Total"]
+    overlap = tabulate.overlap(
+        population, "query_software",
+        "Relational Database Management System", "Graph Database System")
+    holds = rdbms >= 20 and overlap >= 16
+    return Finding(
+        name="rdbms_prevalence",
+        claim="Relational databases still play an important role",
+        evidence=(f"{rdbms} RDBMS users, {overlap} of whom also use a "
+                  f"graph database system"),
+        holds=holds)
+
+
+def _ml_prevalence(population: Population) -> Finding:
+    users = tabulate.union_count(
+        population, ("ml_computations", "ml_problems"))["Total"]
+    holds = users >= 61
+    return Finding(
+        name="ml_prevalence",
+        claim="Machine learning on graphs is widespread",
+        evidence=f"{users} of {len(population)} participants use ML",
+        holds=holds)
+
+
+def _product_graphs(population: Population,
+                    literature: LiteratureCorpus) -> Finding:
+    practitioner_nh = tabulate.count_multiselect(
+        population, "non_human_categories", taxonomy.NON_HUMAN_CATEGORIES)
+    top = max(taxonomy.NON_HUMAN_CATEGORIES,
+              key=lambda c: practitioner_nh[c]["P"])
+    academic = literature.count("non_human_categories", "NH-P")
+    holds = top == "NH-P" and academic <= 2
+    return Finding(
+        name="product_graphs",
+        claim=("Product-order-transaction data is practitioners' top "
+               "non-human entity yet nearly absent from research"),
+        evidence=(f"top practitioner category: {top} "
+                  f"({practitioner_nh['NH-P']['P']} practitioners) vs "
+                  f"{academic} academic papers"),
+        holds=holds)
+
+
+def _dgps_inversion(population: Population,
+                    literature: LiteratureCorpus) -> Finding:
+    users = tabulate.count_multiselect(
+        population, "query_software", taxonomy.QUERY_SOFTWARE)
+    graphdb_users = users["Graph Database System"]["Total"]
+    dgps_users = users["Distributed Graph Processing Systems"]["Total"]
+    dgps_papers = literature.count(
+        "query_software", "Distributed Graph Processing Systems")
+    graphdb_papers = literature.count(
+        "query_software", "Graph Database System")
+    holds = (graphdb_users > dgps_users
+             and dgps_papers > graphdb_papers)
+    return Finding(
+        name="dgps_inversion",
+        claim=("Graph databases dominate usage while DGPS systems "
+               "dominate research"),
+        evidence=(f"users: {graphdb_users} graph-DB vs {dgps_users} DGPS; "
+                  f"papers: {graphdb_papers} graph-DB vs "
+                  f"{dgps_papers} DGPS"),
+        holds=holds)
+
+
+def _connected_components_most_popular(population: Population) -> Finding:
+    counts = tabulate.count_multiselect(
+        population, "graph_computations", taxonomy.GRAPH_COMPUTATIONS)
+    top = tabulate.rank_by(counts)[0]
+    holds = top == "Finding Connected Components"
+    return Finding(
+        name="connected_components",
+        claim="Finding connected components is the most popular "
+              "computation",
+        evidence=f"top computation: {top} ({counts[top]['Total']} users)",
+        holds=holds)
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """A readable report of every finding."""
+    lines = []
+    for finding in findings:
+        status = "HOLDS" if finding.holds else "FAILS"
+        lines.append(f"[{status}] {finding.name}: {finding.claim}")
+        lines.append(f"        {finding.evidence}")
+    return "\n".join(lines)

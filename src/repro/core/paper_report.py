@@ -1,0 +1,157 @@
+"""Full paper-vs-measured report generation.
+
+Turns one reproduction run into the EXPERIMENTS.md document: the summary
+table over all 26 published tables, the qualitative findings, the
+documented reconstruction notes, and the per-table side-by-side detail.
+``python -m repro experiments`` writes it from the command line.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.compare import compare_tables
+from repro.core.insights import derive_findings
+from repro.core.report import render_side_by_side
+from repro.core.tables import reproduce_survey_tables
+from repro.data.paper_tables import paper_table
+from repro.data.table_model import Table
+from repro.mining.pipeline import run_review
+from repro.mining.records import ReviewCorpus
+from repro.survey.respondent import Population
+from repro.synthesis.literature import LiteratureCorpus
+
+RECONSTRUCTION_NOTES = """\
+## Reconstruction notes (documented deviations)
+
+1. **Table 1, Flink (Gelly) user count** — illegible in the source text;
+   recorded as 24 so the published DGPS group total (39) holds.
+2. **Table 15, bottom four rows** — garbled in the source text; the
+   twelve printed numbers admit exactly one Total = R + P partition,
+   which is used (see `repro/data/paper_tables.py`).
+3. **Table 6** — the published row sums to 19 for 20 big-graph
+   participants; modelled as one participant skipping the org-size
+   question (all survey questions were optional).
+4. **Table 15 top-3 cap** — the published marginals sum to 272 > 3 x 89,
+   so the nominal "top 3" constraint cannot hold; challenges are
+   modelled as plain multi-select.
+"""
+
+
+def reproduce_all_tables(
+    population: Population,
+    literature: LiteratureCorpus,
+    corpus: ReviewCorpus,
+) -> dict[str, Table]:
+    """Every table of the paper from one reproduction run."""
+    tables = reproduce_survey_tables(population, literature)
+    tables.update(run_review(corpus).tables())
+    return tables
+
+
+def table_sort_key(table_id: str) -> tuple[int, str]:
+    digits = "".join(ch for ch in table_id if ch.isdigit())
+    return (int(digits), table_id)
+
+
+def summary_rows(tables: dict[str, Table]) -> list[tuple[str, str, str]]:
+    """(table_id, producer, status) per table, in paper order."""
+    rows = []
+    for table_id in sorted(tables, key=table_sort_key):
+        producer = ("mining pipeline"
+                    if table_id in ("1", "18a", "18b", "19", "20")
+                    else "survey tabulator")
+        comparison = compare_tables(paper_table(table_id),
+                                    tables[table_id])
+        status = ("EXACT" if comparison.exact
+                  else f"{comparison.matching_cells}/{comparison.cells} "
+                       f"cells")
+        rows.append((table_id, producer,
+                     f"{status} ({comparison.cells} cells)"))
+    return rows
+
+
+def generate_experiments_markdown(
+    population: Population,
+    literature: LiteratureCorpus,
+    corpus: ReviewCorpus,
+) -> str:
+    """The complete EXPERIMENTS.md content for one run."""
+    tables = reproduce_all_tables(population, literature, corpus)
+    out = io.StringIO()
+    out.write(
+        "# EXPERIMENTS — paper vs. measured, every table\n\n"
+        "Reproduction target: *The Ubiquity of Large Graphs and "
+        "Surprising\nChallenges of Graph Processing* (Sahu et al., "
+        "VLDB 2017). The paper's\nevaluation artifacts are **26 tables** "
+        "(Tables 1–20 including sub-tables\n5a/5b/5c, 7a/7b/7c, 10a/10b, "
+        "18a/18b); it has **no figures**.\n\n"
+        "How to regenerate everything below:\n\n"
+        "```\n"
+        "pip install -e . --no-build-isolation\n"
+        "python examples/quickstart.py --verbose   "
+        "# all 26 comparisons\n"
+        "pytest benchmarks/ --benchmark-only -s    "
+        "# timed, one bench per table\n"
+        "python -m repro experiments               "
+        "# regenerate this file\n"
+        "```\n\n"
+        "Method: the raw study inputs are private, so each pipeline runs "
+        "over a\ncalibrated synthetic substitute (see DESIGN.md). "
+        "**\"Measured\" below is an\nhonest recount** — the tabulators, "
+        "classifier, and size extractor consume\nonly respondent records "
+        "/ message text, never the calibration constants.\n\n"
+        "## Summary\n\n"
+        "| Table | What it reports | Producer | Result |\n"
+        "|---|---|---|---|\n")
+    for table_id, producer, status in summary_rows(tables):
+        title = paper_table(table_id).title[:62]
+        out.write(f"| {table_id} | {title} | {producer} | {status} |\n")
+    exact = sum(
+        compare_tables(paper_table(tid), table).exact
+        for tid, table in tables.items())
+    out.write(f"\n**{exact}/{len(tables)} tables match the paper "
+              f"cell-for-cell.**\n\n")
+
+    out.write("## Qualitative findings (Section 1), re-derived\n\n")
+    for finding in derive_findings(population, literature):
+        status = "HOLDS" if finding.holds else "FAILS"
+        out.write(f"* **[{status}] {finding.name}** — {finding.claim}. "
+                  f"Evidence: {finding.evidence}.\n")
+    out.write("\n")
+    out.write(RECONSTRUCTION_NOTES)
+    out.write("""
+## Workload benches (the taxonomy as running code)
+
+`pytest benchmarks/bench_workload_*.py --benchmark-only` times an
+implementation of every Table 9/10/11 computation, the Pregel and
+semiring (GraphBLAS-style) variants of the core kernels, and an RMAT
+scale sweep (the scalability challenge made measurable).
+
+Ablations (design choices called out in DESIGN.md):
+
+* `bench_ablation_sampler.py` — exact-marginal assignment reproduces
+  Table 9 with zero error; an independent-Bernoulli baseline drifts by
+  tens of counts while still preserving rank order (>0.75 agreement).
+* `bench_ablation_classifier.py` — the topic-rule classifier reproduces
+  Table 19 exactly with <=2 false positives on adversarial noise; a
+  single-keyword baseline overcounts by >100 labels and fires on 8+/10
+  adversarial messages.
+* `bench_ablation_query_optimizer.py` — selectivity reordering returns
+  identical rows with >=10x fewer adjacency accesses on anchored
+  patterns.
+* `bench_ablation_indexes.py` — database index probes stay near-flat as
+  data grows while scans grow linearly.
+
+## Per-table paper-vs-measured detail
+
+Cells print as a single number when paper == measured, and as
+`paper->measured` otherwise.
+
+""")
+    for table_id in sorted(tables, key=table_sort_key):
+        expected = paper_table(table_id)
+        out.write(f"### Table {table_id}: {expected.title}\n\n```\n")
+        out.write(render_side_by_side(expected, tables[table_id]))
+        out.write("\n```\n\n")
+    return out.getvalue()

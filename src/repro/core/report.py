@@ -1,0 +1,77 @@
+"""Plain-text rendering of tables and paper-vs-measured comparisons.
+
+Used by the examples and by every benchmark to print the same rows the
+paper reports next to the reproduced counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.compare import TableComparison, compare_tables
+from repro.data.table_model import Table
+
+
+def render_table(table: Table) -> str:
+    """Render a table as aligned plain text."""
+    header = ["", *table.columns]
+    body = [
+        [label] + [_fmt(table.cell(label, col)) for col in table.columns]
+        for label in table.row_labels()
+    ]
+    return _align([header, *body])
+
+
+def render_side_by_side(expected: Table, actual: Table) -> str:
+    """Render paper and measured values interleaved: ``paper/measured``.
+
+    Matching cells print a single number; differing cells print both.
+    """
+    header = ["", *expected.columns]
+    body = []
+    for label in expected.row_labels():
+        row = [label]
+        for col in expected.columns:
+            exp, act = expected.cell(label, col), actual.cell(label, col)
+            if exp == act:
+                row.append(_fmt(exp))
+            else:
+                row.append(f"{_fmt(exp)}->{_fmt(act)}")
+        body.append(row)
+    return _align([header, *body])
+
+
+def render_comparison(expected: Table, actual: Table) -> str:
+    """Full report: title, side-by-side values, and the match summary."""
+    comparison = compare_tables(expected, actual)
+    lines = [
+        f"Table {expected.table_id}: {expected.title}",
+        render_side_by_side(expected, actual),
+        summary_line(comparison),
+    ]
+    return "\n".join(lines)
+
+
+def summary_line(comparison: TableComparison) -> str:
+    if comparison.exact:
+        return (f"[table {comparison.table_id}] EXACT match "
+                f"({comparison.cells} cells)")
+    return (f"[table {comparison.table_id}] {comparison.matching_cells}/"
+            f"{comparison.cells} cells match, max abs diff "
+            f"{comparison.max_abs_diff}, total abs diff "
+            f"{comparison.total_abs_diff}")
+
+
+def _fmt(value: int | None) -> str:
+    return "NA" if value is None else str(value)
+
+
+def _align(rows: list[list[str]]) -> str:
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for row in rows:
+        first = row[0].ljust(widths[0])
+        rest = [cell.rjust(widths[i + 1]) for i, cell in enumerate(row[1:])]
+        lines.append(("  ".join([first, *rest])).rstrip())
+    return "\n".join(lines)

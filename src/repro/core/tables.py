@@ -1,0 +1,267 @@
+"""Reproduction of every survey table from a population recount.
+
+Each ``reproduce_table_*`` function recounts a :class:`~repro.survey.
+respondent.Population` (and, where the paper includes an "A" column, a
+:class:`~repro.synthesis.literature.LiteratureCorpus`) and returns a
+:class:`~repro.data.table_model.Table` with the same id, row labels and
+columns as the published table, so the two can be diffed cell by cell.
+
+Tables 1 and 18-20 are produced by the review pipeline instead; see
+:mod:`repro.mining.pipeline`.
+"""
+
+from __future__ import annotations
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.data.table_model import Table
+from repro.survey.respondent import Population
+from repro.synthesis.literature import LiteratureCorpus
+from repro.core import tabulate
+
+TRP = ("Total", "R", "P")
+TRPA = ("Total", "R", "P", "A")
+
+
+def _survey_table(
+    table_id: str,
+    title: str,
+    counts: dict[str, dict[str, int]],
+) -> Table:
+    rows = {label: dict(cells) for label, cells in counts.items()}
+    return Table(table_id=table_id, title=title, columns=TRP, rows=rows)
+
+
+def _with_academic(
+    table_id: str,
+    title: str,
+    counts: dict[str, dict[str, int]],
+    corpus: LiteratureCorpus,
+    field: str,
+) -> Table:
+    rows = {}
+    for label, cells in counts.items():
+        rows[label] = dict(cells)
+        rows[label]["A"] = corpus.count(field, label)
+    return Table(table_id=table_id, title=title, columns=TRPA, rows=rows)
+
+
+def reproduce_table2(population: Population) -> Table:
+    return _survey_table(
+        "2", pt.TABLE_2.title,
+        tabulate.count_multiselect(
+            population, "fields_of_work", taxonomy.FIELDS_OF_WORK))
+
+
+def reproduce_table3(population: Population) -> Table:
+    return _survey_table(
+        "3", pt.TABLE_3.title,
+        tabulate.count_single_choice(
+            population, "org_size", taxonomy.ORG_SIZES))
+
+
+def reproduce_table4(
+    population: Population, corpus: LiteratureCorpus,
+) -> Table:
+    entity_counts = tabulate.count_multiselect(
+        population, "entities", taxonomy.ENTITY_KINDS)
+    nh_counts = tabulate.count_multiselect(
+        population, "non_human_categories", taxonomy.NON_HUMAN_CATEGORIES)
+    rows = {}
+    for label, cells in {**entity_counts, **nh_counts}.items():
+        rows[label] = dict(cells)
+        field = ("entities" if label in taxonomy.ENTITY_KINDS
+                 else "non_human_categories")
+        rows[label]["A"] = corpus.count(field, label)
+    ordered_labels = list(pt.TABLE_4.rows)
+    rows = {label: rows[label] for label in ordered_labels}
+    return Table(table_id="4", title=pt.TABLE_4.title, columns=TRPA, rows=rows)
+
+
+def reproduce_table5a(population: Population) -> Table:
+    return _survey_table(
+        "5a", pt.TABLE_5A.title,
+        tabulate.count_multiselect(
+            population, "vertex_buckets", taxonomy.VERTEX_COUNT_BUCKETS))
+
+
+def reproduce_table5b(population: Population) -> Table:
+    return _survey_table(
+        "5b", pt.TABLE_5B.title,
+        tabulate.count_multiselect(
+            population, "edge_buckets", taxonomy.EDGE_COUNT_BUCKETS))
+
+
+def reproduce_table5c(population: Population) -> Table:
+    return _survey_table(
+        "5c", pt.TABLE_5C.title,
+        tabulate.count_multiselect(
+            population, "byte_buckets", taxonomy.BYTE_SIZE_BUCKETS))
+
+
+def reproduce_table6(population: Population) -> Table:
+    """Org sizes of participants with >1B-edge graphs (published buckets)."""
+    big = tabulate.subset(population, lambda r: ">1B" in r.edge_buckets)
+    rows = {}
+    for label in pt.TABLE_6.rows:
+        rows[label] = {
+            "#": sum(1 for r in big if r.org_size == label)}
+    return Table(table_id="6", title=pt.TABLE_6.title, columns=("#",),
+                 rows=rows)
+
+
+def reproduce_table7a(population: Population) -> Table:
+    return _survey_table(
+        "7a", pt.TABLE_7A.title,
+        tabulate.count_single_choice(
+            population, "directedness", taxonomy.DIRECTEDNESS))
+
+
+def reproduce_table7b(population: Population) -> Table:
+    return _survey_table(
+        "7b", pt.TABLE_7B.title,
+        tabulate.count_single_choice(
+            population, "simplicity", taxonomy.SIMPLICITY))
+
+
+def reproduce_table7c(population: Population) -> Table:
+    vertex = tabulate.count_multiselect(
+        population, "vertex_property_types", taxonomy.PROPERTY_TYPES)
+    edge = tabulate.count_multiselect(
+        population, "edge_property_types", taxonomy.PROPERTY_TYPES)
+    rows = {}
+    for label in taxonomy.PROPERTY_TYPES:
+        rows[label] = {
+            "V-Total": vertex[label]["Total"],
+            "V-R": vertex[label]["R"],
+            "V-P": vertex[label]["P"],
+            "E-Total": edge[label]["Total"],
+            "E-R": edge[label]["R"],
+            "E-P": edge[label]["P"],
+        }
+    return Table(table_id="7c", title=pt.TABLE_7C.title,
+                 columns=pt.TABLE_7C.columns, rows=rows)
+
+
+def reproduce_table8(population: Population) -> Table:
+    return _survey_table(
+        "8", pt.TABLE_8.title,
+        tabulate.count_multiselect(population, "dynamism", taxonomy.DYNAMISM))
+
+
+def reproduce_table9(
+    population: Population, corpus: LiteratureCorpus,
+) -> Table:
+    return _with_academic(
+        "9", pt.TABLE_9.title,
+        tabulate.count_multiselect(
+            population, "graph_computations", taxonomy.GRAPH_COMPUTATIONS),
+        corpus, "graph_computations")
+
+
+def reproduce_table10a(
+    population: Population, corpus: LiteratureCorpus,
+) -> Table:
+    return _with_academic(
+        "10a", pt.TABLE_10A.title,
+        tabulate.count_multiselect(
+            population, "ml_computations", taxonomy.ML_COMPUTATIONS),
+        corpus, "ml_computations")
+
+
+def reproduce_table10b(
+    population: Population, corpus: LiteratureCorpus,
+) -> Table:
+    return _with_academic(
+        "10b", pt.TABLE_10B.title,
+        tabulate.count_multiselect(
+            population, "ml_problems", taxonomy.ML_PROBLEMS),
+        corpus, "ml_problems")
+
+
+def reproduce_table11(population: Population) -> Table:
+    return _survey_table(
+        "11", pt.TABLE_11.title,
+        tabulate.count_single_choice(
+            population, "traversal", taxonomy.TRAVERSALS))
+
+
+def reproduce_table12(
+    population: Population, corpus: LiteratureCorpus,
+) -> Table:
+    return _with_academic(
+        "12", pt.TABLE_12.title,
+        tabulate.count_multiselect(
+            population, "query_software", taxonomy.QUERY_SOFTWARE),
+        corpus, "query_software")
+
+
+def reproduce_table13(
+    population: Population, corpus: LiteratureCorpus,
+) -> Table:
+    return _with_academic(
+        "13", pt.TABLE_13.title,
+        tabulate.count_multiselect(
+            population, "non_query_software", taxonomy.NON_QUERY_SOFTWARE),
+        corpus, "non_query_software")
+
+
+def reproduce_table14(population: Population) -> Table:
+    return _survey_table(
+        "14", pt.TABLE_14.title,
+        tabulate.count_multiselect(
+            population, "architectures", taxonomy.ARCHITECTURES))
+
+
+def reproduce_table15(population: Population) -> Table:
+    return _survey_table(
+        "15", pt.TABLE_15.title,
+        tabulate.count_multiselect(
+            population, "challenges", taxonomy.CHALLENGES))
+
+
+def reproduce_table16(population: Population) -> Table:
+    counts = tabulate.count_hours(
+        population, taxonomy.WORKLOAD_TASKS, taxonomy.HOUR_BUCKETS)
+    return Table(table_id="16", title=pt.TABLE_16.title,
+                 columns=taxonomy.HOUR_BUCKETS,
+                 rows={task: dict(cells) for task, cells in counts.items()})
+
+
+def reproduce_table17(population: Population) -> Table:
+    rows = {
+        label: {"#": tabulate.count_if(
+            population, lambda r, lb=label: lb in r.storage_formats)["Total"]}
+        for label in taxonomy.STORAGE_FORMATS
+    }
+    return Table(table_id="17", title=pt.TABLE_17.title, columns=("#",),
+                 rows=rows)
+
+
+def reproduce_survey_tables(
+    population: Population, corpus: LiteratureCorpus,
+) -> dict[str, Table]:
+    """All survey-side tables (2-17) keyed by table id."""
+    return {
+        "2": reproduce_table2(population),
+        "3": reproduce_table3(population),
+        "4": reproduce_table4(population, corpus),
+        "5a": reproduce_table5a(population),
+        "5b": reproduce_table5b(population),
+        "5c": reproduce_table5c(population),
+        "6": reproduce_table6(population),
+        "7a": reproduce_table7a(population),
+        "7b": reproduce_table7b(population),
+        "7c": reproduce_table7c(population),
+        "8": reproduce_table8(population),
+        "9": reproduce_table9(population, corpus),
+        "10a": reproduce_table10a(population, corpus),
+        "10b": reproduce_table10b(population, corpus),
+        "11": reproduce_table11(population),
+        "12": reproduce_table12(population, corpus),
+        "13": reproduce_table13(population, corpus),
+        "14": reproduce_table14(population),
+        "15": reproduce_table15(population),
+        "16": reproduce_table16(population),
+        "17": reproduce_table17(population),
+    }

@@ -1,0 +1,159 @@
+"""Tabulation primitives over a survey population.
+
+These functions recount answers from :class:`~repro.survey.respondent.
+Population` records; they are deliberately independent of the synthesis
+code, so a reproduced table is an honest recount rather than an echo of the
+calibration constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.survey.respondent import Population, Respondent
+
+GROUPS = ("Total", "R", "P")
+
+
+def count_if(
+    population: Population,
+    predicate: Callable[[Respondent], bool],
+) -> dict[str, int]:
+    """Count respondents satisfying ``predicate`` in each group."""
+    counts = {name: 0 for name in GROUPS}
+    for respondent in population:
+        if not predicate(respondent):
+            continue
+        counts["Total"] += 1
+        counts["R" if respondent.is_researcher else "P"] += 1
+    return counts
+
+
+def count_multiselect(
+    population: Population,
+    field: str,
+    labels: Sequence[str],
+) -> dict[str, dict[str, int]]:
+    """Count selections of each label in a multi-choice set field.
+
+    Returns ``{label: {"Total": t, "R": r, "P": p}}`` in ``labels`` order.
+    """
+    return {
+        label: count_if(population, lambda r, lb=label: lb in getattr(r, field))
+        for label in labels
+    }
+
+
+def count_single_choice(
+    population: Population,
+    field: str,
+    labels: Sequence[str],
+) -> dict[str, dict[str, int]]:
+    """Count answers of a single-choice field, one row per label."""
+    return {
+        label: count_if(population, lambda r, lb=label: getattr(r, field) == lb)
+        for label in labels
+    }
+
+
+def count_yes(population: Population, field: str) -> dict[str, int]:
+    """Count respondents answering yes to a yes/no field."""
+    return count_if(population, lambda r: getattr(r, field) is True)
+
+
+def count_hours(
+    population: Population,
+    tasks: Sequence[str],
+    buckets: Sequence[str],
+) -> dict[str, dict[str, int]]:
+    """Count the per-task hour buckets (Table 16 layout)."""
+    return {
+        task: {
+            bucket: sum(1 for r in population if r.hours.get(task) == bucket)
+            for bucket in buckets
+        }
+        for task in tasks
+    }
+
+
+def crosstab(
+    population: Population,
+    row_of: Callable[[Respondent], str | None],
+    col_of: Callable[[Respondent], str | None],
+) -> dict[tuple[str, str], int]:
+    """Generic 2-way cross tabulation; ``None`` keys are skipped."""
+    cells: dict[tuple[str, str], int] = {}
+    for respondent in population:
+        row, col = row_of(respondent), col_of(respondent)
+        if row is None or col is None:
+            continue
+        cells[row, col] = cells.get((row, col), 0) + 1
+    return cells
+
+
+def subset(
+    population: Population,
+    predicate: Callable[[Respondent], bool],
+) -> Population:
+    """A new population containing the respondents matching ``predicate``."""
+    return Population(r for r in population if predicate(r))
+
+
+def rank_by(
+    counts: dict[str, dict[str, int]],
+    column: str = "Total",
+) -> list[str]:
+    """Row labels sorted by one column, descending (paper table order)."""
+    return sorted(counts, key=lambda label: -counts[label][column])
+
+
+def selection_histogram(
+    population: Population,
+    field: str,
+) -> dict[int, int]:
+    """Distribution of how many options each respondent selected."""
+    histogram: dict[int, int] = {}
+    for respondent in population:
+        k = len(getattr(respondent, field))
+        histogram[k] = histogram.get(k, 0) + 1
+    return histogram
+
+
+def answered(population: Population, field: str) -> int:
+    """How many respondents answered a question at all.
+
+    Set fields count as answered when non-empty; scalar fields when not
+    ``None``.
+    """
+    total = 0
+    for respondent in population:
+        value = getattr(respondent, field)
+        if isinstance(value, frozenset) or isinstance(value, set):
+            total += bool(value)
+        else:
+            total += value is not None
+    return total
+
+
+def overlap(
+    population: Population,
+    field: str,
+    label_a: str,
+    label_b: str,
+) -> int:
+    """How many respondents selected both labels of a multi-choice field."""
+    return sum(
+        1 for r in population
+        if {label_a, label_b} <= getattr(r, field)
+    )
+
+
+def union_count(
+    population: Population,
+    fields: Iterable[str],
+) -> dict[str, int]:
+    """Respondents with at least one selection across several set fields."""
+    return count_if(
+        population,
+        lambda r: any(getattr(r, field) for field in fields),
+    )

@@ -1,0 +1,3 @@
+"""Published ground truth (all paper tables) and the canonical taxonomy."""
+
+from repro.data.table_model import Table, table_from_rows

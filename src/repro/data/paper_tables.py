@@ -1,0 +1,438 @@
+"""Published ground truth: every table of the VLDB 2017 paper.
+
+The numbers below are transcribed from the paper. Two transcription notes:
+
+* **Table 1**: the Apache Flink (Gelly) user count is illegible in the
+  available text; the DGPS group total is 39 and Giraph + GraphX account for
+  15, so Flink is recorded as 24.
+* **Table 15**: the last four rows are garbled in the available text. The
+  twelve numbers present admit exactly one partition into four
+  ``Total = R + P`` rows -- ``(20; 11, 9), (20; 6, 14), (17; 10, 7),
+  (10; 8, 2)`` -- which we assign in the table's descending-total row order.
+* **Table 6**: the published row sums to 19 for 20 big-graph participants;
+  all survey questions were optional, so one participant is modelled as not
+  reporting an organization size.
+"""
+
+from __future__ import annotations
+
+from repro.data.table_model import Table, table_from_rows
+
+TRP = ("Total", "R", "P")
+TRPA = ("Total", "R", "P", "A")
+
+#: Scalar facts quoted in the running text (Sections 2-7).
+PAPER_FACTS = {
+    "participants": 89,
+    "researchers": 36,
+    "practitioners": 53,
+    "software_products": 22,
+    "papers_reviewed": 90,
+    "emails_and_issues_reviewed_min": 6000,
+    "useful_emails_and_issues": 311,
+    "role_engineer": 54,
+    "role_researcher": 48,
+    "role_data_analyst": 18,
+    "role_manager": 16,
+    "answered_software_question": 84,
+    "multi_format_participants": 33,
+    "multi_format_described": 25,
+    "streaming_or_incremental_users": 32,
+    "ml_users": 61,
+    "big_graph_participants": 20,       # >1B edges
+    "big_graph_researchers": 8,
+    "big_graph_practitioners": 12,
+    "distributed_users": 45,
+    "distributed_users_with_100m_edges": 29,
+    "rdbms_users_also_graphdb": 16,
+    "no_data_on_vertices_or_edges": 3,
+}
+
+TABLE_1 = table_from_rows(
+    "1",
+    "Software products used for recruiting participants and the number of "
+    "active mailing list users (Feb-Apr 2017)",
+    ("Users",),
+    [
+        ("ArangoDB", (40,)),
+        ("Cayley", (14,)),
+        ("DGraph", (33,)),
+        ("JanusGraph", (32,)),
+        ("Neo4j", (69,)),
+        ("OrientDB", (45,)),
+        ("Apache Jena", (87,)),
+        ("Sparksee", (5,)),
+        ("Virtuoso", (23,)),
+        ("Apache Flink (Gelly)", (24,)),
+        ("Apache Giraph", (8,)),
+        ("Apache Spark (GraphX)", (7,)),
+        ("Gremlin", (82,)),
+        ("Graph for Scala", (4,)),
+        ("GraphStream", (8,)),
+        ("Graphtool", (28,)),
+        ("NetworKit", (10,)),
+        ("NetworkX", (27,)),
+        ("SNAP", (20,)),
+        ("Cytoscape", (93,)),
+        ("Elasticsearch (X-Pack Graph)", (23,)),
+        ("Conceptual Graphs", (6,)),
+    ],
+)
+
+TABLE_2 = table_from_rows(
+    "2", "The participants' fields of work", TRP,
+    [
+        ("Information & Technology", (48, 12, 36)),
+        ("Research in Academia", (31, 31, 0)),
+        ("Finance", (12, 2, 10)),
+        ("Research in Industry Lab", (11, 11, 0)),
+        ("Government", (7, 3, 4)),
+        ("Healthcare", (5, 3, 2)),
+        ("Defence & Space", (4, 3, 1)),
+        ("Pharmaceutical", (3, 0, 3)),
+        ("Retail & E-Commerce", (3, 0, 3)),
+        ("Transportation", (2, 0, 2)),
+        ("Telecommunications", (1, 1, 0)),
+        ("Insurance", (0, 0, 0)),
+        ("Other", (5, 2, 3)),
+    ],
+)
+
+TABLE_3 = table_from_rows(
+    "3", "Size of the participants' organizations", TRP,
+    [
+        ("1 - 10", (27, 17, 10)),
+        ("10 - 100", (23, 6, 17)),
+        ("100 - 1000", (14, 4, 10)),
+        ("1000 - 10000", (6, 4, 2)),
+        (">10000", (15, 4, 11)),
+    ],
+)
+
+TABLE_4 = table_from_rows(
+    "4", "Real-world entities represented by the participants' graphs and "
+    "studied in publications",
+    ("Total", "R", "P", "A"),
+    [
+        ("Human", (45, 18, 27, 54)),
+        ("RDF", (23, 11, 12, 8)),
+        ("Scientific", (15, 9, 6, 11)),
+        ("Non-Human", (60, 22, 38, 63)),
+        ("NH-P", (13, 1, 12, 2)),
+        ("NH-B", (11, 6, 5, 8)),
+        ("NH-W", (4, 2, 2, 30)),
+        ("NH-G", (7, 4, 3, 11)),
+        ("NH-D", (5, 1, 4, 0)),
+        ("NH-I", (9, 7, 2, 2)),
+        ("NH-K", (11, 6, 5, 3)),
+    ],
+)
+
+TABLE_5A = table_from_rows(
+    "5a", "Number of vertices", TRP,
+    [
+        ("<10K", (22, 11, 11)),
+        ("10K - 100K", (22, 9, 13)),
+        ("100K - 1M", (19, 7, 12)),
+        ("1M - 10M", (17, 6, 11)),
+        ("10M - 100M", (20, 10, 10)),
+        (">100M", (27, 10, 17)),
+    ],
+)
+
+TABLE_5B = table_from_rows(
+    "5b", "Number of edges", TRP,
+    [
+        ("<10K", (23, 11, 12)),
+        ("10K - 100K", (22, 9, 13)),
+        ("100K - 1M", (13, 3, 10)),
+        ("1M - 10M", (9, 5, 4)),
+        ("10M - 100M", (21, 8, 13)),
+        ("100M - 1B", (21, 8, 13)),
+        (">1B", (20, 8, 12)),
+    ],
+)
+
+TABLE_5C = table_from_rows(
+    "5c", "Total uncompressed bytes", TRP,
+    [
+        ("<100MB", (23, 12, 11)),
+        ("100MB - 1GB", (19, 9, 10)),
+        ("1GB - 10GB", (25, 9, 16)),
+        ("10GB - 100GB", (17, 5, 12)),
+        ("100GB - 1TB", (20, 8, 12)),
+        (">1 TB", (17, 5, 12)),
+    ],
+)
+
+TABLE_6 = table_from_rows(
+    "6", "Sizes of organization that have graphs with >1B edges", ("#",),
+    [
+        ("1 - 10", (4,)),
+        ("10 - 100", (4,)),
+        ("100 - 1000", (7,)),
+        (">10000", (4,)),
+    ],
+)
+
+TABLE_7A = table_from_rows(
+    "7a", "Directed vs. Undirected", TRP,
+    [
+        ("Only Directed", (63, 23, 40)),
+        ("Only Undirected", (11, 6, 5)),
+        ("Both", (15, 7, 8)),
+    ],
+)
+
+TABLE_7B = table_from_rows(
+    "7b", "Simple vs. Multigraphs", TRP,
+    [
+        ("Only Simple Graphs", (26, 9, 17)),
+        ("Only Multigraphs", (50, 20, 30)),
+        ("Both", (13, 7, 6)),
+    ],
+)
+
+TABLE_7C = table_from_rows(
+    "7c", "Data types stored on vertices and edges",
+    ("V-Total", "V-R", "V-P", "E-Total", "E-R", "E-P"),
+    [
+        ("String", (79, 31, 48, 66, 24, 42)),
+        ("Numeric", (63, 23, 40, 59, 23, 36)),
+        ("Date/Timestamp", (56, 19, 37, 49, 18, 31)),
+        ("Binary", (15, 8, 7, 8, 4, 4)),
+    ],
+)
+
+TABLE_8 = table_from_rows(
+    "8", "Frequency of changes", TRP,
+    [
+        ("Static", (40, 21, 19)),
+        ("Dynamic", (55, 22, 33)),
+        ("Streaming", (18, 9, 9)),
+    ],
+)
+
+TABLE_9 = table_from_rows(
+    "9", "Graph computations performed by the participants and studied in "
+    "publications", TRPA,
+    [
+        ("Finding Connected Components", (55, 18, 37, 12)),
+        ("Neighborhood Queries", (51, 19, 32, 3)),
+        ("Finding Short / Shortest Paths", (43, 18, 25, 17)),
+        ("Subgraph Matching", (33, 14, 19, 21)),
+        ("Ranking & Centrality Scores", (32, 17, 15, 22)),
+        ("Aggregations", (30, 10, 20, 7)),
+        ("Reachability Queries", (27, 7, 20, 3)),
+        ("Graph Partitioning", (25, 13, 12, 5)),
+        ("Node-similarity", (18, 7, 11, 3)),
+        ("Finding Frequent or Densest Subgraphs", (11, 7, 4, 2)),
+        ("Computing Minimum Spanning Tree", (9, 5, 4, 2)),
+        ("Graph Coloring", (7, 3, 4, 3)),
+        ("Diameter Estimation", (5, 2, 3, 2)),
+    ],
+)
+
+TABLE_10A = table_from_rows(
+    "10a", "Machine learning computations", TRPA,
+    [
+        ("Clustering", (42, 22, 20, 15)),
+        ("Classification", (28, 10, 18, 2)),
+        ("Regression (Linear / Logistic)", (11, 5, 6, 2)),
+        ("Graphical Model Inference", (10, 5, 5, 2)),
+        ("Collaborative Filtering", (9, 4, 5, 2)),
+        ("Stochastic Gradient Descent", (4, 2, 2, 3)),
+        ("Alternating Least Squares", (0, 0, 0, 2)),
+    ],
+)
+
+TABLE_10B = table_from_rows(
+    "10b", "Problems solved by machine learning algorithms", TRPA,
+    [
+        ("Community Detection", (31, 15, 16, 5)),
+        ("Recommendation System", (26, 10, 16, 2)),
+        ("Link Prediction", (25, 10, 15, 2)),
+        ("Influence Maximization", (14, 5, 9, 2)),
+    ],
+)
+
+TABLE_11 = table_from_rows(
+    "11", "Graph traversals performed by the participants", TRP,
+    [
+        ("Breadth-first-search or variant", (19, 5, 14)),
+        ("Depth-first-search or variant", (12, 4, 8)),
+        ("Both", (22, 8, 14)),
+        ("Neither", (20, 11, 9)),
+    ],
+)
+
+TABLE_12 = table_from_rows(
+    "12", "Software for graph queries and computations", TRPA,
+    [
+        ("Graph Database System", (59, 20, 39, 1)),
+        ("Apache Hadoop, Spark, Pig, Hive", (29, 11, 18, 2)),
+        ("Apache Tinkerpop (Gremlin)", (23, 9, 14, 1)),
+        ("Relational Database Management System", (21, 6, 15, 1)),
+        ("RDF Engine", (16, 8, 8, 1)),
+        ("Distributed Graph Processing Systems", (14, 8, 6, 17)),
+        ("Linear Algebra Library / Software", (8, 6, 2, 3)),
+        ("In-Memory Graph Processing Library", (7, 5, 2, 2)),
+    ],
+)
+
+TABLE_13 = table_from_rows(
+    "13", "Software used for non-querying tasks", TRPA,
+    [
+        ("Graph Visualization", (55, 22, 33, 1)),
+        ("Build / Extract / Transform", (14, 8, 6, 0)),
+        ("Graph Cleaning", (5, 1, 4, 0)),
+        ("Synthetic Graph Generator", (4, 3, 1, 13)),
+        ("Specialized Debugger", (2, 0, 2, 0)),
+    ],
+)
+
+TABLE_14 = table_from_rows(
+    "14", "Architectures of the software used by participants", TRP,
+    [
+        ("Single Machine Serial", (31, 17, 14)),
+        ("Single Machine Parallel", (35, 21, 14)),
+        ("Distributed", (45, 17, 28)),
+    ],
+)
+
+TABLE_15 = table_from_rows(
+    "15", "The graph processing challenges selected by the participants", TRP,
+    [
+        ("Scalability", (45, 20, 25)),
+        ("Visualization", (39, 17, 22)),
+        ("Query Languages / Programming APIs", (39, 18, 21)),
+        ("Faster graph or machine learning algorithms", (35, 19, 16)),
+        ("Usability", (25, 10, 15)),
+        ("Benchmarks", (22, 12, 10)),
+        ("More general purpose graph software", (20, 11, 9)),
+        ("Extract & Transform", (20, 6, 14)),
+        ("Debugging & Testing", (17, 10, 7)),
+        ("Graph Cleaning", (10, 8, 2)),
+    ],
+)
+
+TABLE_16 = table_from_rows(
+    "16", "Time spent by the participants on different tasks",
+    ("0 - 5 hours", "5 - 10 hours", ">10 hours"),
+    [
+        ("Analytics", (30, 18, 23)),
+        ("Testing", (40, 12, 20)),
+        ("Debugging", (37, 18, 15)),
+        ("Maintenance", (46, 14, 13)),
+        ("ETL", (44, 14, 10)),
+        ("Cleaning", (52, 10, 6)),
+    ],
+)
+
+TABLE_17 = table_from_rows(
+    "17", "Data storage formats", ("#",),
+    [
+        ("Graph Databases", (10,)),
+        ("Relational Databases", (8,)),
+        ("RDF Store", (5,)),
+        ("NoSQL Store (Key-value, HBase)", (5,)),
+        ("XML / JSON", (4,)),
+        ("JGF / GML / GraphML", (4,)),
+        ("CSV / Text files", (3,)),
+        ("Elasticsearch", (3,)),
+        ("Binary", (2,)),
+    ],
+)
+
+TABLE_18A = table_from_rows(
+    "18a", "Number of vertices (user emails and issues)", ("#",),
+    [
+        ("100M - 1B", (10,)),
+        ("1B - 10B", (17,)),
+        ("10B - 100B", (1,)),
+        (">100B", (2,)),
+    ],
+)
+
+TABLE_18B = table_from_rows(
+    "18b", "Number of edges (user emails and issues)", ("#",),
+    [
+        ("1B - 10B", (42,)),
+        ("10B - 100B", (17,)),
+        ("100B - 500B", (6,)),
+        (">500B", (1,)),
+    ],
+)
+
+TABLE_19 = table_from_rows(
+    "19", "Challenges found in user emails and issues", ("#",),
+    [
+        ("High-degree Vertices", (24,)),
+        ("Hyperedges", (18,)),
+        ("Triggers", (18,)),
+        ("Versioning and Historical Analysis", (14,)),
+        ("Schema & Constraints", (10,)),
+        ("Layout", (31,)),
+        ("Customizability", (30,)),
+        ("Large-graph Visualization", (8,)),
+        ("Dynamic Graph Visualization", (4,)),
+        ("Subqueries", (7,)),
+        ("Querying Across Multiple Graphs", (6,)),
+        ("Off-the-shelf Algorithms", (41,)),
+        ("Graph Generators", (7,)),
+        ("GPU Support", (3,)),
+    ],
+)
+
+TABLE_20 = table_from_rows(
+    "20", "The number of emails and issues reviewed, and the code commits "
+    "(Jan-Sep 2017)",
+    ("Emails", "Issues", "Commits"),
+    [
+        ("ArangoDB", (140, 466, 5264)),
+        ("Cayley", (50, 57, 151)),
+        ("DGraph", (175, 558, 760)),
+        ("JanusGraph", (225, 308, 411)),
+        ("Neo4j", (286, 243, 4467)),
+        ("OrientDB", (169, 668, 918)),
+        ("Apache Jena", (307, 126, 471)),
+        ("Sparksee", (8, None, None)),
+        ("Virtuoso", (72, 61, 179)),
+        ("Apache Flink (Gelly)", (34, 68, 48)),
+        ("Apache Giraph", (19, 34, 23)),
+        ("Apache Spark (GraphX)", (23, 28, 11)),
+        ("Gremlin", (409, 206, 1285)),
+        ("Graph for Scala", (10, 12, 18)),
+        ("GraphStream", (18, 26, 7)),
+        ("Graphtool", (121, 66, 172)),
+        ("NetworKit", (37, 30, 236)),
+        ("NetworkX", (78, 148, 171)),
+        ("SNAP", (57, 17, 34)),
+        ("Cytoscape", (388, 264, 8)),
+        ("Elasticsearch (X-Pack Graph)", (50, 38, None)),
+        ("Gephi", (None, 147, 10)),
+        ("Graphviz", (None, 58, 277)),
+        ("Conceptual Graphs", (30, None, None)),
+    ],
+)
+
+#: Every published table keyed by its id.
+ALL_TABLES: dict[str, Table] = {
+    table.table_id: table
+    for table in (
+        TABLE_1, TABLE_2, TABLE_3, TABLE_4, TABLE_5A, TABLE_5B, TABLE_5C,
+        TABLE_6, TABLE_7A, TABLE_7B, TABLE_7C, TABLE_8, TABLE_9, TABLE_10A,
+        TABLE_10B, TABLE_11, TABLE_12, TABLE_13, TABLE_14, TABLE_15,
+        TABLE_16, TABLE_17, TABLE_18A, TABLE_18B, TABLE_19, TABLE_20,
+    )
+}
+
+
+def paper_table(table_id: str) -> Table:
+    """Return the published table with the given id (e.g. ``"5b"``)."""
+    try:
+        return ALL_TABLES[table_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown table id {table_id!r}; known: {sorted(ALL_TABLES)}"
+        ) from None

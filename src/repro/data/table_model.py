@@ -1,0 +1,81 @@
+"""A uniform in-memory model for the paper's tables.
+
+Both the published ground truth (:mod:`repro.data.paper_tables`) and every
+reproduction function (:mod:`repro.core.tables`) produce :class:`Table`
+objects, so comparisons and rendering work identically for either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Table:
+    """One table: ordered rows of labelled counts.
+
+    Attributes:
+        table_id: identifier matching the paper, e.g. ``"5b"`` or ``"19"``.
+        title: the paper's caption (possibly shortened).
+        columns: ordered column names, e.g. ``("Total", "R", "P")``.
+        rows: mapping from row label to a mapping column -> count.
+            ``None`` marks a cell the paper reports as ``NA``.
+    """
+
+    table_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: dict[str, dict[str, int | None]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, cells in self.rows.items():
+            unknown = set(cells) - set(self.columns)
+            if unknown:
+                raise ValueError(
+                    f"table {self.table_id} row {label!r} has cells for "
+                    f"unknown columns {sorted(unknown)}"
+                )
+
+    def cell(self, row: str, column: str) -> int | None:
+        """Return one cell; missing cells read as ``None``."""
+        return self.rows[row].get(column)
+
+    def column(self, column: str) -> dict[str, int | None]:
+        """Return one column as ``{row_label: value}`` in row order."""
+        if column not in self.columns:
+            raise KeyError(f"table {self.table_id} has no column {column!r}")
+        return {label: cells.get(column) for label, cells in self.rows.items()}
+
+    def row_labels(self) -> tuple[str, ...]:
+        return tuple(self.rows)
+
+    def totals(self) -> dict[str, int]:
+        """Sum each column over rows, skipping ``None`` cells."""
+        sums: dict[str, int] = {name: 0 for name in self.columns}
+        for cells in self.rows.values():
+            for name in self.columns:
+                value = cells.get(name)
+                if value is not None:
+                    sums[name] += value
+        return sums
+
+
+def table_from_rows(
+    table_id: str,
+    title: str,
+    columns: tuple[str, ...],
+    row_items: list[tuple[str, tuple[int | None, ...]]],
+) -> Table:
+    """Build a :class:`Table` from ``(label, values)`` pairs.
+
+    ``values`` must align positionally with ``columns``.
+    """
+    rows: dict[str, dict[str, int | None]] = {}
+    for label, values in row_items:
+        if len(values) != len(columns):
+            raise ValueError(
+                f"table {table_id} row {label!r}: expected {len(columns)} "
+                f"values, got {len(values)}"
+            )
+        rows[label] = dict(zip(columns, values))
+    return Table(table_id=table_id, title=title, columns=columns, rows=rows)

@@ -1,0 +1,292 @@
+"""Canonical vocabulary of the VLDB 2017 survey.
+
+Every question in the survey instrument, every tabulation, and every
+synthetic-population constraint refers to the names defined here, so a typo
+in one place cannot silently diverge from the paper's terminology.
+
+The constants mirror, verbatim where practical, the row labels of the
+paper's tables (Tables 1-20) and the choice lists described in Sections 2-7
+and Appendices A-D.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Section 2.2 -- demographics
+# ---------------------------------------------------------------------------
+
+FIELDS_OF_WORK = (
+    "Information & Technology",
+    "Research in Academia",
+    "Finance",
+    "Research in Industry Lab",
+    "Government",
+    "Healthcare",
+    "Defence & Space",
+    "Pharmaceutical",
+    "Retail & E-Commerce",
+    "Transportation",
+    "Telecommunications",
+    "Insurance",
+    "Other",
+)
+
+#: Fields whose selection makes a participant a *researcher* (Section 2.2).
+RESEARCHER_FIELDS = frozenset({"Research in Academia", "Research in Industry Lab"})
+
+ORG_SIZES = ("1 - 10", "10 - 100", "100 - 1000", "1000 - 10000", ">10000")
+
+ROLES = ("Researcher", "Engineer", "Manager", "Data Analyst")
+
+# ---------------------------------------------------------------------------
+# Section 3 -- graph datasets
+# ---------------------------------------------------------------------------
+
+ENTITY_KINDS = ("Human", "Non-Human", "RDF", "Scientific")
+
+#: The seven broad categories of non-human entities (Section 3.1).
+NON_HUMAN_CATEGORIES = (
+    "NH-P",  # Products, orders, transactions
+    "NH-B",  # Business and financial data
+    "NH-W",  # Web data
+    "NH-G",  # Geographic maps
+    "NH-D",  # Digital data
+    "NH-I",  # Infrastructure networks
+    "NH-K",  # Knowledge and textual data
+)
+
+NON_HUMAN_CATEGORY_NAMES = {
+    "NH-P": "Products",
+    "NH-B": "Business and Financial Data",
+    "NH-W": "Web Data",
+    "NH-G": "Geographic Maps",
+    "NH-D": "Digital Data",
+    "NH-I": "Infrastructure Networks",
+    "NH-K": "Knowledge and Textual Data",
+}
+
+VERTEX_COUNT_BUCKETS = (
+    "<10K", "10K - 100K", "100K - 1M", "1M - 10M", "10M - 100M", ">100M",
+)
+
+EDGE_COUNT_BUCKETS = (
+    "<10K", "10K - 100K", "100K - 1M", "1M - 10M", "10M - 100M",
+    "100M - 1B", ">1B",
+)
+
+BYTE_SIZE_BUCKETS = (
+    "<100MB", "100MB - 1GB", "1GB - 10GB", "10GB - 100GB", "100GB - 1TB",
+    ">1 TB",
+)
+
+DIRECTEDNESS = ("Only Directed", "Only Undirected", "Both")
+
+SIMPLICITY = ("Only Simple Graphs", "Only Multigraphs", "Both")
+
+PROPERTY_TYPES = ("String", "Numeric", "Date/Timestamp", "Binary")
+
+DYNAMISM = ("Static", "Dynamic", "Streaming")
+
+# ---------------------------------------------------------------------------
+# Section 4 -- computations (choices derived from the 90-paper review)
+# ---------------------------------------------------------------------------
+
+GRAPH_COMPUTATIONS = (
+    "Finding Connected Components",
+    "Neighborhood Queries",
+    "Finding Short / Shortest Paths",
+    "Subgraph Matching",
+    "Ranking & Centrality Scores",
+    "Aggregations",
+    "Reachability Queries",
+    "Graph Partitioning",
+    "Node-similarity",
+    "Finding Frequent or Densest Subgraphs",
+    "Computing Minimum Spanning Tree",
+    "Graph Coloring",
+    "Diameter Estimation",
+)
+
+ML_COMPUTATIONS = (
+    "Clustering",
+    "Classification",
+    "Regression (Linear / Logistic)",
+    "Graphical Model Inference",
+    "Collaborative Filtering",
+    "Stochastic Gradient Descent",
+    "Alternating Least Squares",
+)
+
+ML_PROBLEMS = (
+    "Community Detection",
+    "Recommendation System",
+    "Link Prediction",
+    "Influence Maximization",
+)
+
+TRAVERSALS = (
+    "Breadth-first-search or variant",
+    "Depth-first-search or variant",
+    "Both",
+    "Neither",
+)
+
+# ---------------------------------------------------------------------------
+# Section 5 -- software
+# ---------------------------------------------------------------------------
+
+QUERY_SOFTWARE = (
+    "Graph Database System",
+    "Apache Hadoop, Spark, Pig, Hive",
+    "Apache Tinkerpop (Gremlin)",
+    "Relational Database Management System",
+    "RDF Engine",
+    "Distributed Graph Processing Systems",
+    "Linear Algebra Library / Software",
+    "In-Memory Graph Processing Library",
+)
+
+NON_QUERY_SOFTWARE = (
+    "Graph Visualization",
+    "Build / Extract / Transform",
+    "Graph Cleaning",
+    "Synthetic Graph Generator",
+    "Specialized Debugger",
+)
+
+ARCHITECTURES = (
+    "Single Machine Serial",
+    "Single Machine Parallel",
+    "Distributed",
+)
+
+STORAGE_FORMATS = (
+    "Graph Databases",
+    "Relational Databases",
+    "RDF Store",
+    "NoSQL Store (Key-value, HBase)",
+    "XML / JSON",
+    "JGF / GML / GraphML",
+    "CSV / Text files",
+    "Elasticsearch",
+    "Binary",
+)
+
+# ---------------------------------------------------------------------------
+# Section 6 / 7 -- challenges and workload
+# ---------------------------------------------------------------------------
+
+CHALLENGES = (
+    "Scalability",
+    "Visualization",
+    "Query Languages / Programming APIs",
+    "Faster graph or machine learning algorithms",
+    "Usability",
+    "Benchmarks",
+    "More general purpose graph software",
+    "Extract & Transform",
+    "Debugging & Testing",
+    "Graph Cleaning",
+)
+
+WORKLOAD_TASKS = (
+    "Analytics", "Testing", "Debugging", "Maintenance", "ETL", "Cleaning",
+)
+
+HOUR_BUCKETS = ("0 - 5 hours", "5 - 10 hours", ">10 hours")
+
+# ---------------------------------------------------------------------------
+# Section 2.4 / 6.2 -- review taxonomy (Table 19)
+# ---------------------------------------------------------------------------
+
+REVIEW_CHALLENGE_GROUPS = {
+    "Graph DBs and RDF Engines": (
+        "High-degree Vertices",
+        "Hyperedges",
+        "Triggers",
+        "Versioning and Historical Analysis",
+        "Schema & Constraints",
+    ),
+    "Visualization Software": (
+        "Layout",
+        "Customizability",
+        "Large-graph Visualization",
+        "Dynamic Graph Visualization",
+    ),
+    "Query Languages": (
+        "Subqueries",
+        "Querying Across Multiple Graphs",
+    ),
+    "DGPS and Graph Libraries": (
+        "Off-the-shelf Algorithms",
+        "Graph Generators",
+        "GPU Support",
+    ),
+}
+
+REVIEW_CHALLENGES = tuple(
+    challenge
+    for group in REVIEW_CHALLENGE_GROUPS.values()
+    for challenge in group
+)
+
+#: Email/issue graph-size buckets (Table 18).
+EMAIL_VERTEX_BUCKETS = ("100M - 1B", "1B - 10B", "10B - 100B", ">100B")
+EMAIL_EDGE_BUCKETS = ("1B - 10B", "10B - 100B", "100B - 500B", ">500B")
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 20 -- the 22 surveyed products (+2 extra viz repos)
+# ---------------------------------------------------------------------------
+
+TECHNOLOGY_CLASSES = (
+    "Graph Database System",
+    "RDF Engine",
+    "Distributed Graph Processing Engine",
+    "Query Language",
+    "Graph Library",
+    "Graph Visualization",
+    "Graph Representation",
+)
+
+#: product name -> technology class, for the 22 surveyed products plus the
+#: two visualization repositories (Gephi, Graphviz) reviewed in Section 2.4.
+PRODUCTS = {
+    "ArangoDB": "Graph Database System",
+    "Cayley": "Graph Database System",
+    "DGraph": "Graph Database System",
+    "JanusGraph": "Graph Database System",
+    "Neo4j": "Graph Database System",
+    "OrientDB": "Graph Database System",
+    "Apache Jena": "RDF Engine",
+    "Sparksee": "RDF Engine",
+    "Virtuoso": "RDF Engine",
+    "Apache Flink (Gelly)": "Distributed Graph Processing Engine",
+    "Apache Giraph": "Distributed Graph Processing Engine",
+    "Apache Spark (GraphX)": "Distributed Graph Processing Engine",
+    "Gremlin": "Query Language",
+    "Graph for Scala": "Graph Library",
+    "GraphStream": "Graph Library",
+    "Graphtool": "Graph Library",
+    "NetworKit": "Graph Library",
+    "NetworkX": "Graph Library",
+    "SNAP": "Graph Library",
+    "Cytoscape": "Graph Visualization",
+    "Elasticsearch (X-Pack Graph)": "Graph Visualization",
+    "Conceptual Graphs": "Graph Representation",
+    # Reviewed for issues only (Section 2.4), not part of the 22 products:
+    "Gephi": "Graph Visualization",
+    "Graphviz": "Graph Visualization",
+}
+
+SURVEYED_PRODUCTS = tuple(
+    name for name in PRODUCTS if name not in ("Gephi", "Graphviz")
+)
+
+#: Technology classes whose user communities raise the "Graph DBs and RDF
+#: Engines" challenge group of Table 19.
+GRAPHDB_LIKE_CLASSES = frozenset(
+    {"Graph Database System", "RDF Engine"}
+)
+DGPS_LIBRARY_CLASSES = frozenset(
+    {"Distributed Graph Processing Engine", "Graph Library"}
+)

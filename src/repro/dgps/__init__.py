@@ -1,0 +1,25 @@
+"""A single-machine Pregel-style DGPS: the programming model of Giraph /
+GraphX / Gelly (the paper's Table 12 "Distributed Graph Processing
+Systems" class), with classic vertex programs and a Graft-style debugger
+(Table 13 "Specialized Debugger")."""
+
+from repro.dgps.algorithms import (
+    pregel_bfs_depth,
+    pregel_connected_components,
+    pregel_degree,
+    pregel_max_value,
+    pregel_pagerank,
+    pregel_sssp,
+)
+from repro.dgps.debugger import CapturedRun, captured_run
+from repro.dgps.pregel import (
+    PregelEngine,
+    PregelError,
+    PregelResult,
+    SuperstepStats,
+    VertexContext,
+    max_aggregator,
+    min_aggregator,
+    run_pregel,
+    sum_aggregator,
+)

@@ -1,0 +1,96 @@
+"""A Graft-style debugger for vertex-centric computations.
+
+Table 13 lists "Specialized Debugger" among the non-query software
+participants use; the paper cites Graft, the debugging tool for Apache
+Giraph, as the reference point. This module provides the same core
+workflow for :mod:`repro.dgps.pregel` runs:
+
+* **capture** -- record every vertex's value at every superstep;
+* **replay** -- inspect a vertex's value timeline;
+* **diff** -- which vertices changed between two supersteps;
+* **anomaly scan** -- vertices whose values violate a user predicate, or
+  that keep oscillating after the rest of the graph has stabilized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dgps.pregel import PregelEngine, PregelResult
+from repro.graphs.adjacency import Vertex
+
+
+@dataclass
+class CapturedRun:
+    """Everything the debugger recorded about one Pregel run."""
+
+    result: PregelResult
+    snapshots: list[dict[Vertex, Any]] = field(default_factory=list)
+
+    def supersteps(self) -> int:
+        return len(self.snapshots)
+
+    def value_at(self, vertex: Vertex, superstep: int) -> Any:
+        return self.snapshots[superstep][vertex]
+
+    def timeline(self, vertex: Vertex) -> list[Any]:
+        """The vertex's value after every superstep."""
+        return [snapshot[vertex] for snapshot in self.snapshots]
+
+    def changed_between(self, old: int, new: int) -> set[Vertex]:
+        """Vertices whose value differs between two supersteps."""
+        before, after = self.snapshots[old], self.snapshots[new]
+        return {v for v in after if before[v] != after[v]}
+
+    def converged_at(self, vertex: Vertex) -> int | None:
+        """First superstep after which the vertex's value never changes
+        again (None if it changed in the final step)."""
+        values = self.timeline(vertex)
+        last = values[-1]
+        for step in range(len(values)):
+            if all(v == last for v in values[step:]):
+                return step
+        return None
+
+    def find_violations(
+        self,
+        predicate: Callable[[Vertex, Any], bool],
+        superstep: int = -1,
+    ) -> list[Vertex]:
+        """Vertices whose value fails ``predicate`` at a superstep."""
+        snapshot = self.snapshots[superstep]
+        return [v for v, value in snapshot.items()
+                if not predicate(v, value)]
+
+    def stragglers(self, tail: int = 3) -> set[Vertex]:
+        """Vertices still changing during the last ``tail`` supersteps --
+        the usual suspects when a computation fails to converge."""
+        if len(self.snapshots) <= tail:
+            return set()
+        suspects: set[Vertex] = set()
+        for step in range(len(self.snapshots) - tail,
+                          len(self.snapshots)):
+            suspects |= self.changed_between(step - 1, step)
+        return suspects
+
+    def summary(self) -> str:
+        lines = [
+            f"captured {self.supersteps()} supersteps over "
+            f"{len(self.snapshots[0]) if self.snapshots else 0} vertices",
+        ]
+        for stat in self.result.stats:
+            lines.append(
+                f"  superstep {stat.superstep}: "
+                f"{stat.active_vertices} active, "
+                f"{stat.messages_sent} messages")
+        return "\n".join(lines)
+
+
+def captured_run(engine: PregelEngine) -> CapturedRun:
+    """Run an engine with capture enabled and return the recording."""
+    snapshots: list[dict[Vertex, Any]] = []
+    engine.set_trace_hook(
+        lambda superstep, values: snapshots.append(dict(values)))
+    result = engine.run()
+    return CapturedRun(result=result, snapshots=snapshots)

@@ -1,0 +1,260 @@
+"""A Pregel-style vertex-centric computation engine.
+
+Distributed graph processing systems (Giraph, GraphX, Gelly) are the
+academic workhorses of the paper's Table 12 (17 of 90 papers) and the
+survey's least-adopted system class (14 users). Their shared programming
+model is Pregel's bulk-synchronous "think like a vertex": per superstep,
+every active vertex receives its messages, updates its value, sends
+messages along edges, and may vote to halt.
+
+This module implements that model faithfully on one machine:
+
+* superstep barriers with message delivery at the next superstep;
+* vote-to-halt semantics with reactivation on message receipt;
+* combiners (associative message pre-aggregation);
+* aggregators (global per-superstep reductions, Pregel-style);
+* an execution trace hook used by :mod:`repro.dgps.debugger`.
+
+The classic algorithms expressed on top of it live in
+:mod:`repro.dgps.algorithms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.errors import ReproError
+from repro.graphs.adjacency import Graph, Vertex
+
+
+class PregelError(ReproError):
+    """A vertex program misbehaved or the run exceeded its budget."""
+
+
+@dataclass
+class VertexContext:
+    """Everything a vertex program sees during one superstep."""
+
+    vertex: Vertex
+    value: Any
+    superstep: int
+    messages: list[Any]
+    _engine: "PregelEngine"
+    _halted: bool = False
+    _out_edges: list[tuple[Vertex, float]] = field(default_factory=list)
+
+    def out_edges(self) -> list[tuple[Vertex, float]]:
+        """(neighbor, weight) pairs for this vertex's out-edges."""
+        return list(self._out_edges)
+
+    def num_out_edges(self) -> int:
+        return len(self._out_edges)
+
+    def send(self, target: Vertex, message: Any) -> None:
+        """Deliver a message to ``target`` at the next superstep."""
+        self._engine._enqueue(target, message)
+
+    def send_to_neighbors(self, message: Any) -> None:
+        for neighbor, _ in self._out_edges:
+            self._engine._enqueue(neighbor, message)
+
+    def vote_to_halt(self) -> None:
+        """Deactivate; the vertex reactivates if a message arrives."""
+        self._halted = True
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute to a global aggregator for this superstep."""
+        self._engine._aggregate(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        """The aggregator's value from the *previous* superstep."""
+        return self._engine._previous_aggregates.get(name)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.num_vertices
+
+
+#: A vertex program: mutates/returns the vertex value given its context.
+VertexProgram = Callable[[VertexContext], Any]
+#: A combiner folds two messages for the same target into one.
+Combiner = Callable[[Any, Any], Any]
+#: An aggregator reduce function plus an identity element.
+Aggregator = tuple[Callable[[Any, Any], Any], Any]
+
+
+@dataclass(frozen=True)
+class SuperstepStats:
+    """Observability record for one superstep."""
+
+    superstep: int
+    active_vertices: int
+    messages_sent: int
+    aggregates: dict[str, Any]
+
+
+@dataclass
+class PregelResult:
+    """Final vertex values plus the execution trace."""
+
+    values: dict[Vertex, Any]
+    supersteps: int
+    stats: list[SuperstepStats]
+
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)
+
+
+class PregelEngine:
+    """Single-machine BSP executor for vertex programs."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: VertexProgram,
+        initial_value: Callable[[Vertex], Any] | Any = None,
+        combiner: Combiner | None = None,
+        aggregators: dict[str, Aggregator] | None = None,
+        max_supersteps: int = 100,
+    ):
+        self._graph = graph
+        self._program = program
+        self._combiner = combiner
+        self._aggregators = dict(aggregators or {})
+        self._max_supersteps = max_supersteps
+        self.num_vertices = graph.num_vertices()
+
+        self._values: dict[Vertex, Any] = {}
+        for vertex in graph.vertices():
+            if callable(initial_value):
+                self._values[vertex] = initial_value(vertex)
+            else:
+                self._values[vertex] = initial_value
+        self._out_edges: dict[Vertex, list[tuple[Vertex, float]]] = {
+            v: [] for v in graph.vertices()}
+        for edge in graph.edges():
+            self._out_edges[edge.u].append((edge.v, edge.weight))
+            if not graph.directed and edge.u != edge.v:
+                self._out_edges[edge.v].append((edge.u, edge.weight))
+
+        self._inbox: dict[Vertex, list[Any]] = {}
+        self._next_inbox: dict[Vertex, list[Any]] = {}
+        self._halted: set[Vertex] = set()
+        self._messages_this_step = 0
+        self._current_aggregates: dict[str, Any] = {}
+        self._previous_aggregates: dict[str, Any] = {}
+        self._trace_hook: Callable[
+            [int, dict[Vertex, Any]], None] | None = None
+
+    # -- engine internals (called by VertexContext) ---------------------
+
+    def _enqueue(self, target: Vertex, message: Any) -> None:
+        if target not in self._values:
+            raise PregelError(f"message sent to unknown vertex {target!r}")
+        self._messages_this_step += 1
+        box = self._next_inbox
+        if self._combiner is not None and target in box:
+            box[target] = [self._combiner(box[target][0], message)]
+        else:
+            box.setdefault(target, []).append(message)
+
+    def _aggregate(self, name: str, value: Any) -> None:
+        try:
+            reduce_fn, identity = self._aggregators[name]
+        except KeyError:
+            raise PregelError(f"unknown aggregator {name!r}") from None
+        current = self._current_aggregates.get(name, identity)
+        self._current_aggregates[name] = reduce_fn(current, value)
+
+    # -- public API ------------------------------------------------------
+
+    def set_trace_hook(
+        self, hook: Callable[[int, dict[Vertex, Any]], None],
+    ) -> None:
+        """Register a callback invoked after every superstep with the
+        superstep number and a snapshot of all vertex values (used by the
+        Graft-style debugger)."""
+        self._trace_hook = hook
+
+    def run(self) -> PregelResult:
+        """Execute supersteps until every vertex halts with no messages
+        in flight, or the budget is exhausted (then raises
+        :class:`PregelError`)."""
+        stats: list[SuperstepStats] = []
+        superstep = 0
+        while superstep < self._max_supersteps:
+            active = [
+                v for v in self._values
+                if v not in self._halted or v in self._inbox
+            ]
+            if not active:
+                break
+            self._messages_this_step = 0
+            self._current_aggregates = {
+                name: identity
+                for name, (_, identity) in self._aggregators.items()}
+            for vertex in active:
+                self._halted.discard(vertex)
+                context = VertexContext(
+                    vertex=vertex,
+                    value=self._values[vertex],
+                    superstep=superstep,
+                    messages=self._inbox.get(vertex, []),
+                    _engine=self,
+                    _out_edges=self._out_edges[vertex],
+                )
+                new_value = self._program(context)
+                if new_value is not None:
+                    self._values[vertex] = new_value
+                else:
+                    self._values[vertex] = context.value
+                if context._halted:
+                    self._halted.add(vertex)
+            stats.append(SuperstepStats(
+                superstep=superstep,
+                active_vertices=len(active),
+                messages_sent=self._messages_this_step,
+                aggregates=dict(self._current_aggregates)))
+            if self._trace_hook is not None:
+                self._trace_hook(superstep, dict(self._values))
+            self._previous_aggregates = dict(self._current_aggregates)
+            self._inbox = self._next_inbox
+            self._next_inbox = {}
+            superstep += 1
+        else:
+            raise PregelError(
+                f"computation did not finish within "
+                f"{self._max_supersteps} supersteps")
+        return PregelResult(values=dict(self._values),
+                            supersteps=superstep, stats=stats)
+
+
+def run_pregel(
+    graph: Graph,
+    program: VertexProgram,
+    initial_value: Callable[[Vertex], Any] | Any = None,
+    combiner: Combiner | None = None,
+    aggregators: dict[str, Aggregator] | None = None,
+    max_supersteps: int = 100,
+    trace_hook: Callable[[int, dict[Vertex, Any]], None] | None = None,
+) -> PregelResult:
+    """One-shot convenience wrapper around :class:`PregelEngine`."""
+    engine = PregelEngine(
+        graph, program, initial_value=initial_value, combiner=combiner,
+        aggregators=aggregators, max_supersteps=max_supersteps)
+    if trace_hook is not None:
+        engine.set_trace_hook(trace_hook)
+    return engine.run()
+
+
+def sum_aggregator() -> Aggregator:
+    return (lambda a, b: a + b, 0)
+
+
+def max_aggregator() -> Aggregator:
+    return (lambda a, b: b if a is None or b > a else a, None)
+
+
+def min_aggregator() -> Aggregator:
+    return (lambda a, b: b if a is None or b < a else a, None)

@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """An operation referenced a vertex that is not in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An operation referenced an edge that is not in the graph."""
+
+    def __init__(self, description):
+        super().__init__(f"edge {description} is not in the graph")
+
+
+class ParallelEdgeError(GraphError):
+    """A parallel edge was added to a simple graph."""
+
+
+class SchemaViolation(ReproError):
+    """A graph mutation or validation violated a schema constraint."""
+
+
+class QueryError(ReproError):
+    """A query failed to parse, plan, or execute."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative computation failed to converge within its budget."""

@@ -1,0 +1,31 @@
+"""Synthetic graph generators (Table 13 "Synthetic Graph Generator" and
+the Section 6.2 generator requests: k-regular, random directed power-law,
+bipartite, small-world, Graph500/RMAT)."""
+
+from repro.generators.powerlaw import (
+    barabasi_albert,
+    directed_powerlaw,
+    powerlaw_configuration,
+    sample_powerlaw_degrees,
+)
+from repro.generators.random_graphs import gnm_random_graph, gnp_random_graph
+from repro.generators.regular import (
+    balanced_tree,
+    bipartite_random,
+    complete_graph,
+    grid_graph,
+    is_regular,
+    random_regular,
+    ring_lattice,
+    star_graph,
+    watts_strogatz,
+)
+from repro.generators.rmat import (
+    GRAPH500_PARAMS,
+    RMATSpec,
+    degree_skew,
+    graph500_edge_generator,
+    rmat_csr,
+    rmat_edge_list,
+    rmat_graph,
+)

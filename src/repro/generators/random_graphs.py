@@ -1,0 +1,109 @@
+"""Classic random graphs: G(n, p) and G(n, m).
+
+These are the baseline synthetic workloads used throughout the benchmark
+harness; see :mod:`repro.generators.powerlaw` and
+:mod:`repro.generators.rmat` for the skewed-degree generators users
+requested in Section 6.2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.adjacency import Graph
+
+
+def gnp_random_graph(
+    n: int,
+    p: float,
+    directed: bool = False,
+    seed: int = 0,
+) -> Graph:
+    """Erdős–Rényi G(n, p): every possible edge appears independently.
+
+    Uses geometric skipping, so sparse graphs cost O(n + m) rather than
+    O(n^2).
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(directed=directed, multigraph=False)
+    graph.add_vertices(range(n))
+    if p == 0 or n < 2:
+        return graph
+    if p == 1:
+        for u in range(n):
+            for v in range(n) if directed else range(u + 1, n):
+                if u != v:
+                    graph.add_edge(u, v)
+        return graph
+    import math
+
+    log_q = math.log(1.0 - p)
+
+    def skip() -> int:
+        return int(math.log(1.0 - rng.random()) / log_q)
+
+    if directed:
+        position = -1
+        total = n * (n - 1)
+        position += 1 + skip()
+        while position < total:
+            u, v = divmod(position, n - 1)
+            if v >= u:
+                v += 1
+            graph.add_edge(u, v)
+            position += 1 + skip()
+    else:
+        position = -1
+        total = n * (n - 1) // 2
+        position += 1 + skip()
+        while position < total:
+            u, v = _pair_from_index(position, n)
+            graph.add_edge(u, v)
+            position += 1 + skip()
+    return graph
+
+
+def _pair_from_index(index: int, n: int) -> tuple[int, int]:
+    """The index-th pair (u < v) in lexicographic order."""
+    u = 0
+    remaining = index
+    row = n - 1
+    while remaining >= row:
+        remaining -= row
+        u += 1
+        row -= 1
+    return u, u + 1 + remaining
+
+
+def gnm_random_graph(
+    n: int,
+    m: int,
+    directed: bool = False,
+    seed: int = 0,
+) -> Graph:
+    """G(n, m): exactly m distinct edges chosen uniformly."""
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be >= 0")
+    max_edges = n * (n - 1) if directed else n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the maximum {max_edges}")
+    rng = random.Random(seed)
+    graph = Graph(directed=directed, multigraph=False)
+    graph.add_vertices(range(n))
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if not directed and u > v:
+            u, v = v, u
+        if (u, v) in chosen:
+            continue
+        chosen.add((u, v))
+        graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,175 @@
+"""Structured generators: k-regular, ring lattice, Watts-Strogatz, grid.
+
+"k-regular graphs" are an explicit Section 6.2 user request. Watts-
+Strogatz covers the small-world regime between the lattice and G(n, p);
+grids supply the planar workloads the visualization layouts are tested
+on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.adjacency import Graph
+
+
+def ring_lattice(n: int, k: int) -> Graph:
+    """A ring where each vertex connects to its k nearest neighbors
+    (k must be even, k < n)."""
+    if k % 2 != 0:
+        raise ValueError("k must be even")
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    graph = Graph(directed=False, multigraph=False)
+    graph.add_vertices(range(n))
+    for vertex in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(vertex, (vertex + offset) % n)
+    return graph
+
+
+def random_regular(n: int, k: int, seed: int = 0,
+                   max_attempts: int = 5000) -> Graph:
+    """A uniform-ish random k-regular graph by pairing model with
+    restarts. Requires n*k even and k < n."""
+    if k < 0 or n < 0:
+        raise ValueError("n and k must be >= 0")
+    if (n * k) % 2 != 0:
+        raise ValueError("n * k must be even")
+    if k >= n and n > 0:
+        raise ValueError("k must be smaller than n")
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        stubs = [v for v in range(n) for _ in range(k)]
+        rng.shuffle(stubs)
+        edges: set[tuple[int, int]] = set()
+        ok = True
+        for i in range(0, len(stubs) - 1, 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v:
+                ok = False
+                break
+            key = (min(u, v), max(u, v))
+            if key in edges:
+                ok = False
+                break
+            edges.add(key)
+        if ok:
+            graph = Graph(directed=False, multigraph=False)
+            graph.add_vertices(range(n))
+            for u, v in sorted(edges):
+                graph.add_edge(u, v)
+            return graph
+    raise RuntimeError(
+        f"failed to sample a {k}-regular graph on {n} vertices in "
+        f"{max_attempts} attempts")
+
+
+def is_regular(graph, k: int | None = None) -> bool:
+    """True iff every vertex has the same degree (optionally exactly k)."""
+    degrees = {graph.degree(v) for v in graph.vertices()}
+    if not degrees:
+        return True
+    if len(degrees) != 1:
+        return False
+    return k is None or degrees == {k}
+
+
+def watts_strogatz(n: int, k: int, p: float, seed: int = 0) -> Graph:
+    """Watts-Strogatz small world: ring lattice with rewiring probability
+    p per edge."""
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = ring_lattice(n, k)
+    for edge in list(graph.edges()):
+        if rng.random() >= p:
+            continue
+        u = edge.u
+        candidates = [
+            w for w in range(n)
+            if w != u and not graph.has_edge(u, w)
+        ]
+        if not candidates:
+            continue
+        graph.remove_edge(edge.edge_id)
+        graph.add_edge(u, rng.choice(candidates))
+    return graph
+
+
+def grid_graph(rows: int, cols: int, diagonal: bool = False) -> Graph:
+    """A rows x cols grid; vertices are (row, col) tuples."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    graph = Graph(directed=False, multigraph=False)
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if diagonal and r + 1 < rows and c + 1 < cols:
+                graph.add_edge((r, c), (r + 1, c + 1))
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """A hub (vertex 0) connected to n leaves."""
+    graph = Graph(directed=False, multigraph=False)
+    graph.add_vertex(0)
+    for leaf in range(1, n + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_graph(n: int, directed: bool = False) -> Graph:
+    graph = Graph(directed=directed, multigraph=False)
+    graph.add_vertices(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            if directed or u < v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """A rooted tree (directed parent->child) with uniform branching."""
+    if branching < 1 or height < 0:
+        raise ValueError("branching must be >= 1 and height >= 0")
+    graph = Graph(directed=True, multigraph=False)
+    graph.add_vertex(0)
+    next_id = 1
+    frontier = [0]
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_id)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return graph
+
+
+def bipartite_random(
+    left: int, right: int, p: float, seed: int = 0,
+) -> Graph:
+    """Random bipartite graph; left vertices are ("L", i), right ("R", j)."""
+    if not 0 <= p <= 1:
+        raise ValueError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(directed=False, multigraph=False)
+    for i in range(left):
+        graph.add_vertex(("L", i))
+    for j in range(right):
+        graph.add_vertex(("R", j))
+    for i in range(left):
+        for j in range(right):
+            if rng.random() < p:
+                graph.add_edge(("L", i), ("R", j))
+    return graph

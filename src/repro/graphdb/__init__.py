@@ -1,0 +1,7 @@
+"""An embedded graph database (the survey's most-used software class,
+Table 12): indexed, transactional, queryable GQL-lite storage with
+optional schema and triggers, persisted via the Table 17 formats."""
+
+from repro.graphdb.database import GraphDatabase
+from repro.graphdb.index import IndexedGraphView, LabelIndex, PropertyIndex
+from repro.graphdb.transactions import Transaction, TransactionError, TxState

@@ -1,0 +1,60 @@
+"""Transactions with rollback for the graph database.
+
+A transaction buffers an undo log: every mutation applied through it
+records its inverse, and ``rollback`` replays the inverses in reverse
+order. ``commit`` discards the log. Nested transactions are not
+supported (matching most embedded graph stores); beginning a transaction
+while one is open raises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction API."""
+
+
+class TxState(enum.Enum):
+    OPEN = "open"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled_back"
+
+
+@dataclass
+class Transaction:
+    """An undo log with lifecycle state."""
+
+    tx_id: int
+    state: TxState = TxState.OPEN
+    _undo: list[Callable[[], None]] = field(default_factory=list)
+    _touched: int = 0
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        self._require_open()
+        self._undo.append(undo)
+        self._touched += 1
+
+    def commit(self) -> None:
+        self._require_open()
+        self._undo.clear()
+        self.state = TxState.COMMITTED
+
+    def rollback(self) -> None:
+        self._require_open()
+        while self._undo:
+            self._undo.pop()()
+        self.state = TxState.ROLLED_BACK
+
+    def operations(self) -> int:
+        return self._touched
+
+    def _require_open(self) -> None:
+        if self.state is not TxState.OPEN:
+            raise TransactionError(
+                f"transaction {self.tx_id} is {self.state.value}")

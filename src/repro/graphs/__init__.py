@@ -1,0 +1,81 @@
+"""Graph substrate: the structures the surveyed systems provide.
+
+Public surface:
+
+* :class:`~repro.graphs.adjacency.Graph` -- directed/undirected,
+  simple/multigraph adjacency store (Table 7a/7b).
+* :class:`~repro.graphs.property_graph.PropertyGraph` -- labels and typed
+  properties (Table 7c).
+* :class:`~repro.graphs.csr.CSRGraph` -- numpy snapshot for analytics.
+* :class:`~repro.graphs.dynamic.VersionedGraph` -- change log, versions,
+  historical analysis (Section 6.2).
+* :class:`~repro.graphs.streaming.StreamingGraph` -- sliding-window edge
+  stream (Table 8 "streaming").
+* :class:`~repro.graphs.hypergraph.Hypergraph` -- hyperedges via the
+  hyperedge-vertex encoding (Section 6.2).
+* :class:`~repro.graphs.schema.GraphSchema` -- schemas and constraints
+  (Section 6.2).
+* :class:`~repro.graphs.triggers.TriggeredGraph` -- mutation triggers
+  (Section 6.2).
+* :class:`~repro.graphs.views.GraphView` and
+  :func:`~repro.graphs.views.skip_high_degree` -- filtered views including
+  high-degree skipping (Section 6.2).
+"""
+
+from repro.graphs.adjacency import Edge, Graph, graph_from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.dynamic import Change, ChangeKind, Version, VersionedGraph
+from repro.graphs.hypergraph import Hyperedge, Hypergraph
+from repro.graphs.property_graph import (
+    PropertyGraph,
+    PropertyType,
+    property_type_of,
+)
+from repro.graphs.schema import (
+    EdgeRule,
+    GraphSchema,
+    PropertyRule,
+    SchemaEnforcedGraph,
+)
+from repro.graphs.streaming import (
+    StreamEdge,
+    StreamingGraph,
+    edge_stream_from_pairs,
+)
+from repro.graphs.triggers import (
+    TriggerAbort,
+    TriggerEvent,
+    TriggerPhase,
+    TriggeredGraph,
+)
+from repro.graphs.views import (
+    GraphView,
+    exclude_vertices,
+    min_weight_edges,
+    skip_high_degree,
+)
+
+__all__ = [
+    "Edge", "Graph", "graph_from_edges", "CSRGraph",
+    "Change", "ChangeKind", "Version", "VersionedGraph",
+    "Hyperedge", "Hypergraph",
+    "PropertyGraph", "PropertyType", "property_type_of",
+    "EdgeRule", "GraphSchema", "PropertyRule", "SchemaEnforcedGraph",
+    "StreamEdge", "StreamingGraph", "edge_stream_from_pairs",
+    "TriggerAbort", "TriggerEvent", "TriggerPhase", "TriggeredGraph",
+    "GraphView", "exclude_vertices", "min_weight_edges", "skip_high_degree",
+]
+
+from repro.graphs.io_formats import (  # noqa: E402 (Table 17 formats)
+    FORMATS,
+    load_graph,
+    save_graph,
+    store_in_multiple_formats,
+)
+
+__all__ += ["FORMATS", "load_graph", "save_graph",
+            "store_in_multiple_formats"]
+
+from repro.graphs.rdf import Literal, TripleStore  # noqa: E402 (RDF class)
+
+__all__ += ["Literal", "TripleStore"]

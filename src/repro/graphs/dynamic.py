@@ -1,0 +1,228 @@
+"""Versioned graph with historical analysis (a Section 6.2 user request).
+
+Users of graph databases asked for "the ability to store the history of
+the changes made to the vertices and edges and query over the different
+versions of the graph". :class:`VersionedGraph` implements that as a
+change log with named versions: every mutation appends a change record,
+``commit`` seals a version, and ``snapshot`` replays the log to
+materialize the graph as of any version.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import EdgeNotFound, GraphError, VertexNotFound
+from repro.graphs.adjacency import Vertex
+from repro.graphs.property_graph import PropertyGraph
+
+
+class ChangeKind(enum.Enum):
+    ADD_VERTEX = "add_vertex"
+    REMOVE_VERTEX = "remove_vertex"
+    ADD_EDGE = "add_edge"
+    REMOVE_EDGE = "remove_edge"
+    SET_VERTEX_PROPERTY = "set_vertex_property"
+    SET_EDGE_PROPERTY = "set_edge_property"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One entry in the change log."""
+
+    sequence: int
+    kind: ChangeKind
+    payload: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Version:
+    """A sealed point in the change log."""
+
+    version_id: int
+    message: str
+    upto_sequence: int  # changes with sequence <= this are included
+
+
+@dataclass
+class _LiveEdge:
+    uid: int
+    u: Vertex
+    v: Vertex
+
+
+class VersionedGraph:
+    """A property graph that remembers every change.
+
+    Mutations go through this class (not the underlying graph) so they are
+    logged. Edge identity across versions uses stable integer *uids*
+    assigned by this class.
+    """
+
+    def __init__(self, directed: bool = True, multigraph: bool = True):
+        self._directed = directed
+        self._multigraph = multigraph
+        self._log: list[Change] = []
+        self._versions: list[Version] = []
+        self._current = PropertyGraph(directed=directed,
+                                      multigraph=multigraph)
+        self._edge_uid_to_id: dict[int, int] = {}
+        self._next_uid = 0
+
+    # -- mutation (logged) ----------------------------------------------
+
+    def _record(self, kind: ChangeKind, **payload: Any) -> None:
+        self._log.append(
+            Change(sequence=len(self._log), kind=kind, payload=payload))
+
+    def add_vertex(self, vertex: Vertex, label: str | None = None,
+                   **properties: Any) -> Vertex:
+        self._current.add_vertex(vertex, label=label, **properties)
+        self._record(ChangeKind.ADD_VERTEX, vertex=vertex, label=label,
+                     properties=dict(properties))
+        return vertex
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        if vertex not in self._current:
+            raise VertexNotFound(vertex)
+        dead_uids = [uid for uid, eid in self._edge_uid_to_id.items()
+                     if vertex in (self._current.edge(eid).u,
+                                   self._current.edge(eid).v)]
+        self._current.remove_vertex(vertex)
+        for uid in dead_uids:
+            del self._edge_uid_to_id[uid]
+        self._record(ChangeKind.REMOVE_VERTEX, vertex=vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0,
+                 label: str | None = None, **properties: Any) -> int:
+        """Add an edge; returns its stable uid."""
+        edge_id = self._current.add_edge(u, v, weight=weight, label=label,
+                                         **properties)
+        uid = self._next_uid
+        self._next_uid += 1
+        self._edge_uid_to_id[uid] = edge_id
+        self._record(ChangeKind.ADD_EDGE, uid=uid, u=u, v=v, weight=weight,
+                     label=label, properties=dict(properties))
+        return uid
+
+    def remove_edge(self, uid: int) -> None:
+        edge_id = self._require_uid(uid)
+        self._current.remove_edge(edge_id)
+        del self._edge_uid_to_id[uid]
+        self._record(ChangeKind.REMOVE_EDGE, uid=uid)
+
+    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+        if vertex not in self._current:
+            raise VertexNotFound(vertex)
+        self._current.set_vertex_property(vertex, key, value)
+        self._record(ChangeKind.SET_VERTEX_PROPERTY, vertex=vertex, key=key,
+                     value=value)
+
+    def set_edge_property(self, uid: int, key: str, value: Any) -> None:
+        edge_id = self._require_uid(uid)
+        self._current.set_edge_property(edge_id, key, value)
+        self._record(ChangeKind.SET_EDGE_PROPERTY, uid=uid, key=key,
+                     value=value)
+
+    def _require_uid(self, uid: int) -> int:
+        try:
+            return self._edge_uid_to_id[uid]
+        except KeyError:
+            raise EdgeNotFound(f"uid {uid}") from None
+
+    # -- versions ----------------------------------------------------------
+
+    def commit(self, message: str = "") -> Version:
+        """Seal the current state as a new version."""
+        version = Version(version_id=len(self._versions), message=message,
+                          upto_sequence=len(self._log) - 1)
+        self._versions.append(version)
+        return version
+
+    def versions(self) -> list[Version]:
+        return list(self._versions)
+
+    def current(self) -> PropertyGraph:
+        """The live graph (a defensive copy)."""
+        return self._current.copy()
+
+    def snapshot(self, version_id: int) -> PropertyGraph:
+        """Materialize the graph as of a committed version."""
+        try:
+            version = self._versions[version_id]
+        except IndexError:
+            raise GraphError(f"no version {version_id}") from None
+        return self._replay(version.upto_sequence)
+
+    def _replay(self, upto_sequence: int) -> PropertyGraph:
+        graph = PropertyGraph(directed=self._directed,
+                              multigraph=self._multigraph)
+        uid_to_id: dict[int, int] = {}
+        for change in self._log[:upto_sequence + 1]:
+            payload = change.payload
+            if change.kind is ChangeKind.ADD_VERTEX:
+                graph.add_vertex(payload["vertex"], label=payload["label"],
+                                 **payload["properties"])
+            elif change.kind is ChangeKind.REMOVE_VERTEX:
+                vertex = payload["vertex"]
+                dead = [uid for uid, eid in uid_to_id.items()
+                        if vertex in (graph.edge(eid).u, graph.edge(eid).v)]
+                graph.remove_vertex(vertex)
+                for uid in dead:
+                    del uid_to_id[uid]
+            elif change.kind is ChangeKind.ADD_EDGE:
+                edge_id = graph.add_edge(
+                    payload["u"], payload["v"], weight=payload["weight"],
+                    label=payload["label"], **payload["properties"])
+                uid_to_id[payload["uid"]] = edge_id
+            elif change.kind is ChangeKind.REMOVE_EDGE:
+                graph.remove_edge(uid_to_id.pop(payload["uid"]))
+            elif change.kind is ChangeKind.SET_VERTEX_PROPERTY:
+                graph.set_vertex_property(payload["vertex"], payload["key"],
+                                          payload["value"])
+            elif change.kind is ChangeKind.SET_EDGE_PROPERTY:
+                graph.set_edge_property(uid_to_id[payload["uid"]],
+                                        payload["key"], payload["value"])
+        return graph
+
+    # -- history queries -----------------------------------------------
+
+    def history(self, vertex: Vertex) -> Iterator[Change]:
+        """Every logged change touching a vertex (adds, removals, property
+        writes, and incident-edge changes)."""
+        incident_uids = set()
+        for change in self._log:
+            payload = change.payload
+            if change.kind in (ChangeKind.ADD_VERTEX,
+                               ChangeKind.REMOVE_VERTEX,
+                               ChangeKind.SET_VERTEX_PROPERTY):
+                if payload["vertex"] == vertex:
+                    yield change
+            elif change.kind is ChangeKind.ADD_EDGE:
+                if vertex in (payload["u"], payload["v"]):
+                    incident_uids.add(payload["uid"])
+                    yield change
+            elif change.kind in (ChangeKind.REMOVE_EDGE,
+                                 ChangeKind.SET_EDGE_PROPERTY):
+                if payload["uid"] in incident_uids:
+                    yield change
+
+    def diff(self, old_version: int, new_version: int) -> dict[str, set]:
+        """Vertex/edge additions and removals between two versions."""
+        old = self.snapshot(old_version)
+        new = self.snapshot(new_version)
+        old_vertices = set(old.vertices())
+        new_vertices = set(new.vertices())
+        old_edges = {(e.u, e.v) for e in old.edges()}
+        new_edges = {(e.u, e.v) for e in new.edges()}
+        return {
+            "vertices_added": new_vertices - old_vertices,
+            "vertices_removed": old_vertices - new_vertices,
+            "edges_added": new_edges - old_edges,
+            "edges_removed": old_edges - new_edges,
+        }
+
+    def change_log(self) -> list[Change]:
+        return list(self._log)

@@ -1,0 +1,420 @@
+"""Graph storage formats (Table 17 made executable).
+
+Appendix C of the paper lists the storage formats participants keep their
+graphs in -- graph/relational database dumps, XML/JSON, GML/GraphML, CSV
+and text files, and binary. This module implements the file-based ones as
+save/load pairs behind one registry, so a graph really can be "stored in
+multiple formats" and round-tripped:
+
+* ``edgelist`` -- whitespace text, one edge per line (weights optional);
+* ``csv``     -- two relational-style tables (vertices.csv + edges.csv),
+  the "relational database format" of Appendix C as flat files;
+* ``json``    -- a self-describing document with labels and properties;
+* ``gml``     -- the Graph Modelling Language subset GraphML tools read;
+* ``graphml`` -- GraphML XML with typed property keys;
+* ``binary``  -- a compact struct-packed format for integer-indexed
+  graphs.
+
+JSON and GraphML round-trip full :class:`~repro.graphs.property_graph.
+PropertyGraph` content (labels + string/numeric properties); the others
+round-trip structure and weights.
+"""
+
+from __future__ import annotations
+
+import csv as csv_module
+import json
+import struct
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import Graph
+from repro.graphs.property_graph import PropertyGraph
+
+# ---------------------------------------------------------------------------
+# edge list
+# ---------------------------------------------------------------------------
+
+def save_edgelist(graph: Graph, path: str | Path) -> None:
+    """``u v weight`` per line; vertices written as repr-safe strings.
+
+    Isolated vertices are listed on ``# vertex`` comment lines so the
+    vertex set survives the round trip.
+    """
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# directed={graph.directed} "
+                f"multigraph={graph.multigraph}\n")
+        linked = set()
+        for edge in graph.edges():
+            linked.add(edge.u)
+            linked.add(edge.v)
+            f.write(f"{edge.u}\t{edge.v}\t{edge.weight}\n")
+        for vertex in graph.vertices():
+            if vertex not in linked:
+                f.write(f"# vertex\t{vertex}\n")
+
+
+def load_edgelist(path: str | Path) -> Graph:
+    """Load a graph saved by :func:`save_edgelist` (vertex ids become
+    strings)."""
+    graph: Graph | None = None
+    pending_isolated: list[str] = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# directed="):
+                parts = dict(
+                    token.split("=") for token in line[2:].split())
+                graph = Graph(directed=parts["directed"] == "True",
+                              multigraph=parts["multigraph"] == "True")
+                continue
+            if graph is None:
+                graph = Graph()
+            if line.startswith("# vertex\t"):
+                pending_isolated.append(line.split("\t", 1)[1])
+                continue
+            if line.startswith("#"):
+                continue
+            u, v, weight = line.split("\t")
+            graph.add_edge(u, v, weight=float(weight))
+    if graph is None:
+        graph = Graph()
+    for vertex in pending_isolated:
+        graph.add_vertex(vertex)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# CSV (relational-style pair of tables)
+# ---------------------------------------------------------------------------
+
+def save_csv(graph: Graph, path: str | Path) -> None:
+    """Writes ``<path>.vertices.csv`` and ``<path>.edges.csv``."""
+    base = Path(path)
+    with open(f"{base}.vertices.csv", "w", encoding="utf-8",
+              newline="") as f:
+        writer = csv_module.writer(f)
+        writer.writerow(["vertex", "label"])
+        for vertex in graph.vertices():
+            label = ""
+            if isinstance(graph, PropertyGraph):
+                label = graph.vertex_label(vertex) or ""
+            writer.writerow([vertex, label])
+    with open(f"{base}.edges.csv", "w", encoding="utf-8", newline="") as f:
+        writer = csv_module.writer(f)
+        writer.writerow(["source", "target", "weight", "label",
+                         "directed", "multigraph"])
+        for edge in graph.edges():
+            label = ""
+            if isinstance(graph, PropertyGraph):
+                label = graph.edge_label(edge.edge_id) or ""
+            writer.writerow([edge.u, edge.v, edge.weight, label,
+                             graph.directed, graph.multigraph])
+
+
+def load_csv(path: str | Path) -> PropertyGraph:
+    base = Path(path)
+    directed, multigraph = True, False
+    edges = []
+    with open(f"{base}.edges.csv", encoding="utf-8", newline="") as f:
+        for record in csv_module.DictReader(f):
+            directed = record["directed"] == "True"
+            multigraph = record["multigraph"] == "True"
+            edges.append(record)
+    graph = PropertyGraph(directed=directed, multigraph=multigraph)
+    with open(f"{base}.vertices.csv", encoding="utf-8", newline="") as f:
+        for record in csv_module.DictReader(f):
+            graph.add_vertex(record["vertex"],
+                             label=record["label"] or None)
+    for record in edges:
+        graph.add_edge(record["source"], record["target"],
+                       weight=float(record["weight"]),
+                       label=record["label"] or None)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def save_json(graph: Graph, path: str | Path) -> None:
+    """Self-describing JSON; keeps labels and JSON-safe properties."""
+    is_property = isinstance(graph, PropertyGraph)
+    document = {
+        "directed": graph.directed,
+        "multigraph": graph.multigraph,
+        "vertices": [],
+        "edges": [],
+    }
+    for vertex in graph.vertices():
+        record: dict = {"id": vertex}
+        if is_property:
+            if graph.vertex_label(vertex) is not None:
+                record["label"] = graph.vertex_label(vertex)
+            properties = _json_safe(graph.vertex_properties(vertex))
+            if properties:
+                record["properties"] = properties
+        document["vertices"].append(record)
+    for edge in graph.edges():
+        record = {"source": edge.u, "target": edge.v,
+                  "weight": edge.weight}
+        if is_property:
+            if graph.edge_label(edge.edge_id) is not None:
+                record["label"] = graph.edge_label(edge.edge_id)
+            properties = _json_safe(graph.edge_properties(edge.edge_id))
+            if properties:
+                record["properties"] = properties
+        document["edges"].append(record)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=1)
+
+
+def _json_safe(properties: dict) -> dict:
+    return {key: value for key, value in properties.items()
+            if isinstance(value, (str, int, float, bool))}
+
+
+def load_json(path: str | Path) -> PropertyGraph:
+    with open(path, encoding="utf-8") as f:
+        document = json.load(f)
+    graph = PropertyGraph(directed=document["directed"],
+                          multigraph=document["multigraph"])
+    for record in document["vertices"]:
+        vertex = _freeze(record["id"])
+        graph.add_vertex(vertex, label=record.get("label"),
+                         **record.get("properties", {}))
+    for record in document["edges"]:
+        graph.add_edge(_freeze(record["source"]), _freeze(record["target"]),
+                       weight=record.get("weight", 1.0),
+                       label=record.get("label"),
+                       **record.get("properties", {}))
+    return graph
+
+
+def _freeze(value):
+    """JSON round-trips tuples as lists; restore hashability."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# GML
+# ---------------------------------------------------------------------------
+
+def save_gml(graph: Graph, path: str | Path) -> None:
+    """A GML subset readable by Gephi/graph-tool style tools."""
+    index_of = {v: i for i, v in enumerate(graph.vertices())}
+    lines = ["graph [", f"  directed {int(graph.directed)}"]
+    for vertex, index in index_of.items():
+        lines.append("  node [")
+        lines.append(f"    id {index}")
+        lines.append(f'    name "{vertex}"')
+        lines.append("  ]")
+    for edge in graph.edges():
+        lines.append("  edge [")
+        lines.append(f"    source {index_of[edge.u]}")
+        lines.append(f"    target {index_of[edge.v]}")
+        lines.append(f"    weight {edge.weight}")
+        lines.append("  ]")
+    lines.append("]")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_gml(path: str | Path) -> Graph:
+    text = Path(path).read_text(encoding="utf-8")
+    tokens = text.replace("[", " [ ").replace("]", " ] ").split()
+    directed = False
+    names: dict[int, str] = {}
+    edges: list[tuple[int, int, float]] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "directed":
+            directed = tokens[i + 1] == "1"
+            i += 2
+        elif token in ("node", "edge") and i + 1 < len(tokens) \
+                and tokens[i + 1] == "[":
+            kind = token
+            i += 2  # skip '['
+            fields: dict[str, str] = {}
+            while i + 1 < len(tokens) and tokens[i] != "]":
+                fields[tokens[i]] = tokens[i + 1]
+                i += 2
+            i += 1
+            if kind == "node" and "id" not in fields:
+                continue
+            if kind == "edge" and ("source" not in fields
+                                   or "target" not in fields):
+                continue
+            if kind == "node":
+                names[int(fields["id"])] = fields.get(
+                    "name", fields["id"]).strip('"')
+            else:
+                edges.append((int(fields["source"]), int(fields["target"]),
+                              float(fields.get("weight", 1.0))))
+        else:
+            i += 1
+    graph = Graph(directed=directed, multigraph=True)
+    for name in names.values():
+        graph.add_vertex(name)
+    for source, target, weight in edges:
+        graph.add_edge(names[source], names[target], weight=weight)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# GraphML
+# ---------------------------------------------------------------------------
+
+_GRAPHML_NS = "http://graphml.graphdrawing.org/xmlns"
+
+
+def save_graphml(graph: Graph, path: str | Path) -> None:
+    """GraphML with label and weight keys; properties for property
+    graphs (string/numeric only)."""
+    is_property = isinstance(graph, PropertyGraph)
+    root = ET.Element("graphml", xmlns=_GRAPHML_NS)
+    ET.SubElement(root, "key", id="label", attrib={
+        "for": "node", "attr.name": "label", "attr.type": "string"})
+    ET.SubElement(root, "key", id="weight", attrib={
+        "for": "edge", "attr.name": "weight", "attr.type": "double"})
+    ET.SubElement(root, "key", id="elabel", attrib={
+        "for": "edge", "attr.name": "label", "attr.type": "string"})
+    graph_el = ET.SubElement(
+        root, "graph",
+        edgedefault="directed" if graph.directed else "undirected")
+    for vertex in graph.vertices():
+        node = ET.SubElement(graph_el, "node", id=str(vertex))
+        if is_property and graph.vertex_label(vertex):
+            data = ET.SubElement(node, "data", key="label")
+            data.text = graph.vertex_label(vertex)
+    for edge in graph.edges():
+        el = ET.SubElement(graph_el, "edge",
+                           source=str(edge.u), target=str(edge.v))
+        data = ET.SubElement(el, "data", key="weight")
+        data.text = str(edge.weight)
+        if is_property and graph.edge_label(edge.edge_id):
+            label_el = ET.SubElement(el, "data", key="elabel")
+            label_el.text = graph.edge_label(edge.edge_id)
+    ET.ElementTree(root).write(path, encoding="unicode",
+                               xml_declaration=True)
+
+
+def load_graphml(path: str | Path) -> PropertyGraph:
+    tree = ET.parse(path)
+    ns = {"g": _GRAPHML_NS}
+    graph_el = tree.getroot().find("g:graph", ns)
+    if graph_el is None:
+        raise GraphError("not a GraphML document")
+    directed = graph_el.get("edgedefault") == "directed"
+    graph = PropertyGraph(directed=directed, multigraph=True)
+    for node in graph_el.findall("g:node", ns):
+        label = None
+        for data in node.findall("g:data", ns):
+            if data.get("key") == "label":
+                label = data.text
+        graph.add_vertex(node.get("id"), label=label)
+    for el in graph_el.findall("g:edge", ns):
+        weight = 1.0
+        label = None
+        for data in el.findall("g:data", ns):
+            if data.get("key") == "weight":
+                weight = float(data.text)
+            elif data.get("key") == "elabel":
+                label = data.text
+        graph.add_edge(el.get("source"), el.get("target"),
+                       weight=weight, label=label)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# binary
+# ---------------------------------------------------------------------------
+
+_MAGIC = b"RGRB"
+
+
+def save_binary(graph: Graph, path: str | Path) -> None:
+    """Struct-packed: header, vertex count, then (u, v, weight) triples
+    over integer indices. Compact and fast; ids are re-indexed."""
+    order = list(graph.vertices())
+    index_of = {v: i for i, v in enumerate(order)}
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        flags = (graph.directed << 0) | (graph.multigraph << 1)
+        f.write(struct.pack("<BII", flags, len(order), graph.num_edges()))
+        for edge in graph.edges():
+            f.write(struct.pack("<IId", index_of[edge.u],
+                                index_of[edge.v], edge.weight))
+
+
+def load_binary(path: str | Path) -> Graph:
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != _MAGIC:
+            raise GraphError(f"bad magic {magic!r}; not a binary graph")
+        flags, num_vertices, num_edges = struct.unpack("<BII", f.read(9))
+        graph = Graph(directed=bool(flags & 1),
+                      multigraph=bool(flags & 2))
+        graph.add_vertices(range(num_vertices))
+        for _ in range(num_edges):
+            u, v, weight = struct.unpack("<IId", f.read(16))
+            graph.add_edge(u, v, weight=weight)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+Saver = Callable[[Graph, str], None]
+Loader = Callable[[str], Graph]
+
+FORMATS: dict[str, tuple[Saver, Loader]] = {
+    "edgelist": (save_edgelist, load_edgelist),
+    "csv": (save_csv, load_csv),
+    "json": (save_json, load_json),
+    "gml": (save_gml, load_gml),
+    "graphml": (save_graphml, load_graphml),
+    "binary": (save_binary, load_binary),
+}
+
+
+def save_graph(graph: Graph, path: str | Path, format: str) -> None:
+    """Save in a named format (see :data:`FORMATS`)."""
+    try:
+        saver, _ = FORMATS[format]
+    except KeyError:
+        raise GraphError(
+            f"unknown format {format!r}; choose from {sorted(FORMATS)}"
+        ) from None
+    saver(graph, path)
+
+
+def load_graph(path: str | Path, format: str) -> Graph:
+    try:
+        _, loader = FORMATS[format]
+    except KeyError:
+        raise GraphError(
+            f"unknown format {format!r}; choose from {sorted(FORMATS)}"
+        ) from None
+    return loader(path)
+
+
+def store_in_multiple_formats(
+    graph: Graph, directory: str | Path, formats: list[str],
+) -> dict[str, Path]:
+    """The Appendix C behaviour: one graph, many formats on disk."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for format in formats:
+        path = directory / f"graph.{format}"
+        save_graph(graph, path, format)
+        written[format] = path
+    return written

@@ -1,0 +1,231 @@
+"""Property graph: labelled vertices/edges with typed properties.
+
+Table 7c of the survey shows the four property types users actually store
+-- strings, numerics, dates/timestamps, and binary -- so those are the
+supported value types. Property values are type-checked on write; the
+schema layer (:mod:`repro.graphs.schema`) adds per-label requirements on
+top.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.errors import GraphError, VertexNotFound
+from repro.graphs.adjacency import Graph, Vertex
+
+
+class PropertyType(enum.Enum):
+    """The Table 7c value types."""
+
+    STRING = "String"
+    NUMERIC = "Numeric"
+    DATE = "Date/Timestamp"
+    BINARY = "Binary"
+
+
+_PY_TYPES: dict[PropertyType, tuple[type, ...]] = {
+    PropertyType.STRING: (str,),
+    PropertyType.NUMERIC: (int, float),
+    PropertyType.DATE: (dt.date, dt.datetime),
+    PropertyType.BINARY: (bytes, bytearray),
+}
+
+
+def property_type_of(value: Any) -> PropertyType:
+    """Classify a Python value into a :class:`PropertyType`.
+
+    ``bool`` classifies as NUMERIC (it is an ``int``); unsupported types
+    raise :class:`~repro.errors.GraphError`.
+    """
+    for ptype, py_types in _PY_TYPES.items():
+        if isinstance(value, py_types):
+            return ptype
+    raise GraphError(
+        f"unsupported property value type {type(value).__name__}; "
+        f"supported: str, int, float, date, datetime, bytes")
+
+
+class PropertyGraph(Graph):
+    """A graph whose vertices and edges carry labels and typed properties."""
+
+    def __init__(self, directed: bool = True, multigraph: bool = False):
+        super().__init__(directed=directed, multigraph=multigraph)
+        self._vertex_labels: dict[Vertex, str | None] = {}
+        self._vertex_props: dict[Vertex, dict[str, Any]] = {}
+        self._edge_labels: dict[int, str | None] = {}
+        self._edge_props: dict[int, dict[str, Any]] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_vertex(
+        self,
+        vertex: Vertex,
+        label: str | None = None,
+        **properties: Any,
+    ) -> Vertex:
+        """Add a vertex with an optional label and properties.
+
+        Re-adding an existing vertex merges the new properties in and
+        updates the label when one is given.
+        """
+        super().add_vertex(vertex)
+        self._vertex_props.setdefault(vertex, {})
+        if label is not None or vertex not in self._vertex_labels:
+            self._vertex_labels[vertex] = label
+        for key, value in properties.items():
+            self.set_vertex_property(vertex, key, value)
+        return vertex
+
+    def add_edge(
+        self,
+        u: Vertex,
+        v: Vertex,
+        weight: float = 1.0,
+        label: str | None = None,
+        **properties: Any,
+    ) -> int:
+        edge_id = super().add_edge(u, v, weight=weight)
+        self._edge_labels[edge_id] = label
+        self._edge_props[edge_id] = {}
+        for key, value in properties.items():
+            self.set_edge_property(edge_id, key, value)
+        return edge_id
+
+    def remove_edge(self, edge_id: int):
+        edge = super().remove_edge(edge_id)
+        self._edge_labels.pop(edge_id, None)
+        self._edge_props.pop(edge_id, None)
+        return edge
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        incident = [edge.edge_id for edge in self.incident_edges(vertex)]
+        super().remove_vertex(vertex)
+        for edge_id in incident:
+            self._edge_labels.pop(edge_id, None)
+            self._edge_props.pop(edge_id, None)
+        self._vertex_labels.pop(vertex, None)
+        self._vertex_props.pop(vertex, None)
+
+    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+        """Set one vertex property; the value must be a supported type."""
+        property_type_of(value)
+        if vertex not in self._vertex_props:
+            self.add_vertex(vertex)
+        self._vertex_props[vertex][key] = value
+
+    def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
+        property_type_of(value)
+        self.edge(edge_id)  # raises EdgeNotFound for unknown ids
+        self._edge_props.setdefault(edge_id, {})[key] = value
+
+    def remove_vertex_property(self, vertex: Vertex, key: str) -> None:
+        """Delete one vertex property (missing keys are a no-op)."""
+        if vertex not in self:
+            raise VertexNotFound(vertex)
+        self._vertex_props.get(vertex, {}).pop(key, None)
+
+    def remove_edge_property(self, edge_id: int, key: str) -> None:
+        """Delete one edge property (missing keys are a no-op)."""
+        self.edge(edge_id)
+        self._edge_props.get(edge_id, {}).pop(key, None)
+
+    def set_vertex_label(self, vertex: Vertex, label: str | None) -> None:
+        """Replace a vertex's label."""
+        if vertex not in self:
+            raise VertexNotFound(vertex)
+        self._vertex_labels[vertex] = label
+
+    def replace_vertex_properties(
+        self, vertex: Vertex, properties: dict[str, Any],
+    ) -> None:
+        """Atomically replace the whole property map of a vertex."""
+        if vertex not in self:
+            raise VertexNotFound(vertex)
+        for value in properties.values():
+            property_type_of(value)
+        self._vertex_props[vertex] = dict(properties)
+
+    # -- access ------------------------------------------------------------
+
+    def vertex_label(self, vertex: Vertex) -> str | None:
+        return self._vertex_labels.get(vertex)
+
+    def edge_label(self, edge_id: int) -> str | None:
+        self.edge(edge_id)
+        return self._edge_labels.get(edge_id)
+
+    def vertex_properties(self, vertex: Vertex) -> dict[str, Any]:
+        """A copy of the vertex's property map."""
+        return dict(self._vertex_props.get(vertex, {}))
+
+    def edge_properties(self, edge_id: int) -> dict[str, Any]:
+        self.edge(edge_id)
+        return dict(self._edge_props.get(edge_id, {}))
+
+    def vertex_property(
+        self, vertex: Vertex, key: str, default: Any = None,
+    ) -> Any:
+        return self._vertex_props.get(vertex, {}).get(key, default)
+
+    def edge_property(
+        self, edge_id: int, key: str, default: Any = None,
+    ) -> Any:
+        return self._edge_props.get(edge_id, {}).get(key, default)
+
+    def vertices_with_label(self, label: str) -> Iterator[Vertex]:
+        for vertex, vertex_label in self._vertex_labels.items():
+            if vertex_label == label:
+                yield vertex
+
+    def edges_with_label(self, label: str) -> Iterator[int]:
+        for edge_id, edge_label in self._edge_labels.items():
+            if edge_label == label:
+                yield edge_id
+
+    def property_types_in_use(self) -> dict[str, set[PropertyType]]:
+        """The Table 7c summary of this graph: which value types appear on
+        vertices and on edges."""
+        vertex_types = {
+            property_type_of(value)
+            for props in self._vertex_props.values()
+            for value in props.values()
+        }
+        edge_types = {
+            property_type_of(value)
+            for props in self._edge_props.values()
+            for value in props.values()
+        }
+        return {"vertices": vertex_types, "edges": edge_types}
+
+    # -- derived -----------------------------------------------------------
+
+    def copy(self) -> "PropertyGraph":
+        clone = PropertyGraph(directed=self.directed,
+                              multigraph=self.multigraph)
+        for vertex in self.vertices():
+            clone.add_vertex(vertex, label=self.vertex_label(vertex),
+                             **self.vertex_properties(vertex))
+        for edge in self.edges():
+            clone.add_edge(edge.u, edge.v, weight=edge.weight,
+                           label=self.edge_label(edge.edge_id),
+                           **self.edge_properties(edge.edge_id))
+        return clone
+
+    def subgraph(self, vertices: Iterable[Hashable]) -> "PropertyGraph":
+        keep = set(vertices)
+        clone = PropertyGraph(directed=self.directed,
+                              multigraph=self.multigraph)
+        for vertex in keep:
+            if vertex not in self:
+                raise VertexNotFound(vertex)
+            clone.add_vertex(vertex, label=self.vertex_label(vertex),
+                             **self.vertex_properties(vertex))
+        for edge in self.edges():
+            if edge.u in keep and edge.v in keep:
+                clone.add_edge(edge.u, edge.v, weight=edge.weight,
+                               label=self.edge_label(edge.edge_id),
+                               **self.edge_properties(edge.edge_id))
+        return clone

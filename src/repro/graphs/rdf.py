@@ -1,0 +1,261 @@
+"""An RDF-style triple store (the paper's "RDF Engine" class).
+
+RDF engines (Jena, Virtuoso, Sparksee) account for 115 of the mailing-
+list users in Table 1, and 23 survey participants hold RDF / semantic-web
+data (Table 4). This module provides the storage model those systems
+share: a set of (subject, predicate, object) triples with all three
+access-path indexes (SPO, POS, OSP), prefix namespaces, and a
+SPARQL-flavoured basic-graph-pattern ``select``.
+
+The store interoperates with the property-graph world through
+``to_property_graph`` / ``from_property_graph``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from repro.algorithms.matching import Var
+from repro.errors import GraphError
+from repro.graphs.property_graph import PropertyGraph
+
+Term = Hashable
+Triple = tuple[Term, Term, Term]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal object value (as opposed to a resource)."""
+
+    value: Any
+
+    def __repr__(self):
+        return f"Literal({self.value!r})"
+
+
+class TripleStore:
+    """Indexed triple storage with namespace support."""
+
+    def __init__(self):
+        self._triples: set[Triple] = set()
+        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set))
+        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set))
+        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(
+            lambda: defaultdict(set))
+        self._namespaces: dict[str, str] = {}
+
+    # -- namespaces ------------------------------------------------------
+
+    def bind(self, prefix: str, uri: str) -> None:
+        """Register a namespace prefix, e.g. ``bind("ex", "http://x/")``."""
+        self._namespaces[prefix] = uri
+
+    def expand(self, term: Term) -> Term:
+        """Expand ``prefix:name`` into a full URI when the prefix is
+        bound; other terms pass through."""
+        if isinstance(term, str) and ":" in term:
+            prefix, _, name = term.partition(":")
+            if prefix in self._namespaces:
+                return self._namespaces[prefix] + name
+        return term
+
+    def compact(self, term: Term) -> Term:
+        """The inverse of :meth:`expand` (longest-match)."""
+        if isinstance(term, str):
+            best = None
+            for prefix, uri in self._namespaces.items():
+                if term.startswith(uri):
+                    if best is None or len(uri) > len(self._namespaces[best]):
+                        best = prefix
+            if best is not None:
+                return f"{best}:{term[len(self._namespaces[best]):]}"
+        return term
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        """Insert a triple (namespaces expanded); returns False when it
+        was already present."""
+        triple = (self.expand(subject), self.expand(predicate),
+                  obj if isinstance(obj, Literal) else self.expand(obj))
+        if triple in self._triples:
+            return False
+        subject, predicate, obj = triple
+        self._triples.add(triple)
+        self._spo[subject][predicate].add(obj)
+        self._pos[predicate][obj].add(subject)
+        self._osp[obj][subject].add(predicate)
+        return True
+
+    def remove(self, subject: Term, predicate: Term, obj: Term) -> bool:
+        triple = (self.expand(subject), self.expand(predicate),
+                  obj if isinstance(obj, Literal) else self.expand(obj))
+        if triple not in self._triples:
+            return False
+        subject, predicate, obj = triple
+        self._triples.discard(triple)
+        self._spo[subject][predicate].discard(obj)
+        self._pos[predicate][obj].discard(subject)
+        self._osp[obj][subject].discard(predicate)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        subject, predicate, obj = triple
+        return (self.expand(subject), self.expand(predicate),
+                obj if isinstance(obj, Literal)
+                else self.expand(obj)) in self._triples
+
+    # -- access ------------------------------------------------------------
+
+    def triples(self, subject: Term | None = None,
+                predicate: Term | None = None,
+                obj: Term | None = None) -> Iterator[Triple]:
+        """All triples matching the given constants (``None`` = any).
+
+        The best index for the bound positions answers the scan: SPO for
+        subject-bound, POS for predicate-bound, OSP for object-bound.
+        """
+        subject = None if subject is None else self.expand(subject)
+        predicate = None if predicate is None else self.expand(predicate)
+        if obj is not None and not isinstance(obj, Literal):
+            obj = self.expand(obj)
+
+        if subject is not None:
+            by_predicate = self._spo.get(subject, {})
+            predicates = ([predicate] if predicate is not None
+                          else list(by_predicate))
+            for p in predicates:
+                for o in by_predicate.get(p, ()):
+                    if obj is None or o == obj:
+                        yield (subject, p, o)
+        elif predicate is not None:
+            by_object = self._pos.get(predicate, {})
+            objects = [obj] if obj is not None else list(by_object)
+            for o in objects:
+                for s in by_object.get(o, ()):
+                    yield (s, predicate, o)
+        elif obj is not None:
+            by_subject = self._osp.get(obj, {})
+            for s, predicates in by_subject.items():
+                for p in predicates:
+                    yield (s, p, obj)
+        else:
+            yield from self._triples
+
+    def subjects(self, predicate: Term, obj: Term) -> set[Term]:
+        return {s for s, _, _ in self.triples(predicate=predicate,
+                                              obj=obj)}
+
+    def objects(self, subject: Term, predicate: Term) -> set[Term]:
+        return {o for _, _, o in self.triples(subject=subject,
+                                              predicate=predicate)}
+
+    # -- SPARQL-flavoured basic graph patterns ---------------------------
+
+    def select(self, patterns: list[tuple],
+               ) -> Iterator[dict[str, Term]]:
+        """Solve a conjunction of triple patterns with :class:`Var`
+        variables, index-backed per pattern:
+
+            store.select([
+                (Var("who"), "rdf:type", "ex:Person"),
+                (Var("who"), "ex:worksAt", Var("org")),
+            ])
+        """
+        prepared = []
+        for subject, predicate, obj in patterns:
+            prepared.append((
+                subject if isinstance(subject, Var)
+                else self.expand(subject),
+                predicate if isinstance(predicate, Var)
+                else self.expand(predicate),
+                obj if isinstance(obj, (Var, Literal))
+                else self.expand(obj)))
+
+        def solve(index: int, binding: dict[str, Term]):
+            if index == len(prepared):
+                yield dict(binding)
+                return
+            subject, predicate, obj = (
+                self._substitute(term, binding) for term in prepared[index])
+            for s, p, o in self.triples(
+                    None if isinstance(subject, Var) else subject,
+                    None if isinstance(predicate, Var) else predicate,
+                    None if isinstance(obj, (Var,)) else obj):
+                trial = dict(binding)
+                if (self._bind(trial, subject, s)
+                        and self._bind(trial, predicate, p)
+                        and self._bind(trial, obj, o)):
+                    yield from solve(index + 1, trial)
+
+        yield from solve(0, {})
+
+    @staticmethod
+    def _substitute(term, binding):
+        if isinstance(term, Var) and term.name in binding:
+            return binding[term.name]
+        return term
+
+    @staticmethod
+    def _bind(binding: dict, term, value) -> bool:
+        if isinstance(term, Var):
+            if term.name in binding:
+                return binding[term.name] == value
+            binding[term.name] = value
+            return True
+        return term == value
+
+    def ask(self, patterns: list[tuple]) -> bool:
+        """SPARQL ASK: does the pattern have any solution?"""
+        for _ in self.select(patterns):
+            return True
+        return False
+
+    # -- property-graph interop ------------------------------------------
+
+    def to_property_graph(self, type_predicate: Term = "rdf:type",
+                          ) -> PropertyGraph:
+        """Resources become vertices (label from ``rdf:type``), literal
+        objects become vertex properties, resource objects become
+        labelled edges."""
+        type_predicate = self.expand(type_predicate)
+        graph = PropertyGraph(directed=True, multigraph=True)
+        for subject, predicate, obj in sorted(self._triples, key=repr):
+            graph.add_vertex(subject)
+            if predicate == type_predicate and not isinstance(obj, Literal):
+                graph.set_vertex_label(subject, str(self.compact(obj)))
+            elif isinstance(obj, Literal):
+                graph.set_vertex_property(
+                    subject, str(self.compact(predicate)), obj.value)
+            else:
+                graph.add_vertex(obj)
+                graph.add_edge(subject, obj,
+                               label=str(self.compact(predicate)))
+        return graph
+
+    @classmethod
+    def from_property_graph(cls, graph: PropertyGraph,
+                            type_predicate: Term = "rdf:type",
+                            ) -> "TripleStore":
+        store = cls()
+        for vertex in graph.vertices():
+            label = graph.vertex_label(vertex)
+            if label is not None:
+                store.add(vertex, type_predicate, label)
+            for key, value in graph.vertex_properties(vertex).items():
+                store.add(vertex, key, Literal(value))
+        for edge in graph.edges():
+            label = graph.edge_label(edge.edge_id)
+            if label is None:
+                raise GraphError(
+                    "from_property_graph requires labelled edges "
+                    f"(edge {edge.edge_id} has none)")
+            store.add(edge.u, label, edge.v)
+        return store

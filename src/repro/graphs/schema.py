@@ -1,0 +1,231 @@
+"""Graph schemas and constraints (a Section 6.2 user request).
+
+Graph-database users asked for "the ability to define schemas over their
+graphs, analogous to DTD and XSD schemas for XML data, usually as a means
+to define constraints" -- including structural constraints such as "the
+graph is acyclic" and property constraints such as "some vertices always
+have a certain property". This module provides:
+
+* :class:`PropertyRule` -- required/typed properties per vertex or edge
+  label;
+* :class:`EdgeRule` -- which vertex labels an edge label may connect;
+* structural constraints -- acyclicity, degree bounds, connectivity of
+  declared labels;
+* :meth:`GraphSchema.validate` for whole-graph checks and
+  :class:`SchemaEnforcedGraph` for write-time enforcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import SchemaViolation
+from repro.graphs.adjacency import Vertex
+from repro.graphs.property_graph import (
+    PropertyGraph,
+    PropertyType,
+    property_type_of,
+)
+
+
+@dataclass(frozen=True)
+class PropertyRule:
+    """One property requirement for a label."""
+
+    name: str
+    property_type: PropertyType
+    required: bool = True
+
+    def check(self, properties: dict[str, Any], subject: str) -> list[str]:
+        problems = []
+        if self.name not in properties:
+            if self.required:
+                problems.append(
+                    f"{subject}: missing required property {self.name!r}")
+            return problems
+        actual = property_type_of(properties[self.name])
+        if actual is not self.property_type:
+            problems.append(
+                f"{subject}: property {self.name!r} has type {actual.value}, "
+                f"expected {self.property_type.value}")
+        return problems
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """Allowed endpoint labels for an edge label."""
+
+    edge_label: str
+    from_labels: frozenset[str]
+    to_labels: frozenset[str]
+
+
+@dataclass
+class GraphSchema:
+    """A schema: per-label property rules plus structural constraints."""
+
+    vertex_rules: dict[str, list[PropertyRule]] = field(default_factory=dict)
+    edge_rules: dict[str, list[PropertyRule]] = field(default_factory=dict)
+    endpoint_rules: dict[str, EdgeRule] = field(default_factory=dict)
+    require_acyclic: bool = False
+    max_out_degree: int | None = None
+    allowed_vertex_labels: frozenset[str] | None = None
+
+    # -- declaration helpers -----------------------------------------------
+
+    def require_vertex_property(
+        self, label: str, name: str, property_type: PropertyType,
+        required: bool = True,
+    ) -> "GraphSchema":
+        self.vertex_rules.setdefault(label, []).append(
+            PropertyRule(name=name, property_type=property_type,
+                         required=required))
+        return self
+
+    def require_edge_property(
+        self, label: str, name: str, property_type: PropertyType,
+        required: bool = True,
+    ) -> "GraphSchema":
+        self.edge_rules.setdefault(label, []).append(
+            PropertyRule(name=name, property_type=property_type,
+                         required=required))
+        return self
+
+    def restrict_edge_endpoints(
+        self, edge_label: str, from_labels: Iterable[str],
+        to_labels: Iterable[str],
+    ) -> "GraphSchema":
+        self.endpoint_rules[edge_label] = EdgeRule(
+            edge_label=edge_label,
+            from_labels=frozenset(from_labels),
+            to_labels=frozenset(to_labels))
+        return self
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self, graph: PropertyGraph) -> list[str]:
+        """Return every violation (empty list means the graph conforms)."""
+        problems: list[str] = []
+        for vertex in graph.vertices():
+            problems.extend(self._check_vertex(graph, vertex))
+        for edge in graph.edges():
+            problems.extend(self._check_edge(graph, edge.edge_id))
+        if self.require_acyclic and graph.directed:
+            if _has_cycle(graph):
+                problems.append("graph must be acyclic but contains a cycle")
+        if self.max_out_degree is not None:
+            for vertex in graph.vertices():
+                degree = graph.out_degree(vertex)
+                if degree > self.max_out_degree:
+                    problems.append(
+                        f"vertex {vertex!r}: out-degree {degree} exceeds "
+                        f"limit {self.max_out_degree}")
+        return problems
+
+    def check(self, graph: PropertyGraph) -> None:
+        """Raise :class:`~repro.errors.SchemaViolation` on any problem."""
+        problems = self.validate(graph)
+        if problems:
+            raise SchemaViolation("; ".join(problems))
+
+    def _check_vertex(self, graph: PropertyGraph, vertex: Vertex) -> list[str]:
+        problems = []
+        label = graph.vertex_label(vertex)
+        if (self.allowed_vertex_labels is not None
+                and label not in self.allowed_vertex_labels):
+            problems.append(f"vertex {vertex!r}: label {label!r} not allowed")
+        rules = self.vertex_rules.get(label or "", ())
+        properties = graph.vertex_properties(vertex)
+        for rule in rules:
+            problems.extend(rule.check(properties, f"vertex {vertex!r}"))
+        return problems
+
+    def _check_edge(self, graph: PropertyGraph, edge_id: int) -> list[str]:
+        problems = []
+        label = graph.edge_label(edge_id)
+        rules = self.edge_rules.get(label or "", ())
+        properties = graph.edge_properties(edge_id)
+        for rule in rules:
+            problems.extend(rule.check(properties, f"edge {edge_id}"))
+        endpoint_rule = self.endpoint_rules.get(label or "")
+        if endpoint_rule is not None:
+            edge = graph.edge(edge_id)
+            from_label = graph.vertex_label(edge.u)
+            to_label = graph.vertex_label(edge.v)
+            if from_label not in endpoint_rule.from_labels:
+                problems.append(
+                    f"edge {edge_id}: source label {from_label!r} not in "
+                    f"{sorted(endpoint_rule.from_labels)}")
+            if to_label not in endpoint_rule.to_labels:
+                problems.append(
+                    f"edge {edge_id}: target label {to_label!r} not in "
+                    f"{sorted(endpoint_rule.to_labels)}")
+        return problems
+
+
+def _has_cycle(graph: PropertyGraph) -> bool:
+    """Iterative three-color DFS cycle check for directed graphs."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in graph.vertices()}
+    for start in graph.vertices():
+        if color[start] != WHITE:
+            continue
+        stack: list[tuple[Vertex, Any]] = [(start, iter(
+            graph.out_neighbors(start)))]
+        color[start] = GRAY
+        while stack:
+            vertex, neighbors = stack[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if color[neighbor] == GRAY:
+                    return True
+                if color[neighbor] == WHITE:
+                    color[neighbor] = GRAY
+                    stack.append(
+                        (neighbor, iter(graph.out_neighbors(neighbor))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[vertex] = BLACK
+                stack.pop()
+    return False
+
+
+class SchemaEnforcedGraph:
+    """A property graph wrapper that validates every mutation.
+
+    Write-time enforcement rejects a mutation when the resulting graph
+    would violate the schema, leaving the graph unchanged.
+    """
+
+    def __init__(self, schema: GraphSchema, directed: bool = True,
+                 multigraph: bool = False):
+        self.schema = schema
+        self._graph = PropertyGraph(directed=directed, multigraph=multigraph)
+
+    @property
+    def graph(self) -> PropertyGraph:
+        return self._graph
+
+    def add_vertex(self, vertex: Vertex, label: str | None = None,
+                   **properties: Any) -> Vertex:
+        trial = self._graph.copy()
+        trial.add_vertex(vertex, label=label, **properties)
+        self.schema.check(trial)
+        self._graph.add_vertex(vertex, label=label, **properties)
+        return vertex
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0,
+                 label: str | None = None, **properties: Any) -> int:
+        trial = self._graph.copy()
+        trial.add_edge(u, v, weight=weight, label=label, **properties)
+        self.schema.check(trial)
+        return self._graph.add_edge(u, v, weight=weight, label=label,
+                                    **properties)
+
+    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+        trial = self._graph.copy()
+        trial.set_vertex_property(vertex, key, value)
+        self.schema.check(trial)
+        self._graph.set_vertex_property(vertex, key, value)

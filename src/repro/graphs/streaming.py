@@ -1,0 +1,130 @@
+"""Streaming graphs: very frequent changes, old data discarded (Table 8).
+
+Eighteen survey participants reported *streaming* graphs -- "very frequent
+changes, and the software discards some of the graph after some time".
+:class:`StreamingGraph` implements the standard sliding-window semantics
+over a timestamped edge stream: edges older than the window are evicted,
+and isolated vertices disappear with their last edge.
+
+Streaming algorithm sketches that consume this stream live in
+:mod:`repro.algorithms.streaming_algos`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.graphs.adjacency import Graph, Vertex
+
+
+@dataclass(frozen=True)
+class StreamEdge:
+    """One timestamped edge arrival."""
+
+    timestamp: float
+    u: Vertex
+    v: Vertex
+    weight: float = 1.0
+
+
+class StreamingGraph:
+    """A sliding-window view over an edge stream.
+
+    Args:
+        window: edges older than ``latest_timestamp - window`` are evicted.
+        directed: direction semantics of the materialized graph.
+        on_evict: optional callback invoked with each evicted
+            :class:`StreamEdge` (used by incremental algorithms to undo
+            contributions).
+    """
+
+    def __init__(
+        self,
+        window: float,
+        directed: bool = False,
+        on_evict: Callable[[StreamEdge], None] | None = None,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._graph = Graph(directed=directed, multigraph=True)
+        self._queue: deque[tuple[StreamEdge, int]] = deque()
+        self._latest = float("-inf")
+        self._on_evict = on_evict
+        self._arrivals = 0
+        self._evictions = 0
+
+    # -- stream ingestion -----------------------------------------------
+
+    def push(self, edge: StreamEdge) -> None:
+        """Ingest one edge; timestamps must be non-decreasing."""
+        if edge.timestamp < self._latest:
+            raise ValueError(
+                f"out-of-order timestamp {edge.timestamp} < {self._latest}")
+        self._latest = edge.timestamp
+        edge_id = self._graph.add_edge(edge.u, edge.v, weight=edge.weight)
+        self._queue.append((edge, edge_id))
+        self._arrivals += 1
+        self._expire()
+
+    def extend(self, edges: Iterable[StreamEdge]) -> None:
+        for edge in edges:
+            self.push(edge)
+
+    def advance_to(self, timestamp: float) -> None:
+        """Advance time without new arrivals (evicts expired edges)."""
+        if timestamp < self._latest:
+            raise ValueError("cannot move time backwards")
+        self._latest = timestamp
+        self._expire()
+
+    def _expire(self) -> None:
+        horizon = self._latest - self.window
+        while self._queue and self._queue[0][0].timestamp <= horizon:
+            edge, edge_id = self._queue.popleft()
+            self._graph.remove_edge(edge_id)
+            self._evictions += 1
+            for endpoint in (edge.u, edge.v):
+                if endpoint in self._graph and self._graph.degree(endpoint) == 0:
+                    self._graph.remove_vertex(endpoint)
+            if self._on_evict is not None:
+                self._on_evict(edge)
+
+    # -- window access -----------------------------------------------------
+
+    @property
+    def latest_timestamp(self) -> float:
+        return self._latest
+
+    def graph(self) -> Graph:
+        """The live window graph (shared, do not mutate)."""
+        return self._graph
+
+    def window_edges(self) -> Iterator[StreamEdge]:
+        for edge, _ in self._queue:
+            yield edge
+
+    def num_window_edges(self) -> int:
+        return len(self._queue)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "arrivals": self._arrivals,
+            "evictions": self._evictions,
+            "window_edges": len(self._queue),
+            "window_vertices": self._graph.num_vertices(),
+        }
+
+
+def edge_stream_from_pairs(
+    pairs: Iterable[tuple[Hashable, Hashable]],
+    start: float = 0.0,
+    step: float = 1.0,
+) -> Iterator[StreamEdge]:
+    """Wrap plain edge pairs into a uniformly spaced stream."""
+    timestamp = start
+    for u, v in pairs:
+        yield StreamEdge(timestamp=timestamp, u=u, v=v)
+        timestamp += step

@@ -1,0 +1,150 @@
+"""Triggers on graph mutations (a Section 6.2 user request).
+
+Users asked for "trigger-like capabilities", e.g. "automatically adding a
+particular property to vertices during insertion or creating a backup of a
+vertex or an edge during updates" -- the paper notes OrientDB's hooks and
+Neo4j's TransactionEventHandler as partial answers. :class:`TriggeredGraph`
+wraps a :class:`~repro.graphs.property_graph.PropertyGraph` with
+before/after hooks on every mutation kind.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.graphs.adjacency import Vertex
+from repro.graphs.property_graph import PropertyGraph
+
+
+class TriggerEvent(enum.Enum):
+    VERTEX_INSERT = "vertex_insert"
+    VERTEX_REMOVE = "vertex_remove"
+    EDGE_INSERT = "edge_insert"
+    EDGE_REMOVE = "edge_remove"
+    VERTEX_UPDATE = "vertex_update"     # property write
+    EDGE_UPDATE = "edge_update"
+
+
+class TriggerPhase(enum.Enum):
+    BEFORE = "before"
+    AFTER = "after"
+
+
+@dataclass(frozen=True)
+class TriggerContext:
+    """What a trigger callback receives."""
+
+    event: TriggerEvent
+    phase: TriggerPhase
+    graph: PropertyGraph
+    payload: dict[str, Any]
+
+
+TriggerFn = Callable[[TriggerContext], None]
+
+
+class TriggerAbort(Exception):
+    """Raised by a BEFORE trigger to veto the mutation."""
+
+
+class TriggerRegistry:
+    """Ordered registry of trigger callbacks."""
+
+    def __init__(self):
+        self._triggers: dict[tuple[TriggerEvent, TriggerPhase],
+                             list[TriggerFn]] = {}
+
+    def register(self, event: TriggerEvent, phase: TriggerPhase,
+                 fn: TriggerFn) -> None:
+        self._triggers.setdefault((event, phase), []).append(fn)
+
+    def fire(self, context: TriggerContext) -> None:
+        for fn in self._triggers.get((context.event, context.phase), ()):
+            fn(context)
+
+    def count(self) -> int:
+        return sum(len(fns) for fns in self._triggers.values())
+
+
+class TriggeredGraph:
+    """Property graph with mutation triggers.
+
+    BEFORE triggers may raise :class:`TriggerAbort` to veto the mutation;
+    AFTER triggers observe the applied change (and may mutate further --
+    e.g. stamping a created-at property -- without re-firing themselves,
+    because follow-up writes go directly to the inner graph).
+    """
+
+    def __init__(self, directed: bool = True, multigraph: bool = False):
+        self.graph = PropertyGraph(directed=directed, multigraph=multigraph)
+        self.registry = TriggerRegistry()
+
+    def on(self, event: TriggerEvent, phase: TriggerPhase = TriggerPhase.AFTER,
+           ) -> Callable[[TriggerFn], TriggerFn]:
+        """Decorator: ``@g.on(TriggerEvent.VERTEX_INSERT)``."""
+
+        def decorator(fn: TriggerFn) -> TriggerFn:
+            self.registry.register(event, phase, fn)
+            return fn
+
+        return decorator
+
+    def _fire(self, event: TriggerEvent, phase: TriggerPhase,
+              **payload: Any) -> None:
+        self.registry.fire(TriggerContext(
+            event=event, phase=phase, graph=self.graph, payload=payload))
+
+    # -- mutations -------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex, label: str | None = None,
+                   **properties: Any) -> Vertex:
+        self._fire(TriggerEvent.VERTEX_INSERT, TriggerPhase.BEFORE,
+                   vertex=vertex, label=label, properties=properties)
+        self.graph.add_vertex(vertex, label=label, **properties)
+        self._fire(TriggerEvent.VERTEX_INSERT, TriggerPhase.AFTER,
+                   vertex=vertex, label=label, properties=properties)
+        return vertex
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        self._fire(TriggerEvent.VERTEX_REMOVE, TriggerPhase.BEFORE,
+                   vertex=vertex)
+        self.graph.remove_vertex(vertex)
+        self._fire(TriggerEvent.VERTEX_REMOVE, TriggerPhase.AFTER,
+                   vertex=vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0,
+                 label: str | None = None, **properties: Any) -> int:
+        self._fire(TriggerEvent.EDGE_INSERT, TriggerPhase.BEFORE,
+                   u=u, v=v, label=label, properties=properties)
+        edge_id = self.graph.add_edge(u, v, weight=weight, label=label,
+                                      **properties)
+        self._fire(TriggerEvent.EDGE_INSERT, TriggerPhase.AFTER,
+                   u=u, v=v, edge_id=edge_id, label=label,
+                   properties=properties)
+        return edge_id
+
+    def remove_edge(self, edge_id: int) -> None:
+        edge = self.graph.edge(edge_id)
+        self._fire(TriggerEvent.EDGE_REMOVE, TriggerPhase.BEFORE,
+                   edge_id=edge_id, u=edge.u, v=edge.v)
+        self.graph.remove_edge(edge_id)
+        self._fire(TriggerEvent.EDGE_REMOVE, TriggerPhase.AFTER,
+                   edge_id=edge_id, u=edge.u, v=edge.v)
+
+    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+        old = self.graph.vertex_property(vertex, key)
+        self._fire(TriggerEvent.VERTEX_UPDATE, TriggerPhase.BEFORE,
+                   vertex=vertex, key=key, value=value, old_value=old)
+        self.graph.set_vertex_property(vertex, key, value)
+        self._fire(TriggerEvent.VERTEX_UPDATE, TriggerPhase.AFTER,
+                   vertex=vertex, key=key, value=value, old_value=old)
+
+    def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
+        old = self.graph.edge_property(edge_id, key)
+        self._fire(TriggerEvent.EDGE_UPDATE, TriggerPhase.BEFORE,
+                   edge_id=edge_id, key=key, value=value, old_value=old)
+        self.graph.set_edge_property(edge_id, key, value)
+        self._fire(TriggerEvent.EDGE_UPDATE, TriggerPhase.AFTER,
+                   edge_id=edge_id, key=key, value=value, old_value=old)

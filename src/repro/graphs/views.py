@@ -1,0 +1,143 @@
+"""Filtered graph views, including high-degree-vertex skipping.
+
+Section 6.2: users of graph databases "want the ability to process very
+high-degree vertices in a special way. One common request is to skip
+finding paths that go over such vertices." A :class:`GraphView` exposes
+the traversal-facing subset of the :class:`~repro.graphs.adjacency.Graph`
+API over vertex/edge predicates without copying the graph, so any
+traversal-based algorithm can run "as if" the filtered graph were real.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import VertexNotFound
+from repro.graphs.adjacency import Edge, Graph, Vertex
+
+VertexPredicate = Callable[[Vertex], bool]
+EdgePredicate = Callable[[Edge], bool]
+
+
+class GraphView:
+    """A lazy filtered view of a graph.
+
+    A vertex is visible when ``vertex_filter(v)`` is true; an edge is
+    visible when both endpoints are visible and ``edge_filter(edge)`` is
+    true. The view implements the read API traversals use.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        vertex_filter: VertexPredicate | None = None,
+        edge_filter: EdgePredicate | None = None,
+    ):
+        self._graph = graph
+        self._vertex_filter = vertex_filter or (lambda v: True)
+        self._edge_filter = edge_filter or (lambda e: True)
+
+    @property
+    def directed(self) -> bool:
+        return self._graph.directed
+
+    @property
+    def multigraph(self) -> bool:
+        return self._graph.multigraph
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._graph and self._vertex_filter(vertex)
+
+    def _require(self, vertex: Vertex) -> None:
+        if vertex not in self:
+            raise VertexNotFound(vertex)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return (v for v in self._graph.vertices() if self._vertex_filter(v))
+
+    def num_vertices(self) -> int:
+        return sum(1 for _ in self.vertices())
+
+    def edges(self) -> Iterator[Edge]:
+        for edge in self._graph.edges():
+            if (self._vertex_filter(edge.u) and self._vertex_filter(edge.v)
+                    and self._edge_filter(edge)):
+                yield edge
+
+    def num_edges(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    def _visible_neighbor(self, u: Vertex, v: Vertex, out: bool) -> bool:
+        if not self._vertex_filter(v):
+            return False
+        pair = (u, v) if out else (v, u)
+        ids = self._graph.edge_ids(*pair)
+        return any(self._edge_filter(self._graph.edge(eid)) for eid in ids)
+
+    def out_neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        self._require(vertex)
+        return (v for v in self._graph.out_neighbors(vertex)
+                if self._visible_neighbor(vertex, v, out=True))
+
+    def in_neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        self._require(vertex)
+        return (v for v in self._graph.in_neighbors(vertex)
+                if self._visible_neighbor(vertex, v, out=False))
+
+    def neighbors(self, vertex: Vertex) -> Iterator[Vertex]:
+        self._require(vertex)
+        seen = set()
+        for v in self.out_neighbors(vertex):
+            seen.add(v)
+            yield v
+        for v in self.in_neighbors(vertex):
+            if v not in seen:
+                yield v
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if u not in self or v not in self:
+            return False
+        return self._visible_neighbor(u, v, out=True)
+
+    def edge_weight(self, u: Vertex, v: Vertex) -> float:
+        return self._graph.edge_weight(u, v)
+
+    def out_degree(self, vertex: Vertex) -> int:
+        return sum(1 for _ in self.out_neighbors(vertex))
+
+    def degree(self, vertex: Vertex) -> int:
+        return sum(1 for _ in self.neighbors(vertex))
+
+    def materialize(self) -> Graph:
+        """Copy the visible subgraph into a concrete graph."""
+        graph = Graph(directed=self.directed, multigraph=self.multigraph)
+        for vertex in self.vertices():
+            graph.add_vertex(vertex)
+        for edge in self.edges():
+            graph.add_edge(edge.u, edge.v, weight=edge.weight)
+        return graph
+
+
+def skip_high_degree(graph: Graph, max_degree: int,
+                     protect: set[Vertex] | None = None) -> GraphView:
+    """The Section 6.2 feature: hide vertices whose degree exceeds a cap.
+
+    ``protect`` lets callers keep specific endpoints visible (you usually
+    still want the query's source and target even if they are hubs).
+    """
+    protected = protect or set()
+
+    def visible(vertex: Vertex) -> bool:
+        return vertex in protected or graph.degree(vertex) <= max_degree
+
+    return GraphView(graph, vertex_filter=visible)
+
+
+def exclude_vertices(graph: Graph, banned: set[Vertex]) -> GraphView:
+    """Hide an explicit vertex set."""
+    return GraphView(graph, vertex_filter=lambda v: v not in banned)
+
+
+def min_weight_edges(graph: Graph, min_weight: float) -> GraphView:
+    """Keep only edges at or above a weight threshold."""
+    return GraphView(graph, edge_filter=lambda e: e.weight >= min_weight)

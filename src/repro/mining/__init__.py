@@ -1,0 +1,23 @@
+"""The Section 2.4 review pipeline: challenge classification, graph-size
+extraction, and the Tables 1/18/19/20 reproduction."""
+
+from repro.mining.classifier import (
+    CHALLENGE_RULES,
+    classify_message,
+    classify_text,
+    count_challenges,
+)
+from repro.mining.pipeline import ReviewReport, run_review
+from repro.mining.records import (
+    EmailMessage,
+    Issue,
+    RepoActivity,
+    ReviewCorpus,
+    validate_corpus,
+)
+from repro.mining.sizes import (
+    SizeMention,
+    count_bucketed_mentions,
+    extract_mentions,
+    largest_mention_per_kind,
+)

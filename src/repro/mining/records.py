@@ -1,0 +1,125 @@
+"""Record types for the mailing-list / repository review (Section 2.4).
+
+The authors reviewed emails from 22 product mailing lists plus bug reports
+and feature requests ("issues") from 20 open-source repositories (plus
+Gephi and Graphviz), between January and September 2017. We model the
+minimum structure that review needs: who wrote a message, when, for which
+product, and its text.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.data import taxonomy
+
+REVIEW_START = dt.date(2017, 1, 1)
+REVIEW_END = dt.date(2017, 9, 30)
+
+#: The window used for Table 1's "active mailing list users".
+ACTIVE_WINDOW_START = dt.date(2017, 2, 1)
+ACTIVE_WINDOW_END = dt.date(2017, 4, 30)
+
+
+@dataclass(frozen=True)
+class EmailMessage:
+    """One mailing-list message."""
+
+    message_id: int
+    product: str
+    sender: str
+    date: dt.date
+    subject: str
+    body: str
+
+    @property
+    def text(self) -> str:
+        return f"{self.subject}\n{self.body}"
+
+    @property
+    def in_active_window(self) -> bool:
+        return ACTIVE_WINDOW_START <= self.date <= ACTIVE_WINDOW_END
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One bug report or feature request in a source repository."""
+
+    issue_id: int
+    product: str
+    author: str
+    date: dt.date
+    title: str
+    body: str
+    kind: str = "issue"  # "bug" | "feature" | "issue"
+
+    @property
+    def text(self) -> str:
+        return f"{self.title}\n{self.body}"
+
+
+@dataclass(frozen=True)
+class RepoActivity:
+    """Commit activity of one product repository in the review window.
+
+    ``commit_count`` is ``None`` for products without a public repository
+    (the ``NA`` cells of Table 20).
+    """
+
+    product: str
+    commit_count: int | None
+
+
+@dataclass
+class ReviewCorpus:
+    """Everything the Section 2.4 review consumes."""
+
+    emails: list[EmailMessage] = field(default_factory=list)
+    issues: list[Issue] = field(default_factory=list)
+    repos: dict[str, RepoActivity] = field(default_factory=dict)
+
+    def emails_for(self, product: str) -> list[EmailMessage]:
+        return [m for m in self.emails if m.product == product]
+
+    def issues_for(self, product: str) -> list[Issue]:
+        return [i for i in self.issues if i.product == product]
+
+    def messages(self) -> Iterator[EmailMessage | Issue]:
+        """All emails then all issues."""
+        yield from self.emails
+        yield from self.issues
+
+    def products(self) -> list[str]:
+        seen = dict.fromkeys(
+            [m.product for m in self.emails] + [i.product for i in self.issues])
+        return list(seen)
+
+    def active_users(self, product: str) -> set[str]:
+        """Distinct mailing-list senders in the Feb-Apr 2017 window."""
+        return {m.sender for m in self.emails
+                if m.product == product and m.in_active_window}
+
+
+def technology_class(product: str) -> str:
+    """The Table 1 technology class of a product."""
+    try:
+        return taxonomy.PRODUCTS[product]
+    except KeyError:
+        raise KeyError(f"unknown product {product!r}") from None
+
+
+def validate_corpus(corpus: ReviewCorpus) -> None:
+    """Sanity-check dates, products and id uniqueness."""
+    email_ids = [m.message_id for m in corpus.emails]
+    if len(email_ids) != len(set(email_ids)):
+        raise ValueError("duplicate email message ids")
+    issue_ids = [i.issue_id for i in corpus.issues]
+    if len(issue_ids) != len(set(issue_ids)):
+        raise ValueError("duplicate issue ids")
+    for message in corpus.messages():
+        if not REVIEW_START <= message.date <= REVIEW_END:
+            raise ValueError(
+                f"message {message!r} outside the Jan-Sep 2017 window")
+        technology_class(message.product)  # raises on unknown product

@@ -1,0 +1,120 @@
+"""Graph-size mention extraction from message text (Table 18).
+
+The authors categorized graph sizes mentioned in user emails beyond the
+survey's maximum buckets. We extract quantities attached to vertex/edge
+units from free text, handling the formats people actually write:
+``"1.5 billion edges"``, ``"4B edges"``, ``"30,000,000,000 edges"``,
+``"300M vertices"``, ``"1.2 billion nodes"``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.data import taxonomy
+
+_SCALES = {
+    "thousand": 1e3,
+    "million": 1e6,
+    "billion": 1e9,
+    "trillion": 1e12,
+    "k": 1e3,
+    "m": 1e6,
+    "b": 1e9,
+    "t": 1e12,
+}
+
+_MENTION = re.compile(
+    r"(?P<number>\d{1,3}(?:,\d{3})+|\d+(?:\.\d+)?)"
+    r"\s*(?P<scale>thousand|million|billion|trillion|[KMBT]\b)?"
+    r"[\s-]*(?P<unit>edges?|vertices|vertexes|vertex|nodes?)\b",
+    re.IGNORECASE,
+)
+
+#: Bucket boundaries, inclusive lower bound, exclusive upper bound.
+VERTEX_BUCKET_BOUNDS = (
+    ("100M - 1B", 100e6, 1e9),
+    ("1B - 10B", 1e9, 10e9),
+    ("10B - 100B", 10e9, 100e9),
+    (">100B", 100e9, float("inf")),
+)
+EDGE_BUCKET_BOUNDS = (
+    ("1B - 10B", 1e9, 10e9),
+    ("10B - 100B", 10e9, 100e9),
+    ("100B - 500B", 100e9, 500e9),
+    (">500B", 500e9, float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class SizeMention:
+    """One quantity-with-unit found in a text."""
+
+    kind: str        # "vertices" or "edges"
+    value: float     # absolute count
+    bucket: str | None  # Table 18 bucket, or None when below the table
+
+
+def _normalize_unit(unit: str) -> str:
+    unit = unit.lower()
+    if unit.startswith(("vert", "node")):
+        return "vertices"
+    return "edges"
+
+
+def _bucket_for(kind: str, value: float) -> str | None:
+    bounds = VERTEX_BUCKET_BOUNDS if kind == "vertices" else EDGE_BUCKET_BOUNDS
+    for name, low, high in bounds:
+        if low <= value < high:
+            return name
+    return None
+
+
+def extract_mentions(text: str) -> list[SizeMention]:
+    """All vertex/edge size mentions in a text, in order of appearance."""
+    mentions = []
+    for match in _MENTION.finditer(text):
+        number = float(match.group("number").replace(",", ""))
+        scale_token = match.group("scale")
+        scale = _SCALES[scale_token.lower()] if scale_token else 1.0
+        kind = _normalize_unit(match.group("unit"))
+        value = number * scale
+        mentions.append(
+            SizeMention(kind=kind, value=value, bucket=_bucket_for(kind, value)))
+    return mentions
+
+
+def largest_mention_per_kind(text: str) -> dict[str, SizeMention]:
+    """The largest vertex and edge mention in a text, if any.
+
+    A message that repeats a size ("our 4B edge graph ... loading 4 billion
+    edges took days") should count once, so callers aggregate per message
+    via this helper.
+    """
+    best: dict[str, SizeMention] = {}
+    for mention in extract_mentions(text):
+        current = best.get(mention.kind)
+        if current is None or mention.value > current.value:
+            best[mention.kind] = mention
+    return best
+
+
+def count_bucketed_mentions(messages) -> tuple[dict[str, int], dict[str, int]]:
+    """Tables 18a and 18b: bucket counts over a message stream.
+
+    Returns ``(vertex_counts, edge_counts)`` keyed by the published bucket
+    labels; mentions below the tables' ranges are ignored, mirroring the
+    paper (Table 18 only reports sizes beyond the survey's maximums).
+    """
+    vertex_counts = {bucket: 0 for bucket in taxonomy.EMAIL_VERTEX_BUCKETS}
+    edge_counts = {bucket: 0 for bucket in taxonomy.EMAIL_EDGE_BUCKETS}
+    for message in messages:
+        for kind, mention in largest_mention_per_kind(message.text).items():
+            if mention.bucket is None:
+                continue
+            if kind == "vertices":
+                vertex_counts[mention.bucket] += 1
+            else:
+                edge_counts[mention.bucket] += 1
+    return vertex_counts, edge_counts

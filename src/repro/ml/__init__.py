@@ -1,0 +1,84 @@
+"""Graph machine learning: every computation and problem of Table 10.
+
+Module map (Table 10 row -> module):
+
+* Clustering -> :mod:`repro.ml.clustering`
+* Classification -> :mod:`repro.ml.classification`
+* Regression (Linear / Logistic) -> :mod:`repro.ml.regression`
+* Graphical Model Inference -> :mod:`repro.ml.inference`
+* Collaborative Filtering / SGD / ALS -> :mod:`repro.ml.collaborative`
+* Community Detection -> :mod:`repro.ml.community`
+* Recommendation System -> :mod:`repro.ml.collaborative`
+* Link Prediction -> :mod:`repro.ml.linkpred`
+* Influence Maximization -> :mod:`repro.ml.influence`
+* Node features shared by the models -> :mod:`repro.ml.features`
+"""
+
+from repro.ml.classification import (
+    FeatureClassifier,
+    classification_accuracy,
+    label_spreading,
+    train_test_split_vertices,
+)
+from repro.ml.clustering import (
+    inertia,
+    kmeans,
+    label_propagation_clustering,
+    silhouette_score,
+    spectral_clustering,
+)
+from repro.ml.collaborative import (
+    FactorModel,
+    ItemKNN,
+    RatingMatrix,
+    matrix_factorization_als,
+    matrix_factorization_sgd,
+    precision_at_n,
+)
+from repro.ml.community import (
+    community_sizes,
+    girvan_newman,
+    louvain,
+    modularity,
+)
+from repro.ml.features import (
+    FEATURE_NAMES,
+    add_bias_column,
+    node_features,
+    standardize,
+)
+from repro.ml.inference import (
+    PairwiseMRF,
+    exact_marginals_bruteforce,
+    loopy_belief_propagation,
+    map_assignment,
+)
+from repro.ml.influence import (
+    celf_influence_maximization,
+    compare_strategies,
+    degree_heuristic,
+    expected_spread,
+    greedy_influence_maximization,
+    pagerank_heuristic,
+    simulate_cascade,
+)
+from repro.ml.linkpred import (
+    SCORER_NAMES,
+    auc_score,
+    candidate_pairs,
+    evaluate_methods,
+    predict_links,
+    sample_negative_pairs,
+    score_pair,
+    train_test_edge_split,
+)
+from repro.ml.regression import (
+    LinearModel,
+    accuracy,
+    fit_linear_closed_form,
+    fit_linear_sgd,
+    fit_logistic_newton,
+    fit_logistic_sgd,
+    mean_squared_error,
+    r_squared,
+)

@@ -1,0 +1,231 @@
+"""Collaborative filtering and recommendation (Tables 10a/10b).
+
+Three recommenders over a user-item interaction matrix (built from a
+bipartite graph or plain triples):
+
+* :class:`ItemKNN` -- item-based nearest neighbors with cosine similarity.
+* :func:`matrix_factorization_sgd` -- latent factors by stochastic
+  gradient descent (the survey's "SGD" computation in its natural home).
+* :func:`matrix_factorization_als` -- alternating least squares (the
+  survey's "ALS" row; zero participants reported using it, two papers
+  studied it -- we implement it regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+User = Hashable
+Item = Hashable
+Rating = tuple[User, Item, float]
+
+
+@dataclass
+class RatingMatrix:
+    """A dense user x item rating matrix with id mappings.
+
+    Missing entries are NaN; helper constructors densify rating triples or
+    a bipartite graph.
+    """
+
+    users: list[User]
+    items: list[Item]
+    matrix: np.ndarray  # shape (num_users, num_items), NaN = unknown
+
+    @classmethod
+    def from_ratings(cls, ratings: Iterable[Rating]) -> "RatingMatrix":
+        ratings = list(ratings)
+        users = sorted({r[0] for r in ratings}, key=repr)
+        items = sorted({r[1] for r in ratings}, key=repr)
+        user_index = {u: i for i, u in enumerate(users)}
+        item_index = {i: j for j, i in enumerate(items)}
+        matrix = np.full((len(users), len(items)), np.nan)
+        for user, item, value in ratings:
+            matrix[user_index[user], item_index[item]] = value
+        return cls(users=users, items=items, matrix=matrix)
+
+    @classmethod
+    def from_bipartite_graph(cls, graph, user_label: str = "user",
+                             item_label: str = "item") -> "RatingMatrix":
+        """Build from a property graph whose edges carry rating weights."""
+        ratings = []
+        for edge in graph.edges():
+            lu = graph.vertex_label(edge.u)
+            lv = graph.vertex_label(edge.v)
+            if lu == user_label and lv == item_label:
+                ratings.append((edge.u, edge.v, edge.weight))
+            elif lv == user_label and lu == item_label:
+                ratings.append((edge.v, edge.u, edge.weight))
+        if not ratings:
+            raise ValueError(
+                f"no {user_label}->{item_label} edges found in the graph")
+        return cls.from_ratings(ratings)
+
+    def known_mask(self) -> np.ndarray:
+        return ~np.isnan(self.matrix)
+
+    def user_index(self, user: User) -> int:
+        return self.users.index(user)
+
+    def item_index(self, item: Item) -> int:
+        return self.items.index(item)
+
+
+class ItemKNN:
+    """Item-based collaborative filtering with cosine similarity."""
+
+    def __init__(self, k: int = 10):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._ratings: RatingMatrix | None = None
+        self._similarity: np.ndarray | None = None
+
+    def fit(self, ratings: RatingMatrix) -> "ItemKNN":
+        self._ratings = ratings
+        filled = np.nan_to_num(ratings.matrix, nan=0.0)
+        norms = np.linalg.norm(filled, axis=0)
+        norms[norms == 0] = 1.0
+        normalized = filled / norms
+        self._similarity = normalized.T @ normalized
+        np.fill_diagonal(self._similarity, 0.0)
+        return self
+
+    def predict(self, user: User, item: Item) -> float:
+        """Predicted rating: similarity-weighted mean over the user's
+        rated items (user's mean when nothing overlaps)."""
+        if self._ratings is None or self._similarity is None:
+            raise RuntimeError("recommender is not fitted")
+        ui = self._ratings.user_index(user)
+        ij = self._ratings.item_index(item)
+        row = self._ratings.matrix[ui]
+        rated = np.flatnonzero(~np.isnan(row))
+        if len(rated) == 0:
+            return float(np.nanmean(self._ratings.matrix))
+        similarities = self._similarity[ij, rated]
+        top = rated[np.argsort(-similarities)][:self.k]
+        top_similarities = self._similarity[ij, top]
+        weight = np.abs(top_similarities).sum()
+        if weight == 0:
+            return float(np.nanmean(row))
+        return float((row[top] * top_similarities).sum() / weight)
+
+    def recommend(self, user: User, n: int = 5) -> list[Item]:
+        """The n best unrated items for the user."""
+        if self._ratings is None:
+            raise RuntimeError("recommender is not fitted")
+        ui = self._ratings.user_index(user)
+        row = self._ratings.matrix[ui]
+        candidates = [
+            (self.predict(user, item), repr(item), item)
+            for j, item in enumerate(self._ratings.items)
+            if np.isnan(row[j])
+        ]
+        candidates.sort(key=lambda t: (-t[0], t[1]))
+        return [item for _, _, item in candidates[:n]]
+
+
+@dataclass
+class FactorModel:
+    """Latent factors: prediction is user_factors @ item_factors.T."""
+
+    ratings: RatingMatrix
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+
+    def predict_matrix(self) -> np.ndarray:
+        return self.user_factors @ self.item_factors.T
+
+    def predict(self, user: User, item: Item) -> float:
+        ui = self.ratings.user_index(user)
+        ij = self.ratings.item_index(item)
+        return float(self.user_factors[ui] @ self.item_factors[ij])
+
+    def rmse(self) -> float:
+        mask = self.ratings.known_mask()
+        diff = (self.predict_matrix() - np.nan_to_num(self.ratings.matrix))
+        return float(np.sqrt((diff[mask] ** 2).mean()))
+
+    def recommend(self, user: User, n: int = 5) -> list[Item]:
+        ui = self.ratings.user_index(user)
+        row = self.ratings.matrix[ui]
+        scores = self.user_factors[ui] @ self.item_factors.T
+        candidates = [
+            (scores[j], repr(item), item)
+            for j, item in enumerate(self.ratings.items)
+            if np.isnan(row[j])
+        ]
+        candidates.sort(key=lambda t: (-t[0], t[1]))
+        return [item for _, _, item in candidates[:n]]
+
+
+def matrix_factorization_sgd(
+    ratings: RatingMatrix,
+    rank: int = 8,
+    learning_rate: float = 0.01,
+    l2: float = 0.05,
+    epochs: int = 100,
+    seed: int = 0,
+) -> FactorModel:
+    """Latent-factor model trained by SGD over observed entries."""
+    rng = np.random.default_rng(seed)
+    num_users, num_items = ratings.matrix.shape
+    p = rng.normal(scale=0.1, size=(num_users, rank))
+    q = rng.normal(scale=0.1, size=(num_items, rank))
+    observed = np.argwhere(ratings.known_mask())
+    for _ in range(epochs):
+        rng.shuffle(observed)
+        for ui, ij in observed:
+            error = ratings.matrix[ui, ij] - p[ui] @ q[ij]
+            p_old = p[ui].copy()
+            p[ui] += learning_rate * (error * q[ij] - l2 * p[ui])
+            q[ij] += learning_rate * (error * p_old - l2 * q[ij])
+    return FactorModel(ratings=ratings, user_factors=p, item_factors=q)
+
+
+def matrix_factorization_als(
+    ratings: RatingMatrix,
+    rank: int = 8,
+    l2: float = 0.1,
+    iterations: int = 20,
+    seed: int = 0,
+) -> FactorModel:
+    """Alternating least squares: solve users given items, then items
+    given users, each step a ridge regression over observed entries."""
+    rng = np.random.default_rng(seed)
+    num_users, num_items = ratings.matrix.shape
+    p = rng.normal(scale=0.1, size=(num_users, rank))
+    q = rng.normal(scale=0.1, size=(num_items, rank))
+    mask = ratings.known_mask()
+    values = np.nan_to_num(ratings.matrix)
+    eye = l2 * np.eye(rank)
+    for _ in range(iterations):
+        for ui in range(num_users):
+            observed = np.flatnonzero(mask[ui])
+            if len(observed) == 0:
+                continue
+            qo = q[observed]
+            p[ui] = np.linalg.solve(qo.T @ qo + eye,
+                                    qo.T @ values[ui, observed])
+        for ij in range(num_items):
+            observed = np.flatnonzero(mask[:, ij])
+            if len(observed) == 0:
+                continue
+            po = p[observed]
+            q[ij] = np.linalg.solve(po.T @ po + eye,
+                                    po.T @ values[observed, ij])
+    return FactorModel(ratings=ratings, user_factors=p, item_factors=q)
+
+
+def precision_at_n(
+    recommended: Sequence[Item],
+    relevant: set[Item],
+) -> float:
+    """Fraction of recommended items that are relevant."""
+    if not recommended:
+        return 0.0
+    hits = sum(1 for item in recommended if item in relevant)
+    return hits / len(recommended)

@@ -1,0 +1,174 @@
+"""Community detection (Table 10b's most popular ML problem).
+
+* :func:`louvain` -- the standard modularity-maximizing Louvain method
+  (local moving plus graph aggregation).
+* :func:`girvan_newman` -- edge-betweenness splitting for small graphs.
+* :func:`modularity` -- the quality function both optimize.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.graphs.adjacency import Graph, Vertex
+
+Communities = dict[Vertex, int]
+
+
+def _undirected_weights(graph) -> dict[Vertex, dict[Vertex, float]]:
+    """Symmetric weighted adjacency with parallel edges merged."""
+    weights: dict[Vertex, dict[Vertex, float]] = {
+        v: defaultdict(float) for v in graph.vertices()}
+    for edge in graph.edges():
+        weights[edge.u][edge.v] += edge.weight
+        if edge.u != edge.v:
+            weights[edge.v][edge.u] += edge.weight
+    return {v: dict(adjacent) for v, adjacent in weights.items()}
+
+
+def modularity(graph, communities: Communities) -> float:
+    """Newman modularity of a partition (weighted, undirected view).
+
+    ``Q = sum_c (internal_c / 2m - (degree_c / 2m)^2)`` where
+    ``internal_c`` counts both directions of each intra-community edge.
+    """
+    weights = _undirected_weights(graph)
+    two_m = sum(
+        w for adjacent in weights.values() for w in adjacent.values())
+    if two_m == 0:
+        return 0.0
+    internal: dict[int, float] = defaultdict(float)
+    community_degree: dict[int, float] = defaultdict(float)
+    for v, adjacent in weights.items():
+        community_degree[communities[v]] += sum(adjacent.values())
+        for w, weight in adjacent.items():
+            if communities[v] == communities[w]:
+                internal[communities[v]] += weight
+    return sum(
+        internal[c] / two_m - (community_degree[c] / two_m) ** 2
+        for c in community_degree)
+
+
+def louvain(graph, seed: int = 0, resolution: float = 1.0,
+            max_levels: int = 10) -> Communities:
+    """Louvain community detection.
+
+    Returns dense community ids for every vertex of the input graph.
+    ``resolution`` above 1 favors smaller communities.
+    """
+    rng = random.Random(seed)
+    weights = _undirected_weights(graph)
+    # node -> member vertices of the original graph
+    members: dict[Vertex, set[Vertex]] = {
+        v: {v} for v in weights}
+    for _ in range(max_levels):
+        communities, improved = _local_moving(weights, rng, resolution)
+        if not improved:
+            break
+        weights, members = _aggregate(weights, members, communities)
+        if len(weights) <= 1:
+            break
+    result: Communities = {}
+    for index, (node, vertex_set) in enumerate(sorted(
+            members.items(), key=lambda kv: repr(kv[0]))):
+        for vertex in vertex_set:
+            result[vertex] = index
+    return result
+
+
+def _local_moving(weights, rng, resolution):
+    nodes = list(weights)
+    community = {v: v for v in nodes}
+    degree = {v: sum(adjacent.values()) for v, adjacent in weights.items()}
+    community_degree = dict(degree)
+    two_m = sum(degree.values())
+    if two_m == 0:
+        return community, False
+    improved_any = False
+    improved = True
+    while improved:
+        improved = False
+        order = list(nodes)
+        rng.shuffle(order)
+        for vertex in order:
+            current = community[vertex]
+            neighbor_weights: dict[Vertex, float] = defaultdict(float)
+            for neighbor, weight in weights[vertex].items():
+                if neighbor != vertex:
+                    neighbor_weights[community[neighbor]] += weight
+            community_degree[current] -= degree[vertex]
+            best_community = current
+            best_gain = 0.0
+            for candidate, link_weight in neighbor_weights.items():
+                gain = (link_weight
+                        - resolution * community_degree[candidate]
+                        * degree[vertex] / two_m)
+                current_link = neighbor_weights.get(current, 0.0)
+                current_gain = (current_link
+                                - resolution * community_degree[current]
+                                * degree[vertex] / two_m)
+                if gain - current_gain > best_gain + 1e-12:
+                    best_gain = gain - current_gain
+                    best_community = candidate
+            community[vertex] = best_community
+            community_degree[best_community] += degree[vertex]
+            if best_community != current:
+                improved = True
+                improved_any = True
+    return community, improved_any
+
+
+def _aggregate(weights, members, communities):
+    new_members: dict[Vertex, set[Vertex]] = defaultdict(set)
+    for node, vertex_set in members.items():
+        new_members[communities[node]] |= vertex_set
+    # Sum every adjacency entry; an intra-community edge contributes its
+    # weight twice (u->v and v->u), so the aggregated self-loop carries 2w,
+    # which keeps row sums (and hence degrees) identical across levels.
+    new_weights: dict[Vertex, dict[Vertex, float]] = defaultdict(
+        lambda: defaultdict(float))
+    for u, adjacent in weights.items():
+        cu = communities[u]
+        for v, weight in adjacent.items():
+            new_weights[cu][communities[v]] += weight
+    merged = {
+        node: dict(adjacent) for node, adjacent in new_weights.items()}
+    return merged, dict(new_members)
+
+
+def girvan_newman(graph: Graph, target_communities: int = 2,
+                  ) -> Communities:
+    """Girvan-Newman: repeatedly remove the highest-betweenness edge until
+    the graph splits into the target number of components. Small graphs
+    only (repeated Brandes)."""
+    from repro.algorithms.centrality import betweenness_centrality
+    from repro.algorithms.components import connected_components
+
+    if target_communities < 1:
+        raise ValueError("target_communities must be >= 1")
+    working = graph.to_undirected() if graph.directed else graph.copy()
+    while True:
+        components = connected_components(working)
+        if len(components) >= target_communities:
+            break
+        if working.num_edges() == 0:
+            break
+        # Edge betweenness via vertex accumulation over each edge's pair.
+        scores = betweenness_centrality(working, normalized=False)
+        best_edge = max(
+            working.edges(),
+            key=lambda e: (scores[e.u] + scores[e.v], e.edge_id))
+        working.remove_edge(best_edge.edge_id)
+    result: Communities = {}
+    for index, component in enumerate(connected_components(working)):
+        for vertex in component:
+            result[vertex] = index
+    return result
+
+
+def community_sizes(communities: Communities) -> dict[int, int]:
+    sizes: dict[int, int] = defaultdict(int)
+    for community in communities.values():
+        sizes[community] += 1
+    return dict(sizes)

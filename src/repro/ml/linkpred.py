@@ -1,0 +1,167 @@
+"""Link prediction (Table 10b).
+
+Score non-edges with the classic neighborhood heuristics (common
+neighbors, Jaccard, Adamic-Adar, preferential attachment, resource
+allocation), evaluate with AUC over a held-out edge split, and expose a
+simple end-to-end ``predict_links`` API.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.graphs.adjacency import Graph, Vertex
+
+Pair = tuple[Vertex, Vertex]
+Scorer = Callable[[Graph, Vertex, Vertex], float]
+
+
+def _scorers() -> dict[str, Scorer]:
+    from repro.algorithms import similarity as sim
+
+    def resource_allocation(graph, a, b):
+        shared = set(graph.neighbors(a)) & set(graph.neighbors(b))
+        return sum(
+            1.0 / graph.degree(w) for w in shared if graph.degree(w) > 0)
+
+    return {
+        "common_neighbors": lambda g, a, b: float(
+            sim.common_neighbors(g, a, b)),
+        "jaccard": sim.jaccard_similarity,
+        "adamic_adar": sim.adamic_adar,
+        "preferential_attachment": lambda g, a, b: float(
+            sim.preferential_attachment(g, a, b)),
+        "resource_allocation": resource_allocation,
+    }
+
+
+SCORER_NAMES = tuple(_scorers())
+
+
+def score_pair(graph: Graph, a: Vertex, b: Vertex,
+               method: str = "adamic_adar") -> float:
+    """Score one candidate link."""
+    scorers = _scorers()
+    try:
+        scorer = scorers[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(scorers)}"
+        ) from None
+    return scorer(graph, a, b)
+
+
+def candidate_pairs(graph: Graph, max_candidates: int | None = None,
+                    seed: int = 0) -> list[Pair]:
+    """Non-adjacent vertex pairs at distance two (the standard candidate
+    set: only they can share neighbors)."""
+    seen: set[frozenset] = set()
+    candidates: list[Pair] = []
+    for vertex in graph.vertices():
+        for neighbor in graph.neighbors(vertex):
+            for second in graph.neighbors(neighbor):
+                if second == vertex or graph.has_edge(vertex, second):
+                    continue
+                if not graph.directed and graph.has_edge(second, vertex):
+                    continue
+                key = frozenset((vertex, second))
+                if len(key) == 2 and key not in seen:
+                    seen.add(key)
+                    candidates.append((vertex, second))
+    if max_candidates is not None and len(candidates) > max_candidates:
+        rng = random.Random(seed)
+        candidates = rng.sample(candidates, max_candidates)
+    return candidates
+
+
+def predict_links(graph: Graph, k: int = 10,
+                  method: str = "adamic_adar") -> list[tuple[Pair, float]]:
+    """The k most likely missing links with their scores."""
+    scored = [
+        (pair, score_pair(graph, *pair, method=method))
+        for pair in candidate_pairs(graph)
+    ]
+    scored.sort(key=lambda item: (-item[1], repr(item[0])))
+    return scored[:k]
+
+
+def train_test_edge_split(
+    graph: Graph,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[Graph, list[Pair]]:
+    """Hold out a fraction of edges for evaluation.
+
+    Returns ``(training_graph, held_out_pairs)``; the training graph keeps
+    every vertex so heldout endpoints stay scoreable.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    edges = [e for e in graph.edges() if e.u != e.v]
+    rng.shuffle(edges)
+    held = edges[:max(1, int(len(edges) * test_fraction))]
+    held_ids = {e.edge_id for e in held}
+    training = Graph(directed=graph.directed, multigraph=graph.multigraph)
+    training.add_vertices(graph.vertices())
+    for edge in graph.edges():
+        if edge.edge_id not in held_ids:
+            training.add_edge(edge.u, edge.v, weight=edge.weight)
+    return training, [(e.u, e.v) for e in held]
+
+
+def sample_negative_pairs(graph: Graph, count: int,
+                          seed: int = 0) -> list[Pair]:
+    """Uniformly sampled vertex pairs with no edge in the graph."""
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        return []
+    negatives: list[Pair] = []
+    attempts = 0
+    while len(negatives) < count and attempts < 100 * count:
+        attempts += 1
+        a, b = rng.sample(vertices, 2)
+        if graph.has_edge(a, b) or (not graph.directed
+                                    and graph.has_edge(b, a)):
+            continue
+        negatives.append((a, b))
+    return negatives
+
+
+def auc_score(
+    graph: Graph,
+    positives: list[Pair],
+    negatives: list[Pair],
+    method: str = "adamic_adar",
+) -> float:
+    """AUC: probability a held-out edge outscores a random non-edge
+    (ties count half)."""
+    if not positives or not negatives:
+        return 0.5
+    positive_scores = [score_pair(graph, a, b, method) for a, b in positives]
+    negative_scores = [score_pair(graph, a, b, method) for a, b in negatives]
+    wins = 0.0
+    for p in positive_scores:
+        for n in negative_scores:
+            if p > n:
+                wins += 1.0
+            elif p == n:
+                wins += 0.5
+    return wins / (len(positive_scores) * len(negative_scores))
+
+
+def evaluate_methods(
+    graph: Graph,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    methods: tuple[str, ...] = SCORER_NAMES,
+) -> dict[str, float]:
+    """AUC of each heuristic on one held-out split of the graph."""
+    training, positives = train_test_edge_split(graph, test_fraction, seed)
+    negatives = sample_negative_pairs(training, len(positives), seed)
+    return {
+        method: auc_score(training, positives, negatives, method)
+        for method in methods
+    }

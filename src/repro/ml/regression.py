@@ -1,0 +1,168 @@
+"""Linear and logistic regression (Table 10a), with SGD as a first-class
+training option (the survey lists stochastic gradient descent as its own
+computation).
+
+Both models support closed-form / full-batch training and minibatch SGD,
+L2 regularization, and operate on plain numpy arrays (pair them with
+:mod:`repro.ml.features` for graph inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+@dataclass
+class LinearModel:
+    """Weights of a fitted linear/logistic model (bias is weights[0])."""
+
+    weights: np.ndarray
+
+    def predict_linear(self, features: np.ndarray) -> np.ndarray:
+        return _with_bias(features) @ self.weights
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return _sigmoid(self.predict_linear(features))
+
+    def predict_label(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+
+def _with_bias(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim == 1:
+        features = features[:, None]
+    return np.hstack([np.ones((len(features), 1)), features])
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def fit_linear_closed_form(
+    features: np.ndarray,
+    targets: np.ndarray,
+    l2: float = 0.0,
+) -> LinearModel:
+    """Ordinary / ridge least squares via the normal equations."""
+    x = _with_bias(features)
+    y = np.asarray(targets, dtype=np.float64)
+    regularizer = l2 * np.eye(x.shape[1])
+    regularizer[0, 0] = 0.0  # never penalize the bias
+    weights = np.linalg.solve(x.T @ x + regularizer, x.T @ y)
+    return LinearModel(weights=weights)
+
+
+def fit_linear_sgd(
+    features: np.ndarray,
+    targets: np.ndarray,
+    learning_rate: float = 0.01,
+    epochs: int = 200,
+    batch_size: int = 16,
+    l2: float = 0.0,
+    seed: int = 0,
+) -> LinearModel:
+    """Least squares by minibatch SGD with inverse-time decay."""
+    return _sgd(features, targets, learning_rate, epochs, batch_size, l2,
+                seed, logistic=False)
+
+
+def fit_logistic_sgd(
+    features: np.ndarray,
+    labels: np.ndarray,
+    learning_rate: float = 0.1,
+    epochs: int = 200,
+    batch_size: int = 16,
+    l2: float = 0.0,
+    seed: int = 0,
+) -> LinearModel:
+    """Logistic regression (labels in {0,1}) by minibatch SGD."""
+    labels = np.asarray(labels)
+    if not np.isin(labels, (0, 1)).all():
+        raise ValueError("logistic regression labels must be 0/1")
+    return _sgd(features, labels, learning_rate, epochs, batch_size, l2,
+                seed, logistic=True)
+
+
+def _sgd(features, targets, learning_rate, epochs, batch_size, l2, seed,
+         logistic: bool) -> LinearModel:
+    x = _with_bias(features)
+    y = np.asarray(targets, dtype=np.float64)
+    n, d = x.shape
+    rng = np.random.default_rng(seed)
+    weights = np.zeros(d)
+    step = 0
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            batch = order[start:start + batch_size]
+            xb, yb = x[batch], y[batch]
+            prediction = xb @ weights
+            if logistic:
+                prediction = _sigmoid(prediction)
+            gradient = xb.T @ (prediction - yb) / len(batch)
+            gradient[1:] += l2 * weights[1:]
+            step += 1
+            rate = learning_rate / (1.0 + 0.001 * step)
+            weights -= rate * gradient
+    if not np.isfinite(weights).all():
+        raise ConvergenceError(
+            "SGD diverged; lower the learning rate or scale the features")
+    return LinearModel(weights=weights)
+
+
+def fit_logistic_newton(
+    features: np.ndarray,
+    labels: np.ndarray,
+    l2: float = 1e-6,
+    max_iter: int = 50,
+    tol: float = 1e-8,
+) -> LinearModel:
+    """Logistic regression by iteratively reweighted least squares."""
+    x = _with_bias(features)
+    y = np.asarray(labels, dtype=np.float64)
+    weights = np.zeros(x.shape[1])
+    for _ in range(max_iter):
+        p = _sigmoid(x @ weights)
+        w = np.clip(p * (1 - p), 1e-9, None)
+        gradient = x.T @ (p - y) + l2 * weights
+        hessian = (x * w[:, None]).T @ x + l2 * np.eye(x.shape[1])
+        delta = np.linalg.solve(hessian, gradient)
+        weights -= delta
+        if np.abs(delta).max() < tol:
+            break
+    return LinearModel(weights=weights)
+
+
+def mean_squared_error(targets: np.ndarray, predictions: np.ndarray) -> float:
+    targets = np.asarray(targets, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    return float(((targets - predictions) ** 2).mean())
+
+
+def r_squared(targets: np.ndarray, predictions: np.ndarray) -> float:
+    """Coefficient of determination; 0 when the target has no variance."""
+    targets = np.asarray(targets, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    total = ((targets - targets.mean()) ** 2).sum()
+    if total == 0:
+        return 0.0
+    residual = ((targets - predictions) ** 2).sum()
+    return float(1.0 - residual / total)
+
+
+def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if len(labels) == 0:
+        return 0.0
+    return float((labels == predictions).mean())

@@ -1,0 +1,63 @@
+"""A small property-graph query language ("GQL-lite").
+
+Covers the Section 6.2 query-language needs: labelled patterns with
+direction, property predicates, projection with DISTINCT/LIMIT,
+composition (query a query's result; :mod:`repro.query.subquery`) and
+queries spanning multiple graphs
+(:class:`~repro.query.executor.GraphCatalog` + ``FROM name``).
+
+    >>> from repro.graphs import PropertyGraph
+    >>> from repro.query import run_query
+    >>> g = PropertyGraph()
+    >>> _ = g.add_vertex("ann", label="Person", age=42)
+    >>> _ = g.add_vertex("bob", label="Person", age=17)
+    >>> _ = g.add_edge("ann", "bob", label="KNOWS")
+    >>> run_query(g, "MATCH (a:Person)-[:KNOWS]->(b) "
+    ...              "WHERE a.age > 21 RETURN a, b.age").rows
+    [('ann', 17)]
+"""
+
+from repro.query.ast import Query, ResultSet
+from repro.query.executor import GraphCatalog, run_query
+from repro.query.parser import parse
+from repro.query.subquery import (
+    exists_subquery,
+    filter_by_subquery,
+    materialize_subgraph,
+    matched_vertices,
+    query_chain,
+)
+
+__all__ = [
+    "Query", "ResultSet", "GraphCatalog", "run_query", "parse",
+    "exists_subquery", "filter_by_subquery", "materialize_subgraph",
+    "matched_vertices", "query_chain",
+]
+
+from repro.query.profiler import (  # noqa: E402 (§6.2 profiling tools)
+    AccessStats,
+    CountingGraph,
+    QueryProfile,
+    explain,
+    profile,
+    reorder_for_selectivity,
+)
+
+__all__ += ["AccessStats", "CountingGraph", "QueryProfile", "explain",
+            "profile", "reorder_for_selectivity"]
+
+from repro.query.traversal_dsl import (  # noqa: E402 (Gremlin-style DSL)
+    Traversal,
+    between,
+    eq,
+    gt,
+    gte,
+    lt,
+    lte,
+    neq,
+    traverse,
+    within,
+)
+
+__all__ += ["Traversal", "traverse", "eq", "neq", "gt", "gte", "lt",
+            "lte", "between", "within"]

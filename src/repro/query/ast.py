@@ -1,0 +1,139 @@
+"""AST of the query language.
+
+The language is a compact property-graph pattern language ("GQL-lite")
+covering the Section 6.2 user needs: labelled node/edge patterns, property
+predicates, projection, DISTINCT/LIMIT, per-pattern graph selection for
+cross-graph queries, and composition (a query result can be materialized
+as a graph and queried again; see :mod:`repro.query.subquery`).
+
+Grammar (informal)::
+
+    query     := MATCH pattern ("," pattern)* [WHERE condition]
+                 RETURN [DISTINCT] item ("," item)* [LIMIT n]
+    pattern   := node (edge node)* [FROM name]
+    node      := "(" [var] [":" label] ")"
+    edge      := "-[" [":" label] "]->" | "<-[" [":" label] "]-"
+               | "-[" [":" label] "]-"
+    condition := comparison (AND comparison)*
+    comparison:= operand op operand ;  op in = <> < <= > >=
+    operand   := var "." prop | var | literal
+    item      := var | var "." prop
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    OUT = "->"       # (a)-[..]->(b)
+    IN = "<-"        # (a)<-[..]-(b)
+    ANY = "--"       # (a)-[..]-(b)
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``(var:Label)``; both parts optional (anonymous nodes get fresh
+    internal variable names during parsing)."""
+
+    variable: str
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    """One step between two node patterns."""
+
+    label: str | None
+    direction: Direction
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An alternating node/edge chain, optionally bound to a named graph
+    (the cross-graph join feature)."""
+
+    nodes: tuple[NodePattern, ...]
+    edges: tuple[EdgePattern, ...]
+    graph_name: str | None = None
+
+    def __post_init__(self):
+        if len(self.nodes) != len(self.edges) + 1:
+            raise ValueError("path must have one more node than edges")
+
+
+@dataclass(frozen=True)
+class PropertyRef:
+    variable: str
+    key: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    variable: str
+
+
+Operand = PropertyRef | Literal | VariableRef
+
+
+@dataclass(frozen=True)
+class Comparison:
+    left: Operand
+    op: str          # one of = <> < <= > >=
+    right: Operand
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """``var`` (the vertex id) or ``var.prop`` (a property value)."""
+
+    variable: str
+    key: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.variable if self.key is None else (
+            f"{self.variable}.{self.key}")
+
+
+@dataclass(frozen=True)
+class Query:
+    patterns: tuple[PathPattern, ...]
+    conditions: tuple[Comparison, ...] = ()
+    items: tuple[ReturnItem, ...] = ()
+    distinct: bool = False
+    limit: int | None = None
+
+    def variables(self) -> set[str]:
+        names = set()
+        for pattern in self.patterns:
+            for node in pattern.nodes:
+                names.add(node.variable)
+        return names
+
+
+@dataclass
+class ResultSet:
+    """Rows of a query result, with column names in RETURN order."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]

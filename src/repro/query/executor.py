@@ -1,0 +1,282 @@
+"""Query execution over property graphs.
+
+A backtracking pattern matcher with label pruning: node patterns bind
+variables to vertices; edge patterns constrain consecutive bindings via
+adjacency (respecting direction and edge labels); WHERE comparisons are
+applied as soon as all their variables are bound; RETURN projects rows.
+
+Cross-graph queries (Section 6.2 "querying across multiple graphs") work
+by giving each path pattern its own graph via ``FROM name`` and joining on
+shared variables; see :class:`GraphCatalog`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+from repro.graphs.adjacency import Vertex
+from repro.graphs.property_graph import PropertyGraph
+from repro.query.ast import (
+    Comparison,
+    Direction,
+    Literal,
+    PathPattern,
+    PropertyRef,
+    Query,
+    ResultSet,
+    VariableRef,
+)
+from repro.query.parser import parse
+
+
+class GraphCatalog:
+    """Named graphs available to a query."""
+
+    def __init__(self, default: PropertyGraph | None = None,
+                 **named: PropertyGraph):
+        self._default = default
+        self._named = dict(named)
+
+    def register(self, name: str, graph: PropertyGraph) -> None:
+        self._named[name] = graph
+
+    def resolve(self, name: str | None) -> PropertyGraph:
+        if name is None:
+            if self._default is None:
+                raise QueryError(
+                    "pattern has no FROM clause and the catalog has no "
+                    "default graph")
+            return self._default
+        try:
+            return self._named[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown graph {name!r}; known: {sorted(self._named)}"
+            ) from None
+
+
+def run_query(
+    graph: PropertyGraph | GraphCatalog,
+    text: str | Query,
+) -> ResultSet:
+    """Parse (if needed) and execute a query.
+
+    Args:
+        graph: one property graph, or a :class:`GraphCatalog` for queries
+            whose patterns carry ``FROM name`` clauses.
+        text: the query string or a pre-parsed :class:`Query`.
+    """
+    query = parse(text) if isinstance(text, str) else text
+    catalog = graph if isinstance(graph, GraphCatalog) else GraphCatalog(
+        default=graph)
+    _validate(query)
+    columns = tuple(item.name for item in query.items)
+    result = ResultSet(columns=columns)
+    seen: set[tuple] = set()
+    for binding in _match_patterns(catalog, query):
+        if query.limit is not None and len(result.rows) >= query.limit:
+            break
+        row = tuple(
+            _project(catalog, query, binding, item.variable, item.key)
+            for item in query.items)
+        if query.distinct:
+            if row in seen:
+                continue
+            seen.add(row)
+        result.rows.append(row)
+    return result
+
+
+def _validate(query: Query) -> None:
+    known = query.variables()
+    for item in query.items:
+        if item.variable not in known:
+            raise QueryError(
+                f"RETURN references unbound variable {item.variable!r}")
+    for condition in query.conditions:
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, (PropertyRef, VariableRef)):
+                if operand.variable not in known:
+                    raise QueryError(
+                        f"WHERE references unbound variable "
+                        f"{operand.variable!r}")
+
+
+def _match_patterns(catalog: GraphCatalog,
+                    query: Query) -> Iterator[dict[str, Vertex]]:
+    # Record which graph binds each variable (for property lookups) --
+    # first pattern mentioning the variable wins.
+    graph_of_variable: dict[str, PathPattern] = {}
+    for pattern in query.patterns:
+        for node in pattern.nodes:
+            graph_of_variable.setdefault(node.variable, pattern)
+
+    conditions = list(query.conditions)
+
+    def conditions_ready(binding: dict[str, Vertex]) -> bool:
+        for condition in conditions:
+            variables = _condition_variables(condition)
+            if variables <= set(binding):
+                if not _evaluate(catalog, graph_of_variable, condition,
+                                 binding):
+                    return False
+        return True
+
+    def match_pattern(index: int, binding: dict[str, Vertex]
+                      ) -> Iterator[dict[str, Vertex]]:
+        if index == len(query.patterns):
+            yield dict(binding)
+            return
+        pattern = query.patterns[index]
+        graph = catalog.resolve(pattern.graph_name)
+        for extended in _match_path(graph, pattern, binding):
+            if conditions_ready(extended):
+                yield from match_pattern(index + 1, extended)
+
+    for binding in match_pattern(0, {}):
+        # Final full evaluation (covers conditions whose variables span
+        # patterns and were checked incrementally already -- cheap).
+        ok = all(
+            _evaluate(catalog, graph_of_variable, condition, binding)
+            for condition in conditions)
+        if ok:
+            yield binding
+
+
+def _match_path(graph: PropertyGraph, pattern: PathPattern,
+                binding: dict[str, Vertex]) -> Iterator[dict[str, Vertex]]:
+    nodes, edges = pattern.nodes, pattern.edges
+
+    def candidates_for(position: int, current: dict[str, Vertex]
+                       ) -> Iterator[Vertex]:
+        node = nodes[position]
+        if node.variable in current:
+            yield current[node.variable]
+            return
+        if position > 0:
+            previous = current[nodes[position - 1].variable]
+            edge = edges[position - 1]
+            if edge.direction is Direction.OUT:
+                neighbors = graph.out_neighbors(previous)
+            elif edge.direction is Direction.IN:
+                neighbors = graph.in_neighbors(previous)
+            else:
+                neighbors = graph.neighbors(previous)
+            yield from neighbors
+        else:
+            if node.label is not None:
+                yield from graph.vertices_with_label(node.label)
+            else:
+                yield from graph.vertices()
+
+    def node_ok(position: int, vertex: Vertex) -> bool:
+        node = nodes[position]
+        if vertex not in graph:
+            return False
+        if node.label is not None and graph.vertex_label(vertex) != node.label:
+            return False
+        return True
+
+    def edge_ok(position: int, current: dict[str, Vertex],
+                vertex: Vertex) -> bool:
+        if position == 0:
+            return True
+        previous = current[nodes[position - 1].variable]
+        edge = edges[position - 1]
+        if edge.direction is Direction.OUT:
+            pairs = [(previous, vertex)]
+        elif edge.direction is Direction.IN:
+            pairs = [(vertex, previous)]
+        else:
+            pairs = [(previous, vertex), (vertex, previous)]
+        for u, v in pairs:
+            if u not in graph:
+                continue
+            for edge_id in graph.edge_ids(u, v):
+                if edge.label is None or graph.edge_label(edge_id) == edge.label:
+                    return True
+        return False
+
+    def walk(position: int, current: dict[str, Vertex]
+             ) -> Iterator[dict[str, Vertex]]:
+        if position == len(nodes):
+            yield dict(current)
+            return
+        node = nodes[position]
+        pre_bound = node.variable in current
+        seen: set[Vertex] = set()
+        for vertex in candidates_for(position, current):
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            if not node_ok(position, vertex):
+                continue
+            if not edge_ok(position, current, vertex):
+                continue
+            if not pre_bound:
+                current[node.variable] = vertex
+            elif current[node.variable] != vertex:
+                continue
+            yield from walk(position + 1, current)
+            if not pre_bound:
+                del current[node.variable]
+
+    yield from walk(0, dict(binding))
+
+
+def _condition_variables(condition: Comparison) -> set[str]:
+    names = set()
+    for operand in (condition.left, condition.right):
+        if isinstance(operand, (PropertyRef, VariableRef)):
+            names.add(operand.variable)
+    return names
+
+
+def _evaluate(catalog, graph_of_variable, condition: Comparison,
+              binding: dict[str, Vertex]) -> bool:
+    left = _operand_value(catalog, graph_of_variable, condition.left, binding)
+    right = _operand_value(catalog, graph_of_variable, condition.right,
+                           binding)
+    op = condition.op
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if left is None or right is None:
+        return False
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise QueryError(f"unknown operator {op!r}")
+
+
+def _operand_value(catalog, graph_of_variable, operand,
+                   binding: dict[str, Vertex]) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, VariableRef):
+        return binding[operand.variable]
+    pattern = graph_of_variable[operand.variable]
+    graph = catalog.resolve(pattern.graph_name)
+    return graph.vertex_property(binding[operand.variable], operand.key)
+
+
+def _project(catalog, query: Query, binding: dict[str, Vertex],
+             variable: str, key: str | None) -> Any:
+    if key is None:
+        return binding[variable]
+    for pattern in query.patterns:
+        for node in pattern.nodes:
+            if node.variable == variable:
+                graph = catalog.resolve(pattern.graph_name)
+                return graph.vertex_property(binding[variable], key)
+    raise QueryError(f"unbound variable {variable!r}")

@@ -1,0 +1,233 @@
+"""Tokenizer and recursive-descent parser for the query language.
+
+See :mod:`repro.query.ast` for the grammar. Errors raise
+:class:`~repro.errors.QueryError` with a position and what was expected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    Comparison,
+    Direction,
+    EdgePattern,
+    Literal,
+    NodePattern,
+    PathPattern,
+    PropertyRef,
+    Query,
+    ReturnItem,
+    VariableRef,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<arrow_out>-\[|\]->|\]-)
+  | (?P<arrow_in><-\[)
+  | (?P<symbol><>|<=|>=|[(),:.=<>])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {"MATCH", "WHERE", "RETURN", "DISTINCT", "LIMIT", "AND", "FROM",
+            "TRUE", "FALSE", "NULL"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup
+        value = match.group()
+        position = match.end()
+        if kind == "ws":
+            continue
+        if kind == "word" and value.upper() in KEYWORDS:
+            tokens.append(Token("keyword", value.upper(), match.start()))
+        else:
+            tokens.append(Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+        self._anonymous = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            raise QueryError(
+                f"expected {expected!r} at position {token.position}, "
+                f"found {token.text!r}")
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token and token.kind == kind and (
+                text is None or token.text == text):
+            self._index += 1
+            return token
+        return None
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect("keyword", "MATCH")
+        patterns = [self.parse_pattern()]
+        while self._accept("symbol", ","):
+            patterns.append(self.parse_pattern())
+        conditions: list[Comparison] = []
+        if self._accept("keyword", "WHERE"):
+            conditions.append(self.parse_comparison())
+            while self._accept("keyword", "AND"):
+                conditions.append(self.parse_comparison())
+        self._expect("keyword", "RETURN")
+        distinct = bool(self._accept("keyword", "DISTINCT"))
+        items = [self.parse_return_item()]
+        while self._accept("symbol", ","):
+            items.append(self.parse_return_item())
+        limit = None
+        if self._accept("keyword", "LIMIT"):
+            token = self._expect("number")
+            limit = int(float(token.text))
+            if limit < 0:
+                raise QueryError("LIMIT must be >= 0")
+        if self._peek() is not None:
+            token = self._peek()
+            raise QueryError(
+                f"unexpected trailing input {token.text!r} at "
+                f"{token.position}")
+        return Query(patterns=tuple(patterns), conditions=tuple(conditions),
+                     items=tuple(items), distinct=distinct, limit=limit)
+
+    def parse_pattern(self) -> PathPattern:
+        nodes = [self.parse_node()]
+        edges: list[EdgePattern] = []
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in ("arrow_out", "arrow_in"):
+                break
+            edges.append(self.parse_edge())
+            nodes.append(self.parse_node())
+        graph_name = None
+        if self._accept("keyword", "FROM"):
+            graph_name = self._expect("word").text
+        return PathPattern(nodes=tuple(nodes), edges=tuple(edges),
+                           graph_name=graph_name)
+
+    def parse_node(self) -> NodePattern:
+        self._expect("symbol", "(")
+        variable = None
+        label = None
+        word = self._accept("word")
+        if word:
+            variable = word.text
+        if self._accept("symbol", ":"):
+            label = self._expect("word").text
+        self._expect("symbol", ")")
+        if variable is None:
+            self._anonymous += 1
+            variable = f"__anon{self._anonymous}"
+        return NodePattern(variable=variable, label=label)
+
+    def parse_edge(self) -> EdgePattern:
+        token = self._next()
+        if token.kind == "arrow_in":          # <-[
+            label = self._parse_edge_label()
+            self._expect("arrow_out", "]-")
+            return EdgePattern(label=label, direction=Direction.IN)
+        if token.kind == "arrow_out" and token.text == "-[":
+            label = self._parse_edge_label()
+            closer = self._next()
+            if closer.kind != "arrow_out":
+                raise QueryError(
+                    f"expected ']->' or ']-' at {closer.position}")
+            if closer.text == "]->":
+                return EdgePattern(label=label, direction=Direction.OUT)
+            return EdgePattern(label=label, direction=Direction.ANY)
+        raise QueryError(
+            f"expected an edge pattern at position {token.position}, "
+            f"found {token.text!r}")
+
+    def _parse_edge_label(self) -> str | None:
+        if self._accept("symbol", ":"):
+            return self._expect("word").text
+        return None
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_operand()
+        token = self._next()
+        if token.kind != "symbol" or token.text not in (
+                "=", "<>", "<", "<=", ">", ">="):
+            raise QueryError(
+                f"expected a comparison operator at {token.position}, "
+                f"found {token.text!r}")
+        right = self.parse_operand()
+        return Comparison(left=left, op=token.text, right=right)
+
+    def parse_operand(self):
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text)
+            return Literal(int(value) if value.is_integer() else value)
+        if token.kind == "string":
+            return Literal(token.text[1:-1])
+        if token.kind == "keyword" and token.text in ("TRUE", "FALSE", "NULL"):
+            return Literal(
+                {"TRUE": True, "FALSE": False, "NULL": None}[token.text])
+        if token.kind == "word":
+            if self._accept("symbol", "."):
+                key = self._expect("word").text
+                return PropertyRef(variable=token.text, key=key)
+            return VariableRef(variable=token.text)
+        raise QueryError(
+            f"expected an operand at position {token.position}, "
+            f"found {token.text!r}")
+
+    def parse_return_item(self) -> ReturnItem:
+        variable = self._expect("word").text
+        if self._accept("symbol", "."):
+            key = self._expect("word").text
+            return ReturnItem(variable=variable, key=key)
+        return ReturnItem(variable=variable)
+
+
+def parse(text: str) -> Query:
+    """Parse a query string into a :class:`~repro.query.ast.Query`."""
+    return _Parser(tokenize(text), text).parse_query()

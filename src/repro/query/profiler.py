@@ -1,0 +1,237 @@
+"""Query profiling, EXPLAIN, and selectivity-based optimization.
+
+Section 6.2 notes that "profiling and debugging slow queries and using
+indices correctly to speed up queries are other common topics among
+users". This module provides the corresponding tooling for GQL-lite:
+
+* :func:`explain` -- the plan: per-pattern start node, label
+  selectivities, and estimated starting candidates;
+* :func:`profile` -- run a query against an instrumented graph proxy and
+  report rows, wall time, and how many vertices/neighbor-lists the
+  executor actually touched;
+* :func:`reorder_for_selectivity` -- the optimizer: flip a path pattern
+  when its far end is more selective, so matching starts from the
+  smallest candidate set (the "using indices correctly" fix).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graphs.property_graph import PropertyGraph
+from repro.query.ast import (
+    Direction,
+    EdgePattern,
+    PathPattern,
+    Query,
+    ResultSet,
+)
+from repro.query.executor import GraphCatalog, run_query
+from repro.query.parser import parse
+
+
+@dataclass
+class AccessStats:
+    """What the executor touched while matching."""
+
+    vertex_scans: int = 0        # full-vertex-set enumerations started
+    vertices_yielded: int = 0    # vertices produced by those scans
+    neighbor_lists: int = 0      # adjacency lists opened
+    label_lookups: int = 0       # label index probes
+
+
+class CountingGraph:
+    """A read-only proxy over a property graph that counts accesses.
+
+    Implements the executor-facing read API by delegation; every hot
+    path increments :class:`AccessStats`.
+    """
+
+    def __init__(self, graph: PropertyGraph, stats: AccessStats):
+        self._graph = graph
+        self.stats = stats
+
+    # -- counted hot paths ------------------------------------------------
+
+    def vertices(self):
+        self.stats.vertex_scans += 1
+        for vertex in self._graph.vertices():
+            self.stats.vertices_yielded += 1
+            yield vertex
+
+    def vertices_with_label(self, label):
+        self.stats.label_lookups += 1
+        return self._graph.vertices_with_label(label)
+
+    def out_neighbors(self, vertex):
+        self.stats.neighbor_lists += 1
+        return self._graph.out_neighbors(vertex)
+
+    def in_neighbors(self, vertex):
+        self.stats.neighbor_lists += 1
+        return self._graph.in_neighbors(vertex)
+
+    def neighbors(self, vertex):
+        self.stats.neighbor_lists += 1
+        return self._graph.neighbors(vertex)
+
+    # -- transparent delegation ---------------------------------------
+
+    def __contains__(self, vertex):
+        return vertex in self._graph
+
+    def __getattr__(self, name):
+        return getattr(self._graph, name)
+
+
+@dataclass
+class PatternPlan:
+    """EXPLAIN output for one path pattern."""
+
+    start_variable: str
+    start_label: str | None
+    estimated_candidates: int
+    reversed: bool = False
+
+
+@dataclass
+class QueryProfile:
+    """The result of :func:`profile`."""
+
+    result: ResultSet
+    elapsed_ms: float
+    stats: AccessStats
+    plans: list[PatternPlan] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.result)} rows in {self.elapsed_ms:.2f} ms"]
+        lines.append(
+            f"  touched: {self.stats.vertices_yielded} vertices via "
+            f"{self.stats.vertex_scans} scans, "
+            f"{self.stats.neighbor_lists} adjacency lists, "
+            f"{self.stats.label_lookups} label lookups")
+        for i, plan in enumerate(self.plans):
+            flipped = " (reversed)" if plan.reversed else ""
+            lines.append(
+                f"  pattern {i}: start at {plan.start_variable}"
+                f"{':' + plan.start_label if plan.start_label else ''}"
+                f" ~{plan.estimated_candidates} candidates{flipped}")
+        return "\n".join(lines)
+
+
+def _label_count(graph: PropertyGraph, label: str | None) -> int:
+    if label is None:
+        return graph.num_vertices()
+    return sum(1 for _ in graph.vertices_with_label(label))
+
+
+def _pattern_plan(graph: PropertyGraph, pattern: PathPattern,
+                  reversed_: bool = False) -> PatternPlan:
+    start = pattern.nodes[0]
+    return PatternPlan(
+        start_variable=start.variable,
+        start_label=start.label,
+        estimated_candidates=_label_count(graph, start.label),
+        reversed=reversed_)
+
+
+def _reverse_pattern(pattern: PathPattern) -> PathPattern:
+    """The same path written back to front (edge directions flipped)."""
+    flipped_direction = {
+        Direction.OUT: Direction.IN,
+        Direction.IN: Direction.OUT,
+        Direction.ANY: Direction.ANY,
+    }
+    return PathPattern(
+        nodes=tuple(reversed(pattern.nodes)),
+        edges=tuple(
+            EdgePattern(label=edge.label,
+                        direction=flipped_direction[edge.direction])
+            for edge in reversed(pattern.edges)),
+        graph_name=pattern.graph_name)
+
+
+def reorder_for_selectivity(
+    graph: PropertyGraph | GraphCatalog,
+    query: Query | str,
+) -> tuple[Query, list[PatternPlan]]:
+    """Flip each path pattern when its last node has fewer label
+    candidates than its first, so matching starts from the selective
+    end. Returns the (possibly rewritten) query and the per-pattern
+    plans."""
+    query = parse(query) if isinstance(query, str) else query
+    catalog = graph if isinstance(graph, GraphCatalog) else GraphCatalog(
+        default=graph)
+    new_patterns = []
+    plans = []
+    for pattern in query.patterns:
+        target = catalog.resolve(pattern.graph_name)
+        forward_cost = _label_count(target, pattern.nodes[0].label)
+        backward_cost = _label_count(target, pattern.nodes[-1].label)
+        if backward_cost < forward_cost and len(pattern.nodes) > 1:
+            pattern = _reverse_pattern(pattern)
+            plans.append(_pattern_plan(target, pattern, reversed_=True))
+        else:
+            plans.append(_pattern_plan(target, pattern))
+        new_patterns.append(pattern)
+    optimized = Query(patterns=tuple(new_patterns),
+                      conditions=query.conditions, items=query.items,
+                      distinct=query.distinct, limit=query.limit)
+    return optimized, plans
+
+
+def explain(
+    graph: PropertyGraph | GraphCatalog,
+    query: Query | str,
+) -> str:
+    """A human-readable plan without executing the query."""
+    parsed = parse(query) if isinstance(query, str) else query
+    optimized, plans = reorder_for_selectivity(graph, parsed)
+    lines = ["QUERY PLAN"]
+    for i, (pattern, plan) in enumerate(zip(optimized.patterns, plans)):
+        chain = []
+        for j, node in enumerate(pattern.nodes):
+            chain.append(f"({node.variable}"
+                         f"{':' + node.label if node.label else ''})")
+            if j < len(pattern.edges):
+                edge = pattern.edges[j]
+                label = f":{edge.label}" if edge.label else ""
+                if edge.direction is Direction.OUT:
+                    chain.append(f"-[{label}]->")
+                elif edge.direction is Direction.IN:
+                    chain.append(f"<-[{label}]-")
+                else:
+                    chain.append(f"-[{label}]-")
+        source = f" FROM {pattern.graph_name}" if pattern.graph_name else ""
+        flipped = "  [reversed for selectivity]" if plan.reversed else ""
+        lines.append(f"  pattern {i}: {''.join(chain)}{source}{flipped}")
+        lines.append(
+            f"    start: {plan.start_variable} "
+            f"(~{plan.estimated_candidates} candidates)")
+    if parsed.conditions:
+        lines.append(f"  filters: {len(parsed.conditions)} comparison(s), "
+                     "applied as soon as their variables bind")
+    if parsed.limit is not None:
+        lines.append(f"  limit: stop after {parsed.limit} rows")
+    return "\n".join(lines)
+
+
+def profile(
+    graph: PropertyGraph,
+    query: Query | str,
+    optimize: bool = True,
+) -> QueryProfile:
+    """Execute against an instrumented proxy and report access counts."""
+    parsed = parse(query) if isinstance(query, str) else query
+    if optimize:
+        parsed, plans = reorder_for_selectivity(graph, parsed)
+    else:
+        plans = [_pattern_plan(graph, p) for p in parsed.patterns]
+    stats = AccessStats()
+    counting = CountingGraph(graph, stats)
+    start = time.perf_counter()
+    result = run_query(counting, parsed)  # type: ignore[arg-type]
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    return QueryProfile(result=result, elapsed_ms=elapsed_ms,
+                        stats=stats, plans=plans)

@@ -1,0 +1,94 @@
+"""Query composition (a Section 6.2 user request).
+
+Users asked for "the results of a subquery to be a graph that can further
+be queried" (the paper notes SPARQL supports this *composition* while some
+graph databases do not). :func:`materialize_subgraph` turns a query's
+matched bindings back into a property graph -- the induced subgraph over
+every matched vertex -- so the result can be queried again, and
+:func:`query_chain` runs a pipeline of such compositions.
+
+:func:`exists_subquery` covers the second request in the same section:
+using a subquery as a *predicate* inside another query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.graphs.property_graph import PropertyGraph
+from repro.query.ast import Query, ResultSet
+from repro.query.executor import GraphCatalog, _match_patterns, run_query
+from repro.query.parser import parse
+
+
+def matched_vertices(
+    graph: PropertyGraph,
+    text: str | Query,
+) -> set:
+    """Every vertex bound by any variable in any match of the query."""
+    query = parse(text) if isinstance(text, str) else text
+    catalog = GraphCatalog(default=graph)
+    vertices = set()
+    for binding in _match_patterns(catalog, query):
+        vertices.update(binding.values())
+    return vertices
+
+
+def materialize_subgraph(
+    graph: PropertyGraph,
+    text: str | Query,
+) -> PropertyGraph:
+    """Composition: run a query and return the induced property subgraph
+    over all matched vertices (labels and properties preserved)."""
+    vertices = matched_vertices(graph, text)
+    return graph.subgraph(vertices)
+
+
+def query_chain(
+    graph: PropertyGraph,
+    stages: list[str],
+) -> ResultSet:
+    """Run a pipeline: every stage but the last materializes its matches
+    as the next stage's input graph; the last stage returns rows."""
+    if not stages:
+        raise QueryError("query_chain needs at least one stage")
+    current = graph
+    for stage in stages[:-1]:
+        current = materialize_subgraph(current, stage)
+    return run_query(current, stages[-1])
+
+
+def exists_subquery(
+    graph: PropertyGraph,
+    text: str | Query,
+) -> bool:
+    """Subquery-as-predicate: does the pattern match at all?"""
+    query = parse(text) if isinstance(text, str) else text
+    catalog = GraphCatalog(default=graph)
+    for _ in _match_patterns(catalog, query):
+        return True
+    return False
+
+
+def filter_by_subquery(
+    graph: PropertyGraph,
+    outer: str | Query,
+    inner_template: str,
+    variable: str,
+) -> ResultSet:
+    """Run ``outer``, keeping only rows whose ``variable`` value satisfies
+    the inner pattern.
+
+    ``inner_template`` is a query string with a ``{value}`` placeholder
+    substituted (as a property literal) per candidate row -- the
+    "subquery as a predicate in another query" shape users asked for.
+    """
+    result = run_query(graph, outer)
+    if variable not in result.columns:
+        raise QueryError(
+            f"outer query does not return column {variable!r}")
+    index = result.columns.index(variable)
+    kept = [
+        row for row in result.rows
+        if exists_subquery(graph, inner_template.format(value=row[index]))
+    ]
+    return ResultSet(columns=result.columns, rows=kept)

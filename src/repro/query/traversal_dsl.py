@@ -1,0 +1,283 @@
+"""A Gremlin-style fluent traversal DSL.
+
+Gremlin is the single most active community in the paper's review
+(Table 1: 82 mailing-list users; Table 20: 409 emails). Its paradigm --
+imperative traversals composed from steps -- complements the declarative
+GQL-lite language, so both query styles the survey's participants use
+exist in this repository:
+
+    >>> from repro.graphs import PropertyGraph
+    >>> from repro.query.traversal_dsl import traverse, gt
+    >>> g = PropertyGraph()
+    >>> _ = g.add_vertex("ann", label="Person", age=42)
+    >>> _ = g.add_vertex("bob", label="Person", age=17)
+    >>> _ = g.add_edge("ann", "bob", label="KNOWS")
+    >>> (traverse(g).V().has_label("Person").has("age", gt(21))
+    ...  .out("KNOWS").to_list())
+    ['bob']
+
+Steps are lazy: nothing runs until a terminal step (``to_list``,
+``count``, ``first``, ``paths``) is called, and ``limit`` short-circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.graphs.property_graph import PropertyGraph
+
+Vertex = Hashable
+Predicate = Callable[[Any], bool]
+
+
+# -- value predicates (Gremlin's P.*) ------------------------------------
+
+def eq(expected: Any) -> Predicate:
+    return lambda value: value == expected
+
+
+def neq(expected: Any) -> Predicate:
+    return lambda value: value != expected
+
+
+def gt(bound: Any) -> Predicate:
+    return lambda value: value is not None and value > bound
+
+
+def gte(bound: Any) -> Predicate:
+    return lambda value: value is not None and value >= bound
+
+
+def lt(bound: Any) -> Predicate:
+    return lambda value: value is not None and value < bound
+
+
+def lte(bound: Any) -> Predicate:
+    return lambda value: value is not None and value <= bound
+
+
+def between(low: Any, high: Any) -> Predicate:
+    return lambda value: value is not None and low <= value < high
+
+
+def within(*choices: Any) -> Predicate:
+    allowed = set(choices)
+    return lambda value: value in allowed
+
+
+class _Traverser:
+    """One position in the traversal plus the path that led there."""
+
+    __slots__ = ("element", "path")
+
+    def __init__(self, element: Any, path: tuple):
+        self.element = element
+        self.path = path
+
+
+class Traversal:
+    """A lazy chain of traversal steps over a property graph."""
+
+    def __init__(self, graph: PropertyGraph,
+                 source: Iterable[_Traverser] | None = None):
+        self._graph = graph
+        self._source = source
+
+    # -- start steps ------------------------------------------------------
+
+    def V(self, *vertices: Vertex) -> "Traversal":
+        """Start from all vertices, or the given ones."""
+        graph = self._graph
+
+        def generate() -> Iterator[_Traverser]:
+            pool = vertices if vertices else graph.vertices()
+            for vertex in pool:
+                if vertex in graph:
+                    yield _Traverser(vertex, (vertex,))
+
+        return Traversal(graph, generate())
+
+    def _require_source(self) -> Iterable[_Traverser]:
+        if self._source is None:
+            raise QueryError("traversal has no source; start with .V()")
+        return self._source
+
+    def _chain(self, step: Callable[[Iterator[_Traverser]],
+                                    Iterator[_Traverser]]) -> "Traversal":
+        source = self._require_source()
+        return Traversal(self._graph, step(iter(source)))
+
+    # -- filter steps -----------------------------------------------------
+
+    def has_label(self, label: str) -> "Traversal":
+        graph = self._graph
+
+        def step(source):
+            for traverser in source:
+                if graph.vertex_label(traverser.element) == label:
+                    yield traverser
+
+        return self._chain(step)
+
+    def has(self, key: str, condition: Any) -> "Traversal":
+        """Keep vertices whose property matches a value or predicate."""
+        predicate = condition if callable(condition) else eq(condition)
+        graph = self._graph
+
+        def step(source):
+            for traverser in source:
+                if predicate(graph.vertex_property(traverser.element, key)):
+                    yield traverser
+
+        return self._chain(step)
+
+    def where(self, predicate: Callable[[Vertex], bool]) -> "Traversal":
+        def step(source):
+            for traverser in source:
+                if predicate(traverser.element):
+                    yield traverser
+
+        return self._chain(step)
+
+    def dedup(self) -> "Traversal":
+        def step(source):
+            seen = set()
+            for traverser in source:
+                if traverser.element not in seen:
+                    seen.add(traverser.element)
+                    yield traverser
+
+        return self._chain(step)
+
+    def simple_path(self) -> "Traversal":
+        """Discard traversers that revisit a vertex on their own path."""
+
+        def step(source):
+            for traverser in source:
+                if len(set(traverser.path)) == len(traverser.path):
+                    yield traverser
+
+        return self._chain(step)
+
+    def limit(self, count: int) -> "Traversal":
+        if count < 0:
+            raise QueryError("limit must be >= 0")
+
+        def step(source):
+            for index, traverser in enumerate(source):
+                if index >= count:
+                    return
+                yield traverser
+
+        return self._chain(step)
+
+    # -- move steps ---------------------------------------------------
+
+    def _step_neighbors(self, direction: str,
+                        label: str | None) -> "Traversal":
+        graph = self._graph
+
+        def neighbors_of(vertex):
+            # (edge source, edge target, vertex the traverser moves to)
+            candidates = []
+            if direction in ("out", "both"):
+                candidates.extend(
+                    (vertex, w, w) for w in graph.out_neighbors(vertex))
+            if direction in ("in", "both"):
+                candidates.extend(
+                    (w, vertex, w) for w in graph.in_neighbors(vertex))
+            for u, v, destination in candidates:
+                if label is None:
+                    yield destination
+                    continue
+                for edge_id in graph.edge_ids(u, v):
+                    if graph.edge_label(edge_id) == label:
+                        yield destination
+                        break
+
+        def step(source):
+            for traverser in source:
+                for neighbor in neighbors_of(traverser.element):
+                    yield _Traverser(neighbor,
+                                     traverser.path + (neighbor,))
+
+        return self._chain(step)
+
+    def out(self, label: str | None = None) -> "Traversal":
+        return self._step_neighbors("out", label)
+
+    def in_(self, label: str | None = None) -> "Traversal":
+        return self._step_neighbors("in", label)
+
+    def both(self, label: str | None = None) -> "Traversal":
+        return self._step_neighbors("both", label)
+
+    def repeat(self, step: Callable[["Traversal"], "Traversal"],
+               times: int) -> "Traversal":
+        """Apply a sub-traversal builder ``times`` times, e.g.
+        ``t.repeat(lambda s: s.out("KNOWS"), 3)``."""
+        if times < 0:
+            raise QueryError("repeat count must be >= 0")
+        current = self
+        for _ in range(times):
+            current = step(current)
+        return current
+
+    # -- projection / terminal steps -----------------------------------
+
+    def values(self, key: str) -> "Traversal":
+        graph = self._graph
+
+        def step(source):
+            for traverser in source:
+                value = graph.vertex_property(traverser.element, key)
+                if value is not None:
+                    yield _Traverser(value, traverser.path)
+
+        return self._chain(step)
+
+    def label(self) -> "Traversal":
+        graph = self._graph
+
+        def step(source):
+            for traverser in source:
+                yield _Traverser(graph.vertex_label(traverser.element),
+                                 traverser.path)
+
+        return self._chain(step)
+
+    def order(self, by: Callable[[Any], Any] = repr) -> "Traversal":
+        def step(source):
+            yield from sorted(source, key=lambda t: by(t.element))
+
+        return self._chain(step)
+
+    def to_list(self) -> list:
+        return [traverser.element for traverser in self._require_source()]
+
+    def to_set(self) -> set:
+        return {traverser.element for traverser in self._require_source()}
+
+    def first(self) -> Any:
+        for traverser in self._require_source():
+            return traverser.element
+        return None
+
+    def count(self) -> int:
+        return sum(1 for _ in self._require_source())
+
+    def paths(self) -> list[tuple]:
+        return [traverser.path for traverser in self._require_source()]
+
+    def group_count(self) -> dict:
+        histogram: dict = {}
+        for traverser in self._require_source():
+            histogram[traverser.element] = histogram.get(
+                traverser.element, 0) + 1
+        return histogram
+
+
+def traverse(graph: PropertyGraph) -> Traversal:
+    """Entry point: ``traverse(g).V()...``."""
+    return Traversal(graph)

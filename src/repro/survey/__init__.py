@@ -1,0 +1,17 @@
+"""The survey instrument, respondent records, and serialization."""
+
+from repro.survey.instrument import (
+    SURVEY_QUESTIONS,
+    InvalidResponse,
+    Question,
+    QuestionKind,
+    question,
+    validate_respondent,
+)
+from repro.survey.io import (
+    load_population_csv,
+    load_population_json,
+    save_population_csv,
+    save_population_json,
+)
+from repro.survey.respondent import Population, Respondent

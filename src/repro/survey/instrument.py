@@ -1,0 +1,217 @@
+"""The 34-question survey instrument (Section 2.1).
+
+The paper groups the questions into five categories: demographics, graph
+datasets, graph and machine learning computations, graph software, and
+workload breakdown / challenges. We model each question with its kind
+(yes/no, single choice, multiple choice, short answer) and its choice set,
+and provide a validator that checks a :class:`~repro.survey.respondent.
+Respondent` against the instrument.
+
+Short-answer questions carry no machine-checkable answer and exist here for
+completeness of the instrument; the respondent model stores their structured
+derivatives (e.g. the seven non-human categories the authors coded from the
+free-text answers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.data import taxonomy
+from repro.survey.respondent import Respondent
+
+
+class QuestionKind(enum.Enum):
+    YES_NO = "yes_no"
+    SINGLE_CHOICE = "single_choice"
+    MULTI_CHOICE = "multi_choice"
+    SHORT_ANSWER = "short_answer"
+
+
+@dataclass(frozen=True)
+class Question:
+    """One survey question.
+
+    Attributes:
+        qid: stable identifier, also the respondent attribute it fills
+            (empty for short-answer questions with no structured field).
+        category: one of the five Section 2.1 categories.
+        text: the question as asked.
+        kind: response type.
+        choices: the provided choices (empty for short answers / yes-no).
+    """
+
+    qid: str
+    category: str
+    text: str
+    kind: QuestionKind
+    choices: tuple[str, ...] = ()
+
+
+DEMOGRAPHICS = "demographics"
+DATASETS = "graph datasets"
+COMPUTATIONS = "graph and machine learning computations"
+SOFTWARE = "graph software"
+WORKLOAD = "workload breakdown and major challenges"
+
+
+def _q(qid, category, text, kind, choices=()):
+    return Question(qid=qid, category=category, text=text, kind=kind,
+                    choices=tuple(choices))
+
+
+#: The full instrument, in survey order.
+SURVEY_QUESTIONS: tuple[Question, ...] = (
+    # -- demographics
+    _q("fields_of_work", DEMOGRAPHICS, "Which field do you work in?",
+       QuestionKind.MULTI_CHOICE, taxonomy.FIELDS_OF_WORK),
+    _q("org_size", DEMOGRAPHICS, "What is the size of your organization?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.ORG_SIZES),
+    _q("roles", DEMOGRAPHICS, "What is your role in your organization?",
+       QuestionKind.MULTI_CHOICE, taxonomy.ROLES),
+    # -- graph datasets
+    _q("entities", DATASETS,
+       "Which real-world entities do your graphs represent?",
+       QuestionKind.MULTI_CHOICE, taxonomy.ENTITY_KINDS),
+    _q("non_human_categories", DATASETS,
+       "If non-human entities, please describe them.",
+       QuestionKind.SHORT_ANSWER, taxonomy.NON_HUMAN_CATEGORIES),
+    _q("vertex_buckets", DATASETS, "How many vertices do your graphs have?",
+       QuestionKind.MULTI_CHOICE, taxonomy.VERTEX_COUNT_BUCKETS),
+    _q("edge_buckets", DATASETS, "How many edges do your graphs have?",
+       QuestionKind.MULTI_CHOICE, taxonomy.EDGE_COUNT_BUCKETS),
+    _q("byte_buckets", DATASETS,
+       "What is the total uncompressed size of your graphs?",
+       QuestionKind.MULTI_CHOICE, taxonomy.BYTE_SIZE_BUCKETS),
+    _q("directedness", DATASETS, "Are your graphs directed or undirected?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.DIRECTEDNESS),
+    _q("simplicity", DATASETS, "Are your graphs simple graphs or multigraphs?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.SIMPLICITY),
+    _q("stores_data", DATASETS,
+       "Do you store data on the vertices and edges of your graphs?",
+       QuestionKind.YES_NO),
+    _q("vertex_property_types", DATASETS,
+       "Which types of data do you store on vertices?",
+       QuestionKind.MULTI_CHOICE, taxonomy.PROPERTY_TYPES),
+    _q("edge_property_types", DATASETS,
+       "Which types of data do you store on edges?",
+       QuestionKind.MULTI_CHOICE, taxonomy.PROPERTY_TYPES),
+    _q("dynamism", DATASETS,
+       "How frequently do the vertices and edges of your graphs change?",
+       QuestionKind.MULTI_CHOICE, taxonomy.DYNAMISM),
+    # -- computations
+    _q("graph_computations", COMPUTATIONS,
+       "Which graph queries and computations do you perform?",
+       QuestionKind.MULTI_CHOICE, taxonomy.GRAPH_COMPUTATIONS),
+    _q("", COMPUTATIONS,
+       "Which other graph queries and computations do you perform?",
+       QuestionKind.SHORT_ANSWER),
+    _q("ml_computations", COMPUTATIONS,
+       "Which machine learning computations do you run on your graphs?",
+       QuestionKind.MULTI_CHOICE, taxonomy.ML_COMPUTATIONS),
+    _q("ml_problems", COMPUTATIONS,
+       "Which problems commonly solved with machine learning do you solve "
+       "using graphs?",
+       QuestionKind.MULTI_CHOICE, taxonomy.ML_PROBLEMS),
+    _q("streaming_incremental", COMPUTATIONS,
+       "Do you perform incremental or streaming computations?",
+       QuestionKind.YES_NO),
+    _q("", COMPUTATIONS,
+       "Please describe your incremental or streaming computations.",
+       QuestionKind.SHORT_ANSWER),
+    _q("traversal", COMPUTATIONS,
+       "Which fundamental traversals do you use in your algorithms?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.TRAVERSALS),
+    # -- software
+    _q("query_software", SOFTWARE,
+       "Which types of graph software do you use to query and perform "
+       "computations on your graphs?",
+       QuestionKind.MULTI_CHOICE, taxonomy.QUERY_SOFTWARE),
+    _q("non_query_software", SOFTWARE,
+       "Which types of graph software do you use for tasks other than "
+       "querying?",
+       QuestionKind.MULTI_CHOICE, taxonomy.NON_QUERY_SOFTWARE),
+    _q("architectures", SOFTWARE,
+       "What are the architectures of the software products you use?",
+       QuestionKind.MULTI_CHOICE, taxonomy.ARCHITECTURES),
+    _q("multiple_formats", SOFTWARE,
+       "Do you store a single graph in multiple formats?",
+       QuestionKind.YES_NO),
+    _q("storage_formats", SOFTWARE, "Which formats do you use?",
+       QuestionKind.SHORT_ANSWER, taxonomy.STORAGE_FORMATS),
+    # -- workload and challenges
+    _q("hours.Analytics", WORKLOAD,
+       "How many hours per week do you spend on analytics?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.HOUR_BUCKETS),
+    _q("hours.Testing", WORKLOAD,
+       "How many hours per week do you spend on testing?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.HOUR_BUCKETS),
+    _q("hours.Debugging", WORKLOAD,
+       "How many hours per week do you spend on debugging?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.HOUR_BUCKETS),
+    _q("hours.Maintenance", WORKLOAD,
+       "How many hours per week do you spend on maintenance?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.HOUR_BUCKETS),
+    _q("hours.ETL", WORKLOAD,
+       "How many hours per week do you spend on ETL?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.HOUR_BUCKETS),
+    _q("hours.Cleaning", WORKLOAD,
+       "How many hours per week do you spend on cleaning?",
+       QuestionKind.SINGLE_CHOICE, taxonomy.HOUR_BUCKETS),
+    _q("challenges", WORKLOAD,
+       "What are your top challenges in processing graphs?",
+       QuestionKind.MULTI_CHOICE, taxonomy.CHALLENGES),
+    _q("", WORKLOAD, "What is your biggest challenge in processing graphs?",
+       QuestionKind.SHORT_ANSWER),
+)
+
+
+def question(qid: str) -> Question:
+    """Look up a question by its identifier."""
+    for q in SURVEY_QUESTIONS:
+        if q.qid == qid:
+            return q
+    raise KeyError(f"no question with qid {qid!r}")
+
+
+class InvalidResponse(ValueError):
+    """A respondent's answer is outside the instrument's choice set."""
+
+
+def validate_respondent(respondent: Respondent) -> None:
+    """Raise :class:`InvalidResponse` if any answer violates the instrument.
+
+    Checks every structured field against its question's choice set, the
+    hours mapping against tasks and buckets, and the follow-up consistency
+    rules (non-human categories require the Non-Human entity choice;
+    property types require ``stores_data``).
+    """
+    for q in SURVEY_QUESTIONS:
+        if not q.qid or q.qid.startswith("hours."):
+            continue
+        value = getattr(respondent, q.qid)
+        if q.kind is QuestionKind.SINGLE_CHOICE:
+            if value is not None and value not in q.choices:
+                raise InvalidResponse(
+                    f"{q.qid}: {value!r} not in choices {q.choices}")
+        elif q.kind in (QuestionKind.MULTI_CHOICE, QuestionKind.SHORT_ANSWER):
+            if q.choices:
+                bad = set(value) - set(q.choices)
+                if bad:
+                    raise InvalidResponse(
+                        f"{q.qid}: {sorted(bad)} not in choices")
+        elif q.kind is QuestionKind.YES_NO:
+            if value not in (None, True, False):
+                raise InvalidResponse(f"{q.qid}: {value!r} is not yes/no")
+    for task, bucket in respondent.hours.items():
+        if task not in taxonomy.WORKLOAD_TASKS:
+            raise InvalidResponse(f"hours: unknown task {task!r}")
+        if bucket not in taxonomy.HOUR_BUCKETS:
+            raise InvalidResponse(f"hours[{task}]: bad bucket {bucket!r}")
+    if respondent.non_human_categories and "Non-Human" not in respondent.entities:
+        raise InvalidResponse(
+            "non-human categories given without the Non-Human entity choice")
+    if respondent.stores_data is False and (
+            respondent.vertex_property_types or respondent.edge_property_types):
+        raise InvalidResponse("property types given but stores_data is False")

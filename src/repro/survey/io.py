@@ -1,0 +1,116 @@
+"""Serialization of populations to JSON and CSV.
+
+JSON is the lossless round-trip format. CSV is a flat export for use in
+spreadsheet tools: multi-choice answers are ``|``-joined, the hours mapping
+is spread over one column per task.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.data import taxonomy
+from repro.survey.respondent import Population, Respondent
+
+_SET_FIELDS = (
+    "fields_of_work", "roles", "entities", "non_human_categories",
+    "vertex_buckets", "edge_buckets", "byte_buckets",
+    "vertex_property_types", "edge_property_types", "dynamism",
+    "graph_computations", "ml_computations", "ml_problems",
+    "query_software", "non_query_software", "architectures",
+    "storage_formats", "challenges",
+)
+_SCALAR_FIELDS = (
+    "org_size", "directedness", "simplicity", "stores_data", "traversal",
+    "streaming_incremental", "multiple_formats",
+)
+
+
+def respondent_to_dict(respondent: Respondent) -> dict[str, Any]:
+    """Convert a respondent to a JSON-serializable dict (sorted sets)."""
+    record: dict[str, Any] = {"respondent_id": respondent.respondent_id}
+    for name in _SET_FIELDS:
+        record[name] = sorted(getattr(respondent, name))
+    for name in _SCALAR_FIELDS:
+        record[name] = getattr(respondent, name)
+    record["hours"] = dict(respondent.hours)
+    return record
+
+
+def respondent_from_dict(record: dict[str, Any]) -> Respondent:
+    """Inverse of :func:`respondent_to_dict`."""
+    kwargs: dict[str, Any] = {"respondent_id": record["respondent_id"]}
+    for name in _SET_FIELDS:
+        kwargs[name] = frozenset(record.get(name, ()))
+    for name in _SCALAR_FIELDS:
+        kwargs[name] = record.get(name)
+    kwargs["hours"] = dict(record.get("hours", {}))
+    return Respondent(**kwargs)
+
+
+def save_population_json(population: Population, path: str | Path) -> None:
+    """Write a population to a JSON file."""
+    records = [respondent_to_dict(r) for r in population]
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"respondents": records}, f, indent=1, sort_keys=True)
+
+
+def load_population_json(path: str | Path) -> Population:
+    """Read a population written by :func:`save_population_json`."""
+    with open(path, encoding="utf-8") as f:
+        payload = json.load(f)
+    return Population(
+        respondent_from_dict(record) for record in payload["respondents"])
+
+
+def save_population_csv(population: Population, path: str | Path) -> None:
+    """Write a flat CSV export of a population."""
+    header = (["respondent_id", "group"] + list(_SET_FIELDS)
+              + list(_SCALAR_FIELDS)
+              + [f"hours_{task}" for task in taxonomy.WORKLOAD_TASKS])
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        for r in population:
+            row: list[Any] = [r.respondent_id,
+                              "R" if r.is_researcher else "P"]
+            row.extend("|".join(sorted(getattr(r, name)))
+                       for name in _SET_FIELDS)
+            row.extend(getattr(r, name) for name in _SCALAR_FIELDS)
+            row.extend(r.hours.get(task, "") for task in taxonomy.WORKLOAD_TASKS)
+            writer.writerow(row)
+
+
+def load_population_csv(path: str | Path) -> Population:
+    """Read a population from the CSV export (lossless for our fields)."""
+
+    def parse_scalar(text: str) -> Any:
+        if text in ("", "None"):
+            return None
+        if text == "True":
+            return True
+        if text == "False":
+            return False
+        return text
+
+    respondents = []
+    with open(path, encoding="utf-8", newline="") as f:
+        for record in csv.DictReader(f):
+            kwargs: dict[str, Any] = {
+                "respondent_id": int(record["respondent_id"])}
+            for name in _SET_FIELDS:
+                text = record[name]
+                kwargs[name] = frozenset(text.split("|")) if text else frozenset()
+            for name in _SCALAR_FIELDS:
+                kwargs[name] = parse_scalar(record[name])
+            hours = {}
+            for task in taxonomy.WORKLOAD_TASKS:
+                bucket = record[f"hours_{task}"]
+                if bucket:
+                    hours[task] = bucket
+            kwargs["hours"] = hours
+            respondents.append(Respondent(**kwargs))
+    return Population(respondents)

@@ -1,0 +1,119 @@
+"""Respondent records and the population container.
+
+A :class:`Respondent` holds one participant's answers to the 34-question
+instrument. All questions were optional in the original survey, so every
+field has an "unanswered" representation: ``None`` for single-choice and
+yes/no questions, an empty set for multi-choice questions, and a missing key
+for the per-task hours question.
+
+The researcher/practitioner split (Section 2.2 of the paper) is *derived*
+from the fields-of-work answer, exactly as the authors derived it: a
+participant is a researcher iff they selected research in academia or in an
+industry lab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.data import taxonomy
+
+
+@dataclass
+class Respondent:
+    """One survey participant's answers."""
+
+    respondent_id: int
+
+    # -- demographics (Section 2.2)
+    fields_of_work: frozenset[str] = frozenset()
+    org_size: str | None = None
+    roles: frozenset[str] = frozenset()
+
+    # -- graph datasets (Section 3)
+    entities: frozenset[str] = frozenset()
+    non_human_categories: frozenset[str] = frozenset()
+    vertex_buckets: frozenset[str] = frozenset()
+    edge_buckets: frozenset[str] = frozenset()
+    byte_buckets: frozenset[str] = frozenset()
+    directedness: str | None = None
+    simplicity: str | None = None
+    stores_data: bool | None = None
+    vertex_property_types: frozenset[str] = frozenset()
+    edge_property_types: frozenset[str] = frozenset()
+    dynamism: frozenset[str] = frozenset()
+
+    # -- computations (Section 4)
+    graph_computations: frozenset[str] = frozenset()
+    ml_computations: frozenset[str] = frozenset()
+    ml_problems: frozenset[str] = frozenset()
+    traversal: str | None = None
+    streaming_incremental: bool | None = None
+
+    # -- software (Section 5)
+    query_software: frozenset[str] = frozenset()
+    non_query_software: frozenset[str] = frozenset()
+    architectures: frozenset[str] = frozenset()
+    multiple_formats: bool | None = None
+    storage_formats: frozenset[str] = frozenset()
+
+    # -- challenges and workload (Sections 6-7)
+    challenges: frozenset[str] = frozenset()
+    hours: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_researcher(self) -> bool:
+        """Section 2.2 rule: selected research in academia or industry lab."""
+        return bool(self.fields_of_work & taxonomy.RESEARCHER_FIELDS)
+
+    @property
+    def is_practitioner(self) -> bool:
+        return not self.is_researcher
+
+    @property
+    def uses_ml(self) -> bool:
+        """True iff the participant reported any ML computation or problem."""
+        return bool(self.ml_computations or self.ml_problems)
+
+    def has_edges_over(self, bucket_index: int) -> bool:
+        """True iff any selected edge bucket is at or above ``bucket_index``
+        in :data:`repro.data.taxonomy.EDGE_COUNT_BUCKETS` order."""
+        order = {name: i for i, name in enumerate(taxonomy.EDGE_COUNT_BUCKETS)}
+        return any(order[b] >= bucket_index for b in self.edge_buckets)
+
+
+class Population:
+    """An ordered collection of respondents with group helpers."""
+
+    def __init__(self, respondents: Iterable[Respondent]):
+        self._respondents = list(respondents)
+        ids = [r.respondent_id for r in self._respondents]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate respondent ids in population")
+        self._by_id = {r.respondent_id: r for r in self._respondents}
+
+    def __len__(self) -> int:
+        return len(self._respondents)
+
+    def __iter__(self) -> Iterator[Respondent]:
+        return iter(self._respondents)
+
+    def __getitem__(self, respondent_id: int) -> Respondent:
+        return self._by_id[respondent_id]
+
+    def researchers(self) -> list[Respondent]:
+        return [r for r in self._respondents if r.is_researcher]
+
+    def practitioners(self) -> list[Respondent]:
+        return [r for r in self._respondents if r.is_practitioner]
+
+    def group(self, name: str) -> list[Respondent]:
+        """Return a named subgroup: ``"Total"``, ``"R"`` or ``"P"``."""
+        if name == "Total":
+            return list(self._respondents)
+        if name == "R":
+            return self.researchers()
+        if name == "P":
+            return self.practitioners()
+        raise KeyError(f"unknown group {name!r}; expected Total, R or P")

@@ -1,0 +1,258 @@
+"""Synthetic mailing-list / issue corpus (substitute for Section 2.4 data).
+
+The authors' corpus -- roughly 6000 emails and issues across 22 products --
+is private. This generator rebuilds a corpus with the same published
+structure:
+
+* per-product email / issue / commit volumes of Table 20 (``NA`` cells
+  become zero messages or an absent repository);
+* per-product *active mailing-list users* in Feb-Apr 2017 equal to Table 1;
+* challenge discussions planted at the Table 19 rates, only in products of
+  the technology classes the paper attributes them to;
+* graph-size mentions planted at the Table 18 rates;
+* everything else is routine traffic (how-tos, bug reports, release
+  announcements), mirroring the paper's observation that the overwhelming
+  majority of messages were routine.
+
+The mining pipeline (:mod:`repro.mining.pipeline`) then *re-discovers*
+Tables 1 and 18-20 from the corpus text alone.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import math
+import random
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.mining.records import (
+    ACTIVE_WINDOW_END,
+    ACTIVE_WINDOW_START,
+    EmailMessage,
+    Issue,
+    RepoActivity,
+    ReviewCorpus,
+)
+from repro.synthesis import texts
+
+DEFAULT_SEED = 622
+
+
+def _slug(product: str) -> str:
+    return "".join(ch for ch in product.lower() if ch.isalnum())
+
+
+def _random_date(rng: random.Random, start: dt.date, end: dt.date) -> dt.date:
+    span = (end - start).days
+    return start + dt.timedelta(days=rng.randrange(span + 1))
+
+
+def _random_outside_window(rng: random.Random) -> dt.date:
+    """A Jan-Sep 2017 date outside the Feb-Apr active window."""
+    january = (dt.date(2017, 1, 1), dt.date(2017, 1, 31))
+    late = (dt.date(2017, 5, 1), dt.date(2017, 9, 30))
+    # Weight by the number of days in each segment.
+    if rng.random() < 31 / (31 + 153):
+        return _random_date(rng, *january)
+    return _random_date(rng, *late)
+
+
+class _Slot:
+    """A message placeholder awaiting its content."""
+
+    __slots__ = ("product", "is_email", "sender", "date",
+                 "subject", "body", "planted")
+
+    def __init__(self, product: str, is_email: bool, sender: str,
+                 date: dt.date):
+        self.product = product
+        self.is_email = is_email
+        self.sender = sender
+        self.date = date
+        self.subject = ""
+        self.body = ""
+        self.planted = False
+
+
+def _format_amount(rng: random.Random, value: float) -> str:
+    """Format a count the way users write them in emails."""
+    style = rng.choice(("word", "suffix", "comma"))
+    if style == "comma":
+        return f"{int(value):,}"
+    for scale, word, suffix in ((1e12, "trillion", "T"),
+                                (1e9, "billion", "B"),
+                                (1e6, "million", "M")):
+        if value >= scale:
+            quantity = value / scale
+            text = (f"{quantity:.1f}".rstrip("0").rstrip(".")
+                    if quantity < 10 else f"{quantity:.0f}")
+            return f"{text} {word}" if style == "word" else f"{text}{suffix}"
+    return f"{int(value):,}"
+
+
+def _sample_in_bucket(
+    rng: random.Random, low: float, high: float,
+) -> float:
+    """Log-uniform value inside [low, high), rounded to 2 significant
+    digits and clamped back into the bucket."""
+    if math.isinf(high):
+        high = low * 5
+    value = 10 ** rng.uniform(math.log10(low), math.log10(high))
+    magnitude = 10 ** (math.floor(math.log10(value)) - 1)
+    value = round(value / magnitude) * magnitude
+    return min(max(value, low), math.nextafter(high, low))
+
+
+def build_review_corpus(seed: int = DEFAULT_SEED) -> ReviewCorpus:
+    """Build the calibrated review corpus."""
+    rng = random.Random(seed)
+    slots: list[_Slot] = []
+    repos: dict[str, RepoActivity] = {}
+
+    for product in taxonomy.PRODUCTS:
+        cells = pt.TABLE_20.rows[product]
+        email_count = cells["Emails"] or 0
+        issue_count = cells["Issues"] or 0
+        commit_count = cells["Commits"]
+        repos[product] = RepoActivity(product=product,
+                                      commit_count=commit_count)
+
+        active_users = 0
+        if product in pt.TABLE_1.rows:
+            active_users = int(pt.TABLE_1.rows[product]["Users"])
+        slots.extend(
+            _email_slots(rng, product, email_count, active_users))
+        pool = [f"{_slug(product)}-dev{i}" for i in range(1, 9)]
+        for _ in range(issue_count):
+            slots.append(_Slot(
+                product, is_email=False, sender=rng.choice(pool),
+                date=_random_date(rng, dt.date(2017, 1, 1),
+                                  dt.date(2017, 9, 30))))
+
+    _plant_challenges(rng, slots)
+    _plant_sizes(rng, slots)
+    _fill_noise(rng, slots)
+    return _materialize(slots, repos)
+
+
+def _email_slots(
+    rng: random.Random, product: str, email_count: int, active_users: int,
+) -> list[_Slot]:
+    """Email slots whose Feb-Apr distinct-sender count equals Table 1."""
+    if email_count == 0:
+        return []
+    if active_users > email_count:
+        raise ValueError(
+            f"{product}: cannot realize {active_users} active users with "
+            f"only {email_count} emails")
+    window_count = min(
+        email_count, max(active_users, math.ceil(email_count / 3)))
+    window_senders = [f"{_slug(product)}-user{i}"
+                      for i in range(1, active_users + 1)]
+    extra_senders = [f"{_slug(product)}-lurker{i}"
+                     for i in range(1, max(2, active_users // 3) + 1)]
+    slots = []
+    for index in range(email_count):
+        if index < window_count:
+            date = _random_date(rng, ACTIVE_WINDOW_START, ACTIVE_WINDOW_END)
+            if index < active_users:
+                sender = window_senders[index]
+            else:
+                sender = rng.choice(window_senders)
+        else:
+            date = _random_outside_window(rng)
+            sender = rng.choice(window_senders + extra_senders)
+        slots.append(_Slot(product, is_email=True, sender=sender, date=date))
+    return slots
+
+
+def _eligible_products(group: str) -> set[str]:
+    from repro.mining.classifier import GROUP_CLASSES
+
+    classes = GROUP_CLASSES[group]
+    return {product for product, cls in taxonomy.PRODUCTS.items()
+            if cls in classes}
+
+
+def _plant_challenges(rng: random.Random, slots: list[_Slot]) -> None:
+    """Distribute Table 19 challenge discussions over eligible slots."""
+    for group, challenges in taxonomy.REVIEW_CHALLENGE_GROUPS.items():
+        products = _eligible_products(group)
+        pool = [s for s in slots if s.product in products and not s.planted]
+        rng.shuffle(pool)
+        cursor = 0
+        for challenge in challenges:
+            count = int(pt.TABLE_19.rows[challenge]["#"])
+            templates = texts.CHALLENGE_TEMPLATES[challenge]
+            if cursor + count > len(pool):
+                raise ValueError(
+                    f"not enough messages in {group} products to plant "
+                    f"{count} x {challenge}")
+            for i in range(count):
+                slot = pool[cursor + i]
+                subject, body = templates[i % len(templates)]
+                slot.subject = subject.format(product=slot.product)
+                slot.body = body.format(product=slot.product)
+                slot.planted = True
+            cursor += count
+
+
+def _plant_sizes(rng: random.Random, slots: list[_Slot]) -> None:
+    """Distribute Table 18 graph-size mentions over remaining slots."""
+    from repro.mining.sizes import EDGE_BUCKET_BOUNDS, VERTEX_BUCKET_BOUNDS
+
+    pool = [s for s in slots if not s.planted]
+    rng.shuffle(pool)
+    cursor = 0
+    plans: list[tuple[str, float, float]] = []
+    for name, low, high in VERTEX_BUCKET_BOUNDS:
+        plans.extend(
+            [("vertices", low, high)] * int(pt.TABLE_18A.rows[name]["#"]))
+    for name, low, high in EDGE_BUCKET_BOUNDS:
+        plans.extend(
+            [("edges", low, high)] * int(pt.TABLE_18B.rows[name]["#"]))
+    if len(plans) > len(pool):
+        raise ValueError("not enough messages to plant size mentions")
+    for kind, low, high in plans:
+        slot = pool[cursor]
+        cursor += 1
+        value = _sample_in_bucket(rng, low, high)
+        unit = rng.choice(("vertices", "nodes")) if kind == "vertices" else "edges"
+        subject, body = rng.choice(texts.SIZE_TEMPLATES)
+        amount = _format_amount(rng, value)
+        slot.subject = subject.format(
+            product=slot.product, amount=amount, unit=unit)
+        slot.body = body.format(
+            product=slot.product, amount=amount, unit=unit)
+        slot.planted = True
+
+
+def _fill_noise(rng: random.Random, slots: list[_Slot]) -> None:
+    for slot in slots:
+        if slot.planted:
+            continue
+        subject, body = rng.choice(texts.NOISE_TEMPLATES)
+        slot.subject = subject.format(product=slot.product)
+        slot.body = body.format(product=slot.product)
+
+
+def _materialize(
+    slots: list[_Slot], repos: dict[str, RepoActivity],
+) -> ReviewCorpus:
+    corpus = ReviewCorpus(repos=repos)
+    email_id = issue_id = 0
+    for slot in slots:
+        if slot.is_email:
+            email_id += 1
+            corpus.emails.append(EmailMessage(
+                message_id=email_id, product=slot.product,
+                sender=slot.sender, date=slot.date,
+                subject=slot.subject, body=slot.body))
+        else:
+            issue_id += 1
+            corpus.issues.append(Issue(
+                issue_id=issue_id, product=slot.product,
+                author=slot.sender, date=slot.date,
+                title=slot.subject, body=slot.body))
+    return corpus

@@ -1,0 +1,122 @@
+"""Synthetic literature-review corpus (Section 2.3).
+
+The authors reviewed 90 papers from VLDB 2014, KDD 2015, ICML 2016,
+OSDI 2016, SC 2016 and SOCC 2015, annotating each with the graph datasets
+used, the computations studied, and the software used. The per-annotation
+totals appear as the "A" columns of Tables 4, 9, 10a/10b, 12 and 13.
+
+We rebuild the corpus as 90 :class:`PaperRecord` objects whose annotation
+marginals match those columns exactly. The per-venue distribution is not
+published; papers are spread evenly (15 per venue).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.synthesis import sampler
+
+VENUES = (
+    "VLDB 2014", "KDD 2015", "ICML 2016", "OSDI 2016", "SC 2016", "SOCC 2015",
+)
+
+DEFAULT_SEED = 90
+
+
+@dataclass(frozen=True)
+class PaperRecord:
+    """One reviewed publication and its annotations (Appendix A/B schema)."""
+
+    paper_id: int
+    venue: str
+    entities: frozenset[str]
+    non_human_categories: frozenset[str]
+    graph_computations: frozenset[str]
+    ml_computations: frozenset[str]
+    ml_problems: frozenset[str]
+    query_software: frozenset[str]
+    non_query_software: frozenset[str]
+
+
+class LiteratureCorpus:
+    """The 90-paper corpus with counting helpers."""
+
+    def __init__(self, papers: list[PaperRecord]):
+        self.papers = list(papers)
+
+    def __len__(self) -> int:
+        return len(self.papers)
+
+    def __iter__(self):
+        return iter(self.papers)
+
+    def count(self, field: str, label: str) -> int:
+        """Number of papers whose ``field`` annotation contains ``label``."""
+        return sum(1 for p in self.papers if label in getattr(p, field))
+
+    def counts(self, field: str, labels) -> dict[str, int]:
+        return {label: self.count(field, label) for label in labels}
+
+    def by_venue(self) -> dict[str, int]:
+        histogram: dict[str, int] = {venue: 0 for venue in VENUES}
+        for paper in self.papers:
+            histogram[paper.venue] += 1
+        return histogram
+
+
+def _column(table, labels) -> dict[str, int]:
+    return {label: int(table.rows[label]["A"]) for label in labels}
+
+
+def build_literature_corpus(seed: int = DEFAULT_SEED) -> LiteratureCorpus:
+    """Build the calibrated 90-paper corpus."""
+    rng = random.Random(seed)
+    n = pt.PAPER_FACTS["papers_reviewed"]
+    ids = list(range(1, n + 1))
+
+    entity_sets = sampler.multiselect_exact(
+        rng, ids, _column(pt.TABLE_4, taxonomy.ENTITY_KINDS))
+    nh_pool = sorted(entity_sets["Non-Human"])
+    nh_sets = sampler.multiselect_exact(
+        rng, nh_pool, _column(pt.TABLE_4, taxonomy.NON_HUMAN_CATEGORIES))
+    computation_sets = sampler.multiselect_exact(
+        rng, ids, _column(pt.TABLE_9, taxonomy.GRAPH_COMPUTATIONS))
+    ml_computation_sets = sampler.multiselect_exact(
+        rng, ids, _column(pt.TABLE_10A, taxonomy.ML_COMPUTATIONS))
+    ml_problem_sets = sampler.multiselect_exact(
+        rng, ids, _column(pt.TABLE_10B, taxonomy.ML_PROBLEMS))
+    software_sets = sampler.multiselect_exact(
+        rng, ids, _column(pt.TABLE_12, taxonomy.QUERY_SOFTWARE))
+    non_query_sets = sampler.multiselect_exact(
+        rng, ids, _column(pt.TABLE_13, taxonomy.NON_QUERY_SOFTWARE))
+
+    def labels_of(assignment, paper_id) -> frozenset[str]:
+        return frozenset(
+            label for label, members in assignment.items()
+            if paper_id in members)
+
+    shuffled = list(ids)
+    rng.shuffle(shuffled)
+    venue_of = {
+        paper_id: VENUES[index % len(VENUES)]
+        for index, paper_id in enumerate(shuffled)
+    }
+
+    papers = [
+        PaperRecord(
+            paper_id=paper_id,
+            venue=venue_of[paper_id],
+            entities=labels_of(entity_sets, paper_id),
+            non_human_categories=labels_of(nh_sets, paper_id),
+            graph_computations=labels_of(computation_sets, paper_id),
+            ml_computations=labels_of(ml_computation_sets, paper_id),
+            ml_problems=labels_of(ml_problem_sets, paper_id),
+            query_software=labels_of(software_sets, paper_id),
+            non_query_software=labels_of(non_query_sets, paper_id),
+        )
+        for paper_id in ids
+    ]
+    return LiteratureCorpus(papers)

@@ -1,0 +1,436 @@
+"""Calibrated synthetic survey population.
+
+The original 89 survey responses are private; this module builds a synthetic
+population whose tabulation reproduces the paper's published marginals
+*exactly* (Tables 2-17) along with every cross-question correlation the
+paper states in its running text:
+
+* Section 2.2: 36 researchers / 53 practitioners; role counts.
+* Table 6: the 20 participants with >1B-edge graphs come from organizations
+  of sizes 4 x (1-10), 4 x (10-100), 7 x (100-1000), 4 x (>10000); the
+  published row sums to 19, so one big-graph participant skipped the
+  organization-size question.
+* Section 5.1: 16 of the RDBMS users also use graph database systems; the
+  Table 12 question was answered by 84 participants, each choosing >= 2.
+* Section 5.2: 29 of the 45 participants using distributed software have
+  graphs of over 100M edges.
+* Section 4.2: 61 participants use ML (at least one computation or problem).
+* Section 4.3: 32 participants (16 R / 16 P) run streaming or incremental
+  computations; everyone whose graphs are *streaming* (Table 8) is among
+  them.
+* Section 5.2 / Appendix C: 33 participants store a graph in multiple
+  formats, 25 of whom described the formats; the most popular combination
+  is a relational + graph database format.
+
+One published inconsistency is handled explicitly: the Table 15 marginals
+sum to 272 selections (> 3 x 89), so the "top 3 challenges" cap cannot hold
+for every participant; challenges are modelled as plain multi-select.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.survey.respondent import Population, Respondent
+from repro.synthesis import sampler
+
+#: Default seed; any seed yields the same marginals, only membership varies.
+DEFAULT_SEED = 2017
+
+# Calibration constants not uniquely determined by the paper (documented
+# choices; each satisfies every published constraint).
+_ACADEMIA_LAB_OVERLAP = 6        # 31 + 11 - 36
+_NO_STORE_R, _NO_STORE_P = 1, 2  # the 3 participants storing no data
+_ML_USERS_R, _ML_USERS_P = 26, 35            # union is 61 (Section 4.2)
+_SOFTWARE_ANSWERED_R, _SOFTWARE_ANSWERED_P = 34, 50   # 84 answered Table 12
+_RDBMS_GRAPHDB_OVERLAP_R, _RDBMS_GRAPHDB_OVERLAP_P = 5, 11   # 16 total
+_MULTI_FORMAT_R, _MULTI_FORMAT_P = 14, 19    # 33 total said yes
+_FORMATS_DESCRIBED = 25
+_REL_GRAPH_FORMAT_OVERLAP = 6    # most popular combination (Appendix C)
+#: Org-size composition of the 20 big-graph participants (Table 6), split
+#: R/P so that it fits inside the Table 3 per-group marginals. ``None`` is
+#: the one participant who skipped the organization-size question.
+_BIG_GRAPH_ORG_R = {"1 - 10": 2, "10 - 100": 1, "100 - 1000": 3,
+                    ">10000": 1, None: 1}
+_BIG_GRAPH_ORG_P = {"1 - 10": 2, "10 - 100": 3, "100 - 1000": 4,
+                    ">10000": 3}
+#: Of the 45 distributed-software users, 29 have >100M-edge graphs (§5.2).
+_DISTRIBUTED_BIG_R, _DISTRIBUTED_BIG_P = 12, 17
+
+
+class _Draft:
+    """Mutable per-respondent answer sheet used during construction."""
+
+    def __init__(self, respondent_id: int):
+        self.respondent_id = respondent_id
+        self.answers: dict[str, object] = {}
+        self.sets: dict[str, set[str]] = {}
+        self.hours: dict[str, str] = {}
+
+    def add(self, field: str, label: str) -> None:
+        self.sets.setdefault(field, set()).add(label)
+
+    def build(self) -> Respondent:
+        frozen = {name: frozenset(values) for name, values in self.sets.items()}
+        return Respondent(respondent_id=self.respondent_id,
+                          hours=dict(self.hours), **self.answers, **frozen)
+
+
+def _apply_sets(drafts, field, assignment):
+    """Record a label->members assignment into the drafts."""
+    for label, members in assignment.items():
+        for member in members:
+            drafts[member].add(field, label)
+
+
+def _apply_partition(drafts, field, assignment):
+    for label, members in assignment.items():
+        for member in members:
+            drafts[member].answers[field] = label
+
+
+def build_population(seed: int = DEFAULT_SEED) -> Population:
+    """Build the calibrated 89-respondent population."""
+    rng = random.Random(seed)
+    ids = list(range(1, pt.PAPER_FACTS["participants"] + 1))
+    drafts = {i: _Draft(i) for i in ids}
+
+    r_ids = sorted(sampler.choose_exact(
+        rng, ids, pt.PAPER_FACTS["researchers"]))
+    p_ids = [i for i in ids if i not in set(r_ids)]
+    groups = {"R": r_ids, "P": p_ids}
+
+    _assign_fields(rng, drafts, groups)
+    _assign_roles(rng, drafts, ids)
+    org_by_member = _assign_org_sizes(rng, drafts, groups)
+    _assign_entities(rng, drafts, groups)
+    big_graph, over_100m = _assign_graph_sizes(
+        rng, drafts, groups, org_by_member)
+    _assign_topology(rng, drafts, groups)
+    storers = _assign_stored_data(rng, drafts, groups)
+    _assign_property_types(rng, drafts, groups, storers)
+    streaming_graph = _assign_dynamism(rng, drafts, groups)
+    _assign_graph_computations(rng, drafts, groups)
+    _assign_ml(rng, drafts, groups)
+    _assign_traversals(rng, drafts, groups)
+    _assign_streaming_incremental(rng, drafts, groups, streaming_graph)
+    _assign_query_software(rng, drafts, groups)
+    _assign_non_query_software(rng, drafts, groups)
+    _assign_architectures(rng, drafts, groups, over_100m)
+    _assign_storage_formats(rng, drafts, groups)
+    _assign_challenges(rng, drafts, groups)
+    _assign_hours(rng, drafts, ids)
+
+    del big_graph  # membership is fully encoded in the edge buckets
+    return Population(drafts[i].build() for i in ids)
+
+
+# ---------------------------------------------------------------------------
+# Question-by-question assignment (one function per paper table)
+# ---------------------------------------------------------------------------
+
+def _assign_fields(rng, drafts, groups):
+    """Table 2 plus the Section 2.2 researcher-definition rule."""
+    r_ids, p_ids = groups["R"], groups["P"]
+    # Researchers: exactly 31 academia, 11 industry lab, union = all 36.
+    both = sampler.choose_exact(rng, r_ids, _ACADEMIA_LAB_OVERLAP)
+    rest = [i for i in r_ids if i not in both]
+    academia_only = sampler.choose_exact(rng, rest, 31 - _ACADEMIA_LAB_OVERLAP)
+    lab_only = set(rest) - academia_only
+    for member in both | academia_only:
+        drafts[member].add("fields_of_work", "Research in Academia")
+    for member in both | lab_only:
+        drafts[member].add("fields_of_work", "Research in Industry Lab")
+
+    other_fields = [f for f in taxonomy.FIELDS_OF_WORK
+                    if f not in taxonomy.RESEARCHER_FIELDS]
+    counts = sampler.counts_from_table_rows(pt.TABLE_2.rows, other_fields)
+    # Researchers already have >= 1 field; practitioners need >= 1.
+    r_counts = {label: g["R"] for label, g in counts.items()}
+    p_counts = {label: g["P"] for label, g in counts.items()}
+    _apply_sets(drafts, "fields_of_work",
+                sampler.multiselect_exact(rng, r_ids, r_counts))
+    _apply_sets(drafts, "fields_of_work",
+                sampler.multiselect_exact(rng, p_ids, p_counts,
+                                          min_per_member=1))
+
+
+def _assign_roles(rng, drafts, ids):
+    """Section 2.2 role counts (no published R/P split)."""
+    counts = {
+        "Engineer": pt.PAPER_FACTS["role_engineer"],
+        "Researcher": pt.PAPER_FACTS["role_researcher"],
+        "Data Analyst": pt.PAPER_FACTS["role_data_analyst"],
+        "Manager": pt.PAPER_FACTS["role_manager"],
+    }
+    _apply_sets(drafts, "roles",
+                sampler.multiselect_exact(rng, ids, counts, min_per_member=1))
+
+
+def _assign_org_sizes(rng, drafts, groups):
+    """Table 3; returns member -> org size (or None) for Table 6 use."""
+    counts = sampler.counts_from_table_rows(pt.TABLE_3.rows)
+    assignment = sampler.grouped_partition_exact(rng, groups, counts)
+    _apply_partition(drafts, "org_size", assignment)
+    org_by_member: dict[int, str | None] = {
+        i: None for members in groups.values() for i in members}
+    for label, members in assignment.items():
+        for member in members:
+            org_by_member[member] = label
+    return org_by_member
+
+
+def _assign_entities(rng, drafts, groups):
+    """Table 4 (survey columns)."""
+    entity_counts = sampler.counts_from_table_rows(
+        pt.TABLE_4.rows, taxonomy.ENTITY_KINDS)
+    assignment = sampler.grouped_multiselect_exact(rng, groups, entity_counts)
+    _apply_sets(drafts, "entities", assignment)
+
+    nh_groups = {
+        "R": sorted(assignment["Non-Human"] & set(groups["R"])),
+        "P": sorted(assignment["Non-Human"] & set(groups["P"])),
+    }
+    nh_counts = sampler.counts_from_table_rows(
+        pt.TABLE_4.rows, taxonomy.NON_HUMAN_CATEGORIES)
+    _apply_sets(drafts, "non_human_categories",
+                sampler.grouped_multiselect_exact(rng, nh_groups, nh_counts))
+
+
+def _assign_graph_sizes(rng, drafts, groups, org_by_member):
+    """Tables 5a/5b/5c with the Table 6 cross-constraint.
+
+    Returns ``(big_graph_members, over_100m_members)`` where the latter is
+    everyone selecting an edge bucket of 100M-1B or >1B (used for the §5.2
+    distributed-architecture correlation).
+    """
+    _apply_sets(drafts, "vertex_buckets", sampler.grouped_multiselect_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_5A.rows)))
+    _apply_sets(drafts, "byte_buckets", sampler.grouped_multiselect_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_5C.rows)))
+
+    # Pick the >1B-edge members so their org sizes realize Table 6 exactly.
+    big_graph: set[int] = set()
+    for group_name, composition in (("R", _BIG_GRAPH_ORG_R),
+                                    ("P", _BIG_GRAPH_ORG_P)):
+        for org_size, k in composition.items():
+            pool = [i for i in groups[group_name]
+                    if org_by_member[i] == org_size and i not in big_graph]
+            big_graph |= sampler.choose_exact(rng, pool, k)
+
+    edge_counts = sampler.counts_from_table_rows(pt.TABLE_5B.rows)
+    # Keep the 100M-1B selectors disjoint from the >1B selectors so that
+    # exactly 41 participants have >100M-edge graphs (29 of whom will use
+    # distributed software, matching §5.2's "29 of the 45").
+    preassigned = {">1B": big_graph}
+    assignment: dict[str, set[int]] = {label: set() for label in edge_counts}
+    for group_name, members in groups.items():
+        member_set = set(members)
+        counts = {label: g[group_name] for label, g in edge_counts.items()}
+        big_here = big_graph & member_set
+        non_big = [i for i in members if i not in big_here]
+        mid = sampler.choose_exact(rng, non_big, counts["100M - 1B"])
+        part = sampler.multiselect_exact(
+            rng, members, counts,
+            preassigned={">1B": big_here, "100M - 1B": mid})
+        for label, chosen in part.items():
+            assignment[label] |= chosen
+    _apply_sets(drafts, "edge_buckets", assignment)
+    del preassigned
+    over_100m = assignment["100M - 1B"] | assignment[">1B"]
+    return big_graph, over_100m
+
+
+def _assign_topology(rng, drafts, groups):
+    """Tables 7a and 7b (single choice, everyone answered)."""
+    _apply_partition(drafts, "directedness", sampler.grouped_partition_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_7A.rows)))
+    _apply_partition(drafts, "simplicity", sampler.grouped_partition_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_7B.rows)))
+
+
+def _assign_stored_data(rng, drafts, groups):
+    """Section 3.3: all but 3 participants store data on vertices/edges."""
+    no_store = (sampler.choose_exact(rng, groups["R"], _NO_STORE_R)
+                | sampler.choose_exact(rng, groups["P"], _NO_STORE_P))
+    storers = {"R": [], "P": []}
+    for group_name, members in groups.items():
+        for member in members:
+            stores = member not in no_store
+            drafts[member].answers["stores_data"] = stores
+            if stores:
+                storers[group_name].append(member)
+    return storers
+
+
+def _assign_property_types(rng, drafts, groups, storers):
+    """Table 7c, assigned among the participants who store data."""
+    vertex_counts = {
+        label: {"R": cells["V-R"], "P": cells["V-P"]}
+        for label, cells in pt.TABLE_7C.rows.items()}
+    edge_counts = {
+        label: {"R": cells["E-R"], "P": cells["E-P"]}
+        for label, cells in pt.TABLE_7C.rows.items()}
+    _apply_sets(drafts, "vertex_property_types",
+                sampler.grouped_multiselect_exact(rng, storers, vertex_counts))
+    _apply_sets(drafts, "edge_property_types",
+                sampler.grouped_multiselect_exact(rng, storers, edge_counts))
+
+
+def _assign_dynamism(rng, drafts, groups):
+    """Table 8; returns the streaming-graph members for §4.3 linkage."""
+    assignment = sampler.grouped_multiselect_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_8.rows),
+        min_per_member=1)
+    _apply_sets(drafts, "dynamism", assignment)
+    return assignment["Streaming"]
+
+
+def _assign_graph_computations(rng, drafts, groups):
+    """Table 9 (survey columns)."""
+    _apply_sets(drafts, "graph_computations",
+                sampler.grouped_multiselect_exact(
+                    rng, groups,
+                    sampler.counts_from_table_rows(pt.TABLE_9.rows)))
+
+
+def _assign_ml(rng, drafts, groups):
+    """Tables 10a/10b with the Section 4.2 union-of-61 constraint."""
+    ml_users = {
+        "R": sorted(sampler.choose_exact(rng, groups["R"], _ML_USERS_R)),
+        "P": sorted(sampler.choose_exact(rng, groups["P"], _ML_USERS_P)),
+    }
+    computation_counts = sampler.counts_from_table_rows(pt.TABLE_10A.rows)
+    problem_counts = sampler.counts_from_table_rows(pt.TABLE_10B.rows)
+    joint = {**computation_counts, **problem_counts}
+    assignment = sampler.grouped_multiselect_exact(
+        rng, ml_users, joint, min_per_member=1)
+    for label in computation_counts:
+        _apply_sets(drafts, "ml_computations", {label: assignment[label]})
+    for label in problem_counts:
+        _apply_sets(drafts, "ml_problems", {label: assignment[label]})
+
+
+def _assign_traversals(rng, drafts, groups):
+    """Table 11 (single choice; 73 of 89 answered)."""
+    _apply_partition(drafts, "traversal", sampler.grouped_partition_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_11.rows)))
+
+
+def _assign_streaming_incremental(rng, drafts, groups, streaming_graph):
+    """Section 4.3: 32 participants (16 R / 16 P), covering everyone whose
+    graphs are streaming (Table 8)."""
+    yes: set[int] = set()
+    for group_name, members in groups.items():
+        member_set = set(members)
+        seed_members = streaming_graph & member_set
+        extra_pool = [i for i in members if i not in seed_members]
+        extra = sampler.choose_exact(rng, extra_pool, 16 - len(seed_members))
+        yes |= seed_members | extra
+    for members in groups.values():
+        for member in members:
+            drafts[member].answers["streaming_incremental"] = member in yes
+
+
+def _assign_query_software(rng, drafts, groups):
+    """Table 12 with §5.1 constraints: 84 answered, each choosing >= 2
+    types, and 16 RDBMS users also use graph database systems."""
+    counts = sampler.counts_from_table_rows(pt.TABLE_12.rows)
+    answered = {
+        "R": sorted(sampler.choose_exact(
+            rng, groups["R"], _SOFTWARE_ANSWERED_R)),
+        "P": sorted(sampler.choose_exact(
+            rng, groups["P"], _SOFTWARE_ANSWERED_P)),
+    }
+    overlap_target = {"R": _RDBMS_GRAPHDB_OVERLAP_R,
+                      "P": _RDBMS_GRAPHDB_OVERLAP_P}
+    graphdb = "Graph Database System"
+    rdbms = "Relational Database Management System"
+    for group_name, pool in answered.items():
+        group_counts = {label: g[group_name] for label, g in counts.items()}
+        graphdb_members = sampler.choose_exact(
+            rng, pool, group_counts[graphdb])
+        inside = sampler.choose_exact(
+            rng, sorted(graphdb_members), overlap_target[group_name])
+        outside_pool = [i for i in pool if i not in graphdb_members]
+        outside = sampler.choose_exact(
+            rng, outside_pool,
+            group_counts[rdbms] - overlap_target[group_name])
+        assignment = sampler.multiselect_exact(
+            rng, pool, group_counts, min_per_member=2,
+            preassigned={graphdb: graphdb_members, rdbms: inside | outside})
+        _apply_sets(drafts, "query_software", assignment)
+
+
+def _assign_non_query_software(rng, drafts, groups):
+    """Table 13 (survey columns)."""
+    _apply_sets(drafts, "non_query_software",
+                sampler.grouped_multiselect_exact(
+                    rng, groups,
+                    sampler.counts_from_table_rows(pt.TABLE_13.rows)))
+
+
+def _assign_architectures(rng, drafts, groups, over_100m):
+    """Table 14 with §5.2: 29 of the 45 distributed users have >100M-edge
+    graphs."""
+    counts = sampler.counts_from_table_rows(pt.TABLE_14.rows)
+    big_quota = {"R": _DISTRIBUTED_BIG_R, "P": _DISTRIBUTED_BIG_P}
+    for group_name, members in groups.items():
+        member_set = set(members)
+        group_counts = {label: g[group_name] for label, g in counts.items()}
+        big_pool = sorted(over_100m & member_set)
+        small_pool = [i for i in members if i not in over_100m]
+        distributed = (
+            sampler.choose_exact(rng, big_pool, big_quota[group_name])
+            | sampler.choose_exact(
+                rng, small_pool,
+                group_counts["Distributed"] - big_quota[group_name]))
+        assignment = sampler.multiselect_exact(
+            rng, members, group_counts,
+            preassigned={"Distributed": distributed})
+        _apply_sets(drafts, "architectures", assignment)
+
+
+def _assign_storage_formats(rng, drafts, groups):
+    """Section 5.2 / Appendix C (Table 17): 33 store multiple formats, 25
+    described them; relational + graph DB is the most popular combination."""
+    yes = (sampler.choose_exact(rng, groups["R"], _MULTI_FORMAT_R)
+           | sampler.choose_exact(rng, groups["P"], _MULTI_FORMAT_P))
+    for members in groups.values():
+        for member in members:
+            drafts[member].answers["multiple_formats"] = member in yes
+    described = sorted(sampler.choose_exact(
+        rng, sorted(yes), _FORMATS_DESCRIBED))
+    counts = {label: cells["#"] for label, cells in pt.TABLE_17.rows.items()}
+    graph_members = sampler.choose_exact(
+        rng, described, counts["Graph Databases"])
+    rel_inside = sampler.choose_exact(
+        rng, sorted(graph_members), _REL_GRAPH_FORMAT_OVERLAP)
+    rel_outside = sampler.choose_exact(
+        rng, [i for i in described if i not in graph_members],
+        counts["Relational Databases"] - _REL_GRAPH_FORMAT_OVERLAP)
+    assignment = sampler.multiselect_exact(
+        rng, described, counts, min_per_member=1,
+        preassigned={"Graph Databases": graph_members,
+                     "Relational Databases": rel_inside | rel_outside})
+    _apply_sets(drafts, "storage_formats", assignment)
+
+
+def _assign_challenges(rng, drafts, groups):
+    """Table 15. The published marginals sum to 272 > 3 x 89 selections, so
+    the nominal top-3 cap cannot be honored; plain multi-select instead."""
+    _apply_sets(drafts, "challenges", sampler.grouped_multiselect_exact(
+        rng, groups, sampler.counts_from_table_rows(pt.TABLE_15.rows)))
+
+
+def _assign_hours(rng, drafts, ids):
+    """Table 16 (one single-choice question per task; no R/P split)."""
+    for task in taxonomy.WORKLOAD_TASKS:
+        cells = pt.TABLE_16.rows[task]
+        counts = {bucket: int(cells[bucket]) for bucket in taxonomy.HOUR_BUCKETS}
+        for bucket, members in sampler.partition_exact(
+                rng, ids, counts).items():
+            for member in members:
+                drafts[member].hours[task] = bucket

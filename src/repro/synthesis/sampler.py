@@ -1,0 +1,216 @@
+"""Exact-marginal assignment primitives.
+
+The paper publishes per-question counts, usually split by researcher (R) /
+practitioner (P). To synthesize a population whose tabulation reproduces
+those counts *exactly*, we need three primitives:
+
+* :func:`choose_exact` -- pick exactly ``k`` members of a pool.
+* :func:`partition_exact` -- split a pool into labelled cells with exact
+  sizes (single-choice questions; members left over are "did not answer").
+* :func:`multiselect_exact` -- assign labels to pool members so each label
+  is held by exactly its published count, optionally guaranteeing every
+  member at least ``min_per_member`` labels (multi-choice questions where
+  the paper states e.g. "each selected 2 or more types").
+
+All primitives are deterministic given the :class:`random.Random` instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class InfeasibleAssignment(ValueError):
+    """The requested counts cannot be realized over the given pool."""
+
+
+def choose_exact(rng: random.Random, pool: Sequence[T], k: int) -> set[T]:
+    """Choose exactly ``k`` distinct members of ``pool``."""
+    if k < 0 or k > len(pool):
+        raise InfeasibleAssignment(
+            f"cannot choose {k} from a pool of {len(pool)}")
+    return set(rng.sample(list(pool), k))
+
+
+def partition_exact(
+    rng: random.Random,
+    pool: Sequence[T],
+    counts: Mapping[str, int],
+) -> dict[str, set[T]]:
+    """Partition a subset of ``pool`` into labelled cells of exact sizes.
+
+    Members not assigned to any cell represent participants who skipped the
+    question. Raises :class:`InfeasibleAssignment` if the counts sum to more
+    than the pool size.
+    """
+    total = sum(counts.values())
+    if any(v < 0 for v in counts.values()):
+        raise InfeasibleAssignment("negative count")
+    if total > len(pool):
+        raise InfeasibleAssignment(
+            f"counts sum to {total} but pool has {len(pool)} members")
+    shuffled = list(pool)
+    rng.shuffle(shuffled)
+    result: dict[str, set[T]] = {}
+    start = 0
+    for label, k in counts.items():
+        result[label] = set(shuffled[start:start + k])
+        start += k
+    return result
+
+
+def multiselect_exact(
+    rng: random.Random,
+    pool: Sequence[T],
+    counts: Mapping[str, int],
+    min_per_member: int | Mapping[T, int] = 0,
+    preassigned: Mapping[str, Iterable[T]] | None = None,
+) -> dict[str, set[T]]:
+    """Assign multi-choice labels with exact per-label counts.
+
+    Each label ``c`` ends up selected by exactly ``counts[c]`` members.
+    ``min_per_member`` sets a lower bound on the number of distinct labels
+    each member receives; it may be a single integer or a per-member mapping
+    (used when some members already hold labels from another question and
+    only need topping up). ``preassigned`` seeds specific label->members
+    choices that the assignment must include; their sizes count toward the
+    per-label totals.
+
+    Feasibility requires ``counts[c] <= len(pool)`` for all labels and
+    ``sum(counts) >= sum(min deficits)``. The construction is greedy
+    largest-remaining-first, which realizes any feasible instance of this
+    bipartite degree-sequence problem.
+    """
+    members = list(pool)
+    n = len(members)
+    member_set = set(members)
+    for label, k in counts.items():
+        if k < 0:
+            raise InfeasibleAssignment(f"negative count for {label!r}")
+        if k > n:
+            raise InfeasibleAssignment(
+                f"count {k} for {label!r} exceeds pool size {n}")
+
+    assigned: dict[str, set[T]] = {label: set() for label in counts}
+    if preassigned:
+        for label, chosen in preassigned.items():
+            chosen = set(chosen)
+            if label not in counts:
+                raise InfeasibleAssignment(
+                    f"preassigned label {label!r} not in counts")
+            if not chosen <= member_set:
+                raise InfeasibleAssignment(
+                    f"preassigned members for {label!r} outside pool")
+            if len(chosen) > counts[label]:
+                raise InfeasibleAssignment(
+                    f"preassigned {len(chosen)} members for {label!r} but "
+                    f"count is {counts[label]}")
+            assigned[label] = chosen
+
+    if isinstance(min_per_member, int):
+        needs = {m: min_per_member for m in members}
+    else:
+        needs = {m: int(min_per_member.get(m, 0)) for m in members}
+    held = {m: 0 for m in members}
+    for label, chosen in assigned.items():
+        for m in chosen:
+            held[m] += 1
+    deficits = {m: max(0, needs[m] - held[m]) for m in members}
+
+    remaining = {label: counts[label] - len(assigned[label])
+                 for label in counts}
+    remaining = {label: k for label, k in remaining.items() if k > 0}
+    if sum(deficits.values()) > sum(remaining.values()):
+        raise InfeasibleAssignment(
+            f"per-member minimums need {sum(deficits.values())} more "
+            f"selections but only {sum(remaining.values())} remain")
+
+    # Phase 1: satisfy per-member minimums. Members with the largest deficit
+    # go first; each takes its labels from the currently largest-remaining
+    # labels, which keeps the residual instance feasible (Gale-Ryser style).
+    needy = [m for m in members if deficits[m] > 0]
+    rng.shuffle(needy)
+    needy.sort(key=lambda m: -deficits[m])
+    for member in needy:
+        open_labels = [c for c in remaining if member not in assigned[c]]
+        if len(open_labels) < deficits[member]:
+            raise InfeasibleAssignment(
+                "not enough distinct labels remain to satisfy the "
+                "per-member minimum")
+        open_labels.sort(key=lambda c: (-remaining[c], rng.random()))
+        for label in open_labels[:deficits[member]]:
+            assigned[label].add(member)
+            remaining[label] -= 1
+            if remaining[label] == 0:
+                del remaining[label]
+
+    # Phase 2: distribute the remaining selections uniformly among members
+    # that do not already hold the label.
+    for label in sorted(remaining, key=str):
+        k = remaining[label]
+        eligible = [m for m in members if m not in assigned[label]]
+        if k > len(eligible):
+            raise InfeasibleAssignment(
+                f"label {label!r} needs {k} more members but only "
+                f"{len(eligible)} lack it")
+        for member in rng.sample(eligible, k):
+            assigned[label].add(member)
+
+    return {label: assigned[label] for label in counts}
+
+
+def grouped_multiselect_exact(
+    rng: random.Random,
+    groups: Mapping[str, Sequence[T]],
+    grouped_counts: Mapping[str, Mapping[str, int]],
+    min_per_member: int = 0,
+) -> dict[str, set[T]]:
+    """Run :func:`multiselect_exact` per group and merge the results.
+
+    ``grouped_counts`` maps label -> {group -> count}. This realizes the
+    paper's R/P-split marginals: each label's researcher count and
+    practitioner count are both exact.
+    """
+    merged: dict[str, set[T]] = {label: set() for label in grouped_counts}
+    for group_name, members in groups.items():
+        counts = {label: per_group.get(group_name, 0)
+                  for label, per_group in grouped_counts.items()}
+        for label, chosen in multiselect_exact(
+                rng, members, counts, min_per_member=min_per_member).items():
+            merged[label] |= chosen
+    return merged
+
+
+def grouped_partition_exact(
+    rng: random.Random,
+    groups: Mapping[str, Sequence[T]],
+    grouped_counts: Mapping[str, Mapping[str, int]],
+) -> dict[str, set[T]]:
+    """Run :func:`partition_exact` per group and merge the results."""
+    merged: dict[str, set[T]] = {label: set() for label in grouped_counts}
+    for group_name, members in groups.items():
+        counts = {label: per_group.get(group_name, 0)
+                  for label, per_group in grouped_counts.items()}
+        for label, chosen in partition_exact(rng, members, counts).items():
+            merged[label] |= chosen
+    return merged
+
+
+def counts_from_table_rows(
+    rows: Mapping[str, Mapping[str, int | None]],
+    labels: Iterable[str] | None = None,
+) -> dict[str, dict[str, int]]:
+    """Extract ``label -> {"R": r, "P": p}`` from a table's rows."""
+    wanted = set(labels) if labels is not None else None
+    out: dict[str, dict[str, int]] = {}
+    for label, cells in rows.items():
+        if wanted is not None and label not in wanted:
+            continue
+        out[label] = {
+            "R": int(cells.get("R") or 0),
+            "P": int(cells.get("P") or 0),
+        }
+    return out

@@ -1,0 +1,261 @@
+"""Text templates for the synthetic mailing-list / issue corpus.
+
+The real corpus is private, so we synthesize messages whose *signal* -- the
+challenge topics of Table 19 and the graph-size mentions of Table 18 -- is
+planted at the published rates. Templates are deliberately varied in
+phrasing so the classifier in :mod:`repro.mining.classifier` has to match
+topics, not byte-identical strings.
+
+Template placeholders: ``{product}`` and, for size sentences, ``{amount}``
+(already formatted, e.g. ``"1.5 billion"``) and ``{unit}``.
+"""
+
+from __future__ import annotations
+
+#: Challenge name -> list of (subject, body) templates.
+CHALLENGE_TEMPLATES: dict[str, list[tuple[str, str]]] = {
+    "High-degree Vertices": [
+        ("Skipping supernodes during traversal",
+         "Some of our vertices have millions of neighbors. Is there a way to"
+         " make {product} skip paths that go through these high-degree"
+         " vertices? Results through them are not interesting to us."),
+        ("Query performance on high degree vertices",
+         "Traversals in {product} crawl once they hit a high-degree vertex."
+         " Can we treat such supernodes specially, or exclude them from path"
+         " expansion entirely?"),
+        ("Special handling for celebrity nodes",
+         "We model followers, and a few celebrity accounts are high-degree"
+         " vertices with huge fan-in. We would like an option to skip paths"
+         " over these vertices when matching."),
+        ("Exclude hub vertices from shortest path search",
+         "Is it possible to tell the shortest-path procedure in {product} to"
+         " avoid expanding very high-degree vertices? Going through the hubs"
+         " produces paths our analysts do not find interesting."),
+    ],
+    "Hyperedges": [
+        ("Representing hyperedges",
+         "We need an edge that connects three or more entities at once, for"
+         " example a family relationship among three people. {product} has no"
+         " native hyperedge support -- what is the recommended workaround?"),
+        ("Modeling n-ary relationships",
+         "How do people model a hyperedge in {product}? We currently create a"
+         " mock hyperedge vertex and link every participant to it, but native"
+         " support would be much cleaner."),
+        ("Feature request: hyperedge support",
+         "Please consider supporting hyperedges, i.e. edges between more than"
+         " two vertices. Our contracts connect a buyer, a seller, and a"
+         " broker, and the hyperedge vertex simulation is awkward."),
+    ],
+    "Triggers": [
+        ("Trigger-like functionality on insert",
+         "Is there something like a database trigger in {product}? We want to"
+         " automatically add a created-at property to every vertex during"
+         " insertion."),
+        ("Running a hook on update",
+         "We need a trigger that copies a vertex to a backup file whenever it"
+         " is updated. Do {product} hooks or an event handler API support"
+         " this?"),
+        ("Feature request: triggers on edge creation",
+         "A trigger mechanism firing on edge creation would let us maintain"
+         " derived counters without polling. Is anything like the"
+         " TransactionEventHandler planned?"),
+    ],
+    "Versioning and Historical Analysis": [
+        ("Querying previous versions of the graph",
+         "We must keep the history of every change to vertices and edges and"
+         " run queries over past versions of the graph. Does {product}"
+         " support versioning, or must we build it at the application layer?"),
+        ("Historical analysis of changes",
+         "Our auditors ask for historical analysis: what did this subgraph"
+         " look like last March? Is there a recommended versioning pattern"
+         " for {product}?"),
+        ("Time travel queries",
+         "Any plans for time-travel queries, i.e. reading the graph as of an"
+         " earlier timestamp? We currently store a version number on every"
+         " edge and filter manually."),
+    ],
+    "Schema & Constraints": [
+        ("Defining a schema over the graph",
+         "Is there a way to define a schema for {product} graphs, similar to"
+         " what DTD or XSD provide for XML? We want to reject vertices that"
+         " lack a mandatory property."),
+        ("Enforcing an acyclicity constraint",
+         "We need to enforce the constraint that our dependency graph stays"
+         " acyclic. Can {product} check constraints like this on write?"),
+        ("Schema validation for edge properties",
+         "Feature request: a schema language so that every edge of a given"
+         " label must carry a numeric weight property. Constraint checking at"
+         " load time would catch most of our data bugs."),
+    ],
+    "Layout": [
+        ("Hierarchical layout support",
+         "How can I draw my graph so that managers appear above their"
+         " reports? I am looking for a hierarchical layout in {product} where"
+         " some vertices are drawn on top of others."),
+        ("Drawing a phylogenetic tree layout",
+         "I need a specialized tree layout, like a phylogenetic tree, with"
+         " the root at the center. Which layout algorithm in {product} can"
+         " produce that arrangement?"),
+        ("Star graph layout looks wrong",
+         "When I draw a star graph, the spokes overlap badly. Is there a"
+         " layout that places the hub in the middle and spreads the leaves"
+         " evenly?"),
+        ("Planar layout for circuit graphs",
+         "Our circuit graphs are planar; is there a planar layout in"
+         " {product} that avoids edge crossings altogether?"),
+    ],
+    "Customizability": [
+        ("Customizing vertex shapes and colors",
+         "How do I customize the design of the rendered graph in {product}?"
+         " I want square shapes for servers, round ones for clients, and a"
+         " different color per data center."),
+        ("Styling edges by weight",
+         "Is it possible to customize the edge style so heavier edges are"
+         " drawn thicker and in a darker color? The default style makes every"
+         " relationship look the same."),
+        ("Custom label fonts",
+         "We need to customize label rendering: font, size, and placement"
+         " relative to the vertex. Where do I configure the style of labels"
+         " in {product}?"),
+    ],
+    "Large-graph Visualization": [
+        ("Rendering millions of vertices",
+         "{product} becomes unresponsive when we try to render a graph with"
+         " millions of vertices. Is there a recommended way to visualize very"
+         " large graphs, perhaps by sampling?"),
+        ("Visualizing a large graph freezes the canvas",
+         "Trying to visualize our full network (hundreds of thousands of"
+         " vertices) freezes the canvas for minutes. How do others explore"
+         " large graphs interactively?"),
+    ],
+    "Dynamic Graph Visualization": [
+        ("Animating graph changes over time",
+         "We have a dynamic graph that changes every minute. Can {product}"
+         " animate additions and deletions so we can watch the graph evolve"
+         " over time?"),
+        ("Playback of a changing graph",
+         "Is there support for animating a time sequence of graph snapshots,"
+         " highlighting updated vertices as the animation plays?"),
+    ],
+    "Subqueries": [
+        ("Using a query inside another query",
+         "I want to use the result of one query as part of another query --"
+         " essentially a subquery. Can {product} compose queries this way, or"
+         " embed SQL as a subquery?"),
+        ("Subquery as a predicate",
+         "Is there a way to write a nested query whose result is used as a"
+         " predicate in the outer query? Our current workaround runs two"
+         " round trips through the client."),
+        ("Query composition support",
+         "Does {product} support composition, where the result of a subquery"
+         " is itself a graph that can be queried further?"),
+    ],
+    "Querying Across Multiple Graphs": [
+        ("Query spanning multiple graphs",
+         "We store separate graphs per tenant and need a query across"
+         " multiple graphs: start a traversal in one graph and continue it in"
+         " another, like joining tables. Is that possible in {product}?"),
+        ("Combining results from two graphs",
+         "How can I use the results of a traversal in one graph to seed a"
+         " traversal in a second graph? Querying across multiple graphs in"
+         " one statement would save us a lot of glue code."),
+    ],
+    "Off-the-shelf Algorithms": [
+        ("Request: add a built-in algorithm for betweenness",
+         "Could {product} add a built-in betweenness centrality algorithm?"
+         " Composing it from the low-level API is error prone, and we would"
+         " rather call an off-the-shelf implementation."),
+        ("Please ship an off-the-shelf k-core implementation",
+         "Feature request: an off-the-shelf k-core decomposition. Most of us"
+         " would rather reuse a tested algorithm from the library than"
+         " implement it ourselves."),
+        ("Add algorithm: approximate diameter",
+         "It would be great if {product} could add an algorithm for"
+         " approximate diameter so users do not have to hand-roll it with the"
+         " programming API."),
+        ("Built-in label propagation",
+         "Please add a built-in label propagation algorithm to the library."
+         " Everyone on our team has reimplemented it at least once."),
+    ],
+    "Graph Generators": [
+        ("Generating k-regular test graphs",
+         "The synthetic graph generator in {product} is very useful for"
+         " testing. Could it also generate k-regular graphs?"),
+        ("Random power-law generator for directed graphs",
+         "Feature request for the graph generator module: random directed"
+         " power-law graphs, so we can stress-test our ranking code on"
+         " realistic degree distributions."),
+        ("More options in the synthetic generator",
+         "We use the generator to create test fixtures. Please add options"
+         " for generating bipartite and small-world graphs too."),
+    ],
+    "GPU Support": [
+        ("Running algorithms on the GPU",
+         "Are there plans for GPU support in {product}? Our PageRank runs"
+         " would fit comfortably in GPU memory and should speed up a lot."),
+        ("CUDA backend",
+         "Feature request: a CUDA backend so traversal-heavy workloads can"
+         " execute on the GPU instead of the CPU."),
+    ],
+}
+
+#: Routine messages; they must not trip any challenge rule or size pattern.
+NOISE_TEMPLATES: list[tuple[str, str]] = [
+    ("How to connect from the Java driver",
+     "I am trying to connect to {product} from the Java driver behind a"
+     " proxy and keep getting a connection refused error. Which ports need"
+     " to be open?"),
+    ("OutOfMemoryError during bulk load",
+     "Loading our dataset into {product} fails with an OutOfMemoryError"
+     " after about twenty minutes. Increasing the heap helped a little."
+     " What are the recommended JVM settings?"),
+    ("Slow query after upgrade",
+     "After upgrading {product} to the latest release, one of our lookups"
+     " became noticeably slower. The execution plan shows an index is no"
+     " longer used. Any pointers?"),
+    ("Release announcement",
+     "We are happy to announce a new release of {product} with bug fixes"
+     " and performance improvements. See the changelog for details."),
+    ("Integration with Kafka",
+     "Has anyone integrated {product} with Kafka for ingesting events?"
+     " Looking for example code or a connector."),
+    ("Build fails on ARM",
+     "The build of {product} fails on my ARM machine with a linker error."
+     " Attaching the log. Is this platform supported?"),
+    ("Question about licensing",
+     "Quick question: is the {product} community edition licensed for"
+     " commercial use, and what does the enterprise license add?"),
+    ("Backup and restore procedure",
+     "What is the recommended way to back up a running {product} instance"
+     " without downtime, and how do I restore a single database?"),
+    ("Docs link broken",
+     "The documentation page about configuration options returns a 404."
+     " Could someone update the link on the website?"),
+    ("How to write this lookup",
+     "I have persons connected to companies and want every person who"
+     " worked at the same company as a given person. What is the idiomatic"
+     " way to express that lookup in {product}?"),
+    ("Unicode characters garbled on import",
+     "CSV import into {product} garbles non-ASCII characters even though"
+     " the file is UTF-8. Is there an encoding option I am missing?"),
+    ("Cluster node fails to rejoin",
+     "One machine in our {product} cluster fails to rejoin after a network"
+     " partition. The log shows repeated leader election timeouts."),
+]
+
+#: Sentences that carry a graph-size mention (Table 18). ``{amount}`` is a
+#: formatted quantity, ``{unit}`` is "vertices"/"edges"/"nodes".
+SIZE_TEMPLATES: list[tuple[str, str]] = [
+    ("Loading a very large graph",
+     "We are loading a graph with {amount} {unit} into {product} and the"
+     " import has been running for two days. Is there a faster bulk path?"),
+    ("Capacity planning question",
+     "Our production graph has grown to {amount} {unit}. How much disk and"
+     " memory should we provision for {product} at this scale?"),
+    ("Scaling beyond one machine",
+     "At {amount} {unit}, a single server no longer keeps up. What do other"
+     " {product} users run at this scale?"),
+    ("Performance with a huge dataset",
+     "Benchmarking {product} on a dataset of {amount} {unit}: traversal"
+     " latency is fine but the initial load is painful. Tuning advice?"),
+]

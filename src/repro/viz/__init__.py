@@ -1,0 +1,41 @@
+"""Graph visualization: the Section 6.1/6.2 challenge areas made
+executable -- layouts (hierarchical, tree/phylogenetic, star, circular,
+force-directed), customizable SVG styling, dynamic-graph animation, and
+large-graph rendering via sampling and community coarsening."""
+
+from repro.viz.dynamic_viz import (
+    Frame,
+    animate_snapshots,
+    animate_versions,
+    frames_to_html,
+    union_graph,
+)
+from repro.viz.largegraph import (
+    CoarseGraph,
+    coarsen,
+    render_large,
+    sample_subgraph,
+)
+from repro.viz.layouts import (
+    bounding_box,
+    circular_layout,
+    force_directed_layout,
+    grid_layout,
+    hierarchical_layout,
+    normalize_layout,
+    radial_tree_layout,
+    random_layout,
+    shell_layout,
+    star_layout,
+    tree_layout,
+)
+from repro.viz.style import (
+    PALETTE,
+    EdgeStyle,
+    StyleSheet,
+    VertexStyle,
+    color_by_category,
+    size_by_score,
+    width_by_weight,
+)
+from repro.viz.svg import render_svg, save_svg

@@ -1,0 +1,152 @@
+"""Dynamic-graph visualization (the Section 6.2 request for "animating
+the additions, deletions, and updates in a dynamic graph").
+
+Turns a :class:`~repro.graphs.dynamic.VersionedGraph` or an explicit
+snapshot sequence into animation frames: per-frame SVG with added elements
+highlighted and removed elements ghosted, plus stable per-vertex positions
+across frames (laid out once on the union graph so vertices do not jump).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.dynamic import VersionedGraph
+from repro.viz.layouts import Layout, force_directed_layout
+from repro.viz.style import EdgeStyle, StyleSheet, VertexStyle
+from repro.viz.svg import render_svg
+
+HIGHLIGHT = "#2e7d32"   # newly added
+GHOST = "#cccccc"       # just removed
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One animation step."""
+
+    index: int
+    svg: str
+    added_vertices: frozenset
+    removed_vertices: frozenset
+    added_edges: frozenset
+    removed_edges: frozenset
+
+
+def union_graph(snapshots: list[Graph]) -> Graph:
+    """All vertices/edges ever seen, for one stable layout."""
+    if not snapshots:
+        return Graph(directed=False)
+    union = Graph(directed=snapshots[0].directed, multigraph=False)
+    for snapshot in snapshots:
+        for vertex in snapshot.vertices():
+            union.add_vertex(vertex)
+        for edge in snapshot.edges():
+            if not union.has_edge(edge.u, edge.v):
+                union.add_edge(edge.u, edge.v)
+    return union
+
+
+def animate_snapshots(
+    snapshots: list[Graph],
+    layout: Layout | None = None,
+    width: int = 480,
+    height: int = 360,
+    seed: int = 0,
+) -> list[Frame]:
+    """Render each snapshot with additions highlighted and removals
+    ghosted relative to the previous snapshot."""
+    if not snapshots:
+        return []
+    stable_layout = layout or force_directed_layout(
+        union_graph(snapshots), seed=seed)
+    frames: list[Frame] = []
+    previous_vertices: set = set()
+    previous_edges: set = set()
+    for index, snapshot in enumerate(snapshots):
+        vertices = set(snapshot.vertices())
+        edges = {(e.u, e.v) for e in snapshot.edges()}
+        added_v = frozenset(vertices - previous_vertices)
+        removed_v = frozenset(previous_vertices - vertices)
+        added_e = frozenset(edges - previous_edges)
+        removed_e = frozenset(previous_edges - edges)
+
+        stylesheet = StyleSheet()
+        stylesheet.style_vertices(
+            lambda v, added=added_v: replace(
+                VertexStyle(), fill=HIGHLIGHT) if v in added else None)
+        stylesheet.style_edges(
+            lambda e, added=added_e: replace(
+                EdgeStyle(), stroke=HIGHLIGHT, width=2.0)
+            if (e.u, e.v) in added else None)
+
+        display = _with_ghosts(snapshot, removed_v, removed_e)
+        stylesheet.style_vertices(
+            lambda v, ghosts=removed_v: replace(
+                VertexStyle(), fill=GHOST, stroke=GHOST)
+            if v in ghosts else None)
+        stylesheet.style_edges(
+            lambda e, ghosts=removed_e: replace(
+                EdgeStyle(), stroke=GHOST, dashed=True)
+            if (e.u, e.v) in ghosts else None)
+
+        svg = render_svg(display, stable_layout, stylesheet,
+                         width=width, height=height)
+        frames.append(Frame(
+            index=index, svg=svg,
+            added_vertices=added_v, removed_vertices=removed_v,
+            added_edges=added_e, removed_edges=removed_e))
+        previous_vertices, previous_edges = vertices, edges
+    return frames
+
+
+def _with_ghosts(snapshot: Graph, removed_vertices, removed_edges) -> Graph:
+    """The snapshot plus ghosted remnants of what just disappeared."""
+    display = Graph(directed=snapshot.directed, multigraph=True)
+    for vertex in snapshot.vertices():
+        display.add_vertex(vertex)
+    for edge in snapshot.edges():
+        display.add_edge(edge.u, edge.v, weight=edge.weight)
+    for vertex in removed_vertices:
+        display.add_vertex(vertex)
+    for u, v in removed_edges:
+        display.add_vertex(u)
+        display.add_vertex(v)
+        display.add_edge(u, v)
+    return display
+
+
+def animate_versions(
+    versioned: VersionedGraph,
+    width: int = 480,
+    height: int = 360,
+    seed: int = 0,
+) -> list[Frame]:
+    """Animate every committed version of a versioned graph."""
+    snapshots = [
+        versioned.snapshot(version.version_id)
+        for version in versioned.versions()
+    ]
+    return animate_snapshots(snapshots, width=width, height=height,
+                             seed=seed)
+
+
+def frames_to_html(frames: list[Frame], interval_ms: int = 800) -> str:
+    """A self-contained HTML page that cycles through the frames."""
+    blocks = "\n".join(
+        f'<div class="frame" style="display:none">{frame.svg}</div>'
+        for frame in frames)
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>dynamic graph</title></head>
+<body>
+{blocks}
+<script>
+const frames = document.querySelectorAll('.frame');
+let index = 0;
+function tick() {{
+  frames.forEach((el, i) => el.style.display = i === index ? '' : 'none');
+  index = (index + 1) % frames.length;
+}}
+if (frames.length) {{ tick(); setInterval(tick, {interval_ms}); }}
+</script>
+</body></html>"""

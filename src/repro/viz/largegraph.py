@@ -1,0 +1,157 @@
+"""Large-graph visualization (the Section 6.2 challenge: "users also have
+challenges in rendering large graphs with thousands or even millions of
+vertices and edges").
+
+Two standard reductions before layout:
+
+* :func:`sample_subgraph` -- keep a bounded, connected, representative
+  sample (BFS ball around high-degree anchors).
+* :func:`coarsen` -- community-based coarsening: collapse each community
+  to one super-vertex sized by membership, with inter-community edge
+  weights aggregated.
+
+:func:`render_large` wires reduction -> layout -> SVG.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.graphs.adjacency import Graph, Vertex
+from repro.viz.layouts import force_directed_layout, grid_layout
+from repro.viz.style import StyleSheet, VertexStyle, width_by_weight
+from repro.viz.svg import render_svg
+
+
+def sample_subgraph(
+    graph,
+    max_vertices: int,
+    seed: int = 0,
+) -> Graph:
+    """A connected-ish sample: BFS balls grown around the highest-degree
+    anchors until the budget is filled."""
+    if max_vertices < 1:
+        raise ValueError("max_vertices must be >= 1")
+    vertices = list(graph.vertices())
+    if len(vertices) <= max_vertices:
+        return _induced(graph, set(vertices))
+    rng = random.Random(seed)
+    anchors = sorted(vertices, key=lambda v: (-graph.degree(v), repr(v)))
+    keep: set[Vertex] = set()
+    anchor_index = 0
+    while len(keep) < max_vertices and anchor_index < len(anchors):
+        anchor = anchors[anchor_index]
+        anchor_index += 1
+        if anchor in keep:
+            continue
+        queue = deque([anchor])
+        keep.add(anchor)
+        while queue and len(keep) < max_vertices:
+            vertex = queue.popleft()
+            neighbors = list(graph.neighbors(vertex))
+            rng.shuffle(neighbors)
+            for neighbor in neighbors:
+                if len(keep) >= max_vertices:
+                    break
+                if neighbor not in keep:
+                    keep.add(neighbor)
+                    queue.append(neighbor)
+    return _induced(graph, keep)
+
+
+def _induced(graph, keep: set[Vertex]) -> Graph:
+    sample = Graph(directed=graph.directed, multigraph=False)
+    for vertex in keep:
+        sample.add_vertex(vertex)
+    for edge in graph.edges():
+        if (edge.u in keep and edge.v in keep
+                and not sample.has_edge(edge.u, edge.v)):
+            sample.add_edge(edge.u, edge.v, weight=edge.weight)
+    return sample
+
+
+@dataclass(frozen=True)
+class CoarseGraph:
+    """A coarsened graph plus the mapping back to original vertices."""
+
+    graph: Graph                      # super-vertex graph, weighted
+    members: dict[int, frozenset]     # super-vertex -> original vertices
+
+    def size_of(self, super_vertex: int) -> int:
+        return len(self.members[super_vertex])
+
+
+def coarsen(graph, seed: int = 0,
+            communities: dict[Vertex, int] | None = None) -> CoarseGraph:
+    """Collapse communities into super-vertices.
+
+    Communities default to Louvain. Inter-community multiplicities become
+    edge weights; intra-community edges disappear.
+    """
+    if communities is None:
+        from repro.ml.community import louvain
+
+        communities = louvain(graph, seed=seed)
+    members: dict[int, set[Vertex]] = {}
+    for vertex, community in communities.items():
+        members.setdefault(community, set()).add(vertex)
+    coarse = Graph(directed=False, multigraph=False)
+    coarse.add_vertices(members.keys())
+    weights: dict[tuple[int, int], float] = {}
+    for edge in graph.edges():
+        cu = communities[edge.u]
+        cv = communities[edge.v]
+        if cu == cv:
+            continue
+        key = (min(cu, cv), max(cu, cv))
+        weights[key] = weights.get(key, 0.0) + edge.weight
+    for (cu, cv), weight in sorted(weights.items()):
+        coarse.add_edge(cu, cv, weight=weight)
+    return CoarseGraph(
+        graph=coarse,
+        members={c: frozenset(vs) for c, vs in members.items()})
+
+
+def render_large(
+    graph,
+    max_vertices: int = 300,
+    mode: str = "auto",
+    width: int = 640,
+    height: int = 480,
+    seed: int = 0,
+) -> str:
+    """Render a graph of any size to SVG.
+
+    Modes: ``full`` (layout everything; falls back to a grid layout past
+    5000 vertices), ``sample``, ``coarsen``, or ``auto`` (full when small,
+    coarsen otherwise).
+    """
+    n = graph.num_vertices()
+    if mode == "auto":
+        mode = "full" if n <= max_vertices else "coarsen"
+    if mode == "full":
+        layout = (force_directed_layout(graph, seed=seed)
+                  if n <= 5000 else grid_layout(graph))
+        return render_svg(graph, layout, width=width, height=height)
+    if mode == "sample":
+        sample = sample_subgraph(graph, max_vertices, seed=seed)
+        layout = force_directed_layout(sample, seed=seed)
+        return render_svg(sample, layout, width=width, height=height)
+    if mode == "coarsen":
+        coarse = coarsen(graph, seed=seed)
+        layout = force_directed_layout(coarse.graph, seed=seed)
+        largest = max(
+            (coarse.size_of(c) for c in coarse.members), default=1)
+        stylesheet = StyleSheet()
+        stylesheet.style_vertices(
+            lambda c: replace(
+                VertexStyle(),
+                radius=4.0 + 12.0 * coarse.size_of(c) / largest,
+                label=str(coarse.size_of(c))))
+        stylesheet.style_edges(width_by_weight(scale=0.5))
+        return render_svg(coarse.graph, layout, stylesheet,
+                          width=width, height=height)
+    raise ValueError(
+        f"unknown mode {mode!r}; choose auto, full, sample, or coarsen")

@@ -1,0 +1,296 @@
+"""Graph layouts (the Section 6.2 "Layout" challenge).
+
+Users asked for hierarchical drawings, tree layouts (phylogenetic-style),
+star and planar-ish arrangements. Provided here:
+
+* :func:`force_directed_layout` -- Fruchterman-Reingold with cooling.
+* :func:`hierarchical_layout` -- layered drawing: layers by longest-path
+  rank, barycenter ordering to reduce crossings.
+* :func:`circular_layout` / :func:`shell_layout` -- ring arrangements.
+* :func:`tree_layout` -- tidy rooted tree (children centered under
+  parents); :func:`radial_tree_layout` -- the phylogenetic-style variant.
+* :func:`grid_layout` -- deterministic fallback for huge graphs.
+
+All return ``{vertex: (x, y)}`` in abstract coordinates; the SVG renderer
+rescales to the canvas.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+
+from repro.graphs.adjacency import Vertex
+
+Position = tuple[float, float]
+Layout = dict[Vertex, Position]
+
+
+def circular_layout(graph) -> Layout:
+    """Vertices evenly spaced on a unit circle, in iteration order."""
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    if n == 0:
+        return {}
+    return {
+        v: (math.cos(2 * math.pi * i / n), math.sin(2 * math.pi * i / n))
+        for i, v in enumerate(vertices)
+    }
+
+
+def shell_layout(graph, shells: list[list[Vertex]]) -> Layout:
+    """Concentric rings; shell 0 is innermost (radius grows outward)."""
+    layout: Layout = {}
+    for index, shell in enumerate(shells):
+        radius = index + 1
+        n = max(1, len(shell))
+        for i, vertex in enumerate(shell):
+            angle = 2 * math.pi * i / n
+            layout[vertex] = (radius * math.cos(angle),
+                              radius * math.sin(angle))
+    return layout
+
+
+def grid_layout(graph) -> Layout:
+    """Simple row-major grid; O(n), used for very large graphs."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        return {}
+    side = math.ceil(math.sqrt(len(vertices)))
+    return {
+        v: (float(i % side), float(i // side))
+        for i, v in enumerate(vertices)
+    }
+
+
+def random_layout(graph, seed: int = 0) -> Layout:
+    rng = random.Random(seed)
+    return {v: (rng.random(), rng.random()) for v in graph.vertices()}
+
+
+def force_directed_layout(
+    graph,
+    iterations: int = 50,
+    seed: int = 0,
+    k: float | None = None,
+) -> Layout:
+    """Fruchterman-Reingold force-directed placement.
+
+    ``k`` is the ideal edge length (defaults to ``1/sqrt(n)`` in unit
+    space). Linear-time repulsion approximation is deliberately not used;
+    for big graphs pair this with :mod:`repro.viz.largegraph` coarsening.
+    """
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    if n == 0:
+        return {}
+    if n == 1:
+        return {vertices[0]: (0.5, 0.5)}
+    rng = random.Random(seed)
+    positions = {v: [rng.random(), rng.random()] for v in vertices}
+    ideal = k or 1.0 / math.sqrt(n)
+    temperature = 0.1
+    cooling = temperature / (iterations + 1)
+
+    edges = [(e.u, e.v) for e in graph.edges() if e.u != e.v]
+    for _ in range(iterations):
+        displacement = {v: [0.0, 0.0] for v in vertices}
+        # Repulsion between every pair.
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1:]:
+                dx = positions[u][0] - positions[v][0]
+                dy = positions[u][1] - positions[v][1]
+                distance = math.hypot(dx, dy) or 1e-9
+                force = ideal * ideal / distance
+                fx, fy = force * dx / distance, force * dy / distance
+                displacement[u][0] += fx
+                displacement[u][1] += fy
+                displacement[v][0] -= fx
+                displacement[v][1] -= fy
+        # Attraction along edges.
+        for u, v in edges:
+            dx = positions[u][0] - positions[v][0]
+            dy = positions[u][1] - positions[v][1]
+            distance = math.hypot(dx, dy) or 1e-9
+            force = distance * distance / ideal
+            fx, fy = force * dx / distance, force * dy / distance
+            displacement[u][0] -= fx
+            displacement[u][1] -= fy
+            displacement[v][0] += fx
+            displacement[v][1] += fy
+        # Apply, capped by temperature.
+        for v in vertices:
+            dx, dy = displacement[v]
+            distance = math.hypot(dx, dy)
+            if distance > 0:
+                scale = min(distance, temperature) / distance
+                positions[v][0] += dx * scale
+                positions[v][1] += dy * scale
+        temperature = max(temperature - cooling, 1e-4)
+    return {v: (p[0], p[1]) for v, p in positions.items()}
+
+
+def hierarchical_layout(graph, root: Vertex | None = None) -> Layout:
+    """Layered (Sugiyama-style) drawing for DAG-ish directed graphs.
+
+    Ranks are longest-path layers (cycle edges are ignored for ranking);
+    within each layer vertices are ordered by the barycenter of their
+    neighbors in the previous layer to reduce crossings. y grows downward
+    with rank, matching the "managers above reports" request.
+    """
+    ranks = _layer_ranks(graph, root)
+    layers: dict[int, list[Vertex]] = {}
+    for vertex, rank in ranks.items():
+        layers.setdefault(rank, []).append(vertex)
+    order: dict[Vertex, float] = {}
+    for rank in sorted(layers):
+        layer = layers[rank]
+        if rank == min(layers):
+            layer.sort(key=repr)
+        else:
+            def barycenter(v: Vertex) -> float:
+                previous = [order[w] for w in graph.in_neighbors(v)
+                            if ranks.get(w) == rank - 1 and w in order]
+                previous += [order[w] for w in graph.out_neighbors(v)
+                             if ranks.get(w) == rank - 1 and w in order]
+                return (sum(previous) / len(previous)) if previous else 0.0
+
+            layer.sort(key=lambda v: (barycenter(v), repr(v)))
+        for i, vertex in enumerate(layer):
+            order[vertex] = float(i)
+    layout: Layout = {}
+    for rank, layer in layers.items():
+        width = max(1, len(layer) - 1)
+        for i, vertex in enumerate(layer):
+            x = i / width if width else 0.5
+            layout[vertex] = (x, float(rank))
+    return layout
+
+
+def _layer_ranks(graph, root: Vertex | None) -> dict[Vertex, int]:
+    if not graph.directed:
+        start = root if root is not None else _any_vertex(graph)
+        if start is None:
+            return {}
+        ranks = {}
+        queue = deque([(start, 0)])
+        ranks[start] = 0
+        while queue:
+            vertex, rank = queue.popleft()
+            for neighbor in graph.neighbors(vertex):
+                if neighbor not in ranks:
+                    ranks[neighbor] = rank + 1
+                    queue.append((neighbor, rank + 1))
+        for vertex in graph.vertices():
+            ranks.setdefault(vertex, 0)
+        return ranks
+    # Longest path layering over the DAG part of the graph.
+    from repro.algorithms.components import strongly_connected_components
+
+    sccs = strongly_connected_components(graph)
+    component_of = {}
+    for i, component in enumerate(sccs):
+        for vertex in component:
+            component_of[vertex] = i
+    ranks = {v: 0 for v in graph.vertices()}
+    changed = True
+    guard = 0
+    while changed and guard <= len(ranks) + 1:
+        changed = False
+        guard += 1
+        for edge in graph.edges():
+            if component_of[edge.u] == component_of[edge.v]:
+                continue  # ignore cycle edges
+            if ranks[edge.v] < ranks[edge.u] + 1:
+                ranks[edge.v] = ranks[edge.u] + 1
+                changed = True
+    return ranks
+
+
+def _any_vertex(graph):
+    for vertex in graph.vertices():
+        return vertex
+    return None
+
+
+def tree_layout(graph, root: Vertex) -> Layout:
+    """Tidy rooted tree: leaves get consecutive x slots, parents center
+    over their children, depth is y. Follows out-edges from the root."""
+    positions: Layout = {}
+    next_slot = [0.0]
+
+    children = {}
+    seen = {root}
+    order = [root]
+    queue = deque([root])
+    while queue:
+        vertex = queue.popleft()
+        kids = [w for w in graph.out_neighbors(vertex) if w not in seen]
+        children[vertex] = kids
+        for kid in kids:
+            seen.add(kid)
+            queue.append(kid)
+        order.extend(kids)
+
+    def place(vertex: Vertex, depth: int) -> float:
+        kids = children.get(vertex, [])
+        if not kids:
+            x = next_slot[0]
+            next_slot[0] += 1.0
+        else:
+            xs = [place(kid, depth + 1) for kid in kids]
+            x = sum(xs) / len(xs)
+        positions[vertex] = (x, float(depth))
+        return x
+
+    place(root, 0)
+    return positions
+
+
+def radial_tree_layout(graph, root: Vertex) -> Layout:
+    """Phylogenetic-style radial tree: depth becomes radius, the leaf
+    ordering becomes the angle."""
+    tidy = tree_layout(graph, root)
+    if not tidy:
+        return {}
+    max_x = max(x for x, _ in tidy.values()) or 1.0
+    layout: Layout = {}
+    for vertex, (x, depth) in tidy.items():
+        angle = 2 * math.pi * x / (max_x + 1.0)
+        layout[vertex] = (depth * math.cos(angle), depth * math.sin(angle))
+    return layout
+
+
+def star_layout(graph, hub: Vertex) -> Layout:
+    """The hub at the origin, every other vertex on a surrounding ring
+    (the Section 6.2 star-graph request)."""
+    others = [v for v in graph.vertices() if v != hub]
+    layout: Layout = {hub: (0.0, 0.0)}
+    n = max(1, len(others))
+    for i, vertex in enumerate(others):
+        angle = 2 * math.pi * i / n
+        layout[vertex] = (math.cos(angle), math.sin(angle))
+    return layout
+
+
+def bounding_box(layout: Layout) -> tuple[float, float, float, float]:
+    """(min_x, min_y, max_x, max_y) of a layout."""
+    if not layout:
+        return (0.0, 0.0, 1.0, 1.0)
+    xs = [p[0] for p in layout.values()]
+    ys = [p[1] for p in layout.values()]
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def normalize_layout(layout: Layout) -> Layout:
+    """Rescale into the unit square (degenerate axes center at 0.5)."""
+    min_x, min_y, max_x, max_y = bounding_box(layout)
+    span_x = max_x - min_x
+    span_y = max_y - min_y
+    result: Layout = {}
+    for vertex, (x, y) in layout.items():
+        nx = (x - min_x) / span_x if span_x else 0.5
+        ny = (y - min_y) / span_y if span_y else 0.5
+        result[vertex] = (nx, ny)
+    return result

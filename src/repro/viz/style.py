@@ -1,0 +1,128 @@
+"""Customizable rendering styles (the Section 6.2 "Customizability"
+challenge: shape/color of vertices and edges, label styling).
+
+A :class:`StyleSheet` maps vertices and edges to :class:`VertexStyle` /
+:class:`EdgeStyle` via user rules, with sensible defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.graphs.adjacency import Edge, Vertex
+
+SHAPES = ("circle", "square", "diamond", "triangle")
+
+
+@dataclass(frozen=True)
+class VertexStyle:
+    fill: str = "#4878a8"
+    stroke: str = "#2c4a68"
+    radius: float = 6.0
+    shape: str = "circle"
+    label: str | None = None
+    label_size: float = 9.0
+    label_color: str = "#222222"
+
+    def __post_init__(self):
+        if self.shape not in SHAPES:
+            raise ValueError(
+                f"unknown shape {self.shape!r}; choose from {SHAPES}")
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+
+@dataclass(frozen=True)
+class EdgeStyle:
+    stroke: str = "#999999"
+    width: float = 1.0
+    dashed: bool = False
+    arrow: bool = False
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+
+VertexRule = Callable[[Vertex], VertexStyle | None]
+EdgeRule = Callable[[Edge], EdgeStyle | None]
+
+
+@dataclass
+class StyleSheet:
+    """Ordered style rules; the first rule returning a style wins."""
+
+    default_vertex: VertexStyle = field(default_factory=VertexStyle)
+    default_edge: EdgeStyle = field(default_factory=EdgeStyle)
+    _vertex_rules: list[VertexRule] = field(default_factory=list)
+    _edge_rules: list[EdgeRule] = field(default_factory=list)
+
+    def style_vertices(self, rule: VertexRule) -> "StyleSheet":
+        self._vertex_rules.append(rule)
+        return self
+
+    def style_edges(self, rule: EdgeRule) -> "StyleSheet":
+        self._edge_rules.append(rule)
+        return self
+
+    def vertex_style(self, vertex: Vertex) -> VertexStyle:
+        for rule in self._vertex_rules:
+            style = rule(vertex)
+            if style is not None:
+                return style
+        return self.default_vertex
+
+    def edge_style(self, edge: Edge) -> EdgeStyle:
+        for rule in self._edge_rules:
+            style = rule(edge)
+            if style is not None:
+                return style
+        return self.default_edge
+
+
+#: A small categorical palette for color-by-community rendering.
+PALETTE = (
+    "#4878a8", "#e49444", "#d1615d", "#85b6b2", "#6a9f58",
+    "#e7ca60", "#a87c9f", "#f1a2a9", "#967662", "#b8b0ac",
+)
+
+
+def color_by_category(category_of: Callable[[Vertex], int],
+                      base: VertexStyle | None = None) -> VertexRule:
+    """A rule assigning palette colors by an integer category (e.g. the
+    community ids from :func:`repro.ml.community.louvain`)."""
+    base = base or VertexStyle()
+
+    def rule(vertex: Vertex) -> VertexStyle:
+        color = PALETTE[category_of(vertex) % len(PALETTE)]
+        return replace(base, fill=color)
+
+    return rule
+
+
+def size_by_score(score_of: Callable[[Vertex], float],
+                  min_radius: float = 3.0,
+                  max_radius: float = 14.0,
+                  max_score: float = 1.0,
+                  base: VertexStyle | None = None) -> VertexRule:
+    """A rule scaling vertex radius by a score (e.g. PageRank)."""
+    base = base or VertexStyle()
+    span = max_radius - min_radius
+
+    def rule(vertex: Vertex) -> VertexStyle:
+        fraction = min(1.0, max(0.0, score_of(vertex) / max_score))
+        return replace(base, radius=min_radius + span * fraction)
+
+    return rule
+
+
+def width_by_weight(scale: float = 1.0,
+                    base: EdgeStyle | None = None) -> EdgeRule:
+    """A rule drawing heavier edges thicker."""
+    base = base or EdgeStyle()
+
+    def rule(edge: Edge) -> EdgeStyle:
+        return replace(base, width=max(0.5, edge.weight * scale))
+
+    return rule

@@ -1,0 +1,121 @@
+"""SVG rendering of laid-out graphs.
+
+Produces standalone SVG documents from a graph, a layout, and an optional
+:class:`~repro.viz.style.StyleSheet`. Pure string generation -- no
+external dependencies -- so rendering works anywhere and is testable by
+parsing the output.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.viz.layouts import Layout, normalize_layout
+from repro.viz.style import EdgeStyle, StyleSheet, VertexStyle
+
+
+def render_svg(
+    graph,
+    layout: Layout,
+    stylesheet: StyleSheet | None = None,
+    width: int = 640,
+    height: int = 480,
+    margin: int = 24,
+    background: str = "#ffffff",
+) -> str:
+    """Render a graph to an SVG string.
+
+    The layout is normalized to the canvas; vertices missing from the
+    layout are skipped along with their edges.
+    """
+    stylesheet = stylesheet or StyleSheet()
+    normalized = normalize_layout(
+        {v: layout[v] for v in graph.vertices() if v in layout})
+
+    def canvas(position):
+        x, y = position
+        return (margin + x * (width - 2 * margin),
+                margin + y * (height - 2 * margin))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill={_q(background)}/>',
+        "<g data-layer=\"edges\">",
+    ]
+    for edge in graph.edges():
+        if edge.u not in normalized or edge.v not in normalized:
+            continue
+        style = stylesheet.edge_style(edge)
+        x1, y1 = canvas(normalized[edge.u])
+        x2, y2 = canvas(normalized[edge.v])
+        parts.append(_edge_svg(x1, y1, x2, y2, style,
+                               arrow=style.arrow or graph.directed))
+    parts.append("</g>")
+    parts.append("<g data-layer=\"vertices\">")
+    for vertex in graph.vertices():
+        if vertex not in normalized:
+            continue
+        style = stylesheet.vertex_style(vertex)
+        x, y = canvas(normalized[vertex])
+        parts.append(_vertex_svg(x, y, style))
+        label = style.label if style.label is not None else None
+        if label:
+            parts.append(
+                f'<text x="{x:.1f}" y="{y - style.radius - 2:.1f}" '
+                f'font-size="{style.label_size}" text-anchor="middle" '
+                f'fill={_q(style.label_color)}>{escape(label)}</text>')
+    parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _q(value: str) -> str:
+    return quoteattr(value)
+
+
+def _vertex_svg(x: float, y: float, style: VertexStyle) -> str:
+    r = style.radius
+    common = (f'fill={_q(style.fill)} stroke={_q(style.stroke)} '
+              f'stroke-width="1"')
+    if style.shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" {common}/>'
+    if style.shape == "square":
+        return (f'<rect x="{x - r:.1f}" y="{y - r:.1f}" width="{2 * r:.1f}" '
+                f'height="{2 * r:.1f}" {common}/>')
+    if style.shape == "diamond":
+        points = f"{x},{y - r} {x + r},{y} {x},{y + r} {x - r},{y}"
+        return f'<polygon points="{points}" {common}/>'
+    # triangle
+    points = (f"{x},{y - r} {x + r * 0.87},{y + r / 2} "
+              f"{x - r * 0.87},{y + r / 2}")
+    return f'<polygon points="{points}" {common}/>'
+
+
+def _edge_svg(x1: float, y1: float, x2: float, y2: float,
+              style: EdgeStyle, arrow: bool) -> str:
+    dash = ' stroke-dasharray="4 3"' if style.dashed else ""
+    line = (f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke={_q(style.stroke)} stroke-width="{style.width}"{dash}/>')
+    if not arrow:
+        return line
+    return line + _arrow_head(x1, y1, x2, y2, style)
+
+
+def _arrow_head(x1, y1, x2, y2, style: EdgeStyle) -> str:
+    angle = math.atan2(y2 - y1, x2 - x1)
+    size = 4.0 + style.width
+    tip_x, tip_y = x2, y2
+    left = (tip_x - size * math.cos(angle - 0.45),
+            tip_y - size * math.sin(angle - 0.45))
+    right = (tip_x - size * math.cos(angle + 0.45),
+             tip_y - size * math.sin(angle + 0.45))
+    points = (f"{tip_x:.1f},{tip_y:.1f} {left[0]:.1f},{left[1]:.1f} "
+              f"{right[0]:.1f},{right[1]:.1f}")
+    return f'<polygon points="{points}" fill={_q(style.stroke)}/>'
+
+
+def save_svg(path: str, svg: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(svg)

@@ -1,0 +1,30 @@
+"""Workload harness: every surveyed computation as runnable code
+(:mod:`repro.workloads.runner`), canned scenario graphs matching the
+Table 4 entity taxonomy (:mod:`repro.workloads.scenarios`), and the
+product-order-transaction benchmark the paper's conclusion calls for
+(:mod:`repro.workloads.product_graph`)."""
+
+from repro.workloads.product_graph import (
+    ProductGraphSpec,
+    copurchase_graph,
+    customer_product_ratings,
+    generate_product_graph,
+    product_workload_queries,
+)
+from repro.workloads.runner import (
+    ALL_RUNNERS,
+    WorkloadResult,
+    coverage,
+    run_computation,
+    run_survey_workload,
+)
+from repro.workloads.scenarios import SCENARIOS, build_scenario
+
+from repro.workloads.etl import (  # noqa: E402 (Table 13 rows 2-3)
+    CleaningReport,
+    EdgeTable,
+    GraphCleaner,
+    VertexTable,
+    build_graph_from_tables,
+    standard_cleaning,
+)

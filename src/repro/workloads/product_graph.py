@@ -1,0 +1,171 @@
+"""Product-order-transaction graphs -- the paper's future-work benchmark.
+
+The survey's most striking finding is that product/order/transaction data
+(NH-P, Table 4) is the most common non-human entity practitioners put in
+graphs, yet "existing graph benchmarks, such as LDBC and Graph500, do not
+yet provide workloads and data to process product graphs" (Section 9).
+This module provides exactly that: a TPC-C-flavoured synthetic *product
+graph* generator plus the graph workload mix the survey says users run on
+such data.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass
+
+from repro.graphs.property_graph import PropertyGraph
+
+
+@dataclass(frozen=True)
+class ProductGraphSpec:
+    """Scale knobs, TPC-C-flavoured.
+
+    Each customer places ~``orders_per_customer`` orders; each order has
+    1..``max_lines`` order lines referencing products; a payment
+    transaction is attached to most orders.
+    """
+
+    customers: int = 100
+    products: int = 50
+    orders_per_customer: float = 3.0
+    max_lines: int = 5
+    payment_rate: float = 0.9
+    start_date: dt.date = dt.date(2017, 1, 1)
+
+    def __post_init__(self):
+        if self.customers < 1 or self.products < 1:
+            raise ValueError("need at least one customer and one product")
+        if not 0 <= self.payment_rate <= 1:
+            raise ValueError("payment_rate must be in [0, 1]")
+
+
+def generate_product_graph(
+    spec: ProductGraphSpec = ProductGraphSpec(),
+    seed: int = 0,
+) -> PropertyGraph:
+    """Generate the property graph.
+
+    Labels: ``Customer``, ``Product``, ``Order``, ``Payment``.
+    Edges: ``PLACED`` (customer->order), ``CONTAINS`` (order->product,
+    weight = quantity, property ``price``), ``PAID_BY`` (order->payment),
+    ``REFERRED`` (customer->customer, a small social overlay so
+    community/link workloads have signal).
+    """
+    rng = random.Random(seed)
+    graph = PropertyGraph(directed=True, multigraph=False)
+
+    customers = [f"customer:{i}" for i in range(spec.customers)]
+    products = [f"product:{i}" for i in range(spec.products)]
+    for i, customer in enumerate(customers):
+        graph.add_vertex(customer, label="Customer",
+                         name=f"Customer {i}",
+                         segment=rng.choice(("consumer", "business")))
+    for i, product in enumerate(products):
+        graph.add_vertex(
+            product, label="Product", sku=f"SKU-{i:05d}",
+            price=round(rng.uniform(1.0, 500.0), 2),
+            category=rng.choice(
+                ("grocery", "electronics", "apparel", "home", "toys")))
+
+    order_id = 0
+    payment_id = 0
+    for customer in customers:
+        num_orders = rng.randint(
+            0, max(1, int(2 * spec.orders_per_customer)))
+        for _ in range(num_orders):
+            order = f"order:{order_id}"
+            order_id += 1
+            placed_on = spec.start_date + dt.timedelta(
+                days=rng.randrange(365))
+            graph.add_vertex(order, label="Order",
+                             placed_on=placed_on, status="delivered")
+            graph.add_edge(customer, order, label="PLACED")
+            total = 0.0
+            for product in rng.sample(
+                    products, rng.randint(1, spec.max_lines)):
+                quantity = rng.randint(1, 5)
+                price = graph.vertex_property(product, "price")
+                graph.add_edge(order, product, weight=float(quantity),
+                               label="CONTAINS", price=price)
+                total += price * quantity
+            graph.set_vertex_property(order, "total", round(total, 2))
+            if rng.random() < spec.payment_rate:
+                payment = f"payment:{payment_id}"
+                payment_id += 1
+                graph.add_vertex(payment, label="Payment",
+                                 amount=round(total, 2),
+                                 method=rng.choice(
+                                     ("card", "invoice", "wallet")))
+                graph.add_edge(order, payment, label="PAID_BY")
+
+    # Referral overlay: sparse customer-customer edges.
+    for customer in customers:
+        if rng.random() < 0.3:
+            other = rng.choice(customers)
+            if other != customer and not graph.has_edge(customer, other):
+                graph.add_edge(customer, other, label="REFERRED")
+    return graph
+
+
+def copurchase_graph(graph: PropertyGraph) -> PropertyGraph:
+    """Project the product graph onto products: two products are linked
+    when some order contains both (weight = number of such orders). This
+    is the graph recommendation workloads actually run on."""
+    projection = PropertyGraph(directed=False, multigraph=False)
+    weights: dict[tuple, float] = {}
+    for order in graph.vertices_with_label("Order"):
+        items = sorted(
+            (v for v in graph.out_neighbors(order)
+             if graph.vertex_label(v) == "Product"),
+            key=repr)
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                weights[a, b] = weights.get((a, b), 0.0) + 1.0
+    for product in graph.vertices_with_label("Product"):
+        projection.add_vertex(product, label="Product")
+    for (a, b), weight in sorted(weights.items()):
+        projection.add_edge(a, b, weight=weight, label="CO_PURCHASED")
+    return projection
+
+
+def customer_product_ratings(graph: PropertyGraph):
+    """Rating triples for collaborative filtering: a customer's implicit
+    rating of a product is the total quantity purchased (capped at 5)."""
+    totals: dict[tuple, float] = {}
+    for customer in graph.vertices_with_label("Customer"):
+        for order in graph.out_neighbors(customer):
+            if graph.vertex_label(order) != "Order":
+                continue
+            for edge_id in (eid for product in graph.out_neighbors(order)
+                            for eid in graph.edge_ids(order, product)):
+                edge = graph.edge(edge_id)
+                if graph.vertex_label(edge.v) != "Product":
+                    continue
+                key = (customer, edge.v)
+                totals[key] = totals.get(key, 0.0) + edge.weight
+    return [
+        (customer, product, min(5.0, quantity))
+        for (customer, product), quantity in sorted(totals.items())
+    ]
+
+
+def product_workload_queries() -> dict[str, str]:
+    """The survey-flavoured query mix over the product graph, as GQL-lite
+    strings for :func:`repro.query.run_query`."""
+    return {
+        "orders_of_customer": (
+            "MATCH (c:Customer)-[:PLACED]->(o:Order) "
+            "RETURN c, o LIMIT 100"),
+        "big_orders": (
+            "MATCH (c:Customer)-[:PLACED]->(o:Order) "
+            "WHERE o.total > 500 RETURN c, o.total"),
+        "co_purchasers": (
+            "MATCH (a:Customer)-[:PLACED]->(o1:Order)-[:CONTAINS]->"
+            "(p:Product), (b:Customer)-[:PLACED]->(o2:Order)-[:CONTAINS]->"
+            "(p) WHERE a <> b RETURN DISTINCT a, b LIMIT 200"),
+        "payment_methods": (
+            "MATCH (o:Order)-[:PAID_BY]->(pay:Payment) "
+            "RETURN o, pay.method LIMIT 100"),
+    }

@@ -1,0 +1,343 @@
+"""Executable registry of every surveyed computation.
+
+Maps each row of Table 9 (graph computations), Table 10 (ML computations
+and problems) and Table 11 (traversals) to a runnable callable, so the
+taxonomy the survey asked participants about is not just a list of
+strings in this repository -- every name can be executed against a graph
+and returns a small result summary.
+
+Used by ``examples/survey_workloads.py`` and the workload benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.data import taxonomy
+from repro.graphs.adjacency import Graph
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one computation run."""
+
+    name: str
+    summary: dict[str, Any]
+
+
+def _sample_vertices(graph: Graph, count: int, seed: int = 0) -> list:
+    vertices = list(graph.vertices())
+    rng = random.Random(seed)
+    if len(vertices) <= count:
+        return vertices
+    return rng.sample(vertices, count)
+
+
+def _run_connected_components(graph, seed):
+    from repro.algorithms import connected_components
+
+    components = connected_components(graph)
+    return {"components": len(components),
+            "largest": max((len(c) for c in components), default=0)}
+
+
+def _run_neighborhood(graph, seed):
+    from repro.algorithms import k_hop_neighbors
+
+    sources = _sample_vertices(graph, 10, seed)
+    sizes = [len(k_hop_neighbors(graph, s, 2)) for s in sources]
+    return {"queries": len(sources),
+            "mean_2hop": sum(sizes) / len(sizes) if sizes else 0.0}
+
+
+def _run_shortest_paths(graph, seed):
+    from repro.algorithms import bfs_distances
+
+    sources = _sample_vertices(graph, 5, seed)
+    reached = [len(bfs_distances(graph, s)) for s in sources]
+    return {"sources": len(sources),
+            "mean_reached": sum(reached) / len(reached) if reached else 0.0}
+
+
+def _run_subgraph_matching(graph, seed):
+    from repro.algorithms import count_motif
+
+    undirected = graph.to_undirected() if graph.directed else graph
+    return {"triangles": count_motif(undirected, "triangle"),
+            "paths3": count_motif(undirected, "path3")}
+
+
+def _run_ranking(graph, seed):
+    from repro.algorithms import approximate_betweenness, pagerank, top_ranked
+
+    scores = pagerank(graph)
+    betweenness = approximate_betweenness(
+        graph, num_samples=min(20, graph.num_vertices()), seed=seed)
+    return {"top_pagerank": top_ranked(scores, 3),
+            "max_betweenness": max(betweenness.values(), default=0.0)}
+
+
+def _run_aggregations(graph, seed):
+    from repro.algorithms import average_clustering, triangle_count
+
+    return {"triangles": triangle_count(graph),
+            "avg_clustering": round(average_clustering(graph), 4)}
+
+
+def _run_reachability(graph, seed):
+    from repro.algorithms import is_reachable
+
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        return {"queries": 0, "reachable": 0}
+    queries = [(rng.choice(vertices), rng.choice(vertices))
+               for _ in range(20)]
+    reachable = sum(is_reachable(graph, a, b) for a, b in queries)
+    return {"queries": len(queries), "reachable": reachable}
+
+
+def _run_partitioning(graph, seed):
+    from repro.algorithms import balance, edge_cut, partition_graph
+
+    k = 4
+    partition = partition_graph(graph, k, seed=seed)
+    return {"k": k, "edge_cut": edge_cut(graph, partition),
+            "balance": round(balance(partition, k), 3)}
+
+
+def _run_similarity(graph, seed):
+    from repro.algorithms import most_similar
+
+    sources = _sample_vertices(graph, 5, seed)
+    results = {s: most_similar(graph, s, k=3) for s in sources}
+    return {"queried": len(results)}
+
+
+def _run_dense(graph, seed):
+    from repro.algorithms import degeneracy, densest_subgraph
+
+    subgraph, density = densest_subgraph(graph)
+    return {"densest_size": len(subgraph),
+            "density": round(density, 3),
+            "degeneracy": degeneracy(graph)}
+
+
+def _run_mst(graph, seed):
+    from repro.algorithms import kruskal_mst, mst_weight
+
+    undirected = graph.to_undirected() if graph.directed else graph
+    edges = kruskal_mst(undirected)
+    return {"tree_edges": len(edges),
+            "weight": round(mst_weight(edges), 2)}
+
+
+def _run_coloring(graph, seed):
+    from repro.algorithms import greedy_coloring, num_colors
+
+    coloring = greedy_coloring(graph, "smallest_last")
+    return {"colors": num_colors(coloring)}
+
+
+def _run_diameter(graph, seed):
+    from repro.algorithms import double_sweep_lower_bound
+
+    return {"diameter_lower_bound": double_sweep_lower_bound(graph,
+                                                             seed=seed)}
+
+
+GRAPH_COMPUTATION_RUNNERS: dict[str, Callable] = {
+    "Finding Connected Components": _run_connected_components,
+    "Neighborhood Queries": _run_neighborhood,
+    "Finding Short / Shortest Paths": _run_shortest_paths,
+    "Subgraph Matching": _run_subgraph_matching,
+    "Ranking & Centrality Scores": _run_ranking,
+    "Aggregations": _run_aggregations,
+    "Reachability Queries": _run_reachability,
+    "Graph Partitioning": _run_partitioning,
+    "Node-similarity": _run_similarity,
+    "Finding Frequent or Densest Subgraphs": _run_dense,
+    "Computing Minimum Spanning Tree": _run_mst,
+    "Graph Coloring": _run_coloring,
+    "Diameter Estimation": _run_diameter,
+}
+
+
+def _run_clustering(graph, seed):
+    from repro.ml import label_propagation_clustering
+
+    clusters = label_propagation_clustering(graph, seed=seed)
+    return {"clusters": len(set(clusters.values()))}
+
+
+def _run_classification(graph, seed):
+    from repro.ml import label_spreading
+
+    vertices = _sample_vertices(graph, 4, seed)
+    seeds = {v: i % 2 for i, v in enumerate(vertices)}
+    labels = label_spreading(graph, seeds)
+    return {"labelled": len(labels)}
+
+
+def _run_regression(graph, seed):
+    import numpy as np
+
+    from repro.ml import fit_linear_closed_form, node_features, r_squared
+
+    vertices, matrix = node_features(graph, ("degree", "clustering"))
+    target = np.array([graph.degree(v) for v in vertices], dtype=float)
+    model = fit_linear_closed_form(matrix, target)
+    return {"r2": round(r_squared(target,
+                                  model.predict_linear(matrix)), 3)}
+
+
+def _run_inference(graph, seed):
+    from repro.ml import PairwiseMRF, loopy_belief_propagation
+
+    undirected = graph.to_undirected() if graph.directed else graph
+    mrf = PairwiseMRF(graph=undirected, num_states=2)
+    try:
+        marginals = loopy_belief_propagation(mrf, max_iter=30, damping=0.3)
+    except Exception:
+        return {"converged": False}
+    return {"converged": True, "variables": len(marginals)}
+
+
+def _run_collaborative(graph, seed):
+    from repro.ml import RatingMatrix, matrix_factorization_als
+
+    rng = random.Random(seed)
+    vertices = _sample_vertices(graph, 20, seed)
+    ratings = [(f"user{i % 5}", v, float(rng.randint(1, 5)))
+               for i, v in enumerate(vertices)]
+    model = matrix_factorization_als(
+        RatingMatrix.from_ratings(ratings), rank=2, iterations=5)
+    return {"rmse": round(model.rmse(), 3)}
+
+
+def _run_sgd(graph, seed):
+    import numpy as np
+
+    from repro.ml import fit_linear_sgd, mean_squared_error, node_features
+
+    vertices, matrix = node_features(graph, ("degree", "clustering"))
+    target = matrix[:, 0] * 2.0 + 1.0
+    model = fit_linear_sgd(matrix, target, epochs=50, seed=seed)
+    mse = mean_squared_error(target, model.predict_linear(matrix))
+    return {"mse": round(float(mse), 4)}
+
+
+def _run_als(graph, seed):
+    return _run_collaborative(graph, seed)
+
+
+ML_COMPUTATION_RUNNERS: dict[str, Callable] = {
+    "Clustering": _run_clustering,
+    "Classification": _run_classification,
+    "Regression (Linear / Logistic)": _run_regression,
+    "Graphical Model Inference": _run_inference,
+    "Collaborative Filtering": _run_collaborative,
+    "Stochastic Gradient Descent": _run_sgd,
+    "Alternating Least Squares": _run_als,
+}
+
+
+def _run_community(graph, seed):
+    from repro.ml import community_sizes, louvain, modularity
+
+    communities = louvain(graph, seed=seed)
+    return {"communities": len(community_sizes(communities)),
+            "modularity": round(modularity(graph, communities), 3)}
+
+
+def _run_recommendation(graph, seed):
+    from repro.ml import ItemKNN, RatingMatrix
+
+    rng = random.Random(seed)
+    vertices = _sample_vertices(graph, 15, seed)
+    ratings = [(f"user{i % 4}", v, float(rng.randint(1, 5)))
+               for i, v in enumerate(vertices)]
+    knn = ItemKNN(k=3).fit(RatingMatrix.from_ratings(ratings))
+    return {"recommendations": len(knn.recommend("user0", n=3))}
+
+
+def _run_link_prediction(graph, seed):
+    from repro.ml import predict_links
+
+    undirected = graph.to_undirected() if graph.directed else graph
+    links = predict_links(undirected, k=5)
+    return {"predicted": len(links)}
+
+
+def _run_influence(graph, seed):
+    from repro.ml import degree_heuristic, expected_spread
+
+    seeds = degree_heuristic(graph, 3)
+    spread = expected_spread(graph, seeds, probability=0.1,
+                             simulations=20, seed=seed)
+    return {"seed_set": len(seeds), "spread": round(spread, 1)}
+
+
+ML_PROBLEM_RUNNERS: dict[str, Callable] = {
+    "Community Detection": _run_community,
+    "Recommendation System": _run_recommendation,
+    "Link Prediction": _run_link_prediction,
+    "Influence Maximization": _run_influence,
+}
+
+
+def _run_bfs(graph, seed):
+    from repro.algorithms import bfs_order
+
+    sources = _sample_vertices(graph, 3, seed)
+    visited = [sum(1 for _ in bfs_order(graph, s)) for s in sources]
+    return {"bfs_runs": len(visited), "visited": sum(visited)}
+
+
+def _run_dfs(graph, seed):
+    from repro.algorithms import dfs_preorder
+
+    sources = _sample_vertices(graph, 3, seed)
+    visited = [sum(1 for _ in dfs_preorder(graph, s)) for s in sources]
+    return {"dfs_runs": len(visited), "visited": sum(visited)}
+
+
+TRAVERSAL_RUNNERS: dict[str, Callable] = {
+    "Breadth-first-search or variant": _run_bfs,
+    "Depth-first-search or variant": _run_dfs,
+}
+
+
+ALL_RUNNERS: dict[str, Callable] = {
+    **GRAPH_COMPUTATION_RUNNERS,
+    **ML_COMPUTATION_RUNNERS,
+    **ML_PROBLEM_RUNNERS,
+    **TRAVERSAL_RUNNERS,
+}
+
+
+def run_computation(name: str, graph: Graph, seed: int = 0) -> WorkloadResult:
+    """Run one surveyed computation by its Table 9/10/11 name."""
+    try:
+        runner = ALL_RUNNERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown computation {name!r}; known: {sorted(ALL_RUNNERS)}"
+        ) from None
+    return WorkloadResult(name=name, summary=runner(graph, seed))
+
+
+def run_survey_workload(graph: Graph, seed: int = 0) -> list[WorkloadResult]:
+    """Run every Table 9 computation plus both traversals on one graph."""
+    names = list(taxonomy.GRAPH_COMPUTATIONS) + list(TRAVERSAL_RUNNERS)
+    return [run_computation(name, graph, seed) for name in names]
+
+
+def coverage() -> dict[str, bool]:
+    """Which taxonomy names have runners (should be: all of them)."""
+    names = (list(taxonomy.GRAPH_COMPUTATIONS)
+             + list(taxonomy.ML_COMPUTATIONS)
+             + list(taxonomy.ML_PROBLEMS))
+    return {name: name in ALL_RUNNERS for name in names}

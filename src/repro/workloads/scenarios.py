@@ -1,0 +1,99 @@
+"""Canned workload scenarios matching the survey's entity taxonomy.
+
+Each scenario builds a synthetic graph shaped like one of the Table 4
+entity categories, so examples and benchmarks can exercise the
+computations of Tables 9-11 on data that looks like what participants
+described.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators import (
+    barabasi_albert,
+    directed_powerlaw,
+    gnp_random_graph,
+    watts_strogatz,
+)
+from repro.graphs.adjacency import Graph
+from repro.graphs.property_graph import PropertyGraph
+
+
+def social_network(n: int = 200, seed: int = 0) -> Graph:
+    """Human entities: scale-free undirected friendship graph."""
+    return barabasi_albert(n, 3, seed=seed)
+
+
+def web_graph(n: int = 200, seed: int = 0) -> Graph:
+    """NH-W: directed power-law hyperlink graph."""
+    return directed_powerlaw(n, exponent=2.3, seed=seed)
+
+
+def road_network(side: int = 15, seed: int = 0) -> Graph:
+    """NH-G: a grid with perturbed weights (travel times)."""
+    from repro.generators import grid_graph
+
+    rng = random.Random(seed)
+    grid = grid_graph(side, side)
+    weighted = Graph(directed=False, multigraph=False)
+    weighted.add_vertices(grid.vertices())
+    for edge in grid.edges():
+        weighted.add_edge(edge.u, edge.v,
+                          weight=round(rng.uniform(1.0, 5.0), 2))
+    return weighted
+
+
+def collaboration_network(n: int = 200, seed: int = 0) -> Graph:
+    """Scientific: small-world coauthorship-like graph."""
+    return watts_strogatz(n, 6, 0.1, seed=seed)
+
+
+def infrastructure_network(n: int = 150, seed: int = 0) -> Graph:
+    """NH-I: sparse, nearly tree-like utility network."""
+    return gnp_random_graph(n, 2.2 / n, seed=seed)
+
+
+def knowledge_graph(seed: int = 0) -> PropertyGraph:
+    """NH-K / RDF-flavoured: typed entities with labelled relations."""
+    rng = random.Random(seed)
+    graph = PropertyGraph(directed=True, multigraph=True)
+    concepts = [f"concept:{i}" for i in range(40)]
+    documents = [f"doc:{i}" for i in range(30)]
+    authors = [f"author:{i}" for i in range(12)]
+    for i, concept in enumerate(concepts):
+        graph.add_vertex(concept, label="Concept", name=f"Concept {i}")
+    for i, document in enumerate(documents):
+        graph.add_vertex(document, label="Document",
+                         title=f"Document {i}", year=2000 + i % 18)
+    for i, author in enumerate(authors):
+        graph.add_vertex(author, label="Author", name=f"Author {i}")
+    for document in documents:
+        for concept in rng.sample(concepts, rng.randint(1, 4)):
+            graph.add_edge(document, concept, label="MENTIONS")
+        for author in rng.sample(authors, rng.randint(1, 3)):
+            graph.add_edge(author, document, label="WROTE")
+    for i, concept in enumerate(concepts):
+        if i + 1 < len(concepts) and rng.random() < 0.5:
+            graph.add_edge(concept, concepts[i + 1], label="BROADER")
+    return graph
+
+
+SCENARIOS = {
+    "social": social_network,
+    "web": web_graph,
+    "road": road_network,
+    "collaboration": collaboration_network,
+    "infrastructure": infrastructure_network,
+}
+
+
+def build_scenario(name: str, seed: int = 0) -> Graph:
+    """Build a named scenario graph at its default size."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return factory(seed=seed)

@@ -1,0 +1,400 @@
+"""Partitioning, similarity, dense subgraphs, MST, coloring, diameter,
+and the streaming/incremental algorithms."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    IncrementalKCore,
+    StreamingDegreeStats,
+    StreamingTriangleCounter,
+    adamic_adar,
+    balance,
+    bfs_grow_partition,
+    chromatic_number_exact,
+    common_neighbors,
+    core_numbers,
+    cosine_similarity,
+    degeneracy,
+    densest_subgraph,
+    double_sweep_lower_bound,
+    dsatur_coloring,
+    eccentricity,
+    edge_cut,
+    effective_diameter,
+    exact_diameter,
+    frequent_subgraphs,
+    greedy_coloring,
+    hill_climb,
+    ifub_diameter,
+    is_proper_coloring,
+    is_spanning_forest,
+    jaccard_similarity,
+    k_core,
+    k_truss,
+    kruskal_mst,
+    label_propagation_refine,
+    maximum_spanning_tree,
+    most_similar,
+    mst_weight,
+    num_colors,
+    partition_graph,
+    preferential_attachment,
+    prim_mst,
+    radius,
+    random_partition,
+    simrank,
+    streaming_connected_components,
+    subgraph_density,
+    triangle_count,
+)
+from repro.algorithms.similarity import simrank_single_pair
+from repro.graphs import Graph, graph_from_edges
+
+
+def to_graph(nxg):
+    g = Graph(directed=nxg.is_directed())
+    g.add_vertices(nxg.nodes())
+    for u, v in nxg.edges():
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture(scope="module")
+def karate():
+    return nx.karate_club_graph()
+
+
+class TestPartitioning:
+    def test_partition_is_total_and_balanced(self, karate):
+        g = to_graph(karate)
+        partition = partition_graph(g, 4, seed=0)
+        assert set(partition) == set(g.vertices())
+        assert set(partition.values()) <= {0, 1, 2, 3}
+        assert balance(partition, 4) <= 1.25
+
+    def test_refinement_does_not_hurt_cut(self, karate):
+        g = to_graph(karate)
+        raw = bfs_grow_partition(g, 4, seed=3)
+        refined = label_propagation_refine(g, raw, 4, seed=3)
+        assert edge_cut(g, refined) <= edge_cut(g, raw)
+
+    def test_better_than_random(self, karate):
+        g = to_graph(karate)
+        ours = partition_graph(g, 4, seed=1)
+        rand = random_partition(g, 4, seed=1)
+        assert edge_cut(g, ours) < edge_cut(g, rand)
+
+    def test_k_one(self, karate):
+        g = to_graph(karate)
+        partition = partition_graph(g, 1)
+        assert set(partition.values()) == {0}
+        assert edge_cut(g, partition) == 0
+
+    def test_empty_graph(self):
+        assert bfs_grow_partition(Graph(), 3) == {}
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            bfs_grow_partition(Graph(), 0)
+
+
+class TestSimilarity:
+    def test_simrank_properties(self):
+        g = graph_from_edges([(1, 3), (2, 3), (3, 4)])
+        scores = simrank(g, max_iter=30)
+        assert scores[3, 3] == 1.0
+        # 1 and 2 have identical in-neighborhoods of size 0 -> score 0;
+        # their successors inherit similarity instead.
+        assert scores[1, 2] == 0.0
+        assert scores[(3, 4)] >= 0.0
+        sym = all(scores[a, b] == scores[b, a] for a, b in scores)
+        assert sym
+
+    def test_simrank_common_source(self):
+        # Both u and v are pointed to by the same vertex s.
+        g = graph_from_edges([("s", "u"), ("s", "v")])
+        scores = simrank(g, decay=0.8, max_iter=20)
+        assert scores["u", "v"] == pytest.approx(0.8)
+        assert simrank_single_pair(g, "u", "v") == pytest.approx(0.8)
+
+    def test_neighborhood_measures(self):
+        g = graph_from_edges(
+            [(1, 2), (1, 3), (4, 2), (4, 3), (1, 5)], directed=False)
+        assert common_neighbors(g, 1, 4) == 2
+        assert jaccard_similarity(g, 1, 4) == pytest.approx(2 / 3)
+        assert cosine_similarity(g, 1, 4) == pytest.approx(
+            2 / (3 * 2) ** 0.5)
+        assert preferential_attachment(g, 1, 4) == 6
+        assert adamic_adar(g, 1, 4) > 0
+
+    def test_most_similar_defaults_to_two_hop(self):
+        g = graph_from_edges(
+            [(1, 2), (2, 3), (1, 4), (4, 3), (5, 6)], directed=False)
+        ranked = most_similar(g, 1, measure="common")
+        assert ranked and ranked[0][0] == 3
+        assert all(v != 5 for v, _ in ranked)
+
+    def test_most_similar_unknown_measure(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(ValueError):
+            most_similar(g, 1, measure="psychic")
+
+
+class TestDense:
+    def test_core_numbers_match_networkx(self, karate):
+        g = to_graph(karate)
+        assert core_numbers(g) == nx.core_number(karate)
+        assert degeneracy(g) == max(nx.core_number(karate).values())
+
+    def test_k_core_membership(self, karate):
+        g = to_graph(karate)
+        ours = k_core(g, 4)
+        theirs = set(nx.k_core(karate, 4).nodes())
+        assert ours == theirs
+
+    def test_densest_subgraph_quality(self, karate):
+        g = to_graph(karate)
+        subgraph, claimed = densest_subgraph(g)
+        assert claimed == pytest.approx(subgraph_density(g, subgraph))
+        # at least half the density of the whole graph (trivial bound)
+        whole = g.num_edges() / g.num_vertices()
+        assert claimed >= whole / 2
+
+    def test_densest_on_clique_plus_tail(self):
+        g = graph_from_edges(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+             (3, 4), (4, 5)], directed=False)
+        subgraph, density = densest_subgraph(g)
+        assert {0, 1, 2, 3} <= subgraph
+        assert density >= 1.5
+
+    def test_k_truss(self):
+        g = graph_from_edges(
+            [(0, 1), (0, 2), (1, 2), (2, 3)], directed=False)
+        edges = k_truss(g, 3)
+        flattened = {frozenset(e) for e in edges}
+        assert flattened == {frozenset((0, 1)), frozenset((0, 2)),
+                             frozenset((1, 2))}
+        with pytest.raises(ValueError):
+            k_truss(g, 1)
+
+    def test_frequent_subgraphs(self):
+        triangle = graph_from_edges([(0, 1), (1, 2), (2, 0)],
+                                    directed=False)
+        path = graph_from_edges([(0, 1), (1, 2)], directed=False)
+        support = frequent_subgraphs([triangle, path, path], 2)
+        assert support["path3"] == 3
+        assert "triangle" not in support
+
+
+class TestMST:
+    def test_kruskal_equals_prim_weight(self):
+        nxg = nx.gnm_random_graph(30, 80, seed=21)
+        import random
+
+        rng = random.Random(21)
+        g = Graph(directed=False)
+        g.add_vertices(nxg.nodes())
+        for u, v in nxg.edges():
+            w = round(rng.uniform(1, 10), 2)
+            nxg[u][v]["weight"] = w
+            g.add_edge(u, v, weight=w)
+        kruskal = kruskal_mst(g)
+        prim = prim_mst(g)
+        expected = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_tree(nxg).edges(data=True))
+        assert mst_weight(kruskal) == pytest.approx(expected)
+        assert mst_weight(prim) == pytest.approx(expected)
+        assert is_spanning_forest(g, kruskal)
+        assert is_spanning_forest(g, prim)
+
+    def test_forest_on_disconnected(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(3, 4, weight=2.0)
+        edges = kruskal_mst(g)
+        assert len(edges) == 2
+        assert is_spanning_forest(g, edges)
+
+    def test_maximum_spanning_tree(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(2, 3, weight=5.0)
+        g.add_edge(1, 3, weight=3.0)
+        edges = maximum_spanning_tree(g)
+        assert mst_weight(edges) == 8.0
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError):
+            kruskal_mst(Graph(directed=True))
+        with pytest.raises(ValueError):
+            prim_mst(Graph(directed=True))
+
+
+class TestColoring:
+    @pytest.mark.parametrize("strategy", ["insertion", "largest_first",
+                                          "smallest_last"])
+    def test_greedy_is_proper(self, karate, strategy):
+        g = to_graph(karate)
+        coloring = greedy_coloring(g, strategy)
+        assert is_proper_coloring(g, coloring)
+
+    def test_dsatur_is_proper_and_bipartite_optimal(self):
+        bipartite = graph_from_edges(
+            [(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)],
+            directed=False)
+        coloring = dsatur_coloring(bipartite)
+        assert is_proper_coloring(bipartite, coloring)
+        assert num_colors(coloring) == 2
+
+    def test_smallest_last_bounded_by_degeneracy(self, karate):
+        g = to_graph(karate)
+        coloring = greedy_coloring(g, "smallest_last")
+        assert num_colors(coloring) <= degeneracy(g) + 1
+
+    def test_chromatic_number_exact(self):
+        triangle = graph_from_edges([(0, 1), (1, 2), (2, 0)],
+                                    directed=False)
+        assert chromatic_number_exact(triangle) == 3
+        square = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)],
+                                  directed=False)
+        assert chromatic_number_exact(square) == 2
+        empty = Graph(directed=False)
+        empty.add_vertices([1, 2])
+        assert chromatic_number_exact(empty) == 1
+        assert chromatic_number_exact(Graph(directed=False)) == 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            greedy_coloring(Graph(directed=False), "rainbow")
+
+
+class TestDiameter:
+    def test_exact_matches_networkx(self, karate):
+        g = to_graph(karate)
+        assert exact_diameter(g) == nx.diameter(karate)
+        assert ifub_diameter(g) == nx.diameter(karate)
+        assert radius(g) == nx.radius(karate)
+
+    def test_double_sweep_is_lower_bound(self, karate):
+        g = to_graph(karate)
+        assert double_sweep_lower_bound(g) <= exact_diameter(g)
+
+    def test_double_sweep_exact_on_tree(self):
+        nxt = nx.random_labeled_tree(40, seed=9)
+        g = to_graph(nxt)
+        assert double_sweep_lower_bound(g) == nx.diameter(nxt)
+
+    def test_eccentricity(self):
+        g = graph_from_edges([(1, 2), (2, 3)], directed=False)
+        assert eccentricity(g, 2) == 1
+        assert eccentricity(g, 1) == 2
+
+    def test_effective_diameter(self, karate):
+        g = to_graph(karate)
+        eff = effective_diameter(g, 0.9)
+        assert 1 <= eff <= exact_diameter(g)
+        with pytest.raises(ValueError):
+            effective_diameter(g, 1.5)
+
+    def test_empty(self):
+        assert exact_diameter(Graph()) == 0
+        assert double_sweep_lower_bound(Graph()) == 0
+
+
+class TestStreamingAlgorithms:
+    def test_triangle_counter_exact_with_big_reservoir(self, karate):
+        g = to_graph(karate)
+        counter = StreamingTriangleCounter(10_000)
+        for edge in g.edges():
+            counter.push(edge.u, edge.v)
+        assert counter.estimate() == triangle_count(g)
+
+    def test_triangle_estimate_reasonable_when_sampled(self, karate):
+        g = to_graph(karate)
+        truth = triangle_count(g)
+        estimates = []
+        for seed in range(12):
+            counter = StreamingTriangleCounter(40, seed=seed)
+            for edge in g.edges():
+                counter.push(edge.u, edge.v)
+            estimates.append(counter.estimate())
+        mean = sum(estimates) / len(estimates)
+        assert truth * 0.3 <= mean <= truth * 2.5
+
+    def test_triangle_counter_ignores_loops(self):
+        counter = StreamingTriangleCounter(10)
+        counter.push(1, 1)
+        assert counter.stream_length == 0
+
+    def test_degree_stats(self):
+        stats = StreamingDegreeStats()
+        stats.push(1, 2)
+        stats.push(2, 3)
+        snap = stats.snapshot()
+        assert snap["edges"] == 2
+        assert snap["vertices"] == 3
+        assert snap["max_degree"] == 2
+
+    def test_incremental_kcore_agrees_with_batch(self, karate):
+        g = to_graph(karate)
+        incremental = IncrementalKCore(k=3)
+        for edge in g.edges():
+            incremental.add_edge(edge.u, edge.v)
+        assert incremental.core() == k_core(g, 3)
+        member = next(iter(k_core(g, 3)))
+        assert incremental.in_core(member)
+
+    def test_incremental_kcore_grows(self):
+        inc = IncrementalKCore(k=2)
+        inc.add_edge(1, 2)
+        assert inc.core() == set()
+        inc.add_edge(2, 3)
+        inc.add_edge(3, 1)
+        assert inc.core() == {1, 2, 3}
+
+    def test_hill_climb_finds_local_max(self):
+        state, score = hill_climb(
+            0,
+            neighbors=lambda x: [x - 1, x + 1],
+            score=lambda x: -(x - 7) ** 2)
+        assert state == 7
+        assert score == 0
+
+    def test_streaming_cc_wrapper(self):
+        tracker = streaming_connected_components([(1, 2), (3, 4), (2, 3)])
+        assert tracker.num_components() == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)),
+                max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_coloring_property(pairs):
+    """Greedy coloring is always proper, for any graph."""
+    g = Graph(directed=False, multigraph=True)
+    g.add_vertices(range(11))
+    for u, v in pairs:
+        g.add_edge(u, v)
+    for strategy in ("insertion", "largest_first", "smallest_last"):
+        assert is_proper_coloring(g, greedy_coloring(g, strategy))
+    assert is_proper_coloring(g, dsatur_coloring(g))
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)),
+                max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_partition_property(pairs):
+    """edge_cut + internal edges == all edges, for any partition."""
+    g = Graph(directed=False, multigraph=True)
+    g.add_vertices(range(11))
+    for u, v in pairs:
+        g.add_edge(u, v)
+    partition = partition_graph(g, 3, seed=0)
+    cut = edge_cut(g, partition)
+    internal = sum(
+        1 for e in g.edges() if partition[e.u] == partition[e.v])
+    assert cut + internal == g.num_edges()

@@ -1,0 +1,316 @@
+"""Traversals, components, and paths -- with networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    IncrementalComponents,
+    ReachabilityIndex,
+    UnionFind,
+    bfs_distances,
+    bfs_layers,
+    bfs_order,
+    bfs_tree,
+    bidirectional_shortest_path,
+    component_labels,
+    connected_components,
+    connected_components_unionfind,
+    dfs_edges,
+    dfs_postorder,
+    dfs_preorder,
+    dijkstra,
+    dijkstra_path,
+    is_connected,
+    is_reachable,
+    k_hop_neighbors,
+    largest_component,
+    num_components,
+    shortest_path,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.algorithms.traversal import (
+    neighborhood_at_exact_distance,
+    walk,
+)
+from repro.errors import VertexNotFound
+from repro.graphs import Graph, graph_from_edges
+
+
+def to_graph(nxg, directed=None):
+    directed = nxg.is_directed() if directed is None else directed
+    g = Graph(directed=directed)
+    g.add_vertices(nxg.nodes())
+    for u, v in nxg.edges():
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture(scope="module")
+def random_undirected():
+    return nx.gnm_random_graph(60, 150, seed=11)
+
+
+@pytest.fixture(scope="module")
+def random_directed():
+    return nx.gnp_random_graph(50, 0.08, seed=12, directed=True)
+
+
+class TestBFS:
+    def test_order_starts_at_source(self):
+        g = graph_from_edges([(1, 2), (1, 3), (2, 4)])
+        order = list(bfs_order(g, 1))
+        assert order[0] == 1
+        assert set(order) == {1, 2, 3, 4}
+
+    def test_layers(self):
+        g = graph_from_edges([(1, 2), (1, 3), (2, 4), (3, 4)])
+        layers = bfs_layers(g, 1)
+        assert layers[0] == [1]
+        assert set(layers[1]) == {2, 3}
+        assert layers[2] == [4]
+
+    def test_tree_parents(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        parents = bfs_tree(g, 1)
+        assert parents == {1: None, 2: 1, 3: 2}
+
+    def test_distances_match_networkx(self, random_undirected):
+        g = to_graph(random_undirected)
+        expected = dict(
+            nx.single_source_shortest_path_length(random_undirected, 0))
+        assert bfs_distances(g, 0) == expected
+
+    def test_missing_source(self):
+        with pytest.raises(VertexNotFound):
+            list(bfs_order(Graph(), "nope"))
+
+
+class TestDFS:
+    def test_preorder_visits_all_reachable(self):
+        g = graph_from_edges([(1, 2), (2, 3), (1, 4)])
+        assert set(dfs_preorder(g, 1)) == {1, 2, 3, 4}
+        assert next(iter(dfs_preorder(g, 1))) == 1
+
+    def test_postorder_parent_after_children(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        order = list(dfs_postorder(g, 1))
+        assert order.index(3) < order.index(2) < order.index(1)
+
+    def test_dfs_edges_form_a_tree(self):
+        g = graph_from_edges([(1, 2), (2, 3), (1, 3)])
+        edges = list(dfs_edges(g, 1))
+        assert len(edges) == 2  # spanning tree of 3 reachable vertices
+
+    def test_cycle_terminates(self):
+        g = graph_from_edges([(1, 2), (2, 1)])
+        assert set(dfs_preorder(g, 1)) == {1, 2}
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = graph_from_edges([(1, 2), (1, 3), (3, 4), (2, 4)])
+        order = topological_order(g)
+        position = {v: i for i, v in enumerate(order)}
+        for edge in g.edges():
+            assert position[edge.u] < position[edge.v]
+
+    def test_cycle_raises(self):
+        g = graph_from_edges([(1, 2), (2, 1)])
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    def test_undirected_rejected(self):
+        with pytest.raises(ValueError):
+            topological_order(Graph(directed=False))
+
+
+class TestNeighborhood:
+    def test_k_hop(self):
+        g = graph_from_edges([(1, 2), (2, 3), (3, 4)])
+        assert k_hop_neighbors(g, 1, 2) == {2, 3}
+        assert neighborhood_at_exact_distance(g, 1, 3) == {4}
+        assert k_hop_neighbors(g, 1, 0) == set()
+        with pytest.raises(ValueError):
+            k_hop_neighbors(g, 1, -1)
+
+    def test_walk(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        path = walk(g, 1, 10, choose=lambda ns: ns[0])
+        assert path == [1, 2, 3]  # stops at the sink
+
+
+class TestComponents:
+    def test_matches_networkx(self, random_undirected):
+        g = to_graph(random_undirected)
+        ours = {frozenset(c) for c in connected_components(g)}
+        theirs = {frozenset(c)
+                  for c in nx.connected_components(random_undirected)}
+        assert ours == theirs
+        assert num_components(g) == len(theirs)
+
+    def test_unionfind_agrees_with_bfs(self, random_undirected):
+        g = to_graph(random_undirected)
+        a = {frozenset(c) for c in connected_components(g)}
+        b = {frozenset(c) for c in connected_components_unionfind(g)}
+        assert a == b
+
+    def test_component_labels_consistent(self):
+        g = graph_from_edges([(1, 2), (3, 4)], directed=False)
+        labels = component_labels(g)
+        assert labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[1] != labels[3]
+
+    def test_largest_and_is_connected(self):
+        g = graph_from_edges([(1, 2), (2, 3), (9, 10)], directed=False)
+        assert largest_component(g) == {1, 2, 3}
+        assert not is_connected(g)
+        assert largest_component(Graph(directed=False)) == set()
+
+    def test_scc_matches_networkx(self, random_directed):
+        g = to_graph(random_directed)
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {frozenset(c)
+                  for c in nx.strongly_connected_components(random_directed)}
+        assert ours == theirs
+
+    def test_unionfind_api(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2)
+        assert not uf.union(2, 1)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+        assert uf.component_count() == 2
+        assert not uf.connected(1, 99)
+
+    def test_incremental_components(self):
+        inc = IncrementalComponents()
+        inc.add_vertex("a")
+        inc.add_vertex("b")
+        assert inc.num_components() == 2
+        assert inc.add_edge("a", "b")
+        assert not inc.add_edge("a", "b")
+        assert inc.connected("a", "b")
+        assert inc.num_components() == 1
+
+
+class TestShortestPaths:
+    def test_path_endpoints_and_length(self, random_undirected):
+        g = to_graph(random_undirected)
+        expected = nx.single_source_shortest_path_length(
+            random_undirected, 0)
+        for target in list(expected)[:20]:
+            path = shortest_path(g, 0, target)
+            assert path[0] == 0 and path[-1] == target
+            assert len(path) - 1 == expected[target]
+            bi = bidirectional_shortest_path(g, 0, target)
+            assert len(bi) == len(path)
+
+    def test_unreachable_returns_none(self):
+        g = graph_from_edges([(1, 2)], directed=True)
+        g.add_vertex(9)
+        assert shortest_path(g, 1, 9) is None
+        assert bidirectional_shortest_path(g, 1, 9) is None
+
+    def test_source_equals_target(self):
+        g = graph_from_edges([(1, 2)])
+        assert shortest_path(g, 1, 1) == [1]
+        assert bidirectional_shortest_path(g, 1, 1) == [1]
+
+    def test_dijkstra_matches_networkx(self):
+        nxg = nx.gnm_random_graph(40, 120, seed=13)
+        import random as stdlib_random
+
+        rng = stdlib_random.Random(13)
+        g = Graph(directed=False)
+        g.add_vertices(nxg.nodes())
+        for u, v in nxg.edges():
+            w = round(rng.uniform(0.5, 3.0), 3)
+            nxg[u][v]["weight"] = w
+            g.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        ours = dijkstra(g, 0)
+        assert set(ours) == set(expected)
+        for vertex, distance in expected.items():
+            assert ours[vertex] == pytest.approx(distance)
+
+    def test_dijkstra_path_cost(self):
+        g = Graph(directed=False)
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("b", "c", weight=1.0)
+        g.add_edge("a", "c", weight=5.0)
+        path, cost = dijkstra_path(g, "a", "c")
+        assert path == ["a", "b", "c"]
+        assert cost == 2.0
+
+    def test_dijkstra_rejects_negative(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=-1.0)
+        with pytest.raises(ValueError):
+            dijkstra(g, 1)
+
+    def test_dijkstra_early_exit(self):
+        g = graph_from_edges([(1, 2), (2, 3), (3, 4)])
+        distances = dijkstra(g, 1, target=2)
+        assert distances[2] == 1.0
+        assert 4 not in distances
+
+
+class TestReachability:
+    def test_is_reachable_direction(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        assert is_reachable(g, 1, 3)
+        assert not is_reachable(g, 3, 1)
+        assert is_reachable(g, 2, 2)
+
+    def test_index_agrees_with_search(self, random_directed):
+        g = to_graph(random_directed)
+        index = ReachabilityIndex(g)
+        vertices = list(g.vertices())[:15]
+        for a in vertices:
+            for b in vertices:
+                assert index.reachable(a, b) == is_reachable(g, a, b)
+
+    def test_index_unknown_vertex(self):
+        g = graph_from_edges([(1, 2)])
+        index = ReachabilityIndex(g)
+        with pytest.raises(VertexNotFound):
+            index.reachable(1, 99)
+
+
+@given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_bfs_distance_triangle_property(pairs):
+    """BFS distance satisfies d(s,v) <= d(s,u) + 1 for every edge u->v."""
+    g = Graph(directed=True, multigraph=True)
+    for u, v in pairs:
+        g.add_edge(u, v)
+    source = pairs[0][0]
+    distances = bfs_distances(g, source)
+    for u, v in pairs:
+        if u in distances:
+            assert v in distances
+            assert distances[v] <= distances[u] + 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_components_partition_property(pairs):
+    """Components partition the vertex set."""
+    g = Graph(directed=False, multigraph=True)
+    g.add_vertices(range(13))
+    for u, v in pairs:
+        g.add_edge(u, v)
+    components = connected_components(g)
+    union = set()
+    total = 0
+    for component in components:
+        total += len(component)
+        union |= component
+    assert union == set(range(13))
+    assert total == 13

@@ -1,0 +1,92 @@
+"""The CLI entry point and the EXPERIMENTS report generator."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.paper_report import (
+    generate_experiments_markdown,
+    reproduce_all_tables,
+    summary_rows,
+    table_sort_key,
+)
+from repro.synthesis import (
+    build_literature_corpus,
+    build_population,
+    build_review_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return (build_population(), build_literature_corpus(),
+            build_review_corpus())
+
+
+class TestReportGenerator:
+    def test_reproduce_all_tables_has_26(self, inputs):
+        tables = reproduce_all_tables(*inputs)
+        assert len(tables) == 26
+
+    def test_summary_rows_all_exact(self, inputs):
+        rows = summary_rows(reproduce_all_tables(*inputs))
+        assert len(rows) == 26
+        assert all("EXACT" in status for _, _, status in rows)
+        producers = {producer for _, producer, _ in rows}
+        assert producers == {"survey tabulator", "mining pipeline"}
+
+    def test_sort_key_orders_like_paper(self):
+        ids = ["10a", "2", "18b", "1", "5c", "10b"]
+        assert sorted(ids, key=table_sort_key) == [
+            "1", "2", "5c", "10a", "10b", "18b"]
+
+    def test_markdown_structure(self, inputs):
+        markdown = generate_experiments_markdown(*inputs)
+        assert markdown.count("### Table") == 26
+        assert "26/26 tables match the paper cell-for-cell" in markdown
+        assert "[HOLDS]" in markdown
+        assert "Reconstruction notes" in markdown
+
+
+class TestCLI:
+    def test_findings_command(self, capsys):
+        assert main(["findings"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[HOLDS]") == 9
+
+    def test_tables_single(self, capsys):
+        assert main(["tables", "--table", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "EXACT match" in out
+
+    def test_tables_unknown_id(self, capsys):
+        assert main(["tables", "--table", "99"]) == 2
+
+    def test_workload_command(self, capsys):
+        assert main(["workload", "--scenario", "infrastructure",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Finding Connected Components" in out
+
+    def test_query_command(self, capsys):
+        assert main(["query",
+                     "MATCH (c:Customer)-[:PLACED]->(o:Order) "
+                     "RETURN c LIMIT 3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("c\n") or out.startswith("c\t")
+
+    def test_query_explain(self, capsys):
+        assert main(["query", "--explain",
+                     "MATCH (c:Customer)-[:PLACED]->(o:Order) "
+                     "RETURN c"]) == 0
+        out = capsys.readouterr().out
+        assert "QUERY PLAN" in out
+
+    def test_experiments_to_file(self, tmp_path, capsys):
+        path = tmp_path / "exp.md"
+        assert main(["experiments", "--output", str(path)]) == 0
+        assert path.exists()
+        assert path.read_text().count("### Table") == 26
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,290 @@
+"""The Pregel engine, its vertex programs, and the Graft-style debugger."""
+
+import math
+
+import pytest
+
+from repro.algorithms import bfs_distances, component_labels, dijkstra, pagerank
+from repro.dgps import (
+    CapturedRun,
+    PregelEngine,
+    PregelError,
+    captured_run,
+    max_aggregator,
+    pregel_bfs_depth,
+    pregel_connected_components,
+    pregel_degree,
+    pregel_max_value,
+    pregel_pagerank,
+    pregel_sssp,
+    run_pregel,
+    sum_aggregator,
+)
+from repro.generators import gnp_random_graph
+from repro.graphs import Graph, graph_from_edges
+
+
+@pytest.fixture(scope="module")
+def directed():
+    import random
+
+    g = gnp_random_graph(40, 0.1, directed=True, seed=3)
+    weighted = Graph(directed=True)
+    weighted.add_vertices(g.vertices())
+    rng = random.Random(3)
+    for edge in g.edges():
+        weighted.add_edge(edge.u, edge.v,
+                          weight=round(rng.uniform(0.5, 2.0), 2))
+    return weighted
+
+
+@pytest.fixture(scope="module")
+def undirected():
+    return gnp_random_graph(40, 0.1, directed=False, seed=4)
+
+
+class TestEngine:
+    def test_simple_echo_program(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+
+        def program(ctx):
+            ctx.vote_to_halt()
+            return ctx.vertex
+
+        result = run_pregel(g, program)
+        assert result.values == {1: 1, 2: 2, 3: 3}
+        assert result.supersteps == 1
+
+    def test_messages_arrive_next_superstep(self):
+        g = graph_from_edges([(1, 2)])
+        log = []
+
+        def program(ctx):
+            log.append((ctx.superstep, ctx.vertex, list(ctx.messages)))
+            if ctx.superstep == 0 and ctx.vertex == 1:
+                ctx.send(2, "hello")
+            ctx.vote_to_halt()
+
+        run_pregel(g, program)
+        assert (1, 2, ["hello"]) in log
+
+    def test_halted_vertex_reactivates_on_message(self):
+        g = graph_from_edges([(1, 2)])
+        activations = {1: 0, 2: 0}
+
+        def program(ctx):
+            activations[ctx.vertex] += 1
+            if ctx.superstep < 2 and ctx.vertex == 1:
+                ctx.send(2, ctx.superstep)
+            if ctx.vertex != 1 or ctx.superstep >= 2:
+                ctx.vote_to_halt()
+
+        run_pregel(g, program)
+        assert activations[2] == 3  # steps 0, 1 (msg), 2 (msg)
+
+    def test_combiner_reduces_messages(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 3)
+        g.add_edge(2, 3)
+        received = []
+
+        def program(ctx):
+            if ctx.superstep == 0:
+                if ctx.vertex in (1, 2):
+                    ctx.send(3, 5)
+            elif ctx.vertex == 3:
+                received.extend(ctx.messages)
+            ctx.vote_to_halt()
+
+        run_pregel(g, program, combiner=lambda a, b: a + b)
+        assert received == [10]
+
+    def test_aggregator_visible_next_superstep(self):
+        g = graph_from_edges([(1, 2)])
+        seen = {}
+
+        def program(ctx):
+            if ctx.superstep == 0:
+                ctx.aggregate("total", 1)
+                ctx.send_to_neighbors("tick")
+            else:
+                seen[ctx.vertex] = ctx.aggregated("total")
+            ctx.vote_to_halt()
+
+        run_pregel(g, program, aggregators={"total": sum_aggregator()})
+        assert seen[2] == 2  # both vertices contributed at step 0
+
+    def test_unknown_aggregator_raises(self):
+        g = graph_from_edges([(1, 2)])
+
+        def program(ctx):
+            ctx.aggregate("missing", 1)
+
+        with pytest.raises(PregelError):
+            run_pregel(g, program)
+
+    def test_message_to_unknown_vertex(self):
+        g = graph_from_edges([(1, 2)])
+
+        def program(ctx):
+            ctx.send("ghost", 1)
+
+        with pytest.raises(PregelError):
+            run_pregel(g, program)
+
+    def test_superstep_budget(self):
+        g = graph_from_edges([(1, 2), (2, 1)])
+
+        def forever(ctx):
+            ctx.send_to_neighbors("again")
+
+        with pytest.raises(PregelError):
+            run_pregel(g, forever, max_supersteps=5)
+
+    def test_stats_recorded(self):
+        g = graph_from_edges([(1, 2)])
+
+        def program(ctx):
+            if ctx.superstep == 0:
+                ctx.send_to_neighbors("x")
+            ctx.vote_to_halt()
+
+        result = run_pregel(g, program)
+        assert result.stats[0].messages_sent == 1
+        assert result.stats[0].active_vertices == 2
+        assert result.total_messages() == 1
+
+    def test_initial_value_callable(self):
+        g = graph_from_edges([(1, 2)])
+
+        def program(ctx):
+            ctx.vote_to_halt()
+
+        result = run_pregel(g, program, initial_value=lambda v: v * 10)
+        assert result.values == {1: 10, 2: 20}
+
+
+class TestVertexPrograms:
+    def test_pagerank_matches_direct(self, directed):
+        ours = pregel_pagerank(directed, supersteps=60)
+        reference = pagerank(directed, tol=1e-13)
+        for vertex in directed.vertices():
+            assert ours[vertex] == pytest.approx(reference[vertex],
+                                                 abs=1e-8)
+
+    def test_pagerank_empty(self):
+        assert pregel_pagerank(Graph()) == {}
+
+    def test_connected_components_match(self, directed):
+        pregel_labels = pregel_connected_components(directed)
+        direct_labels = component_labels(directed)
+        pregel_groups = {}
+        for vertex, label in pregel_labels.items():
+            pregel_groups.setdefault(label, set()).add(vertex)
+        direct_groups = {}
+        for vertex, label in direct_labels.items():
+            direct_groups.setdefault(label, set()).add(vertex)
+        assert ({frozenset(s) for s in pregel_groups.values()}
+                == {frozenset(s) for s in direct_groups.values()})
+
+    def test_connected_components_undirected(self, undirected):
+        labels = pregel_connected_components(undirected)
+        direct = component_labels(undirected)
+        assert len(set(labels.values())) == len(set(direct.values()))
+
+    def test_sssp_matches_dijkstra(self, directed):
+        ours = pregel_sssp(directed, 0)
+        reference = dijkstra(directed, 0)
+        for vertex in directed.vertices():
+            expected = reference.get(vertex, math.inf)
+            if math.isinf(expected):
+                assert math.isinf(ours[vertex])
+            else:
+                assert ours[vertex] == pytest.approx(expected)
+
+    def test_bfs_depth_matches(self, undirected):
+        ours = pregel_bfs_depth(undirected, 0)
+        reference = bfs_distances(undirected, 0)
+        for vertex, depth in reference.items():
+            assert ours[vertex] == depth
+
+    def test_degree(self, directed):
+        degrees = pregel_degree(directed)
+        for vertex in directed.vertices():
+            assert degrees[vertex] == directed.out_degree(vertex)
+
+    def test_max_value_propagates(self):
+        g = graph_from_edges([(1, 2), (2, 3)], directed=False)
+        g.add_vertex(9)  # isolated: keeps its own value
+        values = {1: 5.0, 2: 1.0, 3: 8.0, 9: 2.0}
+        result = pregel_max_value(g, values)
+        assert result[1] == result[2] == result[3] == 8.0
+        assert result[9] == 2.0
+
+    def test_max_value_directed_chain(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        result = pregel_max_value(g, {1: 9.0, 2: 1.0, 3: 2.0})
+        assert result[3] == 9.0  # flows forward and backward
+
+
+class TestDebugger:
+    def build_run(self) -> CapturedRun:
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3)])
+
+        def program(ctx):
+            if ctx.superstep == 0:
+                value = 0.0 if ctx.vertex == 0 else math.inf
+                if value == 0.0:
+                    ctx.send_to_neighbors(1.0)
+                ctx.vote_to_halt()
+                return value
+            best = min(ctx.messages, default=math.inf)
+            value = min(ctx.value, best)
+            if value < ctx.value:
+                ctx.send_to_neighbors(value + 1)
+            ctx.vote_to_halt()
+            return value
+
+        engine = PregelEngine(g, program, initial_value=math.inf,
+                              combiner=min)
+        return captured_run(engine)
+
+    def test_snapshots_per_superstep(self):
+        run = self.build_run()
+        assert run.supersteps() == run.result.supersteps
+        assert run.value_at(0, 0) == 0.0
+
+    def test_timeline_monotone(self):
+        run = self.build_run()
+        timeline = run.timeline(3)
+        assert timeline[-1] == 3.0
+        assert all(b <= a for a, b in zip(timeline, timeline[1:]))
+
+    def test_changed_between(self):
+        run = self.build_run()
+        assert 1 in run.changed_between(0, 1)
+        assert 3 not in run.changed_between(0, 1)
+
+    def test_converged_at(self):
+        run = self.build_run()
+        assert run.converged_at(0) == 0
+        assert run.converged_at(3) == run.supersteps() - 1
+
+    def test_find_violations(self):
+        run = self.build_run()
+        unreachable = run.find_violations(
+            lambda v, value: math.isfinite(value))
+        assert unreachable == []
+        big = run.find_violations(lambda v, value: value < 2.0)
+        assert set(big) == {2, 3}
+
+    def test_stragglers_empty_after_convergence(self):
+        run = self.build_run()
+        # converged in the final supersteps -> only late changers appear
+        assert run.stragglers(tail=1) <= {3}
+
+    def test_summary_text(self):
+        run = self.build_run()
+        text = run.summary()
+        assert "supersteps" in text
+        assert "superstep 0" in text

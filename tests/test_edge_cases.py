@@ -1,0 +1,227 @@
+"""Miscellaneous edge cases across modules, collected from review."""
+
+import math
+
+import pytest
+
+from repro.graphs import Graph, PropertyGraph, graph_from_edges
+
+
+class TestSamplerEdges:
+    def test_zero_count_labels_preserved(self):
+        import random
+
+        from repro.synthesis.sampler import multiselect_exact
+
+        assignment = multiselect_exact(
+            random.Random(0), [1, 2, 3], {"a": 0, "b": 2})
+        assert assignment["a"] == set()
+        assert len(assignment["b"]) == 2
+
+    def test_empty_pool_with_zero_counts(self):
+        import random
+
+        from repro.synthesis.sampler import multiselect_exact
+
+        assert multiselect_exact(random.Random(0), [], {"a": 0}) == {
+            "a": set()}
+
+    def test_partition_with_zero_counts(self):
+        import random
+
+        from repro.synthesis.sampler import partition_exact
+
+        cells = partition_exact(random.Random(0), [1], {"a": 0, "b": 1})
+        assert cells["a"] == set()
+
+
+class TestAggregators:
+    def test_min_max_aggregators(self):
+        from repro.dgps import (
+            max_aggregator,
+            min_aggregator,
+            run_pregel,
+            sum_aggregator,
+        )
+
+        g = graph_from_edges([(1, 2)])
+        observed = {}
+
+        def program(ctx):
+            if ctx.superstep == 0:
+                ctx.aggregate("lo", ctx.vertex)
+                ctx.aggregate("hi", ctx.vertex)
+                ctx.aggregate("sum", ctx.vertex)
+                ctx.send_to_neighbors("tick")
+            else:
+                observed["lo"] = ctx.aggregated("lo")
+                observed["hi"] = ctx.aggregated("hi")
+                observed["sum"] = ctx.aggregated("sum")
+            ctx.vote_to_halt()
+
+        run_pregel(g, program, aggregators={
+            "lo": min_aggregator(),
+            "hi": max_aggregator(),
+            "sum": sum_aggregator()})
+        assert observed == {"lo": 1, "hi": 2, "sum": 3}
+
+
+class TestFormatsEdges:
+    def test_csv_with_commas_in_ids(self, tmp_path):
+        from repro.graphs.io_formats import load_csv, save_csv
+
+        g = PropertyGraph()
+        g.add_vertex("a,b", label="Odd,Label")
+        g.add_vertex("c")
+        g.add_edge("a,b", "c", label="x,y")
+        save_csv(g, tmp_path / "odd")
+        loaded = load_csv(tmp_path / "odd")
+        assert "a,b" in loaded
+        assert loaded.vertex_label("a,b") == "Odd,Label"
+        edge = next(loaded.edges())
+        assert loaded.edge_label(edge.edge_id) == "x,y"
+
+    def test_graphml_unicode_labels(self, tmp_path):
+        from repro.graphs.io_formats import load_graphml, save_graphml
+
+        g = PropertyGraph()
+        g.add_vertex("bürö", label="Café")
+        save_graphml(g, tmp_path / "u.graphml")
+        loaded = load_graphml(tmp_path / "u.graphml")
+        assert loaded.vertex_label("bürö") == "Café"
+
+    def test_edgelist_isolated_vertices(self, tmp_path):
+        from repro.graphs.io_formats import load_edgelist, save_edgelist
+
+        g = Graph(directed=False)
+        g.add_vertex("lonely")
+        g.add_edge("a", "b")
+        save_edgelist(g, tmp_path / "g.el")
+        loaded = load_edgelist(tmp_path / "g.el")
+        assert "lonely" in loaded
+        assert loaded.num_vertices() == 3
+
+
+class TestQueryEdges:
+    def test_self_referencing_pattern(self):
+        from repro.query import run_query
+
+        g = PropertyGraph(multigraph=True)
+        g.add_edge("x", "x", label="SELF")
+        result = run_query(g, "MATCH (a)-[:SELF]->(a) RETURN a")
+        assert result.rows == [("x",)]
+
+    def test_limit_zero(self):
+        from repro.query import run_query
+
+        g = PropertyGraph()
+        g.add_vertex(1, label="A")
+        result = run_query(g, "MATCH (a:A) RETURN a LIMIT 0")
+        assert result.rows == []
+
+    def test_anonymous_nodes_do_not_collide(self):
+        from repro.query import run_query
+
+        g = PropertyGraph()
+        g.add_edge(1, 2, label="E")
+        g.add_edge(3, 4, label="E")
+        result = run_query(
+            g, "MATCH ()-[:E]->(b), ()-[:E]->(d) RETURN DISTINCT b, d")
+        assert len(result.rows) == 4  # anon vars bind independently
+
+    def test_variable_comparison_between_graph_vertices(self):
+        from repro.query import run_query
+
+        g = PropertyGraph()
+        g.add_edge("a", "b", label="E")
+        g.add_edge("b", "a", label="E")
+        mutual = run_query(
+            g, "MATCH (x)-[:E]->(y), (y)-[:E]->(x) WHERE x <> y "
+               "RETURN x, y")
+        assert sorted(mutual.rows) == [("a", "b"), ("b", "a")]
+
+
+class TestVersionedGraphEdges:
+    def test_snapshot_before_any_commit_is_invalid(self):
+        from repro.errors import GraphError
+        from repro.graphs import VersionedGraph
+
+        vg = VersionedGraph()
+        with pytest.raises(GraphError):
+            vg.snapshot(0)
+
+    def test_commit_empty_version(self):
+        from repro.graphs import VersionedGraph
+
+        vg = VersionedGraph()
+        version = vg.commit("nothing yet")
+        snapshot = vg.snapshot(version.version_id)
+        assert snapshot.num_vertices() == 0
+
+
+class TestMLNumericalEdges:
+    def test_kmeans_identical_points(self):
+        import numpy as np
+
+        from repro.ml import kmeans
+
+        points = np.ones((10, 2))
+        labels, centers = kmeans(points, 3, seed=0)
+        assert len(labels) == 10
+
+    def test_pagerank_on_two_cycles(self):
+        from repro.algorithms import pagerank
+
+        g = graph_from_edges([(1, 2), (2, 1), (3, 4), (4, 3)])
+        scores = pagerank(g)
+        assert scores[1] == pytest.approx(0.25)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_simrank_empty_graph(self):
+        from repro.algorithms import simrank
+
+        assert simrank(Graph()) == {}
+
+    def test_dijkstra_infinite_unreachable_excluded(self):
+        from repro.algorithms import dijkstra
+
+        g = graph_from_edges([(1, 2)])
+        g.add_vertex(9)
+        distances = dijkstra(g, 1)
+        assert 9 not in distances
+        assert all(math.isfinite(d) for d in distances.values())
+
+
+class TestTripleStoreEdges:
+    def test_literal_vs_resource_distinct(self):
+        from repro.graphs import Literal, TripleStore
+
+        store = TripleStore()
+        store.add("s", "p", "o")
+        store.add("s", "p", Literal("o"))
+        assert len(store) == 2
+
+    def test_unbound_prefix_passthrough(self):
+        from repro.graphs import TripleStore
+
+        store = TripleStore()
+        store.add("urn:x", "urn:y", "urn:z")
+        assert ("urn:x", "urn:y", "urn:z") in store
+
+
+class TestCorpusEdges:
+    def test_generator_rejects_impossible_user_count(self):
+        from repro.synthesis.corpus import _email_slots
+        import random
+
+        with pytest.raises(ValueError):
+            _email_slots(random.Random(0), "Neo4j", email_count=3,
+                         active_users=10)
+
+    def test_messages_iteration_order(self):
+        from repro.synthesis import build_review_corpus
+
+        corpus = build_review_corpus(seed=1)
+        messages = list(corpus.messages())
+        assert len(messages) == len(corpus.emails) + len(corpus.issues)
+        assert messages[0] is corpus.emails[0]

@@ -1,0 +1,244 @@
+"""Synthetic graph generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    RMATSpec,
+    balanced_tree,
+    barabasi_albert,
+    bipartite_random,
+    complete_graph,
+    degree_skew,
+    directed_powerlaw,
+    gnm_random_graph,
+    gnp_random_graph,
+    graph500_edge_generator,
+    grid_graph,
+    is_regular,
+    powerlaw_configuration,
+    random_regular,
+    ring_lattice,
+    rmat_csr,
+    rmat_edge_list,
+    rmat_graph,
+    sample_powerlaw_degrees,
+    star_graph,
+    watts_strogatz,
+)
+
+
+class TestRandomGraphs:
+    def test_gnp_extremes(self):
+        empty = gnp_random_graph(10, 0.0)
+        assert empty.num_edges() == 0
+        full = gnp_random_graph(6, 1.0)
+        assert full.num_edges() == 15
+        full_directed = gnp_random_graph(5, 1.0, directed=True)
+        assert full_directed.num_edges() == 20
+
+    def test_gnp_density_close_to_p(self):
+        g = gnp_random_graph(300, 0.05, seed=1)
+        expected = 0.05 * 300 * 299 / 2
+        assert abs(g.num_edges() - expected) < 0.25 * expected
+
+    def test_gnp_no_self_loops_or_duplicates(self):
+        g = gnp_random_graph(50, 0.2, seed=2, directed=True)
+        seen = set()
+        for edge in g.edges():
+            assert edge.u != edge.v
+            assert (edge.u, edge.v) not in seen
+            seen.add((edge.u, edge.v))
+
+    def test_gnp_validation(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(-1, 0.5)
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random_graph(40, 100, seed=3)
+        assert g.num_edges() == 100
+        assert g.num_vertices() == 40
+
+    def test_gnm_max_edges(self):
+        g = gnm_random_graph(5, 10, seed=4)
+        assert g.num_edges() == 10
+        with pytest.raises(ValueError):
+            gnm_random_graph(5, 11)
+
+    def test_deterministic(self):
+        a = gnm_random_graph(20, 40, seed=7)
+        b = gnm_random_graph(20, 40, seed=7)
+        assert {(e.u, e.v) for e in a.edges()} == {
+            (e.u, e.v) for e in b.edges()}
+
+
+class TestPowerlaw:
+    def test_barabasi_albert_edge_count(self):
+        g = barabasi_albert(100, 3, seed=1)
+        assert g.num_edges() == (100 - 3) * 3
+        assert g.num_vertices() == 100
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_ba_skewed_vs_er(self):
+        ba = barabasi_albert(400, 3, seed=2)
+        er = gnm_random_graph(400, ba.num_edges(), seed=2)
+        assert degree_skew(ba) > degree_skew(er)
+
+    def test_degree_sequence_properties(self):
+        degrees = sample_powerlaw_degrees(200, exponent=2.5, seed=3)
+        assert len(degrees) == 200
+        assert sum(degrees) % 2 == 0
+        assert min(degrees) >= 1
+        with pytest.raises(ValueError):
+            sample_powerlaw_degrees(10, exponent=0.5)
+
+    def test_configuration_model(self):
+        g = powerlaw_configuration(300, seed=4)
+        assert g.num_vertices() == 300
+        assert not g.directed
+
+    def test_directed_powerlaw(self):
+        g = directed_powerlaw(300, seed=5)
+        assert g.directed
+        assert g.num_edges() > 0
+        out_max = max(g.out_degree(v) for v in g.vertices())
+        mean = g.num_edges() / 300
+        assert out_max > 3 * mean  # heavy tail
+
+
+class TestRegular:
+    def test_ring_lattice(self):
+        g = ring_lattice(10, 4)
+        assert is_regular(g, 4)
+        assert g.num_edges() == 20
+        with pytest.raises(ValueError):
+            ring_lattice(10, 3)
+        with pytest.raises(ValueError):
+            ring_lattice(4, 4)
+
+    def test_random_regular(self):
+        g = random_regular(30, 3, seed=1)
+        assert is_regular(g, 3)
+        assert g.num_edges() == 45
+
+    def test_random_regular_validation(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3)  # odd n*k
+        with pytest.raises(ValueError):
+            random_regular(4, 4)
+
+    def test_is_regular_edge_cases(self):
+        from repro.graphs import Graph
+
+        assert is_regular(Graph(directed=False))
+        g = star_graph(3)
+        assert not is_regular(g)
+
+    def test_watts_strogatz_keeps_edge_count(self):
+        g = watts_strogatz(60, 4, 0.3, seed=2)
+        assert g.num_edges() == 120
+        assert g.num_vertices() == 60
+
+    def test_watts_strogatz_p_zero_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=3)
+        assert is_regular(g, 4)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices() == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4
+        diagonal = grid_graph(2, 2, diagonal=True)
+        assert diagonal.num_edges() == 5
+
+    def test_star_and_complete(self):
+        star = star_graph(5)
+        assert star.degree(0) == 5
+        k4 = complete_graph(4)
+        assert k4.num_edges() == 6
+        k3d = complete_graph(3, directed=True)
+        assert k3d.num_edges() == 6
+
+    def test_balanced_tree(self):
+        t = balanced_tree(2, 3)
+        assert t.num_vertices() == 1 + 2 + 4 + 8
+        assert t.num_edges() == t.num_vertices() - 1
+        from repro.algorithms import topological_order
+
+        assert topological_order(t)[0] == 0
+
+    def test_bipartite(self):
+        g = bipartite_random(5, 7, 0.5, seed=4)
+        for edge in g.edges():
+            assert {edge.u[0], edge.v[0]} == {"L", "R"}
+
+
+class TestRMAT:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RMATSpec(scale=-1)
+        with pytest.raises(ValueError):
+            RMATSpec(scale=3, a=0.5, b=0.5, c=0.5, d=0.5)
+        spec = RMATSpec(scale=4, edge_factor=2)
+        assert spec.num_vertices == 16
+        assert spec.num_edges == 32
+
+    def test_edge_list_in_range(self):
+        spec = RMATSpec(scale=6, edge_factor=4)
+        sources, targets = rmat_edge_list(spec, seed=1)
+        assert len(sources) == spec.num_edges
+        assert sources.max() < spec.num_vertices
+        assert targets.max() < spec.num_vertices
+        assert sources.min() >= 0
+
+    def test_graph_simple(self):
+        spec = RMATSpec(scale=7, edge_factor=4)
+        g = rmat_graph(spec, seed=2)
+        assert g.num_vertices() == 128
+        seen = set()
+        for edge in g.edges():
+            assert edge.u != edge.v
+            assert (edge.u, edge.v) not in seen
+            seen.add((edge.u, edge.v))
+
+    def test_skew_exceeds_uniform(self):
+        spec = RMATSpec(scale=9, edge_factor=8)
+        rm = rmat_graph(spec, seed=3)
+        er = gnm_random_graph(spec.num_vertices, rm.num_edges(), seed=3)
+        assert degree_skew(rm) > 1.5 * degree_skew(er)
+
+    def test_csr_shape(self):
+        spec = RMATSpec(scale=6, edge_factor=4)
+        csr = rmat_csr(spec, seed=4)
+        assert csr.num_vertices() == 64
+        assert len(csr.indices) == spec.num_edges
+
+    def test_graph500_permutes_ids(self):
+        sources, targets = graph500_edge_generator(6, seed=5)
+        assert len(sources) == 64 * 16
+        assert sources.max() < 64
+
+
+@given(n=st.integers(2, 40), seed=st.integers(0, 100), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_gnm_property(n, seed, data):
+    max_edges = n * (n - 1) // 2
+    m = data.draw(st.integers(0, min(max_edges, 60)))
+    g = gnm_random_graph(n, m, seed=seed)
+    assert g.num_edges() == m
+    for edge in g.edges():
+        assert edge.u != edge.v
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=30, deadline=None)
+def test_random_regular_property(seed):
+    g = random_regular(20, 4, seed=seed)
+    assert is_regular(g, 4)

@@ -1,0 +1,260 @@
+"""The embedded graph database: indexes, transactions, queries, schema,
+triggers, persistence."""
+
+import pytest
+
+from repro.errors import SchemaViolation
+from repro.graphdb import (
+    GraphDatabase,
+    LabelIndex,
+    PropertyIndex,
+    Transaction,
+    TransactionError,
+    TxState,
+)
+from repro.graphs import GraphSchema, PropertyGraph, PropertyType, TriggerEvent
+
+
+@pytest.fixture()
+def db():
+    database = GraphDatabase()
+    database.add_vertex("ann", label="Person", age=42)
+    database.add_vertex("bob", label="Person", age=17)
+    database.add_vertex("acme", label="Company")
+    database.add_edge("ann", "bob", label="KNOWS")
+    database.add_edge("ann", "acme", label="WORKS_AT")
+    return database
+
+
+class TestIndexes:
+    def test_label_index_lookup(self, db):
+        assert db.find_by_label("Person") == frozenset({"ann", "bob"})
+        assert db.find_by_label("Company") == frozenset({"acme"})
+        assert db.find_by_label("Alien") == frozenset()
+
+    def test_label_index_follows_removal(self, db):
+        db.remove_vertex("bob")
+        assert db.find_by_label("Person") == frozenset({"ann"})
+
+    def test_property_index_lookup(self, db):
+        db.create_property_index("age")
+        assert db.find_by_property("age", 42) == frozenset({"ann"})
+        assert db.find_by_property("age", 99) == frozenset()
+
+    def test_property_index_follows_updates(self, db):
+        db.create_property_index("age")
+        db.set_vertex_property("bob", "age", 18)
+        assert db.find_by_property("age", 18) == frozenset({"bob"})
+        assert db.find_by_property("age", 17) == frozenset()
+
+    def test_unindexed_lookup_falls_back_to_scan(self, db):
+        assert db.find_by_property("age", 17) == frozenset({"bob"})
+
+    def test_index_list(self, db):
+        assert db.indexes() == []
+        db.create_property_index("age")
+        db.create_property_index("age")  # idempotent
+        assert db.indexes() == ["age"]
+
+    def test_unhashable_probe(self, db):
+        db.create_property_index("age")
+        assert db.find_by_property("age", [1, 2]) == frozenset()
+
+    def test_label_index_unit(self):
+        index = LabelIndex()
+        index.add(1, "A")
+        index.add(2, "A")
+        index.remove(1, "A")
+        assert index.lookup("A") == frozenset({2})
+        assert index.cardinality("A") == 1
+        assert index.labels() == ["A"]
+
+    def test_property_index_unit(self):
+        index = PropertyIndex("k")
+        index.update(1, "x")
+        index.update(1, "y")  # re-point
+        assert index.lookup("x") == frozenset()
+        assert index.lookup("y") == frozenset({1})
+        index.remove(1)
+        assert index.lookup("y") == frozenset()
+
+    def test_property_index_rebuild(self, db):
+        index = PropertyIndex("age")
+        index.rebuild(db.graph)
+        assert index.lookup(42) == frozenset({"ann"})
+        assert sorted(index.values()) == [17, 42]
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        with db.transaction():
+            db.add_vertex("eve", label="Person", age=30)
+        assert "eve" in db.graph
+
+    def test_exception_rolls_back_everything(self, db):
+        before_edges = db.num_edges()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.add_vertex("zed", label="Person", age=1)
+                db.add_edge("zed", "ann", label="KNOWS")
+                db.set_vertex_property("ann", "age", 99)
+                db.remove_edge(next(iter(db.graph.edge_ids("ann", "bob"))))
+                raise RuntimeError("boom")
+        assert "zed" not in db.graph
+        assert db.num_edges() == before_edges
+        assert db.graph.vertex_property("ann", "age") == 42
+        assert db.graph.has_edge("ann", "bob")
+
+    def test_rollback_restores_removed_vertex_with_edges(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.remove_vertex("ann")
+                assert "ann" not in db.graph
+                raise RuntimeError("undo me")
+        assert "ann" in db.graph
+        assert db.graph.has_edge("ann", "bob")
+        assert db.graph.has_edge("ann", "acme")
+        assert db.graph.vertex_label("ann") == "Person"
+        assert db.find_by_label("Person") == frozenset({"ann", "bob"})
+
+    def test_rollback_restores_property_indexes(self, db):
+        db.create_property_index("age")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.set_vertex_property("ann", "age", 50)
+                raise RuntimeError("no")
+        assert db.find_by_property("age", 42) == frozenset({"ann"})
+        assert db.find_by_property("age", 50) == frozenset()
+
+    def test_manual_rollback_inside_block(self, db):
+        with db.transaction():
+            db.add_vertex("temp", label="Person", age=0)
+            db.rollback()
+        assert "temp" not in db.graph
+
+    def test_nested_transactions_rejected(self, db):
+        with db.transaction():
+            with pytest.raises(TransactionError):
+                db.begin()
+
+    def test_commit_without_tx(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+        with pytest.raises(TransactionError):
+            db.rollback()
+
+    def test_transaction_state_machine(self):
+        tx = Transaction(tx_id=1)
+        assert tx.state is TxState.OPEN
+        tx.commit()
+        assert tx.state is TxState.COMMITTED
+        with pytest.raises(TransactionError):
+            tx.rollback()
+
+    def test_mutations_outside_tx_are_autocommitted(self, db):
+        db.add_vertex("free", label="Person", age=1)
+        assert "free" in db.graph
+
+
+class TestSchemaAndTriggers:
+    def test_schema_checked_at_commit(self):
+        schema = GraphSchema()
+        schema.require_vertex_property("Person", "age",
+                                       PropertyType.NUMERIC)
+        db = GraphDatabase(schema=schema)
+        db.add_vertex("ok", label="Person", age=5)
+        with pytest.raises(SchemaViolation):
+            with db.transaction():
+                db.add_vertex("bad", label="Person")
+        assert "bad" not in db.graph  # rolled back at failed commit
+
+    def test_check_schema_on_demand(self):
+        schema = GraphSchema(require_acyclic=True)
+        db = GraphDatabase(schema=schema)
+        db.add_edge(1, 2)
+        db.check_schema()
+        db.add_edge(2, 1)
+        with pytest.raises(SchemaViolation):
+            db.check_schema()
+
+    def test_triggers_fire_on_database_mutations(self, db):
+        events = []
+
+        @db.on(TriggerEvent.EDGE_INSERT)
+        def record(context):
+            events.append((context.payload["u"], context.payload["v"]))
+
+        db.add_edge("bob", "acme", label="WORKS_AT")
+        assert events == [("bob", "acme")]
+
+
+class TestQueries:
+    def test_query_uses_labels(self, db):
+        result = db.query(
+            "MATCH (a:Person)-[:WORKS_AT]->(c:Company) RETURN a, c")
+        assert result.rows == [("ann", "acme")]
+
+    def test_query_where(self, db):
+        result = db.query(
+            "MATCH (p:Person) WHERE p.age > 21 RETURN p")
+        assert result.rows == [("ann",)]
+
+    def test_query_without_optimizer(self, db):
+        a = db.query("MATCH (a:Person)-[:KNOWS]->(b) RETURN a, b",
+                     optimize=False)
+        b = db.query("MATCH (a:Person)-[:KNOWS]->(b) RETURN a, b")
+        assert sorted(a.rows) == sorted(b.rows)
+
+    def test_explain(self, db):
+        plan = db.explain(
+            "MATCH (a:Person)-[:WORKS_AT]->(c:Company) RETURN a")
+        assert "QUERY PLAN" in plan
+
+    def test_label_lookup_served_by_index(self, db):
+        """The indexed view answers label scans from the index even after
+        mutations (index stays in sync)."""
+        db.add_vertex("carl", label="Person", age=33)
+        result = db.query("MATCH (p:Person) RETURN p")
+        assert set(result.column("p")) == {"ann", "bob", "carl"}
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = GraphDatabase.load(path)
+        assert loaded.num_vertices() == db.num_vertices()
+        assert loaded.num_edges() == db.num_edges()
+        assert loaded.find_by_label("Person") == frozenset({"ann", "bob"})
+        result = loaded.query(
+            "MATCH (a:Person)-[:KNOWS]->(b) RETURN a, b")
+        assert result.rows == [("ann", "bob")]
+
+    def test_save_other_formats(self, db, tmp_path):
+        db.save(tmp_path / "db.graphml", format="graphml")
+        loaded = GraphDatabase.load(tmp_path / "db.graphml",
+                                    format="graphml")
+        assert loaded.find_by_label("Company") == frozenset({"acme"})
+
+    def test_save_blocked_in_transaction(self, db, tmp_path):
+        with pytest.raises(TransactionError):
+            with db.transaction():
+                db.save(tmp_path / "nope.json")
+
+    def test_load_structure_only_format(self, tmp_path):
+        from repro.graphs.io_formats import save_binary
+        from repro.graphs import Graph
+
+        g = Graph()
+        g.add_edge(0, 1)
+        save_binary(g, tmp_path / "g.bin")
+        db = GraphDatabase.load(tmp_path / "g.bin", format="binary")
+        assert db.num_edges() == 1
+        assert isinstance(db.graph, PropertyGraph)
+
+
+def test_stats(db):
+    stats = db.stats()
+    assert stats["vertices"] == 3
+    assert stats["labels"] == ["Company", "Person"]
+    assert stats["in_transaction"] is False

@@ -1,0 +1,407 @@
+"""Versioning, streaming windows, hypergraphs, schemas, triggers, views --
+the Section 6.2 feature modules."""
+
+import pytest
+
+from repro.errors import EdgeNotFound, GraphError, SchemaViolation, VertexNotFound
+from repro.graphs import (
+    GraphSchema,
+    GraphView,
+    Hypergraph,
+    PropertyGraph,
+    PropertyType,
+    SchemaEnforcedGraph,
+    StreamEdge,
+    StreamingGraph,
+    TriggerAbort,
+    TriggerEvent,
+    TriggerPhase,
+    TriggeredGraph,
+    VersionedGraph,
+    edge_stream_from_pairs,
+    exclude_vertices,
+    min_weight_edges,
+    skip_high_degree,
+)
+from repro.graphs.hypergraph import HYPEREDGE_LABEL
+
+
+class TestVersionedGraph:
+    def test_snapshot_reconstructs_past(self):
+        vg = VersionedGraph(directed=False)
+        vg.add_vertex("a")
+        vg.add_vertex("b")
+        uid = vg.add_edge("a", "b")
+        v0 = vg.commit("two vertices, one edge")
+        vg.add_vertex("c")
+        vg.add_edge("b", "c")
+        vg.remove_edge(uid)
+        v1 = vg.commit("grew and dropped the first edge")
+
+        old = vg.snapshot(v0.version_id)
+        assert old.num_vertices() == 2
+        assert old.has_edge("a", "b")
+        new = vg.snapshot(v1.version_id)
+        assert new.num_vertices() == 3
+        assert not new.has_edge("a", "b")
+        assert new.has_edge("b", "c")
+
+    def test_property_history(self):
+        vg = VersionedGraph()
+        vg.add_vertex("x", label="N")
+        vg.set_vertex_property("x", "score", 1)
+        v0 = vg.commit()
+        vg.set_vertex_property("x", "score", 9)
+        v1 = vg.commit()
+        assert vg.snapshot(v0.version_id).vertex_property("x", "score") == 1
+        assert vg.snapshot(v1.version_id).vertex_property("x", "score") == 9
+
+    def test_diff(self):
+        vg = VersionedGraph()
+        vg.add_vertex(1)
+        v0 = vg.commit()
+        vg.add_vertex(2)
+        vg.add_edge(1, 2)
+        v1 = vg.commit()
+        diff = vg.diff(v0.version_id, v1.version_id)
+        assert diff["vertices_added"] == {2}
+        assert diff["edges_added"] == {(1, 2)}
+        assert diff["vertices_removed"] == set()
+
+    def test_history_of_vertex(self):
+        vg = VersionedGraph()
+        vg.add_vertex("a")
+        vg.add_vertex("b")
+        uid = vg.add_edge("a", "b")
+        vg.set_edge_property(uid, "w", 1)
+        vg.add_vertex("c")   # unrelated
+        changes = list(vg.history("a"))
+        assert len(changes) == 3  # add a, add edge, set edge prop
+
+    def test_edge_uid_errors(self):
+        vg = VersionedGraph()
+        vg.add_vertex(1)
+        vg.add_vertex(2)
+        uid = vg.add_edge(1, 2)
+        vg.remove_edge(uid)
+        with pytest.raises(EdgeNotFound):
+            vg.remove_edge(uid)
+        with pytest.raises(GraphError):
+            vg.snapshot(99)
+
+    def test_remove_vertex_drops_incident_uids(self):
+        vg = VersionedGraph()
+        vg.add_vertex(1)
+        vg.add_vertex(2)
+        uid = vg.add_edge(1, 2)
+        vg.remove_vertex(2)
+        with pytest.raises(EdgeNotFound):
+            vg.set_edge_property(uid, "x", 1)
+        version = vg.commit()
+        snap = vg.snapshot(version.version_id)
+        assert snap.num_vertices() == 1
+
+    def test_current_is_a_copy(self):
+        vg = VersionedGraph()
+        vg.add_vertex(1)
+        live = vg.current()
+        live.add_vertex(2)
+        assert vg.current().num_vertices() == 1
+
+
+class TestStreamingGraph:
+    def test_window_eviction(self):
+        sg = StreamingGraph(window=5.0)
+        sg.push(StreamEdge(0.0, "a", "b"))
+        sg.push(StreamEdge(3.0, "b", "c"))
+        sg.push(StreamEdge(7.0, "c", "d"))
+        graph = sg.graph()
+        assert not graph.has_edge("a", "b")  # expired at t=7 (0 <= 7-5)
+        assert graph.has_edge("b", "c")
+        assert graph.has_edge("c", "d")
+
+    def test_isolated_vertices_removed(self):
+        sg = StreamingGraph(window=2.0)
+        sg.push(StreamEdge(0.0, "a", "b"))
+        sg.push(StreamEdge(5.0, "x", "y"))
+        assert "a" not in sg.graph()
+        assert "x" in sg.graph()
+
+    def test_out_of_order_rejected(self):
+        sg = StreamingGraph(window=1.0)
+        sg.push(StreamEdge(5.0, 1, 2))
+        with pytest.raises(ValueError):
+            sg.push(StreamEdge(4.0, 2, 3))
+
+    def test_advance_to(self):
+        sg = StreamingGraph(window=1.0)
+        sg.push(StreamEdge(0.0, 1, 2))
+        sg.advance_to(10.0)
+        assert sg.num_window_edges() == 0
+        with pytest.raises(ValueError):
+            sg.advance_to(5.0)
+
+    def test_eviction_callback_and_stats(self):
+        evicted = []
+        sg = StreamingGraph(window=1.0, on_evict=evicted.append)
+        sg.extend(edge_stream_from_pairs([(1, 2), (2, 3), (3, 4)]))
+        stats = sg.stats()
+        assert stats["arrivals"] == 3
+        assert stats["evictions"] == len(evicted) == 2
+        assert stats["window_edges"] == 1
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            StreamingGraph(window=0.0)
+
+
+class TestHypergraph:
+    def test_basic_incidence(self):
+        hg = Hypergraph()
+        e = hg.add_hyperedge(["a", "b", "c"], label="family")
+        assert hg.num_hyperedges() == 1
+        assert hg.degree("a") == 1
+        assert hg.neighbors("a") == {"b", "c"}
+        assert hg.incident("b") == {e}
+
+    def test_hyperedge_needs_two_members(self):
+        hg = Hypergraph()
+        with pytest.raises(GraphError):
+            hg.add_hyperedge(["only"])
+
+    def test_remove(self):
+        hg = Hypergraph()
+        e = hg.add_hyperedge([1, 2, 3])
+        hg.remove_hyperedge(e)
+        assert hg.num_hyperedges() == 0
+        assert hg.neighbors(1) == set()
+        with pytest.raises(GraphError):
+            hg.remove_hyperedge(e)
+
+    def test_encoding_round_trip(self):
+        hg = Hypergraph()
+        hg.add_vertex("a", kind="person")
+        hg.add_hyperedge(["a", "b", "c"], label="deal")
+        hg.add_hyperedge(["b", "d"])
+        lowered = hg.to_property_graph()
+        encoders = list(lowered.vertices_with_label(HYPEREDGE_LABEL))
+        assert len(encoders) == 2
+        lifted = Hypergraph.from_property_graph(lowered)
+        assert lifted.num_vertices() == 4
+        assert lifted.num_hyperedges() == 2
+        assert lifted.neighbors("a") == {"b", "c"}
+        labels = sorted(
+            (e.label or "") for e in lifted.hyperedges())
+        assert labels == ["", "deal"]
+
+    def test_two_section(self):
+        hg = Hypergraph()
+        hg.add_hyperedge([1, 2, 3])
+        clique = hg.two_section()
+        assert clique.num_edges() == 3
+        assert clique.has_edge(1, 3)
+
+
+class TestSchema:
+    def build_schema(self):
+        schema = GraphSchema()
+        schema.require_vertex_property(
+            "Person", "name", PropertyType.STRING)
+        schema.require_vertex_property(
+            "Person", "age", PropertyType.NUMERIC, required=False)
+        schema.restrict_edge_endpoints(
+            "WORKS_AT", ["Person"], ["Company"])
+        return schema
+
+    def test_valid_graph_passes(self):
+        schema = self.build_schema()
+        g = PropertyGraph()
+        g.add_vertex("ann", label="Person", name="Ann")
+        g.add_vertex("acme", label="Company")
+        g.add_edge("ann", "acme", label="WORKS_AT")
+        assert schema.validate(g) == []
+
+    def test_missing_required_property(self):
+        schema = self.build_schema()
+        g = PropertyGraph()
+        g.add_vertex("ann", label="Person")
+        problems = schema.validate(g)
+        assert any("name" in p for p in problems)
+
+    def test_wrong_property_type(self):
+        schema = self.build_schema()
+        g = PropertyGraph()
+        g.add_vertex("ann", label="Person", name=42)
+        problems = schema.validate(g)
+        assert any("Numeric" in p for p in problems)
+
+    def test_optional_property_type_checked_when_present(self):
+        schema = self.build_schema()
+        g = PropertyGraph()
+        g.add_vertex("ann", label="Person", name="Ann", age="old")
+        assert schema.validate(g)
+
+    def test_endpoint_rule(self):
+        schema = self.build_schema()
+        g = PropertyGraph()
+        g.add_vertex("ann", label="Person", name="Ann")
+        g.add_vertex("bob", label="Person", name="Bob")
+        g.add_edge("ann", "bob", label="WORKS_AT")
+        problems = schema.validate(g)
+        assert any("target label" in p for p in problems)
+
+    def test_acyclicity_constraint(self):
+        schema = GraphSchema(require_acyclic=True)
+        g = PropertyGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert schema.validate(g) == []
+        g.add_edge(3, 1)
+        assert any("acyclic" in p for p in schema.validate(g))
+
+    def test_max_out_degree(self):
+        schema = GraphSchema(max_out_degree=1)
+        g = PropertyGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert any("out-degree" in p for p in schema.validate(g))
+
+    def test_allowed_labels(self):
+        schema = GraphSchema(allowed_vertex_labels=frozenset({"A"}))
+        g = PropertyGraph()
+        g.add_vertex(1, label="B")
+        assert schema.validate(g)
+
+    def test_write_time_enforcement(self):
+        schema = GraphSchema(require_acyclic=True)
+        enforced = SchemaEnforcedGraph(schema)
+        enforced.add_vertex(1)
+        enforced.add_vertex(2)
+        enforced.add_edge(1, 2)
+        with pytest.raises(SchemaViolation):
+            enforced.add_edge(2, 1)
+        # graph unchanged after the rejected write
+        assert enforced.graph.num_edges() == 1
+
+
+class TestTriggers:
+    def test_after_insert_trigger_stamps_property(self):
+        tg = TriggeredGraph()
+
+        @tg.on(TriggerEvent.VERTEX_INSERT)
+        def stamp(context):
+            context.graph.set_vertex_property(
+                context.payload["vertex"], "created", 1)
+
+        tg.add_vertex("v")
+        assert tg.graph.vertex_property("v", "created") == 1
+
+    def test_before_trigger_can_veto(self):
+        tg = TriggeredGraph()
+
+        @tg.on(TriggerEvent.EDGE_INSERT, TriggerPhase.BEFORE)
+        def no_self_loops(context):
+            if context.payload["u"] == context.payload["v"]:
+                raise TriggerAbort("no self loops")
+
+        tg.add_vertex(1)
+        with pytest.raises(TriggerAbort):
+            tg.add_edge(1, 1)
+        assert tg.graph.num_edges() == 0
+        tg.add_edge(1, 2)
+        assert tg.graph.num_edges() == 1
+
+    def test_update_trigger_sees_old_value(self):
+        tg = TriggeredGraph()
+        observed = {}
+
+        @tg.on(TriggerEvent.VERTEX_UPDATE)
+        def audit(context):
+            observed.update(context.payload)
+
+        tg.add_vertex("x")
+        tg.set_vertex_property("x", "score", 1)
+        tg.set_vertex_property("x", "score", 2)
+        assert observed["old_value"] == 1
+        assert observed["value"] == 2
+
+    def test_remove_triggers_fire(self):
+        tg = TriggeredGraph()
+        events = []
+
+        @tg.on(TriggerEvent.EDGE_REMOVE)
+        def on_remove(context):
+            events.append((context.payload["u"], context.payload["v"]))
+
+        edge_id = tg.add_edge("a", "b")
+        tg.remove_edge(edge_id)
+        assert events == [("a", "b")]
+
+    def test_registry_count(self):
+        tg = TriggeredGraph()
+        tg.on(TriggerEvent.VERTEX_INSERT)(lambda c: None)
+        tg.on(TriggerEvent.VERTEX_REMOVE)(lambda c: None)
+        assert tg.registry.count() == 2
+
+
+class TestViews:
+    def build(self):
+        from repro.graphs import Graph
+
+        g = Graph(directed=False)
+        # hub connected to everyone; a chain on the side
+        for leaf in range(1, 6):
+            g.add_edge("hub", leaf)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        return g
+
+    def test_skip_high_degree_hides_hub(self):
+        g = self.build()
+        view = skip_high_degree(g, max_degree=3)
+        assert "hub" not in view
+        assert set(view.vertices()) == {1, 2, 3, 4, 5}
+        assert view.num_edges() == 2
+
+    def test_paths_avoid_hidden_hub(self):
+        from repro.algorithms import shortest_path
+
+        g = self.build()
+        assert shortest_path(g, 1, 3) == [1, "hub", 3]
+        view = skip_high_degree(g, max_degree=3)
+        assert shortest_path(view, 1, 3) == [1, 2, 3]
+        assert shortest_path(view, 1, 5) is None
+
+    def test_protected_vertices_stay(self):
+        g = self.build()
+        view = skip_high_degree(g, max_degree=3, protect={"hub"})
+        assert "hub" in view
+
+    def test_exclude_vertices(self):
+        g = self.build()
+        view = exclude_vertices(g, {2})
+        assert 2 not in view
+        assert set(view.neighbors(1)) == {"hub"}
+
+    def test_edge_filter(self):
+        from repro.graphs import Graph
+
+        g = Graph(directed=False)
+        g.add_edge(1, 2, weight=0.5)
+        g.add_edge(2, 3, weight=2.0)
+        view = min_weight_edges(g, 1.0)
+        assert view.num_edges() == 1
+        assert not view.has_edge(1, 2)
+        assert view.has_edge(2, 3)
+
+    def test_materialize(self):
+        g = self.build()
+        concrete = skip_high_degree(g, max_degree=3).materialize()
+        assert concrete.num_vertices() == 5
+        assert concrete.num_edges() == 2
+
+    def test_missing_vertex(self):
+        g = self.build()
+        view = GraphView(g)
+        with pytest.raises(VertexNotFound):
+            list(view.out_neighbors("zzz"))

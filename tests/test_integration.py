@@ -1,0 +1,143 @@
+"""Cross-paradigm integration: the same data and questions answered
+through every interface the survey's users have -- declarative GQL-lite,
+the Gremlin-style DSL, the RDF triple store, the embedded database, the
+Pregel engine, and the linear-algebra kernels -- must agree."""
+
+import pytest
+
+from repro.algorithms import linalg, pagerank
+from repro.algorithms.matching import Var
+from repro.dgps import pregel_pagerank
+from repro.graphdb import GraphDatabase
+from repro.graphs import PropertyGraph, TripleStore
+from repro.query import run_query, traverse
+from repro.workloads import (
+    ProductGraphSpec,
+    customer_product_ratings,
+    generate_product_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def social():
+    g = PropertyGraph()
+    people = {"ann": 42, "bob": 17, "cat": 30, "dan": 55}
+    for name, age in people.items():
+        g.add_vertex(name, label="Person", age=age)
+    g.add_vertex("acme", label="Company")
+    g.add_vertex("globex", label="Company")
+    for edge in (("ann", "bob"), ("bob", "cat"), ("cat", "dan")):
+        g.add_edge(*edge, label="KNOWS")
+    for person, company in (("ann", "acme"), ("cat", "acme"),
+                            ("dan", "globex")):
+        g.add_edge(person, company, label="WORKS_AT")
+    return g
+
+
+class TestQueryParadigmsAgree:
+    def test_adults_same_in_all_three(self, social):
+        gql = run_query(
+            social, "MATCH (p:Person) WHERE p.age >= 30 RETURN p")
+        gql_answer = set(gql.column("p"))
+
+        from repro.query import gte
+
+        dsl_answer = (traverse(social).V().has_label("Person")
+                      .has("age", gte(30)).to_set())
+
+        store = TripleStore.from_property_graph(social)
+        rdf_answer = {
+            row["p"] for row in store.select(
+                [(Var("p"), "rdf:type", "Person")])
+            if any(binding["a"].value >= 30 for binding in store.select(
+                [(row["p"], "age", Var("a"))]))
+        }
+        assert gql_answer == dsl_answer == rdf_answer == {
+            "ann", "cat", "dan"}
+
+    def test_coworkers_same_in_gql_and_dsl(self, social):
+        gql = run_query(
+            social,
+            "MATCH (a:Person)-[:WORKS_AT]->(c:Company), "
+            "(b:Person)-[:WORKS_AT]->(c) WHERE a <> b "
+            "RETURN DISTINCT a, b")
+        gql_pairs = {frozenset(row) for row in gql.rows}
+
+        dsl_pairs = set()
+        for person in traverse(social).V().has_label("Person").to_list():
+            for coworker in (traverse(social).V(person).out("WORKS_AT")
+                             .in_("WORKS_AT").dedup().to_list()):
+                if coworker != person:
+                    dsl_pairs.add(frozenset((person, coworker)))
+        assert gql_pairs == dsl_pairs == {frozenset(("ann", "cat"))}
+
+    def test_triple_store_join_matches_gql(self, social):
+        store = TripleStore.from_property_graph(social)
+        rdf_rows = {
+            (row["a"], row["c"])
+            for row in store.select([
+                (Var("a"), "KNOWS", Var("b")),
+                (Var("b"), "WORKS_AT", Var("c")),
+            ])
+        }
+        gql = run_query(
+            social,
+            "MATCH (a)-[:KNOWS]->(b)-[:WORKS_AT]->(c) RETURN a, c")
+        assert rdf_rows == set(gql.rows)
+
+
+class TestEnginesAgree:
+    def test_pagerank_three_ways(self, social):
+        direct = pagerank(social, tol=1e-13)
+        pregel = pregel_pagerank(social, supersteps=80)
+        matrix = linalg.pagerank_matrix(social, tol=1e-13)
+        for vertex in social.vertices():
+            assert direct[vertex] == pytest.approx(pregel[vertex],
+                                                   abs=1e-8)
+            assert direct[vertex] == pytest.approx(matrix[vertex],
+                                                   abs=1e-8)
+
+    def test_database_query_matches_plain_executor(self, social):
+        db = GraphDatabase()
+        for vertex in social.vertices():
+            db.add_vertex(vertex, label=social.vertex_label(vertex),
+                          **social.vertex_properties(vertex))
+        for edge in social.edges():
+            db.add_edge(edge.u, edge.v, weight=edge.weight,
+                        label=social.edge_label(edge.edge_id))
+        text = ("MATCH (a:Person)-[:WORKS_AT]->(c:Company) "
+                "WHERE a.age > 20 RETURN a, c")
+        assert sorted(db.query(text).rows) == sorted(
+            run_query(social, text).rows)
+
+
+class TestEndToEndProductPipeline:
+    def test_full_pipeline(self, tmp_path):
+        """ETL-shaped flow across six subsystems: generate -> clean ->
+        persist -> reload into the database -> query -> recommend."""
+        from repro.ml import ItemKNN, RatingMatrix
+        from repro.workloads import standard_cleaning
+
+        graph = generate_product_graph(
+            ProductGraphSpec(customers=30, products=15), seed=9)
+
+        cleaned, report = standard_cleaning(graph)
+        assert report.self_loops_removed == 0
+
+        path = tmp_path / "products.json"
+        from repro.graphs import save_graph
+
+        save_graph(graph, path, "json")
+        db = GraphDatabase.load(path)
+        assert db.num_vertices() == graph.num_vertices()
+
+        big_orders = db.query(
+            "MATCH (c:Customer)-[:PLACED]->(o:Order) "
+            "WHERE o.total > 100 RETURN c, o")
+        assert len(big_orders) > 0
+
+        ratings = RatingMatrix.from_ratings(
+            customer_product_ratings(graph))
+        knn = ItemKNN(k=3).fit(ratings)
+        recommendations = knn.recommend(ratings.users[0], n=3)
+        assert len(recommendations) <= 3

@@ -1,0 +1,57 @@
+"""The synthetic literature corpus matches every published "A" column."""
+
+import pytest
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.synthesis.literature import VENUES, build_literature_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_literature_corpus()
+
+
+def test_ninety_papers(corpus):
+    assert len(corpus) == pt.PAPER_FACTS["papers_reviewed"]
+
+
+def test_every_paper_has_a_known_venue(corpus):
+    for paper in corpus:
+        assert paper.venue in VENUES
+
+
+def test_venues_evenly_spread(corpus):
+    histogram = corpus.by_venue()
+    assert all(count == 15 for count in histogram.values())
+
+
+@pytest.mark.parametrize("field,table,labels", [
+    ("entities", pt.TABLE_4, taxonomy.ENTITY_KINDS),
+    ("non_human_categories", pt.TABLE_4, taxonomy.NON_HUMAN_CATEGORIES),
+    ("graph_computations", pt.TABLE_9, taxonomy.GRAPH_COMPUTATIONS),
+    ("ml_computations", pt.TABLE_10A, taxonomy.ML_COMPUTATIONS),
+    ("ml_problems", pt.TABLE_10B, taxonomy.ML_PROBLEMS),
+    ("query_software", pt.TABLE_12, taxonomy.QUERY_SOFTWARE),
+    ("non_query_software", pt.TABLE_13, taxonomy.NON_QUERY_SOFTWARE),
+])
+def test_a_columns_exact(corpus, field, table, labels):
+    for label in labels:
+        assert corpus.count(field, label) == table.rows[label]["A"], label
+
+
+def test_nh_categories_only_on_non_human_papers(corpus):
+    for paper in corpus:
+        if paper.non_human_categories:
+            assert "Non-Human" in paper.entities
+
+
+def test_counts_helper(corpus):
+    counts = corpus.counts("entities", taxonomy.ENTITY_KINDS)
+    assert counts["Human"] == 54
+
+
+def test_deterministic_given_seed():
+    a = build_literature_corpus(3)
+    b = build_literature_corpus(3)
+    assert [p.entities for p in a] == [p.entities for p in b]

@@ -1,0 +1,173 @@
+"""Classifier rules, size extraction, corpus synthesis and the review
+pipeline reproducing Tables 1 and 18-20."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compare_tables
+from repro.data import taxonomy
+from repro.data.paper_tables import paper_table
+from repro.mining import (
+    EmailMessage,
+    classify_text,
+    count_bucketed_mentions,
+    extract_mentions,
+    largest_mention_per_kind,
+    run_review,
+    validate_corpus,
+)
+from repro.mining.classifier import challenge_group
+from repro.synthesis import build_review_corpus
+from repro.synthesis.texts import (
+    CHALLENGE_TEMPLATES,
+    NOISE_TEMPLATES,
+    SIZE_TEMPLATES,
+)
+
+
+class TestClassifierRules:
+    @pytest.mark.parametrize("challenge", taxonomy.REVIEW_CHALLENGES)
+    def test_every_template_detected_as_its_challenge(self, challenge):
+        for subject, body in CHALLENGE_TEMPLATES[challenge]:
+            text = f"{subject}\n{body}".format(product="Neo4j")
+            found = classify_text(text)
+            assert challenge in found, (challenge, subject)
+            assert found == {challenge}, (
+                f"template for {challenge} also matched {found}")
+
+    @pytest.mark.parametrize("subject,body", NOISE_TEMPLATES)
+    def test_noise_is_never_classified(self, subject, body):
+        text = f"{subject}\n{body}".format(product="OrientDB")
+        assert classify_text(text) == frozenset()
+
+    def test_paper_phrases_match(self):
+        """Phrases lifted from the paper's own challenge descriptions."""
+        assert "High-degree Vertices" in classify_text(
+            "skip finding paths that go over such high-degree vertices")
+        assert "Hyperedges" in classify_text(
+            "hyperedges are edges between more than 2 vertices")
+        assert "Versioning and Historical Analysis" in classify_text(
+            "store the history of the changes and query over the "
+            "different versions of the graph -- versioning support")
+        assert "Triggers" in classify_text(
+            "users ask for trigger-like capabilities")
+        assert "GPU Support" in classify_text(
+            "want support for running graph algorithms on GPUs")
+
+    def test_challenge_group_lookup(self):
+        assert challenge_group("Layout") == "Visualization Software"
+        assert challenge_group("Subqueries") == "Query Languages"
+        with pytest.raises(KeyError):
+            challenge_group("Coffee")
+
+
+class TestSizeExtraction:
+    @pytest.mark.parametrize("text,kind,value", [
+        ("a graph with 1.5 billion edges", "edges", 1.5e9),
+        ("loading 4B edges took days", "edges", 4e9),
+        ("we have 30,000,000,000 edges", "edges", 30e9),
+        ("about 300M vertices", "vertices", 300e6),
+        ("1.2 billion nodes", "vertices", 1.2e9),
+        ("2 trillion edges", "edges", 2e12),
+        ("750 million vertices", "vertices", 750e6),
+    ])
+    def test_formats(self, text, kind, value):
+        mentions = extract_mentions(text)
+        assert len(mentions) == 1
+        assert mentions[0].kind == kind
+        assert mentions[0].value == pytest.approx(value)
+
+    def test_bucketing(self):
+        (mention,) = extract_mentions("30B edges")
+        assert mention.bucket == "10B - 100B"
+        (mention,) = extract_mentions("600 billion edges")
+        assert mention.bucket == ">500B"
+        (mention,) = extract_mentions("500M vertices")
+        assert mention.bucket == "100M - 1B"
+
+    def test_small_sizes_have_no_bucket(self):
+        (mention,) = extract_mentions("10,000 edges")
+        assert mention.bucket is None
+
+    def test_no_false_positive_without_numbers(self):
+        assert extract_mentions("millions of vertices and edges") == []
+        assert extract_mentions("version 2 of the api") == []
+
+    def test_largest_mention_per_kind(self):
+        best = largest_mention_per_kind(
+            "we grew from 2B edges to 6 billion edges")
+        assert best["edges"].value == pytest.approx(6e9)
+
+    def test_count_dedupes_within_message(self):
+        message = EmailMessage(
+            message_id=1, product="Neo4j", sender="u",
+            date=dt.date(2017, 3, 1), subject="4B edges",
+            body="our 4 billion edges graph keeps growing")
+        vertices, edges = count_bucketed_mentions([message])
+        assert edges["1B - 10B"] == 1
+        assert sum(vertices.values()) == 0
+
+    @given(st.floats(min_value=1e9, max_value=4.9e14))
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_total_property(self, value):
+        text = f"we have {value:,.0f} edges"
+        (mention,) = extract_mentions(text)
+        assert mention.bucket is not None
+        assert mention.kind == "edges"
+
+
+class TestCorpusAndPipeline:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_review_corpus()
+
+    @pytest.fixture(scope="class")
+    def report(self, corpus):
+        return run_review(corpus)
+
+    def test_corpus_is_valid(self, corpus):
+        validate_corpus(corpus)
+
+    def test_volumes_match_table20(self, corpus):
+        assert len(corpus.emails_for("Neo4j")) == 286
+        assert len(corpus.issues_for("OrientDB")) == 668
+        assert corpus.emails_for("Gephi") == []
+        assert corpus.repos["Sparksee"].commit_count is None
+
+    @pytest.mark.parametrize("table_id", ["1", "18a", "18b", "19", "20"])
+    def test_review_tables_exact(self, report, table_id):
+        comparison = compare_tables(
+            paper_table(table_id), report.tables()[table_id])
+        assert comparison.exact, comparison.diffs[:5]
+
+    def test_active_users_counts_window_only(self, corpus):
+        active = corpus.active_users("Cayley")
+        assert len(active) == 14
+        all_senders = {m.sender for m in corpus.emails_for("Cayley")}
+        assert active <= all_senders
+
+    def test_exact_across_seeds(self):
+        for seed in (9, 10):
+            report = run_review(build_review_corpus(seed))
+            for table_id, actual in report.tables().items():
+                assert compare_tables(
+                    paper_table(table_id), actual).exact, (seed, table_id)
+
+    def test_challenges_planted_in_right_products(self, corpus):
+        from repro.mining.classifier import GROUP_CLASSES, classify_message
+
+        for message in corpus.messages():
+            classification = classify_message(message)
+            for challenge in classification.challenges:
+                group = challenge_group(challenge)
+                assert taxonomy.PRODUCTS[message.product] in GROUP_CLASSES[
+                    group], (message.product, challenge)
+
+
+def test_size_templates_have_placeholders():
+    for subject, body in SIZE_TEMPLATES:
+        combined = subject + body
+        assert "{amount}" in combined and "{unit}" in combined

@@ -1,0 +1,446 @@
+"""Machine learning: clustering, classification, regression, inference,
+collaborative filtering, community detection, link prediction, influence
+maximization, features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ml
+from repro.errors import ConvergenceError, VertexNotFound
+from repro.generators import barabasi_albert, gnp_random_graph
+from repro.graphs import Graph, graph_from_edges
+
+
+def planted_two_communities(n=24, p_in=0.8, p_out=0.05, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    g = Graph(directed=False)
+    g.add_vertices(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = (i < n // 2) == (j < n // 2)
+            if rng.random() < (p_in if same else p_out):
+                g.add_edge(i, j)
+    return g
+
+
+class TestKMeans:
+    def test_separable_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, scale=0.2, size=(30, 2))
+        b = rng.normal(loc=5.0, scale=0.2, size=(30, 2))
+        points = np.vstack([a, b])
+        labels, centers = ml.kmeans(points, 2, seed=1)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+        assert ml.inertia(points, labels, centers) < 10.0
+
+    def test_k_larger_than_n(self):
+        points = np.zeros((2, 2))
+        labels, centers = ml.kmeans(points, 5)
+        assert len(labels) == 2
+
+    def test_empty(self):
+        labels, _ = ml.kmeans(np.zeros((0, 2)), 3)
+        assert len(labels) == 0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            ml.kmeans(np.zeros((3, 2)), 0)
+
+    def test_silhouette_prefers_true_clustering(self):
+        rng = np.random.default_rng(1)
+        points = np.vstack([
+            rng.normal(0, 0.1, size=(20, 2)),
+            rng.normal(4, 0.1, size=(20, 2)),
+        ])
+        good = np.array([0] * 20 + [1] * 20)
+        bad = np.array([0, 1] * 20)
+        assert ml.silhouette_score(points, good) > ml.silhouette_score(
+            points, bad)
+
+
+class TestGraphClustering:
+    def test_spectral_recovers_planted(self):
+        g = planted_two_communities()
+        labels = ml.spectral_clustering(g, 2, seed=0)
+        left = {labels[i] for i in range(12)}
+        right = {labels[i] for i in range(12, 24)}
+        assert len(left) == 1 and len(right) == 1 and left != right
+
+    def test_label_propagation_recovers_planted(self):
+        g = planted_two_communities(seed=5)
+        labels = ml.label_propagation_clustering(g, seed=1)
+        # Most vertices on each side share a label.
+        from collections import Counter
+
+        left = Counter(labels[i] for i in range(12)).most_common(1)[0][1]
+        right = Counter(labels[i] for i in range(12, 24)).most_common(1)[0][1]
+        assert left >= 10 and right >= 10
+
+    def test_spectral_empty(self):
+        assert ml.spectral_clustering(Graph(directed=False), 2) == {}
+
+
+class TestRegression:
+    def test_closed_form_recovers_weights(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 3))
+        w = np.array([2.0, -1.0, 0.5])
+        y = x @ w + 4.0
+        model = ml.fit_linear_closed_form(x, y)
+        assert model.weights[0] == pytest.approx(4.0)
+        assert np.allclose(model.weights[1:], w)
+        assert ml.r_squared(y, model.predict_linear(x)) == pytest.approx(1.0)
+
+    def test_ridge_shrinks(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 2))
+        y = x[:, 0] * 3
+        plain = ml.fit_linear_closed_form(x, y)
+        ridge = ml.fit_linear_closed_form(x, y, l2=100.0)
+        assert abs(ridge.weights[1]) < abs(plain.weights[1])
+
+    def test_sgd_approaches_closed_form(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(200, 2))
+        y = x @ np.array([1.0, -2.0]) + 0.5
+        model = ml.fit_linear_sgd(x, y, epochs=300, seed=0)
+        assert ml.mean_squared_error(
+            y, model.predict_linear(x)) < 0.05
+
+    def test_logistic_newton_separable(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = ml.fit_logistic_newton(x, y)
+        assert ml.accuracy(y, model.predict_label(x)) > 0.97
+
+    def test_logistic_sgd(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = ml.fit_logistic_sgd(x, y, epochs=100, seed=0)
+        assert ml.accuracy(y, model.predict_label(x)) > 0.9
+
+    def test_logistic_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            ml.fit_logistic_sgd(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+    def test_r_squared_constant_target(self):
+        assert ml.r_squared(np.ones(5), np.ones(5)) == 0.0
+
+    def test_accuracy_empty(self):
+        assert ml.accuracy(np.array([]), np.array([])) == 0.0
+
+
+class TestFeatures:
+    def test_feature_matrix_shape_and_names(self):
+        g = barabasi_albert(30, 2, seed=1)
+        vertices, matrix = ml.node_features(g)
+        assert matrix.shape == (30, len(ml.FEATURE_NAMES))
+        assert len(vertices) == 30
+
+    def test_degree_column_correct(self):
+        g = graph_from_edges([(1, 2), (1, 3)], directed=False)
+        vertices, matrix = ml.node_features(g, ("degree",))
+        degrees = dict(zip(vertices, matrix[:, 0]))
+        assert degrees[1] == 2.0
+
+    def test_unknown_feature(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(ValueError):
+            ml.node_features(g, ("shoe_size",))
+
+    def test_standardize(self):
+        matrix = np.array([[1.0, 5.0], [3.0, 5.0]])
+        standardized = ml.standardize(matrix)
+        assert standardized[:, 0].mean() == pytest.approx(0.0)
+        assert standardized[:, 1].tolist() == [0.0, 0.0]  # constant column
+
+    def test_add_bias_column(self):
+        out = ml.add_bias_column(np.zeros((3, 2)))
+        assert out.shape == (3, 3)
+        assert out[:, 0].tolist() == [1.0, 1.0, 1.0]
+
+
+class TestClassification:
+    def test_label_spreading_on_two_communities(self):
+        g = planted_two_communities(seed=8)
+        labels = ml.label_spreading(g, {0: "L", 23: "R"})
+        correct = sum(
+            (labels[v] == "L") == (v < 12) for v in range(24))
+        assert correct >= 20
+
+    def test_label_spreading_needs_seeds(self):
+        with pytest.raises(ValueError):
+            ml.label_spreading(Graph(directed=False), {})
+
+    def test_label_spreading_unknown_seed(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(VertexNotFound):
+            ml.label_spreading(g, {99: "x"})
+
+    def test_unreachable_vertices_unlabelled(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        g.add_vertex(3)
+        labels = ml.label_spreading(g, {1: "a"})
+        assert 3 not in labels
+        assert labels[2] == "a"
+
+    def test_feature_classifier_separates_hubs(self):
+        g = barabasi_albert(60, 2, seed=2)
+        degrees = {v: g.degree(v) for v in g.vertices()}
+        truth = {v: ("hub" if d >= 4 else "leaf")
+                 for v, d in degrees.items()}
+        train, test = ml.train_test_split_vertices(truth, 0.6, seed=1)
+        classifier = ml.FeatureClassifier(features=("degree", "pagerank"))
+        classifier.fit(g, train)
+        predicted = classifier.predict(g)
+        assert ml.classification_accuracy(test, predicted) > 0.8
+
+    def test_classifier_needs_two_classes(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(ValueError):
+            ml.FeatureClassifier().fit(g, {1: "only"})
+
+    def test_predict_before_fit(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(RuntimeError):
+            ml.FeatureClassifier().predict(g)
+
+
+class TestInference:
+    def build_chain_mrf(self):
+        g = graph_from_edges([(0, 1), (1, 2)], directed=False)
+        mrf = ml.PairwiseMRF(graph=g, num_states=2)
+        mrf.set_unary(0, [0.9, 0.1])
+        mrf.set_pairwise(0, 1, [[0.7, 0.3], [0.3, 0.7]])
+        mrf.set_pairwise(1, 2, [[0.6, 0.4], [0.4, 0.6]])
+        return mrf
+
+    def test_exact_on_tree(self):
+        mrf = self.build_chain_mrf()
+        bp = ml.loopy_belief_propagation(mrf)
+        exact = ml.exact_marginals_bruteforce(mrf)
+        for vertex in exact:
+            assert np.allclose(bp[vertex], exact[vertex], atol=1e-7)
+
+    def test_map_assignment_on_tree(self):
+        mrf = self.build_chain_mrf()
+        assignment = ml.map_assignment(mrf)
+        assert assignment[0] == 0  # strong unary pull
+        assert set(assignment) == {0, 1, 2}
+
+    def test_loopy_with_damping_converges(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 0)], directed=False)
+        mrf = ml.PairwiseMRF(graph=g, num_states=2)
+        mrf.set_pairwise(0, 1, [[0.9, 0.1], [0.1, 0.9]])
+        marginals = ml.loopy_belief_propagation(mrf, damping=0.3)
+        for belief in marginals.values():
+            assert belief.sum() == pytest.approx(1.0)
+
+    def test_nonconvergence_raises(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 0)], directed=False)
+        mrf = ml.PairwiseMRF(graph=g, num_states=2)
+        mrf.set_unary(0, [0.9, 0.1])
+        mrf.set_pairwise(0, 1, [[10.0, 0.1], [0.1, 10.0]])
+        with pytest.raises(ConvergenceError):
+            ml.loopy_belief_propagation(mrf, max_iter=1)
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(ValueError):
+            ml.PairwiseMRF(graph=Graph(directed=True), num_states=2)
+
+    def test_potential_shape_checked(self):
+        g = graph_from_edges([(0, 1)], directed=False)
+        mrf = ml.PairwiseMRF(graph=g, num_states=2)
+        with pytest.raises(ValueError):
+            mrf.set_unary(0, [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            mrf.set_pairwise(0, 1, [[1.0]])
+
+
+class TestCollaborative:
+    @pytest.fixture()
+    def ratings(self):
+        return ml.RatingMatrix.from_ratings([
+            ("u1", "i1", 5), ("u1", "i2", 4), ("u1", "i4", 1),
+            ("u2", "i1", 5), ("u2", "i2", 5), ("u2", "i3", 1),
+            ("u3", "i3", 5), ("u3", "i4", 4),
+            ("u4", "i3", 4), ("u4", "i4", 5), ("u4", "i1", 1),
+        ])
+
+    def test_matrix_shape(self, ratings):
+        assert ratings.matrix.shape == (4, 4)
+        assert ratings.known_mask().sum() == 11
+
+    def test_itemknn_predicts_from_similar_items(self, ratings):
+        knn = ml.ItemKNN(k=2).fit(ratings)
+        # u3 likes i3/i4; i1 is liked by u1/u2 who dislike i3/i4.
+        assert knn.predict("u1", "i3") < knn.predict("u3", "i3")
+        recommendations = knn.recommend("u3", n=2)
+        assert len(recommendations) == 2
+        assert "i3" not in recommendations  # already rated
+
+    def test_itemknn_unfitted(self):
+        with pytest.raises(RuntimeError):
+            ml.ItemKNN().predict("u", "i")
+
+    def test_als_fits_observed(self, ratings):
+        model = ml.matrix_factorization_als(ratings, rank=2, iterations=15)
+        assert model.rmse() < 0.6
+
+    def test_sgd_fits_observed(self, ratings):
+        model = ml.matrix_factorization_sgd(
+            ratings, rank=2, epochs=300, seed=1)
+        assert model.rmse() < 0.8
+
+    def test_factor_model_recommend_excludes_rated(self, ratings):
+        model = ml.matrix_factorization_als(ratings, rank=2)
+        recs = model.recommend("u1", n=4)
+        assert "i1" not in recs and "i2" not in recs
+
+    def test_from_bipartite_graph(self):
+        from repro.graphs import PropertyGraph
+
+        g = PropertyGraph(directed=False)
+        g.add_vertex("u", label="user")
+        g.add_vertex("i", label="item")
+        g.add_edge("u", "i", weight=4.0)
+        ratings = ml.RatingMatrix.from_bipartite_graph(g)
+        assert ratings.matrix[0, 0] == 4.0
+        empty = PropertyGraph()
+        with pytest.raises(ValueError):
+            ml.RatingMatrix.from_bipartite_graph(empty)
+
+    def test_precision_at_n(self):
+        assert ml.precision_at_n(["a", "b"], {"a"}) == 0.5
+        assert ml.precision_at_n([], {"a"}) == 0.0
+
+
+class TestCommunity:
+    def test_louvain_recovers_planted(self):
+        g = planted_two_communities(seed=11)
+        communities = ml.louvain(g, seed=0)
+        sizes = sorted(ml.community_sizes(communities).values())
+        assert sizes == [12, 12]
+        assert ml.modularity(g, communities) > 0.3
+
+    def test_louvain_beats_singletons(self):
+        g = barabasi_albert(60, 2, seed=4)
+        communities = ml.louvain(g, seed=0)
+        singleton = {v: i for i, v in enumerate(g.vertices())}
+        assert ml.modularity(g, communities) > ml.modularity(g, singleton)
+
+    def test_girvan_newman_splits(self):
+        g = planted_two_communities(seed=12)
+        communities = ml.girvan_newman(g, target_communities=2)
+        assert len(set(communities.values())) >= 2
+
+    def test_modularity_of_whole_graph_is_zeroish(self):
+        g = planted_two_communities()
+        one = {v: 0 for v in g.vertices()}
+        assert ml.modularity(g, one) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_graph(self):
+        assert ml.louvain(Graph(directed=False)) == {}
+        assert ml.modularity(Graph(directed=False), {}) == 0.0
+
+
+class TestLinkPrediction:
+    def test_predicts_removed_edges_better_than_chance(self):
+        g = barabasi_albert(80, 3, seed=7)
+        aucs = ml.evaluate_methods(g, test_fraction=0.2, seed=3)
+        assert aucs["adamic_adar"] > 0.6
+        assert aucs["common_neighbors"] > 0.55
+
+    def test_candidates_are_distance_two(self):
+        g = graph_from_edges([(1, 2), (2, 3)], directed=False)
+        pairs = ml.candidate_pairs(g)
+        assert pairs == [(1, 3)] or pairs == [(3, 1)]
+
+    def test_predict_links_scores_sorted(self):
+        g = barabasi_albert(40, 2, seed=8)
+        links = ml.predict_links(g, k=5)
+        scores = [score for _, score in links]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_split_keeps_vertices(self):
+        g = barabasi_albert(30, 2, seed=9)
+        training, held = ml.train_test_edge_split(g, 0.3, seed=1)
+        assert training.num_vertices() == g.num_vertices()
+        assert training.num_edges() + len(held) == g.num_edges()
+
+    def test_unknown_method(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(ValueError):
+            ml.score_pair(g, 1, 2, method="tarot")
+
+    def test_auc_degenerate(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        assert ml.auc_score(g, [], []) == 0.5
+
+
+class TestInfluence:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gnp_random_graph(40, 0.12, directed=True, seed=10)
+
+    def test_cascade_contains_seeds(self, graph):
+        import random
+
+        active = ml.simulate_cascade(graph, [0, 1], probability=0.0,
+                                     rng=random.Random(0))
+        assert active == {0, 1}
+
+    def test_probability_one_reaches_everything_reachable(self, graph):
+        from repro.algorithms import bfs_distances
+
+        import random
+
+        active = ml.simulate_cascade(graph, [0], probability=1.0,
+                                     rng=random.Random(0))
+        assert active == set(bfs_distances(graph, 0))
+
+    def test_spread_monotone_in_probability(self, graph):
+        low = ml.expected_spread(graph, [0], 0.05, simulations=60, seed=1)
+        high = ml.expected_spread(graph, [0], 0.5, simulations=60, seed=1)
+        assert high >= low
+
+    def test_celf_matches_greedy_quality(self):
+        g = gnp_random_graph(25, 0.15, directed=True, seed=11)
+        greedy = ml.greedy_influence_maximization(
+            g, 2, probability=0.2, simulations=30, seed=2)
+        celf = ml.celf_influence_maximization(
+            g, 2, probability=0.2, simulations=30, seed=2)
+        spread_greedy = ml.expected_spread(g, greedy, 0.2, 200, seed=3)
+        spread_celf = ml.expected_spread(g, celf, 0.2, 200, seed=3)
+        assert spread_celf >= spread_greedy * 0.9
+
+    def test_heuristics_return_k(self, graph):
+        assert len(ml.degree_heuristic(graph, 3)) == 3
+        assert len(ml.pagerank_heuristic(graph, 3)) == 3
+
+    def test_compare_strategies_keys(self, graph):
+        results = ml.compare_strategies(graph, 2, simulations=20, seed=1)
+        assert set(results) == {"celf", "degree", "pagerank"}
+
+    def test_invalid_probability(self, graph):
+        with pytest.raises(ValueError):
+            ml.simulate_cascade(graph, [0], probability=1.5)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_louvain_modularity_nonnegative_on_ba(seed):
+    """Louvain never returns a worse-than-trivial partition on connected
+    scale-free graphs."""
+    g = barabasi_albert(30, 2, seed=seed)
+    communities = ml.louvain(g, seed=seed)
+    assert ml.modularity(g, communities) >= -1e-9

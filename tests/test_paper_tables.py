@@ -1,0 +1,118 @@
+"""Integrity checks on the transcribed ground truth."""
+
+import pytest
+
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.data.table_model import Table
+
+
+def test_all_tables_registered():
+    expected_ids = {
+        "1", "2", "3", "4", "5a", "5b", "5c", "6", "7a", "7b", "7c", "8",
+        "9", "10a", "10b", "11", "12", "13", "14", "15", "16", "17",
+        "18a", "18b", "19", "20",
+    }
+    assert set(pt.ALL_TABLES) == expected_ids
+
+
+def test_paper_table_lookup():
+    assert pt.paper_table("9") is pt.TABLE_9
+    with pytest.raises(KeyError):
+        pt.paper_table("99")
+
+
+@pytest.mark.parametrize("table_id", sorted(pt.ALL_TABLES))
+def test_tables_are_well_formed(table_id):
+    table = pt.paper_table(table_id)
+    assert isinstance(table, Table)
+    assert table.rows, f"table {table_id} has no rows"
+    for label, cells in table.rows.items():
+        for column, value in cells.items():
+            assert value is None or value >= 0, (label, column)
+
+
+@pytest.mark.parametrize("table_id", [
+    "2", "3", "5a", "5b", "5c", "7a", "7b", "8", "9", "10a", "10b", "11",
+    "12", "13", "14", "15",
+])
+def test_r_plus_p_equals_total(table_id):
+    """Every R/P-split table must satisfy Total = R + P per row."""
+    table = pt.paper_table(table_id)
+    for label, cells in table.rows.items():
+        assert cells["Total"] == cells["R"] + cells["P"], (table_id, label)
+
+
+def test_table7c_r_plus_p():
+    for label, cells in pt.TABLE_7C.rows.items():
+        assert cells["V-Total"] == cells["V-R"] + cells["V-P"], label
+        assert cells["E-Total"] == cells["E-R"] + cells["E-P"], label
+
+
+def test_group_sizes_match_demographics():
+    """Tables where everyone answered split 36 R / 53 P."""
+    for table in (pt.TABLE_7A, pt.TABLE_7B):
+        totals = table.totals()
+        assert totals["R"] == pt.PAPER_FACTS["researchers"]
+        assert totals["P"] == pt.PAPER_FACTS["practitioners"]
+        assert totals["Total"] == pt.PAPER_FACTS["participants"]
+
+
+def test_table1_group_subtotals():
+    """The technology-class subtotals quoted in Table 1."""
+    def group_total(names):
+        return sum(pt.TABLE_1.rows[name]["Users"] for name in names)
+
+    assert group_total(["ArangoDB", "Cayley", "DGraph", "JanusGraph",
+                        "Neo4j", "OrientDB"]) == 233
+    assert group_total(["Apache Jena", "Sparksee", "Virtuoso"]) == 115
+    assert group_total(["Apache Flink (Gelly)", "Apache Giraph",
+                        "Apache Spark (GraphX)"]) == 39
+    assert group_total(["Graph for Scala", "GraphStream", "Graphtool",
+                        "NetworKit", "NetworkX", "SNAP"]) == 97
+    assert group_total(["Cytoscape", "Elasticsearch (X-Pack Graph)"]) == 116
+
+
+def test_table6_documented_inconsistency():
+    """The published Table 6 sums to 19 for 20 big-graph participants."""
+    assert pt.TABLE_6.totals()["#"] == 19
+    assert pt.PAPER_FACTS["big_graph_participants"] == 20
+
+
+def test_table15_reconstruction_is_consistent():
+    """The reconstructed bottom rows still satisfy Total = R + P and the
+    table remains sorted by Total (ties allowed)."""
+    totals = [cells["Total"] for cells in pt.TABLE_15.rows.values()]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_table19_matches_taxonomy():
+    assert set(pt.TABLE_19.rows) == set(taxonomy.REVIEW_CHALLENGES)
+
+
+def test_table20_covers_all_products():
+    assert set(pt.TABLE_20.rows) == set(taxonomy.PRODUCTS)
+
+
+def test_table9_rows_match_taxonomy_order():
+    assert tuple(pt.TABLE_9.rows) == taxonomy.GRAPH_COMPUTATIONS
+
+
+def test_challenge_selections_exceed_top3_budget():
+    """The documented Table 15 anomaly: more selections than 3 x 89."""
+    total_selections = pt.TABLE_15.totals()["Total"]
+    assert total_selections == 272
+    assert total_selections > 3 * pt.PAPER_FACTS["participants"]
+
+
+def test_table_totals_helper():
+    totals = pt.TABLE_3.totals()
+    assert totals["Total"] == 85  # four participants skipped the question
+
+
+def test_table_column_and_cell_access():
+    column = pt.TABLE_9.column("A")
+    assert column["Subgraph Matching"] == 21
+    assert pt.TABLE_9.cell("Graph Coloring", "P") == 4
+    with pytest.raises(KeyError):
+        pt.TABLE_9.column("Z")

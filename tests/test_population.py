@@ -1,0 +1,180 @@
+"""The calibrated population reproduces every survey table exactly and
+satisfies the paper's cross-question constraints."""
+
+import pytest
+
+from repro.core import compare_tables, reproduce_survey_tables
+from repro.core import tabulate
+from repro.data import paper_tables as pt
+from repro.data import taxonomy
+from repro.data.paper_tables import paper_table
+from repro.survey.instrument import validate_respondent
+from repro.synthesis import build_literature_corpus, build_population
+
+SEEDS = (2017, 1, 42)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population()
+
+
+@pytest.fixture(scope="module")
+def literature():
+    return build_literature_corpus()
+
+
+@pytest.fixture(scope="module")
+def tables(population, literature):
+    return reproduce_survey_tables(population, literature)
+
+
+def test_population_size(population):
+    assert len(population) == pt.PAPER_FACTS["participants"]
+    assert len(population.researchers()) == pt.PAPER_FACTS["researchers"]
+    assert len(population.practitioners()) == pt.PAPER_FACTS["practitioners"]
+
+
+def test_every_respondent_is_instrument_valid(population):
+    for respondent in population:
+        validate_respondent(respondent)
+
+
+@pytest.mark.parametrize("table_id", [
+    "2", "3", "4", "5a", "5b", "5c", "6", "7a", "7b", "7c", "8", "9",
+    "10a", "10b", "11", "12", "13", "14", "15", "16", "17",
+])
+def test_table_reproduces_exactly(tables, table_id):
+    comparison = compare_tables(paper_table(table_id), tables[table_id])
+    assert comparison.exact, comparison.diffs[:5]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exact_across_seeds(seed, literature):
+    population = build_population(seed)
+    tables = reproduce_survey_tables(population, literature)
+    for table_id, actual in tables.items():
+        assert compare_tables(paper_table(table_id), actual).exact, table_id
+
+
+def test_different_seeds_differ_in_membership():
+    a = build_population(1)
+    b = build_population(2)
+    fields_a = [sorted(r.fields_of_work) for r in a]
+    fields_b = [sorted(r.fields_of_work) for r in b]
+    assert fields_a != fields_b
+
+
+class TestCrossQuestionConstraints:
+    def test_roles(self, population):
+        for role, key in (("Engineer", "role_engineer"),
+                          ("Researcher", "role_researcher"),
+                          ("Data Analyst", "role_data_analyst"),
+                          ("Manager", "role_manager")):
+            count = sum(1 for r in population if role in r.roles)
+            assert count == pt.PAPER_FACTS[key]
+
+    def test_big_graph_org_sizes(self, population):
+        """Table 6: one big-graph participant skipped the org question."""
+        big = [r for r in population if ">1B" in r.edge_buckets]
+        assert len(big) == 20
+        assert sum(1 for r in big if r.org_size is None) == 1
+
+    def test_rdbms_graphdb_overlap(self, population):
+        rdbms = "Relational Database Management System"
+        graphdb = "Graph Database System"
+        overlap = tabulate.overlap(population, "query_software",
+                                   rdbms, graphdb)
+        assert overlap == pt.PAPER_FACTS["rdbms_users_also_graphdb"]
+
+    def test_software_question_84_answered_min_2(self, population):
+        answered = [r for r in population if r.query_software]
+        assert len(answered) == pt.PAPER_FACTS["answered_software_question"]
+        assert all(len(r.query_software) >= 2 for r in answered)
+
+    def test_ml_union_61(self, population):
+        counts = tabulate.union_count(
+            population, ("ml_computations", "ml_problems"))
+        assert counts["Total"] == pt.PAPER_FACTS["ml_users"]
+
+    def test_streaming_incremental_32(self, population):
+        counts = tabulate.count_yes(population, "streaming_incremental")
+        assert counts["Total"] == 32
+        assert counts["R"] == 16
+        assert counts["P"] == 16
+
+    def test_streaming_graphs_subset_of_streaming_computations(
+            self, population):
+        for respondent in population:
+            if "Streaming" in respondent.dynamism:
+                assert respondent.streaming_incremental is True
+
+    def test_distributed_big_graph_correlation(self, population):
+        distributed = [r for r in population
+                       if "Distributed" in r.architectures]
+        assert len(distributed) == pt.PAPER_FACTS["distributed_users"]
+        over_100m = [
+            r for r in distributed
+            if r.edge_buckets & {"100M - 1B", ">1B"}
+        ]
+        assert len(over_100m) == pt.PAPER_FACTS[
+            "distributed_users_with_100m_edges"]
+
+    def test_multiple_formats_counts(self, population):
+        yes = tabulate.count_yes(population, "multiple_formats")
+        assert yes["Total"] == pt.PAPER_FACTS["multi_format_participants"]
+        described = [r for r in population if r.storage_formats]
+        assert len(described) == pt.PAPER_FACTS["multi_format_described"]
+        for respondent in described:
+            assert respondent.multiple_formats is True
+
+    def test_relational_graph_format_combination_most_popular(
+            self, population):
+        both = tabulate.overlap(population, "storage_formats",
+                                "Relational Databases", "Graph Databases")
+        # Must be the most popular pairwise combination (Appendix C).
+        formats = list(taxonomy.STORAGE_FORMATS)
+        for i, a in enumerate(formats):
+            for b in formats[i + 1:]:
+                if {a, b} == {"Relational Databases", "Graph Databases"}:
+                    continue
+                assert tabulate.overlap(
+                    population, "storage_formats", a, b) <= both
+
+    def test_stores_data_all_but_three(self, population):
+        non_storers = [r for r in population if r.stores_data is False]
+        assert len(non_storers) == pt.PAPER_FACTS[
+            "no_data_on_vertices_or_edges"]
+
+    def test_property_types_only_for_storers(self, population):
+        for respondent in population:
+            if respondent.stores_data is False:
+                assert not respondent.vertex_property_types
+                assert not respondent.edge_property_types
+
+    def test_academia_lab_overlap(self, population):
+        academia = [r for r in population
+                    if "Research in Academia" in r.fields_of_work]
+        lab = [r for r in population
+               if "Research in Industry Lab" in r.fields_of_work]
+        assert len(academia) == 31
+        assert len(lab) == 11
+        union = {r.respondent_id for r in academia} | {
+            r.respondent_id for r in lab}
+        assert len(union) == pt.PAPER_FACTS["researchers"]
+
+    def test_every_practitioner_has_a_field(self, population):
+        for respondent in population.practitioners():
+            assert respondent.fields_of_work
+
+    def test_non_human_categories_require_non_human(self, population):
+        for respondent in population:
+            if respondent.non_human_categories:
+                assert "Non-Human" in respondent.entities
+
+
+def test_group_accessor(population):
+    assert len(population.group("Total")) == 89
+    assert len(population.group("R")) == 36
+    with pytest.raises(KeyError):
+        population.group("X")

@@ -1,0 +1,232 @@
+"""The query language: tokenizer, parser, executor, composition,
+cross-graph joins."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graphs import PropertyGraph
+from repro.query import (
+    GraphCatalog,
+    exists_subquery,
+    filter_by_subquery,
+    materialize_subgraph,
+    matched_vertices,
+    parse,
+    query_chain,
+    run_query,
+)
+from repro.query.ast import Direction
+from repro.query.parser import tokenize
+
+
+@pytest.fixture()
+def social():
+    g = PropertyGraph()
+    g.add_vertex("ann", label="Person", age=42, name="Ann")
+    g.add_vertex("bob", label="Person", age=17, name="Bob")
+    g.add_vertex("cat", label="Person", age=30, name="Cat")
+    g.add_vertex("acme", label="Company", name="Acme")
+    g.add_vertex("duke", label="Person", age=55, name="Duke")
+    g.add_edge("ann", "bob", label="KNOWS")
+    g.add_edge("bob", "cat", label="KNOWS")
+    g.add_edge("cat", "ann", label="KNOWS")
+    g.add_edge("ann", "acme", label="WORKS_AT")
+    g.add_edge("cat", "acme", label="WORKS_AT")
+    return g
+
+
+class TestParser:
+    def test_tokenize_basic(self):
+        kinds = [t.kind for t in tokenize("MATCH (a)-[:X]->(b) RETURN a")]
+        assert "keyword" in kinds and "arrow_out" in kinds
+
+    def test_parse_round_trip(self):
+        query = parse(
+            "MATCH (a:Person)-[:KNOWS]->(b) WHERE a.age > 21 "
+            "RETURN DISTINCT a, b.age LIMIT 5")
+        assert len(query.patterns) == 1
+        pattern = query.patterns[0]
+        assert pattern.nodes[0].label == "Person"
+        assert pattern.edges[0].label == "KNOWS"
+        assert pattern.edges[0].direction is Direction.OUT
+        assert query.distinct
+        assert query.limit == 5
+        assert query.conditions[0].op == ">"
+
+    def test_parse_directions(self):
+        query = parse("MATCH (a)<-[:X]-(b), (c)-[:Y]-(d) RETURN a")
+        assert query.patterns[0].edges[0].direction is Direction.IN
+        assert query.patterns[1].edges[0].direction is Direction.ANY
+
+    def test_anonymous_nodes(self):
+        query = parse("MATCH (a)-[:X]->() RETURN a")
+        assert query.patterns[0].nodes[1].variable.startswith("__anon")
+
+    def test_string_and_negative_literals(self):
+        query = parse(
+            "MATCH (a) WHERE a.name = 'Ann' AND a.score > -5 RETURN a")
+        assert query.conditions[0].right.value == "Ann"
+        assert query.conditions[1].right.value == -5
+
+    def test_from_clause(self):
+        query = parse("MATCH (a)-[:X]->(b) FROM g1 RETURN a")
+        assert query.patterns[0].graph_name == "g1"
+
+    @pytest.mark.parametrize("bad", [
+        "RETURN a",
+        "MATCH (a RETURN a",
+        "MATCH (a)-->(b) RETURN a",
+        "MATCH (a) WHERE a.x >> 3 RETURN a",
+        "MATCH (a) RETURN a LIMIT -1",
+        "MATCH (a) RETURN a extra",
+        "MATCH (a) RETURN",
+        "MATCH (a) WHERE RETURN a",
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse(bad)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError):
+            tokenize("MATCH (a) RETURN a ;")
+
+
+class TestExecutor:
+    def test_label_filter(self, social):
+        result = run_query(social, "MATCH (p:Person) RETURN p")
+        assert set(result.column("p")) == {"ann", "bob", "cat", "duke"}
+
+    def test_edge_label_and_direction(self, social):
+        out = run_query(social, "MATCH (a)-[:KNOWS]->(b) RETURN a, b")
+        assert ("ann", "bob") in out.rows
+        assert ("bob", "ann") not in out.rows
+        incoming = run_query(social, "MATCH (a)<-[:KNOWS]-(b) RETURN a, b")
+        assert ("bob", "ann") in incoming.rows
+        undirected = run_query(social, "MATCH (a)-[:KNOWS]-(b) RETURN a, b")
+        assert ("ann", "bob") in undirected.rows
+        assert ("bob", "ann") in undirected.rows
+
+    def test_where_comparisons(self, social):
+        adults = run_query(
+            social, "MATCH (p:Person) WHERE p.age >= 30 RETURN p")
+        assert set(adults.column("p")) == {"ann", "cat", "duke"}
+        named = run_query(
+            social, "MATCH (p) WHERE p.name = 'Bob' RETURN p")
+        assert named.rows == [("bob",)]
+        not_bob = run_query(
+            social, "MATCH (p:Person) WHERE p.name <> 'Bob' RETURN p")
+        assert "bob" not in not_bob.column("p")
+
+    def test_missing_property_fails_comparison(self, social):
+        result = run_query(
+            social, "MATCH (c:Company) WHERE c.age > 1 RETURN c")
+        assert result.rows == []
+
+    def test_multi_hop(self, social):
+        result = run_query(
+            social, "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c) RETURN a, c")
+        assert ("ann", "cat") in result.rows
+
+    def test_join_across_patterns(self, social):
+        result = run_query(
+            social,
+            "MATCH (a:Person)-[:WORKS_AT]->(c), "
+            "(b:Person)-[:WORKS_AT]->(c) WHERE a <> b "
+            "RETURN DISTINCT a, b")
+        assert sorted(result.rows) == [("ann", "cat"), ("cat", "ann")]
+
+    def test_limit_and_distinct(self, social):
+        limited = run_query(social, "MATCH (p:Person) RETURN p LIMIT 2")
+        assert len(limited) == 2
+        repeated = run_query(
+            social, "MATCH (a)-[:KNOWS]->(b) RETURN DISTINCT a")
+        assert len(repeated.rows) == len(set(repeated.rows))
+
+    def test_projection_of_properties(self, social):
+        result = run_query(
+            social, "MATCH (p:Person) WHERE p.age > 40 RETURN p.name, p.age")
+        assert sorted(result.rows) == [("Ann", 42), ("Duke", 55)]
+        assert result.columns == ("p.name", "p.age")
+
+    def test_unbound_variable_rejected(self, social):
+        with pytest.raises(QueryError):
+            run_query(social, "MATCH (a) RETURN b")
+        with pytest.raises(QueryError):
+            run_query(social, "MATCH (a) WHERE z.x = 1 RETURN a")
+
+    def test_result_helpers(self, social):
+        result = run_query(social, "MATCH (p:Person) RETURN p, p.age")
+        dicts = result.to_dicts()
+        assert {"p", "p.age"} == set(dicts[0])
+
+    def test_isolated_vertex_matchable(self, social):
+        social.add_vertex("zoe", label="Person", age=1)
+        result = run_query(social, "MATCH (p:Person) WHERE p.age < 5 RETURN p")
+        assert result.rows == [("zoe",)]
+
+
+class TestCatalogAndComposition:
+    def test_cross_graph_join(self, social):
+        follows = PropertyGraph()
+        follows.add_vertex("cat")
+        follows.add_vertex("eve")
+        follows.add_edge("cat", "eve", label="FOLLOWS")
+        catalog = GraphCatalog(social=social, follows=follows)
+        result = run_query(
+            catalog,
+            "MATCH (a)-[:KNOWS]->(b) FROM social, "
+            "(b)-[:FOLLOWS]->(c) FROM follows RETURN a, b, c")
+        assert result.rows == [("bob", "cat", "eve")]
+
+    def test_catalog_errors(self, social):
+        catalog = GraphCatalog(social=social)
+        with pytest.raises(QueryError):
+            run_query(catalog, "MATCH (a) RETURN a")  # no default graph
+        with pytest.raises(QueryError):
+            run_query(catalog, "MATCH (a) FROM nope RETURN a")
+
+    def test_catalog_register(self, social):
+        catalog = GraphCatalog()
+        catalog.register("g", social)
+        result = run_query(catalog, "MATCH (p:Company) FROM g RETURN p")
+        assert result.rows == [("acme",)]
+
+    def test_materialize_subgraph(self, social):
+        sub = materialize_subgraph(
+            social, "MATCH (a:Person)-[:KNOWS]->(b) RETURN a")
+        assert set(sub.vertices()) == {"ann", "bob", "cat"}
+        assert sub.vertex_label("ann") == "Person"
+        # company edges are gone; KNOWS cycle edges remain
+        assert sub.num_edges() == 3
+
+    def test_query_chain(self, social):
+        result = query_chain(social, [
+            "MATCH (a:Person)-[:KNOWS]->(b) RETURN a",
+            "MATCH (x) WHERE x.age > 21 RETURN x",
+        ])
+        assert set(result.column("x")) == {"ann", "cat"}
+
+    def test_query_chain_needs_stage(self, social):
+        with pytest.raises(QueryError):
+            query_chain(social, [])
+
+    def test_exists_subquery(self, social):
+        assert exists_subquery(
+            social, "MATCH (a)-[:WORKS_AT]->(c:Company) RETURN a")
+        assert not exists_subquery(
+            social, "MATCH (a:Company)-[:KNOWS]->(b) RETURN a")
+
+    def test_filter_by_subquery(self, social):
+        result = filter_by_subquery(
+            social,
+            outer="MATCH (p:Person) RETURN p",
+            inner_template=(
+                "MATCH (x)-[:WORKS_AT]->(c:Company) "
+                "WHERE x = '{value}' RETURN x"),
+            variable="p")
+        assert set(result.column("p")) == {"ann", "cat"}
+
+    def test_matched_vertices(self, social):
+        vertices = matched_vertices(
+            social, "MATCH (a)-[:WORKS_AT]->(c) RETURN a")
+        assert vertices == {"ann", "cat", "acme"}

@@ -1,0 +1,117 @@
+"""Query EXPLAIN, profiling, and the selectivity optimizer."""
+
+import pytest
+
+from repro.graphs import PropertyGraph
+from repro.query import (
+    AccessStats,
+    CountingGraph,
+    explain,
+    parse,
+    profile,
+    reorder_for_selectivity,
+    run_query,
+)
+from repro.query.ast import Direction
+
+
+@pytest.fixture()
+def company_graph():
+    g = PropertyGraph()
+    for i in range(100):
+        g.add_vertex(f"p{i}", label="Person", age=i % 70)
+    g.add_vertex("acme", label="Company")
+    for i in range(100):
+        g.add_edge(f"p{i}", "acme", label="WORKS_AT")
+    return g
+
+
+class TestCountingGraph:
+    def test_counts_scans_and_neighbors(self, company_graph):
+        stats = AccessStats()
+        proxy = CountingGraph(company_graph, stats)
+        list(proxy.vertices())
+        assert stats.vertex_scans == 1
+        assert stats.vertices_yielded == 101
+        list(proxy.out_neighbors("p0"))
+        assert stats.neighbor_lists == 1
+        list(proxy.vertices_with_label("Company"))
+        assert stats.label_lookups == 1
+
+    def test_delegates_everything_else(self, company_graph):
+        proxy = CountingGraph(company_graph, AccessStats())
+        assert "p0" in proxy
+        assert proxy.vertex_label("acme") == "Company"
+        assert proxy.num_vertices() == 101
+
+
+class TestOptimizer:
+    def test_reverses_toward_selective_label(self, company_graph):
+        query = parse(
+            "MATCH (a:Person)-[:WORKS_AT]->(c:Company) RETURN a, c")
+        optimized, plans = reorder_for_selectivity(company_graph, query)
+        pattern = optimized.patterns[0]
+        assert pattern.nodes[0].label == "Company"
+        assert pattern.edges[0].direction is Direction.IN
+        assert plans[0].reversed
+        assert plans[0].estimated_candidates == 1
+
+    def test_keeps_already_selective_order(self, company_graph):
+        query = parse(
+            "MATCH (c:Company)<-[:WORKS_AT]-(a:Person) RETURN c, a")
+        optimized, plans = reorder_for_selectivity(company_graph, query)
+        assert optimized.patterns[0].nodes[0].label == "Company"
+        assert not plans[0].reversed
+
+    def test_rewrite_preserves_results(self, company_graph):
+        text = ("MATCH (a:Person)-[:WORKS_AT]->(c:Company) "
+                "WHERE a.age > 65 RETURN a, c")
+        baseline = run_query(company_graph, text)
+        optimized, _ = reorder_for_selectivity(company_graph, text)
+        rewritten = run_query(company_graph, optimized)
+        assert sorted(baseline.rows) == sorted(rewritten.rows)
+
+    def test_single_node_pattern_untouched(self, company_graph):
+        optimized, plans = reorder_for_selectivity(
+            company_graph, "MATCH (c:Company) RETURN c")
+        assert not plans[0].reversed
+
+
+class TestProfileAndExplain:
+    def test_profile_returns_rows_and_counts(self, company_graph):
+        report = profile(
+            company_graph,
+            "MATCH (a:Person)-[:WORKS_AT]->(c:Company) RETURN a")
+        assert len(report.result) == 100
+        assert report.elapsed_ms >= 0
+        assert report.stats.neighbor_lists >= 1
+
+    def test_optimizer_reduces_access(self, company_graph):
+        text = "MATCH (a:Person)-[:WORKS_AT]->(c:Company) RETURN a, c"
+        unopt = profile(company_graph, text, optimize=False)
+        opt = profile(company_graph, text, optimize=True)
+        assert sorted(unopt.result.rows) == sorted(opt.result.rows)
+        assert opt.stats.neighbor_lists < unopt.stats.neighbor_lists
+
+    def test_explain_mentions_plan_details(self, company_graph):
+        text = ("MATCH (a:Person)-[:WORKS_AT]->(c:Company) "
+                "WHERE a.age > 30 RETURN a LIMIT 5")
+        plan = explain(company_graph, text)
+        assert "QUERY PLAN" in plan
+        assert "reversed for selectivity" in plan
+        assert "filters: 1 comparison" in plan
+        assert "limit: stop after 5" in plan
+
+    def test_explain_cross_graph(self, company_graph):
+        from repro.query import GraphCatalog
+
+        catalog = GraphCatalog(work=company_graph)
+        plan = explain(
+            catalog, "MATCH (a:Person) FROM work RETURN a")
+        assert "FROM work" in plan
+
+    def test_summary_text(self, company_graph):
+        report = profile(company_graph, "MATCH (c:Company) RETURN c")
+        text = report.summary()
+        assert "rows in" in text
+        assert "candidates" in text

@@ -1,0 +1,244 @@
+"""Failure injection and robustness: malformed inputs, adversarial text,
+hostile graphs, and error paths across the stack."""
+
+import datetime as dt
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, QueryError
+from repro.graphs import Graph, PropertyGraph
+from repro.mining import EmailMessage, classify_text, extract_mentions
+from repro.query import parse, run_query
+from repro.query.parser import tokenize
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises QueryError -- nothing
+        else escapes."""
+        try:
+            parse(text)
+        except QueryError:
+            pass
+
+    @given(st.text(
+        alphabet="MATCHRETURNWHERE()[]-><=' abcdefg.,:0123456789",
+        max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_query_shaped_fuzz(self, text):
+        try:
+            query = parse(text)
+        except QueryError:
+            return
+        # If it parsed, it must execute against an empty graph.
+        run_query(PropertyGraph(), query)
+
+    def test_tokenizer_rejects_binary(self):
+        with pytest.raises(QueryError):
+            tokenize("MATCH (a) \x00 RETURN a")
+
+
+class TestClassifierRobustness:
+    @given(st.text(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_classifier_total_on_arbitrary_text(self, text):
+        result = classify_text(text)
+        assert isinstance(result, frozenset)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_size_extractor_total(self, text):
+        for mention in extract_mentions(text):
+            assert mention.value >= 0
+            assert mention.kind in ("vertices", "edges")
+
+    def test_empty_and_whitespace_messages(self):
+        assert classify_text("") == frozenset()
+        assert classify_text("   \n\t  ") == frozenset()
+        assert extract_mentions("") == []
+
+    def test_huge_numbers_do_not_overflow(self):
+        (mention,) = extract_mentions("9999999999 trillion edges")
+        assert mention.bucket == ">500B"
+        assert math.isfinite(mention.value)
+
+    def test_message_with_both_units(self):
+        message = EmailMessage(
+            message_id=1, product="Neo4j", sender="u",
+            date=dt.date(2017, 2, 1),
+            subject="capacity",
+            body="we have 2 billion vertices and 30 billion edges")
+        from repro.mining import largest_mention_per_kind
+
+        best = largest_mention_per_kind(message.text)
+        assert best["vertices"].bucket == "1B - 10B"
+        assert best["edges"].bucket == "10B - 100B"
+
+
+class TestHostileGraphs:
+    def test_algorithms_on_self_loop_only_graph(self):
+        from repro.algorithms import (
+            connected_components,
+            core_numbers,
+            pagerank,
+            triangle_count,
+        )
+
+        g = Graph(directed=False, multigraph=True)
+        g.add_edge("x", "x")
+        g.add_edge("x", "x")
+        assert triangle_count(g) == 0
+        assert core_numbers(g) == {"x": 0}
+        assert len(connected_components(g)) == 1
+        assert abs(sum(pagerank(g).values()) - 1.0) < 1e-9
+
+    def test_algorithms_on_singleton(self):
+        from repro.algorithms import (
+            betweenness_centrality,
+            closeness_centrality,
+            exact_diameter,
+            greedy_coloring,
+        )
+
+        g = Graph(directed=False)
+        g.add_vertex("only")
+        assert betweenness_centrality(g) == {"only": 0.0}
+        assert closeness_centrality(g) == {"only": 0.0}
+        assert exact_diameter(g) == 0
+        assert greedy_coloring(g) == {"only": 0}
+
+    def test_star_graph_extremes(self):
+        from repro.algorithms import betweenness_centrality, k_core
+
+        g = Graph(directed=False)
+        for leaf in range(1000):
+            g.add_edge("hub", leaf)
+        scores = betweenness_centrality(
+            g, sources=list(range(20)), normalized=True)
+        assert scores["hub"] > 0
+        assert k_core(g, 2) == set()
+
+    def test_deep_path_graph_no_recursion_error(self):
+        """Iterative traversals survive paths deeper than the Python
+        recursion limit."""
+        from repro.algorithms import (
+            dfs_postorder,
+            exact_diameter,
+            strongly_connected_components,
+        )
+
+        n = 5000
+        g = Graph(directed=True)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        assert len(list(dfs_postorder(g, 0))) == n
+        assert len(strongly_connected_components(g)) == n
+        undirected = g.to_undirected()
+        assert exact_diameter(undirected) == n - 1
+
+    def test_pregel_on_disconnected_graph(self):
+        from repro.dgps import pregel_connected_components
+
+        g = Graph(directed=False)
+        g.add_vertices(range(5))  # no edges at all
+        labels = pregel_connected_components(g)
+        assert len(set(labels.values())) == 5
+
+
+class TestMalformedFiles:
+    def test_gml_garbage(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text("this is not gml at all [ ] node")
+        from repro.graphs.io_formats import load_gml
+
+        graph = load_gml(path)  # tolerant: yields an empty-ish graph
+        assert graph.num_edges() == 0
+
+    def test_json_missing_fields(self, tmp_path):
+        from repro.graphs.io_formats import load_json
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"directed": false, "multigraph": false, '
+                        '"vertices": [], "edges": []}')
+        graph = load_json(path)
+        assert graph.num_vertices() == 0
+
+    def test_binary_truncated(self, tmp_path):
+        from repro.graphs.io_formats import load_binary, save_binary
+
+        g = Graph()
+        g.add_edge(0, 1)
+        path = tmp_path / "g.bin"
+        save_binary(g, path)
+        path.write_bytes(path.read_bytes()[:10])  # truncate
+        with pytest.raises(Exception):
+            load_binary(path)
+
+    def test_graphml_wrong_root(self, tmp_path):
+        from repro.graphs.io_formats import load_graphml
+
+        path = tmp_path / "bad.graphml"
+        path.write_text("<notgraphml/>")
+        with pytest.raises(GraphError):
+            load_graphml(path)
+
+
+class TestTriggerFailureIsolation:
+    def test_failing_after_trigger_does_not_corrupt_graph(self):
+        from repro.graphs import TriggerEvent, TriggeredGraph
+
+        tg = TriggeredGraph()
+
+        @tg.on(TriggerEvent.VERTEX_INSERT)
+        def explode(context):
+            raise RuntimeError("hook bug")
+
+        with pytest.raises(RuntimeError):
+            tg.add_vertex("v")
+        # The mutation itself landed before the AFTER hook failed.
+        assert "v" in tg.graph
+        # And the graph remains usable.
+        tg.registry._triggers.clear()
+        tg.add_vertex("w")
+        assert "w" in tg.graph
+
+    def test_schema_rejection_leaves_graph_intact(self):
+        from repro.errors import SchemaViolation
+        from repro.graphs import (
+            GraphSchema,
+            PropertyType,
+            SchemaEnforcedGraph,
+        )
+
+        schema = GraphSchema()
+        schema.require_vertex_property("P", "name", PropertyType.STRING)
+        enforced = SchemaEnforcedGraph(schema)
+        enforced.add_vertex(1, label="P", name="ok")
+        with pytest.raises(SchemaViolation):
+            enforced.add_vertex(2, label="P")
+        assert 2 not in enforced.graph
+        assert enforced.graph.num_vertices() == 1
+
+
+class TestStreamingEdgeCases:
+    def test_burst_of_identical_timestamps(self):
+        from repro.graphs import StreamEdge, StreamingGraph
+
+        sg = StreamingGraph(window=1.0)
+        for i in range(50):
+            sg.push(StreamEdge(5.0, i, i + 1))
+        assert sg.num_window_edges() == 50
+
+    def test_evict_everything(self):
+        from repro.graphs import StreamEdge, StreamingGraph
+
+        sg = StreamingGraph(window=0.5)
+        sg.push(StreamEdge(0.0, 1, 2))
+        sg.advance_to(100.0)
+        assert sg.graph().num_vertices() == 0
+        assert sg.stats()["evictions"] == 1

@@ -1,0 +1,181 @@
+"""Unit and property tests for the exact-marginal sampler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthesis import sampler
+from repro.synthesis.sampler import InfeasibleAssignment
+
+
+def rng(seed=0):
+    return random.Random(seed)
+
+
+class TestChooseExact:
+    def test_exact_size(self):
+        chosen = sampler.choose_exact(rng(), list(range(10)), 4)
+        assert len(chosen) == 4
+        assert chosen <= set(range(10))
+
+    def test_whole_pool(self):
+        assert sampler.choose_exact(rng(), [1, 2], 2) == {1, 2}
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleAssignment):
+            sampler.choose_exact(rng(), [1, 2], 3)
+        with pytest.raises(InfeasibleAssignment):
+            sampler.choose_exact(rng(), [1, 2], -1)
+
+
+class TestPartitionExact:
+    def test_partition_sizes_and_disjointness(self):
+        counts = {"a": 3, "b": 4, "c": 2}
+        cells = sampler.partition_exact(rng(1), list(range(12)), counts)
+        assert {k: len(v) for k, v in cells.items()} == counts
+        union = set()
+        for members in cells.values():
+            assert not (union & members)
+            union |= members
+
+    def test_leftover_members_unassigned(self):
+        cells = sampler.partition_exact(rng(), list(range(5)), {"x": 2})
+        assert len(cells["x"]) == 2
+
+    def test_infeasible_total(self):
+        with pytest.raises(InfeasibleAssignment):
+            sampler.partition_exact(rng(), [1, 2], {"a": 2, "b": 1})
+
+
+class TestMultiselectExact:
+    def test_counts_exact(self):
+        counts = {"a": 5, "b": 3, "c": 0}
+        assignment = sampler.multiselect_exact(
+            rng(2), list(range(8)), counts)
+        assert {k: len(v) for k, v in assignment.items()} == counts
+
+    def test_min_per_member_covers_everyone(self):
+        counts = {"a": 6, "b": 5, "c": 4}
+        pool = list(range(10))
+        assignment = sampler.multiselect_exact(
+            rng(3), pool, counts, min_per_member=1)
+        held = {m: 0 for m in pool}
+        for members in assignment.values():
+            for m in members:
+                held[m] += 1
+        assert all(count >= 1 for count in held.values())
+
+    def test_min_two_per_member(self):
+        counts = {"a": 9, "b": 8, "c": 7, "d": 4}
+        pool = list(range(10))
+        assignment = sampler.multiselect_exact(
+            rng(4), pool, counts, min_per_member=2)
+        held = {m: 0 for m in pool}
+        for members in assignment.values():
+            for m in members:
+                held[m] += 1
+        assert all(count >= 2 for count in held.values())
+        assert {k: len(v) for k, v in assignment.items()} == counts
+
+    def test_mapping_minimum(self):
+        pool = list(range(6))
+        needs = {0: 2, 1: 1}
+        assignment = sampler.multiselect_exact(
+            rng(5), pool, {"a": 3, "b": 2}, min_per_member=needs)
+        held = {m: 0 for m in pool}
+        for members in assignment.values():
+            for m in members:
+                held[m] += 1
+        assert held[0] >= 2
+        assert held[1] >= 1
+
+    def test_preassigned_respected(self):
+        pool = list(range(10))
+        assignment = sampler.multiselect_exact(
+            rng(6), pool, {"a": 4, "b": 2},
+            preassigned={"a": {0, 1}})
+        assert {0, 1} <= assignment["a"]
+        assert len(assignment["a"]) == 4
+
+    def test_count_exceeds_pool(self):
+        with pytest.raises(InfeasibleAssignment):
+            sampler.multiselect_exact(rng(), [1, 2], {"a": 3})
+
+    def test_minimum_infeasible(self):
+        with pytest.raises(InfeasibleAssignment):
+            sampler.multiselect_exact(
+                rng(), list(range(10)), {"a": 3}, min_per_member=1)
+
+    def test_preassigned_unknown_label(self):
+        with pytest.raises(InfeasibleAssignment):
+            sampler.multiselect_exact(
+                rng(), [1, 2], {"a": 1}, preassigned={"zz": {1}})
+
+    def test_preassigned_outside_pool(self):
+        with pytest.raises(InfeasibleAssignment):
+            sampler.multiselect_exact(
+                rng(), [1, 2], {"a": 1}, preassigned={"a": {9}})
+
+
+class TestGroupedHelpers:
+    def test_grouped_multiselect(self):
+        groups = {"R": list(range(10)), "P": list(range(10, 25))}
+        counts = {"x": {"R": 4, "P": 6}, "y": {"R": 0, "P": 15}}
+        assignment = sampler.grouped_multiselect_exact(
+            rng(7), groups, counts)
+        assert len(assignment["x"] & set(groups["R"])) == 4
+        assert len(assignment["x"] & set(groups["P"])) == 6
+        assert assignment["y"] == set(groups["P"])
+
+    def test_grouped_partition(self):
+        groups = {"R": list(range(6)), "P": list(range(6, 12))}
+        counts = {"x": {"R": 2, "P": 3}, "y": {"R": 4, "P": 2}}
+        assignment = sampler.grouped_partition_exact(rng(8), groups, counts)
+        assert len(assignment["x"]) == 5
+        assert len(assignment["y"]) == 6
+        assert not (assignment["x"] & assignment["y"])
+
+    def test_counts_from_table_rows(self):
+        rows = {"a": {"Total": 5, "R": 2, "P": 3},
+                "b": {"Total": 1, "R": None, "P": 1}}
+        counts = sampler.counts_from_table_rows(rows)
+        assert counts == {"a": {"R": 2, "P": 3}, "b": {"R": 0, "P": 1}}
+        only_a = sampler.counts_from_table_rows(rows, labels=["a"])
+        assert set(only_a) == {"a"}
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 40),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_multiselect_property(seed, n, data):
+    """For any feasible counts, every label lands on exactly its count of
+    distinct members."""
+    pool = list(range(n))
+    num_labels = data.draw(st.integers(1, 5))
+    counts = {
+        f"label{i}": data.draw(st.integers(0, n))
+        for i in range(num_labels)
+    }
+    assignment = sampler.multiselect_exact(
+        random.Random(seed), pool, counts)
+    for label, members in assignment.items():
+        assert len(members) == counts[label]
+        assert members <= set(pool)
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 30))
+@settings(max_examples=60, deadline=None)
+def test_min_cover_property(seed, n):
+    """When counts can cover everyone, everyone is covered."""
+    counts = {"a": n, "b": max(0, n - 1), "c": n // 2}
+    assignment = sampler.multiselect_exact(
+        random.Random(seed), list(range(n)), counts, min_per_member=1)
+    covered = set()
+    for members in assignment.values():
+        covered |= members
+    assert covered == set(range(n))

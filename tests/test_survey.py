@@ -1,0 +1,141 @@
+"""Instrument validation, respondent model, and population IO."""
+
+import pytest
+
+from repro.data import taxonomy
+from repro.survey import (
+    Population,
+    Respondent,
+    SURVEY_QUESTIONS,
+    InvalidResponse,
+    QuestionKind,
+    load_population_csv,
+    load_population_json,
+    question,
+    save_population_csv,
+    save_population_json,
+    validate_respondent,
+)
+from repro.synthesis import build_population
+
+
+class TestInstrument:
+    def test_34_questions(self):
+        assert len(SURVEY_QUESTIONS) == 34
+
+    def test_five_categories(self):
+        assert len({q.category for q in SURVEY_QUESTIONS}) == 5
+
+    def test_question_lookup(self):
+        q = question("entities")
+        assert q.kind is QuestionKind.MULTI_CHOICE
+        assert set(q.choices) == set(taxonomy.ENTITY_KINDS)
+        with pytest.raises(KeyError):
+            question("nope")
+
+    def test_structured_qids_exist_on_respondent(self):
+        respondent = Respondent(respondent_id=1)
+        for q in SURVEY_QUESTIONS:
+            if q.qid and not q.qid.startswith("hours."):
+                assert hasattr(respondent, q.qid), q.qid
+
+
+class TestValidation:
+    def test_valid_empty_respondent(self):
+        validate_respondent(Respondent(respondent_id=1))
+
+    def test_bad_single_choice(self):
+        bad = Respondent(respondent_id=1, org_size="enormous")
+        with pytest.raises(InvalidResponse):
+            validate_respondent(bad)
+
+    def test_bad_multi_choice(self):
+        bad = Respondent(respondent_id=1,
+                         entities=frozenset({"Aliens"}))
+        with pytest.raises(InvalidResponse):
+            validate_respondent(bad)
+
+    def test_bad_hours(self):
+        bad = Respondent(respondent_id=1, hours={"Golf": "0 - 5 hours"})
+        with pytest.raises(InvalidResponse):
+            validate_respondent(bad)
+        bad = Respondent(respondent_id=1, hours={"Testing": "lots"})
+        with pytest.raises(InvalidResponse):
+            validate_respondent(bad)
+
+    def test_non_human_requires_entity(self):
+        bad = Respondent(respondent_id=1,
+                         non_human_categories=frozenset({"NH-P"}))
+        with pytest.raises(InvalidResponse):
+            validate_respondent(bad)
+
+    def test_property_types_require_storing(self):
+        bad = Respondent(
+            respondent_id=1, stores_data=False,
+            vertex_property_types=frozenset({"String"}))
+        with pytest.raises(InvalidResponse):
+            validate_respondent(bad)
+
+
+class TestRespondent:
+    def test_researcher_rule(self):
+        r = Respondent(respondent_id=1, fields_of_work=frozenset(
+            {"Research in Academia", "Finance"}))
+        assert r.is_researcher and not r.is_practitioner
+        p = Respondent(respondent_id=2,
+                       fields_of_work=frozenset({"Finance"}))
+        assert p.is_practitioner
+
+    def test_uses_ml(self):
+        r = Respondent(respondent_id=1,
+                       ml_problems=frozenset({"Link Prediction"}))
+        assert r.uses_ml
+        assert not Respondent(respondent_id=2).uses_ml
+
+    def test_has_edges_over(self):
+        r = Respondent(respondent_id=1,
+                       edge_buckets=frozenset({"100M - 1B"}))
+        index_100m = taxonomy.EDGE_COUNT_BUCKETS.index("100M - 1B")
+        assert r.has_edges_over(index_100m)
+        assert not r.has_edges_over(index_100m + 1)
+
+    def test_population_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            Population([Respondent(respondent_id=1),
+                        Respondent(respondent_id=1)])
+
+    def test_population_indexing(self):
+        population = Population([Respondent(respondent_id=7)])
+        assert population[7].respondent_id == 7
+
+
+class TestIO:
+    def test_json_round_trip(self, tmp_path):
+        population = build_population(5)
+        path = tmp_path / "population.json"
+        save_population_json(population, path)
+        loaded = load_population_json(path)
+        assert len(loaded) == len(population)
+        for original in population:
+            restored = loaded[original.respondent_id]
+            assert restored == original
+
+    def test_csv_round_trip(self, tmp_path):
+        population = build_population(6)
+        path = tmp_path / "population.csv"
+        save_population_csv(population, path)
+        loaded = load_population_csv(path)
+        for original in population:
+            restored = loaded[original.respondent_id]
+            assert restored.fields_of_work == original.fields_of_work
+            assert restored.org_size == original.org_size
+            assert restored.hours == original.hours
+            assert restored.stores_data == original.stores_data
+            assert restored.challenges == original.challenges
+
+    def test_csv_has_group_column(self, tmp_path):
+        population = build_population(7)
+        path = tmp_path / "population.csv"
+        save_population_csv(population, path)
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("respondent_id,group")

@@ -1,0 +1,168 @@
+"""Tabulation primitives, comparison metrics, and report rendering."""
+
+import pytest
+
+from repro.core import compare_tables, rank_agreement, top_k_preserved
+from repro.core import tabulate
+from repro.core.report import (
+    render_comparison,
+    render_side_by_side,
+    render_table,
+    summary_line,
+)
+from repro.data.table_model import Table, table_from_rows
+from repro.survey import Population, Respondent
+
+
+@pytest.fixture()
+def small_population():
+    return Population([
+        Respondent(respondent_id=1,
+                   fields_of_work=frozenset({"Research in Academia"}),
+                   entities=frozenset({"Human", "RDF"}),
+                   org_size="1 - 10",
+                   hours={"Testing": "0 - 5 hours"}),
+        Respondent(respondent_id=2,
+                   fields_of_work=frozenset({"Finance"}),
+                   entities=frozenset({"Human"}),
+                   org_size="1 - 10",
+                   stores_data=True,
+                   hours={"Testing": ">10 hours"}),
+        Respondent(respondent_id=3,
+                   fields_of_work=frozenset({"Finance"}),
+                   entities=frozenset(),
+                   org_size=">10000",
+                   stores_data=True),
+    ])
+
+
+class TestTabulate:
+    def test_count_multiselect(self, small_population):
+        counts = tabulate.count_multiselect(
+            small_population, "entities", ("Human", "RDF", "Scientific"))
+        assert counts["Human"] == {"Total": 2, "R": 1, "P": 1}
+        assert counts["RDF"]["Total"] == 1
+        assert counts["Scientific"]["Total"] == 0
+
+    def test_count_single_choice(self, small_population):
+        counts = tabulate.count_single_choice(
+            small_population, "org_size", ("1 - 10", ">10000"))
+        assert counts["1 - 10"]["Total"] == 2
+        assert counts[">10000"]["P"] == 1
+
+    def test_count_yes(self, small_population):
+        assert tabulate.count_yes(small_population, "stores_data")[
+            "Total"] == 2
+
+    def test_count_hours(self, small_population):
+        counts = tabulate.count_hours(
+            small_population, ("Testing",),
+            ("0 - 5 hours", "5 - 10 hours", ">10 hours"))
+        assert counts["Testing"]["0 - 5 hours"] == 1
+        assert counts["Testing"][">10 hours"] == 1
+
+    def test_subset_and_answered(self, small_population):
+        finance = tabulate.subset(
+            small_population, lambda r: "Finance" in r.fields_of_work)
+        assert len(finance) == 2
+        assert tabulate.answered(small_population, "entities") == 2
+        assert tabulate.answered(small_population, "stores_data") == 2
+
+    def test_overlap_and_union(self, small_population):
+        assert tabulate.overlap(
+            small_population, "entities", "Human", "RDF") == 1
+        union = tabulate.union_count(small_population, ("entities",))
+        assert union["Total"] == 2
+
+    def test_crosstab(self, small_population):
+        cells = tabulate.crosstab(
+            small_population,
+            row_of=lambda r: r.org_size,
+            col_of=lambda r: "R" if r.is_researcher else "P")
+        assert cells[("1 - 10", "R")] == 1
+        assert cells[("1 - 10", "P")] == 1
+
+    def test_rank_by(self):
+        counts = {"a": {"Total": 3}, "b": {"Total": 9}, "c": {"Total": 5}}
+        assert tabulate.rank_by(counts) == ["b", "c", "a"]
+
+    def test_selection_histogram(self, small_population):
+        histogram = tabulate.selection_histogram(
+            small_population, "entities")
+        assert histogram == {2: 1, 1: 1, 0: 1}
+
+
+def _table(values):
+    return table_from_rows(
+        "t", "test", ("Total",), [(k, (v,)) for k, v in values.items()])
+
+
+class TestCompare:
+    def test_exact_match(self):
+        a = _table({"x": 1, "y": 2})
+        b = _table({"x": 1, "y": 2})
+        comparison = compare_tables(a, b)
+        assert comparison.exact
+        assert comparison.max_abs_diff == 0
+        assert comparison.matching_cells == 2
+
+    def test_diff_reported(self):
+        a = _table({"x": 1, "y": 2})
+        b = _table({"x": 1, "y": 5})
+        comparison = compare_tables(a, b)
+        assert not comparison.exact
+        assert comparison.max_abs_diff == 3
+        assert comparison.total_abs_diff == 3
+        diff = comparison.diffs[0]
+        assert (diff.row, diff.expected, diff.actual) == ("y", 2, 5)
+
+    def test_layout_mismatch_raises(self):
+        a = _table({"x": 1})
+        b = _table({"z": 1})
+        with pytest.raises(ValueError):
+            compare_tables(a, b)
+
+    def test_rank_agreement(self):
+        a = _table({"x": 10, "y": 5, "z": 1})
+        same = _table({"x": 100, "y": 50, "z": 10})
+        flipped = _table({"x": 1, "y": 5, "z": 10})
+        assert rank_agreement(a, same, "Total") == 1.0
+        assert rank_agreement(a, flipped, "Total") == 0.0
+
+    def test_top_k_preserved(self):
+        a = _table({"x": 10, "y": 5, "z": 1})
+        b = _table({"x": 9, "y": 6, "z": 1})
+        assert top_k_preserved(a, b, "Total", 2)
+        c = _table({"x": 1, "y": 5, "z": 10})
+        assert not top_k_preserved(a, c, "Total", 1)
+
+    def test_none_cells_are_skipped(self):
+        a = Table("t", "t", ("Total",), {"x": {"Total": None}})
+        b = Table("t", "t", ("Total",), {"x": {"Total": None}})
+        assert compare_tables(a, b).exact
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(_table({"alpha": 3, "b": 12}))
+        lines = text.splitlines()
+        assert "Total" in lines[0]
+        assert any("alpha" in line and "3" in line for line in lines)
+
+    def test_render_side_by_side_marks_diffs(self):
+        a = _table({"x": 1, "y": 2})
+        b = _table({"x": 1, "y": 5})
+        text = render_side_by_side(a, b)
+        assert "2->5" in text
+
+    def test_render_comparison_and_summary(self):
+        a = _table({"x": 1})
+        text = render_comparison(a, _table({"x": 1}))
+        assert "EXACT" in text
+        comparison = compare_tables(a, _table({"x": 3}))
+        assert "1/1" not in summary_line(comparison)
+        assert "max abs diff 2" in summary_line(comparison)
+
+    def test_na_rendering(self):
+        table = Table("t", "t", ("Total",), {"x": {"Total": None}})
+        assert "NA" in render_table(table)

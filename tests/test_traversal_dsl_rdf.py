@@ -1,0 +1,226 @@
+"""The Gremlin-style traversal DSL and the RDF triple store."""
+
+import pytest
+
+from repro.algorithms.matching import Var
+from repro.errors import GraphError, QueryError
+from repro.graphs import Literal, PropertyGraph, TripleStore
+from repro.query import (
+    between,
+    eq,
+    gt,
+    gte,
+    lt,
+    lte,
+    neq,
+    traverse,
+    within,
+)
+
+
+@pytest.fixture()
+def social():
+    g = PropertyGraph()
+    g.add_vertex("ann", label="Person", age=42, name="Ann")
+    g.add_vertex("bob", label="Person", age=17, name="Bob")
+    g.add_vertex("cat", label="Person", age=30, name="Cat")
+    g.add_vertex("acme", label="Company", name="Acme")
+    g.add_edge("ann", "bob", label="KNOWS")
+    g.add_edge("bob", "cat", label="KNOWS")
+    g.add_edge("cat", "ann", label="KNOWS")
+    g.add_edge("ann", "acme", label="WORKS_AT")
+    g.add_edge("cat", "acme", label="WORKS_AT")
+    return g
+
+
+class TestPredicates:
+    def test_comparators(self):
+        assert gt(5)(6) and not gt(5)(5)
+        assert gte(5)(5) and not gte(5)(4)
+        assert lt(5)(4) and not lt(5)(5)
+        assert lte(5)(5)
+        assert eq("x")("x") and neq("x")("y")
+        assert between(1, 5)(1) and not between(1, 5)(5)
+        assert within(1, 2)(2) and not within(1, 2)(3)
+
+    def test_none_is_never_comparable(self):
+        assert not gt(1)(None)
+        assert not lte(1)(None)
+
+
+class TestTraversalSteps:
+    def test_v_all_and_specific(self, social):
+        assert traverse(social).V().count() == 4
+        assert traverse(social).V("ann").to_list() == ["ann"]
+        assert traverse(social).V("ghost").to_list() == []
+
+    def test_has_label_and_has(self, social):
+        people = traverse(social).V().has_label("Person")
+        assert people.count() == 3
+        adults = (traverse(social).V().has_label("Person")
+                  .has("age", gt(21)).values("name").to_set())
+        assert adults == {"Ann", "Cat"}
+        named = traverse(social).V().has("name", "Acme").to_list()
+        assert named == ["acme"]
+
+    def test_out_in_both_with_labels(self, social):
+        assert traverse(social).V("ann").out("KNOWS").to_list() == ["bob"]
+        assert traverse(social).V("ann").out("WORKS_AT").to_list() == [
+            "acme"]
+        assert set(traverse(social).V("ann").out().to_list()) == {
+            "bob", "acme"}
+        assert traverse(social).V("ann").in_("KNOWS").to_list() == ["cat"]
+        assert traverse(social).V("acme").in_("WORKS_AT").to_set() == {
+            "ann", "cat"}
+        assert traverse(social).V("ann").both("KNOWS").to_set() == {
+            "bob", "cat"}
+
+    def test_repeat_and_paths(self, social):
+        hop3 = traverse(social).V("ann").repeat(
+            lambda t: t.out("KNOWS"), 3).to_list()
+        assert hop3 == ["ann"]  # KNOWS is a 3-cycle
+        paths = traverse(social).V("ann").out("KNOWS").out("KNOWS").paths()
+        assert paths == [("ann", "bob", "cat")]
+
+    def test_simple_path_prunes_cycles(self, social):
+        looped = traverse(social).V("ann").repeat(
+            lambda t: t.out("KNOWS"), 3)
+        assert looped.count() == 1
+        assert traverse(social).V("ann").repeat(
+            lambda t: t.out("KNOWS"), 3).simple_path().count() == 0
+
+    def test_dedup_limit_order(self, social):
+        coworkers = (traverse(social).V("acme").in_("WORKS_AT")
+                     .out("KNOWS").dedup())
+        assert coworkers.count() == 2
+        limited = traverse(social).V().limit(2).to_list()
+        assert len(limited) == 2
+        ordered = (traverse(social).V().has_label("Person")
+                   .order(by=lambda v: social.vertex_property(v, "age"))
+                   .values("name").to_list())
+        assert ordered == ["Bob", "Cat", "Ann"]
+
+    def test_where_and_group_count(self, social):
+        popular = traverse(social).V().where(
+            lambda v: social.in_degree(v) >= 2).to_list()
+        assert popular == ["acme"]
+        histogram = traverse(social).V().label().group_count()
+        assert histogram == {"Person": 3, "Company": 1}
+
+    def test_first_and_empty(self, social):
+        assert traverse(social).V("ann").out("KNOWS").first() == "bob"
+        assert traverse(social).V("bob").out("WORKS_AT").first() is None
+
+    def test_terminal_without_source(self, social):
+        with pytest.raises(QueryError):
+            traverse(social).to_list()
+        with pytest.raises(QueryError):
+            traverse(social).out()
+
+    def test_bad_limits(self, social):
+        with pytest.raises(QueryError):
+            traverse(social).V().limit(-1)
+        with pytest.raises(QueryError):
+            traverse(social).V().repeat(lambda t: t.out(), -1)
+
+    def test_lazy_evaluation(self, social):
+        """Steps after limit never run for pruned traversers."""
+        calls = []
+
+        def spy(vertex):
+            calls.append(vertex)
+            return True
+
+        traverse(social).V().limit(1).where(spy).to_list()
+        assert len(calls) == 1
+
+    def test_equivalence_with_gql(self, social):
+        from repro.query import run_query
+
+        gql = run_query(
+            social,
+            "MATCH (a:Person)-[:WORKS_AT]->(c:Company) RETURN a")
+        dsl = (traverse(social).V().has_label("Person")
+               .where(lambda v: "acme" in set(social.out_neighbors(v)))
+               .to_list())
+        assert sorted(r[0] for r in gql.rows) == sorted(dsl)
+
+
+class TestTripleStore:
+    @pytest.fixture()
+    def store(self):
+        store = TripleStore()
+        store.bind("ex", "http://example.org/")
+        store.bind("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+        store.add("ex:ann", "rdf:type", "ex:Person")
+        store.add("ex:bob", "rdf:type", "ex:Person")
+        store.add("ex:acme", "rdf:type", "ex:Company")
+        store.add("ex:ann", "ex:knows", "ex:bob")
+        store.add("ex:ann", "ex:worksAt", "ex:acme")
+        store.add("ex:ann", "ex:age", Literal(42))
+        return store
+
+    def test_add_dedupes(self, store):
+        assert not store.add("ex:ann", "ex:knows", "ex:bob")
+        assert len(store) == 6
+
+    def test_contains_and_remove(self, store):
+        assert ("ex:ann", "ex:knows", "ex:bob") in store
+        assert store.remove("ex:ann", "ex:knows", "ex:bob")
+        assert ("ex:ann", "ex:knows", "ex:bob") not in store
+        assert not store.remove("ex:ann", "ex:knows", "ex:bob")
+
+    def test_namespace_expand_compact(self, store):
+        assert store.expand("ex:ann") == "http://example.org/ann"
+        assert store.compact("http://example.org/ann") == "ex:ann"
+        assert store.expand("no:prefix") == "no:prefix"
+        assert store.compact("http://other.org/x") == "http://other.org/x"
+
+    @pytest.mark.parametrize("kwargs,count", [
+        (dict(subject="ex:ann"), 4),
+        (dict(predicate="rdf:type"), 3),
+        (dict(obj="ex:Person"), 2),
+        (dict(subject="ex:ann", predicate="ex:knows"), 1),
+        (dict(predicate="rdf:type", obj="ex:Company"), 1),
+        (dict(), 6),
+    ])
+    def test_triple_scans_use_any_binding(self, store, kwargs, count):
+        assert sum(1 for _ in store.triples(**kwargs)) == count
+
+    def test_subjects_objects_helpers(self, store):
+        assert store.subjects("rdf:type", "ex:Person") == {
+            "http://example.org/ann", "http://example.org/bob"}
+        assert store.objects("ex:ann", "ex:worksAt") == {
+            "http://example.org/acme"}
+
+    def test_select_join(self, store):
+        rows = list(store.select([
+            (Var("who"), "rdf:type", "ex:Person"),
+            (Var("who"), "ex:worksAt", Var("org")),
+        ]))
+        assert rows == [{"who": "http://example.org/ann",
+                         "org": "http://example.org/acme"}]
+
+    def test_select_literal_object(self, store):
+        rows = list(store.select([(Var("s"), "ex:age", Var("age"))]))
+        assert rows[0]["age"] == Literal(42)
+
+    def test_ask(self, store):
+        assert store.ask([("ex:ann", "ex:knows", Var("x"))])
+        assert not store.ask([("ex:bob", "ex:knows", Var("x"))])
+
+    def test_round_trip_with_property_graph(self, store):
+        graph = store.to_property_graph()
+        ann = "http://example.org/ann"
+        assert graph.vertex_label(ann) == "ex:Person"
+        assert graph.vertex_property(ann, "ex:age") == 42
+        assert graph.has_edge(ann, "http://example.org/bob")
+        back = TripleStore.from_property_graph(graph)
+        assert back.ask([(Var("s"), "ex:knows", Var("o"))])
+        assert back.ask([(ann, "rdf:type", Var("t"))])
+
+    def test_from_property_graph_requires_edge_labels(self):
+        g = PropertyGraph()
+        g.add_edge(1, 2)  # unlabelled
+        with pytest.raises(GraphError):
+            TripleStore.from_property_graph(g)

@@ -1,0 +1,299 @@
+"""Layouts, styles, SVG rendering, dynamic animation, large graphs."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.generators import (
+    balanced_tree,
+    barabasi_albert,
+    grid_graph,
+    star_graph,
+)
+from repro.graphs import Graph, VersionedGraph, graph_from_edges
+from repro.viz import (
+    EdgeStyle,
+    StyleSheet,
+    VertexStyle,
+    animate_snapshots,
+    animate_versions,
+    bounding_box,
+    circular_layout,
+    coarsen,
+    color_by_category,
+    force_directed_layout,
+    frames_to_html,
+    grid_layout,
+    hierarchical_layout,
+    normalize_layout,
+    radial_tree_layout,
+    render_large,
+    render_svg,
+    sample_subgraph,
+    shell_layout,
+    size_by_score,
+    star_layout,
+    tree_layout,
+    union_graph,
+    width_by_weight,
+)
+
+
+def parse_svg(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLayouts:
+    def test_circular_on_unit_circle(self):
+        g = graph_from_edges([(0, 1), (1, 2)], directed=False)
+        layout = circular_layout(g)
+        for x, y in layout.values():
+            assert math.hypot(x, y) == pytest.approx(1.0)
+
+    def test_circular_empty(self):
+        assert circular_layout(Graph()) == {}
+
+    def test_shell_layout_radii(self):
+        g = Graph(directed=False)
+        g.add_vertices([0, 1, 2])
+        layout = shell_layout(g, [[0], [1, 2]])
+        assert math.hypot(*layout[0]) == pytest.approx(1.0)
+        assert math.hypot(*layout[1]) == pytest.approx(2.0)
+
+    def test_grid_layout_covers_all(self):
+        g = barabasi_albert(50, 2, seed=1)
+        layout = grid_layout(g)
+        assert len(layout) == 50
+        assert len(set(layout.values())) == 50
+
+    def test_force_directed_distinct_positions(self):
+        g = graph_from_edges([(0, 1), (1, 2), (2, 0)], directed=False)
+        layout = force_directed_layout(g, iterations=30, seed=1)
+        assert len(set(layout.values())) == 3
+
+    def test_force_directed_singleton(self):
+        g = Graph()
+        g.add_vertex("only")
+        assert force_directed_layout(g) == {"only": (0.5, 0.5)}
+
+    def test_force_directed_separates_components(self):
+        g = Graph(directed=False)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        layout = force_directed_layout(g, iterations=40, seed=2)
+        intra = math.dist(layout[0], layout[1])
+        inter = math.dist(layout[0], layout[2])
+        assert inter > intra
+
+    def test_hierarchical_ranks_grow_down(self):
+        t = balanced_tree(2, 3)
+        layout = hierarchical_layout(t)
+        assert layout[0][1] == 0.0
+        for edge in t.edges():
+            assert layout[edge.v][1] == layout[edge.u][1] + 1
+
+    def test_hierarchical_with_cycle_terminates(self):
+        g = graph_from_edges([(1, 2), (2, 3), (3, 1), (3, 4)])
+        layout = hierarchical_layout(g)
+        assert len(layout) == 4
+
+    def test_tree_layout_parents_centered(self):
+        t = balanced_tree(2, 2)
+        layout = tree_layout(t, 0)
+        children = list(t.out_neighbors(0))
+        xs = [layout[c][0] for c in children]
+        assert layout[0][0] == pytest.approx(sum(xs) / len(xs))
+        leaves = [v for v in t.vertices() if t.out_degree(v) == 0]
+        leaf_xs = sorted(layout[v][0] for v in leaves)
+        assert leaf_xs == [0.0, 1.0, 2.0, 3.0]
+
+    def test_radial_tree_depth_is_radius(self):
+        t = balanced_tree(3, 2)
+        layout = radial_tree_layout(t, 0)
+        assert layout[0] == (0.0, 0.0)
+        for v in t.out_neighbors(0):
+            assert math.hypot(*layout[v]) == pytest.approx(1.0)
+
+    def test_star_layout(self):
+        g = star_graph(6)
+        layout = star_layout(g, 0)
+        assert layout[0] == (0.0, 0.0)
+        for leaf in range(1, 7):
+            assert math.hypot(*layout[leaf]) == pytest.approx(1.0)
+
+    def test_normalize_layout(self):
+        layout = {1: (-5.0, 0.0), 2: (5.0, 10.0)}
+        normalized = normalize_layout(layout)
+        assert normalized[1] == (0.0, 0.0)
+        assert normalized[2] == (1.0, 1.0)
+        assert bounding_box({}) == (0.0, 0.0, 1.0, 1.0)
+
+
+class TestStyles:
+    def test_defaults_and_rules(self):
+        sheet = StyleSheet()
+        sheet.style_vertices(
+            lambda v: VertexStyle(fill="#ff0000") if v == "hot" else None)
+        assert sheet.vertex_style("hot").fill == "#ff0000"
+        assert sheet.vertex_style("cold").fill == VertexStyle().fill
+
+    def test_color_by_category_cycles_palette(self):
+        rule = color_by_category(lambda v: v)
+        assert rule(0).fill != rule(1).fill
+        assert rule(0).fill == rule(10).fill  # palette has 10 colors
+
+    def test_size_by_score_clamps(self):
+        rule = size_by_score(lambda v: 2.0, min_radius=3, max_radius=10)
+        assert rule("x").radius == 10.0
+        rule_low = size_by_score(lambda v: -1.0, min_radius=3)
+        assert rule_low("x").radius == 3.0
+
+    def test_width_by_weight(self):
+        from repro.graphs.adjacency import Edge
+
+        rule = width_by_weight(scale=2.0)
+        heavy = rule(Edge(edge_id=0, u=1, v=2, weight=3.0))
+        assert heavy.width == 6.0
+
+    def test_style_validation(self):
+        with pytest.raises(ValueError):
+            VertexStyle(shape="blob")
+        with pytest.raises(ValueError):
+            VertexStyle(radius=0)
+        with pytest.raises(ValueError):
+            EdgeStyle(width=0)
+
+
+class TestSVG:
+    def test_well_formed_and_counts(self):
+        g = graph_from_edges([(0, 1), (1, 2)], directed=False)
+        svg = render_svg(g, circular_layout(g))
+        root = parse_svg(svg)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        lines = root.findall(".//{http://www.w3.org/2000/svg}line")
+        assert len(circles) == 3
+        assert len(lines) == 2
+
+    def test_directed_edges_have_arrowheads(self):
+        g = graph_from_edges([(0, 1)])
+        svg = render_svg(g, {0: (0, 0), 1: (1, 1)})
+        root = parse_svg(svg)
+        polygons = root.findall(".//{http://www.w3.org/2000/svg}polygon")
+        assert polygons  # the arrow head
+
+    def test_shapes_render(self):
+        g = Graph(directed=False)
+        g.add_vertices(["c", "s", "d", "t"])
+        sheet = StyleSheet()
+        shapes = {"c": "circle", "s": "square", "d": "diamond",
+                  "t": "triangle"}
+        sheet.style_vertices(lambda v: VertexStyle(shape=shapes[v]))
+        svg = render_svg(g, grid_layout(g), sheet)
+        root = parse_svg(svg)
+        assert root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(root.findall(
+            ".//{http://www.w3.org/2000/svg}polygon")) == 2
+
+    def test_labels_escaped(self):
+        g = Graph(directed=False)
+        g.add_vertex("x")
+        sheet = StyleSheet()
+        sheet.style_vertices(lambda v: VertexStyle(label="<&>"))
+        svg = render_svg(g, {"x": (0.5, 0.5)}, sheet)
+        parse_svg(svg)
+        assert "&lt;&amp;&gt;" in svg
+
+    def test_vertices_missing_from_layout_skipped(self):
+        g = graph_from_edges([(0, 1)], directed=False)
+        svg = render_svg(g, {0: (0.0, 0.0)})
+        root = parse_svg(svg)
+        assert len(root.findall(
+            ".//{http://www.w3.org/2000/svg}circle")) == 1
+        assert not root.findall(".//{http://www.w3.org/2000/svg}line")
+
+
+class TestDynamicViz:
+    def build_versions(self):
+        vg = VersionedGraph(directed=False)
+        vg.add_vertex("a")
+        vg.add_vertex("b")
+        uid = vg.add_edge("a", "b")
+        vg.commit()
+        vg.add_vertex("c")
+        vg.add_edge("b", "c")
+        vg.commit()
+        vg.remove_edge(uid)
+        vg.commit()
+        return vg
+
+    def test_frames_track_changes(self):
+        frames = animate_versions(self.build_versions())
+        assert len(frames) == 3
+        assert frames[0].added_vertices == {"a", "b"}
+        assert frames[1].added_vertices == {"c"}
+        assert ("a", "b") in frames[2].removed_edges
+        for frame in frames:
+            parse_svg(frame.svg)
+
+    def test_union_graph(self):
+        frames_source = [
+            graph_from_edges([(1, 2)], directed=False),
+            graph_from_edges([(2, 3)], directed=False),
+        ]
+        union = union_graph(frames_source)
+        assert union.num_vertices() == 3
+        assert union.num_edges() == 2
+
+    def test_animate_empty(self):
+        assert animate_snapshots([]) == []
+
+    def test_html_export(self):
+        frames = animate_versions(self.build_versions())
+        html = frames_to_html(frames)
+        assert html.count('class="frame"') == 3
+        assert "setInterval" in html
+
+
+class TestLargeGraph:
+    def test_sample_respects_budget(self):
+        g = barabasi_albert(300, 2, seed=1)
+        sample = sample_subgraph(g, 50, seed=1)
+        assert sample.num_vertices() == 50
+        assert set(sample.vertices()) <= set(g.vertices())
+
+    def test_sample_small_graph_returned_whole(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        sample = sample_subgraph(g, 100)
+        assert sample.num_vertices() == 2
+        with pytest.raises(ValueError):
+            sample_subgraph(g, 0)
+
+    def test_coarsen_preserves_membership(self):
+        g = barabasi_albert(120, 2, seed=2)
+        coarse = coarsen(g, seed=2)
+        total = sum(coarse.size_of(c) for c in coarse.members)
+        assert total == 120
+        assert coarse.graph.num_vertices() == len(coarse.members)
+
+    def test_coarsen_with_explicit_communities(self):
+        g = graph_from_edges([(1, 2), (3, 4), (2, 3)], directed=False)
+        coarse = coarsen(g, communities={1: 0, 2: 0, 3: 1, 4: 1})
+        assert coarse.graph.num_vertices() == 2
+        assert coarse.graph.num_edges() == 1
+
+    @pytest.mark.parametrize("mode", ["full", "sample", "coarsen", "auto"])
+    def test_render_large_modes(self, mode):
+        g = barabasi_albert(150, 2, seed=3)
+        svg = render_large(g, max_vertices=40, mode=mode)
+        parse_svg(svg)
+
+    def test_render_large_unknown_mode(self):
+        g = graph_from_edges([(1, 2)], directed=False)
+        with pytest.raises(ValueError):
+            render_large(g, mode="hologram")
+
+    def test_grid_fallback_for_huge_full(self):
+        g = grid_graph(2, 3)
+        svg = render_large(g, mode="full")
+        parse_svg(svg)

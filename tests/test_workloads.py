@@ -1,0 +1,153 @@
+"""Workload harness: the executable taxonomy, scenarios, and the product
+graph benchmark."""
+
+import pytest
+
+from repro.data import taxonomy
+from repro.query import run_query
+from repro.workloads import (
+    ALL_RUNNERS,
+    ProductGraphSpec,
+    SCENARIOS,
+    build_scenario,
+    copurchase_graph,
+    coverage,
+    customer_product_ratings,
+    generate_product_graph,
+    product_workload_queries,
+    run_computation,
+    run_survey_workload,
+)
+
+
+class TestRunnerRegistry:
+    def test_full_taxonomy_coverage(self):
+        """Every computation name in Tables 9 and 10 has a runner."""
+        assert all(coverage().values())
+
+    def test_runner_names_are_taxonomy_names(self):
+        taxonomy_names = (set(taxonomy.GRAPH_COMPUTATIONS)
+                          | set(taxonomy.ML_COMPUTATIONS)
+                          | set(taxonomy.ML_PROBLEMS)
+                          | {"Breadth-first-search or variant",
+                             "Depth-first-search or variant"})
+        assert set(ALL_RUNNERS) == taxonomy_names
+
+    def test_unknown_computation(self):
+        g = build_scenario("social", seed=1)
+        with pytest.raises(ValueError):
+            run_computation("Quantum Annealing", g)
+
+    @pytest.mark.parametrize("name", sorted(ALL_RUNNERS))
+    def test_each_runner_executes(self, name):
+        g = build_scenario("collaboration", seed=2)
+        result = run_computation(name, g, seed=2)
+        assert result.name == name
+        assert isinstance(result.summary, dict)
+        assert result.summary
+
+    def test_run_survey_workload(self):
+        g = build_scenario("social", seed=3)
+        results = run_survey_workload(g, seed=3)
+        assert len(results) == len(taxonomy.GRAPH_COMPUTATIONS) + 2
+        names = [r.name for r in results]
+        assert "Finding Connected Components" in names
+        assert "Depth-first-search or variant" in names
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_build(self, name):
+        g = build_scenario(name, seed=1)
+        assert g.num_vertices() > 0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            build_scenario("metaverse")
+
+    def test_web_graph_is_directed(self):
+        assert build_scenario("web").directed
+        assert not build_scenario("social").directed
+
+    def test_road_network_weighted(self):
+        g = build_scenario("road")
+        weights = {e.weight for e in g.edges()}
+        assert len(weights) > 1
+
+    def test_knowledge_graph_labels(self):
+        from repro.workloads.scenarios import knowledge_graph
+
+        kg = knowledge_graph(seed=1)
+        assert any(True for _ in kg.vertices_with_label("Concept"))
+        assert any(True for _ in kg.vertices_with_label("Document"))
+
+
+class TestProductGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_product_graph(
+            ProductGraphSpec(customers=40, products=20), seed=5)
+
+    def test_labels_present(self, graph):
+        for label in ("Customer", "Product", "Order", "Payment"):
+            assert any(True for _ in graph.vertices_with_label(label)), label
+
+    def test_orders_reference_products(self, graph):
+        for order in graph.vertices_with_label("Order"):
+            products = [v for v in graph.out_neighbors(order)
+                        if graph.vertex_label(v) == "Product"]
+            assert products
+            assert graph.vertex_property(order, "total") > 0
+
+    def test_payments_match_orders(self, graph):
+        for payment in graph.vertices_with_label("Payment"):
+            orders = [v for v in graph.in_neighbors(payment)
+                      if graph.vertex_label(v) == "Order"]
+            assert len(orders) == 1
+            order = orders[0]
+            assert graph.vertex_property(payment, "amount") == \
+                pytest.approx(graph.vertex_property(order, "total"))
+
+    def test_copurchase_projection(self, graph):
+        projection = copurchase_graph(graph)
+        assert not projection.directed
+        for edge in projection.edges():
+            assert graph.vertex_label(edge.u) == "Product"
+            assert edge.weight >= 1.0
+
+    def test_ratings(self, graph):
+        ratings = customer_product_ratings(graph)
+        assert ratings
+        for customer, product, value in ratings:
+            assert graph.vertex_label(customer) == "Customer"
+            assert graph.vertex_label(product) == "Product"
+            assert 1.0 <= value <= 5.0
+
+    def test_workload_queries_run(self, graph):
+        for name, text in product_workload_queries().items():
+            result = run_query(graph, text)
+            assert result.columns, name
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ProductGraphSpec(customers=0)
+        with pytest.raises(ValueError):
+            ProductGraphSpec(payment_rate=2.0)
+
+    def test_deterministic(self):
+        a = generate_product_graph(seed=7)
+        b = generate_product_graph(seed=7)
+        assert a.num_edges() == b.num_edges()
+        assert set(a.vertices()) == set(b.vertices())
+
+    def test_end_to_end_recommendation(self, graph):
+        """The future-work benchmark in one flow: ratings -> CF ->
+        recommendations."""
+        from repro.ml import ItemKNN, RatingMatrix
+
+        ratings = RatingMatrix.from_ratings(
+            customer_product_ratings(graph))
+        knn = ItemKNN(k=3).fit(ratings)
+        customer = ratings.users[0]
+        recommendations = knn.recommend(customer, n=3)
+        assert len(recommendations) <= 3
