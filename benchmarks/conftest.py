@@ -14,6 +14,34 @@ from repro.synthesis import (
 )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def observability():
+    """Benchmark runs always carry metric dicts.
+
+    Enables the :mod:`repro.obs` layer for the whole session, runs the
+    ``python -m repro.obs.report`` smoke workload once up front (its
+    span tree and metric summary are visible with ``-s``), and yields
+    the process registry; at session end the accumulated
+    ``observability_dict`` -- the form embedded in ``BENCH_*.json`` --
+    is printed.
+    """
+    from repro import obs
+    from repro.obs import report as obs_report
+
+    obs.reset()
+    obs.enable()
+    assert obs_report.main(["--scenario", "social"]) == 0
+    yield obs.get_registry()
+    import json
+
+    print()
+    print("BENCH observability metrics:")
+    print(json.dumps(obs.observability_dict()["metrics"], indent=2,
+                     default=repr))
+    obs.disable()
+    obs.reset()
+
+
 @pytest.fixture(scope="session")
 def population():
     return build_population()

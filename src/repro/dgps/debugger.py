@@ -88,9 +88,18 @@ class CapturedRun:
 
 
 def captured_run(engine: PregelEngine) -> CapturedRun:
-    """Run an engine with capture enabled and return the recording."""
+    """Run an engine with capture enabled and return the recording.
+
+    Capture consumes the engine's :mod:`repro.obs` superstep span
+    events: each finished ``pregel.superstep`` span carries a ``values``
+    snapshot (enabled via :meth:`PregelEngine.capture_values`), which
+    becomes one debugger snapshot. Spans are ordered by superstep, so
+    the recording indexes line up with :class:`SuperstepStats`.
+    """
     snapshots: list[dict[Vertex, Any]] = []
-    engine.set_trace_hook(
-        lambda superstep, values: snapshots.append(dict(values)))
+    engine.capture_values()
+    engine.on_superstep_span(
+        lambda step_span: snapshots.append(
+            dict(step_span.attributes["values"])))
     result = engine.run()
     return CapturedRun(result=result, snapshots=snapshots)

@@ -13,7 +13,10 @@ This module implements that model faithfully on one machine:
 * vote-to-halt semantics with reactivation on message receipt;
 * combiners (associative message pre-aggregation);
 * aggregators (global per-superstep reductions, Pregel-style);
-* an execution trace hook used by :mod:`repro.dgps.debugger`.
+* observability via :mod:`repro.obs`: one span per superstep carrying
+  active-vertex / message counts (plus value snapshots on demand),
+  consumed by :mod:`repro.dgps.debugger`; the legacy trace hook is a
+  thin adapter over those span events.
 
 The classic algorithms expressed on top of it live in
 :mod:`repro.dgps.algorithms`.
@@ -26,6 +29,7 @@ from typing import Any, Callable, Hashable, Iterable
 
 from repro.errors import ReproError
 from repro.graphs.adjacency import Graph, Vertex
+from repro.obs import Span, forced_span, get_registry, is_enabled, span
 
 
 class PregelError(ReproError):
@@ -144,8 +148,8 @@ class PregelEngine:
         self._messages_this_step = 0
         self._current_aggregates: dict[str, Any] = {}
         self._previous_aggregates: dict[str, Any] = {}
-        self._trace_hook: Callable[
-            [int, dict[Vertex, Any]], None] | None = None
+        self._span_listeners: list[Callable[[Span], None]] = []
+        self._capture_values = False
 
     # -- engine internals (called by VertexContext) ---------------------
 
@@ -169,19 +173,53 @@ class PregelEngine:
 
     # -- public API ------------------------------------------------------
 
+    def on_superstep_span(
+        self, listener: Callable[[Span], None],
+    ) -> None:
+        """Register a listener for finished ``pregel.superstep`` spans.
+
+        Each superstep closes one :class:`repro.obs.Span` carrying
+        ``superstep``, ``active_vertices``, ``messages_sent`` and
+        ``aggregates`` attributes (plus ``values``, a snapshot of every
+        vertex value, when :meth:`capture_values` is on). Listeners
+        receive the span immediately after it closes, even while global
+        tracing is disabled.
+        """
+        self._span_listeners.append(listener)
+
+    def capture_values(self, on: bool = True) -> None:
+        """Attach a full vertex-value snapshot to each superstep span
+        (the debugger's food; off by default because snapshots are
+        O(vertices) per superstep)."""
+        self._capture_values = on
+
     def set_trace_hook(
         self, hook: Callable[[int, dict[Vertex, Any]], None],
     ) -> None:
-        """Register a callback invoked after every superstep with the
-        superstep number and a snapshot of all vertex values (used by the
-        Graft-style debugger)."""
-        self._trace_hook = hook
+        """Legacy hook API, kept as a thin adapter over the
+        :mod:`repro.obs` span events: ``hook(superstep, values)`` is
+        called from each finished superstep span."""
+        self.capture_values()
+        self.on_superstep_span(
+            lambda sp: hook(sp.attributes["superstep"],
+                            sp.attributes["values"]))
+
+    def _observing(self) -> bool:
+        return bool(self._span_listeners) or self._capture_values
 
     def run(self) -> PregelResult:
         """Execute supersteps until every vertex halts with no messages
         in flight, or the budget is exhausted (then raises
         :class:`PregelError`)."""
+        with span("pregel.run", vertices=self.num_vertices) as run_span:
+            result = self._run_supersteps()
+            run_span.set("supersteps", result.supersteps)
+            run_span.set("messages", result.total_messages())
+        return result
+
+    def _run_supersteps(self) -> PregelResult:
         stats: list[SuperstepStats] = []
+        metrics = get_registry() if is_enabled() else None
         superstep = 0
         while superstep < self._max_supersteps:
             active = [
@@ -190,34 +228,55 @@ class PregelEngine:
             ]
             if not active:
                 break
-            self._messages_this_step = 0
-            self._current_aggregates = {
-                name: identity
-                for name, (_, identity) in self._aggregators.items()}
-            for vertex in active:
-                self._halted.discard(vertex)
-                context = VertexContext(
-                    vertex=vertex,
-                    value=self._values[vertex],
+            # Listeners (debugger, legacy trace hooks) need real span
+            # objects even when global tracing is off; the plain gated
+            # constructor keeps the no-listener path allocation-free.
+            if self._observing():
+                step_span = forced_span("pregel.superstep",
+                                        superstep=superstep)
+            else:
+                step_span = span("pregel.superstep", superstep=superstep)
+            with step_span:
+                self._messages_this_step = 0
+                self._current_aggregates = {
+                    name: identity
+                    for name, (_, identity) in self._aggregators.items()}
+                for vertex in active:
+                    self._halted.discard(vertex)
+                    context = VertexContext(
+                        vertex=vertex,
+                        value=self._values[vertex],
+                        superstep=superstep,
+                        messages=self._inbox.get(vertex, []),
+                        _engine=self,
+                        _out_edges=self._out_edges[vertex],
+                    )
+                    new_value = self._program(context)
+                    if new_value is not None:
+                        self._values[vertex] = new_value
+                    else:
+                        self._values[vertex] = context.value
+                    if context._halted:
+                        self._halted.add(vertex)
+                stats.append(SuperstepStats(
                     superstep=superstep,
-                    messages=self._inbox.get(vertex, []),
-                    _engine=self,
-                    _out_edges=self._out_edges[vertex],
-                )
-                new_value = self._program(context)
-                if new_value is not None:
-                    self._values[vertex] = new_value
-                else:
-                    self._values[vertex] = context.value
-                if context._halted:
-                    self._halted.add(vertex)
-            stats.append(SuperstepStats(
-                superstep=superstep,
-                active_vertices=len(active),
-                messages_sent=self._messages_this_step,
-                aggregates=dict(self._current_aggregates)))
-            if self._trace_hook is not None:
-                self._trace_hook(superstep, dict(self._values))
+                    active_vertices=len(active),
+                    messages_sent=self._messages_this_step,
+                    aggregates=dict(self._current_aggregates)))
+                step_span.set("active_vertices", len(active))
+                step_span.set("messages_sent", self._messages_this_step)
+                step_span.set("aggregates",
+                              dict(self._current_aggregates))
+                if self._capture_values:
+                    step_span.set("values", dict(self._values))
+            for listener in self._span_listeners:
+                listener(step_span)  # closed span, timing complete
+            if metrics is not None:
+                metrics.inc("pregel.supersteps")
+                metrics.inc("pregel.messages_sent",
+                            self._messages_this_step)
+                metrics.observe("pregel.superstep_ms",
+                                step_span.duration_ms)
             self._previous_aggregates = dict(self._current_aggregates)
             self._inbox = self._next_inbox
             self._next_inbox = {}

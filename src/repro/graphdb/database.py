@@ -33,6 +33,7 @@ from repro.graphs.triggers import (
 )
 from repro.graphdb.index import IndexedGraphView, LabelIndex, PropertyIndex
 from repro.graphdb.transactions import Transaction, TransactionError
+from repro.obs import NULL_SPAN, get_registry, is_enabled, span
 from repro.query.ast import Query, ResultSet
 from repro.query.executor import run_query
 from repro.query.profiler import explain as explain_query
@@ -53,6 +54,7 @@ class GraphDatabase:
         self._schema = schema
         self._triggers = TriggerRegistry()
         self._tx: Transaction | None = None
+        self._tx_span = NULL_SPAN
         self._next_tx_id = 1
 
     # -- introspection -----------------------------------------------------
@@ -113,7 +115,19 @@ class GraphDatabase:
             raise TransactionError("a transaction is already open")
         self._tx = Transaction(tx_id=self._next_tx_id)
         self._next_tx_id += 1
+        # Opened here and closed by commit()/rollback(), so every
+        # mutation and query inside the transaction nests under it.
+        self._tx_span = span("graphdb.transaction", tx_id=self._tx.tx_id)
+        self._tx_span.__enter__()
         return self._tx
+
+    def _close_tx_span(self, outcome: str, tx: Transaction) -> None:
+        tx_span, self._tx_span = self._tx_span, NULL_SPAN
+        tx_span.set("outcome", outcome)
+        tx_span.set("operations", tx.operations())
+        tx_span.__exit__(None, None, None)
+        if is_enabled():
+            get_registry().inc(f"graphdb.tx_{outcome}")
 
     def commit(self) -> None:
         tx = self._require_tx()
@@ -123,13 +137,17 @@ class GraphDatabase:
             except SchemaViolation:
                 tx.rollback()
                 self._tx = None
+                self._close_tx_span("schema_rollback", tx)
                 raise
         tx.commit()
         self._tx = None
+        self._close_tx_span("committed", tx)
 
     def rollback(self) -> None:
-        self._require_tx().rollback()
+        tx = self._require_tx()
+        tx.rollback()
         self._tx = None
+        self._close_tx_span("rolled_back", tx)
 
     def _require_tx(self) -> Transaction:
         if self._tx is None:
@@ -156,6 +174,12 @@ class GraphDatabase:
         if self._tx is not None:
             self._tx.record_undo(undo)
 
+    @staticmethod
+    def _count(name: str, amount: int = 1) -> None:
+        """Mutation counter, recorded only while observability is on."""
+        if is_enabled():
+            get_registry().inc(name, amount)
+
     # -- mutations ---------------------------------------------------------
 
     def add_vertex(self, vertex: Vertex, label: str | None = None,
@@ -179,6 +203,7 @@ class GraphDatabase:
             self._record_undo(lambda: self._raw_remove_vertex(vertex))
         self._fire(TriggerEvent.VERTEX_INSERT, TriggerPhase.AFTER,
                    vertex=vertex, label=label, properties=properties)
+        self._count("graphdb.vertices_added")
         return vertex
 
     def _restore_vertex(self, vertex, label, properties) -> None:
@@ -211,6 +236,7 @@ class GraphDatabase:
         self._fire(TriggerEvent.EDGE_INSERT, TriggerPhase.AFTER,
                    u=u, v=v, edge_id=edge_id, label=label,
                    properties=properties)
+        self._count("graphdb.edges_added")
         return edge_id
 
     def set_vertex_property(self, vertex: Vertex, key: str,
@@ -233,6 +259,7 @@ class GraphDatabase:
         self._record_undo(undo)
         self._fire(TriggerEvent.VERTEX_UPDATE, TriggerPhase.AFTER,
                    vertex=vertex, key=key, value=value, old_value=old)
+        self._count("graphdb.property_sets")
 
     def remove_edge(self, edge_id: int) -> None:
         edge = self._graph.edge(edge_id)
@@ -249,6 +276,7 @@ class GraphDatabase:
         self._record_undo(undo)
         self._fire(TriggerEvent.EDGE_REMOVE, TriggerPhase.AFTER,
                    edge_id=edge_id, u=edge.u, v=edge.v)
+        self._count("graphdb.edges_removed")
 
     def remove_vertex(self, vertex: Vertex) -> None:
         self._fire(TriggerEvent.VERTEX_REMOVE, TriggerPhase.BEFORE,
@@ -274,6 +302,7 @@ class GraphDatabase:
         self._record_undo(undo)
         self._fire(TriggerEvent.VERTEX_REMOVE, TriggerPhase.AFTER,
                    vertex=vertex)
+        self._count("graphdb.vertices_removed")
 
     def _raw_remove_vertex(self, vertex: Vertex) -> None:
         label = self._graph.vertex_label(vertex)
@@ -308,12 +337,16 @@ class GraphDatabase:
 
     def query(self, text: str | Query, optimize: bool = True) -> ResultSet:
         """Run a GQL-lite query over the indexed view."""
-        view = IndexedGraphView(self._graph, self._label_index)
-        if optimize:
-            rewritten, _ = reorder_for_selectivity(
-                view, text)  # type: ignore[arg-type]
-            return run_query(view, rewritten)  # type: ignore[arg-type]
-        return run_query(view, text)  # type: ignore[arg-type]
+        with span("graphdb.query", optimize=optimize) as query_span:
+            view = IndexedGraphView(self._graph, self._label_index)
+            if optimize:
+                rewritten, _ = reorder_for_selectivity(
+                    view, text)  # type: ignore[arg-type]
+                result = run_query(view, rewritten)  # type: ignore[arg-type]
+            else:
+                result = run_query(view, text)  # type: ignore[arg-type]
+            query_span.set("rows", len(result))
+        return result
 
     def explain(self, text: str | Query) -> str:
         view = IndexedGraphView(self._graph, self._label_index)

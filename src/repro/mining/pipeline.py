@@ -15,6 +15,7 @@ from repro.data import taxonomy
 from repro.data.table_model import Table
 from repro.mining import classifier, sizes
 from repro.mining.records import ReviewCorpus
+from repro.obs import get_registry, is_enabled, span
 
 
 @dataclass(frozen=True)
@@ -35,18 +36,20 @@ class ReviewReport:
 
 def reproduce_table1(corpus: ReviewCorpus) -> Table:
     """Active mailing-list users (distinct Feb-Apr senders) per product."""
-    rows = {
-        product: {"Users": len(corpus.active_users(product))}
-        for product in taxonomy.SURVEYED_PRODUCTS
-    }
+    with span("mining.table", table="1"):
+        rows = {
+            product: {"Users": len(corpus.active_users(product))}
+            for product in taxonomy.SURVEYED_PRODUCTS
+        }
     return Table(table_id="1", title=pt.TABLE_1.title, columns=("Users",),
                  rows=rows)
 
 
 def reproduce_table18(corpus: ReviewCorpus) -> tuple[Table, Table]:
     """Graph sizes mentioned in emails and issues."""
-    vertex_counts, edge_counts = sizes.count_bucketed_mentions(
-        corpus.messages())
+    with span("mining.table", table="18"):
+        vertex_counts, edge_counts = sizes.count_bucketed_mentions(
+            corpus.messages())
     table18a = Table(
         table_id="18a", title=pt.TABLE_18A.title, columns=("#",),
         rows={bucket: {"#": vertex_counts[bucket]}
@@ -60,9 +63,15 @@ def reproduce_table18(corpus: ReviewCorpus) -> tuple[Table, Table]:
 
 def reproduce_table19(corpus: ReviewCorpus) -> Table:
     """Challenges found in user emails and issues."""
-    counts = classifier.count_challenges(corpus.messages())
-    rows = {challenge: {"#": counts[challenge]}
-            for challenge in taxonomy.REVIEW_CHALLENGES}
+    with span("mining.table", table="19") as table_span:
+        messages = list(corpus.messages())
+        counts = classifier.count_challenges(messages)
+        table_span.set("messages", len(messages))
+        if is_enabled():
+            get_registry().inc("mining.messages_classified",
+                               len(messages))
+        rows = {challenge: {"#": counts[challenge]}
+                for challenge in taxonomy.REVIEW_CHALLENGES}
     return Table(table_id="19", title=pt.TABLE_19.title, columns=("#",),
                  rows=rows)
 
@@ -70,27 +79,30 @@ def reproduce_table19(corpus: ReviewCorpus) -> Table:
 def reproduce_table20(corpus: ReviewCorpus) -> Table:
     """Emails, issues and commits reviewed per product."""
     rows = {}
-    for product in pt.TABLE_20.rows:
-        emails = len(corpus.emails_for(product))
-        issues = len(corpus.issues_for(product))
-        repo = corpus.repos.get(product)
-        commits = repo.commit_count if repo else None
-        rows[product] = {
-            "Emails": emails or None,
-            "Issues": issues or None,
-            "Commits": commits,
-        }
+    with span("mining.table", table="20"):
+        for product in pt.TABLE_20.rows:
+            emails = len(corpus.emails_for(product))
+            issues = len(corpus.issues_for(product))
+            repo = corpus.repos.get(product)
+            commits = repo.commit_count if repo else None
+            rows[product] = {
+                "Emails": emails or None,
+                "Issues": issues or None,
+                "Commits": commits,
+            }
     return Table(table_id="20", title=pt.TABLE_20.title,
                  columns=("Emails", "Issues", "Commits"), rows=rows)
 
 
 def run_review(corpus: ReviewCorpus) -> ReviewReport:
     """Run the full review and return every derived table."""
-    table18a, table18b = reproduce_table18(corpus)
-    return ReviewReport(
-        table1=reproduce_table1(corpus),
-        table18a=table18a,
-        table18b=table18b,
-        table19=reproduce_table19(corpus),
-        table20=reproduce_table20(corpus),
-    )
+    with span("mining.review"):
+        table18a, table18b = reproduce_table18(corpus)
+        report = ReviewReport(
+            table1=reproduce_table1(corpus),
+            table18a=table18a,
+            table18b=table18b,
+            table19=reproduce_table19(corpus),
+            table20=reproduce_table20(corpus),
+        )
+    return report

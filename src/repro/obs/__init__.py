@@ -1,0 +1,73 @@
+"""Unified observability: tracing spans, metrics, and exporters.
+
+The single measurement substrate the ROADMAP's perf work rests on.
+Every instrumented subsystem (query executor/profiler, Pregel engine,
+graph database, mining pipeline, workload runner) speaks this API, so
+one ``enable()`` lights up the whole stack:
+
+    >>> from repro import obs
+    >>> obs.enable()
+    >>> with obs.span("demo", n=3):
+    ...     obs.get_registry().inc("demo.items", 3)
+    >>> print(obs.render_tree())       # doctest: +SKIP
+    >>> obs.disable(); obs.reset()
+
+Tracing is **disabled by default**; the gated :func:`span` constructor
+returns a shared no-op singleton while off, so instrumentation costs
+one attribute read on hot paths. ``python -m repro.obs.report`` runs a
+small instrumented workload end to end and prints the span tree plus
+the metric summary.
+"""
+
+from repro.obs.export import (
+    SpanRecord,
+    from_jsonl,
+    observability_dict,
+    render_tree,
+    span_record,
+    to_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    capture,
+    current_span,
+    disable,
+    enable,
+    finished_roots,
+    forced_span,
+    get_tracer,
+    is_enabled,
+    reset_spans,
+    span,
+    subscribe,
+    unsubscribe,
+)
+
+__all__ = [
+    # spans
+    "NULL_SPAN", "Span", "Tracer", "capture", "current_span", "disable",
+    "enable", "finished_roots", "forced_span", "get_tracer", "is_enabled",
+    "reset", "reset_spans", "span", "subscribe", "unsubscribe",
+    # metrics
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry",
+    # export
+    "SpanRecord", "from_jsonl", "observability_dict", "render_tree",
+    "span_record", "to_jsonl",
+]
+
+
+def reset() -> None:
+    """Drop collected spans and zero the process-wide metric registry."""
+    reset_spans()
+    get_registry().reset()

@@ -1,0 +1,160 @@
+"""Exporters for span trees and metric summaries.
+
+Three output shapes, matching the three consumers:
+
+* :func:`to_jsonl` / :func:`from_jsonl` -- one JSON object per finished
+  span (flat records linked by ``parent_id``), the machine-readable
+  trace dump; round-trips back into a linked tree of
+  :class:`SpanRecord`;
+* :func:`render_tree` -- an indented human-readable tree with durations
+  and attributes, for terminals;
+* :func:`observability_dict` -- spans plus the metric summary as one
+  plain dict, the form the benchmark suite embeds in ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.spans import Span, finished_roots
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to JSON-safe types (keys become str,
+    unknown objects become their repr)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def _walk(roots: Iterable[Span]) -> Iterator[Span]:
+    for root in roots:
+        yield from root.walk()
+
+
+def span_record(span: Span) -> dict[str, Any]:
+    """The flat JSON record for one span."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent.span_id if span.parent else None,
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "end_ns": span.end_ns,
+        "duration_ms": span.duration_ms,
+        "attributes": _jsonable(span.attributes),
+    }
+
+
+def to_jsonl(roots: Iterable[Span] | None = None) -> str:
+    """Serialize span trees as JSON-lines (depth-first, parents before
+    children). Defaults to every finished root span in the tracer."""
+    if roots is None:
+        roots = finished_roots()
+    lines = [json.dumps(span_record(s), sort_keys=True, default=repr)
+             for s in _walk(roots)]
+    return "\n".join(lines)
+
+
+@dataclass
+class SpanRecord:
+    """A span re-read from a JSON-lines dump, with tree links."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_ns: int | None
+    end_ns: int | None
+    duration_ms: float
+    attributes: dict[str, Any]
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["SpanRecord"]:
+        return [s for s in self.walk() if s.name == name]
+
+
+def from_jsonl(text: str) -> list[SpanRecord]:
+    """Parse a JSON-lines dump back into linked root records."""
+    by_id: dict[int, SpanRecord] = {}
+    roots: list[SpanRecord] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        record = SpanRecord(
+            span_id=raw["span_id"],
+            parent_id=raw.get("parent_id"),
+            name=raw["name"],
+            start_ns=raw.get("start_ns"),
+            end_ns=raw.get("end_ns"),
+            duration_ms=raw.get("duration_ms", 0.0),
+            attributes=raw.get("attributes", {}),
+        )
+        by_id[record.span_id] = record
+        parent = by_id.get(record.parent_id)
+        if parent is not None:
+            parent.children.append(record)
+        else:
+            roots.append(record)
+    return roots
+
+
+_TREE_ATTR_LIMIT = 60
+
+
+def _format_attributes(attributes: dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key, value in attributes.items():
+        text = repr(value)
+        if len(text) > _TREE_ATTR_LIMIT:
+            text = text[:_TREE_ATTR_LIMIT - 3] + "..."
+        parts.append(f"{key}={text}")
+    return "  {" + ", ".join(parts) + "}"
+
+
+def render_tree(roots: Iterable[Span | SpanRecord] | None = None) -> str:
+    """The span forest as an indented text tree with durations."""
+    if roots is None:
+        roots = finished_roots()
+
+    lines: list[str] = []
+
+    def render(span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{span.name}  {span.duration_ms:.3f} ms"
+                     f"{_format_attributes(span.attributes)}")
+        for child in span.children:
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def observability_dict(
+    roots: Iterable[Span] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Spans + metrics as one embeddable dict (``BENCH_*.json`` form)."""
+    if roots is None:
+        roots = finished_roots()
+    if registry is None:
+        registry = get_registry()
+    return {
+        "spans": [span_record(s) for s in _walk(roots)],
+        "metrics": registry.summary(),
+    }

@@ -17,6 +17,7 @@ from typing import Any, Iterator
 from repro.errors import QueryError
 from repro.graphs.adjacency import Vertex
 from repro.graphs.property_graph import PropertyGraph
+from repro.obs import get_registry, is_enabled, span
 from repro.query.ast import (
     Comparison,
     Direction,
@@ -74,17 +75,24 @@ def run_query(
     columns = tuple(item.name for item in query.items)
     result = ResultSet(columns=columns)
     seen: set[tuple] = set()
-    for binding in _match_patterns(catalog, query):
-        if query.limit is not None and len(result.rows) >= query.limit:
-            break
-        row = tuple(
-            _project(catalog, query, binding, item.variable, item.key)
-            for item in query.items)
-        if query.distinct:
-            if row in seen:
-                continue
-            seen.add(row)
-        result.rows.append(row)
+    with span("query.run", patterns=len(query.patterns),
+              conditions=len(query.conditions)) as run_span:
+        for binding in _match_patterns(catalog, query):
+            if query.limit is not None and len(result.rows) >= query.limit:
+                break
+            row = tuple(
+                _project(catalog, query, binding, item.variable, item.key)
+                for item in query.items)
+            if query.distinct:
+                if row in seen:
+                    continue
+                seen.add(row)
+            result.rows.append(row)
+        run_span.set("rows", len(result.rows))
+    if is_enabled():
+        registry = get_registry()
+        registry.inc("query.executed")
+        registry.inc("query.rows", len(result.rows))
     return result
 
 

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.graphs.property_graph import PropertyGraph
+from repro.obs import MetricsRegistry, get_registry, is_enabled, span
 from repro.query.ast import (
     Direction,
     EdgePattern,
@@ -30,22 +31,77 @@ from repro.query.ast import (
 from repro.query.executor import GraphCatalog, run_query
 from repro.query.parser import parse
 
+#: Metric name prefix for executor access counters.
+ACCESS_PREFIX = "query.access."
 
-@dataclass
+#: The counters AccessStats exposes, in display order.
+ACCESS_FIELDS = ("vertex_scans", "vertices_yielded", "neighbor_lists",
+                 "label_lookups")
+
+
 class AccessStats:
-    """What the executor touched while matching."""
+    """What the executor touched while matching.
 
-    vertex_scans: int = 0        # full-vertex-set enumerations started
-    vertices_yielded: int = 0    # vertices produced by those scans
-    neighbor_lists: int = 0      # adjacency lists opened
-    label_lookups: int = 0       # label index probes
+    Backed by a :class:`repro.obs.MetricsRegistry` (a private one by
+    default); the historical attribute API is preserved as properties
+    over the underlying counters. While global observability is
+    enabled, every increment is mirrored into the process-wide registry
+    under the same ``query.access.*`` names.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else (
+            MetricsRegistry())
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Record ``amount`` accesses of kind ``name``."""
+        self.registry.counter(ACCESS_PREFIX + name).inc(amount)
+        if is_enabled():
+            shared = get_registry()
+            if shared is not self.registry:
+                shared.counter(ACCESS_PREFIX + name).inc(amount)
+
+    def _get(self, name: str) -> int:
+        return self.registry.counter(ACCESS_PREFIX + name).value
+
+    def _set(self, name: str, value: int) -> None:
+        self.registry.counter(ACCESS_PREFIX + name).set(value)
+
+    # Historical dataclass fields, now counter-backed.
+    vertex_scans = property(         # full-vertex-set enumerations started
+        lambda self: self._get("vertex_scans"),
+        lambda self, v: self._set("vertex_scans", v))
+    vertices_yielded = property(     # vertices produced by those scans
+        lambda self: self._get("vertices_yielded"),
+        lambda self, v: self._set("vertices_yielded", v))
+    neighbor_lists = property(       # adjacency lists opened
+        lambda self: self._get("neighbor_lists"),
+        lambda self, v: self._set("neighbor_lists", v))
+    label_lookups = property(        # label index probes
+        lambda self: self._get("label_lookups"),
+        lambda self, v: self._set("label_lookups", v))
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: self._get(name) for name in ACCESS_FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"AccessStats({fields})"
 
 
 class CountingGraph:
     """A read-only proxy over a property graph that counts accesses.
 
     Implements the executor-facing read API by delegation; every hot
-    path increments :class:`AccessStats`.
+    path increments :class:`AccessStats` (and thereby the shared
+    metric registry when observability is on).
     """
 
     def __init__(self, graph: PropertyGraph, stats: AccessStats):
@@ -55,25 +111,30 @@ class CountingGraph:
     # -- counted hot paths ------------------------------------------------
 
     def vertices(self):
-        self.stats.vertex_scans += 1
-        for vertex in self._graph.vertices():
-            self.stats.vertices_yielded += 1
-            yield vertex
+        self.stats.inc("vertex_scans")
+        yielded = 0
+        try:
+            for vertex in self._graph.vertices():
+                yielded += 1
+                yield vertex
+        finally:
+            if yielded:
+                self.stats.inc("vertices_yielded", yielded)
 
     def vertices_with_label(self, label):
-        self.stats.label_lookups += 1
+        self.stats.inc("label_lookups")
         return self._graph.vertices_with_label(label)
 
     def out_neighbors(self, vertex):
-        self.stats.neighbor_lists += 1
+        self.stats.inc("neighbor_lists")
         return self._graph.out_neighbors(vertex)
 
     def in_neighbors(self, vertex):
-        self.stats.neighbor_lists += 1
+        self.stats.inc("neighbor_lists")
         return self._graph.in_neighbors(vertex)
 
     def neighbors(self, vertex):
-        self.stats.neighbor_lists += 1
+        self.stats.inc("neighbor_lists")
         return self._graph.neighbors(vertex)
 
     # -- transparent delegation ---------------------------------------
@@ -224,14 +285,18 @@ def profile(
 ) -> QueryProfile:
     """Execute against an instrumented proxy and report access counts."""
     parsed = parse(query) if isinstance(query, str) else query
-    if optimize:
-        parsed, plans = reorder_for_selectivity(graph, parsed)
-    else:
-        plans = [_pattern_plan(graph, p) for p in parsed.patterns]
-    stats = AccessStats()
-    counting = CountingGraph(graph, stats)
-    start = time.perf_counter()
-    result = run_query(counting, parsed)  # type: ignore[arg-type]
-    elapsed_ms = (time.perf_counter() - start) * 1000
+    with span("query.profile", optimize=optimize) as profile_span:
+        if optimize:
+            parsed, plans = reorder_for_selectivity(graph, parsed)
+        else:
+            plans = [_pattern_plan(graph, p) for p in parsed.patterns]
+        stats = AccessStats()
+        counting = CountingGraph(graph, stats)
+        start = time.perf_counter()
+        result = run_query(counting, parsed)  # type: ignore[arg-type]
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        profile_span.set("rows", len(result))
+        profile_span.set("elapsed_ms", elapsed_ms)
+        profile_span.set("access", stats.as_dict())
     return QueryProfile(result=result, elapsed_ms=elapsed_ms,
                         stats=stats, plans=plans)

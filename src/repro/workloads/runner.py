@@ -12,11 +12,13 @@ Used by ``examples/survey_workloads.py`` and the workload benchmarks.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.data import taxonomy
 from repro.graphs.adjacency import Graph
+from repro.obs import get_registry, is_enabled, span
 
 
 @dataclass(frozen=True)
@@ -319,20 +321,37 @@ ALL_RUNNERS: dict[str, Callable] = {
 
 
 def run_computation(name: str, graph: Graph, seed: int = 0) -> WorkloadResult:
-    """Run one surveyed computation by its Table 9/10/11 name."""
+    """Run one surveyed computation by its Table 9/10/11 name.
+
+    Each run is wrapped in a labeled ``workload.computation`` span and,
+    while observability is on, feeds the ``workload.computation_ms``
+    latency histogram.
+    """
     try:
         runner = ALL_RUNNERS[name]
     except KeyError:
         raise ValueError(
             f"unknown computation {name!r}; known: {sorted(ALL_RUNNERS)}"
         ) from None
-    return WorkloadResult(name=name, summary=runner(graph, seed))
+    with span("workload.computation", name=name, seed=seed) as run_span:
+        start = time.perf_counter()
+        summary = runner(graph, seed)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        run_span.set("elapsed_ms", elapsed_ms)
+    if is_enabled():
+        registry = get_registry()
+        registry.inc("workload.computations")
+        registry.observe("workload.computation_ms", elapsed_ms)
+    return WorkloadResult(name=name, summary=summary)
 
 
 def run_survey_workload(graph: Graph, seed: int = 0) -> list[WorkloadResult]:
     """Run every Table 9 computation plus both traversals on one graph."""
     names = list(taxonomy.GRAPH_COMPUTATIONS) + list(TRAVERSAL_RUNNERS)
-    return [run_computation(name, graph, seed) for name in names]
+    with span("workload.survey", computations=len(names),
+              vertices=graph.num_vertices()):
+        results = [run_computation(name, graph, seed) for name in names]
+    return results
 
 
 def coverage() -> dict[str, bool]:

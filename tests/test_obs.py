@@ -1,0 +1,273 @@
+"""The unified observability layer: spans, metrics, exporters, wiring."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.spans import NULL_SPAN, Span
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with tracing off and nothing stored."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_disabled_by_default_returns_null_singleton(self):
+        assert not obs.is_enabled()
+        first = obs.span("a")
+        second = obs.span("b", attr=1)
+        assert first is NULL_SPAN
+        assert second is NULL_SPAN  # no span objects on the hot path
+
+    def test_null_span_is_inert(self):
+        with obs.span("ignored") as sp:
+            sp.set("key", "value")
+            sp["other"] = 2
+        assert sp.attributes == {}
+        assert sp.duration_ms == 0.0
+        assert obs.finished_roots() == []
+
+    def test_nesting_and_attribute_capture(self):
+        obs.enable()
+        with obs.span("outer", depth=0) as outer:
+            with obs.span("inner", depth=1) as inner:
+                inner.set("extra", "x")
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert outer.attributes == {"depth": 0}
+        assert inner.attributes == {"depth": 1, "extra": "x"}
+        roots = obs.finished_roots()
+        assert roots == [outer]
+        assert [s.name for s in outer.walk()] == ["outer", "inner"]
+
+    def test_durations_are_recorded_and_nested(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.duration_ms >= inner.duration_ms >= 0.0
+        assert outer.closed and inner.closed
+
+    def test_current_span_tracks_stack(self):
+        obs.enable()
+        assert obs.current_span() is None
+        with obs.span("outer") as outer:
+            assert obs.current_span() is outer
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+            assert obs.current_span() is outer
+        assert obs.current_span() is None
+
+    def test_exception_marks_span_and_unwinds(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom") as sp:
+                raise ValueError("x")
+        assert sp.attributes["error"] == "ValueError"
+        assert obs.current_span() is None
+        assert obs.finished_roots() == [sp]
+
+    def test_subscribers_see_every_finished_span(self):
+        obs.enable()
+        seen = []
+        obs.subscribe(seen.append)
+        try:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        finally:
+            obs.unsubscribe(seen.append)
+        assert [s.name for s in seen] == ["inner", "outer"]
+
+    def test_forced_span_fires_subscribers_but_is_not_retained(self):
+        seen = []
+        obs.subscribe(seen.append)
+        try:
+            with obs.forced_span("forced", k=1):
+                pass
+        finally:
+            obs.unsubscribe(seen.append)
+        assert [s.name for s in seen] == ["forced"]
+        assert obs.finished_roots() == []  # tracing still disabled
+
+    def test_capture_restores_prior_state(self):
+        with obs.capture() as trace:
+            assert obs.is_enabled()
+            with obs.span("inside"):
+                pass
+        assert not obs.is_enabled()
+        assert [s.name for s in trace.roots] == ["inside"]
+
+    def test_threads_get_independent_subtrees(self):
+        obs.enable()
+        done = threading.Event()
+
+        def worker():
+            with obs.span("worker-root"):
+                pass
+            done.set()
+
+        with obs.span("main-root") as main_root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        names = {s.name for s in obs.finished_roots()}
+        assert names == {"worker-root", "main-root"}
+        assert main_root.children == []  # worker span did not nest here
+
+    def test_find_by_name(self):
+        obs.enable()
+        with obs.span("root") as root:
+            for i in range(3):
+                with obs.span("step", i=i):
+                    pass
+        assert len(root.find("step")) == 3
+
+
+class TestMetrics:
+    def test_counter_accumulates_without_overflow(self):
+        counter = Counter("big")
+        huge = 2 ** 62
+        for _ in range(8):
+            counter.inc(huge)
+        counter.inc(1)
+        assert counter.value == 8 * huge + 1  # exact, arbitrary precision
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 3)
+        registry.set_gauge("depth", 7)
+        assert registry.gauge("depth").value == 7
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (1.0, 1.5, 2.0, 5.0, 6.0):
+            h.observe(value)
+        # 1.0 lands in the <=1 bucket; 1.5 and 2.0 in <=2; 5.0 in <=5;
+        # 6.0 overflows.
+        assert h.counts == [1, 2, 1, 1]
+        assert h.min == 1.0 and h.max == 6.0
+
+    def test_histogram_percentiles_at_edges(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        # n=2: p50 -> rank 1 -> first bucket's bound; p99 -> rank 2.
+        assert h.percentile(50) == 1.0
+        assert h.percentile(99) == 2.0
+        assert h.percentile(100) == 2.0
+
+    def test_histogram_overflow_reports_observed_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(10.0)
+        h.observe(40.0)
+        # Past the last bound there is no upper edge to report, so any
+        # rank landing in the overflow bucket resolves to the max seen.
+        assert h.percentile(50) == 40.0
+        assert h.percentile(99) == 40.0
+
+    def test_histogram_empty_and_summary(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        assert h.percentile(50) is None
+        assert h.summary()["count"] == 0
+        h.observe(0.5)
+        summary = h.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == pytest.approx(0.5)
+        assert summary["p50"] == 1.0  # bucket upper bound
+        assert math.isclose(summary["sum"], 0.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_registry_get_or_create_and_summary(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.inc("a")
+        registry.observe("lat", 0.4)
+        registry.set_gauge("g", 1)
+        summary = registry.summary()
+        assert summary["counters"] == {"a": 3}
+        assert summary["gauges"] == {"g": 1}
+        assert summary["histograms"]["lat"]["count"] == 1
+        registry.reset()
+        assert registry.counter("a").value == 0
+        assert registry.histogram("lat").count == 0
+
+    def test_registry_threaded_increments(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("hits").value == 4000
+
+
+class TestExport:
+    def build_trace(self):
+        obs.enable()
+        with obs.span("root", kind="demo") as root:
+            with obs.span("child", i=0):
+                pass
+            with obs.span("child", i=1) as second:
+                second.set("values", {1: 0.5, "x": (1, 2)})
+        return root
+
+    def test_jsonl_round_trip(self):
+        root = self.build_trace()
+        dump = obs.to_jsonl([root])
+        assert len(dump.splitlines()) == 3
+        for line in dump.splitlines():
+            json.loads(line)  # every line is standalone JSON
+        roots = obs.from_jsonl(dump)
+        assert len(roots) == 1
+        rebuilt = roots[0]
+        assert rebuilt.name == "root"
+        assert rebuilt.attributes == {"kind": "demo"}
+        assert [c.name for c in rebuilt.children] == ["child", "child"]
+        assert rebuilt.children[0].parent_id == rebuilt.span_id
+        # non-string dict keys and tuples were coerced to JSON-safe forms
+        assert rebuilt.children[1].attributes["values"] == {
+            "1": 0.5, "x": [1, 2]}
+        assert rebuilt.duration_ms == pytest.approx(root.duration_ms)
+
+    def test_jsonl_defaults_to_tracer_roots(self):
+        self.build_trace()
+        roots = obs.from_jsonl(obs.to_jsonl())
+        assert [r.name for r in roots] == ["root"]
+
+    def test_render_tree_shows_nesting_and_attributes(self):
+        root = self.build_trace()
+        text = obs.render_tree([root])
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "kind='demo'" in lines[0]
+        assert "ms" in lines[0]
+        assert obs.render_tree([]) == "(no spans recorded)"
+
+    def test_observability_dict_embeds_spans_and_metrics(self):
+        root = self.build_trace()
+        obs.get_registry().inc("demo.counter", 5)
+        bundle = obs.observability_dict([root])
+        assert len(bundle["spans"]) == 3
+        assert bundle["metrics"]["counters"]["demo.counter"] == 5
+        json.dumps(bundle)  # embeddable in BENCH_*.json as-is
