@@ -20,17 +20,23 @@ def observability():
 
     Enables the :mod:`repro.obs` layer for the whole session, runs the
     ``python -m repro.obs.report`` smoke workload once up front (its
-    span tree and metric summary are visible with ``-s``), and yields
-    the process registry; at session end the accumulated
-    ``observability_dict`` -- the form embedded in ``BENCH_*.json`` --
-    is printed.
+    span tree and metric summary are visible with ``-s``), exercises
+    the sharded runtime end to end (tiny graph, k=2, one injected
+    worker kill — checkpoint + recovery must reproduce the fault-free
+    values), and yields the process registry; at session end the
+    accumulated ``observability_dict`` -- the form embedded in
+    ``BENCH_*.json`` -- is printed.
     """
     from repro import obs
+    from repro.dist import report as dist_report
     from repro.obs import report as obs_report
 
     obs.reset()
     obs.enable()
     assert obs_report.main(["--scenario", "social"]) == 0
+    dist_smoke = dist_report.smoke(k=2)
+    assert dist_smoke["recovered"] and dist_smoke["recoveries"] == 1
+    assert obs.get_registry().counter("dist.recoveries").value >= 1
     yield obs.get_registry()
     import json
 

@@ -99,6 +99,7 @@ from repro.algorithms.pagerank import (
 from repro.algorithms.partitioning import (
     balance,
     bfs_grow_partition,
+    communication_volume,
     edge_cut,
     label_propagation_refine,
     partition_graph,

@@ -24,6 +24,27 @@ def edge_cut(graph, partition: Partition) -> int:
     )
 
 
+def communication_volume(graph, partition: Partition) -> int:
+    """Number of (vertex, remote-part) pairs — the routing cost a
+    sharded runtime actually pays.
+
+    A vertex that sends along its out-edges ships one combined message
+    per *distinct* remote part its neighbors live in (sender-side
+    combining collapses the rest), so this counts
+    ``sum over v of |{parts of v's neighbors} - {part of v}|``.
+    Contrast with :func:`edge_cut`, which charges every crossing edge
+    even when many lead to the same remote part.
+    """
+    total = 0
+    for vertex in graph.vertices():
+        home = partition[vertex]
+        remote = {partition[neighbor]
+                  for neighbor in graph.neighbors(vertex)}
+        remote.discard(home)
+        total += len(remote)
+    return total
+
+
 def balance(partition: Partition, k: int) -> float:
     """Max part size over ideal size (1.0 = perfectly balanced)."""
     if not partition:

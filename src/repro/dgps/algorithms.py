@@ -12,6 +12,7 @@ from typing import Hashable
 
 from repro.dgps.pregel import (
     PregelResult,
+    PregelSpec,
     VertexContext,
     run_pregel,
     sum_aggregator,
@@ -21,20 +22,19 @@ from repro.graphs.adjacency import Graph, Vertex
 INFINITY = float("inf")
 
 
-def pregel_pagerank(
+def pagerank_spec(
     graph: Graph,
     damping: float = 0.85,
     supersteps: int = 30,
-) -> dict[Vertex, float]:
-    """Fixed-iteration PageRank (the Pregel paper's flagship example).
+) -> PregelSpec:
+    """The PageRank vertex program as an executor-independent spec.
 
-    Dangling mass is redistributed uniformly via a sum aggregator, so the
-    scores agree with :func:`repro.algorithms.pagerank` run for the same
-    number of power iterations.
+    Dangling mass is redistributed uniformly via a sum aggregator, so
+    the scores agree with :func:`repro.algorithms.pagerank` run for the
+    same number of power iterations. ``graph`` is only consulted for
+    emptiness checks — the spec itself runs unchanged on
+    :class:`~repro.dgps.pregel.PregelEngine` or :mod:`repro.dist`.
     """
-    n = graph.num_vertices()
-    if n == 0:
-        return {}
 
     def program(ctx: VertexContext):
         if ctx.superstep == 0:
@@ -54,26 +54,41 @@ def pregel_pagerank(
             ctx.vote_to_halt()
         return value
 
-    result = run_pregel(
-        graph, program,
+    return PregelSpec(
+        program=program,
         initial_value=0.0,
         combiner=lambda a, b: a + b,
         aggregators={"dangling": sum_aggregator()},
         max_supersteps=supersteps + 2)
-    return result.values
 
 
-def pregel_connected_components(graph: Graph) -> dict[Vertex, Hashable]:
-    """HashMin label propagation: every vertex converges to the smallest
-    (by repr) vertex id in its weakly connected component."""
+def pregel_pagerank(
+    graph: Graph,
+    damping: float = 0.85,
+    supersteps: int = 30,
+) -> dict[Vertex, float]:
+    """Fixed-iteration PageRank (the Pregel paper's flagship example)."""
+    if graph.num_vertices() == 0:
+        return {}
+    return pagerank_spec(graph, damping, supersteps).run(graph).values
+
+
+def _smaller_label(a, b):
+    return a if (repr(a), repr(a)) <= (repr(b), repr(b)) else b
+
+
+def connected_components_spec(graph: Graph) -> PregelSpec:
+    """HashMin label propagation as an executor-independent spec.
+
+    The reverse-edge lists are captured from ``graph`` at spec-build
+    time (directed graphs propagate labels both ways to find *weakly*
+    connected components), so run the spec on the same graph.
+    """
     reverse_edges: dict[Vertex, list[Vertex]] = {
         v: [] for v in graph.vertices()}
     if graph.directed:
         for edge in graph.edges():
             reverse_edges[edge.v].append(edge.u)
-
-    def smaller(a, b):
-        return a if (repr(a), repr(a)) <= (repr(b), repr(b)) else b
 
     def program(ctx: VertexContext):
         if ctx.superstep == 0:
@@ -81,7 +96,7 @@ def pregel_connected_components(graph: Graph) -> dict[Vertex, Hashable]:
         else:
             label = ctx.value
             for message in ctx.messages:
-                label = smaller(label, message)
+                label = _smaller_label(label, message)
             if label == ctx.value:
                 ctx.vote_to_halt()
                 return label
@@ -90,19 +105,20 @@ def pregel_connected_components(graph: Graph) -> dict[Vertex, Hashable]:
             ctx.send(backward, label)
         return label
 
-    result = run_pregel(
-        graph, program,
-        combiner=smaller,
+    return PregelSpec(
+        program=program,
+        combiner=_smaller_label,
         max_supersteps=graph.num_vertices() + 2)
-    return result.values
 
 
-def pregel_sssp(
-    graph: Graph,
-    source: Vertex,
-) -> dict[Vertex, float]:
-    """Single-source shortest paths by distance relaxation (weighted,
-    non-negative). Unreached vertices end at ``inf``."""
+def pregel_connected_components(graph: Graph) -> dict[Vertex, Hashable]:
+    """HashMin label propagation: every vertex converges to the smallest
+    (by repr) vertex id in its weakly connected component."""
+    return connected_components_spec(graph).run(graph).values
+
+
+def sssp_spec(graph: Graph, source: Vertex) -> PregelSpec:
+    """Shortest-path relaxation as an executor-independent spec."""
 
     def program(ctx: VertexContext):
         if ctx.superstep == 0:
@@ -118,12 +134,20 @@ def pregel_sssp(
         ctx.vote_to_halt()
         return distance
 
-    result = run_pregel(
-        graph, program,
+    return PregelSpec(
+        program=program,
         initial_value=INFINITY,
         combiner=min,
         max_supersteps=graph.num_vertices() + 2)
-    return result.values
+
+
+def pregel_sssp(
+    graph: Graph,
+    source: Vertex,
+) -> dict[Vertex, float]:
+    """Single-source shortest paths by distance relaxation (weighted,
+    non-negative). Unreached vertices end at ``inf``."""
+    return sssp_spec(graph, source).run(graph).values
 
 
 def pregel_degree(graph: Graph) -> dict[Vertex, int]:

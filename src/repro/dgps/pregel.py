@@ -88,6 +88,61 @@ Combiner = Callable[[Any, Any], Any]
 Aggregator = tuple[Callable[[Any, Any], Any], Any]
 
 
+def require_known_vertex(known, target: Vertex) -> None:
+    """Reject a message aimed at a vertex that is not in the graph.
+
+    ``known`` is any container supporting ``in`` over the graph's
+    vertices (the engine's value map, a shard assignment, ...). Shared
+    by :meth:`PregelEngine._enqueue` and :mod:`repro.dist` message
+    routing so both fail at the *send* site with the same clear error
+    instead of corrupting a later superstep.
+    """
+    if target not in known:
+        raise PregelError(
+            f"message sent to unknown vertex {target!r}: "
+            f"message targets must be vertices of the graph")
+
+
+def run_local_superstep(
+    host,
+    program: VertexProgram,
+    superstep: int,
+    active: Iterable[Vertex],
+    values: dict[Vertex, Any],
+    inbox: dict[Vertex, list[Any]],
+    out_edges: dict[Vertex, list[tuple[Vertex, float]]],
+    halted: set[Vertex],
+) -> None:
+    """Superstep-local compute, shared by every BSP executor.
+
+    Runs ``program`` over ``active`` vertices, mutating ``values`` and
+    ``halted`` in place. ``host`` receives the sends/aggregations: it
+    must provide ``_enqueue``, ``_aggregate``, ``_previous_aggregates``
+    and ``num_vertices`` — the surface :class:`VertexContext` uses.
+    :class:`PregelEngine` passes itself (whole graph); a
+    :class:`repro.dist.worker.Worker` passes itself (one shard), which
+    is what keeps distributed supersteps bit-for-bit the same compute
+    as the single-machine engine.
+    """
+    for vertex in active:
+        halted.discard(vertex)
+        context = VertexContext(
+            vertex=vertex,
+            value=values[vertex],
+            superstep=superstep,
+            messages=inbox.get(vertex, []),
+            _engine=host,
+            _out_edges=out_edges[vertex],
+        )
+        new_value = program(context)
+        if new_value is not None:
+            values[vertex] = new_value
+        else:
+            values[vertex] = context.value
+        if context._halted:
+            halted.add(vertex)
+
+
 @dataclass(frozen=True)
 class SuperstepStats:
     """Observability record for one superstep."""
@@ -154,8 +209,7 @@ class PregelEngine:
     # -- engine internals (called by VertexContext) ---------------------
 
     def _enqueue(self, target: Vertex, message: Any) -> None:
-        if target not in self._values:
-            raise PregelError(f"message sent to unknown vertex {target!r}")
+        require_known_vertex(self._values, target)
         self._messages_this_step += 1
         box = self._next_inbox
         if self._combiner is not None and target in box:
@@ -241,23 +295,10 @@ class PregelEngine:
                 self._current_aggregates = {
                     name: identity
                     for name, (_, identity) in self._aggregators.items()}
-                for vertex in active:
-                    self._halted.discard(vertex)
-                    context = VertexContext(
-                        vertex=vertex,
-                        value=self._values[vertex],
-                        superstep=superstep,
-                        messages=self._inbox.get(vertex, []),
-                        _engine=self,
-                        _out_edges=self._out_edges[vertex],
-                    )
-                    new_value = self._program(context)
-                    if new_value is not None:
-                        self._values[vertex] = new_value
-                    else:
-                        self._values[vertex] = context.value
-                    if context._halted:
-                        self._halted.add(vertex)
+                run_local_superstep(
+                    self, self._program, superstep, active,
+                    self._values, self._inbox, self._out_edges,
+                    self._halted)
                 stats.append(SuperstepStats(
                     superstep=superstep,
                     active_vertices=len(active),
@@ -287,6 +328,31 @@ class PregelEngine:
                 f"{self._max_supersteps} supersteps")
         return PregelResult(values=dict(self._values),
                             supersteps=superstep, stats=stats)
+
+
+@dataclass(frozen=True)
+class PregelSpec:
+    """A complete vertex-program configuration, independent of the
+    executor.
+
+    Bundles everything :func:`run_pregel` takes besides the graph, so
+    the same computation can be handed unchanged to the single-machine
+    :class:`PregelEngine` or to the sharded runtime in
+    :mod:`repro.dist` (``run_distributed_pregel(graph, spec, k=8)``).
+    """
+
+    program: VertexProgram
+    initial_value: Callable[[Vertex], Any] | Any = None
+    combiner: Combiner | None = None
+    aggregators: dict[str, Aggregator] | None = None
+    max_supersteps: int = 100
+
+    def run(self, graph: Graph) -> PregelResult:
+        """Execute on the single-machine engine."""
+        return run_pregel(
+            graph, self.program, initial_value=self.initial_value,
+            combiner=self.combiner, aggregators=self.aggregators,
+            max_supersteps=self.max_supersteps)
 
 
 def run_pregel(

@@ -1,0 +1,62 @@
+"""Sharded BSP runtime: the distributed-execution substrate.
+
+Scalability tops the paper's challenge list (Table 19, §6.1); this
+package makes the reproduction's Pregel layer face it. Existing
+``VertexProgram``s run *unchanged* across k simulated workers: a
+:class:`Partitioner` (over :mod:`repro.algorithms.partitioning`)
+assigns vertices to shards, each :class:`Worker` runs the shared
+superstep-local compute over its shard, and the :class:`Coordinator`
+enforces the barrier, routes sender-combined cross-shard messages,
+merges aggregators, checkpoints every barrier to a pluggable
+:class:`CheckpointStore`, and — when a :class:`FaultPlan` kills a
+worker mid-computation — restores all shards from the last checkpoint
+and replays to a byte-identical result.
+
+``python -m repro.dist.report`` prints the scaling/recovery summary;
+everything is wired through :mod:`repro.obs` (a span per worker per
+superstep, counters for routed/combined messages, checkpoint bytes,
+recoveries).
+"""
+
+from repro.dist.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    InMemoryCheckpointStore,
+    JsonCheckpointStore,
+)
+from repro.dist.coordinator import (
+    Coordinator,
+    DistributedResult,
+    DistSuperstepStats,
+    run_distributed_pregel,
+)
+from repro.dist.faults import FaultPlan, KillFault, WorkerKilled
+from repro.dist.partitioned import (
+    PARTITION_STRATEGIES,
+    Partitioner,
+    ShardMap,
+    build_shard_map,
+    hash_partition,
+)
+from repro.dist.worker import Worker, WorkerStepResult
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "Checkpoint",
+    "CheckpointStore",
+    "Coordinator",
+    "DistSuperstepStats",
+    "DistributedResult",
+    "FaultPlan",
+    "InMemoryCheckpointStore",
+    "JsonCheckpointStore",
+    "KillFault",
+    "Partitioner",
+    "ShardMap",
+    "Worker",
+    "WorkerKilled",
+    "WorkerStepResult",
+    "build_shard_map",
+    "hash_partition",
+    "run_distributed_pregel",
+]

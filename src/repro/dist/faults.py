@@ -1,0 +1,101 @@
+"""Fault injection for the distributed runtime.
+
+Scalability work that never kills a worker is wishful thinking — the
+paper's own challenge list (§6.1) and the benchmarking literature both
+insist failure behaviour is part of the workload. A :class:`FaultPlan`
+is a tiny declarative DSL for chaos: *kill worker w1 when it reaches
+superstep 3*. The coordinator consults the plan at each worker's
+superstep entry; a planned kill raises :class:`WorkerKilled`
+mid-computation (other workers may already have run that superstep),
+and each fault fires exactly once so recovery can replay to completion.
+
+>>> plan = FaultPlan().kill("w1", at_superstep=3)
+>>> plan = FaultPlan.parse("w1@3, w0@5")   # same thing, as a string
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class WorkerKilled(ReproError):
+    """An injected fault took a worker down mid-superstep."""
+
+    def __init__(self, worker: str, superstep: int):
+        super().__init__(
+            f"worker {worker!r} killed by fault plan at "
+            f"superstep {superstep}")
+        self.worker = worker
+        self.superstep = superstep
+
+
+@dataclass(frozen=True)
+class KillFault:
+    """Kill ``worker`` when it is about to execute ``superstep``."""
+
+    worker: str
+    superstep: int
+
+    def __str__(self) -> str:
+        return f"{self.worker}@{self.superstep}"
+
+
+class FaultPlan:
+    """An ordered set of injected faults, each firing at most once."""
+
+    def __init__(self, faults: list[KillFault] | None = None):
+        self._faults: list[KillFault] = list(faults or [])
+        self._fired: set[KillFault] = set()
+
+    def kill(self, worker: str, at_superstep: int) -> "FaultPlan":
+        """Schedule a kill; chainable."""
+        if at_superstep < 0:
+            raise ValueError("at_superstep must be >= 0")
+        self._faults.append(KillFault(worker, at_superstep))
+        return self
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """``"w1@3, w0@5"`` -> kill w1 at superstep 3, w0 at 5."""
+        plan = cls()
+        for chunk in spec.replace(";", ",").split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            worker, _, superstep = chunk.partition("@")
+            if not worker or not superstep:
+                raise ValueError(
+                    f"bad fault spec {chunk!r}: expected worker@superstep")
+            plan.kill(worker.strip(), int(superstep))
+        return plan
+
+    @property
+    def faults(self) -> list[KillFault]:
+        return list(self._faults)
+
+    @property
+    def fired(self) -> list[KillFault]:
+        """Faults that have already taken a worker down."""
+        return [f for f in self._faults if f in self._fired]
+
+    def check(self, worker: str, superstep: int) -> None:
+        """Raise :class:`WorkerKilled` if a pending fault matches.
+
+        The matched fault is marked fired first, so the post-recovery
+        replay of the same superstep is not killed again.
+        """
+        for fault in self._faults:
+            if (fault not in self._fired and fault.worker == worker
+                    and fault.superstep == superstep):
+                self._fired.add(fault)
+                raise WorkerKilled(worker, superstep)
+
+    def reset(self) -> None:
+        """Re-arm every fault (for reusing a plan across runs)."""
+        self._fired.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(str(f) for f in self._faults) or "no faults"
+        return f"FaultPlan({parts})"

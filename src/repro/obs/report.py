@@ -66,6 +66,9 @@ def _render_metrics(summary: dict[str, Any]) -> str:
     for name, value in summary["gauges"].items():
         lines.append(f"  gauge      {name} = {value}")
     for name, hist in summary["histograms"].items():
+        if hist["count"] == 0:  # instrument exists but was reset/unused
+            lines.append(f"  histogram  {name}: count=0")
+            continue
         lines.append(
             f"  histogram  {name}: count={hist['count']} "
             f"mean={hist['mean']:.3f} p50={hist['p50']} "

@@ -13,6 +13,7 @@ from repro.workloads.product_graph import (
 )
 from repro.workloads.runner import (
     ALL_RUNNERS,
+    DISTRIBUTED_RUNNERS,
     WorkloadResult,
     coverage,
     run_computation,

@@ -320,22 +320,71 @@ ALL_RUNNERS: dict[str, Callable] = {
 }
 
 
-def run_computation(name: str, graph: Graph, seed: int = 0) -> WorkloadResult:
+def _run_components_distributed(graph, seed, shards):
+    from repro.dgps.algorithms import connected_components_spec
+    from repro.dist import run_distributed_pregel
+
+    result = run_distributed_pregel(
+        graph, connected_components_spec(graph), k=shards, seed=seed)
+    return {"components": len(set(result.values.values())),
+            "shards": result.k,
+            "supersteps": result.supersteps,
+            "routed_messages": result.routed_messages(),
+            "combined_messages": result.combined_messages()}
+
+
+def _run_ranking_distributed(graph, seed, shards):
+    from repro.algorithms import top_ranked
+    from repro.dgps.algorithms import pagerank_spec
+    from repro.dist import run_distributed_pregel
+
+    result = run_distributed_pregel(
+        graph, pagerank_spec(graph, supersteps=10), k=shards, seed=seed)
+    return {"top_pagerank": top_ranked(result.values, 3),
+            "shards": result.k,
+            "supersteps": result.supersteps,
+            "routed_messages": result.routed_messages(),
+            "combined_messages": result.combined_messages()}
+
+
+#: Computations with a sharded-runtime runner (:mod:`repro.dist`).
+DISTRIBUTED_RUNNERS: dict[str, Callable] = {
+    "Finding Connected Components": _run_components_distributed,
+    "Ranking & Centrality Scores": _run_ranking_distributed,
+}
+
+
+def run_computation(name: str, graph: Graph, seed: int = 0, *,
+                    distributed: bool = False,
+                    shards: int = 4) -> WorkloadResult:
     """Run one surveyed computation by its Table 9/10/11 name.
 
     Each run is wrapped in a labeled ``workload.computation`` span and,
     while observability is on, feeds the ``workload.computation_ms``
-    latency histogram.
+    latency histogram. ``distributed=True`` opts the computation into
+    the sharded runtime (:mod:`repro.dist`) with ``shards`` workers —
+    available for the names in :data:`DISTRIBUTED_RUNNERS`.
     """
-    try:
-        runner = ALL_RUNNERS[name]
-    except KeyError:
+    if name not in ALL_RUNNERS:
         raise ValueError(
-            f"unknown computation {name!r}; known: {sorted(ALL_RUNNERS)}"
-        ) from None
-    with span("workload.computation", name=name, seed=seed) as run_span:
+            f"unknown computation {name!r}; known: {sorted(ALL_RUNNERS)}")
+    if distributed:
+        try:
+            runner = DISTRIBUTED_RUNNERS[name]
+        except KeyError:
+            raise ValueError(
+                f"no distributed runner for {name!r}; "
+                f"distributed-capable: {sorted(DISTRIBUTED_RUNNERS)}"
+            ) from None
+        args = (graph, seed, shards)
+    else:
+        runner = ALL_RUNNERS[name]
+        args = (graph, seed)
+    mode = "distributed" if distributed else "local"
+    with span("workload.computation", name=name, seed=seed,
+              mode=mode) as run_span:
         start = time.perf_counter()
-        summary = runner(graph, seed)
+        summary = runner(*args)
         elapsed_ms = (time.perf_counter() - start) * 1000
         run_span.set("elapsed_ms", elapsed_ms)
     if is_enabled():
