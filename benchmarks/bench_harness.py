@@ -1,0 +1,55 @@
+"""Benchmark: the regression harness measuring itself.
+
+Runs the full registered suite (built-ins + pytest-adapter cases) once
+end to end — run, artifact write/load, self-compare — asserting the
+invariant the whole trajectory rests on: an artifact compared against
+itself is all-"unchanged" with exit code 0. Also times one pass of the
+cheapest case so harness overhead itself stays on the record.
+"""
+
+import pytest
+
+from repro.obs import bench
+
+
+@pytest.fixture(scope="module")
+def artifact(bench_suite, tmp_path_factory):
+    art = bench.run_suite(bench_suite, "pytest-session", reps=2,
+                          warmup=1)
+    path = bench.write_artifact(
+        art, tmp_path_factory.mktemp("bench") / "BENCH_session.json")
+    return bench.load_artifact(path)
+
+
+def test_suite_registers_expected_shape(bench_suite):
+    names = bench_suite.names()
+    assert len(bench_suite) >= 10
+    assert any(n.startswith("workload.") for n in names)
+    assert any(n.startswith("ablation.") for n in names)
+    assert any(n.startswith("pytest.") for n in names)  # adapter cases
+    assert "dist.pagerank_k4" in names
+
+
+def test_artifact_schema_and_coverage(artifact, bench_suite):
+    assert artifact["schema"] == bench.BENCH_SCHEMA
+    assert len(artifact["cases"]) == len(bench_suite)
+    for case in artifact["cases"]:
+        assert case["stats"]["p50"] >= case["stats"]["min"] > 0
+        assert len(case["timings_ms"]) == case["reps"]
+    dist_case = next(c for c in artifact["cases"]
+                     if c["name"] == "dist.pagerank_k4")
+    assert dist_case["counters"].get("dist.supersteps", 0) > 0
+    assert dist_case["spans"]["by_name"].get("dist.worker.superstep",
+                                             0) > 0
+
+
+def test_self_compare_is_all_unchanged(artifact):
+    comparison = bench.compare(artifact, artifact)
+    assert comparison.exit_code == 0
+    assert {v.verdict for v in comparison.verdicts} == {"unchanged"}
+
+
+def test_adapter_kernels_replay(benchmark, bench_suite):
+    case = bench_suite.get("pytest.algorithms.components")
+    components = benchmark(case.run)
+    assert components  # same kernel, same sanity signal

@@ -49,6 +49,24 @@ def observability():
 
 
 @pytest.fixture(scope="session")
+def bench_suite():
+    """The full registered BenchSuite: the built-in default cases plus
+    every pytest kernel re-registered through the ``suite.py`` adapter
+    — the same set ``python -m repro.obs.bench run --extra
+    benchmarks/suite.py`` measures."""
+    import importlib.util
+    from pathlib import Path
+
+    from repro.obs.bench_cases import default_suite
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_adapter", Path(__file__).parent / "suite.py")
+    bench_adapter = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_adapter)
+    return bench_adapter.register(default_suite())
+
+
+@pytest.fixture(scope="session")
 def population():
     return build_population()
 

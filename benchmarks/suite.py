@@ -1,0 +1,132 @@
+"""Adapter: existing pytest bench kernels -> repro.obs.bench cases.
+
+The files in this directory time their kernels through pytest-benchmark
+fixtures; the regression harness (:mod:`repro.obs.bench`) needs the
+same kernels as plain callables. This module bridges the two without
+rewriting a single bench file: :class:`KernelCapture` stands in for the
+``benchmark`` fixture, the module's own pytest fixtures are unwrapped
+and evaluated once for inputs, each selected test function runs once
+(so its assertions still guard the result), and the captured
+``(fn, args, kwargs)`` is registered as a :class:`BenchCase`.
+
+Hook into the CLI with::
+
+    python -m repro.obs.bench run --label mine --extra benchmarks/suite.py
+
+``register(suite)`` is the entry point; ``benchmarks/conftest.py``
+exposes the combined suite to the pytest side as the ``bench_suite``
+fixture.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.bench import BenchSuite
+
+#: (module file, test function, case name) — the pytest kernels the
+#: adapter re-registers. Parameterized tests are out of scope; pick the
+#: plain ones.
+ADAPTED_TESTS: tuple[tuple[str, str, str], ...] = (
+    ("bench_workload_algorithms.py", "test_connected_components",
+     "pytest.algorithms.components"),
+    ("bench_workload_algorithms.py", "test_pagerank",
+     "pytest.algorithms.pagerank"),
+    ("bench_workload_dgps.py", "test_pagerank_pregel",
+     "pytest.dgps.pagerank_pregel"),
+    ("bench_workload_dgps.py", "test_components_direct",
+     "pytest.dgps.components_direct"),
+)
+
+
+class KernelCapture:
+    """Stand-in for pytest-benchmark's ``benchmark`` fixture.
+
+    Calling it runs the kernel once (the test's assertions see a real
+    result) and remembers ``(fn, args, kwargs)`` so the harness can
+    re-run the identical call under its own timer.
+    """
+
+    def __init__(self):
+        self.fn: Callable[..., Any] | None = None
+        self.args: tuple = ()
+        self.kwargs: dict[str, Any] = {}
+
+    def __call__(self, fn: Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> Any:
+        self.fn, self.args, self.kwargs = fn, args, kwargs
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn: Callable[..., Any], args: tuple = (),
+                 kwargs: dict[str, Any] | None = None,
+                 **_ignored: Any) -> Any:
+        return self(fn, *args, **(kwargs or {}))
+
+    def replay(self) -> Any:
+        if self.fn is None:
+            raise RuntimeError("kernel was never captured")
+        return self.fn(*self.args, **self.kwargs)
+
+
+def _unwrap_fixture(obj: Any) -> Callable[..., Any]:
+    """The plain function behind a ``@pytest.fixture`` decoration."""
+    return getattr(obj, "__wrapped__", obj)
+
+
+def load_bench_module(filename: str):
+    """Import a sibling bench file by path (this directory is not a
+    package, and must not become one — pytest collects it rootdir-style)."""
+    path = Path(__file__).parent / filename
+    spec = importlib.util.spec_from_file_location(
+        f"_adapted_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load bench module {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def capture_kernel(module, test_name: str,
+                   fixture_cache: dict[str, Any]) -> KernelCapture:
+    """Run one pytest bench test with a capture shim and per-module
+    fixture values resolved by parameter name."""
+    test = getattr(module, test_name)
+    capture = KernelCapture()
+    kwargs: dict[str, Any] = {}
+    for param in inspect.signature(test).parameters:
+        if param == "benchmark":
+            kwargs[param] = capture
+            continue
+        if param not in fixture_cache:
+            fixture = getattr(module, param, None)
+            if fixture is None:
+                raise ValueError(
+                    f"{module.__name__}.{test_name} needs fixture "
+                    f"{param!r}, not found in the module")
+            fixture_cache[param] = _unwrap_fixture(fixture)()
+        kwargs[param] = fixture_cache[param]
+    test(**kwargs)  # assertions inside the test still apply
+    if capture.fn is None:
+        raise ValueError(
+            f"{module.__name__}.{test_name} never called benchmark()")
+    return capture
+
+
+def register(suite: BenchSuite,
+             adapted: tuple[tuple[str, str, str], ...] = ADAPTED_TESTS,
+             ) -> BenchSuite:
+    """Register every adapted pytest kernel on ``suite``."""
+    modules: dict[str, Any] = {}
+    fixtures: dict[str, dict[str, Any]] = {}
+    for filename, test_name, case_name in adapted:
+        if filename not in modules:
+            modules[filename] = load_bench_module(filename)
+            fixtures[filename] = {}
+        capture = capture_kernel(modules[filename], test_name,
+                                 fixtures[filename])
+        suite.add(case_name, capture.replay, tags=("pytest",),
+                  module=filename, test=test_name)
+    return suite

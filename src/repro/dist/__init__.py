@@ -36,6 +36,7 @@ from repro.dist.partitioned import (
     Partitioner,
     ShardMap,
     build_shard_map,
+    degree_skewed_partition,
     hash_partition,
 )
 from repro.dist.worker import Worker, WorkerStepResult
@@ -57,6 +58,7 @@ __all__ = [
     "WorkerKilled",
     "WorkerStepResult",
     "build_shard_map",
+    "degree_skewed_partition",
     "hash_partition",
     "run_distributed_pregel",
 ]

@@ -165,11 +165,15 @@ class Coordinator:
     # -- durability -------------------------------------------------------
 
     def _save_checkpoint(self, next_superstep: int) -> None:
-        checkpoint = Checkpoint(
-            superstep=next_superstep,
-            worker_states=[w.checkpoint_state() for w in self.workers],
-            previous_aggregates=dict(self._previous_aggregates))
-        written = self._store.save(checkpoint)
+        with span("dist.checkpoint",
+                  superstep=next_superstep) as cp_span:
+            checkpoint = Checkpoint(
+                superstep=next_superstep,
+                worker_states=[w.checkpoint_state()
+                               for w in self.workers],
+                previous_aggregates=dict(self._previous_aggregates))
+            written = self._store.save(checkpoint)
+            cp_span.set("bytes", written)
         self.checkpoints_written += 1
         self.checkpoint_bytes += written
         if is_enabled():
@@ -212,19 +216,24 @@ class Coordinator:
 
             # Barrier: route sender-combined buffers, in worker order
             # then destination order — fixed, so replays are identical.
-            for result in results:
-                for dest in sorted(result.remote):
-                    dest_worker = self.workers[dest]
-                    for target, messages in result.remote[dest].items():
-                        dest_worker.deliver(target, messages)
+            with span("dist.barrier", superstep=superstep) as barrier:
+                routed = 0
+                for result in results:
+                    for dest in sorted(result.remote):
+                        dest_worker = self.workers[dest]
+                        for target, messages in (
+                                result.remote[dest].items()):
+                            dest_worker.deliver(target, messages)
+                            routed += len(messages)
+                barrier.set("messages_routed", routed)
 
-            merged = {name: identity for name, (_, identity)
-                      in self._aggregators.items()}
-            for result in results:
-                for name, partial in result.aggregates.items():
-                    reduce_fn = self._aggregators[name][0]
-                    merged[name] = reduce_fn(merged[name], partial)
-            self._previous_aggregates = merged
+                merged = {name: identity for name, (_, identity)
+                          in self._aggregators.items()}
+                for result in results:
+                    for name, partial in result.aggregates.items():
+                        reduce_fn = self._aggregators[name][0]
+                        merged[name] = reduce_fn(merged[name], partial)
+                self._previous_aggregates = merged
 
             stats = DistSuperstepStats(
                 superstep=superstep,

@@ -47,11 +47,48 @@ def hash_partition(graph, k: int, seed: int = 0) -> Partition:
     return {vertex: bucket(vertex) for vertex in graph.vertices()}
 
 
+#: Fraction of vertices :func:`degree_skewed_partition` piles onto
+#: shard 0. At 0.7 with k=4 the heavy shard carries ~2.8x the mean
+#: load, comfortably past the timeline's 1.5 skew-flag threshold.
+SKEW_HEAVY_FRACTION = 0.7
+
+
+def degree_skewed_partition(graph, k: int, seed: int = 0,
+                            heavy_fraction: float = SKEW_HEAVY_FRACTION,
+                            ) -> Partition:
+    """An *intentionally* imbalanced assignment: the highest-degree
+    ``heavy_fraction`` of vertices all land on shard 0, the rest
+    round-robin over the remaining shards.
+
+    This is the pathological partition the timeline's skew analysis
+    exists to catch — one shard owns the hubs and every superstep
+    stalls at the barrier waiting for it. Used by the skew section of
+    ``python -m repro.dist.report`` and as a straggler fixture in
+    tests; never a good idea in production.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ordered = sorted(
+        graph.vertices(),
+        key=lambda v: (-graph.degree(v), repr(v)))  # deterministic
+    if k == 1:
+        return {v: 0 for v in ordered}
+    heavy = max(1, round(heavy_fraction * len(ordered)))
+    assignment: Partition = {}
+    for i, vertex in enumerate(ordered):
+        if i < heavy:
+            assignment[vertex] = 0
+        else:
+            assignment[vertex] = 1 + (i - heavy) % (k - 1)
+    return assignment
+
+
 #: name -> callable(graph, k, seed) -> Partition
 PARTITION_STRATEGIES: dict[str, Callable[..., Partition]] = {
     "bfs": partition_graph,
     "random": random_partition,
     "hash": hash_partition,
+    "degree_skew": degree_skewed_partition,
 }
 
 

@@ -1,13 +1,22 @@
-"""Scaling + recovery report: ``python -m repro.dist.report``.
+"""Scaling + recovery + skew report: ``python -m repro.dist.report``.
 
 Runs PageRank and connected components on one generated graph at
 k ∈ {1, 2, 4, 8} workers, fault-free and (for k > 1) with an injected
 worker kill, and prints the scaling table: routed vs sender-combined
 message counts, checkpoint volume, recovery stats, and whether the
-recovered values are byte-identical to the fault-free run. Every
-number is sourced from :mod:`repro.obs` — counter deltas and the
+recovered values are byte-identical to the fault-free run. A skew
+section then runs k=4 PageRank under a balanced hash partition and the
+intentionally imbalanced :func:`~repro.dist.degree_skewed_partition`,
+reconstructs both runs' per-worker timelines
+(:mod:`repro.obs.timeline`), and flags the straggler. Every number is
+sourced from :mod:`repro.obs` — counter deltas, span records, and the
 ``dist.run`` span — not from ad-hoc bookkeeping, so the report doubles
 as the end-to-end check that the observability wiring is intact.
+
+``--json`` emits the structured report plus the full
+``observability_dict`` payload (spans + metrics) captured during the
+sweep, so CI and the bench harness consume it without scraping text;
+``--timeline`` also prints the text Gantt of the skewed run.
 
 :func:`smoke` is the tiny fixed configuration (k=2, one injected
 fault) the benchmark suite runs from ``benchmarks/conftest.py``.
@@ -25,8 +34,9 @@ from repro.dgps.algorithms import connected_components_spec, pagerank_spec
 from repro.dist.checkpoint import InMemoryCheckpointStore
 from repro.dist.coordinator import run_distributed_pregel
 from repro.dist.faults import FaultPlan
-from repro.generators import gnm_random_graph
+from repro.generators import barabasi_albert, gnm_random_graph
 from repro.graphs.adjacency import Graph
+from repro.obs.timeline import build_timeline, render_timeline
 
 #: obs counters the report treats as the source of truth.
 COUNTERS = (
@@ -75,8 +85,15 @@ def run_report(
     seed: int = 0,
     pagerank_supersteps: int = 10,
     fault_superstep: int = 1,
+    skew_vertices: int = 200,
 ) -> dict[str, Any]:
-    """The full sweep; returns the structured report ``main`` prints."""
+    """The full sweep; returns the structured report ``main`` prints.
+
+    The returned dict carries a ``skew`` section (see
+    :func:`skew_report`) whose ``_timelines`` entry holds the live
+    :class:`~repro.obs.timeline.Timeline` objects — callers that
+    serialize the report should pop it first (``main`` does).
+    """
     edges = 2 * vertices if edges is None else edges
     graph = gnm_random_graph(vertices, edges, directed=False, seed=seed)
     report: dict[str, Any] = {
@@ -116,7 +133,46 @@ def run_report(
                     == repr(clean["values"]),
                 }
             report["rows"].append(row)
+    report["skew"] = skew_report(vertices=skew_vertices, seed=seed)
     return report
+
+
+def skew_report(
+    vertices: int = 200,
+    k: int = 4,
+    seed: int = 0,
+    supersteps: int = 8,
+    partitioners: tuple[str, ...] = ("hash", "degree_skew"),
+) -> dict[str, Any]:
+    """Head-to-head timelines: balanced vs intentionally skewed.
+
+    Runs k-way PageRank on one scale-free graph under each partitioner,
+    reconstructs the per-worker timeline from the span records alone,
+    and returns each run's skew summary. The ``degree_skew`` partition
+    piles the hubs onto shard 0, so its straggler ratio should blow
+    past the flag threshold while ``hash`` stays near 1.
+    """
+    graph = barabasi_albert(vertices, 3, seed=seed)
+    spec = pagerank_spec(graph, supersteps=supersteps)
+    rows = []
+    timelines = {}
+    for partitioner in partitioners:
+        with obs.capture() as trace:
+            run_distributed_pregel(graph, spec, k=k,
+                                   partitioner=partitioner, seed=seed)
+        timeline = build_timeline(trace.roots)
+        timelines[partitioner] = timeline
+        rows.append(timeline.skew_summary())
+    return {
+        "graph": {"vertices": graph.num_vertices(),
+                  "edges": graph.num_edges()},
+        "k": k,
+        "algorithm": "pagerank",
+        "rows": rows,
+        "flagged": [row["partitioner"] for row in rows
+                    if row["flagged"]],
+        "_timelines": timelines,  # stripped from the JSON payload
+    }
 
 
 def smoke(k: int = 2, seed: int = 0) -> dict[str, Any]:
@@ -178,6 +234,34 @@ def _render(report: dict[str, Any]) -> str:
         "routed/combined/checkpoint columns are repro.obs counter "
         "deltas; ms is the dist.run span. combined = messages the "
         "sender-side combiner kept off the wire.")
+    skew = report.get("skew")
+    if skew:
+        lines.append("")
+        lines.extend(_render_skew(skew).splitlines())
+    return "\n".join(lines)
+
+
+def _render_skew(skew: dict[str, Any]) -> str:
+    graph = skew["graph"]
+    lines = [
+        f"SKEW — k={skew['k']} {skew['algorithm']} on "
+        f"{graph['vertices']} vertices / {graph['edges']} edges "
+        f"(per-worker lanes from repro.obs.timeline)",
+        f"{'partitioner':<13} {'straggler':>10} {'x time':>7} "
+        f"{'x vertices':>10} {'x messages':>10}  verdict",
+    ]
+    for row in skew["rows"]:
+        verdict = ("FLAGGED (imbalanced)" if row["flagged"]
+                   else "balanced")
+        lines.append(
+            f"{row['partitioner']:<13} {str(row['straggler']):>10} "
+            f"{row['straggler_ratio']:>7.2f} "
+            f"{row['vertex_imbalance']:>10.2f} "
+            f"{row['message_imbalance']:>10.2f}  {verdict}")
+    lines.append(
+        f"x columns are max/mean ratios across workers; a run is "
+        f"flagged past {skew['rows'][0]['threshold']}. Use --timeline "
+        f"for the per-superstep Gantt.")
     return "\n".join(lines)
 
 
@@ -193,26 +277,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ks", default="1,2,4,8",
                         help="comma-separated worker counts")
     parser.add_argument("--partitioner", default="bfs",
-                        choices=["bfs", "random", "hash"])
+                        choices=["bfs", "random", "hash",
+                                 "degree_skew"])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fault-superstep", type=int, default=1,
                         help="superstep at which w1 is killed")
     parser.add_argument("--json", action="store_true",
-                        help="emit the structured report as JSON")
+                        help="emit the structured report as JSON, "
+                             "including the observability_dict "
+                             "payload (spans + metrics)")
+    parser.add_argument("--timeline", action="store_true",
+                        help="also print the per-superstep Gantt of "
+                             "the skewed k=4 run")
     args = parser.parse_args(argv)
 
     try:
         ks = tuple(int(chunk) for chunk in args.ks.split(",") if chunk)
     except ValueError:
         parser.error(f"bad --ks value {args.ks!r}")
-    report = run_report(
-        vertices=args.vertices, edges=args.edges, ks=ks,
-        partitioner=args.partitioner, seed=args.seed,
-        fault_superstep=args.fault_superstep)
+    with obs.capture() as trace:
+        report = run_report(
+            vertices=args.vertices, edges=args.edges, ks=ks,
+            partitioner=args.partitioner, seed=args.seed,
+            fault_superstep=args.fault_superstep)
+    timelines = report["skew"].pop("_timelines", {})
     if args.json:
-        print(json.dumps(report, indent=2))
+        report["observability"] = obs.observability_dict(trace.roots)
+        print(json.dumps(report, indent=2, default=repr))
     else:
         print(_render(report))
+        if args.timeline:
+            for partitioner, timeline in timelines.items():
+                print()
+                print(f"[{partitioner}]")
+                print(render_timeline(timeline))
     diverged = [row for row in report["rows"]
                 if row.get("fault") and not row["fault"]["identical"]]
     return 1 if diverged else 0

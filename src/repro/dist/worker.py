@@ -127,7 +127,8 @@ class Worker:
                       ) -> WorkerStepResult:
         """Compute one local superstep; messages buffered, not routed."""
         with span("dist.worker.superstep", worker=self.name,
-                  superstep=superstep) as work_span:
+                  superstep=superstep,
+                  shard_vertices=len(self.vertices)) as work_span:
             self._previous_aggregates = previous_aggregates
             self._current_aggregates = {}
             self._next_local = {}

@@ -17,9 +17,17 @@ returns a shared no-op singleton while off, so instrumentation costs
 one attribute read on hot paths. ``python -m repro.obs.report`` runs a
 small instrumented workload end to end and prints the span tree plus
 the metric summary.
+
+On top of the substrate sit two analysis layers: :mod:`repro.obs.bench`
+(``python -m repro.obs.bench run|compare|report``) runs the registered
+benchmark cases, writes schema-versioned ``BENCH_<label>.json``
+artifacts and detects regressions between them, and
+:mod:`repro.obs.timeline` reconstructs per-worker / per-superstep lanes
+and load-skew statistics from :mod:`repro.dist` span records.
 """
 
 from repro.obs.export import (
+    OBS_SCHEMA,
     SpanRecord,
     from_jsonl,
     observability_dict,
@@ -34,6 +42,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+)
+from repro.obs.timeline import (
+    Lane,
+    SuperstepLanes,
+    Timeline,
+    build_timeline,
+    render_timeline,
 )
 from repro.obs.spans import (
     NULL_SPAN,
@@ -62,8 +77,12 @@ __all__ = [
     "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "get_registry",
     # export
-    "SpanRecord", "from_jsonl", "observability_dict", "render_tree",
-    "span_record", "to_jsonl",
+    "OBS_SCHEMA", "SpanRecord", "from_jsonl", "observability_dict",
+    "render_tree", "span_record", "to_jsonl",
+    # timeline (the bench harness lives in repro.obs.bench — imported
+    # explicitly, so `import repro.obs` stays light)
+    "Lane", "SuperstepLanes", "Timeline", "build_timeline",
+    "render_timeline",
 ]
 
 

@@ -1,0 +1,140 @@
+"""Built-in cases for the :mod:`repro.obs.bench` default suite.
+
+Mirrors the kernels the ``benchmarks/bench_workload_*.py`` and
+``bench_ablation_*.py`` files time under pytest, packaged as
+zero-argument callables so ``python -m repro.obs.bench run`` works from
+anywhere without pytest in the loop (the pytest bench files themselves
+register additional cases through the ``benchmarks/suite.py`` adapter,
+passed with ``--extra``). Inputs are built lazily, once, outside the
+timed region.
+
+Imports are deliberately local to each case factory so importing
+:mod:`repro.obs` never drags in the whole stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.bench import BenchSuite
+
+#: Shared input sizes — small enough that a full suite run is seconds,
+#: large enough that kernels dominate interpreter noise.
+SOCIAL_SEED = 17
+SMALLWORLD = (400, 6, 0.05)
+DIST_K = 4
+DIST_SUPERSTEPS = 10
+
+_INPUTS: dict[str, Any] = {}
+
+
+def _social_graph():
+    if "social" not in _INPUTS:
+        from repro.workloads import build_scenario
+
+        _INPUTS["social"] = build_scenario("social", seed=SOCIAL_SEED)
+    return _INPUTS["social"]
+
+
+def _smallworld_graph():
+    if "smallworld" not in _INPUTS:
+        from repro.generators import watts_strogatz
+
+        n, k, p = SMALLWORLD
+        _INPUTS["smallworld"] = watts_strogatz(n, k, p, seed=0)
+    return _INPUTS["smallworld"]
+
+
+def _product_graph():
+    if "product" not in _INPUTS:
+        from repro.workloads import generate_product_graph
+
+        _INPUTS["product"] = generate_product_graph(seed=SOCIAL_SEED)
+    return _INPUTS["product"]
+
+
+def clear_inputs() -> None:
+    """Drop cached case inputs (tests use this to isolate state)."""
+    _INPUTS.clear()
+
+
+def _workload_case(computation: str) -> Callable[[], Any]:
+    def run():
+        from repro.workloads import run_computation
+
+        return run_computation(computation, _social_graph(),
+                               seed=SOCIAL_SEED)
+    return run
+
+
+def register_default_cases(suite: BenchSuite) -> BenchSuite:
+    """Register the standing case set: workload kernels, ablation
+    kernels, and one k=4 distributed case."""
+    n, k, p = SMALLWORLD
+
+    # -- workload kernels (Table 9 computations on the scenario graph) --
+    for name, computation in (
+        ("workload.components", "Finding Connected Components"),
+        ("workload.pagerank", "Ranking & Centrality Scores"),
+        ("workload.bfs", "Breadth-first-search or variant"),
+        ("workload.triangles", "Aggregations"),
+        ("workload.partitioning", "Graph Partitioning"),
+    ):
+        suite.add(name, _workload_case(computation),
+                  tags=("workload",), computation=computation,
+                  scenario="social", seed=SOCIAL_SEED)
+
+    def pregel_pagerank_case():
+        from repro.dgps import pregel_pagerank
+
+        return pregel_pagerank(_social_graph(),
+                               supersteps=DIST_SUPERSTEPS)
+
+    suite.add("dgps.pregel_pagerank", pregel_pagerank_case,
+              tags=("workload", "dgps"), supersteps=DIST_SUPERSTEPS)
+
+    def query_case():
+        from repro.query import run_query
+
+        return run_query(_product_graph(),
+                         "MATCH (c:Customer)-[:PLACED]->(o:Order) "
+                         "RETURN c, o").rows
+
+    suite.add("query.match_placed", query_case, tags=("query",))
+
+    # -- ablation kernels (partitioner quality bench, head to head) ----
+    def partition_bfs_case():
+        from repro.algorithms.partitioning import partition_graph
+
+        return partition_graph(_smallworld_graph(), DIST_K, seed=0)
+
+    def partition_hash_case():
+        from repro.dist import hash_partition
+
+        return hash_partition(_smallworld_graph(), DIST_K, seed=0)
+
+    suite.add("ablation.partition_bfs", partition_bfs_case,
+              tags=("ablation",), n=n, k=DIST_K, strategy="bfs+refine")
+    suite.add("ablation.partition_hash", partition_hash_case,
+              tags=("ablation",), n=n, k=DIST_K, strategy="hash")
+
+    # -- the sharded runtime, k=4 --------------------------------------
+    def dist_pagerank_case():
+        from repro.dgps.algorithms import pagerank_spec
+        from repro.dist import run_distributed_pregel
+
+        graph = _social_graph()
+        return run_distributed_pregel(
+            graph, pagerank_spec(graph, supersteps=DIST_SUPERSTEPS),
+            k=DIST_K, seed=0).values
+
+    suite.add("dist.pagerank_k4", dist_pagerank_case,
+              tags=("dist",), k=DIST_K, supersteps=DIST_SUPERSTEPS,
+              partitioner="bfs")
+
+    return suite
+
+
+def default_suite() -> BenchSuite:
+    """A fresh suite holding the standing case set."""
+    return register_default_cases(BenchSuite("repro-default"))

@@ -21,6 +21,11 @@ from typing import Any, Iterable, Iterator
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.spans import Span, finished_roots
 
+#: Version tag stamped on :func:`observability_dict` payloads (and
+#: embedded inside ``BENCH_*.json`` artifacts). Bump on shape changes
+#: so consumers can reject payloads they do not understand.
+OBS_SCHEMA = "repro.obs/v1"
+
 
 def _jsonable(value: Any) -> Any:
     """Coerce attribute values to JSON-safe types (keys become str,
@@ -155,6 +160,7 @@ def observability_dict(
     if registry is None:
         registry = get_registry()
     return {
+        "schema": OBS_SCHEMA,
         "spans": [span_record(s) for s in _walk(roots)],
         "metrics": registry.summary(),
     }

@@ -12,8 +12,10 @@ Instruments:
 * :class:`Gauge` -- a last-write-wins value (queue depth, graph size).
 * :class:`Histogram` -- fixed upper-bound buckets with p50/p95/p99
   summaries. Observation is a binary search plus two adds; percentiles
-  are resolved to the upper bound of the bucket containing the target
-  rank (the overflow bucket reports the observed maximum).
+  interpolate linearly *within* the bucket containing the target rank
+  (clamped to the observed min/max; the overflow bucket reports the
+  observed maximum), so the error is bounded by one bucket width
+  rather than always rounding up to the bucket's upper bound.
 """
 
 from __future__ import annotations
@@ -106,23 +108,43 @@ class Histogram:
                 self.max = value
 
     def percentile(self, p: float) -> float | None:
-        """The upper bound of the bucket holding the pth-percentile
-        observation (None when empty; overflow reports the maximum).
+        """The pth-percentile estimate, interpolated within its bucket
+        (None when empty; overflow reports the observed maximum).
 
-        The target rank is ``ceil(p/100 * count)`` clamped to >= 1, so
-        ``percentile(50)`` of two observations resolves to the first
-        one's bucket -- the conventional nearest-rank definition.
+        The target rank is ``ceil(p/100 * count)`` clamped to >= 1 (the
+        conventional nearest-rank definition), then the estimate is a
+        linear interpolation across the bucket holding that rank: a
+        bucket whose observations fill ranks ``prev+1 .. prev+n``
+        resolves rank ``prev+i`` to ``lower + (i/n) * (upper - lower)``.
+        The bucket's lower edge is the previous bound (the observed
+        minimum for the first bucket) and its upper edge is clamped to
+        the observed maximum, so a single observation reports itself
+        rather than its bucket's upper bound.
+
+        **Error bound:** the true order statistic lies somewhere in the
+        same bucket, so the estimate is off by at most one bucket width
+        (for skewed latency data the old upper-bound rule *always* paid
+        the full width; interpolation is exact for uniformly spread
+        buckets and still within the width in the worst case). Ranks in
+        the overflow bucket resolve to the observed maximum.
         """
         if self.count == 0:
             return None
         rank = max(1, math.ceil(p / 100.0 * self.count))
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
             cumulative += bucket_count
             if cumulative >= rank:
                 if index == len(self.bounds):  # overflow bucket
                     return self.max
-                return self.bounds[index]
+                upper = self.bounds[index]
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                lower = self.bounds[index - 1] if index else self.min
+                lower = min(lower, upper)
+                fraction = (rank - previous) / bucket_count
+                return lower + fraction * (upper - lower)
         return self.max
 
     @property

@@ -3,8 +3,9 @@
 Runs one small workload sweep with instrumentation enabled -- a
 scenario graph through two surveyed computations, a Pregel PageRank, a
 graph-database transaction plus a declarative query -- then prints the
-resulting span tree and metric summary (or the JSON-lines trace with
-``--json``). Every instrumented subsystem appears in the output, so
+resulting span tree and metric summary (the ``observability_dict``
+payload with ``--json``, the JSON-lines trace with ``--jsonl``).
+Every instrumented subsystem appears in the output, so
 this doubles as the end-to-end check that the wiring is intact; the
 benchmark suite invokes it from ``benchmarks/conftest.py``.
 """
@@ -85,8 +86,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="scenario graph to run on (default: social)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true",
-                        help="emit the JSON-lines trace instead of the "
-                             "text tree")
+                        help="emit the observability_dict payload "
+                             "(spans + metrics) as one JSON object")
+    parser.add_argument("--jsonl", action="store_true",
+                        help="emit the JSON-lines span trace instead "
+                             "of the text tree")
     args = parser.parse_args(argv)
 
     try:
@@ -95,6 +99,11 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # e.g. unknown scenario name
         parser.error(str(exc))
     if args.json:
+        import json
+
+        print(json.dumps(obs.observability_dict(roots, registry),
+                         default=repr))
+    elif args.jsonl:
         print(obs.to_jsonl(roots))
     else:
         print("SPAN TREE")

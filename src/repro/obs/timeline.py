@@ -1,0 +1,305 @@
+"""Distributed execution timeline and skew analysis.
+
+Section 6.1's scalability challenge is, operationally, a *stragglers*
+problem: a bulk-synchronous superstep is as slow as its slowest shard,
+so a skewed partition silently wastes every other worker's time at the
+barrier. This module reconstructs, from :mod:`repro.dist` span records
+alone, the per-worker / per-superstep lanes of a run -- compute time,
+active vertices, sent / routed / combined message counts, barrier
+routing and checkpoint costs -- and derives the skew statistics that
+tell you *where* the wall-clock went:
+
+* per-superstep **straggler ratio** -- max lane time over mean lane
+  time (1.0 is a perfectly balanced superstep; k is one worker doing
+  everything);
+* whole-run straggler ratio over per-worker compute totals;
+* **message imbalance** and **vertex imbalance** -- the deterministic
+  load view (wall time is noisy on small shards; message and vertex
+  counts are exact).
+
+:func:`build_timeline` accepts live :class:`~repro.obs.spans.Span`
+trees or :class:`~repro.obs.export.SpanRecord` trees re-read from a
+JSON-lines dump -- timelines reconstruct from trace files after the
+fact. :func:`render_timeline` draws the text Gantt;
+``python -m repro.dist.report`` surfaces the skew summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: A per-superstep or whole-run ratio above this is flagged as skewed.
+SKEW_THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One worker's compute slice of one superstep."""
+
+    worker: str
+    compute_ms: float
+    active_vertices: int
+    messages_sent: int
+    messages_routed: int
+    messages_combined: int
+    shard_vertices: int
+
+
+def _ratio(values: list[float]) -> float:
+    """max/mean of non-negative values; 1.0 when there is no load."""
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    return max(values) / mean
+
+
+@dataclass
+class SuperstepLanes:
+    """All worker lanes of one executed superstep, plus barrier costs."""
+
+    superstep: int
+    lanes: list[Lane] = field(default_factory=list)
+    barrier_ms: float = 0.0
+    total_ms: float = 0.0  # the dist.superstep span itself
+
+    @property
+    def max_lane_ms(self) -> float:
+        return max((lane.compute_ms for lane in self.lanes), default=0.0)
+
+    @property
+    def mean_lane_ms(self) -> float:
+        if not self.lanes:
+            return 0.0
+        return sum(lane.compute_ms for lane in self.lanes) / len(self.lanes)
+
+    @property
+    def straggler(self) -> str | None:
+        """Name of the slowest worker this superstep."""
+        if not self.lanes:
+            return None
+        return max(self.lanes, key=lambda lane: lane.compute_ms).worker
+
+    @property
+    def straggler_ratio(self) -> float:
+        return _ratio([lane.compute_ms for lane in self.lanes])
+
+    @property
+    def message_imbalance(self) -> float:
+        return _ratio([float(lane.messages_sent) for lane in self.lanes])
+
+    @property
+    def vertex_imbalance(self) -> float:
+        return _ratio([float(lane.active_vertices) for lane in self.lanes])
+
+
+@dataclass
+class Timeline:
+    """One distributed run, reconstructed from its spans."""
+
+    k: int
+    partitioner: str
+    supersteps: list[SuperstepLanes]
+    checkpoints: list[dict[str, Any]] = field(default_factory=list)
+    recoveries: int = 0
+    run_ms: float = 0.0
+
+    def workers(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for step in self.supersteps:
+            for lane in step.lanes:
+                seen.setdefault(lane.worker)
+        return list(seen)
+
+    def worker_totals(self) -> dict[str, dict[str, float]]:
+        """Per-worker totals across the whole run."""
+        totals: dict[str, dict[str, float]] = {}
+        for step in self.supersteps:
+            for lane in step.lanes:
+                entry = totals.setdefault(lane.worker, {
+                    "compute_ms": 0.0, "active_vertices": 0,
+                    "messages_sent": 0, "messages_routed": 0,
+                    "shard_vertices": lane.shard_vertices,
+                })
+                entry["compute_ms"] += lane.compute_ms
+                entry["active_vertices"] += lane.active_vertices
+                entry["messages_sent"] += lane.messages_sent
+                entry["messages_routed"] += lane.messages_routed
+        return totals
+
+    def skew_summary(self,
+                     threshold: float = SKEW_THRESHOLD) -> dict[str, Any]:
+        """The load-skew roll-up ``repro.dist.report`` prints.
+
+        ``straggler_ratio`` is computed over per-worker compute
+        *totals* (stabler than any single superstep);
+        ``worst_superstep_*`` give the single worst barrier. A run is
+        ``flagged`` when either the time-based straggler ratio or the
+        deterministic vertex-load imbalance exceeds ``threshold``.
+        """
+        totals = self.worker_totals()
+        compute = [entry["compute_ms"] for entry in totals.values()]
+        vertices = [float(entry["active_vertices"])
+                    for entry in totals.values()]
+        messages = [float(entry["messages_sent"])
+                    for entry in totals.values()]
+        straggler_ratio = _ratio(compute)
+        vertex_imbalance = _ratio(vertices)
+        message_imbalance = _ratio(messages)
+        worst = max(self.supersteps, default=None,
+                    key=lambda step: step.straggler_ratio)
+        straggler = (max(totals, key=lambda w: totals[w]["compute_ms"])
+                     if totals else None)
+        return {
+            "k": self.k,
+            "partitioner": self.partitioner,
+            "supersteps": len(self.supersteps),
+            "straggler": straggler,
+            "straggler_ratio": round(straggler_ratio, 3),
+            "message_imbalance": round(message_imbalance, 3),
+            "vertex_imbalance": round(vertex_imbalance, 3),
+            "worst_superstep": (worst.superstep
+                                if worst is not None else None),
+            "worst_superstep_straggler_ratio": (
+                round(worst.straggler_ratio, 3)
+                if worst is not None else 1.0),
+            "barrier_ms": round(sum(s.barrier_ms
+                                    for s in self.supersteps), 3),
+            "checkpoint_ms": round(sum(c["ms"]
+                                       for c in self.checkpoints), 3),
+            "threshold": threshold,
+            "flagged": (straggler_ratio > threshold
+                        or vertex_imbalance > threshold),
+        }
+
+
+# ---------------------------------------------------------------------------
+# reconstruction
+# ---------------------------------------------------------------------------
+
+
+def _find(spans: Iterable[Any], name: str) -> list[Any]:
+    found = []
+    for root in spans:
+        found.extend(root.find(name))
+    return found
+
+
+def _lane_from_span(span: Any) -> Lane:
+    attrs = span.attributes
+    return Lane(
+        worker=attrs.get("worker", "?"),
+        compute_ms=span.duration_ms,
+        active_vertices=attrs.get("active_vertices", 0),
+        messages_sent=attrs.get("messages_sent", 0),
+        messages_routed=attrs.get("messages_routed", 0),
+        messages_combined=attrs.get("messages_combined", 0),
+        shard_vertices=attrs.get("shard_vertices", 0),
+    )
+
+
+def build_timeline(source: Any, run_index: int = -1) -> Timeline:
+    """Reconstruct the timeline of one ``dist.run`` span tree.
+
+    ``source`` is a single span/record, or an iterable of roots (live
+    :class:`Span` trees or :class:`SpanRecord` trees from
+    :func:`repro.obs.from_jsonl` -- both expose ``find`` / ``children``
+    / ``attributes`` / ``duration_ms``). When several ``dist.run``
+    spans are present, ``run_index`` selects one (default: the most
+    recent). Replayed supersteps after a recovery appear as separate
+    entries in execution order, so recovery cost is visible, not
+    averaged away.
+    """
+    roots = [source] if hasattr(source, "find") else list(source)
+    runs = _find(roots, "dist.run")
+    if not runs:
+        raise ValueError("no dist.run span in the given trace; run the "
+                         "computation under obs.capture() first")
+    run = runs[run_index]
+    timeline = Timeline(
+        k=run.attributes.get("k", 0),
+        partitioner=run.attributes.get("partitioner", "?"),
+        supersteps=[],
+        recoveries=len(run.find("dist.recovery")),
+        run_ms=run.duration_ms,
+    )
+    for step_span in run.find("dist.superstep"):
+        step = SuperstepLanes(
+            superstep=step_span.attributes.get("superstep", -1),
+            total_ms=step_span.duration_ms)
+        for child in step_span.children:
+            if child.name == "dist.worker.superstep":
+                step.lanes.append(_lane_from_span(child))
+            elif child.name == "dist.barrier":
+                step.barrier_ms += child.duration_ms
+        timeline.supersteps.append(step)
+    for cp_span in run.find("dist.checkpoint"):
+        timeline.checkpoints.append({
+            "superstep": cp_span.attributes.get("superstep", -1),
+            "ms": cp_span.duration_ms,
+            "bytes": cp_span.attributes.get("bytes", 0),
+        })
+    return timeline
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return " " * width
+    filled = round(width * value / maximum)
+    filled = min(width, max(filled, 1 if value > 0 else 0))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_timeline(source: Any, *, width: int = 30,
+                    run_index: int = -1) -> str:
+    """Text Gantt of a distributed run: one lane per worker per
+    superstep, bars scaled to the slowest lane of the run.
+
+    ``source`` is a :class:`Timeline` or anything
+    :func:`build_timeline` accepts.
+    """
+    timeline = (source if isinstance(source, Timeline)
+                else build_timeline(source, run_index=run_index))
+    peak = max((lane.compute_ms for step in timeline.supersteps
+                for lane in step.lanes), default=0.0)
+    lines = [
+        f"dist timeline — k={timeline.k} "
+        f"partitioner={timeline.partitioner} "
+        f"supersteps={len(timeline.supersteps)} "
+        f"recoveries={timeline.recoveries} "
+        f"run={timeline.run_ms:.2f} ms",
+    ]
+    checkpoints = {cp["superstep"]: cp for cp in timeline.checkpoints}
+    for step in timeline.supersteps:
+        label = f"step {step.superstep}"
+        for i, lane in enumerate(step.lanes):
+            prefix = f"{label:<8}" if i == 0 else " " * 8
+            lines.append(
+                f"{prefix} {lane.worker:<4}"
+                f"|{_bar(lane.compute_ms, peak, width)}| "
+                f"{lane.compute_ms:8.3f} ms  "
+                f"act={lane.active_vertices:<5} "
+                f"sent={lane.messages_sent:<6} "
+                f"routed={lane.messages_routed}")
+        extras = [f"barrier {step.barrier_ms:.3f} ms",
+                  f"straggler x{step.straggler_ratio:.2f}"]
+        checkpoint = checkpoints.get(step.superstep + 1)
+        if checkpoint is not None:
+            extras.append(f"checkpoint {checkpoint['ms']:.3f} ms "
+                          f"({checkpoint['bytes']} B)")
+        lines.append(" " * 8 + " └─ " + "  ".join(extras))
+    summary = timeline.skew_summary()
+    lines.append(
+        f"skew: straggler ratio {summary['straggler_ratio']:.2f} "
+        f"({summary['straggler']}), "
+        f"vertex imbalance {summary['vertex_imbalance']:.2f}, "
+        f"message imbalance {summary['message_imbalance']:.2f}"
+        + ("  [FLAGGED]" if summary["flagged"] else ""))
+    return "\n".join(lines)

@@ -27,6 +27,10 @@ class WorkloadResult:
 
     name: str
     summary: dict[str, Any]
+    #: wall time of the run, also recorded on the span and the
+    #: ``workload.computation_ms`` histogram — carried here so callers
+    #: without observability enabled (e.g. the bench digest) see it.
+    elapsed_ms: float = 0.0
 
 
 def _sample_vertices(graph: Graph, count: int, seed: int = 0) -> list:
@@ -383,6 +387,8 @@ def run_computation(name: str, graph: Graph, seed: int = 0, *,
     mode = "distributed" if distributed else "local"
     with span("workload.computation", name=name, seed=seed,
               mode=mode) as run_span:
+        if distributed:
+            run_span.set("shards", shards)
         start = time.perf_counter()
         summary = runner(*args)
         elapsed_ms = (time.perf_counter() - start) * 1000
@@ -390,8 +396,10 @@ def run_computation(name: str, graph: Graph, seed: int = 0, *,
     if is_enabled():
         registry = get_registry()
         registry.inc("workload.computations")
+        registry.inc(f"workload.computations.{mode}")
         registry.observe("workload.computation_ms", elapsed_ms)
-    return WorkloadResult(name=name, summary=summary)
+    return WorkloadResult(name=name, summary=summary,
+                          elapsed_ms=elapsed_ms)
 
 
 def run_survey_workload(graph: Graph, seed: int = 0) -> list[WorkloadResult]:

@@ -1,0 +1,242 @@
+"""The performance-regression harness: suite, runner, artifacts, compare."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import bench
+from repro.obs.bench import (
+    BenchSuite,
+    CaseVerdict,
+    compare,
+    load_artifact,
+    percentile_exact,
+    run_case,
+    run_suite,
+    timing_stats,
+    write_artifact,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def tiny_suite():
+    suite = BenchSuite("tiny")
+
+    @suite.case("sum.range", n=1000)
+    def _sum():
+        return sum(range(1000))
+
+    @suite.case("spanful", tags=("traced",))
+    def _spanful():
+        with obs.span("demo.outer"):
+            with obs.span("demo.inner"):
+                obs.get_registry().inc("demo.work", 3)
+        return {"ok": True}
+
+    return suite
+
+
+def artifact_with(cases):
+    """A minimal artifact dict with the given {name: p50} cases."""
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "label": "synthetic",
+        "suite": "synthetic",
+        "environment": {},
+        "config": {"reps": 1, "warmup": 0},
+        "cases": [{"name": name, "stats": {"p50": p50}}
+                  for name, p50 in cases.items()],
+    }
+
+
+class TestPercentiles:
+    def test_exact_percentile_interpolates(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile_exact(samples, 0) == 1.0
+        assert percentile_exact(samples, 100) == 4.0
+        assert percentile_exact(samples, 50) == pytest.approx(2.5)
+        assert percentile_exact(samples, 25) == pytest.approx(1.75)
+
+    def test_exact_percentile_single_and_empty(self):
+        assert percentile_exact([7.0], 95) == 7.0
+        with pytest.raises(ValueError):
+            percentile_exact([], 50)
+
+    def test_timing_stats_shape(self):
+        stats = timing_stats([3.0, 1.0, 2.0])
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["p50"] == pytest.approx(2.0)
+
+
+class TestSuite:
+    def test_register_select_and_duplicates(self):
+        suite = tiny_suite()
+        assert len(suite) == 2
+        assert "sum.range" in suite
+        assert suite.get("sum.range").params == {"n": 1000}
+        assert [c.name for c in suite.select(["sum.*"])] == ["sum.range"]
+        assert len(suite.select(None)) == 2
+        with pytest.raises(ValueError):
+            suite.select(["nothing.matches.*"])
+        with pytest.raises(ValueError):
+            suite.add("sum.range", lambda: None)
+
+    def test_run_case_records_spans_and_counter_deltas(self):
+        suite = tiny_suite()
+        record = run_case(suite.get("spanful"), reps=3, warmup=1)
+        assert record["reps"] == 3
+        assert len(record["timings_ms"]) == 3
+        assert record["stats"]["p50"] > 0
+        # 3 timed reps each opened demo.outer > demo.inner
+        assert record["spans"]["roots"] == 3
+        assert record["spans"]["by_name"] == {"demo.outer": 3,
+                                              "demo.inner": 3}
+        # counter delta is snapshotted after warmup: timed reps only
+        assert record["counters"]["demo.work"] == 9
+        assert record["result"] == {"ok": True}
+
+    def test_run_case_leaves_tracing_disabled(self):
+        run_case(tiny_suite().get("spanful"), reps=1, warmup=0)
+        assert not obs.is_enabled()
+
+
+class TestArtifacts:
+    def test_run_suite_artifact_round_trip(self, tmp_path):
+        artifact = run_suite(tiny_suite(), "t", reps=2, warmup=0)
+        assert artifact["schema"] == bench.BENCH_SCHEMA
+        assert artifact["label"] == "t"
+        assert artifact["environment"]["python"]
+        assert [c["name"] for c in artifact["cases"]] == [
+            "sum.range", "spanful"]
+        path = write_artifact(artifact, tmp_path / "BENCH_t.json")
+        assert load_artifact(path) == json.loads(path.read_text())
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            load_artifact(path)
+
+
+class TestCompare:
+    def test_self_compare_is_unchanged(self):
+        artifact = artifact_with({"a": 10.0, "b": 0.01})
+        comparison = compare(artifact, artifact)
+        assert comparison.exit_code == 0
+        assert {v.verdict for v in comparison.verdicts} == {"unchanged"}
+
+    def test_regression_needs_both_guards(self):
+        base = artifact_with({"slow": 100.0, "fast": 0.1})
+        # slow: +30% and +30ms -> both guards trip -> regressed.
+        # fast: +300% but only +0.3ms -> under min_effect -> unchanged.
+        cur = artifact_with({"slow": 130.0, "fast": 0.4})
+        comparison = compare(base, cur)
+        verdicts = {v.name: v.verdict for v in comparison.verdicts}
+        assert verdicts == {"slow": "regressed", "fast": "unchanged"}
+        assert comparison.exit_code == 1
+        assert [v.name for v in comparison.regressions] == ["slow"]
+
+    def test_small_relative_change_on_slow_case_is_noise(self):
+        # +10ms is big in absolute terms but only +10% -> unchanged.
+        comparison = compare(artifact_with({"slow": 100.0}),
+                             artifact_with({"slow": 110.0}))
+        assert comparison.verdicts[0].verdict == "unchanged"
+
+    def test_improvement_detected_symmetrically(self):
+        comparison = compare(artifact_with({"a": 100.0}),
+                             artifact_with({"a": 50.0}))
+        verdict = comparison.verdicts[0]
+        assert verdict.verdict == "improved"
+        assert verdict.delta_ms == pytest.approx(-50.0)
+        assert verdict.delta_pct == pytest.approx(-50.0)
+        assert comparison.exit_code == 0
+
+    def test_missing_case_fails_added_case_does_not(self):
+        base = artifact_with({"kept": 1.0, "dropped": 1.0})
+        cur = artifact_with({"kept": 1.0, "new": 1.0})
+        comparison = compare(base, cur)
+        verdicts = {v.name: v.verdict for v in comparison.verdicts}
+        assert verdicts == {"kept": "unchanged", "dropped": "missing",
+                            "new": "added"}
+        assert comparison.exit_code == 1
+
+    def test_custom_thresholds(self):
+        base = artifact_with({"a": 10.0})
+        cur = artifact_with({"a": 11.0})
+        strict = compare(base, cur, rel_threshold=0.05,
+                         min_effect_ms=0.1)
+        assert strict.verdicts[0].verdict == "regressed"
+
+    def test_render_comparison_mentions_failures(self):
+        text = bench.render_comparison(compare(
+            artifact_with({"a": 100.0}), artifact_with({"a": 200.0})))
+        assert "regressed <<<" in text
+        assert "1 regressed" in text
+
+    def test_verdict_deltas_none_when_one_side_absent(self):
+        verdict = CaseVerdict("x", "missing", 1.0, None)
+        assert verdict.delta_ms is None and verdict.delta_pct is None
+
+
+@pytest.mark.bench_smoke
+class TestBenchSmoke:
+    """Satellite: one tiny case end to end through the CLI — run,
+    artifact on disk, self-compare, all-"unchanged", exit 0."""
+
+    def test_cli_run_then_self_compare(self, tmp_path, capsys,
+                                       monkeypatch):
+        import repro.obs.bench_cases as bench_cases
+
+        # swap the heavyweight default suite for one tiny case; the CLI
+        # path (arg parsing, artifact IO, verdicts) is what is under test
+        def tiny_default_suite():
+            suite = BenchSuite("smoke")
+            suite.add("smoke.sum", lambda: sum(range(200)))
+            return suite
+
+        monkeypatch.setattr(bench_cases, "default_suite",
+                            tiny_default_suite)
+        assert bench.main([
+            "run", "--label", "smoke", "--reps", "2", "--warmup", "0",
+            "--out-dir", str(tmp_path), "--quiet"]) == 0
+        path = tmp_path / "BENCH_smoke.json"
+        assert path.exists()
+        artifact = load_artifact(path)
+        assert artifact["schema"] == bench.BENCH_SCHEMA
+        assert [c["name"] for c in artifact["cases"]] == ["smoke.sum"]
+        capsys.readouterr()
+        assert bench.main(["compare", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 unchanged" in out
+
+    def test_cli_compare_json_and_report(self, tmp_path, capsys):
+        artifact = run_suite(tiny_suite(), "s", reps=1, warmup=0)
+        path = write_artifact(artifact, tmp_path / "BENCH_s.json")
+        assert bench.main(["compare", str(path), str(path),
+                           "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 0
+        assert all(v["verdict"] == "unchanged"
+                   for v in payload["verdicts"])
+        assert bench.main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sum.range" in out and "spanful" in out
+
+    def test_cli_compare_exit_code_on_regression(self, tmp_path,
+                                                 capsys):
+        base = artifact_with({"a": 1.0})
+        cur = artifact_with({"a": 100.0})
+        base_path = write_artifact(base, tmp_path / "BENCH_base.json")
+        cur_path = write_artifact(cur, tmp_path / "BENCH_cur.json")
+        assert bench.main(["compare", str(base_path),
+                           str(cur_path)]) == 1

@@ -163,10 +163,34 @@ class TestMetrics:
         h = Histogram("h", buckets=(1.0, 2.0, 5.0))
         h.observe(1.0)
         h.observe(2.0)
-        # n=2: p50 -> rank 1 -> first bucket's bound; p99 -> rank 2.
+        # n=2: p50 -> rank 1 lands in the <=1 bucket whose only value is
+        # the observed min; p99 -> rank 2 in the <=2 bucket.
         assert h.percentile(50) == 1.0
         assert h.percentile(99) == 2.0
         assert h.percentile(100) == 2.0
+
+    def test_histogram_percentile_interpolates_within_bucket(self):
+        # Ten observations spread across the (1, 2] bucket: the
+        # interpolated percentile moves through the bucket instead of
+        # snapping to its upper bound, and the error stays within one
+        # bucket width of the exact value.
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        values = [1.0 + 0.1 * i for i in range(1, 11)]  # 1.1 .. 2.0
+        for v in values:
+            h.observe(v)
+        p20 = h.percentile(20)
+        p80 = h.percentile(80)
+        assert 1.0 < p20 < p80 <= 2.0
+        # exact p20 of the sample is 1.2, p80 is 1.8 — both within the
+        # documented one-bucket-width bound.
+        assert abs(p20 - 1.2) <= 1.0
+        assert abs(p80 - 1.8) <= 1.0
+        # monotone in p
+        previous = 0.0
+        for p in (10, 25, 50, 75, 90, 99, 100):
+            value = h.percentile(p)
+            assert value >= previous
+            previous = value
 
     def test_histogram_overflow_reports_observed_max(self):
         h = Histogram("h", buckets=(1.0,))
@@ -185,7 +209,9 @@ class TestMetrics:
         summary = h.summary()
         assert summary["count"] == 1
         assert summary["mean"] == pytest.approx(0.5)
-        assert summary["p50"] == 1.0  # bucket upper bound
+        # With a single observation, interpolation collapses the bucket
+        # to the observed value itself (min == max == 0.5).
+        assert summary["p50"] == 0.5
         assert math.isclose(summary["sum"], 0.5)
 
     def test_histogram_rejects_unsorted_buckets(self):
@@ -248,6 +274,72 @@ class TestExport:
         assert rebuilt.children[1].attributes["values"] == {
             "1": 0.5, "x": [1, 2]}
         assert rebuilt.duration_ms == pytest.approx(root.duration_ms)
+
+    def test_jsonl_round_trip_deep_tree(self):
+        """A deeply nested span tree survives serialization with parent
+        links, ordering, attributes and durations intact."""
+        depth = 40
+        obs.enable()
+        opened = []
+        for level in range(depth):
+            sp = obs.span("level", depth=level)
+            sp.__enter__()
+            opened.append(sp)
+        for sp in reversed(opened):
+            sp.__exit__(None, None, None)
+        roots = obs.from_jsonl(obs.to_jsonl(obs.finished_roots()))
+        assert len(roots) == 1
+        chain = []
+        node = roots[0]
+        while True:
+            chain.append(node)
+            if not node.children:
+                break
+            assert len(node.children) == 1
+            assert node.children[0].parent_id == node.span_id
+            node = node.children[0]
+        assert len(chain) == depth
+        assert [n.attributes["depth"] for n in chain] == list(range(depth))
+        # parents fully contain children, all the way down
+        for parent, child in zip(chain, chain[1:]):
+            assert parent.duration_ms >= child.duration_ms
+
+    def test_jsonl_round_trip_threaded_spans(self):
+        """Spans opened and closed on multiple threads keep per-thread
+        parentage and attributes through a serialize/parse cycle."""
+        obs.enable()
+        n_threads, n_children = 4, 5
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()
+            with obs.span("thread-root", tid=tid):
+                for i in range(n_children):
+                    with obs.span("step", tid=tid, i=i):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = obs.from_jsonl(obs.to_jsonl(obs.finished_roots()))
+        assert len(roots) == n_threads
+        seen_tids = set()
+        for root in roots:
+            tid = root.attributes["tid"]
+            seen_tids.add(tid)
+            assert root.name == "thread-root"
+            assert [c.name for c in root.children] == ["step"] * n_children
+            # children stayed attached to their own thread's root, in
+            # the order they closed there
+            assert [c.attributes["tid"] for c in root.children] == (
+                [tid] * n_children)
+            assert [c.attributes["i"] for c in root.children] == list(
+                range(n_children))
+            assert all(c.parent_id == root.span_id for c in root.children)
+        assert seen_tids == set(range(n_threads))
 
     def test_jsonl_defaults_to_tracer_roots(self):
         self.build_trace()

@@ -210,8 +210,18 @@ class TestReportCli:
         assert "METRICS" in out
         assert "query.executed" in out
 
-    def test_report_main_json_is_parseable(self, capsys):
+    def test_report_main_json_is_observability_payload(self, capsys):
+        import json
+
         assert report_main(["--json"]) == 0
+        out = capsys.readouterr().out
+        bundle = json.loads(out)
+        assert bundle["schema"] == obs.OBS_SCHEMA
+        assert bundle["spans"][0]["name"] == "report.sweep"
+        assert "counters" in bundle["metrics"]
+
+    def test_report_main_jsonl_round_trips(self, capsys):
+        assert report_main(["--jsonl"]) == 0
         out = capsys.readouterr().out
         roots = obs.from_jsonl(out)
         assert len(roots) == 1

@@ -1,0 +1,213 @@
+"""Distributed timeline reconstruction and skew analysis."""
+
+import pytest
+
+from repro import obs
+from repro.dgps.algorithms import pagerank_spec
+from repro.dist import degree_skewed_partition, run_distributed_pregel
+from repro.dist.report import skew_report
+from repro.generators import barabasi_albert
+from repro.obs.timeline import (
+    SKEW_THRESHOLD,
+    Lane,
+    SuperstepLanes,
+    Timeline,
+    build_timeline,
+    render_timeline,
+)
+
+K = 4
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def skew_graph():
+    return barabasi_albert(120, 3, seed=7)
+
+
+def traced_run(graph, partitioner, supersteps=6):
+    spec = pagerank_spec(graph, supersteps=supersteps)
+    with obs.capture() as trace:
+        result = run_distributed_pregel(graph, spec, k=K,
+                                        partitioner=partitioner, seed=0)
+    return trace.roots, result
+
+
+class TestBuildTimeline:
+    def test_lanes_cover_every_worker_every_superstep(self, skew_graph):
+        roots, result = traced_run(skew_graph, "hash")
+        timeline = build_timeline(roots)
+        assert timeline.k == K
+        assert timeline.partitioner == "hash"
+        assert len(timeline.supersteps) == result.supersteps
+        assert timeline.workers() == [f"w{i}" for i in range(K)]
+        for step in timeline.supersteps:
+            assert [lane.worker for lane in step.lanes] == [
+                f"w{i}" for i in range(K)]
+            assert all(lane.compute_ms >= 0 for lane in step.lanes)
+            assert step.total_ms >= step.max_lane_ms
+            assert step.barrier_ms >= 0
+        # PageRank keeps every vertex active: each superstep's lanes
+        # account for the whole graph
+        for step in timeline.supersteps:
+            assert sum(lane.active_vertices for lane in step.lanes) == (
+                skew_graph.num_vertices())
+
+    def test_checkpoints_and_run_attrs_recorded(self, skew_graph):
+        roots, _ = traced_run(skew_graph, "hash")
+        timeline = build_timeline(roots)
+        assert timeline.run_ms > 0
+        assert timeline.recoveries == 0
+        assert timeline.checkpoints  # every barrier checkpoints
+        for checkpoint in timeline.checkpoints:
+            assert checkpoint["ms"] >= 0
+            assert checkpoint["bytes"] > 0
+
+    def test_rebuilds_identically_from_jsonl(self, skew_graph):
+        roots, _ = traced_run(skew_graph, "degree_skew")
+        live = build_timeline(roots)
+        rebuilt = build_timeline(obs.from_jsonl(obs.to_jsonl(roots)))
+        assert rebuilt.skew_summary() == live.skew_summary()
+        assert len(rebuilt.supersteps) == len(live.supersteps)
+        assert rebuilt.workers() == live.workers()
+
+    def test_multiple_runs_selected_by_index(self, skew_graph):
+        spec = pagerank_spec(skew_graph, supersteps=3)
+        with obs.capture() as trace:
+            run_distributed_pregel(skew_graph, spec, k=2,
+                                   partitioner="hash", seed=0)
+            run_distributed_pregel(skew_graph, spec, k=K,
+                                   partitioner="degree_skew", seed=0)
+        assert build_timeline(trace.roots).k == K  # default: last run
+        first = build_timeline(trace.roots, run_index=0)
+        assert first.k == 2 and first.partitioner == "hash"
+
+    def test_raises_without_dist_run_span(self):
+        with obs.capture() as trace:
+            with obs.span("unrelated"):
+                pass
+        with pytest.raises(ValueError, match="no dist.run span"):
+            build_timeline(trace.roots)
+
+
+class TestSkewStats:
+    def test_degree_skew_partition_is_imbalanced_and_deterministic(
+            self, skew_graph):
+        assignment = degree_skewed_partition(skew_graph, K)
+        assert assignment == degree_skewed_partition(skew_graph, K)
+        shard_sizes = [0] * K
+        for shard in assignment.values():
+            shard_sizes[shard] += 1
+        assert shard_sizes[0] > sum(shard_sizes[1:])  # hubs pile up
+        assert all(size > 0 for size in shard_sizes)
+        # hub shard really owns the high-degree vertices
+        hubs = sorted(skew_graph.vertices(),
+                      key=skew_graph.degree, reverse=True)[:10]
+        assert all(assignment[v] == 0 for v in hubs)
+
+    def test_degree_skew_single_shard(self, skew_graph):
+        assignment = degree_skewed_partition(skew_graph, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_skewed_run_flagged_balanced_run_not(self, skew_graph):
+        roots_hash, _ = traced_run(skew_graph, "hash")
+        roots_skew, _ = traced_run(skew_graph, "degree_skew")
+        balanced = build_timeline(roots_hash).skew_summary()
+        skewed = build_timeline(roots_skew).skew_summary()
+        # vertex imbalance is exact (counts, not clocks): hash spreads
+        # vertices ~evenly, degree_skew piles ~70% onto w0. The
+        # wall-clock straggler ratio of the balanced run is NOT
+        # asserted on — under a loaded machine it can cross the
+        # threshold on scheduler noise alone.
+        assert balanced["vertex_imbalance"] < SKEW_THRESHOLD
+        assert skewed["vertex_imbalance"] > SKEW_THRESHOLD
+        assert skewed["straggler"] == "w0"
+        assert skewed["flagged"]
+        assert skewed["threshold"] == SKEW_THRESHOLD
+
+    def test_ratio_properties_on_synthetic_lanes(self):
+        step = SuperstepLanes(superstep=0, lanes=[
+            Lane("w0", 9.0, 90, 900, 90, 0, 90),
+            Lane("w1", 1.0, 10, 100, 10, 0, 10),
+        ])
+        assert step.max_lane_ms == 9.0
+        assert step.mean_lane_ms == pytest.approx(5.0)
+        assert step.straggler == "w0"
+        assert step.straggler_ratio == pytest.approx(1.8)
+        assert step.vertex_imbalance == pytest.approx(1.8)
+        assert step.message_imbalance == pytest.approx(1.8)
+        empty = SuperstepLanes(superstep=0)
+        assert empty.straggler is None
+        assert empty.straggler_ratio == 1.0
+
+    def test_worker_totals_accumulate(self):
+        timeline = Timeline(k=2, partitioner="hash", supersteps=[
+            SuperstepLanes(superstep=0, lanes=[
+                Lane("w0", 2.0, 5, 50, 5, 0, 5),
+                Lane("w1", 1.0, 5, 50, 5, 0, 5)]),
+            SuperstepLanes(superstep=1, lanes=[
+                Lane("w0", 3.0, 5, 50, 5, 0, 5),
+                Lane("w1", 1.0, 5, 50, 5, 0, 5)]),
+        ])
+        totals = timeline.worker_totals()
+        assert totals["w0"]["compute_ms"] == pytest.approx(5.0)
+        assert totals["w0"]["messages_sent"] == 100
+        summary = timeline.skew_summary()
+        assert summary["straggler"] == "w0"
+        # totals: w0 5ms, w1 2ms -> max/mean = 5 / 3.5, rounded to 3dp
+        assert summary["straggler_ratio"] == pytest.approx(
+            round(5.0 / 3.5, 3))
+
+
+class TestRenderTimeline:
+    def test_gantt_shows_all_lanes_and_flag(self, skew_graph):
+        roots, result = traced_run(skew_graph, "degree_skew")
+        text = render_timeline(roots)
+        lines = text.splitlines()
+        assert f"k={K}" in lines[0]
+        assert "partitioner=degree_skew" in lines[0]
+        for step in range(result.supersteps):
+            assert any(line.startswith(f"step {step} ")
+                       for line in lines)
+        for worker in (f"w{i}" for i in range(K)):
+            assert any(f" {worker} " in line for line in lines)
+        assert "barrier" in text and "straggler x" in text
+        assert "checkpoint" in text
+        assert text.splitlines()[-1].startswith("skew:")
+        assert "[FLAGGED]" in text.splitlines()[-1]
+
+    def test_gantt_accepts_timeline_and_records(self, skew_graph):
+        roots, _ = traced_run(skew_graph, "hash", supersteps=3)
+        timeline = build_timeline(roots)
+        from_timeline = render_timeline(timeline)
+        from_records = render_timeline(
+            obs.from_jsonl(obs.to_jsonl(roots)))
+        # same lanes either way (identical text: same spans underneath)
+        assert from_timeline == from_records
+
+
+class TestSkewReport:
+    def test_skew_report_flags_degree_skew_only(self):
+        report = skew_report(vertices=120, k=K, seed=0, supersteps=5)
+        # degree_skew must be flagged; hash *usually* is not, but its
+        # verdict rides on wall clocks, so only the deterministic
+        # vertex-count comparison is asserted for it.
+        assert "degree_skew" in report["flagged"]
+        by_partitioner = {row["partitioner"]: row
+                          for row in report["rows"]}
+        assert set(by_partitioner) == {"hash", "degree_skew"}
+        assert by_partitioner["hash"]["vertex_imbalance"] < 1.5
+        assert (by_partitioner["degree_skew"]["vertex_imbalance"]
+                > by_partitioner["hash"]["vertex_imbalance"])
+        assert (by_partitioner["degree_skew"]["straggler_ratio"] > 1.5)
+        timelines = report["_timelines"]
+        assert set(timelines) == {"hash", "degree_skew"}
+        assert all(len(t.supersteps) > 0 for t in timelines.values())
