@@ -7,22 +7,34 @@ package makes the reproduction's Pregel layer face it. Existing
 assigns vertices to shards, each :class:`Worker` runs the shared
 superstep-local compute over its shard, and the :class:`Coordinator`
 enforces the barrier, routes sender-combined cross-shard messages,
-merges aggregators, checkpoints every barrier to a pluggable
-:class:`CheckpointStore`, and — when a :class:`FaultPlan` kills a
-worker mid-computation — restores all shards from the last checkpoint
-and replays to a byte-identical result.
+merges aggregators, and checkpoints every barrier (with a content
+checksum) to a pluggable :class:`CheckpointStore`.
+
+Failure handling is a first-class workload: a :class:`FaultPlan`
+describes kills, flaky workers, barrier message loss/duplication, slow
+workers and checkpoint corruption; any *detected* fault
+(:class:`InjectedFault`) unwinds to the
+:class:`~repro.dist.resilience.RecoverySupervisor`, which restores all
+shards from the newest checkpoint passing integrity validation
+(falling back past corrupt ones), enforces a :class:`RetryPolicy`
+(escalating to :class:`RecoveryExhausted` instead of looping), and
+replays to a byte-identical result.
 
 ``python -m repro.dist.report`` prints the scaling/recovery summary;
-everything is wired through :mod:`repro.obs` (a span per worker per
-superstep, counters for routed/combined messages, checkpoint bytes,
-recoveries).
+``python -m repro.dist.chaos`` runs seeded randomized fault schedules
+and asserts byte-identical recovery. Everything is wired through
+:mod:`repro.obs` (a span per worker per superstep, counters for
+routed/combined messages, checkpoint bytes, recoveries, faults by
+type, and the MTTR-style ``dist.recovery_ms`` histogram).
 """
 
 from repro.dist.checkpoint import (
     Checkpoint,
+    CheckpointCorrupt,
     CheckpointStore,
     InMemoryCheckpointStore,
     JsonCheckpointStore,
+    payload_checksum,
 )
 from repro.dist.coordinator import (
     Coordinator,
@@ -30,7 +42,17 @@ from repro.dist.coordinator import (
     DistSuperstepStats,
     run_distributed_pregel,
 )
-from repro.dist.faults import FaultPlan, KillFault, WorkerKilled
+from repro.dist.faults import (
+    BarrierFault,
+    CorruptionFault,
+    FaultPlan,
+    InjectedFault,
+    KillFault,
+    MessageDuplication,
+    MessageLoss,
+    SlowFault,
+    WorkerKilled,
+)
 from repro.dist.partitioned import (
     PARTITION_STRATEGIES,
     Partitioner,
@@ -39,26 +61,46 @@ from repro.dist.partitioned import (
     degree_skewed_partition,
     hash_partition,
 )
+from repro.dist.resilience import (
+    RecoveryEvent,
+    RecoveryExhausted,
+    RecoverySupervisor,
+    RetryPolicy,
+    ShardCountMismatch,
+)
 from repro.dist.worker import Worker, WorkerStepResult
 
 __all__ = [
     "PARTITION_STRATEGIES",
+    "BarrierFault",
     "Checkpoint",
+    "CheckpointCorrupt",
     "CheckpointStore",
     "Coordinator",
+    "CorruptionFault",
     "DistSuperstepStats",
     "DistributedResult",
     "FaultPlan",
     "InMemoryCheckpointStore",
+    "InjectedFault",
     "JsonCheckpointStore",
     "KillFault",
+    "MessageDuplication",
+    "MessageLoss",
     "Partitioner",
+    "RecoveryEvent",
+    "RecoveryExhausted",
+    "RecoverySupervisor",
+    "RetryPolicy",
+    "ShardCountMismatch",
     "ShardMap",
+    "SlowFault",
     "Worker",
     "WorkerKilled",
     "WorkerStepResult",
     "build_shard_map",
     "degree_skewed_partition",
     "hash_partition",
+    "payload_checksum",
     "run_distributed_pregel",
 ]

@@ -8,6 +8,14 @@ the superstep before. Recovery is therefore a pure rewind — restore
 all shards and replay — which is what makes a recovered run
 byte-identical to a fault-free one.
 
+Integrity: every payload carries a content checksum
+(``sha256:<hex>`` over the canonical JSON of the rest of the payload),
+written at save time and verified on load by both stores. A checkpoint
+whose stored and recomputed checksums disagree — or whose serialized
+form no longer parses — raises :class:`CheckpointCorrupt`, which the
+recovery supervisor treats as "fall back to the previous checkpoint",
+never as good state.
+
 Two stores implement the pluggable interface:
 
 * :class:`InMemoryCheckpointStore` — deep-copied snapshots in the
@@ -16,16 +24,50 @@ Two stores implement the pluggable interface:
 * :class:`JsonCheckpointStore` — one JSON file per checkpoint in a
   directory; survives the process, at the cost of requiring vertex
   ids, messages and values to be JSON-representable (ints, strings,
-  floats including ``inf``, lists, dicts).
+  floats including ``inf``, lists, dicts). Saves are atomic
+  (temp file + ``os.replace``), so a crash mid-save can never leave a
+  torn latest checkpoint — the previous bytes stay intact until the
+  new ones are fully on disk.
+
+Both stores expose a ``corrupt(superstep, mode)`` hook used by the
+chaos harness to simulate storage damage, and ``prune(keep_last=n)``
+so long chaos runs don't accumulate unbounded checkpoints.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
 import json
 import os
 from dataclasses import dataclass
 from typing import Any
+
+from repro.errors import ReproError
+
+#: checksum scheme identifier embedded in every payload.
+CHECKSUM_ALGORITHM = "sha256"
+
+
+class CheckpointCorrupt(ReproError):
+    """A checkpoint failed integrity validation on load."""
+
+    def __init__(self, message: str, superstep: int | None = None):
+        super().__init__(message)
+        self.superstep = superstep
+
+
+def payload_checksum(body: dict[str, Any]) -> str:
+    """``sha256:<hex>`` over the canonical JSON encoding of ``body``.
+
+    ``sort_keys`` + compact separators make the encoding canonical;
+    ``default=repr`` lets the in-memory store checksum payloads whose
+    values are not JSON-representable.
+    """
+    encoded = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                         default=repr)
+    digest = hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+    return f"{CHECKSUM_ALGORITHM}:{digest}"
 
 
 @dataclass
@@ -36,8 +78,9 @@ class Checkpoint:
     worker_states: list[dict[str, Any]]
     previous_aggregates: dict[str, Any]
 
-    def to_payload(self) -> dict[str, Any]:
-        """A JSON-ready dict (vertex-keyed maps become pair lists)."""
+    def body(self) -> dict[str, Any]:
+        """The JSON-ready payload, minus the checksum (vertex-keyed
+        maps become pair lists)."""
         return {
             "superstep": self.superstep,
             "previous_aggregates": dict(self.previous_aggregates),
@@ -53,8 +96,34 @@ class Checkpoint:
             ],
         }
 
+    def to_payload(self) -> dict[str, Any]:
+        """The full payload: body plus its content checksum."""
+        payload = self.body()
+        payload["checksum"] = payload_checksum(payload)
+        return payload
+
     @classmethod
-    def from_payload(cls, payload: dict[str, Any]) -> "Checkpoint":
+    def verify_payload(cls, payload: dict[str, Any], *,
+                       where: str = "checkpoint") -> None:
+        """Raise :class:`CheckpointCorrupt` if the payload's stored
+        checksum does not match its content (legacy payloads without a
+        checksum pass, for compatibility with pre-integrity files)."""
+        stored = payload.get("checksum")
+        if stored is None:
+            return
+        body = {key: value for key, value in payload.items()
+                if key != "checksum"}
+        computed = payload_checksum(body)
+        if computed != stored:
+            raise CheckpointCorrupt(
+                f"{where}: checksum mismatch "
+                f"(stored {stored}, computed {computed})",
+                superstep=payload.get("superstep"))
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any], *,
+                     where: str = "checkpoint") -> "Checkpoint":
+        cls.verify_payload(payload, where=where)
         return cls(
             superstep=payload["superstep"],
             previous_aggregates=dict(payload["previous_aggregates"]),
@@ -73,7 +142,9 @@ class CheckpointStore:
     """Interface: persist checkpoints, hand back the latest on demand.
 
     ``save`` returns the number of bytes persisted so the coordinator
-    can feed the ``dist.checkpoint_bytes`` counter.
+    can feed the ``dist.checkpoint_bytes`` counter. ``load`` /
+    ``load_latest`` must validate integrity and raise
+    :class:`CheckpointCorrupt` rather than return damaged state.
     """
 
     def save(self, checkpoint: Checkpoint) -> int:
@@ -91,16 +162,35 @@ class CheckpointStore:
     def clear(self) -> None:
         raise NotImplementedError
 
+    def prune(self, keep_last: int) -> list[int]:
+        """Drop all but the newest ``keep_last`` checkpoints; return
+        the supersteps that were removed."""
+        raise NotImplementedError
+
+    def corrupt(self, superstep: int, mode: str = "garble") -> None:
+        """Chaos hook: damage a stored checkpoint in place so the next
+        load fails integrity validation (``garble``) or parsing
+        (``truncate``). Simulation-only — never called on real data."""
+        raise NotImplementedError
+
+
+def _validate_keep_last(keep_last: int) -> None:
+    if keep_last < 1:
+        raise ValueError("keep_last must be >= 1")
+
 
 class InMemoryCheckpointStore(CheckpointStore):
     """Deep-copied snapshots keyed by superstep (the default store)."""
 
     def __init__(self):
         self._checkpoints: dict[int, Checkpoint] = {}
+        self._checksums: dict[int, str] = {}
 
     def save(self, checkpoint: Checkpoint) -> int:
         snapshot = copy.deepcopy(checkpoint)
         self._checkpoints[checkpoint.superstep] = snapshot
+        self._checksums[checkpoint.superstep] = payload_checksum(
+            snapshot.body())
         # repr-length as the size estimate: works for any vertex /
         # message type, close enough for the bytes counter.
         return len(repr(snapshot.to_payload()))
@@ -111,13 +201,40 @@ class InMemoryCheckpointStore(CheckpointStore):
         return self.load(max(self._checkpoints))
 
     def load(self, superstep: int) -> Checkpoint:
-        return copy.deepcopy(self._checkpoints[superstep])
+        checkpoint = self._checkpoints[superstep]
+        computed = payload_checksum(checkpoint.body())
+        stored = self._checksums.get(superstep)
+        if stored is not None and computed != stored:
+            raise CheckpointCorrupt(
+                f"in-memory checkpoint {superstep}: checksum mismatch "
+                f"(stored {stored}, computed {computed})",
+                superstep=superstep)
+        return copy.deepcopy(checkpoint)
 
     def supersteps(self) -> list[int]:
         return sorted(self._checkpoints)
 
     def clear(self) -> None:
         self._checkpoints.clear()
+        self._checksums.clear()
+
+    def prune(self, keep_last: int) -> list[int]:
+        _validate_keep_last(keep_last)
+        ordered = sorted(self._checkpoints)
+        dropped = ordered[:-keep_last] if keep_last < len(ordered) else []
+        for superstep in dropped:
+            del self._checkpoints[superstep]
+            self._checksums.pop(superstep, None)
+        return dropped
+
+    def corrupt(self, superstep: int, mode: str = "garble") -> None:
+        checkpoint = self._checkpoints[superstep]
+        if mode == "truncate":
+            checkpoint.worker_states = checkpoint.worker_states[:-1]
+        elif mode == "garble":
+            checkpoint.previous_aggregates["__garbled__"] = "\x00"
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
 
 
 class JsonCheckpointStore(CheckpointStore):
@@ -132,10 +249,20 @@ class JsonCheckpointStore(CheckpointStore):
                             f"checkpoint-{superstep:06d}.json")
 
     def save(self, checkpoint: Checkpoint) -> int:
+        """Atomic write: encode, land on a temp file, ``os.replace``.
+
+        A crash anywhere before the replace leaves the previous
+        checkpoint file (if any) byte-for-byte intact; the replace
+        itself is atomic on POSIX and Windows.
+        """
         encoded = json.dumps(checkpoint.to_payload())
         path = self._path(checkpoint.superstep)
-        with open(path, "w", encoding="utf-8") as handle:
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
             handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
         return len(encoded.encode("utf-8"))
 
     def _saved(self) -> dict[int, str]:
@@ -156,12 +283,51 @@ class JsonCheckpointStore(CheckpointStore):
         return self.load(max(saved))
 
     def load(self, superstep: int) -> Checkpoint:
-        with open(self._path(superstep), encoding="utf-8") as handle:
-            return Checkpoint.from_payload(json.load(handle))
+        path = self._path(superstep)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorrupt(
+                f"checkpoint file {path} is not valid JSON "
+                f"(torn or truncated write?): {exc}",
+                superstep=superstep) from exc
+        return Checkpoint.from_payload(payload, where=path)
 
     def supersteps(self) -> list[int]:
         return sorted(self._saved())
 
     def clear(self) -> None:
         for path in self._saved().values():
-            os.remove(path)
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass  # lost a race with another cleaner — already gone
+
+    def prune(self, keep_last: int) -> list[int]:
+        _validate_keep_last(keep_last)
+        saved = self._saved()
+        ordered = sorted(saved)
+        dropped = ordered[:-keep_last] if keep_last < len(ordered) else []
+        for superstep in dropped:
+            try:
+                os.remove(saved[superstep])
+            except FileNotFoundError:
+                pass
+        return dropped
+
+    def corrupt(self, superstep: int, mode: str = "garble") -> None:
+        path = self._path(superstep)
+        if mode == "truncate":
+            with open(path, encoding="utf-8") as handle:
+                data = handle.read()
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(data[:max(1, len(data) // 2)])
+        elif mode == "garble":
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            payload["previous_aggregates"]["__garbled__"] = 1
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")

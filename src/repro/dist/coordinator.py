@@ -13,9 +13,13 @@ synchronous supersteps:
    :class:`~repro.dist.checkpoint.CheckpointStore` (every
    ``checkpoint_every`` barriers).
 
-A :class:`~repro.dist.faults.WorkerKilled` unwinds to the superstep
-loop, which restores *all* shards from the latest checkpoint and
-replays. Execution is deterministic (fixed shard order, fixed routing
+Any :class:`~repro.dist.faults.InjectedFault` — a worker kill, a
+flaky worker's repeated failure, or a detected barrier message
+loss/duplication — unwinds to the superstep loop, which hands it to
+the :class:`~repro.dist.resilience.RecoverySupervisor`: restore *all*
+shards from the newest checkpoint that passes integrity validation
+(falling back past corrupt ones), enforce the retry policy, and
+replay. Execution is deterministic (fixed shard order, fixed routing
 order), so the recovered run finishes with vertex values byte-identical
 to a fault-free run.
 
@@ -43,8 +47,18 @@ from repro.dist.checkpoint import (
     CheckpointStore,
     InMemoryCheckpointStore,
 )
-from repro.dist.faults import FaultPlan, WorkerKilled
+from repro.dist.faults import (
+    FaultPlan,
+    InjectedFault,
+    MessageDuplication,
+    MessageLoss,
+)
 from repro.dist.partitioned import Partitioner, ShardMap
+from repro.dist.resilience import (
+    RecoveryEvent,
+    RecoverySupervisor,
+    RetryPolicy,
+)
 from repro.dist.worker import Worker, WorkerStepResult
 from repro.graphs.adjacency import Graph, Vertex
 from repro.obs import get_registry, is_enabled, span
@@ -77,9 +91,14 @@ class DistributedResult:
     checkpoints_written: int
     checkpoint_bytes: int
     routing: dict[str, Any] = field(default_factory=dict)
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
 
     def total_messages(self) -> int:
         return sum(s.messages_sent for s in self.stats)
+
+    def replayed_supersteps(self) -> int:
+        """Total supersteps re-executed across all recoveries."""
+        return sum(event.replayed for event in self.recovery_events)
 
     def routed_messages(self) -> int:
         return sum(s.messages_routed for s in self.stats)
@@ -105,6 +124,7 @@ class Coordinator:
         checkpoint_store: CheckpointStore | None = None,
         checkpoint_every: int = 1,
         fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
         seed: int = 0,
     ):
         if checkpoint_every < 1:
@@ -116,6 +136,8 @@ class Coordinator:
         self._checkpoint_every = checkpoint_every
         self._fault_plan = fault_plan
         self._store = checkpoint_store or InMemoryCheckpointStore()
+        self.supervisor = RecoverySupervisor(self._store,
+                                             policy=retry_policy)
 
         if isinstance(partitioner, ShardMap):
             self._shard_map: ShardMap = partitioner
@@ -180,27 +202,49 @@ class Coordinator:
             registry = get_registry()
             registry.inc("dist.checkpoints")
             registry.inc("dist.checkpoint_bytes", written)
+        if self._fault_plan is not None:
+            fault = self._fault_plan.corruption(next_superstep)
+            if fault is not None:
+                self._store.corrupt(next_superstep, mode=fault.mode)
+                if is_enabled():
+                    get_registry().inc("dist.faults.corrupt")
 
-    def _recover(self, killed: WorkerKilled,
+    def _recover(self, fault: InjectedFault,
                  stats: list[DistSuperstepStats]) -> int:
-        """Rewind every shard to the latest checkpoint; return the
-        superstep to replay from."""
-        checkpoint = self._store.load_latest()
-        if checkpoint is None:  # pragma: no cover - initial cp always saved
-            raise PregelError(
-                f"no checkpoint to recover from after {killed}") from killed
-        with span("dist.recovery", worker=killed.worker,
-                  superstep=killed.superstep,
-                  restored_to=checkpoint.superstep):
+        """Rewind every shard to the newest checkpoint that passes
+        integrity validation; return the superstep to replay from.
+
+        The :class:`~repro.dist.resilience.RecoverySupervisor` enforces
+        the retry policy (escalating to ``RecoveryExhausted`` instead
+        of looping), falls back past corrupt checkpoints, and rejects
+        shard-count mismatches.
+        """
+        with span("dist.recovery", fault=str(fault),
+                  fault_type=fault.fault_type,
+                  superstep=getattr(fault, "superstep", -1)) as rec_span:
+            checkpoint, event = self.supervisor.recover(
+                fault, expected_shards=len(self.workers))
             for worker, state in zip(self.workers,
                                      checkpoint.worker_states):
                 worker.restore(state)
             self._previous_aggregates = dict(
                 checkpoint.previous_aggregates)
             del stats[checkpoint.superstep:]
+            rec_span.set("restored_to", checkpoint.superstep)
+            rec_span.set("attempt", event.attempt)
+            rec_span.set("backoff_ms", event.backoff_ms)
+            if event.corrupt_skipped:
+                rec_span.set("corrupt_skipped",
+                             list(event.corrupt_skipped))
         self.recoveries += 1
         if is_enabled():
-            get_registry().inc("dist.recoveries")
+            registry = get_registry()
+            registry.inc("dist.recoveries")
+            registry.inc(f"dist.faults.{fault.fault_type}")
+            if event.corrupt_skipped:
+                registry.inc("dist.checkpoint_corrupt",
+                             len(event.corrupt_skipped))
+            registry.observe("dist.recovery_ms", rec_span.duration_ms)
         return checkpoint.superstep
 
     # -- the superstep loop ----------------------------------------------
@@ -209,23 +253,62 @@ class Coordinator:
         with span("dist.superstep", superstep=superstep) as step_span:
             results: list[WorkerStepResult] = []
             for worker in self.workers:
+                delay_ms = 0.0
                 if self._fault_plan is not None:
                     self._fault_plan.check(worker.name, superstep)
+                    delay_ms = self._fault_plan.slow_delay(
+                        worker.name, superstep)
+                    if delay_ms and is_enabled():
+                        get_registry().inc("dist.faults.slow")
                 results.append(worker.run_superstep(
-                    superstep, self._previous_aggregates))
+                    superstep, self._previous_aggregates,
+                    injected_delay_ms=delay_ms))
 
             # Barrier: route sender-combined buffers, in worker order
             # then destination order — fixed, so replays are identical.
+            # Pending drop/duplicate faults perturb delivery; the
+            # accounting check below detects the mismatch and raises,
+            # handing the superstep to the recovery supervisor.
             with span("dist.barrier", superstep=superstep) as barrier:
+                drop_budget = duplicate_budget = 0
+                if self._fault_plan is not None:
+                    for fault in self._fault_plan.barrier_faults(
+                            superstep):
+                        if fault.kind == "drop":
+                            drop_budget += fault.count
+                        else:
+                            duplicate_budget += fault.count
+                expected = sum(
+                    len(msgs) for result in results
+                    for buffer in result.remote.values()
+                    for msgs in buffer.values())
                 routed = 0
+                delivered = 0
                 for result in results:
                     for dest in sorted(result.remote):
                         dest_worker = self.workers[dest]
                         for target, messages in (
                                 result.remote[dest].items()):
-                            dest_worker.deliver(target, messages)
+                            to_send = list(messages)
+                            if drop_budget:
+                                lost = min(drop_budget, len(to_send))
+                                to_send = to_send[lost:]
+                                drop_budget -= lost
+                            if duplicate_budget and to_send:
+                                extra = min(duplicate_budget,
+                                            len(to_send))
+                                to_send = to_send + to_send[:extra]
+                                duplicate_budget -= extra
+                            if to_send:
+                                delivered += dest_worker.deliver(
+                                    target, to_send)
                             routed += len(messages)
                 barrier.set("messages_routed", routed)
+                if delivered < expected:
+                    raise MessageLoss(superstep, expected, delivered)
+                if delivered > expected:
+                    raise MessageDuplication(superstep, expected,
+                                             delivered)
 
                 merged = {name: identity for name, (_, identity)
                           in self._aggregators.items()}
@@ -281,8 +364,9 @@ class Coordinator:
                     f"{self._max_supersteps} supersteps")
             try:
                 stats.append(self._execute_superstep(superstep))
-            except WorkerKilled as killed:
-                superstep = self._recover(killed, stats)
+                self.supervisor.note_progress()
+            except InjectedFault as fault:
+                superstep = self._recover(fault, stats)
                 continue
             if (superstep + 1) % self._checkpoint_every == 0:
                 self._save_checkpoint(superstep + 1)
@@ -303,7 +387,8 @@ class Coordinator:
             recoveries=self.recoveries,
             checkpoints_written=self.checkpoints_written,
             checkpoint_bytes=self.checkpoint_bytes,
-            routing=self._shard_map.routing_stats(self._graph))
+            routing=self._shard_map.routing_stats(self._graph),
+            recovery_events=list(self.supervisor.events))
 
 
 def run_distributed_pregel(
@@ -315,6 +400,7 @@ def run_distributed_pregel(
     checkpoint_store: CheckpointStore | None = None,
     checkpoint_every: int = 1,
     fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
     seed: int = 0,
     **engine_kwargs: Any,
 ) -> DistributedResult:
@@ -342,4 +428,5 @@ def run_distributed_pregel(
         graph, program, k=k, partitioner=partitioner,
         checkpoint_store=checkpoint_store,
         checkpoint_every=checkpoint_every,
-        fault_plan=fault_plan, seed=seed, **config).run()
+        fault_plan=fault_plan, retry_policy=retry_policy,
+        seed=seed, **config).run()

@@ -20,6 +20,8 @@ sweep, so CI and the bench harness consume it without scraping text;
 
 :func:`smoke` is the tiny fixed configuration (k=2, one injected
 fault) the benchmark suite runs from ``benchmarks/conftest.py``.
+Randomized failure coverage — flaky workers, message loss/duplication,
+checkpoint corruption — lives in ``python -m repro.dist.chaos``.
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ COUNTERS = (
     "dist.checkpoints",
     "dist.checkpoint_bytes",
     "dist.recoveries",
+    "dist.checkpoint_corrupt",
 )
 
 
@@ -195,9 +198,13 @@ def smoke(k: int = 2, seed: int = 0) -> dict[str, Any]:
     if faulted.recoveries != 1:
         raise AssertionError(
             f"expected exactly one recovery, saw {faulted.recoveries}")
+    if len(faulted.recovery_events) != 1:
+        raise AssertionError(
+            "recovery supervisor did not record the recovery")
     return {
         "recovered": True,
         "recoveries": faulted.recoveries,
+        "replayed": faulted.replayed_supersteps(),
         "checkpoints": faulted.checkpoints_written,
         "checkpoint_bytes": faulted.checkpoint_bytes,
         "supersteps": faulted.supersteps,

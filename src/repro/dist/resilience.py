@@ -1,0 +1,197 @@
+"""Recovery supervision: retry policy, checkpoint fallback, escalation.
+
+PR 2's recovery was a single unconditional rewind: load the latest
+checkpoint, restore, replay. That is one happy-path failure mode — it
+loops forever on a fault that refires every replay, and it trusts
+whatever bytes the store hands back. This module is the supervisor
+between the coordinator and the :class:`~repro.dist.checkpoint
+.CheckpointStore`:
+
+* a :class:`RetryPolicy` caps *consecutive* recovery attempts (the
+  counter resets whenever the run completes a superstep, i.e. makes
+  forward progress) and computes an exponential backoff schedule that
+  is **recorded, not slept** — the simulated runtime stays fast and
+  deterministic, while the schedule lands in spans / recovery events
+  for MTTR-style analysis;
+* checkpoint selection walks the store newest-first and *falls back*
+  past any checkpoint that fails integrity validation
+  (:class:`~repro.dist.checkpoint.CheckpointCorrupt`), so a corrupted
+  latest checkpoint costs extra replay distance instead of the run;
+* exhaustion — attempts over budget, or no uncorrupted checkpoint
+  left — escalates to the named :class:`RecoveryExhausted` error
+  instead of an infinite replay loop;
+* a restored checkpoint whose shard count differs from the live run
+  raises :class:`ShardCountMismatch` naming both counts, rather than
+  silently ``zip``-truncating worker state.
+
+Every successful recovery is recorded as a :class:`RecoveryEvent`
+(attempt number, fault, replay distance, backoff, corrupt checkpoints
+skipped) — the chaos harness and ``DistributedResult`` surface these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dist.checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointStore,
+)
+from repro.errors import ReproError
+
+
+class RecoveryExhausted(ReproError):
+    """Recovery gave up: retry budget spent, or no usable checkpoint."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class ShardCountMismatch(ReproError):
+    """A restored checkpoint's worker count differs from the live run."""
+
+    def __init__(self, superstep: int, expected: int, found: int):
+        super().__init__(
+            f"checkpoint at superstep {superstep} holds {found} worker "
+            f"shard(s) but the live run has {expected}; refusing to "
+            f"restore across mismatched topologies")
+        self.superstep = superstep
+        self.expected = expected
+        self.found = found
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard recovery tries before escalating.
+
+    ``max_attempts`` bounds *consecutive* recoveries without forward
+    progress; completing any superstep resets the count. The backoff
+    schedule is exponential (``base * factor**(attempt-1)``, capped) —
+    recorded on recovery events and spans, never slept.
+    """
+
+    max_attempts: int = 8
+    backoff_base_ms: float = 10.0
+    backoff_factor: float = 2.0
+    backoff_cap_ms: float = 1000.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0 or self.backoff_cap_ms < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Backoff recorded for the ``attempt``-th consecutive recovery."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.backoff_base_ms
+                   * self.backoff_factor ** (attempt - 1),
+                   self.backoff_cap_ms)
+
+    def schedule(self) -> list[float]:
+        """The full recorded backoff schedule, one entry per attempt."""
+        return [self.backoff_ms(attempt)
+                for attempt in range(1, self.max_attempts + 1)]
+
+
+@dataclass
+class RecoveryEvent:
+    """One successful recovery, as recorded by the supervisor."""
+
+    attempt: int            #: consecutive attempt number (1-based)
+    fault: str              #: str() of the triggering fault
+    fault_type: str         #: counter tag: kill/flaky/drop/duplicate/...
+    failed_at: int          #: superstep the fault surfaced at
+    restored_to: int        #: superstep the restored checkpoint resumes at
+    backoff_ms: float       #: recorded (not slept) backoff for this attempt
+    corrupt_skipped: list[int] = field(default_factory=list)
+
+    @property
+    def replayed(self) -> int:
+        """Supersteps this recovery rewound (replay distance)."""
+        return max(0, self.failed_at - self.restored_to)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "fault": self.fault,
+            "fault_type": self.fault_type,
+            "failed_at": self.failed_at,
+            "restored_to": self.restored_to,
+            "replayed": self.replayed,
+            "backoff_ms": self.backoff_ms,
+            "corrupt_skipped": list(self.corrupt_skipped),
+        }
+
+
+class RecoverySupervisor:
+    """Chooses the checkpoint to restore and enforces the retry policy."""
+
+    def __init__(self, store: CheckpointStore,
+                 policy: RetryPolicy | None = None):
+        self.store = store
+        self.policy = policy or RetryPolicy()
+        self.events: list[RecoveryEvent] = []
+        self._consecutive = 0
+
+    @property
+    def consecutive_attempts(self) -> int:
+        """Recoveries since the run last completed a superstep."""
+        return self._consecutive
+
+    def note_progress(self) -> None:
+        """The run completed a superstep — reset the attempt counter."""
+        self._consecutive = 0
+
+    def recover(self, fault: BaseException,
+                expected_shards: int) -> tuple[Checkpoint, RecoveryEvent]:
+        """Pick the newest checkpoint that passes integrity validation.
+
+        Raises :class:`RecoveryExhausted` when the consecutive-attempt
+        budget is spent or no uncorrupted checkpoint remains, and
+        :class:`ShardCountMismatch` when the restored topology does not
+        match the live run.
+        """
+        self._consecutive += 1
+        attempt = self._consecutive
+        if attempt > self.policy.max_attempts:
+            raise RecoveryExhausted(
+                f"recovery abandoned after {attempt - 1} consecutive "
+                f"attempt(s) without progress (policy allows "
+                f"{self.policy.max_attempts}); last fault: {fault}",
+                attempts=attempt - 1) from fault
+        backoff = self.policy.backoff_ms(attempt)
+        corrupt_skipped: list[int] = []
+        for superstep in sorted(self.store.supersteps(), reverse=True):
+            try:
+                checkpoint = self.store.load(superstep)
+            except CheckpointCorrupt:
+                corrupt_skipped.append(superstep)
+                continue
+            found = len(checkpoint.worker_states)
+            if found != expected_shards:
+                raise ShardCountMismatch(superstep, expected_shards,
+                                         found)
+            event = RecoveryEvent(
+                attempt=attempt,
+                fault=str(fault),
+                fault_type=getattr(fault, "fault_type",
+                                   type(fault).__name__),
+                failed_at=getattr(fault, "superstep", superstep),
+                restored_to=superstep,
+                backoff_ms=backoff,
+                corrupt_skipped=corrupt_skipped)
+            self.events.append(event)
+            return checkpoint, event
+        suffix = (f" ({len(corrupt_skipped)} corrupt checkpoint(s) "
+                  f"skipped: {corrupt_skipped})" if corrupt_skipped
+                  else "")
+        raise RecoveryExhausted(
+            f"no usable checkpoint to recover from after {fault}{suffix}",
+            attempts=attempt) from fault

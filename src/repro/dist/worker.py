@@ -124,11 +124,20 @@ class Worker:
 
     def run_superstep(self, superstep: int,
                       previous_aggregates: dict[str, Any],
+                      *, injected_delay_ms: float = 0.0,
                       ) -> WorkerStepResult:
-        """Compute one local superstep; messages buffered, not routed."""
+        """Compute one local superstep; messages buffered, not routed.
+
+        ``injected_delay_ms`` is a chaos-harness slow-worker fault: the
+        latency is recorded on the worker's span (not slept), so skew
+        tooling and reports see the straggler without the simulated
+        runtime paying real wall-clock time.
+        """
         with span("dist.worker.superstep", worker=self.name,
                   superstep=superstep,
                   shard_vertices=len(self.vertices)) as work_span:
+            if injected_delay_ms:
+                work_span.set("injected_delay_ms", injected_delay_ms)
             self._previous_aggregates = previous_aggregates
             self._current_aggregates = {}
             self._next_local = {}
@@ -163,12 +172,15 @@ class Worker:
             work_span.set("messages_combined", result.messages_combined)
         return result
 
-    def deliver(self, target: Vertex, messages: list[Any]) -> None:
+    def deliver(self, target: Vertex, messages: list[Any]) -> int:
         """Accept routed messages for a local vertex (next superstep).
 
         With a combiner, routed partials fold into the inbox entry so
         the receiving vertex sees a single combined message — the same
-        invariant the single-machine engine maintains.
+        invariant the single-machine engine maintains. Returns the
+        number of messages accepted — the coordinator's barrier
+        accounting compares the sum against what was routed to detect
+        injected message loss/duplication.
         """
         box = self.inbox
         if self._combiner is not None:
@@ -179,6 +191,7 @@ class Worker:
                     box[target] = [message]
         else:
             box.setdefault(target, []).extend(messages)
+        return len(messages)
 
     # -- durability -------------------------------------------------------
 

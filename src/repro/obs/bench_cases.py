@@ -132,6 +132,27 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
               tags=("dist",), k=DIST_K, supersteps=DIST_SUPERSTEPS,
               partitioner="bfs")
 
+    def dist_pagerank_with_fault_case():
+        from repro.dgps.algorithms import pagerank_spec
+        from repro.dist import FaultPlan, run_distributed_pregel
+
+        graph = _social_graph()
+        return run_distributed_pregel(
+            graph, pagerank_spec(graph, supersteps=DIST_SUPERSTEPS),
+            k=DIST_K, seed=0,
+            fault_plan=FaultPlan().kill(
+                "w1", at_superstep=DIST_SUPERSTEPS // 2)).values
+
+    # Same kernel as dist.pagerank_k4 plus one mid-run worker kill —
+    # the delta between the two medians is the recovery overhead
+    # (checkpoint restore + replay), tracked per PR like any other
+    # case.
+    suite.add("dist.pagerank_with_fault", dist_pagerank_with_fault_case,
+              tags=("dist", "resilience"), k=DIST_K,
+              supersteps=DIST_SUPERSTEPS, partitioner="bfs",
+              fault=f"w1@{DIST_SUPERSTEPS // 2}",
+              baseline_case="dist.pagerank_k4")
+
     return suite
 
 
