@@ -31,7 +31,8 @@ def bfs_distances(graph, source: Vertex) -> dict[Vertex, int]:
     return distances
 
 
-def shortest_path(graph, source: Vertex, target: Vertex) -> list[Vertex] | None:
+def shortest_path(graph, source: Vertex,
+                  target: Vertex) -> list[Vertex] | None:
     """An unweighted shortest path as a vertex list, or ``None``."""
     if source not in graph:
         raise VertexNotFound(source)
@@ -261,7 +262,8 @@ class ReachabilityIndex:
         return b in self._descendants[a]
 
 
-def all_pairs_bfs_distances(graph) -> Iterator[tuple[Vertex, dict[Vertex, int]]]:
+def all_pairs_bfs_distances(
+        graph) -> Iterator[tuple[Vertex, dict[Vertex, int]]]:
     """Stream of (source, distances) for every vertex; use on small
     graphs only (O(V*(V+E)))."""
     for source in graph.vertices():

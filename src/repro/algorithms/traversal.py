@@ -158,7 +158,8 @@ def k_hop_neighbors(graph, source: Vertex, k: int) -> set[Vertex]:
     return result
 
 
-def neighborhood_at_exact_distance(graph, source: Vertex, k: int) -> set[Vertex]:
+def neighborhood_at_exact_distance(graph, source: Vertex,
+                                   k: int) -> set[Vertex]:
     """Vertices at BFS distance exactly ``k``."""
     return {
         vertex

@@ -1,0 +1,77 @@
+"""Static verification of vertex programs, queries, and fault plans.
+
+The paper's survey puts debuggability and verifying correctness among
+users' most pressing challenges (Table 19, §6); the runtime's chaos
+harness asserts byte-identical replay but nothing catches the *user*
+errors that silently break it until mid-run. This package closes that
+gap with an AST-driven checker — a rule registry with severity levels,
+``file:line`` findings, JSON/text reporters, and a CI-gateable
+``python -m repro.analysis`` CLI — covering four rule families:
+
+* **DET** (:mod:`~repro.analysis.determinism`) — vertex-program
+  determinism: unseeded entropy, unordered-set iteration feeding
+  sends/float accumulation, cross-superstep state outside the vertex
+  value;
+* **CKPT** (:mod:`~repro.analysis.checkpoint_safety`) — vertex values
+  and aggregator identities must survive a JSON checkpoint
+  round-trip;
+* **QRY** (:mod:`~repro.analysis.query_check`) — query ASTs walked
+  against a :class:`~repro.graphs.schema.GraphSchema`: unknown
+  labels/properties, type-mismatched predicates, unbound variables;
+* **CFG** (:mod:`~repro.analysis.config_check`) — fault plans (parse
+  errors, duplicate slots) and bench-case configs as pure checkers.
+
+Opt-in ``strict=True`` wiring runs these at build time in the spec
+builders (:func:`repro.dgps.algorithms.pagerank_spec` ...), the
+:class:`~repro.dist.coordinator.Coordinator`, and
+:func:`repro.query.run_query`, raising :class:`AnalysisError` on
+errors and recording findings as obs span events.
+"""
+
+from repro.analysis.checkpoint_safety import check_value, roundtrip_problem
+from repro.analysis.config_check import (
+    check_bench_cases,
+    check_fault_plan,
+    check_fault_plan_object,
+)
+from repro.analysis.findings import (
+    AnalysisError,
+    AnalysisReport,
+    Finding,
+    Severity,
+    record_findings,
+)
+from repro.analysis.programs import analyze_program, analyze_spec
+from repro.analysis.query_check import check_query
+from repro.analysis.registry import RuleInfo, all_rules, rule_info
+from repro.analysis.reporters import (
+    render_json,
+    render_rule_catalog,
+    render_text,
+)
+from repro.analysis.scanner import analyze_paths, scan_file, scan_source
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
+    "RuleInfo",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_program",
+    "analyze_spec",
+    "check_bench_cases",
+    "check_fault_plan",
+    "check_fault_plan_object",
+    "check_query",
+    "check_value",
+    "record_findings",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "roundtrip_problem",
+    "rule_info",
+    "scan_file",
+    "scan_source",
+]

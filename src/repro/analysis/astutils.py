@@ -1,0 +1,206 @@
+"""Shared AST plumbing for the analysis rules.
+
+Everything here is pure syntax: locating vertex-program functions,
+resolving dotted call names through a module's import aliases, listing
+a function's local names, and loading source for live Python objects so
+API-level checks report real ``file:line`` locations.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: parameter names that mark a function as a vertex program.
+CONTEXT_PARAM_NAMES = frozenset({"ctx", "context"})
+
+#: annotation text that marks a function as a vertex program.
+CONTEXT_ANNOTATION = "VertexContext"
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class ProgramAst:
+    """One vertex program's syntax plus its source anchor."""
+
+    func: FunctionNode
+    ctx_name: str
+    file: str = "<program>"
+    line_offset: int = 0
+    #: module-level import aliases: local name -> dotted origin
+    imports: dict[str, str] = field(default_factory=dict)
+    #: names bound in the program's own scope (params + assignments)
+    locals: frozenset[str] = frozenset()
+
+    def line(self, node: ast.AST) -> int:
+        return getattr(node, "lineno", 0) + self.line_offset
+
+    @property
+    def name(self) -> str:
+        return self.func.name
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def context_param(func: FunctionNode) -> str | None:
+    """The vertex-context parameter name, or None if ``func`` does not
+    look like a vertex program.
+
+    A function qualifies when its first non-``self`` positional
+    parameter is named ``ctx``/``context`` or annotated with
+    ``VertexContext``, and it takes no other positional parameters —
+    the :data:`repro.dgps.pregel.VertexProgram` calling convention.
+    """
+    args = list(func.args.posonlyargs) + list(func.args.args)
+    if args and args[0].arg == "self":
+        args = args[1:]
+    if len(args) != 1:
+        return None
+    arg = args[0]
+    if arg.arg in CONTEXT_PARAM_NAMES:
+        return arg.arg
+    annotation = arg.annotation
+    if annotation is not None:
+        text = ast.unparse(annotation)
+        if CONTEXT_ANNOTATION in text:
+            return arg.arg
+    return None
+
+
+def local_names(func: FunctionNode) -> frozenset[str]:
+    """Names bound inside ``func``: parameters, assignment targets,
+    loop/with/except targets, comprehension variables, and nested
+    function/class definitions (nested scopes folded in — the rules
+    only need "bound somewhere inside the program" vs "closure or
+    global")."""
+    names: set[str] = set()
+    arguments = func.args
+    for arg in (*arguments.posonlyargs, *arguments.args,
+                *arguments.kwonlyargs):
+        names.add(arg.arg)
+    for arg in (arguments.vararg, arguments.kwarg):
+        if arg is not None:
+            names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not func:
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return frozenset(names)
+
+
+def module_imports(tree: ast.Module) -> dict[str, str]:
+    """Map import aliases to dotted origins for a module AST:
+    ``import numpy as np`` -> ``{"np": "numpy"}``; ``from random
+    import randint`` -> ``{"randint": "random.randint"}``."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for an attribute/name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_dotted(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Dotted call name with its root resolved through import aliases
+    (``np.random.rand`` -> ``numpy.random.rand``)."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    root, _, rest = dotted.partition(".")
+    origin = imports.get(root)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+#: VertexContext surface a real program touches (anything counts).
+_VERTEX_SURFACE = frozenset({
+    "send", "send_to_neighbors", "vote_to_halt", "aggregate",
+    "aggregated", "messages", "superstep", "vertex", "value",
+    "out_edges", "num_out_edges", "num_vertices",
+})
+
+
+def uses_vertex_surface(func: FunctionNode, ctx_name: str) -> bool:
+    """True when the body touches the :class:`VertexContext` API on
+    its context parameter — distinguishes vertex programs from other
+    single-``context``-parameter callbacks (triggers, hooks)."""
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == ctx_name
+                and node.attr in _VERTEX_SURFACE):
+            return True
+    return False
+
+
+def find_vertex_programs(tree: ast.AST) -> list[tuple[FunctionNode, str]]:
+    """Every function in ``tree`` that follows the vertex-program
+    calling convention (and actually uses the context surface), with
+    its context-parameter name."""
+    programs = []
+    for func in iter_functions(tree):
+        ctx_name = context_param(func)
+        if ctx_name is not None and uses_vertex_surface(func, ctx_name):
+            programs.append((func, ctx_name))
+    return programs
+
+
+def parse_object_source(obj: Any) -> tuple[ast.Module, str, int] | None:
+    """(AST, file, line offset) for a live function/class, or None when
+    source is unavailable (builtins, REPL definitions, C extensions).
+
+    ``line offset`` maps the parsed (dedented) source's line 1 back to
+    the real file, so findings carry true ``file:line`` anchors.
+    """
+    try:
+        source = inspect.getsource(obj)
+        file = inspect.getsourcefile(obj) or "<unknown>"
+        _, start_line = inspect.getsourcelines(obj)
+    except (OSError, TypeError):
+        return None
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError:
+        return None
+    return tree, file, start_line - 1
+
+
+def const_str(node: ast.expr) -> str | None:
+    """The value of a string constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

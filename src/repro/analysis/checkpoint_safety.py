@@ -1,0 +1,168 @@
+"""CKPT rules: checkpoint-safety of vertex values and aggregators.
+
+:class:`repro.dist.checkpoint.JsonCheckpointStore` persists worker
+state as JSON, so a vertex value (or aggregator identity) that JSON
+cannot represent fails at the first checkpoint — and one that JSON
+*changes* (tuples become lists, int dict keys become strings) makes
+the recovered run differ from the fault-free run, silently breaking
+the byte-identical replay guarantee. These rules catch both:
+
+* **CKPT001** — a value that JSON cannot serialize at all (sets,
+  bytes, complex, lambdas, arbitrary objects); verified from return
+  statements and literal construction in the AST, and from live
+  values at the API level.
+* **CKPT002** — a return type annotation naming a non-JSON type.
+* **CKPT003** — a value JSON round-trips into a *different* value
+  (tuples, non-string dict keys): works on the in-memory store,
+  breaks on the durable one — a warning.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Any
+
+from repro.analysis.astutils import ProgramAst, dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import finding, register_rule
+
+register_rule(
+    "CKPT001", "checkpoint-safety", Severity.ERROR,
+    "vertex value / aggregator is not JSON-serializable; the durable "
+    "checkpoint store cannot persist it")
+register_rule(
+    "CKPT002", "checkpoint-safety", Severity.ERROR,
+    "return annotation names a non-JSON-serializable type")
+register_rule(
+    "CKPT003", "checkpoint-safety", Severity.WARNING,
+    "value changes under a JSON round-trip (tuple -> list, int keys -> "
+    "str); recovered runs differ from fault-free runs on the durable "
+    "store")
+
+#: constructors whose results JSON cannot represent.
+_UNSERIALIZABLE_CALLS = frozenset({
+    "set", "frozenset", "bytes", "bytearray", "complex", "object",
+    "memoryview",
+})
+
+#: annotation heads JSON cannot represent.
+_UNSERIALIZABLE_ANNOTATIONS = frozenset({
+    "set", "frozenset", "bytes", "bytearray", "complex",
+    "Set", "FrozenSet",
+})
+
+
+def _returned_exprs(program: ProgramAst) -> list[ast.expr]:
+    return [node.value for node in ast.walk(program.func)
+            if isinstance(node, ast.Return) and node.value is not None]
+
+
+def _classify_expr(node: ast.expr) -> tuple[str, str] | None:
+    """("CKPT001"|"CKPT003", description) for an obviously unsafe
+    expression, else None."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "CKPT001", "a set literal"
+    if isinstance(node, ast.Lambda):
+        return "CKPT001", "a lambda"
+    if isinstance(node, ast.Constant) and isinstance(
+            node.value, (bytes, complex)):
+        return "CKPT001", f"a {type(node.value).__name__} literal"
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted in _UNSERIALIZABLE_CALLS:
+            return "CKPT001", f"a {dotted}() value"
+    if isinstance(node, ast.Tuple):
+        return "CKPT003", "a tuple"
+    if isinstance(node, ast.Dict):
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and not isinstance(
+                    key.value, str):
+                return "CKPT003", (
+                    f"a dict with non-string key "
+                    f"{key.value!r} (JSON keys are strings)")
+    return None
+
+
+def check_returns(program: ProgramAst) -> list[Finding]:
+    """CKPT001/CKPT003 over every return statement's expression."""
+    findings = []
+    for node in _returned_exprs(program):
+        classified = _classify_expr(node)
+        if classified is None:
+            continue
+        rule_id, what = classified
+        findings.append(finding(
+            rule_id,
+            f"vertex program {program.name!r} returns {what} as the "
+            f"vertex value; checkpoints persist values as JSON",
+            file=program.file, line=program.line(node),
+            symbol=program.name))
+    return findings
+
+
+def check_annotations(program: ProgramAst) -> list[Finding]:
+    """CKPT002/CKPT003 over the return type annotation."""
+    findings = []
+    annotation = program.func.returns
+    if annotation is None:
+        return findings
+    text = ast.unparse(annotation)
+    head = text.split("[")[0].strip()
+    bare = head.rsplit(".", 1)[-1]
+    if bare in _UNSERIALIZABLE_ANNOTATIONS:
+        findings.append(finding(
+            "CKPT002",
+            f"vertex program {program.name!r} declares return type "
+            f"{text!r}, which JSON cannot serialize",
+            file=program.file, line=program.line(annotation),
+            symbol=program.name))
+    elif bare in ("tuple", "Tuple"):
+        findings.append(finding(
+            "CKPT003",
+            f"vertex program {program.name!r} declares return type "
+            f"{text!r}; JSON round-trips tuples into lists",
+            file=program.file, line=program.line(annotation),
+            symbol=program.name))
+    return findings
+
+
+def check_program(program: ProgramAst) -> list[Finding]:
+    """All CKPT AST rules over one vertex program."""
+    return check_returns(program) + check_annotations(program)
+
+
+# -- API-level value probes (used by analyze_spec / strict mode) --------
+
+def roundtrip_problem(value: Any) -> tuple[str, str] | None:
+    """("CKPT001"|"CKPT003", reason) when ``value`` does not survive a
+    JSON round-trip unchanged, else None."""
+    try:
+        encoded = json.dumps(value)
+    except (TypeError, ValueError):
+        return "CKPT001", (
+            f"{type(value).__name__} value {value!r} is not "
+            f"JSON-serializable")
+    try:
+        restored = json.loads(encoded)
+    except ValueError:  # non-compliant floats with allow_nan quirks
+        return "CKPT001", f"value {value!r} does not decode from JSON"
+    if restored != value or type(restored) is not type(value) and not (
+            isinstance(value, (int, float))
+            and isinstance(restored, (int, float))):
+        return "CKPT003", (
+            f"value {value!r} JSON round-trips to {restored!r}")
+    return None
+
+
+def check_value(value: Any, *, what: str, file: str = "<spec>",
+                line: int = 0, symbol: str | None = None) -> list[Finding]:
+    """Probe one live value (initial value, aggregator identity)."""
+    if value is None or callable(value):
+        return []
+    problem = roundtrip_problem(value)
+    if problem is None:
+        return []
+    rule_id, reason = problem
+    return [finding(rule_id, f"{what}: {reason}", file=file, line=line,
+                    symbol=symbol)]

@@ -1,0 +1,159 @@
+"""``python -m repro.analysis``: the CI-gateable entry point.
+
+Subcommands:
+
+* ``check PATH [PATH...]`` (the default — bare paths work:
+  ``python -m repro.analysis src/repro examples``): run the custom
+  rule families over the files, print text or ``--json`` findings,
+  exit 1 when any error-severity finding survives filtering.
+* ``selfcheck [PATH...]``: run ``ruff`` and ``mypy`` (when installed;
+  both are optional dev tools and are skipped with a note otherwise)
+  plus the custom rules and the bench-suite config check over the
+  repo.
+* ``rules``: print the registered rule catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.registry import match_selection
+from repro.analysis.reporters import (
+    render_json,
+    render_rule_catalog,
+    render_text,
+)
+from repro.analysis.scanner import analyze_paths
+
+_SUBCOMMANDS = ("check", "selfcheck", "rules")
+
+#: external tools selfcheck runs when importable.
+_EXTERNAL_TOOLS = (
+    ("ruff", ("-m", "ruff", "check")),
+    ("mypy", ("-m", "mypy")),
+)
+
+
+def _filter(report: AnalysisReport, select: tuple[str, ...] | None,
+            ignore: tuple[str, ...]) -> AnalysisReport:
+    filtered = AnalysisReport(targets=list(report.targets))
+    filtered.findings = [
+        f for f in report.findings
+        if match_selection(f.rule, select, ignore)]
+    return filtered
+
+
+def _csv(text: str | None) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    report = _filter(analyze_paths(args.paths), _csv(args.select),
+                     _csv(args.ignore) or ())
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(fail_on=Severity.parse(args.fail_on))
+
+
+def _run_external(tool: str, tool_args: tuple[str, ...],
+                  paths: list[str]) -> tuple[str, int | None]:
+    """(status line, exit code or None when skipped)."""
+    if importlib.util.find_spec(tool) is None:
+        return f"{tool}: skipped (not installed)", None
+    completed = subprocess.run(
+        [sys.executable, *tool_args, *paths],
+        capture_output=True, text=True)
+    output = (completed.stdout + completed.stderr).strip()
+    status = "ok" if completed.returncode == 0 else (
+        f"exit {completed.returncode}")
+    line = f"{tool}: {status}"
+    if output and completed.returncode != 0:
+        line += "\n" + output
+    return line, completed.returncode
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    paths = args.paths or ["src/repro", "examples"]
+    failures = 0
+    for tool, tool_args in _EXTERNAL_TOOLS:
+        line, code = _run_external(tool, tool_args, paths)
+        print(line)
+        if code not in (None, 0):
+            failures += 1
+
+    report = analyze_paths(paths)
+    try:
+        from repro.analysis.config_check import check_bench_cases
+        from repro.obs.bench_cases import default_suite
+
+        report.extend(check_bench_cases(default_suite()))
+    except Exception as error:  # bench suite broken IS a finding
+        print(f"bench-case check: failed to build suite ({error})")
+        failures += 1
+    print(f"custom rules: {report.summary()}")
+    for finding in report.sorted_findings():
+        print(f"  {finding.render()}")
+    return 1 if failures or not report.ok else 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    print(render_rule_catalog())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static verification of vertex programs, queries "
+                    "and fault plans before they run.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="analyze files/directories")
+    check.add_argument("paths", nargs="+",
+                       help="files or directories to scan")
+    check.add_argument("--json", action="store_true",
+                       help="emit the JSON report instead of text")
+    check.add_argument("--select", default=None,
+                       help="comma-separated rule-id prefixes to keep "
+                            "(e.g. DET,QRY)")
+    check.add_argument("--ignore", default=None,
+                       help="comma-separated rule-id prefixes to drop")
+    check.add_argument("--fail-on", default="error",
+                       choices=("info", "warning", "error"),
+                       help="lowest severity that causes exit 1")
+    check.set_defaults(func=_cmd_check)
+
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="ruff + mypy (when installed) + custom rules + bench "
+             "config over the repo")
+    selfcheck.add_argument("paths", nargs="*",
+                           help="paths (default: src/repro examples)")
+    selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    rules = sub.add_parser("rules", help="print the rule catalog")
+    rules.set_defaults(func=_cmd_rules)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Bare paths run the default subcommand:
+    #   python -m repro.analysis src/repro examples
+    if argv and argv[0] not in _SUBCOMMANDS \
+            and not argv[0].startswith("-"):
+        argv.insert(0, "check")
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""CFG rules: FaultPlan and bench-case configs as pure checkers.
+
+Both configs already have parsers/validators at their point of use —
+:meth:`repro.dist.faults.FaultPlan.parse` and
+:meth:`repro.obs.bench.BenchSuite.add` — but those fire mid-run, after
+the expensive work started. Re-using them here turns the same logic
+into a pre-flight check that reports ``file:line`` findings instead of
+raising from inside a coordinator or a bench sweep.
+
+* **CFG001** — a fault-plan spec string fails to parse;
+* **CFG002** — a fault plan schedules two faults for the same
+  worker/superstep slot (previously last-write-wins silent);
+* **CFG003** — a bench case is malformed (callable takes required
+  arguments, or params are not JSON-serializable for the artifact);
+* **CFG004** — a bench case's ``baseline_case`` names an unregistered
+  case.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.registry import finding, register_rule
+from repro.dist.faults import FaultPlan, duplicate_faults
+
+if TYPE_CHECKING:
+    from repro.obs.bench import BenchSuite
+
+register_rule(
+    "CFG001", "config", Severity.ERROR,
+    "fault-plan spec string fails to parse")
+register_rule(
+    "CFG002", "config", Severity.ERROR,
+    "fault plan schedules duplicate faults for the same "
+    "worker/superstep slot")
+register_rule(
+    "CFG003", "config", Severity.ERROR,
+    "bench case is malformed (non-nullary callable or "
+    "non-JSON-serializable params)")
+register_rule(
+    "CFG004", "config", Severity.ERROR,
+    "bench case baseline_case references an unregistered case")
+
+
+def check_fault_plan(spec: str, *, file: str = "<fault-plan>",
+                     line: int = 0) -> AnalysisReport:
+    """Validate a fault-plan DSL string without arming anything."""
+    report = AnalysisReport()
+    report.note_target(file)
+    try:
+        plan = FaultPlan.parse(spec)
+    except ValueError as error:
+        rule_id = "CFG002" if "duplicate" in str(error) else "CFG001"
+        report.add(finding(rule_id, str(error), file=file, line=line))
+        return report
+    report.extend(check_fault_plan_object(plan, file=file, line=line))
+    return report
+
+
+def check_fault_plan_object(plan: FaultPlan, *,
+                            file: str = "<fault-plan>",
+                            line: int = 0) -> AnalysisReport:
+    """Validate an already-built plan (builder API bypasses parse)."""
+    report = AnalysisReport()
+    for description in duplicate_faults(plan.faults):
+        report.add(finding(
+            "CFG002",
+            f"duplicate fault: {description}; the duplicate would "
+            f"re-fire on replay instead of being a no-op",
+            file=file, line=line))
+    return report
+
+
+def check_bench_cases(suite: "BenchSuite") -> AnalysisReport:
+    """Validate every registered case of a bench suite."""
+    report = AnalysisReport()
+    names = set(suite.names())
+    for case in suite.cases():
+        file, line = _case_location(case)
+        report.note_target(f"bench:{case.name}")
+        signature = None
+        try:
+            signature = inspect.signature(case.fn)
+        except (TypeError, ValueError):
+            pass
+        if signature is not None:
+            required = [
+                p for p in signature.parameters.values()
+                if p.default is inspect.Parameter.empty
+                and p.kind in (p.POSITIONAL_ONLY,
+                               p.POSITIONAL_OR_KEYWORD,
+                               p.KEYWORD_ONLY)
+            ]
+            if required:
+                report.add(finding(
+                    "CFG003",
+                    f"bench case {case.name!r}: fn takes required "
+                    f"argument(s) "
+                    f"{[p.name for p in required]}; cases must be "
+                    f"nullary (close over inputs)",
+                    file=file, line=line, symbol=case.name))
+        try:
+            json.dumps(case.params)
+        except (TypeError, ValueError):
+            report.add(finding(
+                "CFG003",
+                f"bench case {case.name!r}: params are not "
+                f"JSON-serializable; the BENCH artifact embeds them",
+                file=file, line=line, symbol=case.name))
+        baseline = case.params.get("baseline_case")
+        if baseline is not None and baseline not in names:
+            report.add(finding(
+                "CFG004",
+                f"bench case {case.name!r}: baseline_case "
+                f"{baseline!r} is not registered (known: "
+                f"{sorted(names)})",
+                file=file, line=line, symbol=case.name))
+    return report
+
+
+def _case_location(case) -> tuple[str, int]:
+    try:
+        file = inspect.getsourcefile(case.fn) or "<bench>"
+        _, line = inspect.getsourcelines(case.fn)
+        return file, line
+    except (OSError, TypeError):
+        return "<bench>", 0

@@ -1,0 +1,272 @@
+"""DET rules: vertex-program determinism lint.
+
+The sharded runtime's whole fault-tolerance story rests on replay
+determinism — :mod:`repro.dist.chaos` asserts a recovered run is
+byte-identical to a fault-free one. That only holds when the vertex
+program is a pure function of ``(vertex value, messages, superstep,
+aggregates)``. These rules flag the three ways user programs break
+that contract:
+
+* **DET001** — reading an entropy source (unseeded ``random``,
+  wall-clock time, ``os.urandom``, ``uuid4``): different on every
+  execution, so replayed supersteps diverge.
+* **DET002** — iterating a ``set``/``frozenset`` where the order feeds
+  message sends or float accumulation: set order is hash-table order,
+  so the distributed barrier's combiner folds floats in an
+  unspecified order and results stop being reproducible across
+  processes or Python versions.
+* **DET003** — stashing cross-superstep state outside the vertex
+  value (closure mutation, ``global``/``nonlocal``, attributes on
+  ``self``): checkpoints capture only vertex values and inboxes, so
+  recovery replays supersteps against *already-mutated* hidden state
+  and the recovered run is no longer the fault-free run.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import ProgramAst, dotted_name, resolve_dotted
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import finding, register_rule
+
+register_rule(
+    "DET001", "determinism", Severity.ERROR,
+    "vertex program reads an entropy source (unseeded random / time / "
+    "os entropy); replayed supersteps diverge")
+register_rule(
+    "DET002", "determinism", Severity.ERROR,
+    "iteration over an unordered set feeds message sends or float "
+    "accumulation; results depend on hash order")
+register_rule(
+    "DET003", "determinism", Severity.ERROR,
+    "cross-superstep state stashed outside the vertex value (closure / "
+    "global / self); breaks checkpoint replay equivalence")
+
+#: module-level entropy functions (dotted names after alias resolution).
+_ENTROPY_CALLS = frozenset({
+    *(f"random.{name}" for name in (
+        "random", "randint", "randrange", "choice", "choices",
+        "sample", "shuffle", "uniform", "gauss", "normalvariate",
+        "betavariate", "expovariate", "triangular", "lognormvariate",
+        "vonmisesvariate", "paretovariate", "weibullvariate",
+        "getrandbits", "randbytes", "seed")),
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+#: entropy call *prefixes* (whole submodules).
+_ENTROPY_PREFIXES = ("numpy.random.", "secrets.")
+
+#: zero-argument constructors that produce an unseeded generator.
+_UNSEEDED_CONSTRUCTORS = frozenset({
+    "random.Random", "random.SystemRandom", "numpy.random.default_rng",
+    "numpy.random.Generator", "numpy.random.RandomState",
+})
+
+#: method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "extend", "insert", "update",
+    "setdefault", "pop", "popitem", "popleft", "remove", "discard",
+    "clear", "sort", "reverse", "__setitem__",
+})
+
+#: calls sending messages / contributing to aggregators.
+_SEND_METHODS = frozenset({"send", "send_to_neighbors", "aggregate"})
+
+
+def _is_entropy_call(call: ast.Call, imports: dict[str, str]) -> str | None:
+    """The offending dotted name when ``call`` reads entropy, else
+    None. Seeded constructors (``random.Random(7)``) are fine; the
+    zero-argument forms are not."""
+    dotted = resolve_dotted(call.func, imports)
+    if dotted is None:
+        return None
+    if dotted in _ENTROPY_CALLS:
+        return dotted
+    if any(dotted.startswith(prefix) for prefix in _ENTROPY_PREFIXES):
+        return dotted
+    if dotted in _UNSEEDED_CONSTRUCTORS and not call.args \
+            and not call.keywords:
+        return f"{dotted}()"
+    return None
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _SetTracker:
+    """Tracks which local names are (syntactically) sets."""
+
+    def __init__(self, program: ProgramAst):
+        self._set_names: set[str] = set()
+        for node in ast.walk(program.func):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._set_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                annotation = ast.unparse(node.annotation)
+                if annotation.split("[")[0] in ("set", "frozenset",
+                                                "Set", "FrozenSet"):
+                    if isinstance(node.target, ast.Name):
+                        self._set_names.add(node.target.id)
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name) and node.id in self._set_names:
+            return True
+        return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _feeds_send_or_accumulation(body: list[ast.stmt]) -> bool:
+    """True when the loop body sends messages, aggregates, or
+    accumulates (``+=`` and friends)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute):
+                if node.func.attr in _SEND_METHODS:
+                    return True
+    return False
+
+
+def check_entropy(program: ProgramAst) -> list[Finding]:
+    """DET001: entropy sources inside the program body."""
+    findings = []
+    for node in ast.walk(program.func):
+        if isinstance(node, ast.Call):
+            offender = _is_entropy_call(node, program.imports)
+            if offender is not None:
+                findings.append(finding(
+                    "DET001",
+                    f"call to {offender} inside vertex program "
+                    f"{program.name!r}: every replayed superstep sees a "
+                    f"different value; seed outside the program and "
+                    f"store draws in the vertex value",
+                    file=program.file, line=program.line(node),
+                    symbol=program.name))
+    return findings
+
+
+def check_unordered_iteration(program: ProgramAst) -> list[Finding]:
+    """DET002: set iteration feeding sends or float accumulation."""
+    findings = []
+    tracker = _SetTracker(program)
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(finding(
+            "DET002",
+            f"{what} in vertex program {program.name!r}: set order is "
+            f"hash-table order, so message / accumulation order is "
+            f"unspecified; sort the elements first",
+            file=program.file, line=program.line(node),
+            symbol=program.name))
+
+    for node in ast.walk(program.func):
+        if isinstance(node, ast.For) and tracker.is_unordered(node.iter):
+            if _feeds_send_or_accumulation(node.body):
+                flag(node, "iteration over an unordered set feeds "
+                           "sends/accumulation")
+        elif isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in ("sum", "math.fsum") and node.args:
+                arg = node.args[0]
+                if tracker.is_unordered(arg):
+                    flag(node, f"{dotted}() over an unordered set")
+                elif isinstance(arg, (ast.GeneratorExp, ast.ListComp)) \
+                        and arg.generators \
+                        and tracker.is_unordered(arg.generators[0].iter):
+                    flag(node, f"{dotted}() over an unordered set")
+        elif isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            # comprehension over a set whose elements are sent
+            continue
+    return findings
+
+
+def check_hidden_state(program: ProgramAst) -> list[Finding]:
+    """DET003: writes to anything that outlives the superstep call."""
+    findings = []
+    ctx = program.ctx_name
+    local = program.locals
+
+    def is_external(name: str | None) -> bool:
+        return name is not None and name != ctx and name not in local
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(finding(
+            "DET003",
+            f"{what} in vertex program {program.name!r}: checkpoints "
+            f"capture only vertex values and inboxes, so recovery "
+            f"replays supersteps against already-mutated state; keep "
+            f"cross-superstep state in the vertex value",
+            file=program.file, line=program.line(node),
+            symbol=program.name))
+
+    for node in ast.walk(program.func):
+        if isinstance(node, ast.Global):
+            flag(node, f"global statement ({', '.join(node.names)})")
+        elif isinstance(node, ast.Nonlocal):
+            flag(node, f"nonlocal statement ({', '.join(node.names)})")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    root = _root_name(target)
+                    if root == "self":
+                        flag(node, f"state stashed on self "
+                                   f"({ast.unparse(target)})")
+                    elif is_external(root):
+                        flag(node, f"attribute write to closure/global "
+                                   f"{ast.unparse(target)!r}")
+                elif isinstance(target, ast.Subscript):
+                    root = _root_name(target)
+                    if root == "self":
+                        flag(node, f"state stashed on self "
+                                   f"({ast.unparse(target)})")
+                    elif is_external(root):
+                        flag(node, f"subscript write to closure/global "
+                                   f"{ast.unparse(target)!r}")
+        elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                root = _root_name(node.func.value)
+                if root == "self":
+                    flag(node, f"mutation of self state "
+                               f"(self...{node.func.attr}())")
+                elif is_external(root):
+                    flag(node, f"mutating call "
+                               f"{root}.{node.func.attr}() on a "
+                               f"closure/global")
+    return findings
+
+
+def check_program(program: ProgramAst) -> list[Finding]:
+    """All DET rules over one vertex program."""
+    return (check_entropy(program)
+            + check_unordered_iteration(program)
+            + check_hidden_state(program))

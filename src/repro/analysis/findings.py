@@ -1,0 +1,176 @@
+"""Findings: what every analysis rule produces.
+
+A :class:`Finding` is one diagnosed problem — rule id, severity, human
+message, and a ``file:line`` anchor so editors and CI logs can jump to
+it. An :class:`AnalysisReport` aggregates findings across rules and
+targets, decides the CLI exit code (errors gate, warnings don't), and
+serializes to the JSON shape the reporters and obs span events share.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ReproError
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels (comparisons follow the int order)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem, anchored to ``file:line``."""
+
+    rule: str
+    severity: Severity
+    message: str
+    file: str = "<unknown>"
+    line: int = 0
+    symbol: str | None = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        prefix = f"{self.location}: {self.severity.name.lower()}"
+        tail = f" [{self.symbol}]" if self.symbol else ""
+        return f"{prefix} {self.rule}: {self.message}{tail}"
+
+
+@dataclass
+class AnalysisReport:
+    """Accumulated findings plus the exit-code policy."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: files/targets examined (for the summary line)
+    targets: list[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding] | "AnalysisReport") -> None:
+        if isinstance(findings, AnalysisReport):
+            self.findings.extend(findings.findings)
+            self.targets.extend(findings.targets)
+        else:
+            self.findings.extend(findings)
+
+    def note_target(self, target: str) -> None:
+        self.targets.append(target)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings do not gate)."""
+        return not self.errors
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        return 1 if any(f.severity >= fail_on for f in self.findings) else 0
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (f.file, f.line, f.rule, f.message))
+
+    def counts(self) -> dict[str, int]:
+        result = {s.name.lower(): 0 for s in Severity}
+        for finding in self.findings:
+            result[finding.severity.name.lower()] += 1
+        return result
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.analysis/v1",
+            "targets": len(self.targets),
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def span_events(self) -> list[dict[str, Any]]:
+        """The findings in the compact shape attached to obs spans."""
+        return [
+            {"rule": f.rule, "severity": f.severity.name.lower(),
+             "message": f.message, "location": f.location}
+            for f in self.sorted_findings()
+        ]
+
+    def summary(self) -> str:
+        counts = self.counts()
+        return (f"{len(self.targets)} target(s): "
+                f"{counts['error']} error(s), "
+                f"{counts['warning']} warning(s), "
+                f"{counts['info']} info")
+
+
+class AnalysisError(ReproError):
+    """Strict-mode escalation: the analyzed target has error findings.
+
+    Carries the full :class:`AnalysisReport` so callers (and tests) can
+    inspect exactly which rules fired.
+    """
+
+    def __init__(self, target: str, report: AnalysisReport):
+        lines = [f.render() for f in report.errors]
+        super().__init__(
+            f"static analysis of {target} found "
+            f"{len(report.errors)} error(s):\n  " + "\n  ".join(lines))
+        self.target = target
+        self.report = report
+
+
+def record_findings(report: AnalysisReport, target: str) -> None:
+    """Record a report as obs span events + counters (no-op when
+    tracing is disabled)."""
+    from repro.obs import get_registry, is_enabled, span
+
+    with span("analysis.check", target=target) as check_span:
+        check_span.set("findings", report.span_events())
+        check_span.set("errors", len(report.errors))
+        check_span.set("warnings", len(report.warnings))
+    if is_enabled():
+        registry = get_registry()
+        registry.inc("analysis.checks")
+        registry.inc("analysis.findings", len(report.findings))

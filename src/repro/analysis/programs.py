@@ -1,0 +1,121 @@
+"""API-level analysis of live vertex programs and PregelSpecs.
+
+:func:`analyze_program` lifts a live callable back to source via
+``inspect``, so findings carry the real ``file:line`` of the user's
+code; :func:`analyze_spec` adds the value-level checks AST analysis
+cannot see (aggregator identities, non-callable initial values). Both
+are what ``strict=True`` runs at build time in the spec builders, the
+:class:`~repro.dist.coordinator.Coordinator`, and
+:func:`~repro.dgps.pregel.run_pregel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis import checkpoint_safety, determinism
+from repro.analysis.astutils import (
+    ProgramAst,
+    context_param,
+    find_vertex_programs,
+    local_names,
+    module_imports,
+    parse_object_source,
+)
+from repro.analysis.findings import (
+    AnalysisError,
+    AnalysisReport,
+    record_findings,
+)
+
+
+def _program_target(program: Callable) -> Any:
+    """The thing to lift to source: the function itself, or the class
+    of a callable instance (``__call__``-style programs)."""
+    if isinstance(program, type):
+        return program
+    if not callable(program):
+        return program
+    if hasattr(program, "__code__"):  # plain function / lambda / method
+        return program
+    return type(program)
+
+
+def analyze_program(program: Callable,
+                    name: str | None = None) -> AnalysisReport:
+    """Run the DET + CKPT rule families over one vertex program."""
+    report = AnalysisReport()
+    label = name or getattr(program, "__name__",
+                            type(program).__name__)
+    report.note_target(f"program:{label}")
+    parsed = parse_object_source(_program_target(program))
+    if parsed is None:
+        return report  # no source (C extension / REPL): nothing to lint
+    tree, file, offset = parsed
+    imports = _globals_imports(program)
+    imports.update(module_imports(tree))
+    programs = find_vertex_programs(tree)
+    if not programs:
+        # The object itself may be the program even if its parameter
+        # is named unconventionally; fall back to its first function.
+        for func in tree.body:
+            if hasattr(func, "args"):
+                ctx = context_param(func)  # type: ignore[arg-type]
+                if ctx is None and func.args.args:  # type: ignore
+                    ctx = func.args.args[0].arg  # type: ignore
+                if ctx is not None:
+                    programs = [(func, ctx)]  # type: ignore[list-item]
+                break
+    for func, ctx_name in programs:
+        program_ast = ProgramAst(
+            func=func, ctx_name=ctx_name, file=file,
+            line_offset=offset, imports=imports,
+            locals=local_names(func))
+        report.extend(determinism.check_program(program_ast))
+        report.extend(checkpoint_safety.check_program(program_ast))
+    return report
+
+
+def _globals_imports(program: Callable) -> dict[str, str]:
+    """Import aliases visible to a live function through its module
+    globals (``inspect.getsource`` only returns the function body, so
+    ``import numpy as np`` at module top level would otherwise be
+    invisible)."""
+    imports: dict[str, str] = {}
+    cells = getattr(program, "__closure__", None) or ()
+    freevars = getattr(getattr(program, "__code__", None),
+                       "co_freevars", ())
+    candidates = list(getattr(program, "__globals__", {}).items())
+    for name, cell in zip(freevars, cells):
+        try:
+            candidates.append((name, cell.cell_contents))
+        except ValueError:  # still-empty cell
+            continue
+    for name, value in candidates:
+        module_name = getattr(value, "__name__", None)
+        if module_name and type(value).__name__ == "module":
+            imports[name] = module_name
+    return imports
+
+
+def analyze_spec(spec: Any, *, strict: bool = False,
+                 name: str | None = None) -> AnalysisReport:
+    """Analyze a :class:`~repro.dgps.pregel.PregelSpec`: the program's
+    AST rules plus value probes on the initial value and aggregator
+    identities. With ``strict=True``, error findings raise
+    :class:`~repro.analysis.findings.AnalysisError` and the findings
+    are recorded as obs span events."""
+    label = name or getattr(spec.program, "__name__", "spec")
+    report = analyze_program(spec.program, name=label)
+    if not callable(spec.initial_value):
+        report.extend(checkpoint_safety.check_value(
+            spec.initial_value, what="PregelSpec.initial_value",
+            symbol=label))
+    for agg_name, (_, identity) in (spec.aggregators or {}).items():
+        report.extend(checkpoint_safety.check_value(
+            identity, what=f"aggregator {agg_name!r} identity",
+            symbol=label))
+    record_findings(report, f"spec:{label}")
+    if strict and not report.ok:
+        raise AnalysisError(f"spec:{label}", report)
+    return report

@@ -1,0 +1,210 @@
+"""QRY rules: static validation of queries against a GraphSchema.
+
+The executor discovers unknown labels the expensive way — by matching
+nothing — and unknown properties surface as ``None`` values that
+silently fail every predicate. Walking the parsed
+:class:`repro.query.ast.Query` against a
+:class:`repro.graphs.schema.GraphSchema` catches these *before* the
+backtracking matcher runs:
+
+* **QRY001** — the query text does not parse;
+* **QRY002** — RETURN/WHERE references a variable no pattern binds
+  (the executor's runtime check, available statically);
+* **QRY003 / QRY004** — node / edge label unknown to the schema;
+* **QRY005** — property unknown for the variable's declared label;
+* **QRY006** — predicate compares a property against a literal of the
+  wrong :class:`~repro.graphs.property_graph.PropertyType`.
+
+Schema-dependent rules only fire for what the schema actually
+declares: a schema with no edge rules says nothing about edge labels,
+so none are rejected.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.registry import finding, register_rule
+from repro.errors import GraphError, QueryError
+from repro.graphs.property_graph import PropertyType, property_type_of
+from repro.graphs.schema import GraphSchema
+from repro.query.ast import Comparison, Literal, PropertyRef, Query
+from repro.query.parser import parse
+
+register_rule(
+    "QRY001", "query", Severity.ERROR,
+    "query text fails to parse")
+register_rule(
+    "QRY002", "query", Severity.ERROR,
+    "RETURN/WHERE references a variable no pattern binds")
+register_rule(
+    "QRY003", "query", Severity.ERROR,
+    "node label unknown to the schema")
+register_rule(
+    "QRY004", "query", Severity.ERROR,
+    "edge label unknown to the schema")
+register_rule(
+    "QRY005", "query", Severity.ERROR,
+    "property unknown for the variable's declared label")
+register_rule(
+    "QRY006", "query", Severity.ERROR,
+    "predicate compares a property against a literal of the wrong "
+    "type")
+
+
+def _known_vertex_labels(schema: GraphSchema) -> frozenset[str] | None:
+    """The closed set of vertex labels, or None when the schema does
+    not constrain them."""
+    if schema.allowed_vertex_labels is not None:
+        return frozenset(schema.allowed_vertex_labels)
+    if schema.vertex_rules:
+        return frozenset(schema.vertex_rules)
+    return None
+
+
+def _known_edge_labels(schema: GraphSchema) -> frozenset[str] | None:
+    known = set(schema.edge_rules) | set(schema.endpoint_rules)
+    return frozenset(known) if known else None
+
+
+def _variable_labels(query: Query) -> dict[str, str]:
+    """variable -> declared label (first labeled occurrence wins)."""
+    labels: dict[str, str] = {}
+    for pattern in query.patterns:
+        for node in pattern.nodes:
+            if node.label is not None:
+                labels.setdefault(node.variable, node.label)
+    return labels
+
+
+def _property_rule(schema: GraphSchema, label: str, key: str):
+    for rule in schema.vertex_rules.get(label, ()):
+        if rule.name == key:
+            return rule
+    return None
+
+
+def _literal_type(value: object) -> PropertyType | None:
+    if value is None:
+        return None
+    try:
+        return property_type_of(value)
+    except GraphError:
+        return None
+
+
+def check_query(
+    query: Query | str,
+    schema: GraphSchema | None = None,
+    *,
+    file: str = "<query>",
+    line: int = 1,
+) -> AnalysisReport:
+    """Validate one query (text or pre-parsed) against ``schema``.
+
+    Program-independent checks (parse, unbound variables) always run;
+    label/property/type checks need a schema.
+    """
+    report = AnalysisReport()
+    report.note_target(file)
+
+    def add(rule_id: str, message: str, symbol: str | None = None) -> None:
+        report.add(finding(rule_id, message, file=file, line=line,
+                           symbol=symbol))
+
+    if isinstance(query, str):
+        try:
+            query = parse(query)
+        except QueryError as error:
+            add("QRY001", f"query does not parse: {error}")
+            return report
+
+    known_variables = query.variables()
+    for item in query.items:
+        if item.variable not in known_variables:
+            add("QRY002",
+                f"RETURN references unbound variable {item.variable!r}",
+                symbol=item.variable)
+    referenced = []
+    for condition in query.conditions:
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, PropertyRef):
+                referenced.append(operand)
+            if hasattr(operand, "variable") \
+                    and operand.variable not in known_variables:
+                add("QRY002",
+                    f"WHERE references unbound variable "
+                    f"{operand.variable!r}", symbol=operand.variable)
+
+    if schema is None:
+        return report
+
+    vertex_labels = _known_vertex_labels(schema)
+    edge_labels = _known_edge_labels(schema)
+    for pattern in query.patterns:
+        for node in pattern.nodes:
+            if (node.label is not None and vertex_labels is not None
+                    and node.label not in vertex_labels):
+                add("QRY003",
+                    f"node label {node.label!r} is unknown to the "
+                    f"schema (known: {sorted(vertex_labels)})",
+                    symbol=node.variable)
+        for edge in pattern.edges:
+            if (edge.label is not None and edge_labels is not None
+                    and edge.label not in edge_labels):
+                add("QRY004",
+                    f"edge label {edge.label!r} is unknown to the "
+                    f"schema (known: {sorted(edge_labels)})")
+
+    labels_of = _variable_labels(query)
+
+    def check_property_ref(ref: PropertyRef, where: str) -> None:
+        label = labels_of.get(ref.variable)
+        if label is None:
+            return  # unlabeled variable: schema can't vouch either way
+        rules = schema.vertex_rules.get(label)
+        if not rules:
+            return  # schema declares nothing about this label's props
+        if _property_rule(schema, label, ref.key) is None:
+            add("QRY005",
+                f"{where} references property {ref.key!r}, unknown "
+                f"for label {label!r} (known: "
+                f"{sorted(rule.name for rule in rules)})",
+                symbol=f"{ref.variable}.{ref.key}")
+
+    for item in query.items:
+        if item.key is not None:
+            check_property_ref(PropertyRef(item.variable, item.key),
+                               "RETURN")
+    for ref in referenced:
+        check_property_ref(ref, "WHERE")
+
+    for condition in query.conditions:
+        _check_predicate_types(schema, labels_of, condition, add)
+    return report
+
+
+def _check_predicate_types(schema: GraphSchema,
+                           labels_of: dict[str, str],
+                           condition: Comparison, add) -> None:
+    """QRY006: property-vs-literal comparisons must agree on type."""
+    pairs = [(condition.left, condition.right),
+             (condition.right, condition.left)]
+    for prop, other in pairs:
+        if not isinstance(prop, PropertyRef) or not isinstance(
+                other, Literal):
+            continue
+        label = labels_of.get(prop.variable)
+        if label is None:
+            continue
+        rule = _property_rule(schema, label, prop.key)
+        if rule is None:
+            continue  # QRY005 already covers unknown properties
+        literal_type = _literal_type(other.value)
+        if literal_type is None:
+            continue
+        if literal_type is not rule.property_type:
+            add("QRY006",
+                f"predicate compares {prop.variable}.{prop.key} "
+                f"(declared {rule.property_type.value}) against "
+                f"{other.value!r} ({literal_type.value})",
+                symbol=f"{prop.variable}.{prop.key}")

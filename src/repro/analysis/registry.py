@@ -1,0 +1,81 @@
+"""The rule catalog: every shipped rule, its family and severity.
+
+The catalog is metadata, not dispatch — each rule family module
+(:mod:`~repro.analysis.determinism`,
+:mod:`~repro.analysis.checkpoint_safety`,
+:mod:`~repro.analysis.query_check`, :mod:`~repro.analysis.config_check`)
+registers its rules here at import time and emits findings tagged with
+the registered ids. The CLI uses the catalog for ``rules`` listing and
+``--select`` / ``--ignore`` filtering; DESIGN.md's rule table is a
+rendering of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalog entry for one rule."""
+
+    rule_id: str
+    family: str
+    severity: Severity
+    summary: str
+
+
+_RULES: dict[str, RuleInfo] = {}
+
+
+def register_rule(rule_id: str, family: str, severity: Severity,
+                  summary: str) -> RuleInfo:
+    """Register a rule id; re-registration must be identical."""
+    info = RuleInfo(rule_id, family, severity, summary)
+    existing = _RULES.get(rule_id)
+    if existing is not None and existing != info:
+        raise ValueError(
+            f"rule {rule_id!r} already registered with different "
+            f"metadata")
+    _RULES[rule_id] = info
+    return info
+
+
+def all_rules() -> list[RuleInfo]:
+    return sorted(_RULES.values(), key=lambda info: info.rule_id)
+
+
+def rule_info(rule_id: str) -> RuleInfo:
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: "
+            f"{sorted(_RULES)}") from None
+
+
+def finding(rule_id: str, message: str, *, file: str = "<unknown>",
+            line: int = 0, symbol: str | None = None,
+            severity: Severity | None = None) -> Finding:
+    """Build a finding for a registered rule (severity defaults to the
+    catalog's)."""
+    info = rule_info(rule_id)
+    return Finding(
+        rule=rule_id,
+        severity=severity if severity is not None else info.severity,
+        message=message,
+        file=file,
+        line=line,
+        symbol=symbol)
+
+
+def match_selection(rule_id: str, select: tuple[str, ...] | None,
+                    ignore: tuple[str, ...] = ()) -> bool:
+    """Prefix-based rule selection (``DET`` matches ``DET001``...)."""
+    if any(rule_id.startswith(prefix) for prefix in ignore):
+        return False
+    if select is None:
+        return True
+    return any(rule_id.startswith(prefix) for prefix in select)

@@ -1,0 +1,34 @@
+"""Text and JSON rendering of analysis reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.registry import all_rules
+
+
+def render_text(report: AnalysisReport) -> str:
+    """GCC-style ``file:line: severity RULE: message`` lines plus a
+    summary tail."""
+    lines = [f.render() for f in report.sorted_findings()]
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, indent: int = 2) -> str:
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """The registered rule table (the CLI's ``rules`` subcommand)."""
+    rows = [("RULE", "FAMILY", "SEVERITY", "SUMMARY")]
+    for info in all_rules():
+        rows.append((info.rule_id, info.family,
+                     info.severity.name.lower(), info.summary))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for rule_id, family, severity, summary in rows:
+        lines.append(f"{rule_id:<{widths[0]}}  {family:<{widths[1]}}  "
+                     f"{severity:<{widths[2]}}  {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""File/directory scanning: the ``python -m repro.analysis`` engine.
+
+Walks Python sources, finds the analyzable artifacts in each module,
+and runs the matching rule families:
+
+* functions following the vertex-program calling convention (a single
+  ``ctx``/``context`` or ``VertexContext``-annotated parameter) get
+  the DET determinism and CKPT checkpoint-safety lints;
+* ``FaultPlan.parse("...")`` string literals get the CFG fault-plan
+  checks (including duplicate-slot rejection);
+* ``run_query(graph, "...")`` / ``repro.query.parse("...")`` string
+  literals get the QRY parse + unbound-variable checks (schema-aware
+  checks need a live :class:`~repro.graphs.schema.GraphSchema`, so
+  file scans run the program-independent subset).
+
+Unparseable files are findings (``SRC001``), not crashes — a CI gate
+must not die on the code it gates.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis import checkpoint_safety, determinism
+from repro.analysis.astutils import (
+    ProgramAst,
+    const_str,
+    dotted_name,
+    find_vertex_programs,
+    local_names,
+    module_imports,
+)
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.query_check import check_query
+from repro.analysis.config_check import check_fault_plan
+from repro.analysis.registry import finding, register_rule
+
+register_rule(
+    "SRC001", "source", Severity.ERROR,
+    "file fails to parse as Python")
+
+#: directories never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through),
+    deterministic order."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS
+                           for part in candidate.parts):
+                    yield candidate
+
+
+def _query_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
+    """(query text, literal node) when ``node`` is a recognizable
+    query-parse/execute call with a string-literal query."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    tail = dotted.rsplit(".", 1)[-1]
+    if tail == "run_query" and len(node.args) >= 2:
+        text = const_str(node.args[1])
+        if text is not None:
+            return text, node.args[1]
+    return None
+
+
+def _fault_plan_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
+    dotted = dotted_name(node.func)
+    if dotted is None or not dotted.endswith("FaultPlan.parse"):
+        return None
+    if node.args:
+        text = const_str(node.args[0])
+        if text is not None:
+            return text, node.args[0]
+    return None
+
+
+def scan_source(source: str, file: str = "<source>") -> AnalysisReport:
+    """Analyze one module's source text."""
+    report = AnalysisReport()
+    report.note_target(file)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        report.add(finding(
+            "SRC001", f"does not parse: {error.msg}", file=file,
+            line=error.lineno or 0))
+        return report
+    imports = module_imports(tree)
+
+    for func, ctx_name in find_vertex_programs(tree):
+        program_ast = ProgramAst(
+            func=func, ctx_name=ctx_name, file=file, imports=imports,
+            locals=local_names(func))
+        report.extend(determinism.check_program(program_ast))
+        report.extend(checkpoint_safety.check_program(program_ast))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fault_literal = _fault_plan_literal(node)
+        if fault_literal is not None:
+            text, literal = fault_literal
+            sub = check_fault_plan(text, file=file, line=literal.lineno)
+            report.findings.extend(sub.findings)
+            continue
+        query_literal = _query_literal(node)
+        if query_literal is not None:
+            text, literal = query_literal
+            sub = check_query(text, file=file, line=literal.lineno)
+            report.findings.extend(sub.findings)
+    return report
+
+
+def scan_file(path: str | Path) -> AnalysisReport:
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        report = AnalysisReport()
+        report.note_target(str(path))
+        report.add(finding("SRC001", f"unreadable: {error}",
+                           file=str(path)))
+        return report
+    return scan_source(source, file=str(path))
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> AnalysisReport:
+    """Scan every Python file under ``paths`` into one report."""
+    report = AnalysisReport()
+    for path in iter_python_files(paths):
+        report.extend(scan_file(path))
+    return report

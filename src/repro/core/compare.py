@@ -94,7 +94,8 @@ def rank_agreement(expected: Table, actual: Table, column: str) -> float:
     for i, a in enumerate(labels):
         for b in labels[i + 1:]:
             pairs += 1
-            exp_order = _sign(expected.cell(a, column) - expected.cell(b, column))
+            exp_order = _sign(
+                expected.cell(a, column) - expected.cell(b, column))
             act_order = _sign(actual.cell(a, column) - actual.cell(b, column))
             agreeing += exp_order == act_order
     return agreeing / pairs
@@ -108,7 +109,8 @@ def _sign(value: int) -> int:
     return 0
 
 
-def top_k_preserved(expected: Table, actual: Table, column: str, k: int) -> bool:
+def top_k_preserved(expected: Table, actual: Table, column: str,
+                    k: int) -> bool:
     """True iff the top-``k`` rows by ``column`` are the same set."""
 
     def top(table: Table) -> set[str]:

@@ -39,7 +39,8 @@ def count_multiselect(
     Returns ``{label: {"Total": t, "R": r, "P": p}}`` in ``labels`` order.
     """
     return {
-        label: count_if(population, lambda r, lb=label: lb in getattr(r, field))
+        label: count_if(population,
+                        lambda r, lb=label: lb in getattr(r, field))
         for label in labels
     }
 
@@ -51,7 +52,8 @@ def count_single_choice(
 ) -> dict[str, dict[str, int]]:
     """Count answers of a single-choice field, one row per label."""
     return {
-        label: count_if(population, lambda r, lb=label: getattr(r, field) == lb)
+        label: count_if(population,
+                        lambda r, lb=label: getattr(r, field) == lb)
         for label in labels
     }
 

@@ -32,7 +32,8 @@ FIELDS_OF_WORK = (
 )
 
 #: Fields whose selection makes a participant a *researcher* (Section 2.2).
-RESEARCHER_FIELDS = frozenset({"Research in Academia", "Research in Industry Lab"})
+RESEARCHER_FIELDS = frozenset(
+    {"Research in Academia", "Research in Industry Lab"})
 
 ORG_SIZES = ("1 - 10", "10 - 100", "100 - 1000", "1000 - 10000", ">10000")
 

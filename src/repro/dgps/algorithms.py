@@ -22,10 +22,20 @@ from repro.graphs.adjacency import Graph, Vertex
 INFINITY = float("inf")
 
 
+def _built(spec: PregelSpec, strict: bool) -> PregelSpec:
+    """Builder tail: ``strict=True`` statically analyzes the spec at
+    build time (raising :class:`repro.analysis.AnalysisError` on error
+    findings, recording findings as obs span events)."""
+    if strict:
+        spec.analyze(strict=True)
+    return spec
+
+
 def pagerank_spec(
     graph: Graph,
     damping: float = 0.85,
     supersteps: int = 30,
+    strict: bool = False,
 ) -> PregelSpec:
     """The PageRank vertex program as an executor-independent spec.
 
@@ -54,12 +64,12 @@ def pagerank_spec(
             ctx.vote_to_halt()
         return value
 
-    return PregelSpec(
+    return _built(PregelSpec(
         program=program,
         initial_value=0.0,
         combiner=lambda a, b: a + b,
         aggregators={"dangling": sum_aggregator()},
-        max_supersteps=supersteps + 2)
+        max_supersteps=supersteps + 2), strict)
 
 
 def pregel_pagerank(
@@ -77,7 +87,8 @@ def _smaller_label(a, b):
     return a if (repr(a), repr(a)) <= (repr(b), repr(b)) else b
 
 
-def connected_components_spec(graph: Graph) -> PregelSpec:
+def connected_components_spec(graph: Graph,
+                              strict: bool = False) -> PregelSpec:
     """HashMin label propagation as an executor-independent spec.
 
     The reverse-edge lists are captured from ``graph`` at spec-build
@@ -105,10 +116,10 @@ def connected_components_spec(graph: Graph) -> PregelSpec:
             ctx.send(backward, label)
         return label
 
-    return PregelSpec(
+    return _built(PregelSpec(
         program=program,
         combiner=_smaller_label,
-        max_supersteps=graph.num_vertices() + 2)
+        max_supersteps=graph.num_vertices() + 2), strict)
 
 
 def pregel_connected_components(graph: Graph) -> dict[Vertex, Hashable]:
@@ -117,7 +128,8 @@ def pregel_connected_components(graph: Graph) -> dict[Vertex, Hashable]:
     return connected_components_spec(graph).run(graph).values
 
 
-def sssp_spec(graph: Graph, source: Vertex) -> PregelSpec:
+def sssp_spec(graph: Graph, source: Vertex,
+              strict: bool = False) -> PregelSpec:
     """Shortest-path relaxation as an executor-independent spec."""
 
     def program(ctx: VertexContext):
@@ -134,11 +146,11 @@ def sssp_spec(graph: Graph, source: Vertex) -> PregelSpec:
         ctx.vote_to_halt()
         return distance
 
-    return PregelSpec(
+    return _built(PregelSpec(
         program=program,
         initial_value=INFINITY,
         combiner=min,
-        max_supersteps=graph.num_vertices() + 2)
+        max_supersteps=graph.num_vertices() + 2), strict)
 
 
 def pregel_sssp(

@@ -25,7 +25,7 @@ The classic algorithms expressed on top of it live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.errors import ReproError
 from repro.graphs.adjacency import Graph, Vertex
@@ -347,8 +347,23 @@ class PregelSpec:
     aggregators: dict[str, Aggregator] | None = None
     max_supersteps: int = 100
 
-    def run(self, graph: Graph) -> PregelResult:
-        """Execute on the single-machine engine."""
+    def analyze(self, strict: bool = False):
+        """Run :mod:`repro.analysis` over the program and spec values.
+
+        Returns the :class:`~repro.analysis.AnalysisReport`; with
+        ``strict=True``, error findings raise
+        :class:`~repro.analysis.AnalysisError` instead of merely being
+        reported (and findings are recorded as obs span events either
+        way)."""
+        from repro.analysis import analyze_spec
+
+        return analyze_spec(self, strict=strict)
+
+    def run(self, graph: Graph, strict: bool = False) -> PregelResult:
+        """Execute on the single-machine engine (``strict=True``
+        analyzes the spec first)."""
+        if strict:
+            self.analyze(strict=True)
         return run_pregel(
             graph, self.program, initial_value=self.initial_value,
             combiner=self.combiner, aggregators=self.aggregators,
@@ -363,8 +378,15 @@ def run_pregel(
     aggregators: dict[str, Aggregator] | None = None,
     max_supersteps: int = 100,
     trace_hook: Callable[[int, dict[Vertex, Any]], None] | None = None,
+    strict: bool = False,
 ) -> PregelResult:
-    """One-shot convenience wrapper around :class:`PregelEngine`."""
+    """One-shot convenience wrapper around :class:`PregelEngine`
+    (``strict=True`` runs :mod:`repro.analysis` over the program
+    first, raising on error findings)."""
+    if strict:
+        PregelSpec(program=program, initial_value=initial_value,
+                   combiner=combiner, aggregators=aggregators,
+                   max_supersteps=max_supersteps).analyze(strict=True)
     engine = PregelEngine(
         graph, program, initial_value=initial_value, combiner=combiner,
         aggregators=aggregators, max_supersteps=max_supersteps)

@@ -46,6 +46,7 @@ from repro.dist.faults import (
     BarrierFault,
     CorruptionFault,
     FaultPlan,
+    duplicate_faults,
     InjectedFault,
     KillFault,
     MessageDuplication,
@@ -100,6 +101,7 @@ __all__ = [
     "WorkerStepResult",
     "build_shard_map",
     "degree_skewed_partition",
+    "duplicate_faults",
     "hash_partition",
     "payload_checksum",
     "run_distributed_pregel",

@@ -126,9 +126,13 @@ class Coordinator:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         seed: int = 0,
+        strict: bool = False,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if strict:
+            self._analyze(program, initial_value, aggregators,
+                          fault_plan)
         self._graph = graph
         self._program = program
         self._aggregators = dict(aggregators or {})
@@ -183,6 +187,28 @@ class Coordinator:
         self.recoveries = 0
         self.checkpoints_written = 0
         self.checkpoint_bytes = 0
+
+    @staticmethod
+    def _analyze(program, initial_value, aggregators, fault_plan) -> None:
+        """Strict-mode pre-flight: lint the program and spec values,
+        validate the fault plan, raise
+        :class:`repro.analysis.AnalysisError` on error findings.
+        Findings are recorded as obs span events either way."""
+        from repro.analysis import (
+            AnalysisError,
+            analyze_spec,
+            check_fault_plan_object,
+        )
+
+        spec = PregelSpec(program=program, initial_value=initial_value,
+                          aggregators=aggregators)
+        report = analyze_spec(spec)
+        if fault_plan is not None:
+            report.extend(check_fault_plan_object(fault_plan))
+        if not report.ok:
+            name = getattr(program, "__name__",
+                           type(program).__name__)
+            raise AnalysisError(f"coordinator:{name}", report)
 
     # -- durability -------------------------------------------------------
 
@@ -402,6 +428,7 @@ def run_distributed_pregel(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     seed: int = 0,
+    strict: bool = False,
     **engine_kwargs: Any,
 ) -> DistributedResult:
     """One-shot convenience mirroring :func:`repro.dgps.run_pregel`.
@@ -429,4 +456,4 @@ def run_distributed_pregel(
         checkpoint_store=checkpoint_store,
         checkpoint_every=checkpoint_every,
         fault_plan=fault_plan, retry_policy=retry_policy,
-        seed=seed, **config).run()
+        seed=seed, strict=strict, **config).run()

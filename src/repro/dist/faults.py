@@ -157,6 +157,37 @@ class CorruptionFault:
 
 Fault = KillFault | SlowFault | BarrierFault | CorruptionFault
 
+
+def _fault_slot(fault: Fault) -> tuple:
+    """The scheduling slot a fault occupies; two faults sharing a slot
+    are duplicates (kill and flaky compete for the same worker entry;
+    garble and truncate damage the same checkpoint)."""
+    if isinstance(fault, KillFault):
+        return ("kill", fault.worker, fault.superstep)
+    if isinstance(fault, SlowFault):
+        return ("slow", fault.worker, fault.superstep)
+    if isinstance(fault, BarrierFault):
+        return (fault.kind, fault.superstep)
+    return ("corrupt", fault.superstep)
+
+
+def duplicate_faults(faults: list[Fault]) -> list[str]:
+    """Describe every fault occupying an already-used slot.
+
+    Used by :meth:`FaultPlan.parse` (reject, instead of the historical
+    silent last-write-wins) and by :mod:`repro.analysis.config_check`
+    as a pure pre-flight checker.
+    """
+    seen: dict[tuple, Fault] = {}
+    duplicates = []
+    for fault in faults:
+        slot = _fault_slot(fault)
+        if slot in seen:
+            duplicates.append(f"{fault} duplicates {seen[slot]}")
+        else:
+            seen[slot] = fault
+    return duplicates
+
 #: chunk prefixes the parser treats as non-worker fault words.
 _BARRIER_WORDS = {"drop": "drop", "dup": "duplicate",
                   "duplicate": "duplicate"}
@@ -296,6 +327,11 @@ class FaultPlan:
                 attempts = (_parse_int(attempts_text, chunk, "attempts")
                             if attempts_text else 1)
                 plan.kill(target, superstep, attempts=attempts)
+        duplicates = duplicate_faults(plan._faults)
+        if duplicates:
+            raise ValueError(
+                f"bad fault spec {spec!r}: duplicate chunks for the "
+                f"same worker/superstep ({'; '.join(duplicates)})")
         return plan
 
     # -- introspection -----------------------------------------------------

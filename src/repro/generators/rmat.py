@@ -10,7 +10,6 @@ of real web/social graphs.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 import numpy as np

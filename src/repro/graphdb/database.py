@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Iterator
 
-from repro.errors import GraphError, SchemaViolation
+from repro.errors import SchemaViolation
 from repro.graphs.io_formats import load_graph, save_graph
 from repro.graphs.property_graph import PropertyGraph
 from repro.graphs.schema import GraphSchema

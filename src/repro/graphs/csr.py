@@ -96,7 +96,8 @@ class CSRGraph:
             )
             weights = np.concatenate([weights, weights[~loop]])
         order = np.argsort(sources, kind="stable")
-        sources, targets, weights = sources[order], targets[order], weights[order]
+        sources, targets = sources[order], targets[order]
+        weights = weights[order]
         counts = np.bincount(sources, minlength=num_vertices)
         indptr = np.concatenate([[0], np.cumsum(counts)])
         return cls(indptr=indptr.astype(np.int64), indices=targets,

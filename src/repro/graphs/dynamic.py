@@ -11,7 +11,7 @@ materialize the graph as of any version.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import EdgeNotFound, GraphError, VertexNotFound
@@ -113,7 +113,8 @@ class VersionedGraph:
         del self._edge_uid_to_id[uid]
         self._record(ChangeKind.REMOVE_EDGE, uid=uid)
 
-    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+    def set_vertex_property(self, vertex: Vertex, key: str,
+                            value: Any) -> None:
         if vertex not in self._current:
             raise VertexNotFound(vertex)
         self._current.set_vertex_property(vertex, key, value)

@@ -109,7 +109,8 @@ class PropertyGraph(Graph):
         self._vertex_labels.pop(vertex, None)
         self._vertex_props.pop(vertex, None)
 
-    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+    def set_vertex_property(self, vertex: Vertex, key: str,
+                            value: Any) -> None:
         """Set one vertex property; the value must be a supported type."""
         property_type_of(value)
         if vertex not in self._vertex_props:

@@ -224,7 +224,8 @@ class SchemaEnforcedGraph:
         return self._graph.add_edge(u, v, weight=weight, label=label,
                                     **properties)
 
-    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+    def set_vertex_property(self, vertex: Vertex, key: str,
+                            value: Any) -> None:
         trial = self._graph.copy()
         trial.set_vertex_property(vertex, key, value)
         self.schema.check(trial)

@@ -87,7 +87,8 @@ class StreamingGraph:
             self._graph.remove_edge(edge_id)
             self._evictions += 1
             for endpoint in (edge.u, edge.v):
-                if endpoint in self._graph and self._graph.degree(endpoint) == 0:
+                if (endpoint in self._graph
+                        and self._graph.degree(endpoint) == 0):
                     self._graph.remove_vertex(endpoint)
             if self._on_evict is not None:
                 self._on_evict(edge)

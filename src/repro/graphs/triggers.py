@@ -133,7 +133,8 @@ class TriggeredGraph:
         self._fire(TriggerEvent.EDGE_REMOVE, TriggerPhase.AFTER,
                    edge_id=edge_id, u=edge.u, v=edge.v)
 
-    def set_vertex_property(self, vertex: Vertex, key: str, value: Any) -> None:
+    def set_vertex_property(self, vertex: Vertex, key: str,
+                            value: Any) -> None:
         old = self.graph.vertex_property(vertex, key)
         self._fire(TriggerEvent.VERTEX_UPDATE, TriggerPhase.BEFORE,
                    vertex=vertex, key=key, value=value, old_value=old)

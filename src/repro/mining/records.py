@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.data import taxonomy
 
@@ -93,7 +93,8 @@ class ReviewCorpus:
 
     def products(self) -> list[str]:
         seen = dict.fromkeys(
-            [m.product for m in self.emails] + [i.product for i in self.issues])
+            [m.product for m in self.emails]
+            + [i.product for i in self.issues])
         return list(seen)
 
     def active_users(self, product: str) -> set[str]:

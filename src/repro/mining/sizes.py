@@ -81,7 +81,8 @@ def extract_mentions(text: str) -> list[SizeMention]:
         kind = _normalize_unit(match.group("unit"))
         value = number * scale
         mentions.append(
-            SizeMention(kind=kind, value=value, bucket=_bucket_for(kind, value)))
+            SizeMention(kind=kind, value=value,
+                        bucket=_bucket_for(kind, value)))
     return mentions
 
 

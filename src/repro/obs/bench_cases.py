@@ -153,6 +153,22 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
               fault=f"w1@{DIST_SUPERSTEPS // 2}",
               baseline_case="dist.pagerank_k4")
 
+    def analysis_full_sweep_case():
+        from pathlib import Path
+
+        import repro
+        from repro.analysis import analyze_paths
+
+        package_root = Path(repro.__file__).parent
+        report = analyze_paths([package_root])
+        return {"targets": len(report.targets),
+                "findings": len(report.findings)}
+
+    # Tracks the static analyzer's own runtime over the full source
+    # tree, so a slow rule regresses visibly like any other kernel.
+    suite.add("analysis.full_sweep", analysis_full_sweep_case,
+              tags=("analysis",), paths="src/repro")
+
     return suite
 
 

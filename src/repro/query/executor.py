@@ -60,6 +60,9 @@ class GraphCatalog:
 def run_query(
     graph: PropertyGraph | GraphCatalog,
     text: str | Query,
+    *,
+    schema: Any = None,
+    strict: bool = False,
 ) -> ResultSet:
     """Parse (if needed) and execute a query.
 
@@ -67,16 +70,36 @@ def run_query(
         graph: one property graph, or a :class:`GraphCatalog` for queries
             whose patterns carry ``FROM name`` clauses.
         text: the query string or a pre-parsed :class:`Query`.
+        schema: an optional :class:`~repro.graphs.schema.GraphSchema`;
+            when given (or when ``strict=True``) the query is walked
+            statically by :mod:`repro.analysis.query_check` *before*
+            the matcher runs — unknown labels/properties and
+            type-mismatched predicates raise :class:`QueryError`
+            instead of silently matching nothing, and the findings are
+            recorded as ``query.run`` span events.
+        strict: run the static checks even without a schema (parse +
+            unbound-variable rules).
     """
     query = parse(text) if isinstance(text, str) else text
     catalog = graph if isinstance(graph, GraphCatalog) else GraphCatalog(
         default=graph)
+    analysis = None
+    if schema is not None or strict:
+        from repro.analysis.query_check import check_query
+
+        analysis = check_query(query, schema=schema)
     _validate(query)
     columns = tuple(item.name for item in query.items)
     result = ResultSet(columns=columns)
     seen: set[tuple] = set()
     with span("query.run", patterns=len(query.patterns),
               conditions=len(query.conditions)) as run_span:
+        if analysis is not None:
+            run_span.set("analysis.findings", analysis.span_events())
+            if not analysis.ok:
+                raise QueryError(
+                    "query rejected by static analysis: "
+                    + "; ".join(f.render() for f in analysis.errors))
         for binding in _match_patterns(catalog, query):
             if query.limit is not None and len(result.rows) >= query.limit:
                 break
@@ -202,7 +225,8 @@ def _match_path(graph: PropertyGraph, pattern: PathPattern,
             if u not in graph:
                 continue
             for edge_id in graph.edge_ids(u, v):
-                if edge.label is None or graph.edge_label(edge_id) == edge.label:
+                if (edge.label is None
+                        or graph.edge_label(edge_id) == edge.label):
                     return True
         return False
 

@@ -209,9 +209,11 @@ def validate_respondent(respondent: Respondent) -> None:
             raise InvalidResponse(f"hours: unknown task {task!r}")
         if bucket not in taxonomy.HOUR_BUCKETS:
             raise InvalidResponse(f"hours[{task}]: bad bucket {bucket!r}")
-    if respondent.non_human_categories and "Non-Human" not in respondent.entities:
+    if (respondent.non_human_categories
+            and "Non-Human" not in respondent.entities):
         raise InvalidResponse(
             "non-human categories given without the Non-Human entity choice")
     if respondent.stores_data is False and (
-            respondent.vertex_property_types or respondent.edge_property_types):
+            respondent.vertex_property_types
+            or respondent.edge_property_types):
         raise InvalidResponse("property types given but stores_data is False")

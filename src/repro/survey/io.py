@@ -80,7 +80,8 @@ def save_population_csv(population: Population, path: str | Path) -> None:
             row.extend("|".join(sorted(getattr(r, name)))
                        for name in _SET_FIELDS)
             row.extend(getattr(r, name) for name in _SCALAR_FIELDS)
-            row.extend(r.hours.get(task, "") for task in taxonomy.WORKLOAD_TASKS)
+            row.extend(r.hours.get(task, "")
+                       for task in taxonomy.WORKLOAD_TASKS)
             writer.writerow(row)
 
 
@@ -103,7 +104,8 @@ def load_population_csv(path: str | Path) -> Population:
                 "respondent_id": int(record["respondent_id"])}
             for name in _SET_FIELDS:
                 text = record[name]
-                kwargs[name] = frozenset(text.split("|")) if text else frozenset()
+                kwargs[name] = (frozenset(text.split("|"))
+                                if text else frozenset())
             for name in _SCALAR_FIELDS:
                 kwargs[name] = parse_scalar(record[name])
             hours = {}

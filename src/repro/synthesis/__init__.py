@@ -3,5 +3,6 @@ the 89-respondent population, the 90-paper literature corpus, and the
 mailing-list/issue review corpus."""
 
 from repro.synthesis.corpus import build_review_corpus
-from repro.synthesis.literature import LiteratureCorpus, build_literature_corpus
+from repro.synthesis.literature import (LiteratureCorpus,
+                                        build_literature_corpus)
 from repro.synthesis.population import build_population

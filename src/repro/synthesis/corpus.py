@@ -218,7 +218,8 @@ def _plant_sizes(rng: random.Random, slots: list[_Slot]) -> None:
         slot = pool[cursor]
         cursor += 1
         value = _sample_in_bucket(rng, low, high)
-        unit = rng.choice(("vertices", "nodes")) if kind == "vertices" else "edges"
+        unit = ("edges" if kind != "vertices"
+                else rng.choice(("vertices", "nodes")))
         subject, body = rng.choice(texts.SIZE_TEMPLATES)
         amount = _format_amount(rng, value)
         slot.subject = subject.format(

@@ -73,7 +73,8 @@ class _Draft:
         self.sets.setdefault(field, set()).add(label)
 
     def build(self) -> Respondent:
-        frozen = {name: frozenset(values) for name, values in self.sets.items()}
+        frozen = {name: frozenset(values)
+                  for name, values in self.sets.items()}
         return Respondent(respondent_id=self.respondent_id,
                           hours=dict(self.hours), **self.answers, **frozen)
 
@@ -429,7 +430,8 @@ def _assign_hours(rng, drafts, ids):
     """Table 16 (one single-choice question per task; no R/P split)."""
     for task in taxonomy.WORKLOAD_TASKS:
         cells = pt.TABLE_16.rows[task]
-        counts = {bucket: int(cells[bucket]) for bucket in taxonomy.HOUR_BUCKETS}
+        counts = {bucket: int(cells[bucket])
+                  for bucket in taxonomy.HOUR_BUCKETS}
         for bucket, members in sampler.partition_exact(
                 rng, ids, counts).items():
             for member in members:

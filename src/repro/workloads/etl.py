@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import GraphError
-from repro.graphs.adjacency import Graph, Vertex
+from repro.graphs.adjacency import Graph
 from repro.graphs.property_graph import PropertyGraph
 
 Row = Mapping[str, Any]

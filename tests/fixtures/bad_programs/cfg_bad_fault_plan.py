@@ -1,0 +1,6 @@
+"""Seeded-bad fixture: CFG — malformed / duplicate fault plans."""
+
+from repro.dist import FaultPlan
+
+DOUBLE_KILL = FaultPlan.parse("w1@3, w1@3")
+NOT_A_PLAN = FaultPlan.parse("definitely not a fault spec")

@@ -1,0 +1,16 @@
+"""Seeded-bad fixture: CKPT — checkpoint-unsafe vertex values."""
+
+
+def set_valued(ctx):
+    ctx.vote_to_halt()
+    return set(ctx.messages)
+
+
+def frozen_valued(ctx) -> frozenset:
+    ctx.vote_to_halt()
+    return frozenset()
+
+
+def pair_valued(ctx):
+    ctx.vote_to_halt()
+    return (ctx.superstep, ctx.value)

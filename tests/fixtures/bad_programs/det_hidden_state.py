@@ -1,0 +1,18 @@
+"""Seeded-bad fixture: DET003 — cross-superstep state outside the value."""
+
+_SEEN_SUPERSTEPS = {}
+
+
+def sticky_rank(ctx):
+    _SEEN_SUPERSTEPS[ctx.vertex] = ctx.superstep
+    total = ctx.value
+    for message in ctx.messages:
+        total += message
+    return total
+
+
+class CachedProgram:
+    def __call__(self, ctx):
+        self.last_value = ctx.value
+        ctx.vote_to_halt()
+        return ctx.value

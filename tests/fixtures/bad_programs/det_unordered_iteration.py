@@ -1,0 +1,13 @@
+"""Seeded-bad fixture: DET002 — unordered set feeds sends/accumulation."""
+
+
+def fanout(ctx):
+    targets = set(ctx.out_edges())
+    for neighbor, _weight in targets:
+        ctx.send(neighbor, ctx.value)
+    ctx.vote_to_halt()
+
+
+def hash_order_sum(ctx):
+    weights = {message for message in ctx.messages}
+    return sum(weights)

@@ -1,0 +1,12 @@
+"""Seeded-bad fixture: DET001 — entropy inside a vertex program."""
+
+import random
+import time
+
+
+def jittery_rank(ctx):
+    rank = ctx.value + random.random()
+    if time.time() > 0:
+        rank += 1.0
+    ctx.send_to_neighbors(rank)
+    return rank

@@ -1,0 +1,11 @@
+"""Seeded-bad fixture: QRY — queries rejected before matching."""
+
+from repro.query import run_query
+
+
+def unparseable(graph):
+    return run_query(graph, "MATCH (a:Person RETURN a")
+
+
+def unbound_return(graph):
+    return run_query(graph, "MATCH (a:Person) RETURN missing")

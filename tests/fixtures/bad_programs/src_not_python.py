@@ -1,0 +1,3 @@
+"""Seeded-bad fixture: SRC001 — not parseable as Python."""
+def broken(:
+    pass
