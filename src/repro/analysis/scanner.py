@@ -84,17 +84,68 @@ def _fault_plan_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
     return None
 
 
-def scan_source(source: str, file: str = "<source>") -> AnalysisReport:
-    """Analyze one module's source text."""
+# Parsed-AST cache, keyed by file path. ``analysis.full_sweep`` is
+# ~20x the next-slowest bench case and most of that is ast.parse over
+# files re-visited across repetitions/rule sweeps; source files do not
+# change mid-run, so parses are cached against an (mtime_ns, size)
+# stat signature and reused until the file changes on disk. Syntax
+# errors cache too — a broken file is re-reported, not re-parsed.
+_AST_CACHE: dict[str, tuple[tuple[int, int],
+                            ast.Module | SyntaxError]] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_ast_cache() -> None:
+    """Drop every cached parse and zero the hit/miss counters."""
+    _AST_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def ast_cache_stats() -> dict[str, int]:
+    """Current cache effectiveness: hits, misses, entries."""
+    return {"hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"],
+            "entries": len(_AST_CACHE)}
+
+
+def _parse_cached(path: Path) -> ast.Module | SyntaxError:
+    """The file's parse tree (or its SyntaxError), via the cache."""
+    key = str(path)
+    try:
+        stat = path.stat()
+        signature = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        signature = None  # unstatable: fall through to a fresh read
+    if signature is not None:
+        cached = _AST_CACHE.get(key)
+        if cached is not None and cached[0] == signature:
+            _CACHE_STATS["hits"] += 1
+            return cached[1]
+    _CACHE_STATS["misses"] += 1
+    source = path.read_text(encoding="utf-8")
+    try:
+        parsed: ast.Module | SyntaxError = ast.parse(source)
+    except SyntaxError as error:
+        parsed = error
+    if signature is not None:
+        _AST_CACHE[key] = (signature, parsed)
+    return parsed
+
+
+def _syntax_report(error: SyntaxError, file: str) -> AnalysisReport:
     report = AnalysisReport()
     report.note_target(file)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        report.add(finding(
-            "SRC001", f"does not parse: {error.msg}", file=file,
-            line=error.lineno or 0))
-        return report
+    report.add(finding(
+        "SRC001", f"does not parse: {error.msg}", file=file,
+        line=error.lineno or 0))
+    return report
+
+
+def _scan_tree(tree: ast.Module, file: str) -> AnalysisReport:
+    """Run every rule family over one parsed module."""
+    report = AnalysisReport()
+    report.note_target(file)
     imports = module_imports(tree)
 
     for func, ctx_name in find_vertex_programs(tree):
@@ -121,17 +172,29 @@ def scan_source(source: str, file: str = "<source>") -> AnalysisReport:
     return report
 
 
+def scan_source(source: str, file: str = "<source>") -> AnalysisReport:
+    """Analyze one module's source text (uncached — text has no path
+    identity to key a cache on)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return _syntax_report(error, file)
+    return _scan_tree(tree, file)
+
+
 def scan_file(path: str | Path) -> AnalysisReport:
     path = Path(path)
     try:
-        source = path.read_text(encoding="utf-8")
+        parsed = _parse_cached(path)
     except OSError as error:
         report = AnalysisReport()
         report.note_target(str(path))
         report.add(finding("SRC001", f"unreadable: {error}",
                            file=str(path)))
         return report
-    return scan_source(source, file=str(path))
+    if isinstance(parsed, SyntaxError):
+        return _syntax_report(parsed, str(path))
+    return _scan_tree(parsed, str(path))
 
 
 def analyze_paths(paths: Iterable[str | Path]) -> AnalysisReport:

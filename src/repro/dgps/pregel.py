@@ -269,6 +269,10 @@ class PregelEngine:
             result = self._run_supersteps()
             run_span.set("supersteps", result.supersteps)
             run_span.set("messages", result.total_messages())
+        if is_enabled():
+            from repro.obs.memory import record_memory_gauges
+
+            record_memory_gauges(prefix="pregel.mem")
         return result
 
     def _run_supersteps(self) -> PregelResult:

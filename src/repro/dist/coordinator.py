@@ -375,6 +375,10 @@ class Coordinator:
             run_span.set("supersteps", result.supersteps)
             run_span.set("recoveries", result.recoveries)
             run_span.set("messages_routed", result.routed_messages())
+        if is_enabled():
+            from repro.obs.memory import record_memory_gauges
+
+            record_memory_gauges(prefix="dist.mem")
         return result
 
     def _run_supersteps(self) -> DistributedResult:

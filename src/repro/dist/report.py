@@ -8,10 +8,14 @@ recovered values are byte-identical to the fault-free run. A skew
 section then runs k=4 PageRank under a balanced hash partition and the
 intentionally imbalanced :func:`~repro.dist.degree_skewed_partition`,
 reconstructs both runs' per-worker timelines
-(:mod:`repro.obs.timeline`), and flags the straggler. Every number is
-sourced from :mod:`repro.obs` — counter deltas, span records, and the
-``dist.run`` span — not from ad-hoc bookkeeping, so the report doubles
-as the end-to-end check that the observability wiring is intact.
+(:mod:`repro.obs.timeline`), and flags the straggler. A RESOURCES
+section then re-runs k=4 PageRank under :mod:`repro.obs.profile` and
+attributes each worker's wall time to busy CPU vs. waiting (plus its
+allocation peak), so a straggler can be *blamed*, not just flagged.
+Every number is sourced from :mod:`repro.obs` — counter deltas, span
+records, and the ``dist.run`` span — not from ad-hoc bookkeeping, so
+the report doubles as the end-to-end check that the observability
+wiring is intact.
 
 ``--json`` emits the structured report plus the full
 ``observability_dict`` payload (spans + metrics) captured during the
@@ -137,7 +141,47 @@ def run_report(
                 }
             report["rows"].append(row)
     report["skew"] = skew_report(vertices=skew_vertices, seed=seed)
+    report["resources"] = resource_report(vertices=skew_vertices,
+                                          seed=seed)
     return report
+
+
+def resource_report(
+    vertices: int = 200,
+    k: int = 4,
+    seed: int = 0,
+    supersteps: int = 8,
+    partitioner: str = "hash",
+) -> dict[str, Any]:
+    """Per-worker CPU vs. allocation attribution for one profiled run.
+
+    Runs k-way PageRank once under :mod:`repro.obs.profile`, so every
+    ``dist.worker.superstep`` span carries ``cpu_ms`` /
+    ``peak_alloc_kb`` attrs, then rolls them up per worker through
+    :meth:`~repro.obs.timeline.Timeline.resource_summary`: each
+    worker's wall time is split into busy CPU and waiting, with a
+    ``blame`` verdict (cpu-bound / waiting / +alloc-heavy). This is
+    the RESOURCES section of the report — the answer to *why* a
+    straggler is slow, where SKEW only says *that* it is.
+    """
+    from repro.obs.profile import profiled
+
+    graph = barabasi_albert(vertices, 3, seed=seed)
+    spec = pagerank_spec(graph, supersteps=supersteps)
+    with profiled() as trace:
+        run_distributed_pregel(graph, spec, k=k,
+                               partitioner=partitioner, seed=seed)
+    timeline = build_timeline(trace.roots)
+    summary = timeline.resource_summary()
+    return {
+        "graph": {"vertices": graph.num_vertices(),
+                  "edges": graph.num_edges()},
+        "k": k,
+        "algorithm": "pagerank",
+        "partitioner": partitioner,
+        "supersteps": supersteps,
+        **summary,
+    }
 
 
 def skew_report(
@@ -245,6 +289,10 @@ def _render(report: dict[str, Any]) -> str:
     if skew:
         lines.append("")
         lines.extend(_render_skew(skew).splitlines())
+    resources = report.get("resources")
+    if resources:
+        lines.append("")
+        lines.extend(_render_resources(resources).splitlines())
     return "\n".join(lines)
 
 
@@ -269,6 +317,32 @@ def _render_skew(skew: dict[str, Any]) -> str:
         f"x columns are max/mean ratios across workers; a run is "
         f"flagged past {skew['rows'][0]['threshold']}. Use --timeline "
         f"for the per-superstep Gantt.")
+    return "\n".join(lines)
+
+
+def _render_resources(resources: dict[str, Any]) -> str:
+    graph = resources["graph"]
+    lines = [
+        f"RESOURCES — k={resources['k']} {resources['algorithm']} "
+        f"({resources['partitioner']}) on {graph['vertices']} vertices "
+        f"/ {graph['edges']} edges, profiled "
+        f"(per-span cpu_ms/peak_alloc_kb from repro.obs.profile)",
+    ]
+    if not resources.get("profiled"):
+        lines.append("  (run was not profiled; no resource attrs)")
+        return "\n".join(lines)
+    lines.append(
+        f"{'worker':<8} {'wall ms':>9} {'cpu ms':>9} {'cpu%':>6} "
+        f"{'peakKB':>8}  blame")
+    for worker, row in sorted(resources["workers"].items()):
+        lines.append(
+            f"{worker:<8} {row['wall_ms']:>9.2f} {row['cpu_ms']:>9.2f} "
+            f"{row['cpu_share'] * 100:>5.0f}% "
+            f"{row['peak_alloc_kb']:>8.1f}  {row['blame']}")
+    lines.append(
+        "cpu% is CPU-ms over wall-ms of the worker's compute lanes; "
+        "low cpu% means the lane waited (routing/barrier), not "
+        "computed. alloc-heavy flags a peak > 1.5x the worker mean.")
     return "\n".join(lines)
 
 

@@ -24,8 +24,23 @@ benchmark cases, writes schema-versioned ``BENCH_<label>.json``
 artifacts and detects regressions between them, and
 :mod:`repro.obs.timeline` reconstructs per-worker / per-superstep lanes
 and load-skew statistics from :mod:`repro.dist` span records.
+
+Resource attribution rides the same spans: :mod:`repro.obs.profile`
+(``python -m repro.obs.profile``) attributes CPU time and allocation
+peaks to each span (``cpu_ms`` / ``self_cpu_ms`` / ``peak_alloc_kb``
+attributes, off by default, zero overhead while off), and
+:mod:`repro.obs.memory` exposes peak-RSS / tracemalloc gauges plus the
+:class:`AllocationTracker` block-level allocation meter.
 """
 
+from repro.obs.memory import (
+    AllocationTracker,
+    current_rss_kb,
+    memory_summary,
+    peak_rss_kb,
+    record_memory_gauges,
+    traced_memory_kb,
+)
 from repro.obs.export import (
     OBS_SCHEMA,
     SpanRecord,
@@ -83,7 +98,33 @@ __all__ = [
     # explicitly, so `import repro.obs` stays light)
     "Lane", "SuperstepLanes", "Timeline", "build_timeline",
     "render_timeline",
+    # profiling (repro.obs.profile)
+    "ProfileNode", "disable_profiling", "enable_profiling", "hot_spans",
+    "is_profiling", "profile_tree", "profiled", "render_flame",
+    # memory accounting (repro.obs.memory)
+    "AllocationTracker", "current_rss_kb", "memory_summary",
+    "peak_rss_kb", "record_memory_gauges", "traced_memory_kb",
 ]
+
+
+#: Lazily re-exported from :mod:`repro.obs.profile` (PEP 562) so
+#: ``python -m repro.obs.profile`` does not trip runpy's
+#: already-imported warning by importing the module during package
+#: init.
+_PROFILE_EXPORTS = frozenset({
+    "ProfileNode", "disable_profiling", "enable_profiling",
+    "hot_spans", "is_profiling", "profile_tree", "profiled",
+    "render_flame",
+})
+
+
+def __getattr__(name: str):
+    if name in _PROFILE_EXPORTS:
+        from repro.obs import profile
+
+        return getattr(profile, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 def reset() -> None:

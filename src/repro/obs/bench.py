@@ -45,13 +45,31 @@ from repro.obs.metrics import get_registry
 from repro.obs.spans import capture
 
 #: Version tag on ``BENCH_*.json`` artifacts; bump on shape changes.
-BENCH_SCHEMA = "repro.obs.bench/v1"
+#: v2 adds per-case ``throughput`` (``edges_per_sec`` over a declared
+#: work denominator) and ``memory`` (``peak_alloc_kb`` from one extra
+#: un-timed repetition, plus process ``peak_rss_kb``) blocks.
+BENCH_SCHEMA = "repro.obs.bench/v2"
+BENCH_SCHEMA_V1 = "repro.obs.bench/v1"
+
+#: Schemas :func:`load_artifact` accepts; older ones compare with
+#: ``not-in-baseline`` column verdicts instead of crashing.
+SUPPORTED_SCHEMAS = (BENCH_SCHEMA, BENCH_SCHEMA_V1)
 
 #: Default noise guards for :func:`compare`: a case only changes
 #: verdict when the median moved by more than REL_THRESHOLD of the
 #: baseline *and* by more than MIN_EFFECT_MS absolute.
 REL_THRESHOLD = 0.25
 MIN_EFFECT_MS = 0.5
+
+#: Noise guards for the v2 resource columns, mirroring the wall-time
+#: pair: ``(rel_threshold, min_effect, direction)`` where direction
+#: says which way is *better*. Only a ``peak_alloc_kb`` regression is
+#: failing — throughput mirrors wall time (already guarded), so its
+#: verdicts are informational.
+COLUMN_GUARDS: dict[str, tuple[float, float, str]] = {
+    "edges_per_sec": (0.25, 1.0, "higher"),
+    "peak_alloc_kb": (0.25, 64.0, "lower"),
+}
 
 
 # ---------------------------------------------------------------------------
@@ -66,15 +84,29 @@ class BenchCase:
     ``fn`` takes no arguments (close over inputs; build them outside so
     setup cost stays out of the timing) and returns a small result used
     only for the artifact's sanity digest.
+
+    ``work`` declares the case's throughput denominator — the number
+    of edges (or edge-equivalents, e.g. edges × supersteps) one
+    repetition processes, as an int or a zero-argument callable
+    evaluated lazily at record time. Cases with no meaningful edge
+    denominator (query latency, static analysis) leave it None and get
+    no ``edges_per_sec`` column.
     """
 
     name: str
     fn: Callable[[], Any]
     params: dict[str, Any] = field(default_factory=dict)
     tags: tuple[str, ...] = ()
+    work: Callable[[], int] | int | None = None
 
     def run(self) -> Any:
         return self.fn()
+
+    def work_units(self) -> int | None:
+        """The declared per-repetition work denominator, resolved."""
+        if callable(self.work):
+            return int(self.work())
+        return self.work
 
 
 class BenchSuite:
@@ -85,19 +117,22 @@ class BenchSuite:
         self._cases: dict[str, BenchCase] = {}
 
     def add(self, name: str, fn: Callable[[], Any], *,
-            tags: Iterable[str] = (), **params: Any) -> BenchCase:
+            tags: Iterable[str] = (),
+            work: Callable[[], int] | int | None = None,
+            **params: Any) -> BenchCase:
         if name in self._cases:
             raise ValueError(f"bench case {name!r} already registered")
         case = BenchCase(name=name, fn=fn, params=dict(params),
-                         tags=tuple(tags))
+                         tags=tuple(tags), work=work)
         self._cases[name] = case
         return case
 
     def case(self, name: str, *, tags: Iterable[str] = (),
+             work: Callable[[], int] | int | None = None,
              **params: Any) -> Callable[[Callable[[], Any]], Callable]:
         """Decorator form of :meth:`add`."""
         def register(fn: Callable[[], Any]) -> Callable[[], Any]:
-            self.add(name, fn, tags=tags, **params)
+            self.add(name, fn, tags=tags, work=work, **params)
             return fn
         return register
 
@@ -214,7 +249,16 @@ def run_case(case: BenchCase, *, reps: int = 5,
     what the system pays in production, and both sides of a comparison
     pay it identically), so the record carries the span statistics and
     the metric-counter deltas the case produced alongside wall time.
+
+    Schema v2: one *extra, un-timed* repetition then runs under
+    :class:`~repro.obs.memory.AllocationTracker` to fill the
+    ``memory`` block — tracemalloc slows allocation several-fold, so
+    the timed repetitions must never pay for it — and cases with a
+    declared ``work`` denominator get a ``throughput`` block
+    (``edges_per_sec`` from the median timing).
     """
+    from repro.obs.memory import AllocationTracker, peak_rss_kb
+
     if reps < 1:
         raise ValueError("reps must be >= 1")
     registry = get_registry()
@@ -229,6 +273,10 @@ def run_case(case: BenchCase, *, reps: int = 5,
             result = case.run()
             timings_ms.append((time.perf_counter_ns() - start) / 1e6)
     after = dict(registry.summary()["counters"])
+    # Counter deltas are already snapshotted: the probe repetition
+    # below never shows up in them, in the span stats, or in timings.
+    with AllocationTracker() as alloc:
+        case.run()
     deltas = {name: value - before.get(name, 0)
               for name, value in after.items()
               if value - before.get(name, 0)}
@@ -238,20 +286,33 @@ def run_case(case: BenchCase, *, reps: int = 5,
         for sp in root.walk():
             total_spans += 1
             span_names[sp.name] = span_names.get(sp.name, 0) + 1
-    return {
+    stats = {k: round(v, 4) for k, v in
+             timing_stats(timings_ms).items()}
+    record = {
         "name": case.name,
         "params": _jsonable(case.params),
         "tags": list(case.tags),
         "reps": reps,
         "warmup": warmup,
         "timings_ms": [round(t, 4) for t in timings_ms],
-        "stats": {k: round(v, 4) for k, v in
-                  timing_stats(timings_ms).items()},
+        "stats": stats,
         "counters": _jsonable(deltas),
         "spans": {"roots": len(trace.roots), "total": total_spans,
                   "by_name": dict(sorted(span_names.items()))},
+        "memory": {
+            "peak_alloc_kb": alloc.peak_alloc_kb,
+            "net_alloc_kb": alloc.net_alloc_kb,
+            "peak_rss_kb": peak_rss_kb(),
+        },
         "result": _result_digest(result),
     }
+    work = case.work_units()
+    if work and stats["p50"] > 0:
+        record["throughput"] = {
+            "work_edges": work,
+            "edges_per_sec": round(work / (stats["p50"] / 1000.0), 1),
+        }
+    return record
 
 
 def run_suite(suite: BenchSuite, label: str, *, reps: int = 5,
@@ -297,10 +358,10 @@ def load_artifact(path: str | Path) -> dict[str, Any]:
     path = Path(path)
     artifact = json.loads(path.read_text())
     schema = artifact.get("schema")
-    if schema != BENCH_SCHEMA:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported bench schema {schema!r} "
-            f"(expected {BENCH_SCHEMA!r})")
+            f"(expected one of {list(SUPPORTED_SCHEMAS)!r})")
     return artifact
 
 
@@ -313,6 +374,29 @@ FAILING_VERDICTS = ("regressed", "missing")
 
 
 @dataclass(frozen=True)
+class ColumnVerdict:
+    """Outcome of comparing one v2 resource column for one case.
+
+    ``not-in-baseline`` / ``not-in-current`` mark the column absent on
+    one side — the v1-compat path (satellite: comparing against an
+    old-schema baseline must degrade, never crash or fail the run).
+    """
+
+    column: str
+    verdict: str  # improved | unchanged | regressed |
+    #               not-in-baseline | not-in-current
+    baseline: float | None
+    current: float | None
+
+    @property
+    def delta_pct(self) -> float | None:
+        if self.baseline is None or self.current is None or \
+                not self.baseline:
+            return None
+        return 100.0 * (self.current - self.baseline) / self.baseline
+
+
+@dataclass(frozen=True)
 class CaseVerdict:
     """Outcome of comparing one case between two artifacts."""
 
@@ -320,6 +404,7 @@ class CaseVerdict:
     verdict: str  # improved | unchanged | regressed | missing | added
     baseline_ms: float | None
     current_ms: float | None
+    columns: tuple[ColumnVerdict, ...] = ()
 
     @property
     def delta_ms(self) -> float | None:
@@ -332,6 +417,15 @@ class CaseVerdict:
         if self.delta_ms is None or not self.baseline_ms:
             return None
         return 100.0 * self.delta_ms / self.baseline_ms
+
+    @property
+    def failing_columns(self) -> list[ColumnVerdict]:
+        """Resource columns whose regression fails the comparison —
+        only ``peak_alloc_kb`` (throughput mirrors wall time, which is
+        already guarded; absence on either side never fails)."""
+        return [c for c in self.columns
+                if c.column == "peak_alloc_kb"
+                and c.verdict == "regressed"]
 
 
 @dataclass
@@ -353,11 +447,59 @@ class Comparison:
     @property
     def regressions(self) -> list[CaseVerdict]:
         return [v for v in self.verdicts
-                if v.verdict in FAILING_VERDICTS]
+                if v.verdict in FAILING_VERDICTS or v.failing_columns]
 
     @property
     def exit_code(self) -> int:
         return 1 if self.regressions else 0
+
+
+def _column_value(case: dict[str, Any], column: str) -> float | None:
+    """Pull a v2 resource column from a case record; None when the
+    record predates the column (v1) or the case has no denominator."""
+    if column == "edges_per_sec":
+        return (case.get("throughput") or {}).get("edges_per_sec")
+    if column == "peak_alloc_kb":
+        return (case.get("memory") or {}).get("peak_alloc_kb")
+    return None
+
+
+def _compare_columns(base: dict[str, Any],
+                     cur: dict[str, Any]) -> tuple[ColumnVerdict, ...]:
+    """Per-column verdicts for one case, noise-guarded like wall time.
+
+    A column missing on either side (v1 baseline, case without a work
+    denominator) gets ``not-in-baseline`` / ``not-in-current`` — never
+    an exception, never a regression. A column absent on *both* sides
+    is simply not reported.
+    """
+    columns: list[ColumnVerdict] = []
+    for column, (rel, min_effect, better) in COLUMN_GUARDS.items():
+        base_val = _column_value(base, column)
+        cur_val = _column_value(cur, column)
+        if base_val is None and cur_val is None:
+            continue
+        if base_val is None:
+            columns.append(ColumnVerdict(column, "not-in-baseline",
+                                         None, cur_val))
+            continue
+        if cur_val is None:
+            columns.append(ColumnVerdict(column, "not-in-current",
+                                         base_val, None))
+            continue
+        delta = cur_val - base_val
+        if better == "higher":
+            delta = -delta  # normalize: positive delta = worse
+        guard = max(rel * abs(base_val), min_effect)
+        if delta > guard:
+            verdict = "regressed"
+        elif -delta > guard:
+            verdict = "improved"
+        else:
+            verdict = "unchanged"
+        columns.append(ColumnVerdict(column, verdict, base_val,
+                                     cur_val))
+    return tuple(columns)
 
 
 def compare(baseline: dict[str, Any], current: dict[str, Any], *,
@@ -372,6 +514,12 @@ def compare(baseline: dict[str, Any], current: dict[str, Any], *,
     a real regression behind a small percentage. Cases present in the
     baseline but absent now are ``missing`` (a failure: a silently
     dropped case is an untracked regression); new cases are ``added``.
+
+    The v2 resource columns (``edges_per_sec``, ``peak_alloc_kb``)
+    carry their own guards from :data:`COLUMN_GUARDS`; a memory
+    regression fails the comparison, a column absent on either side
+    (e.g. a v1 baseline) reports as ``not-in-baseline`` /
+    ``not-in-current`` and never fails.
     """
     base_cases = {c["name"]: c for c in baseline["cases"]}
     cur_cases = {c["name"]: c for c in current["cases"]}
@@ -391,7 +539,8 @@ def compare(baseline: dict[str, Any], current: dict[str, Any], *,
             verdict = "improved"
         else:
             verdict = "unchanged"
-        verdicts.append(CaseVerdict(name, verdict, base_ms, cur_ms))
+        verdicts.append(CaseVerdict(name, verdict, base_ms, cur_ms,
+                                    _compare_columns(base, cur)))
     for name, cur in cur_cases.items():
         if name not in base_cases:
             verdicts.append(
@@ -414,19 +563,39 @@ def render_comparison(comparison: Comparison) -> str:
         f"{'case':<38} {'base p50':>10} {'cur p50':>10} {'delta':>8}  "
         f"verdict",
     ]
+    column_notes = 0
     for v in comparison.verdicts:
         base = f"{v.baseline_ms:.3f}" if v.baseline_ms is not None else "—"
         cur = f"{v.current_ms:.3f}" if v.current_ms is not None else "—"
         delta = (f"{v.delta_pct:+.1f}%" if v.delta_pct is not None
                  else "—")
-        marker = " <<<" if v.verdict in FAILING_VERDICTS else ""
+        marker = (" <<<" if v.verdict in FAILING_VERDICTS
+                  or v.failing_columns else "")
         lines.append(f"{v.name:<38} {base:>10} {cur:>10} {delta:>8}  "
                      f"{v.verdict}{marker}")
+        # Resource columns print only when they have something to say
+        # — a change past the guards, or one side missing the column.
+        for col in v.columns:
+            if col.verdict == "unchanged":
+                continue
+            column_notes += 1
+            pct = (f" ({col.delta_pct:+.1f}%)"
+                   if col.delta_pct is not None else "")
+            col_marker = (" <<<" if col.column == "peak_alloc_kb"
+                          and col.verdict == "regressed" else "")
+            base_val = (col.baseline if col.baseline is not None
+                        else "—")
+            cur_val = col.current if col.current is not None else "—"
+            lines.append(f"{'':<38}   {col.column}: "
+                         f"{base_val} -> {cur_val}"
+                         f"{pct}  {col.verdict}{col_marker}")
     counts = comparison.counts()
     summary = ", ".join(f"{count} {verdict}" for verdict, count
                         in sorted(counts.items()))
     lines.append("")
-    lines.append(f"{len(comparison.verdicts)} cases: {summary}")
+    lines.append(f"{len(comparison.verdicts)} cases: {summary}"
+                 + (f"; {column_notes} resource-column notes"
+                    if column_notes else ""))
     return "\n".join(lines)
 
 
@@ -443,14 +612,20 @@ def render_artifact(artifact: dict[str, Any]) -> str:
         f"at {env['timestamp']}",
         "",
         f"{'case':<38} {'p50 ms':>9} {'p95 ms':>9} {'min ms':>9} "
-        f"{'max ms':>9} {'spans':>6}",
+        f"{'max ms':>9} {'spans':>6} {'edges/s':>10} {'peakKB':>8}",
     ]
     for case in artifact["cases"]:
         stats = case["stats"]
+        eps = _column_value(case, "edges_per_sec")
+        peak = _column_value(case, "peak_alloc_kb")
+        eps_text = f"{eps:>10.0f}" if eps is not None else f"{'—':>10}"
+        peak_text = (f"{peak:>8.1f}" if peak is not None
+                     else f"{'—':>8}")
         lines.append(
             f"{case['name']:<38} {stats['p50']:>9.3f} "
             f"{stats['p95']:>9.3f} {stats['min']:>9.3f} "
-            f"{stats['max']:>9.3f} {case['spans']['total']:>6}")
+            f"{stats['max']:>9.3f} {case['spans']['total']:>6} "
+            f"{eps_text} {peak_text}")
     return "\n".join(lines)
 
 
@@ -516,7 +691,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 {"name": v.name, "verdict": v.verdict,
                  "baseline_ms": v.baseline_ms,
                  "current_ms": v.current_ms,
-                 "delta_ms": v.delta_ms}
+                 "delta_ms": v.delta_ms,
+                 "columns": [
+                     {"column": c.column, "verdict": c.verdict,
+                      "baseline": c.baseline, "current": c.current}
+                     for c in v.columns]}
                 for v in comparison.verdicts],
             "exit_code": comparison.exit_code,
         }

@@ -1,0 +1,148 @@
+"""Process memory accounting: peak-RSS and tracemalloc gauges.
+
+Sahu et al. rank memory footprint among practitioners' top graph
+challenges (Section 6.1), yet nothing in this stack measured bytes
+until this module: wall-time-only benchmarking is exactly how graph
+benchmarks mislead (the SoK critique in PAPERS.md). Two complementary
+views, both stdlib-only:
+
+* **peak RSS** — the OS high-water mark (``ru_maxrss``), the number an
+  operator sees in ``top``; monotone over process life, so it answers
+  "did this workload push the process ceiling up?";
+* **tracemalloc** — Python-heap allocation tracking; resettable, so it
+  answers "how many KB did *this block* allocate?" — the source of the
+  per-span ``peak_alloc_kb`` attribute :mod:`repro.obs.profile`
+  records and the ``peak_alloc_kb`` bench column.
+
+:func:`record_memory_gauges` publishes both as gauges on the process
+:class:`~repro.obs.metrics.MetricsRegistry` (the hot layers call it
+with their own prefix — ``dist.mem.*``, ``pregel.mem.*``,
+``workload.mem.*``); :class:`AllocationTracker` measures one block's
+peak allocation, used by the bench runner for the schema-v2 memory
+column.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-unix platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> int | None:
+    """The process's peak resident set size, in KB (None when the
+    platform has no ``getrusage``).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalized to KB here. The value is a high-water mark: it never
+    decreases over the life of the process.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS only
+        peak //= 1024
+    return int(peak)
+
+
+def current_rss_kb() -> int | None:
+    """The process's current resident set size in KB (Linux ``/proc``;
+    None elsewhere)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def traced_memory_kb() -> tuple[float, float] | None:
+    """(current, peak) Python-heap KB per tracemalloc, or None while
+    tracemalloc is not tracing."""
+    if not tracemalloc.is_tracing():
+        return None
+    current, peak = tracemalloc.get_traced_memory()
+    return (current / 1024, peak / 1024)
+
+
+def memory_summary() -> dict[str, Any]:
+    """Every memory fact this module can source, as one plain dict."""
+    traced = traced_memory_kb()
+    return {
+        "peak_rss_kb": peak_rss_kb(),
+        "current_rss_kb": current_rss_kb(),
+        "traced_current_kb": (round(traced[0], 3)
+                              if traced is not None else None),
+        "traced_peak_kb": (round(traced[1], 3)
+                           if traced is not None else None),
+        "tracing": tracemalloc.is_tracing(),
+    }
+
+
+def record_memory_gauges(registry: MetricsRegistry | None = None,
+                         prefix: str = "mem") -> dict[str, Any]:
+    """Publish the memory summary as ``<prefix>.*`` gauges.
+
+    Unavailable facts (no /proc, tracemalloc off) are skipped rather
+    than recorded as zero — absence must stay distinguishable from an
+    empty process. Returns the summary dict.
+    """
+    if registry is None:
+        registry = get_registry()
+    summary = memory_summary()
+    for key in ("peak_rss_kb", "current_rss_kb",
+                "traced_current_kb", "traced_peak_kb"):
+        value = summary[key]
+        if value is not None:
+            registry.set_gauge(f"{prefix}.{key}", value)
+    return summary
+
+
+class AllocationTracker:
+    """Measure one block's peak Python-heap allocation.
+
+    ::
+
+        with AllocationTracker() as tracker:
+            result = kernel()
+        tracker.peak_alloc_kb   # high-water mark above entry, KB
+        tracker.net_alloc_kb    # still-live allocation at exit, KB
+
+    Starts tracemalloc if it is not already tracing (and stops it again
+    on exit in that case). Uses ``tracemalloc.reset_peak``, so nesting
+    it inside an active :mod:`repro.obs.profile` region perturbs that
+    region's per-span peaks — the bench runner runs it on a separate,
+    un-profiled repetition for exactly this reason.
+    """
+
+    def __init__(self):
+        self.peak_alloc_kb: float = 0.0
+        self.net_alloc_kb: float = 0.0
+        self._base = 0
+        self._started = False
+
+    def __enter__(self) -> "AllocationTracker":
+        self._started = not tracemalloc.is_tracing()
+        if self._started:
+            tracemalloc.start()
+        self._base = tracemalloc.get_traced_memory()[0]
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        current, peak = tracemalloc.get_traced_memory()
+        self.peak_alloc_kb = round(
+            max(0, max(peak, current) - self._base) / 1024, 3)
+        self.net_alloc_kb = round((current - self._base) / 1024, 3)
+        if self._started:
+            tracemalloc.stop()
+        return False

@@ -1,0 +1,369 @@
+"""Per-span resource attribution: CPU time and allocation peaks.
+
+Section 6.2 of Sahu et al. puts "profiling and debugging" near the top
+of users' graph-processing challenges; wall time alone cannot say *why*
+a superstep is slow — busy CPU, allocation churn, or waiting on
+another worker. This module attributes two resources to the spans the
+stack already opens:
+
+* ``cpu_ms`` / ``self_cpu_ms`` — CPU seconds burned on the span's
+  thread (``time.thread_time_ns``), total and with the children's CPU
+  subtracted, so a hot wrapper is distinguishable from a hot leaf;
+* ``peak_alloc_kb`` — the Python-heap high-water mark reached while
+  the span was open, relative to the heap size at entry
+  (``tracemalloc``), attributed to the *innermost* open span via peak
+  bubbling (see :class:`_SpanProfiler`).
+
+Overhead contract: profiling is **off by default** and rides the same
+gate design as tracing (PR 1). While off, a real span's enter/exit
+pays one module-global read plus a ``None`` test, and the tracing-off
+path (``NULL_SPAN``) never consults the profiler at all — locked in by
+the overhead-guard test in ``tests/test_profile.py``. While on, the
+attrs appear on every finished span; while off, they are **absent,
+not zero**, so downstream consumers can tell "unmeasured" from
+"free".
+
+Usage::
+
+    from repro.obs.profile import profiled, render_flame, profile_tree
+
+    with profiled() as trace:
+        run_computation("PageRank", graph, seed=0)
+    print(render_flame(trace.roots))
+
+or ``python -m repro.obs.profile --scenario social`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.obs import spans as _spans
+from repro.obs.spans import Span, capture
+
+
+class _SpanProfiler:
+    """The hook installed into :mod:`repro.obs.spans` while profiling.
+
+    ``Span.__enter__``/``__exit__`` call :meth:`_on_enter` and
+    :meth:`_on_exit` on real spans. Each open span carries a scratch
+    frame in its ``_prof`` slot::
+
+        [cpu0_ns, start_current_bytes, peak_seen_bytes]
+
+    **CPU.** ``cpu0_ns`` is ``time.thread_time_ns()`` at entry; exit
+    records ``cpu_ms`` as the delta. ``self_cpu_ms`` is that total
+    minus the ``cpu_ms`` the span's (profiled) children recorded —
+    computed from the finished children's attrs, so it is exact even
+    for re-entrant span names.
+
+    **Allocation.** tracemalloc exposes one *global* peak, so nested
+    spans must share it by bubbling: at a child's entry the current
+    global peak is folded into the parent's ``peak_seen`` and the
+    global peak is reset, giving the child a fresh window; at the
+    child's exit its absolute peak (``max`` of its window's global
+    peak and its folded-in ``peak_seen``) is bubbled into the parent's
+    frame and the global peak is reset again for the parent's
+    remaining run. ``peak_alloc_kb`` is the span's absolute peak minus
+    the heap size at its entry — the high-water mark *above where the
+    span started*, never negative.
+    """
+
+    __slots__ = ("track_alloc",)
+
+    def __init__(self, track_alloc: bool = True):
+        self.track_alloc = track_alloc and tracemalloc.is_tracing()
+
+    # Called from Span.__enter__ just before start_ns is taken.
+    def _on_enter(self, span: Span) -> None:
+        if self.track_alloc:
+            current, peak = tracemalloc.get_traced_memory()
+            parent = span.parent
+            if parent is not None and parent._prof is not None:
+                # Fold the window so far into the parent before the
+                # child claims a fresh global peak.
+                if peak > parent._prof[2]:
+                    parent._prof[2] = peak
+            tracemalloc.reset_peak()
+            span._prof = [time.thread_time_ns(), current, current]
+        else:
+            span._prof = [time.thread_time_ns(), 0, 0]
+
+    # Called from Span.__exit__ just after end_ns is taken.
+    def _on_exit(self, span: Span) -> None:
+        frame = span._prof
+        if frame is None:  # profiling enabled mid-span: skip quietly
+            return
+        span._prof = None
+        cpu_ms = (time.thread_time_ns() - frame[0]) / 1e6
+        attrs = span.attributes
+        attrs["cpu_ms"] = round(cpu_ms, 3)
+        child_cpu = 0.0
+        for child in span.children:
+            child_cpu += child.attributes.get("cpu_ms", 0.0)
+        attrs["self_cpu_ms"] = round(max(0.0, cpu_ms - child_cpu), 3)
+        if self.track_alloc:
+            _, peak = tracemalloc.get_traced_memory()
+            abs_peak = max(frame[2], peak)
+            attrs["peak_alloc_kb"] = round(
+                max(0, abs_peak - frame[1]) / 1024, 3)
+            parent = span.parent
+            if parent is not None and parent._prof is not None:
+                if abs_peak > parent._prof[2]:
+                    parent._prof[2] = abs_peak
+            tracemalloc.reset_peak()
+
+
+_STARTED_TRACEMALLOC = False
+
+
+def enable_profiling(track_alloc: bool = True) -> None:
+    """Install the span profiler; spans finished from now on carry
+    ``cpu_ms``/``self_cpu_ms`` (and, with ``track_alloc``,
+    ``peak_alloc_kb``) attributes.
+
+    Starts tracemalloc if allocation tracking is requested and it is
+    not already tracing; :func:`disable_profiling` stops it again in
+    that case. Idempotent.
+    """
+    global _STARTED_TRACEMALLOC
+    if track_alloc and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _STARTED_TRACEMALLOC = True
+    _spans._set_profiler(_SpanProfiler(track_alloc))
+
+
+def disable_profiling() -> None:
+    """Remove the span profiler and stop tracemalloc if
+    :func:`enable_profiling` started it. Idempotent."""
+    global _STARTED_TRACEMALLOC
+    _spans._set_profiler(None)
+    if _STARTED_TRACEMALLOC and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_TRACEMALLOC = False
+
+
+def is_profiling() -> bool:
+    return _spans._PROFILER is not None
+
+
+class profiled:
+    """``with profiled() as trace:`` — tracing *and* profiling for the
+    block; ``trace.roots`` are the finished root spans, each subtree
+    annotated with resource attrs. Restores both prior states."""
+
+    def __init__(self, track_alloc: bool = True):
+        self._track_alloc = track_alloc
+        self._capture = capture()
+        self._was_profiling = False
+
+    def __enter__(self):
+        self._was_profiling = is_profiling()
+        handle = self._capture.__enter__()
+        if not self._was_profiling:
+            enable_profiling(self._track_alloc)
+        return handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._was_profiling:
+            disable_profiling()
+        return self._capture.__exit__(exc_type, exc, tb)
+
+
+# -- aggregation ---------------------------------------------------------
+
+
+@dataclass
+class ProfileNode:
+    """One span-name aggregate within a profile tree."""
+
+    name: str
+    count: int = 0
+    wall_ms: float = 0.0
+    cpu_ms: float = 0.0
+    self_cpu_ms: float = 0.0
+    peak_alloc_kb: float = 0.0  # max across occurrences
+    children: dict[str, "ProfileNode"] = field(default_factory=dict)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "ProfileNode"]]:
+        yield depth, self
+        for child in self.children.values():
+            yield from child.walk(depth + 1)
+
+
+def _fold(node: ProfileNode, span: Span) -> None:
+    node.count += 1
+    node.wall_ms += span.duration_ms
+    attrs = span.attributes
+    node.cpu_ms += attrs.get("cpu_ms", 0.0)
+    node.self_cpu_ms += attrs.get("self_cpu_ms", 0.0)
+    node.peak_alloc_kb = max(node.peak_alloc_kb,
+                             attrs.get("peak_alloc_kb", 0.0))
+    for child in span.children:
+        sub = node.children.get(child.name)
+        if sub is None:
+            sub = node.children[child.name] = ProfileNode(child.name)
+        _fold(sub, child)
+
+
+def profile_tree(roots: Iterable[Span]) -> list[ProfileNode]:
+    """Aggregate span trees by name at each nesting position.
+
+    Same-named siblings (e.g. 10 ``pregel.superstep`` spans) merge
+    into one node with ``count=10`` and summed wall/CPU, so the
+    rendered tree stays readable however many supersteps ran.
+    """
+    top: dict[str, ProfileNode] = {}
+    for root in roots:
+        node = top.get(root.name)
+        if node is None:
+            node = top[root.name] = ProfileNode(root.name)
+        _fold(node, root)
+    return list(top.values())
+
+
+def hot_spans(roots: Iterable[Span], top: int = 10,
+              sort: str = "self_cpu_ms") -> list[dict[str, Any]]:
+    """Flat per-name totals over whole trees, hottest first.
+
+    ``sort`` is one of ``self_cpu_ms`` / ``cpu_ms`` / ``wall_ms`` /
+    ``peak_alloc_kb``.
+    """
+    totals: dict[str, dict[str, Any]] = {}
+    for root in roots:
+        for span in root.walk():
+            row = totals.get(span.name)
+            if row is None:
+                row = totals[span.name] = {
+                    "name": span.name, "count": 0, "wall_ms": 0.0,
+                    "cpu_ms": 0.0, "self_cpu_ms": 0.0,
+                    "peak_alloc_kb": 0.0}
+            row["count"] += 1
+            row["wall_ms"] += span.duration_ms
+            attrs = span.attributes
+            row["cpu_ms"] += attrs.get("cpu_ms", 0.0)
+            row["self_cpu_ms"] += attrs.get("self_cpu_ms", 0.0)
+            row["peak_alloc_kb"] = max(row["peak_alloc_kb"],
+                                       attrs.get("peak_alloc_kb", 0.0))
+    rows = sorted(totals.values(), key=lambda r: r[sort], reverse=True)
+    for row in rows:
+        for key in ("wall_ms", "cpu_ms", "self_cpu_ms",
+                    "peak_alloc_kb"):
+            row[key] = round(row[key], 3)
+    return rows[:top]
+
+
+# -- rendering -----------------------------------------------------------
+
+
+def _bar(self_ms: float, total_ms: float, scale_ms: float,
+         width: int) -> str:
+    """``#`` for self-CPU, ``=`` for children's CPU, ``.`` padding."""
+    if scale_ms <= 0:
+        return "." * width
+    self_cells = round(width * self_ms / scale_ms)
+    total_cells = round(width * total_ms / scale_ms)
+    self_cells = min(self_cells, width)
+    total_cells = min(max(total_cells, self_cells), width)
+    return ("#" * self_cells + "=" * (total_cells - self_cells)
+            + "." * (width - total_cells))
+
+
+def render_flame(roots: Iterable[Span], width: int = 28) -> str:
+    """Flame-style text rendering of a profiled span forest.
+
+    One line per (nesting position, span name) aggregate, indented by
+    depth; the bar shows CPU relative to the hottest top-level node —
+    ``#`` is the node's own CPU, ``=`` the CPU of its children.
+    """
+    tree = profile_tree(roots)
+    if not tree:
+        return "(no spans)"
+    scale = max(node.cpu_ms for node in tree) or max(
+        node.wall_ms for node in tree)
+    label_width = 2 + max(
+        (depth * 2 + len(node.name)
+         for top in tree for depth, node in top.walk()), default=0)
+    lines = [f"{'span':<{label_width}} {'':{width}}  "
+             f"{'count':>5} {'wall ms':>9} {'cpu ms':>9} "
+             f"{'self ms':>9} {'peakKB':>9}"]
+    for top_node in tree:
+        for depth, node in top_node.walk():
+            label = "  " * depth + node.name
+            bar = _bar(node.self_cpu_ms, node.cpu_ms, scale, width)
+            lines.append(
+                f"{label:<{label_width}} {bar}  {node.count:>5} "
+                f"{node.wall_ms:>9.2f} {node.cpu_ms:>9.2f} "
+                f"{node.self_cpu_ms:>9.2f} {node.peak_alloc_kb:>9.1f}")
+    return "\n".join(lines)
+
+
+def render_hot(rows: list[dict[str, Any]], sort: str) -> str:
+    lines = [f"HOT SPANS (by {sort})",
+             f"  {'span':<34} {'count':>5} {'wall ms':>9} "
+             f"{'cpu ms':>9} {'self ms':>9} {'peakKB':>9}"]
+    for row in rows:
+        lines.append(
+            f"  {row['name']:<34} {row['count']:>5} "
+            f"{row['wall_ms']:>9.2f} {row['cpu_ms']:>9.2f} "
+            f"{row['self_cpu_ms']:>9.2f} {row['peak_alloc_kb']:>9.1f}")
+    return "\n".join(lines)
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.profile",
+        description="Run the instrumented workload sweep under the "
+                    "span profiler and print a flame-style CPU/"
+                    "allocation breakdown.")
+    parser.add_argument("--scenario", default="social",
+                        help="scenario graph to run on (default: social)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows in the hot-span table (default: 10)")
+    parser.add_argument("--sort", default="self_cpu_ms",
+                        choices=("self_cpu_ms", "cpu_ms", "wall_ms",
+                                 "peak_alloc_kb"))
+    parser.add_argument("--width", type=int, default=28,
+                        help="flame bar width in cells (default: 28)")
+    parser.add_argument("--no-alloc", action="store_true",
+                        help="skip tracemalloc (CPU attribution only)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the hot-span table as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.obs.report import run_instrumented_workload
+
+    enable_profiling(track_alloc=not args.no_alloc)
+    try:
+        roots, _ = run_instrumented_workload(args.scenario, args.seed)
+    except ValueError as exc:  # unknown scenario
+        parser.error(str(exc))
+    finally:
+        disable_profiling()
+
+    rows = hot_spans(roots, top=args.top, sort=args.sort)
+    if args.json:
+        import json
+
+        print(json.dumps({"scenario": args.scenario, "seed": args.seed,
+                          "sort": args.sort, "hot_spans": rows}))
+        return 0
+    print("PROFILE  (bar: # self CPU, = children CPU; "
+          "scaled to hottest root)")
+    print(render_flame(roots, width=args.width))
+    print()
+    print(render_hot(rows, args.sort))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

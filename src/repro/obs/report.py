@@ -110,7 +110,25 @@ def main(argv: list[str] | None = None) -> int:
         print(obs.render_tree(roots))
         print()
         print(_render_metrics(registry.summary()))
+        print()
+        print(_render_profile_sample(args.scenario, args.seed))
     return 0
+
+
+def _render_profile_sample(scenario: str, seed: int) -> str:
+    """One profiled PageRank — keeps the profiling-enabled path
+    exercised every report run, right next to the unprofiled sweep
+    above it (which keeps the disabled path exercised)."""
+    from repro.dgps import pregel_pagerank
+    from repro.obs.profile import profiled, render_flame
+    from repro.workloads import build_scenario
+
+    graph = build_scenario(scenario, seed=seed)
+    with profiled() as trace:
+        pregel_pagerank(graph, supersteps=3)
+    return ("PROFILE (one pregel_pagerank run under "
+            "repro.obs.profile; # self CPU, = children CPU)\n"
+            + render_flame(trace.roots))
 
 
 if __name__ == "__main__":

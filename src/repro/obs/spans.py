@@ -57,7 +57,7 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "span_id", "parent", "children",
-                 "start_ns", "end_ns")
+                 "start_ns", "end_ns", "_prof")
 
     def __init__(self, name: str, attributes: dict[str, Any] | None = None):
         self.name = name
@@ -67,6 +67,7 @@ class Span:
         self.children: list[Span] = []
         self.start_ns: int | None = None
         self.end_ns: int | None = None
+        self._prof: list | None = None  # scratch for repro.obs.profile
 
     # -- context manager -------------------------------------------------
 
@@ -76,11 +77,17 @@ class Span:
             self.parent = stack[-1]
             self.parent.children.append(self)
         stack.append(self)
+        profiler = _PROFILER
+        if profiler is not None:
+            profiler._on_enter(self)
         self.start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.end_ns = time.perf_counter_ns()
+        profiler = _PROFILER
+        if profiler is not None:
+            profiler._on_exit(self)
         if exc_type is not None:
             self.attributes.setdefault("error", exc_type.__name__)
         stack = _STATE.stack
@@ -174,6 +181,22 @@ class _NullSpan:
 
 
 NULL_SPAN = _NullSpan()
+
+#: The installed span profiler (see :mod:`repro.obs.profile`), or None.
+#: Checked once per real-span enter/exit — the profiling-disabled path
+#: costs one module-global read and a None test, and the tracing-off
+#: path (NULL_SPAN) never consults it at all, preserving the PR-1
+#: zero-overhead contract.
+_PROFILER = None
+
+
+def _set_profiler(profiler) -> None:
+    """Install (or, with None, remove) the span profiler hook.
+
+    Internal to :mod:`repro.obs.profile` — use
+    :func:`repro.obs.profile.enable_profiling`."""
+    global _PROFILER
+    _PROFILER = profiler
 
 
 class Tracer:

@@ -35,7 +35,15 @@ SKEW_THRESHOLD = 1.5
 
 @dataclass(frozen=True)
 class Lane:
-    """One worker's compute slice of one superstep."""
+    """One worker's compute slice of one superstep.
+
+    ``cpu_ms`` and ``peak_alloc_kb`` are the resource lane: filled
+    from the span attributes :mod:`repro.obs.profile` records when the
+    run executed under profiling, zero otherwise (the attrs are absent
+    on unprofiled spans). They let a straggler be *blamed*: slow with
+    high CPU is compute-bound, slow with low CPU is waiting on routing
+    or the barrier, and a high allocation peak marks churn.
+    """
 
     worker: str
     compute_ms: float
@@ -44,6 +52,8 @@ class Lane:
     messages_routed: int
     messages_combined: int
     shard_vertices: int
+    cpu_ms: float = 0.0
+    peak_alloc_kb: float = 0.0
 
 
 def _ratio(values: list[float]) -> float:
@@ -122,11 +132,17 @@ class Timeline:
                     "compute_ms": 0.0, "active_vertices": 0,
                     "messages_sent": 0, "messages_routed": 0,
                     "shard_vertices": lane.shard_vertices,
+                    "cpu_ms": 0.0, "peak_alloc_kb": 0.0,
                 })
                 entry["compute_ms"] += lane.compute_ms
                 entry["active_vertices"] += lane.active_vertices
                 entry["messages_sent"] += lane.messages_sent
                 entry["messages_routed"] += lane.messages_routed
+                entry["cpu_ms"] += lane.cpu_ms
+                # Peaks don't add across supersteps — the worker's
+                # high-water mark is the max over its lanes.
+                entry["peak_alloc_kb"] = max(entry["peak_alloc_kb"],
+                                             lane.peak_alloc_kb)
         return totals
 
     def skew_summary(self,
@@ -174,6 +190,47 @@ class Timeline:
                         or vertex_imbalance > threshold),
         }
 
+    @property
+    def profiled(self) -> bool:
+        """Whether the run carried resource attrs (executed under
+        :mod:`repro.obs.profile`)."""
+        return any(lane.cpu_ms > 0 for step in self.supersteps
+                   for lane in step.lanes)
+
+    def resource_summary(self) -> dict[str, Any]:
+        """Per-worker resource attribution: where each worker's wall
+        time went (busy CPU vs. waiting) and its allocation peak.
+
+        ``cpu_share`` is CPU-ms over wall-ms for the worker's compute
+        lanes; the ``blame`` tag classifies each worker:
+        ``cpu-bound`` (share >= 0.6) or ``waiting`` (low share — the
+        lane's wall time is routing/barrier/scheduling, not compute),
+        with ``+alloc-heavy`` appended when the worker's allocation
+        peak exceeds 1.5x the mean peak across workers. Returns
+        ``{"profiled": False}`` when the run has no resource attrs.
+        """
+        if not self.profiled:
+            return {"profiled": False, "workers": {}}
+        totals = self.worker_totals()
+        peaks = [entry["peak_alloc_kb"] for entry in totals.values()]
+        mean_peak = sum(peaks) / len(peaks) if peaks else 0.0
+        workers: dict[str, dict[str, Any]] = {}
+        for worker, entry in totals.items():
+            wall = entry["compute_ms"]
+            cpu_share = (entry["cpu_ms"] / wall) if wall > 0 else 0.0
+            blame = "cpu-bound" if cpu_share >= 0.6 else "waiting"
+            if mean_peak > 0 and \
+                    entry["peak_alloc_kb"] > 1.5 * mean_peak:
+                blame += "+alloc-heavy"
+            workers[worker] = {
+                "wall_ms": round(wall, 3),
+                "cpu_ms": round(entry["cpu_ms"], 3),
+                "cpu_share": round(min(cpu_share, 1.0), 3),
+                "peak_alloc_kb": round(entry["peak_alloc_kb"], 3),
+                "blame": blame,
+            }
+        return {"profiled": True, "workers": workers}
+
 
 # ---------------------------------------------------------------------------
 # reconstruction
@@ -197,6 +254,8 @@ def _lane_from_span(span: Any) -> Lane:
         messages_routed=attrs.get("messages_routed", 0),
         messages_combined=attrs.get("messages_combined", 0),
         shard_vertices=attrs.get("shard_vertices", 0),
+        cpu_ms=attrs.get("cpu_ms", 0.0),
+        peak_alloc_kb=attrs.get("peak_alloc_kb", 0.0),
     )
 
 

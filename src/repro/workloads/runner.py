@@ -394,10 +394,13 @@ def run_computation(name: str, graph: Graph, seed: int = 0, *,
         elapsed_ms = (time.perf_counter() - start) * 1000
         run_span.set("elapsed_ms", elapsed_ms)
     if is_enabled():
+        from repro.obs.memory import record_memory_gauges
+
         registry = get_registry()
         registry.inc("workload.computations")
         registry.inc(f"workload.computations.{mode}")
         registry.observe("workload.computation_ms", elapsed_ms)
+        record_memory_gauges(registry, prefix="workload.mem")
     return WorkloadResult(name=name, summary=summary,
                           elapsed_ms=elapsed_ms)
 
