@@ -33,6 +33,7 @@ from repro.analysis.config_check import (
     check_bench_cases,
     check_fault_plan,
     check_fault_plan_object,
+    check_traffic_mix,
 )
 from repro.analysis.findings import (
     AnalysisError,
@@ -65,6 +66,7 @@ __all__ = [
     "check_fault_plan",
     "check_fault_plan_object",
     "check_query",
+    "check_traffic_mix",
     "check_value",
     "record_findings",
     "render_json",

@@ -13,7 +13,11 @@ raising from inside a coordinator or a bench sweep.
 * **CFG003** — a bench case is malformed (callable takes required
   arguments, or params are not JSON-serializable for the artifact);
 * **CFG004** — a bench case's ``baseline_case`` names an unregistered
-  case.
+  case;
+* **CFG005** — a traffic-mix spec string is invalid (unknown op name,
+  negative weight, or weights that do not sum to 1) — the
+  :meth:`repro.serve.traffic.TrafficMix.parse` validation as a
+  pre-flight instead of a mid-load-test failure.
 """
 
 from __future__ import annotations
@@ -43,6 +47,10 @@ register_rule(
 register_rule(
     "CFG004", "config", Severity.ERROR,
     "bench case baseline_case references an unregistered case")
+register_rule(
+    "CFG005", "config", Severity.ERROR,
+    "traffic-mix spec is invalid (unknown op, negative weight, or "
+    "weights not summing to 1)")
 
 
 def check_fault_plan(spec: str, *, file: str = "<fault-plan>",
@@ -71,6 +79,24 @@ def check_fault_plan_object(plan: FaultPlan, *,
             f"duplicate fault: {description}; the duplicate would "
             f"re-fire on replay instead of being a no-op",
             file=file, line=line))
+    return report
+
+
+def check_traffic_mix(spec: str, *, file: str = "<traffic-mix>",
+                      line: int = 0) -> AnalysisReport:
+    """Validate a ``read=0.7,write=0.2,algo=0.1`` traffic-mix string
+    without booting a server or generating load."""
+    # Imported lazily: repro.serve imports repro.graphdb and
+    # repro.workloads; the analysis layer must stay importable
+    # without dragging the whole serving stack in.
+    from repro.serve.traffic import TrafficMix
+
+    report = AnalysisReport()
+    report.note_target(file)
+    try:
+        TrafficMix.parse(spec)
+    except ValueError as error:
+        report.add(finding("CFG005", str(error), file=file, line=line))
     return report
 
 

@@ -8,6 +8,8 @@ and runs the matching rule families:
   the DET determinism and CKPT checkpoint-safety lints;
 * ``FaultPlan.parse("...")`` string literals get the CFG fault-plan
   checks (including duplicate-slot rejection);
+* ``TrafficMix.parse("...")`` string literals get the CFG005
+  traffic-mix checks (known op names, weights summing to 1);
 * ``run_query(graph, "...")`` / ``repro.query.parse("...")`` string
   literals get the QRY parse + unbound-variable checks (schema-aware
   checks need a live :class:`~repro.graphs.schema.GraphSchema`, so
@@ -34,7 +36,7 @@ from repro.analysis.astutils import (
 )
 from repro.analysis.findings import AnalysisReport, Severity
 from repro.analysis.query_check import check_query
-from repro.analysis.config_check import check_fault_plan
+from repro.analysis.config_check import check_fault_plan, check_traffic_mix
 from repro.analysis.registry import finding, register_rule
 
 register_rule(
@@ -76,6 +78,17 @@ def _query_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
 def _fault_plan_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
     dotted = dotted_name(node.func)
     if dotted is None or not dotted.endswith("FaultPlan.parse"):
+        return None
+    if node.args:
+        text = const_str(node.args[0])
+        if text is not None:
+            return text, node.args[0]
+    return None
+
+
+def _traffic_mix_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
+    dotted = dotted_name(node.func)
+    if dotted is None or not dotted.endswith("TrafficMix.parse"):
         return None
     if node.args:
         text = const_str(node.args[0])
@@ -162,6 +175,13 @@ def _scan_tree(tree: ast.Module, file: str) -> AnalysisReport:
         if fault_literal is not None:
             text, literal = fault_literal
             sub = check_fault_plan(text, file=file, line=literal.lineno)
+            report.findings.extend(sub.findings)
+            continue
+        mix_literal = _traffic_mix_literal(node)
+        if mix_literal is not None:
+            text, literal = mix_literal
+            sub = check_traffic_mix(text, file=file,
+                                    line=literal.lineno)
             report.findings.extend(sub.findings)
             continue
         query_literal = _query_literal(node)

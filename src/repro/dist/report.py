@@ -346,6 +346,24 @@ def _render_resources(resources: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _replay(path: str, *, as_json: bool) -> int:
+    """Re-render a saved ``--json`` report (no sweep run); exit status
+    mirrors a live run (1 when any faulted row diverged)."""
+    payload = obs.load_json_artifact(path)
+    if "rows" not in payload or "graph" not in payload:
+        raise obs.ArtifactError(
+            f"artifact {path!r} is not a dist report (missing "
+            f"'rows'/'graph'; keys: {sorted(payload)[:8]})")
+    if as_json:
+        print(json.dumps(payload, indent=2, default=repr))
+    else:
+        print(f"(replayed from {path})")
+        print(_render(payload))
+    diverged = [row for row in payload["rows"]
+                if row.get("fault") and not row["fault"]["identical"]]
+    return 1 if diverged else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.dist.report",
@@ -370,8 +388,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeline", action="store_true",
                         help="also print the per-superstep Gantt of "
                              "the skewed k=4 run")
+    parser.add_argument("--input", default=None, metavar="PATH",
+                        help="replay a saved --json report instead of "
+                             "running the sweep; a missing or torn "
+                             "artifact exits 2 with a named "
+                             "ArtifactError")
     args = parser.parse_args(argv)
 
+    if args.input is not None:
+        try:
+            return _replay(args.input, as_json=args.json)
+        except obs.ArtifactError as exc:
+            print(f"error: ArtifactError: {exc}", file=sys.stderr)
+            return 2
     try:
         ks = tuple(int(chunk) for chunk in args.ks.split(",") if chunk)
     except ValueError:

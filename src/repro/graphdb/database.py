@@ -56,6 +56,7 @@ class GraphDatabase:
         self._tx: Transaction | None = None
         self._tx_span = NULL_SPAN
         self._next_tx_id = 1
+        self._version = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -75,6 +76,21 @@ class GraphDatabase:
         """Property keys with an equality index."""
         return sorted(self._property_indexes)
 
+    @property
+    def data_version(self) -> int:
+        """Monotone mutation counter — the snapshot hook cache layers
+        key on (:mod:`repro.serve` keys its query cache on it).
+
+        Every mutation bumps it, including mutations inside a
+        transaction that later rolls back (the rollback itself bumps
+        too): a version can go stale spuriously, but a cached result
+        keyed on it can never outlive the data it was computed from.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
+
     def stats(self) -> dict[str, Any]:
         return {
             "vertices": self.num_vertices(),
@@ -82,6 +98,7 @@ class GraphDatabase:
             "labels": sorted(self._label_index.labels()),
             "property_indexes": self.indexes(),
             "in_transaction": self._tx is not None,
+            "version": self._version,
         }
 
     # -- triggers and schema -------------------------------------------
@@ -147,6 +164,9 @@ class GraphDatabase:
         tx = self._require_tx()
         tx.rollback()
         self._tx = None
+        # The undo log just rewrote graph state; readers that cached
+        # against the pre-rollback version must miss.
+        self._bump_version()
         self._close_tx_span("rolled_back", tx)
 
     def _require_tx(self) -> Transaction:
@@ -203,6 +223,7 @@ class GraphDatabase:
             self._record_undo(lambda: self._raw_remove_vertex(vertex))
         self._fire(TriggerEvent.VERTEX_INSERT, TriggerPhase.AFTER,
                    vertex=vertex, label=label, properties=properties)
+        self._bump_version()
         self._count("graphdb.vertices_added")
         return vertex
 
@@ -236,6 +257,7 @@ class GraphDatabase:
         self._fire(TriggerEvent.EDGE_INSERT, TriggerPhase.AFTER,
                    u=u, v=v, edge_id=edge_id, label=label,
                    properties=properties)
+        self._bump_version()
         self._count("graphdb.edges_added")
         return edge_id
 
@@ -259,6 +281,7 @@ class GraphDatabase:
         self._record_undo(undo)
         self._fire(TriggerEvent.VERTEX_UPDATE, TriggerPhase.AFTER,
                    vertex=vertex, key=key, value=value, old_value=old)
+        self._bump_version()
         self._count("graphdb.property_sets")
 
     def remove_edge(self, edge_id: int) -> None:
@@ -276,6 +299,7 @@ class GraphDatabase:
         self._record_undo(undo)
         self._fire(TriggerEvent.EDGE_REMOVE, TriggerPhase.AFTER,
                    edge_id=edge_id, u=edge.u, v=edge.v)
+        self._bump_version()
         self._count("graphdb.edges_removed")
 
     def remove_vertex(self, vertex: Vertex) -> None:
@@ -302,6 +326,7 @@ class GraphDatabase:
         self._record_undo(undo)
         self._fire(TriggerEvent.VERTEX_REMOVE, TriggerPhase.AFTER,
                    vertex=vertex)
+        self._bump_version()
         self._count("graphdb.vertices_removed")
 
     def _raw_remove_vertex(self, vertex: Vertex) -> None:
@@ -335,16 +360,30 @@ class GraphDatabase:
 
     # -- queries -----------------------------------------------------------
 
-    def query(self, text: str | Query, optimize: bool = True) -> ResultSet:
-        """Run a GQL-lite query over the indexed view."""
+    def query(self, text: str | Query, optimize: bool = True, *,
+              schema: GraphSchema | None = None,
+              strict: bool = False) -> ResultSet:
+        """Run a GQL-lite query over the indexed view.
+
+        ``strict=True`` runs the :mod:`repro.analysis.query_check` QRY
+        rules as a pre-flight (against ``schema``, defaulting to the
+        database's own schema when it has one): unknown labels /
+        properties and type-mismatched predicates raise
+        :class:`~repro.errors.QueryError` before the matcher runs —
+        the 400-level validation the service layer relies on.
+        """
+        if schema is None and strict:
+            schema = self._schema
         with span("graphdb.query", optimize=optimize) as query_span:
             view = IndexedGraphView(self._graph, self._label_index)
             if optimize:
                 rewritten, _ = reorder_for_selectivity(
                     view, text)  # type: ignore[arg-type]
-                result = run_query(view, rewritten)  # type: ignore[arg-type]
+                result = run_query(view, rewritten,  # type: ignore[arg-type]
+                                   schema=schema, strict=strict)
             else:
-                result = run_query(view, text)  # type: ignore[arg-type]
+                result = run_query(view, text,  # type: ignore[arg-type]
+                                   schema=schema, strict=strict)
             query_span.set("rows", len(result))
         return result
 
@@ -361,9 +400,15 @@ class GraphDatabase:
         save_graph(self._graph, path, format)
 
     @classmethod
-    def load(cls, path, format: str = "json",
-             schema: GraphSchema | None = None) -> "GraphDatabase":
-        graph = load_graph(path, format)
+    def from_graph(cls, graph, schema: GraphSchema | None = None,
+                   ) -> "GraphDatabase":
+        """Wrap an existing graph in a database (plain ``Graph``
+        instances are upgraded to an unlabelled ``PropertyGraph``).
+
+        The graph is adopted, not copied — mutate it only through the
+        returned database afterwards, or the indexes (and the
+        :attr:`data_version` cache key) go stale.
+        """
         if not isinstance(graph, PropertyGraph):
             upgraded = PropertyGraph(directed=graph.directed,
                                      multigraph=graph.multigraph)
@@ -377,3 +422,8 @@ class GraphDatabase:
         db._graph = graph
         db._label_index.rebuild(graph)
         return db
+
+    @classmethod
+    def load(cls, path, format: str = "json",
+             schema: GraphSchema | None = None) -> "GraphDatabase":
+        return cls.from_graph(load_graph(path, format), schema=schema)

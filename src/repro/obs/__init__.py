@@ -43,8 +43,12 @@ from repro.obs.memory import (
 )
 from repro.obs.export import (
     OBS_SCHEMA,
+    ArtifactError,
     SpanRecord,
     from_jsonl,
+    link_span_records,
+    load_json_artifact,
+    load_observability_artifact,
     observability_dict,
     render_tree,
     span_record,
@@ -92,7 +96,9 @@ __all__ = [
     "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "get_registry",
     # export
-    "OBS_SCHEMA", "SpanRecord", "from_jsonl", "observability_dict",
+    "OBS_SCHEMA", "ArtifactError", "SpanRecord", "from_jsonl",
+    "link_span_records", "load_json_artifact",
+    "load_observability_artifact", "observability_dict",
     "render_tree", "span_record", "to_jsonl",
     # timeline (the bench harness lives in repro.obs.bench — imported
     # explicitly, so `import repro.obs` stays light)

@@ -24,6 +24,9 @@ SOCIAL_SEED = 17
 SMALLWORLD = (400, 6, 0.05)
 DIST_K = 4
 DIST_SUPERSTEPS = 10
+SERVE_REQUESTS = 20
+SERVE_QUERY = ("MATCH (c:Customer)-[:PLACED]->(o:Order) "
+               "RETURN c, o")
 
 _INPUTS: dict[str, Any] = {}
 
@@ -51,6 +54,17 @@ def _product_graph():
 
         _INPUTS["product"] = generate_product_graph(seed=SOCIAL_SEED)
     return _INPUTS["product"]
+
+
+def _serve_service():
+    if "serve" not in _INPUTS:
+        from repro.serve.service import GraphService
+
+        service = GraphService()
+        service.create_graph(graph_id="bench", scenario="product",
+                             seed=SOCIAL_SEED)
+        _INPUTS["serve"] = service
+    return _INPUTS["serve"]
 
 
 def clear_inputs() -> None:
@@ -192,6 +206,29 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
     # tree, so a slow rule regresses visibly like any other kernel.
     suite.add("analysis.full_sweep", analysis_full_sweep_case,
               tags=("analysis",), paths="src/repro")
+
+    # -- service layer (GraphService driven directly, no socket: the
+    # cache-hit path vs. the executor path, requests/sec) --------------
+    def serve_cached_case():
+        service = _serve_service()
+        for _ in range(SERVE_REQUESTS):
+            last = service.query("bench", SERVE_QUERY)
+        return last["cache"]
+
+    def serve_cold_case():
+        service = _serve_service()
+        for _ in range(SERVE_REQUESTS):
+            service.cache.clear()  # force the executor path each time
+            last = service.query("bench", SERVE_QUERY)
+        return last["cache"]
+
+    suite.add("serve.query_cached", serve_cached_case,
+              tags=("serve",), work=SERVE_REQUESTS,
+              query=SERVE_QUERY, requests=SERVE_REQUESTS)
+    suite.add("serve.query_cold", serve_cold_case,
+              tags=("serve",), work=SERVE_REQUESTS,
+              query=SERVE_QUERY, requests=SERVE_REQUESTS,
+              baseline_case="serve.query_cached")
 
     return suite
 

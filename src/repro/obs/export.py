@@ -16,10 +16,23 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Iterator
 
+from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.spans import Span, finished_roots
+
+
+class ArtifactError(ReproError):
+    """A saved observability/report artifact could not be loaded:
+    missing file, torn/truncated JSON, or the wrong payload shape.
+
+    The report CLIs (``repro.obs.report --input``,
+    ``repro.dist.report --input``) map this to a named non-zero exit
+    instead of a traceback — a missing or half-written artifact is an
+    operational condition, not a bug in the reader.
+    """
 
 #: Version tag stamped on :func:`observability_dict` payloads (and
 #: embedded inside ``BENCH_*.json`` artifacts). Bump on shape changes
@@ -89,15 +102,14 @@ class SpanRecord:
         return [s for s in self.walk() if s.name == name]
 
 
-def from_jsonl(text: str) -> list[SpanRecord]:
-    """Parse a JSON-lines dump back into linked root records."""
+def link_span_records(
+    raw_records: Iterable[dict[str, Any]],
+) -> list[SpanRecord]:
+    """Link flat span dicts (``span_record`` shape, parents before
+    children) into root :class:`SpanRecord` trees."""
     by_id: dict[int, SpanRecord] = {}
     roots: list[SpanRecord] = []
-    for line in text.splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        raw = json.loads(line)
+    for raw in raw_records:
         record = SpanRecord(
             span_id=raw["span_id"],
             parent_id=raw.get("parent_id"),
@@ -114,6 +126,13 @@ def from_jsonl(text: str) -> list[SpanRecord]:
         else:
             roots.append(record)
     return roots
+
+
+def from_jsonl(text: str) -> list[SpanRecord]:
+    """Parse a JSON-lines dump back into linked root records."""
+    raw_records = [json.loads(line) for line in text.splitlines()
+                   if line.strip()]
+    return link_span_records(raw_records)
 
 
 _TREE_ATTR_LIMIT = 60
@@ -164,3 +183,45 @@ def observability_dict(
         "spans": [span_record(s) for s in _walk(roots)],
         "metrics": registry.summary(),
     }
+
+
+def load_json_artifact(path: str | Path) -> dict[str, Any]:
+    """Read one saved JSON artifact; every failure mode is a named
+    :class:`ArtifactError` (never a traceback-worthy surprise)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ArtifactError(
+            f"artifact {str(path)!r} does not exist") from None
+    except OSError as exc:
+        raise ArtifactError(
+            f"artifact {str(path)!r} is unreadable: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ArtifactError(
+            f"artifact {str(path)!r} is not valid JSON (torn or "
+            f"partial write?): {exc}") from None
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            f"artifact {str(path)!r} holds "
+            f"{type(payload).__name__}, expected a JSON object")
+    return payload
+
+
+def load_observability_artifact(path: str | Path) -> dict[str, Any]:
+    """Load a saved :func:`observability_dict` payload (the
+    ``repro.obs.report --json`` output), validating its shape."""
+    payload = load_json_artifact(path)
+    if "spans" not in payload or "metrics" not in payload:
+        raise ArtifactError(
+            f"artifact {str(path)!r} is not an observability payload "
+            f"(missing 'spans'/'metrics'; keys: "
+            f"{sorted(payload)[:8]})")
+    schema = payload.get("schema")
+    if schema != OBS_SCHEMA:
+        raise ArtifactError(
+            f"artifact {str(path)!r} has schema {schema!r}; this "
+            f"reader understands {OBS_SCHEMA!r}")
+    return payload

@@ -116,10 +116,11 @@ class Histogram:
         linear interpolation across the bucket holding that rank: a
         bucket whose observations fill ranks ``prev+1 .. prev+n``
         resolves rank ``prev+i`` to ``lower + (i/n) * (upper - lower)``.
-        The bucket's lower edge is the previous bound (the observed
-        minimum for the first bucket) and its upper edge is clamped to
-        the observed maximum, so a single observation reports itself
-        rather than its bucket's upper bound.
+        The bucket's lower edge is the previous bound, clamped up to
+        the observed minimum (it *is* the observed minimum for the
+        first bucket), and its upper edge is clamped down to the
+        observed maximum — so a single observation reports itself, and
+        no percentile is ever below the smallest observed value.
 
         **Error bound:** the true order statistic lies somewhere in the
         same bucket, so the estimate is off by at most one bucket width
@@ -142,6 +143,14 @@ class Histogram:
                 if self.max is not None:
                     upper = min(upper, self.max)
                 lower = self.bounds[index - 1] if index else self.min
+                if self.min is not None:
+                    # The bucket holding the observed minimum has a
+                    # lower edge below every real observation; without
+                    # this clamp a low-rank percentile interpolates to
+                    # a value no observation ever took (e.g. a single
+                    # 700ms sample in the 500-1000 bucket reporting
+                    # p50 < 700).
+                    lower = max(lower, self.min)
                 lower = min(lower, upper)
                 fraction = (rank - previous) / bucket_count
                 return lower + fraction * (upper - lower)

@@ -91,8 +91,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jsonl", action="store_true",
                         help="emit the JSON-lines span trace instead "
                              "of the text tree")
+    parser.add_argument("--input", default=None, metavar="PATH",
+                        help="replay a saved --json payload instead "
+                             "of running the workload; a missing or "
+                             "torn artifact exits 2 with a named "
+                             "ArtifactError")
     args = parser.parse_args(argv)
 
+    if args.input is not None:
+        try:
+            return _replay(args.input, as_json=args.json,
+                           as_jsonl=args.jsonl)
+        except obs.ArtifactError as exc:
+            print(f"error: ArtifactError: {exc}", file=sys.stderr)
+            return 2
     try:
         roots, registry = run_instrumented_workload(args.scenario,
                                                     args.seed)
@@ -112,6 +124,26 @@ def main(argv: list[str] | None = None) -> int:
         print(_render_metrics(registry.summary()))
         print()
         print(_render_profile_sample(args.scenario, args.seed))
+    return 0
+
+
+def _replay(path: str, *, as_json: bool, as_jsonl: bool) -> int:
+    """Re-render a saved ``--json`` payload (no workload run)."""
+    import json
+
+    payload = obs.load_observability_artifact(path)
+    roots = obs.link_span_records(payload["spans"])
+    if as_json:
+        print(json.dumps(payload, default=repr))
+    elif as_jsonl:
+        print("\n".join(
+            json.dumps(record, sort_keys=True, default=repr)
+            for record in payload["spans"]))
+    else:
+        print(f"SPAN TREE (replayed from {path})")
+        print(obs.render_tree(roots))
+        print()
+        print(_render_metrics(payload["metrics"]))
     return 0
 
 

@@ -1,0 +1,64 @@
+"""The resident graph service: hosted graphs behind an HTTP/JSON API
+with admission control, a version-keyed query cache, and a seeded
+traffic harness.
+
+The survey's headline finding is that graph processing is an
+*operational* problem — real deployments serve queries continuously,
+not as one-shot batch runs. :mod:`repro.serve` closes that gap for
+this codebase: :class:`GraphService` keeps
+:class:`~repro.graphdb.GraphDatabase` instances resident,
+:func:`start_server` exposes them over stdlib HTTP, and
+:mod:`repro.serve.traffic` generates reproducible load against the
+whole stack. See DESIGN.md's "Service layer" section for the endpoint
+table and the backpressure/caching contracts.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import QueryCache
+from repro.serve.errors import (
+    BadRequest,
+    GraphExists,
+    GraphNotFound,
+    ServeError,
+    ServeOverloaded,
+    ServeQueueFull,
+)
+from repro.serve.server import ServerHandle, start_server
+from repro.serve.service import (
+    ALGORITHM_ALIASES,
+    GraphService,
+    resolve_algorithm,
+)
+
+#: Lazily re-exported from :mod:`repro.serve.traffic` (PEP 562) so
+#: ``python -m repro.serve.traffic`` does not import the module twice
+#: under two names.
+_TRAFFIC_EXPORTS = ("TrafficMix", "build_schedule", "run_traffic")
+
+
+def __getattr__(name):
+    if name in _TRAFFIC_EXPORTS:
+        from repro.serve import traffic
+
+        return getattr(traffic, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ALGORITHM_ALIASES",
+    "AdmissionController",
+    "BadRequest",
+    "GraphExists",
+    "GraphNotFound",
+    "GraphService",
+    "QueryCache",
+    "ServeError",
+    "ServeOverloaded",
+    "ServeQueueFull",
+    "ServerHandle",
+    "TrafficMix",
+    "build_schedule",
+    "resolve_algorithm",
+    "run_traffic",
+    "start_server",
+]

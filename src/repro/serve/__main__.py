@@ -1,0 +1,5 @@
+"""``python -m repro.serve`` boots the resident graph service."""
+
+from repro.serve.server import main
+
+raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Admission control: bounded queue + max-in-flight, shed by policy.
+
+A resident service under concurrent traffic needs a story for the
+moment demand exceeds capacity; "every thread piles onto the GIL" is
+not one. The :class:`AdmissionController` enforces two bounds:
+
+* **max_in_flight** — handler slots; at most this many requests
+  execute concurrently (a semaphore);
+* **queue_limit** — how many admitted requests may *wait* for a slot.
+  A request arriving with the queue at capacity is shed immediately
+  with :class:`~repro.serve.errors.ServeQueueFull` (503). A queued
+  request that no slot reaches within ``queue_timeout_s`` is shed with
+  :class:`~repro.serve.errors.ServeOverloaded` (429).
+
+Admission measures its own queue wait, so every ``serve.request`` span
+can attribute latency to queue-wait vs. handler-time — the difference
+between "the server is slow" and "the server is full".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import get_registry, is_enabled
+from repro.serve.errors import ServeOverloaded, ServeQueueFull
+
+
+class AdmissionController:
+    """Two-stage admission: bounded wait queue, then a handler slot."""
+
+    def __init__(self, max_in_flight: int = 8, queue_limit: int = 32,
+                 queue_timeout_s: float = 5.0):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self.queue_timeout_s = queue_timeout_s
+        self._slots = threading.BoundedSemaphore(max_in_flight)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._in_flight = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def _record_depths(self) -> None:
+        if is_enabled():
+            registry = get_registry()
+            registry.set_gauge("serve.queue_depth", self._waiting)
+            registry.set_gauge("serve.in_flight", self._in_flight)
+
+    # -- admission -------------------------------------------------------
+
+    @contextmanager
+    def admit(self) -> Iterator[float]:
+        """Admit one request; yields the queue wait in milliseconds.
+
+        Raises :class:`ServeQueueFull` when the wait queue is at its
+        bound, :class:`ServeOverloaded` when no handler slot frees up
+        within ``queue_timeout_s``. The slot is released when the
+        ``with`` block exits, success or not.
+        """
+        with self._lock:
+            if self._waiting >= self.queue_limit + 1:
+                # queue_limit counts requests *waiting behind* the one
+                # currently eligible for the next slot.
+                if is_enabled():
+                    registry = get_registry()
+                    registry.inc("serve.shed")
+                    registry.inc("serve.shed.queue_full")
+                raise ServeQueueFull(self.queue_limit)
+            self._waiting += 1
+            self._record_depths()
+        start = time.perf_counter()
+        try:
+            acquired = self._slots.acquire(timeout=self.queue_timeout_s)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+        wait_ms = (time.perf_counter() - start) * 1000.0
+        if not acquired:
+            if is_enabled():
+                registry = get_registry()
+                registry.inc("serve.shed")
+                registry.inc("serve.shed.overloaded")
+                registry.observe("serve.queue_wait_ms", wait_ms)
+            raise ServeOverloaded(self.max_in_flight, wait_ms)
+        with self._lock:
+            self._in_flight += 1
+            self._record_depths()
+        if is_enabled():
+            get_registry().observe("serve.queue_wait_ms", wait_ms)
+        try:
+            yield wait_ms
+        finally:
+            self._slots.release()
+            with self._lock:
+                self._in_flight -= 1
+                self._record_depths()
+
+    def stats(self) -> dict[str, float | int]:
+        return {
+            "max_in_flight": self.max_in_flight,
+            "queue_limit": self.queue_limit,
+            "queue_timeout_s": self.queue_timeout_s,
+            "waiting": self._waiting,
+            "in_flight": self._in_flight,
+        }

@@ -1,0 +1,106 @@
+"""Version-keyed query cache with LRU eviction.
+
+Caching query results in a live database is only safe if invalidation
+is structural, not best-effort. Entries are keyed on
+``(graph_id, data_version, query_text)`` where ``data_version`` is the
+:attr:`repro.graphdb.GraphDatabase.data_version` mutation counter:
+every mutation bumps the version, so a cached result simply *cannot*
+be served after the data it was computed from changed — stale reads
+are impossible by construction, with no invalidation message to lose.
+Entries for dead versions age out of the bounded LRU naturally.
+
+Hit/miss/eviction counts land in :mod:`repro.obs`
+(``serve.cache_hits`` / ``serve.cache_misses`` /
+``serve.cache_evictions``) whenever observability is enabled, which is
+where the traffic harness's "cache hit rate" figure comes from.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs import get_registry, is_enabled
+
+#: Cache keys: (graph_id, data_version, query_text).
+CacheKey = tuple[str, int, str]
+
+
+class QueryCache:
+    """A bounded, thread-safe, version-keyed result cache."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _key(self, graph_id: str, version: int,
+             query: str) -> CacheKey:
+        return (graph_id, version, query)
+
+    def get(self, graph_id: str, version: int, query: str) -> Any:
+        """The cached payload, or None on a miss (payloads are dicts,
+        never None, so None is unambiguous)."""
+        key = self._key(graph_id, version, query)
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if is_enabled():
+            get_registry().inc("serve.cache_hits"
+                               if payload is not None
+                               else "serve.cache_misses")
+        return payload
+
+    def put(self, graph_id: str, version: int, query: str,
+            payload: Any) -> None:
+        key = self._key(graph_id, version, query)
+        evicted = 0
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted and is_enabled():
+            get_registry().inc("serve.cache_evictions", evicted)
+
+    def drop_graph(self, graph_id: str) -> int:
+        """Drop every entry of one graph (graph deletion); returns the
+        number removed."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == graph_id]
+            for key in doomed:
+                del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": (hits / (hits + misses)
+                             if hits + misses else 0.0),
+            }

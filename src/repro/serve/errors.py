@@ -1,0 +1,77 @@
+"""Named errors of the service layer, each with an HTTP status.
+
+Every failure the server can shed or reject maps to one named class so
+tests, the traffic harness, and operators see *which* policy fired —
+"load-shed with named errors", per the ROADMAP — instead of a generic
+500. The HTTP layer maps ``status`` verbatim; callers embedding
+:class:`~repro.serve.service.GraphService` directly catch the classes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for service-layer errors."""
+
+    #: HTTP status the transport maps this error to.
+    status = 500
+
+
+class ServeOverloaded(ServeError):
+    """Admitted to the queue, but no handler slot freed up within the
+    queue-wait budget — the client should back off and retry (429)."""
+
+    status = 429
+
+    def __init__(self, max_in_flight: int, waited_ms: float):
+        super().__init__(
+            f"server overloaded: no handler slot freed within "
+            f"{waited_ms:.0f}ms (max_in_flight={max_in_flight}); "
+            f"back off and retry")
+        self.max_in_flight = max_in_flight
+        self.waited_ms = waited_ms
+
+
+class ServeQueueFull(ServeError):
+    """The bounded request queue is at capacity — the request was shed
+    immediately without waiting (503)."""
+
+    status = 503
+
+    def __init__(self, queue_limit: int):
+        super().__init__(
+            f"request queue full (queue_limit={queue_limit}); "
+            f"request shed without queueing")
+        self.queue_limit = queue_limit
+
+
+class GraphNotFound(ServeError):
+    """The request named a graph id the service is not hosting (404)."""
+
+    status = 404
+
+    def __init__(self, graph_id: str, known: list[str]):
+        super().__init__(
+            f"no graph {graph_id!r} is hosted; known: {sorted(known)}")
+        self.graph_id = graph_id
+
+
+class GraphExists(ServeError):
+    """A create named a graph id that is already hosted (409)."""
+
+    status = 409
+
+    def __init__(self, graph_id: str):
+        super().__init__(
+            f"graph {graph_id!r} already exists; DELETE it first or "
+            f"pick another id")
+        self.graph_id = graph_id
+
+
+class BadRequest(ServeError):
+    """The request payload is malformed or names unknown operations —
+    rejected before any work runs (400)."""
+
+    status = 400

@@ -1,0 +1,267 @@
+"""The HTTP/JSON transport over :class:`~repro.serve.service.GraphService`.
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` whose handler
+parses JSON bodies, routes by method + path, and maps the named
+service errors to their HTTP statuses. All policy (admission, caching,
+validation) lives in the service; this module is deliberately a thin
+adapter so the same behaviour is testable without a socket.
+
+Endpoints::
+
+    GET    /healthz                           liveness + queue depths
+    GET    /metrics                           obs counters/gauges/histograms
+    GET    /graphs                            hosted graphs
+    POST   /graphs                            create (scenario or payload)
+    GET    /graphs/{id}                       stats for one graph
+    DELETE /graphs/{id}                       drop one graph
+    POST   /graphs/{id}/query                 {"query": "MATCH ..."}
+    POST   /graphs/{id}/mutate                {"operations": [...]}
+    POST   /graphs/{id}/algorithms/{name}     {"seed": 0}
+
+Run one with :func:`start_server` (ephemeral port by default) or from
+the CLI: ``python -m repro.serve --port 8080 --scenario product``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs import get_tracer, is_enabled, reset_spans
+from repro.serve.errors import BadRequest, ServeError
+from repro.serve.service import GraphService
+
+#: Above this many retained root spans the server resets the span
+#: store — a resident process must not grow without bound just because
+#: observability is on. Metrics (counters/histograms) survive a reset.
+SPAN_RETENTION = 10_000
+
+_GRAPH = re.compile(r"^/graphs/(?P<gid>[^/]+)$")
+_QUERY = re.compile(r"^/graphs/(?P<gid>[^/]+)/query$")
+_MUTATE = re.compile(r"^/graphs/(?P<gid>[^/]+)/mutate$")
+_ALGO = re.compile(
+    r"^/graphs/(?P<gid>[^/]+)/algorithms/(?P<name>[^/]+)$")
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request into the service, JSON in / JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro.serve/1"
+
+    @property
+    def service(self) -> GraphService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a traffic run would drown the terminal.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    # -- plumbing --------------------------------------------------------
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            status, payload = self._route(method, self.path)
+        except ServeError as exc:
+            status, payload = exc.status, _error_payload(exc)
+        except ReproError as exc:
+            # Domain errors (query errors, schema violations, missing
+            # vertices) are the client's fault: named 400s.
+            status, payload = 400, _error_payload(exc)
+        except (ValueError, KeyError, TypeError) as exc:
+            status, payload = 400, _error_payload(exc)
+        except Exception as exc:  # noqa: BLE001 - last-resort mapping
+            status, payload = 500, _error_payload(exc)
+        try:
+            self._send(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; nothing to salvage
+        _trim_spans()
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(self, method: str,
+               path: str) -> tuple[int, dict[str, Any]]:
+        service = self.service
+        if method == "GET" and path == "/healthz":
+            return 200, service.health()
+        if method == "GET" and path == "/metrics":
+            return 200, service.metrics()
+        if method == "GET" and path == "/graphs":
+            return 200, service.list_graphs()
+        if method == "POST" and path == "/graphs":
+            body = self._read_body()
+            created = service.create_graph(
+                graph_id=body.get("graph_id"),
+                scenario=body.get("scenario"),
+                seed=int(body.get("seed", 0)),
+                vertices=body.get("vertices"),
+                edges=body.get("edges"),
+                directed=bool(body.get("directed", True)))
+            return 201, created
+        match = _GRAPH.match(path)
+        if match:
+            if method == "GET":
+                return 200, service.graph_stats(match["gid"])
+            if method == "DELETE":
+                return 200, service.delete_graph(match["gid"])
+        match = _QUERY.match(path)
+        if match and method == "POST":
+            body = self._read_body()
+            if "query" not in body:
+                raise BadRequest("query payload needs a 'query' field")
+            result = service.query(
+                match["gid"], body["query"],
+                use_cache=bool(body.get("use_cache", True)))
+            return 200, result
+        match = _MUTATE.match(path)
+        if match and method == "POST":
+            body = self._read_body()
+            result = service.mutate(match["gid"],
+                                    body.get("operations"))
+            return 200, result
+        match = _ALGO.match(path)
+        if match and method == "POST":
+            body = self._read_body()
+            result = service.algorithm(match["gid"], match["name"],
+                                       seed=int(body.get("seed", 0)))
+            return 200, result
+        return 404, {"error": "NotFound", "status": 404,
+                     "message": f"no route for {method} {path}"}
+
+    # -- verbs -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+
+def _error_payload(exc: BaseException) -> dict[str, Any]:
+    return {"error": type(exc).__name__, "message": str(exc),
+            "status": getattr(exc, "status", None)}
+
+
+def _trim_spans() -> None:
+    if is_enabled() and \
+            len(get_tracer().finished_roots()) > SPAN_RETENTION:
+        reset_spans()
+
+
+class ServerHandle:
+    """A running server: address, service, and an orderly shutdown."""
+
+    def __init__(self, httpd: ThreadingHTTPServer,
+                 thread: threading.Thread, service: GraphService):
+        self.httpd = httpd
+        self.thread = thread
+        self.service = service
+        self.host, self.port = httpd.server_address[:2]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+def start_server(service: GraphService | None = None, *,
+                 host: str = "127.0.0.1",
+                 port: int = 0) -> ServerHandle:
+    """Boot a threaded server on ``host:port`` (0 = ephemeral) and
+    serve in a daemon thread; returns the handle immediately."""
+    service = service or GraphService()
+    httpd = ThreadingHTTPServer((host, port), ServeHandler)
+    httpd.daemon_threads = True
+    httpd.service = service  # type: ignore[attr-defined]
+    thread = threading.Thread(target=httpd.serve_forever,
+                              name="repro-serve", daemon=True)
+    thread.start()
+    return ServerHandle(httpd, thread, service)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: boot a server and block until interrupted."""
+    import argparse
+
+    from repro import obs
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Boot the resident graph service.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="0 picks an ephemeral port")
+    parser.add_argument("--scenario", default=None,
+                        help="pre-host one graph (e.g. 'product') "
+                             "as graph id 'g1'")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-in-flight", type=int, default=8)
+    parser.add_argument("--queue-limit", type=int, default=32)
+    parser.add_argument("--cache-capacity", type=int, default=256)
+    parser.add_argument("--no-obs", action="store_true",
+                        help="serve without span/metric collection")
+    args = parser.parse_args(argv)
+
+    if not args.no_obs:
+        obs.enable()
+    service = GraphService(cache_capacity=args.cache_capacity,
+                           max_in_flight=args.max_in_flight,
+                           queue_limit=args.queue_limit)
+    if args.scenario:
+        info = service.create_graph(scenario=args.scenario,
+                                    seed=args.seed)
+        print(f"hosted graph {info['id']}: {info['vertices']} "
+              f"vertices, {info['edges']} edges "
+              f"(scenario={args.scenario!r}, seed={args.seed})")
+    handle = start_server(service, host=args.host, port=args.port)
+    print(f"repro.serve listening on {handle.base_url}")
+    try:
+        handle.thread.join()
+    except KeyboardInterrupt:
+        print("shutting down")
+        handle.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

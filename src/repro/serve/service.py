@@ -1,0 +1,391 @@
+"""The resident graph service: hosted databases behind one facade.
+
+:class:`GraphService` is the transport-agnostic core of
+:mod:`repro.serve` — the HTTP layer (:mod:`repro.serve.server`) is a
+thin JSON adapter over it, and benchmarks / tests drive it directly.
+It composes the pieces the rest of the stack already built:
+
+* graph lifecycle — each hosted graph is a
+  :class:`~repro.graphdb.GraphDatabase` (indexes, transactions,
+  triggers) built from a scenario generator or an explicit
+  vertex/edge payload;
+* declarative queries through the existing executor, validated by the
+  :mod:`repro.analysis` QRY rules as a 400-level pre-flight and served
+  through the version-keyed :class:`~repro.serve.cache.QueryCache`
+  (a mutation bumps :attr:`~repro.graphdb.GraphDatabase.data_version`,
+  so stale reads are structurally impossible);
+* algorithms — the registered survey workloads
+  (:mod:`repro.workloads.runner`) exposed by short alias;
+* admission control — every request passes the
+  :class:`~repro.serve.admission.AdmissionController` and runs inside
+  a ``serve.request`` span carrying queue-wait vs. handler-time
+  attribution.
+
+Per-graph operations serialize on the graph's lock (readers iterate
+live dicts, so an unlocked concurrent mutation could corrupt them);
+concurrency across graphs and across the admission queue is real.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.graphdb import GraphDatabase
+from repro.obs import get_registry, is_enabled, span
+from repro.obs.export import _jsonable
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import QueryCache
+from repro.serve.errors import BadRequest, GraphExists, GraphNotFound
+from repro.workloads import ALL_RUNNERS, run_computation
+
+#: Short endpoint aliases for the Table 9/10/11 runner names (exact
+#: registered names are accepted too).
+ALGORITHM_ALIASES: dict[str, str] = {
+    "pagerank": "Ranking & Centrality Scores",
+    "components": "Finding Connected Components",
+    "bfs": "Breadth-first-search or variant",
+    "triangles": "Aggregations",
+    "shortest_paths": "Finding Short / Shortest Paths",
+    "reachability": "Reachability Queries",
+    "partitioning": "Graph Partitioning",
+    "communities": "Community Detection",
+}
+
+
+def resolve_algorithm(name: str) -> str:
+    """An endpoint algorithm name -> registered runner name (400 on
+    unknown)."""
+    if name in ALGORITHM_ALIASES:
+        return ALGORITHM_ALIASES[name]
+    if name in ALL_RUNNERS:
+        return name
+    raise BadRequest(
+        f"unknown algorithm {name!r}; aliases: "
+        f"{sorted(ALGORITHM_ALIASES)} (full runner names accepted)")
+
+
+def _build_graph(scenario: str, seed: int):
+    if scenario == "product":
+        from repro.workloads import generate_product_graph
+
+        return generate_product_graph(seed=seed)
+    from repro.workloads import SCENARIOS, build_scenario
+
+    if scenario not in SCENARIOS:
+        raise BadRequest(
+            f"unknown scenario {scenario!r}; known: "
+            f"{sorted(SCENARIOS) + ['product']}")
+    return build_scenario(scenario, seed=seed)
+
+
+@dataclass
+class GraphHandle:
+    """One hosted graph: its database plus bookkeeping."""
+
+    graph_id: str
+    db: GraphDatabase
+    origin: dict[str, Any]
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+    def info(self) -> dict[str, Any]:
+        return {"id": self.graph_id, "origin": dict(self.origin),
+                **self.db.stats()}
+
+
+class GraphService:
+    """Hosted graphs + query cache + admission control, one facade.
+
+    ``handler_delay_ms`` injects a sleep into every admitted handler —
+    a load hook for backpressure tests and shedding demos, never set
+    in normal serving.
+    """
+
+    def __init__(self, *, cache_capacity: int = 256,
+                 max_in_flight: int = 8, queue_limit: int = 32,
+                 queue_timeout_s: float = 5.0,
+                 handler_delay_ms: float = 0.0):
+        self._graphs: dict[str, GraphHandle] = {}
+        self._lock = threading.RLock()
+        self._next_id = 1
+        self.cache = QueryCache(capacity=cache_capacity)
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight, queue_limit=queue_limit,
+            queue_timeout_s=queue_timeout_s)
+        self.handler_delay_ms = handler_delay_ms
+        self._started = time.monotonic()
+
+    # -- request plumbing ------------------------------------------------
+
+    @contextmanager
+    def _request(self, op: str,
+                 graph_id: str | None = None) -> Iterator[Any]:
+        """Admission + the ``serve.request`` span around one request.
+
+        The span attributes split total latency into ``queue_wait_ms``
+        (admission) and ``handler_ms`` (the work), and the same split
+        feeds the ``serve.queue_wait_ms`` / ``serve.handler_ms`` /
+        ``serve.request_ms`` histograms.
+        """
+        if is_enabled():
+            registry = get_registry()
+            registry.inc("serve.requests")
+            registry.inc(f"serve.requests.{op}")
+        with span("serve.request", op=op, graph=graph_id) as sp:
+            with self.admission.admit() as wait_ms:
+                sp.set("queue_wait_ms", round(wait_ms, 3))
+                if self.handler_delay_ms:
+                    time.sleep(self.handler_delay_ms / 1000.0)
+                handler_start = time.perf_counter()
+                try:
+                    yield sp
+                finally:
+                    handler_ms = (time.perf_counter()
+                                  - handler_start) * 1000.0
+                    sp.set("handler_ms", round(handler_ms, 3))
+                    if is_enabled():
+                        registry = get_registry()
+                        registry.observe("serve.handler_ms",
+                                         handler_ms)
+                        registry.observe("serve.request_ms",
+                                         wait_ms + handler_ms)
+
+    def _handle(self, graph_id: str) -> GraphHandle:
+        with self._lock:
+            handle = self._graphs.get(graph_id)
+        if handle is None:
+            raise GraphNotFound(graph_id, list(self._graphs))
+        return handle
+
+    # -- graph lifecycle -------------------------------------------------
+
+    def create_graph(self, *, graph_id: str | None = None,
+                     scenario: str | None = None, seed: int = 0,
+                     vertices: list | None = None,
+                     edges: list | None = None,
+                     directed: bool = True) -> dict[str, Any]:
+        """Host a new graph, from a scenario generator or an explicit
+        vertex/edge payload."""
+        with self._request("create", graph_id):
+            if scenario is not None and (vertices or edges):
+                raise BadRequest(
+                    "pass either scenario= or vertices=/edges=, "
+                    "not both")
+            if scenario is not None:
+                db = GraphDatabase.from_graph(
+                    _build_graph(scenario, seed))
+                origin = {"scenario": scenario, "seed": seed}
+            else:
+                db = GraphDatabase(directed=directed)
+                with db.transaction():
+                    self._load_payload(db, vertices or [], edges or [])
+                origin = {"scenario": None, "seed": seed}
+            with self._lock:
+                if graph_id is None:
+                    graph_id = f"g{self._next_id}"
+                    self._next_id += 1
+                if graph_id in self._graphs:
+                    raise GraphExists(graph_id)
+                handle = GraphHandle(graph_id=graph_id, db=db,
+                                     origin=origin)
+                self._graphs[graph_id] = handle
+            if is_enabled():
+                get_registry().set_gauge("serve.graphs",
+                                         len(self._graphs))
+            return handle.info()
+
+    @staticmethod
+    def _load_payload(db: GraphDatabase, vertices: list,
+                      edges: list) -> None:
+        for raw in vertices:
+            if not isinstance(raw, dict) or "id" not in raw:
+                raise BadRequest(
+                    f"vertex payload needs an 'id' field: {raw!r}")
+            db.add_vertex(raw["id"], label=raw.get("label"),
+                          **raw.get("properties", {}))
+        for raw in edges:
+            if not isinstance(raw, dict) or "u" not in raw \
+                    or "v" not in raw:
+                raise BadRequest(
+                    f"edge payload needs 'u' and 'v' fields: {raw!r}")
+            db.add_edge(raw["u"], raw["v"],
+                        weight=raw.get("weight", 1.0),
+                        label=raw.get("label"),
+                        **raw.get("properties", {}))
+
+    def delete_graph(self, graph_id: str) -> dict[str, Any]:
+        with self._request("delete", graph_id):
+            with self._lock:
+                if graph_id not in self._graphs:
+                    raise GraphNotFound(graph_id, list(self._graphs))
+                del self._graphs[graph_id]
+            dropped = self.cache.drop_graph(graph_id)
+            if is_enabled():
+                get_registry().set_gauge("serve.graphs",
+                                         len(self._graphs))
+            return {"deleted": graph_id, "cache_dropped": dropped}
+
+    def list_graphs(self) -> dict[str, Any]:
+        with self._lock:
+            infos = [h.info() for h in self._graphs.values()]
+        return {"graphs": infos}
+
+    def graph_stats(self, graph_id: str) -> dict[str, Any]:
+        return self._handle(graph_id).info()
+
+    # -- queries ---------------------------------------------------------
+
+    def query(self, graph_id: str, text: str, *,
+              use_cache: bool = True) -> dict[str, Any]:
+        """Run one GQL-lite query, cache-first.
+
+        The response's ``cache`` field says which path served it; the
+        rest of the payload is byte-identical either way (the cache
+        stores the serialized payload).
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise BadRequest("query text must be a non-empty string")
+        handle = self._handle(graph_id)
+        with self._request("query", graph_id) as sp:
+            with handle.lock:
+                version = handle.db.data_version
+                if use_cache:
+                    cached = self.cache.get(graph_id, version, text)
+                    if cached is not None:
+                        sp.set("cache", "hit")
+                        return {**cached, "cache": "hit"}
+                # QRY pre-flight (strict): parse errors, unbound
+                # variables — and schema findings when the database
+                # has one — surface as QueryError -> 400 before the
+                # matcher runs.
+                result = handle.db.query(text, strict=True)
+                payload = {
+                    "columns": list(result.columns),
+                    "rows": _jsonable(result.rows),
+                    "row_count": len(result.rows),
+                    "version": version,
+                }
+                if use_cache:
+                    self.cache.put(graph_id, version, text, payload)
+            sp.set("cache", "miss")
+            sp.set("rows", payload["row_count"])
+            if is_enabled():
+                get_registry().inc("serve.queries")
+            return {**payload, "cache": "miss"}
+
+    # -- mutations -------------------------------------------------------
+
+    #: op name -> required payload fields.
+    MUTATION_OPS = {
+        "add_vertex": ("vertex",),
+        "add_edge": ("u", "v"),
+        "set_property": ("vertex", "key", "value"),
+        "remove_vertex": ("vertex",),
+        "remove_edge": ("edge_id",),
+    }
+
+    def mutate(self, graph_id: str,
+               operations: list[dict[str, Any]]) -> dict[str, Any]:
+        """Apply a batch of mutations in one transaction.
+
+        The whole batch is validated before any of it runs; it commits
+        (and bumps the data version, invalidating cached queries) or
+        rolls back as a unit.
+        """
+        if not isinstance(operations, list) or not operations:
+            raise BadRequest(
+                "mutate needs a non-empty 'operations' list")
+        for raw in operations:
+            if not isinstance(raw, dict):
+                raise BadRequest(f"operation is not an object: {raw!r}")
+            op = raw.get("op")
+            required = self.MUTATION_OPS.get(op)
+            if required is None:
+                raise BadRequest(
+                    f"unknown mutation op {op!r}; known: "
+                    f"{sorted(self.MUTATION_OPS)}")
+            missing = [f for f in required if f not in raw]
+            if missing:
+                raise BadRequest(
+                    f"mutation {op!r} is missing field(s) {missing}")
+        handle = self._handle(graph_id)
+        with self._request("mutate", graph_id) as sp:
+            with handle.lock:
+                db = handle.db
+                with db.transaction():
+                    for raw in operations:
+                        self._apply_mutation(db, raw)
+                version = db.data_version
+            sp.set("operations", len(operations))
+            if is_enabled():
+                get_registry().inc("serve.mutations",
+                                   len(operations))
+            return {"applied": len(operations), "version": version}
+
+    @staticmethod
+    def _apply_mutation(db: GraphDatabase, raw: dict[str, Any]) -> None:
+        op = raw["op"]
+        if op == "add_vertex":
+            db.add_vertex(raw["vertex"], label=raw.get("label"),
+                          **raw.get("properties", {}))
+        elif op == "add_edge":
+            db.add_edge(raw["u"], raw["v"],
+                        weight=raw.get("weight", 1.0),
+                        label=raw.get("label"),
+                        **raw.get("properties", {}))
+        elif op == "set_property":
+            db.set_vertex_property(raw["vertex"], raw["key"],
+                                   raw["value"])
+        elif op == "remove_vertex":
+            db.remove_vertex(raw["vertex"])
+        elif op == "remove_edge":
+            db.remove_edge(raw["edge_id"])
+
+    # -- algorithms ------------------------------------------------------
+
+    def algorithm(self, graph_id: str, name: str,
+                  seed: int = 0) -> dict[str, Any]:
+        """Run one registered survey workload on a hosted graph."""
+        runner_name = resolve_algorithm(name)
+        handle = self._handle(graph_id)
+        with self._request("algorithm", graph_id) as sp:
+            sp.set("algorithm", runner_name)
+            with handle.lock:
+                result = run_computation(runner_name, handle.db.graph,
+                                         seed=seed)
+            if is_enabled():
+                get_registry().inc("serve.algorithms")
+            return {
+                "name": name,
+                "algorithm": runner_name,
+                "seed": seed,
+                "summary": _jsonable(result.summary),
+                "elapsed_ms": round(result.elapsed_ms, 3),
+            }
+
+    # -- health / metrics ------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "graphs": len(self._graphs),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            **self.admission.stats(),
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """The process metric summary plus the serve roll-ups the
+        traffic harness reads (everything obs-backed)."""
+        summary = get_registry().summary()
+        return {
+            "schema": "repro.serve/metrics/v1",
+            "serve": {
+                "cache": self.cache.stats(),
+                "admission": self.admission.stats(),
+                "graphs": len(self._graphs),
+            },
+            **summary,
+        }

@@ -1,0 +1,374 @@
+"""Seeded multi-client traffic harness for the resident service.
+
+``python -m repro.serve.traffic --seed 7 --clients 8 --mix
+read=0.7,write=0.2,algo=0.1`` boots a server (or targets ``--url``),
+replays a *deterministic* request schedule from N concurrent clients,
+and reports p50/p95/p99 latency, throughput, shed rate, and cache hit
+rate — the rates read back from the server's obs-backed ``/metrics``.
+
+Determinism is the point: the schedule is pure data derived from
+``(seed, clients, requests, mix)`` via per-client
+``random.Random(seed * 1000003 + client_index)`` streams, so the same
+seed always produces the same request sequence — a load test you can
+bisect with. (Wall-clock interleaving across threads still varies;
+the *work* does not.)
+
+:class:`TrafficMix` doubles as the config format the
+:mod:`repro.analysis` CFG rules validate: weights must be
+non-negative, sum to 1, and name only known operation kinds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from http.client import HTTPConnection, HTTPException
+from typing import Any
+from urllib.parse import urlsplit
+
+#: Operation kinds a mix may name, with their request shapes below.
+MIX_OPS = ("read", "write", "algo")
+
+#: Read queries cycled over the product graph (all strict-valid).
+READ_QUERIES = (
+    "MATCH (c:Customer)-[:PLACED]->(o:Order) RETURN c, o",
+    "MATCH (p:Product) RETURN p",
+    "MATCH (o:Order)-[:CONTAINS]->(p:Product) RETURN o, p",
+    "MATCH (o:Order)-[:PAID_BY]->(p:Payment) RETURN o, p",
+)
+
+#: Algorithms cycled by the algo op (aliases the server resolves).
+ALGO_NAMES = ("pagerank", "components", "bfs")
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Operation weights; must be non-negative and sum to 1."""
+
+    read: float = 0.7
+    write: float = 0.2
+    algo: float = 0.1
+
+    def __post_init__(self):
+        for op in MIX_OPS:
+            if getattr(self, op) < 0:
+                raise ValueError(
+                    f"mix weight {op}={getattr(self, op)} is negative")
+        total = self.read + self.write + self.algo
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"mix weights must sum to 1, got {total:.6f} "
+                f"(read={self.read}, write={self.write}, "
+                f"algo={self.algo})")
+
+    @classmethod
+    def parse(cls, text: str) -> "TrafficMix":
+        """Parse ``"read=0.7,write=0.2,algo=0.1"``; unknown op names,
+        negative weights, and weights not summing to 1 are errors."""
+        weights = dict.fromkeys(MIX_OPS, 0.0)
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            name = name.strip()
+            if not sep:
+                raise ValueError(
+                    f"mix entry {part!r} is not of the form op=weight")
+            if name not in MIX_OPS:
+                raise ValueError(
+                    f"unknown traffic op {name!r}; known: "
+                    f"{list(MIX_OPS)}")
+            try:
+                weights[name] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"mix weight for {name!r} is not a number: "
+                    f"{value!r}") from None
+        return cls(**weights)
+
+    def as_weights(self) -> list[float]:
+        return [getattr(self, op) for op in MIX_OPS]
+
+
+def build_schedule(seed: int, clients: int, requests: int,
+                   mix: TrafficMix) -> list[list[dict[str, Any]]]:
+    """The full request plan, one list per client, as plain data.
+
+    Deterministic in its arguments: per-client RNG streams mean client
+    ``i``'s schedule does not depend on how many other clients exist
+    before it runs.
+    """
+    plan: list[list[dict[str, Any]]] = []
+    weights = mix.as_weights()
+    for client in range(clients):
+        rng = random.Random(seed * 1000003 + client)
+        entries: list[dict[str, Any]] = []
+        for step in range(requests):
+            op = rng.choices(MIX_OPS, weights=weights, k=1)[0]
+            if op == "read":
+                entries.append({
+                    "op": "read",
+                    "query": READ_QUERIES[
+                        rng.randrange(len(READ_QUERIES))],
+                })
+            elif op == "write":
+                entries.append({
+                    "op": "write",
+                    "vertex": f"customer:{rng.randrange(100)}",
+                    "key": "last_seen",
+                    "value": f"c{client}s{step}",
+                })
+            else:
+                entries.append({
+                    "op": "algo",
+                    "name": ALGO_NAMES[rng.randrange(len(ALGO_NAMES))],
+                })
+        plan.append(entries)
+    return plan
+
+
+class ServeClient:
+    """A minimal JSON client over one reusable HTTP connection."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        parts = urlsplit(url)
+        if parts.hostname is None:
+            raise ValueError(f"bad server url {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: HTTPConnection | None = None
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout)
+        return self._conn
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None
+                ) -> tuple[int, dict[str, Any]]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, HTTPException):
+            # Drop the (possibly half-closed) connection and retry
+            # once on a fresh one.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        data = json.loads(raw) if raw else {}
+        return response.status, data
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def _entry_request(graph_id: str,
+                   entry: dict[str, Any]) -> tuple[str, str, dict]:
+    if entry["op"] == "read":
+        return ("POST", f"/graphs/{graph_id}/query",
+                {"query": entry["query"]})
+    if entry["op"] == "write":
+        return ("POST", f"/graphs/{graph_id}/mutate",
+                {"operations": [{"op": "set_property",
+                                 "vertex": entry["vertex"],
+                                 "key": entry["key"],
+                                 "value": entry["value"]}]})
+    return ("POST",
+            f"/graphs/{graph_id}/algorithms/{entry['name']}",
+            {"seed": 0})
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    """Exact nearest-rank percentile over raw samples (the client has
+    every observation, so no bucket interpolation is needed)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = max(0, min(len(ordered) - 1,
+                      round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_traffic(url: str | None = None, *, seed: int = 7,
+                clients: int = 8, requests: int = 25,
+                mix: TrafficMix | None = None,
+                graph_id: str = "traffic") -> dict[str, Any]:
+    """Replay the seeded schedule against ``url`` (self-boot a server
+    on an ephemeral port when None) and return the report dict."""
+    mix = mix or TrafficMix()
+    plan = build_schedule(seed, clients, requests, mix)
+
+    handle = None
+    if url is None:
+        from repro import obs
+        from repro.serve.server import start_server
+
+        obs.enable()
+        handle = start_server()
+        url = handle.base_url
+    try:
+        admin = ServeClient(url)
+        status, _ = admin.request(
+            "POST", "/graphs",
+            {"graph_id": graph_id, "scenario": "product",
+             "seed": seed})
+        if status not in (201, 409):  # 409: already hosted — reuse
+            raise RuntimeError(
+                f"could not host traffic graph: HTTP {status}")
+
+        results: list[dict[str, Any]] = []
+        results_lock = threading.Lock()
+
+        def worker(schedule: list[dict[str, Any]]) -> None:
+            client = ServeClient(url)
+            local: list[dict[str, Any]] = []
+            for entry in schedule:
+                method, path, payload = _entry_request(graph_id,
+                                                       entry)
+                start = time.perf_counter()
+                status, body = client.request(method, path, payload)
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                local.append({"op": entry["op"], "status": status,
+                              "latency_ms": elapsed_ms,
+                              "cache": body.get("cache")})
+            client.close()
+            with results_lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker, args=(schedule,),
+                                    name=f"traffic-{i}")
+                   for i, schedule in enumerate(plan)]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - wall_start
+
+        _, metrics = admin.request("GET", "/metrics")
+        admin.close()
+        return _report(results, wall_s, metrics, seed=seed,
+                       clients=clients, requests=requests, mix=mix)
+    finally:
+        if handle is not None:
+            handle.shutdown()
+
+
+def _report(results: list[dict[str, Any]], wall_s: float,
+            metrics: dict[str, Any], *, seed: int, clients: int,
+            requests: int, mix: TrafficMix) -> dict[str, Any]:
+    latencies = [r["latency_ms"] for r in results
+                 if r["status"] == 200]
+    shed = sum(1 for r in results if r["status"] in (429, 503))
+    errors = sum(1 for r in results
+                 if r["status"] not in (200, 429, 503))
+    counters = metrics.get("counters", {})
+    hits = counters.get("serve.cache_hits", 0)
+    misses = counters.get("serve.cache_misses", 0)
+    by_op: dict[str, int] = {}
+    for r in results:
+        by_op[r["op"]] = by_op.get(r["op"], 0) + 1
+    total = len(results)
+    return {
+        "schema": "repro.serve.traffic/v1",
+        "seed": seed,
+        "clients": clients,
+        "requests_per_client": requests,
+        "mix": {op: getattr(mix, op) for op in MIX_OPS},
+        "total_requests": total,
+        "by_op": by_op,
+        "ok": len(latencies),
+        "shed": shed,
+        "errors": errors,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(total / wall_s, 2) if wall_s else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 50), 3),
+            "p95": round(_percentile(latencies, 95), 3),
+            "p99": round(_percentile(latencies, 99), 3),
+        },
+        "shed_rate": round(shed / total, 4) if total else 0.0,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (round(hits / (hits + misses), 4)
+                         if hits + misses else 0.0),
+        },
+    }
+
+
+def render_report(report: dict[str, Any]) -> str:
+    lat = report["latency_ms"]
+    mix = ",".join(f"{op}={w}" for op, w in report["mix"].items())
+    lines = [
+        f"traffic seed={report['seed']} clients={report['clients']} "
+        f"x {report['requests_per_client']} requests  mix {mix}",
+        f"  {report['total_requests']} requests in "
+        f"{report['wall_s']:.2f}s  "
+        f"({report['throughput_rps']:.1f} req/s)",
+        f"  latency p50={lat['p50']:.1f}ms p95={lat['p95']:.1f}ms "
+        f"p99={lat['p99']:.1f}ms",
+        f"  shed {report['shed']}/{report['total_requests']} "
+        f"({100 * report['shed_rate']:.1f}%), "
+        f"errors {report['errors']}",
+        f"  cache hit rate {100 * report['cache']['hit_rate']:.1f}% "
+        f"({report['cache']['hits']} hits / "
+        f"{report['cache']['misses']} misses)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.traffic",
+        description="Replay a seeded request mix against the graph "
+                    "service and report latency/shed/cache figures.")
+    parser.add_argument("--url", default=None,
+                        help="target server (default: boot one "
+                             "in-process on an ephemeral port)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client")
+    parser.add_argument("--mix", default="read=0.7,write=0.2,algo=0.1")
+    parser.add_argument("--graph-id", default="traffic")
+    parser.add_argument("--json", action="store_true",
+                        dest="as_json")
+    args = parser.parse_args(argv)
+
+    try:
+        mix = TrafficMix.parse(args.mix)
+    except ValueError as exc:
+        parser.error(str(exc))
+    report = run_traffic(args.url, seed=args.seed,
+                         clients=args.clients,
+                         requests=args.requests, mix=mix,
+                         graph_id=args.graph_id)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

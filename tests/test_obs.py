@@ -192,6 +192,26 @@ class TestMetrics:
             assert value >= previous
             previous = value
 
+    def test_histogram_percentile_never_below_observed_min(self):
+        # Regression: a single observation high in its bucket must
+        # report itself at every percentile, not a bucket-interpolated
+        # value below the observed minimum.
+        h = Histogram("h")  # default ms buckets; 700 -> (500, 1000]
+        h.observe(700.0)
+        for p in (1, 50, 95, 99, 100):
+            assert h.percentile(p) == 700.0
+        # Same clamp with several observations piled in one bucket:
+        # p50 of two identical 700s used to interpolate to 600.
+        h2 = Histogram("h2")
+        h2.observe(700.0)
+        h2.observe(700.0)
+        assert h2.percentile(50) == 700.0
+        h3 = Histogram("h3")
+        for v in (0.7, 0.71, 0.72):
+            h3.observe(v)
+        for p in (1, 50, 99):
+            assert h3.percentile(p) >= h3.min
+
     def test_histogram_overflow_reports_observed_max(self):
         h = Histogram("h", buckets=(1.0,))
         h.observe(10.0)
