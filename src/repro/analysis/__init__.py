@@ -33,6 +33,7 @@ from repro.analysis.config_check import (
     check_bench_cases,
     check_fault_plan,
     check_fault_plan_object,
+    check_slo_spec,
     check_traffic_mix,
 )
 from repro.analysis.findings import (
@@ -66,6 +67,7 @@ __all__ = [
     "check_fault_plan",
     "check_fault_plan_object",
     "check_query",
+    "check_slo_spec",
     "check_traffic_mix",
     "check_value",
     "record_findings",

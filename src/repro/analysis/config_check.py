@@ -17,7 +17,11 @@ raising from inside a coordinator or a bench sweep.
 * **CFG005** — a traffic-mix spec string is invalid (unknown op name,
   negative weight, or weights that do not sum to 1) — the
   :meth:`repro.serve.traffic.TrafficMix.parse` validation as a
-  pre-flight instead of a mid-load-test failure.
+  pre-flight instead of a mid-load-test failure;
+* **CFG006** — an SLO spec string is invalid (bad grammar, unknown
+  request op, non-positive latency threshold, or a target outside
+  (0, 1]) — the :meth:`repro.obs.slo.SLOSpec.parse` validation before
+  a monitor ever evaluates it.
 """
 
 from __future__ import annotations
@@ -51,6 +55,10 @@ register_rule(
     "CFG005", "config", Severity.ERROR,
     "traffic-mix spec is invalid (unknown op, negative weight, or "
     "weights not summing to 1)")
+register_rule(
+    "CFG006", "config", Severity.ERROR,
+    "SLO spec is invalid (bad grammar, unknown op, non-positive "
+    "threshold, or target outside (0, 1])")
 
 
 def check_fault_plan(spec: str, *, file: str = "<fault-plan>",
@@ -97,6 +105,24 @@ def check_traffic_mix(spec: str, *, file: str = "<traffic-mix>",
         TrafficMix.parse(spec)
     except ValueError as error:
         report.add(finding("CFG005", str(error), file=file, line=line))
+    return report
+
+
+def check_slo_spec(spec: str, *, file: str = "<slo>",
+                   line: int = 0) -> AnalysisReport:
+    """Validate one ``latency:OP<Nms@T`` / ``errors:OP@T`` SLO literal
+    without standing up a monitor."""
+    # Lazy for symmetry with check_traffic_mix — repro.obs.slo is
+    # light, but the analysis layer imports nothing it is not asked
+    # to check.
+    from repro.obs.slo import SLOSpec
+
+    report = AnalysisReport()
+    report.note_target(file)
+    try:
+        SLOSpec.parse(spec)
+    except ValueError as error:
+        report.add(finding("CFG006", str(error), file=file, line=line))
     return report
 
 

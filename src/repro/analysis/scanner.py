@@ -36,7 +36,11 @@ from repro.analysis.astutils import (
 )
 from repro.analysis.findings import AnalysisReport, Severity
 from repro.analysis.query_check import check_query
-from repro.analysis.config_check import check_fault_plan, check_traffic_mix
+from repro.analysis.config_check import (
+    check_fault_plan,
+    check_slo_spec,
+    check_traffic_mix,
+)
 from repro.analysis.registry import finding, register_rule
 
 register_rule(
@@ -89,6 +93,17 @@ def _fault_plan_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
 def _traffic_mix_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
     dotted = dotted_name(node.func)
     if dotted is None or not dotted.endswith("TrafficMix.parse"):
+        return None
+    if node.args:
+        text = const_str(node.args[0])
+        if text is not None:
+            return text, node.args[0]
+    return None
+
+
+def _slo_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
+    dotted = dotted_name(node.func)
+    if dotted is None or not dotted.endswith("SLOSpec.parse"):
         return None
     if node.args:
         text = const_str(node.args[0])
@@ -182,6 +197,13 @@ def _scan_tree(tree: ast.Module, file: str) -> AnalysisReport:
             text, literal = mix_literal
             sub = check_traffic_mix(text, file=file,
                                     line=literal.lineno)
+            report.findings.extend(sub.findings)
+            continue
+        slo_literal = _slo_literal(node)
+        if slo_literal is not None:
+            text, literal = slo_literal
+            sub = check_slo_spec(text, file=file,
+                                 line=literal.lineno)
             report.findings.extend(sub.findings)
             continue
         query_literal = _query_literal(node)

@@ -31,6 +31,15 @@ peaks to each span (``cpu_ms`` / ``self_cpu_ms`` / ``peak_alloc_kb``
 attributes, off by default, zero overhead while off), and
 :mod:`repro.obs.memory` exposes peak-RSS / tracemalloc gauges plus the
 :class:`AllocationTracker` block-level allocation meter.
+
+Request-scoped telemetry completes the picture:
+:mod:`repro.obs.trace_context` propagates a per-request ``trace_id``
+onto every span via ``contextvars``, :mod:`repro.obs.retention` keeps
+a bounded trace store with tail-based keep rules,
+:mod:`repro.obs.slowlog` aggregates fingerprinted query latencies,
+:mod:`repro.obs.slo` evaluates declarative SLOs over multi-window
+burn rates, and ``python -m repro.obs.live`` is the polling ops
+console over a running :mod:`repro.serve` instance.
 """
 
 from repro.obs.memory import (
@@ -50,9 +59,26 @@ from repro.obs.export import (
     load_json_artifact,
     load_observability_artifact,
     observability_dict,
+    render_prometheus,
     render_tree,
     span_record,
     to_jsonl,
+)
+from repro.obs.retention import RetentionPolicy, TraceStore
+from repro.obs.slo import (
+    SLOMonitor,
+    SLOSpec,
+    evaluate_samples,
+    parse_specs,
+)
+from repro.obs.slowlog import SlowLog, fingerprint
+from repro.obs.trace_context import (
+    TRACE_HEADER,
+    accept_trace_id,
+    current_trace_id,
+    new_trace_id,
+    trace_scope,
+    valid_trace_id,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -99,7 +125,12 @@ __all__ = [
     "OBS_SCHEMA", "ArtifactError", "SpanRecord", "from_jsonl",
     "link_span_records", "load_json_artifact",
     "load_observability_artifact", "observability_dict",
-    "render_tree", "span_record", "to_jsonl",
+    "render_prometheus", "render_tree", "span_record", "to_jsonl",
+    # request tracing / retention / slowlog / SLOs
+    "TRACE_HEADER", "RetentionPolicy", "SLOMonitor", "SLOSpec",
+    "SlowLog", "TraceStore", "accept_trace_id", "current_trace_id",
+    "evaluate_samples", "fingerprint", "new_trace_id", "parse_specs",
+    "trace_scope", "valid_trace_id",
     # timeline (the bench harness lives in repro.obs.bench — imported
     # explicitly, so `import repro.obs` stays light)
     "Lane", "SuperstepLanes", "Timeline", "build_timeline",

@@ -222,10 +222,28 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
             last = service.query("bench", SERVE_QUERY)
         return last["cache"]
 
+    def serve_traced_case():
+        # The cached-query loop under an explicit trace scope, so the
+        # compare gate (baseline: serve.query_cached) proves the
+        # request-tracing layer — trace-id stamping, slowlog
+        # recording, SLO accounting, retention ingest — stays within
+        # the noise guards on the hottest serve path.
+        from repro.obs.trace_context import trace_scope
+
+        service = _serve_service()
+        for _ in range(SERVE_REQUESTS):
+            with trace_scope():
+                last = service.query("bench", SERVE_QUERY)
+        return last["cache"]
+
     suite.add("serve.query_cached", serve_cached_case,
               tags=("serve",), work=SERVE_REQUESTS,
               query=SERVE_QUERY, requests=SERVE_REQUESTS)
     suite.add("serve.query_cold", serve_cold_case,
+              tags=("serve",), work=SERVE_REQUESTS,
+              query=SERVE_QUERY, requests=SERVE_REQUESTS,
+              baseline_case="serve.query_cached")
+    suite.add("serve.request_traced", serve_traced_case,
               tags=("serve",), work=SERVE_REQUESTS,
               query=SERVE_QUERY, requests=SERVE_REQUESTS,
               baseline_case="serve.query_cached")

@@ -15,6 +15,7 @@ Three output shapes, matching the three consumers:
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -183,6 +184,64 @@ def observability_dict(
         "spans": [span_record(s) for s in _walk(roots)],
         "metrics": registry.summary(),
     }
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A registry instrument name as a Prometheus metric name: dots
+    and any other illegal characters become underscores."""
+    sanitized = _PROM_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4).
+
+    Counters get the conventional ``_total`` suffix, gauges render
+    as-is (unset gauges are skipped — Prometheus has no null), and
+    histograms expand to cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``, mapping the registry's inclusive
+    upper-bound buckets directly onto ``le``.
+    """
+    if registry is None:
+        registry = get_registry()
+    lines: list[str] = []
+    for name, counter in sorted(registry._counters.items()):
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter.value)}")
+    for name, gauge in sorted(registry._gauges.items()):
+        if gauge.value is None:
+            continue
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge.value)}")
+    for name, histogram in sorted(registry._histograms.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(bound)}"}} '
+                f"{cumulative}")
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def load_json_artifact(path: str | Path) -> dict[str, Any]:

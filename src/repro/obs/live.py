@@ -1,0 +1,189 @@
+"""A polling ops console over a running :mod:`repro.serve` instance.
+
+``python -m repro.obs.live --url http://127.0.0.1:8080`` polls the
+service's health, metrics, SLO, and slow-query endpoints and renders
+one compact dashboard per interval — the operator's answer to "is the
+service healthy *right now*, and if not, which query shape and which
+trace do I look at?". The console is read-only and deliberately
+dependency-free (stdlib ``http.client``; no :mod:`repro.serve`
+import), so it can run from a box that only has network reach.
+
+Sections, top to bottom:
+
+* **health** — status, hosted graphs, uptime, in-flight/queued;
+* **slo** — each objective's per-window compliance and burn rate,
+  with a ``BURNING`` flag when every window burns;
+* **slowlog** — the top query fingerprints by total time;
+* **traces** — retention counters plus the newest retained traces,
+  ids included (feed one to ``GET /debug/traces/{id}``).
+
+``--iterations N`` renders N frames and exits (tests and one-shot
+status checks); the default polls until interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any
+from urllib.parse import urlsplit
+
+
+class LiveError(RuntimeError):
+    """The target server could not be reached or answered non-JSON."""
+
+
+def fetch_json(url: str, path: str,
+               timeout: float = 10.0) -> dict[str, Any]:
+    """GET one JSON endpoint; every failure mode is a LiveError."""
+    parts = urlsplit(url)
+    if parts.hostname is None:
+        raise LiveError(f"bad server url {url!r}")
+    conn = HTTPConnection(parts.hostname, parts.port or 80,
+                          timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        raw = response.read()
+    except (OSError, HTTPException) as exc:
+        raise LiveError(
+            f"cannot reach {url}{path}: {exc}") from None
+    finally:
+        conn.close()
+    if response.status != 200:
+        raise LiveError(
+            f"GET {path} returned HTTP {response.status}")
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise LiveError(
+            f"GET {path} returned non-JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise LiveError(f"GET {path} returned a non-object payload")
+    return payload
+
+
+def snapshot(url: str, timeout: float = 10.0) -> dict[str, Any]:
+    """One poll of every dashboard endpoint, as plain data."""
+    return {
+        "health": fetch_json(url, "/healthz", timeout),
+        "metrics": fetch_json(url, "/metrics", timeout),
+        "slo": fetch_json(url, "/debug/slo", timeout),
+        "slowlog": fetch_json(url, "/debug/slowlog?limit=5", timeout),
+        "traces": fetch_json(url, "/debug/traces?limit=5", timeout),
+    }
+
+
+def _slo_lines(slo: dict[str, Any]) -> list[str]:
+    lines = []
+    for row in slo.get("slos", ()):
+        worst = None
+        for window in row.get("windows", ()):
+            burn = window.get("burn_rate")
+            if burn is not None and \
+                    (worst is None or burn > worst):
+                worst = burn
+        flag = "BURNING" if row.get("burning") else "ok"
+        windows = "  ".join(
+            f"{int(w['window_s'])}s:{100 * w['compliance']:.2f}%"
+            f"/{w['burn_rate'] if w['burn_rate'] is not None else 'inf'}x"
+            for w in row.get("windows", ()))
+        lines.append(f"  {row['spec']:<32} {flag:<8} {windows}")
+    return lines or ["  (no SLOs configured)"]
+
+
+def _slowlog_lines(slowlog: dict[str, Any]) -> list[str]:
+    lines = []
+    for row in slowlog.get("slowlog", ())[:5]:
+        fp = row["fingerprint"]
+        if len(fp) > 44:
+            fp = fp[:41] + "..."
+        lines.append(
+            f"  {fp:<44} n={row['count']:<5} "
+            f"total={row['total_ms']:.1f}ms max={row['max_ms']:.1f}ms "
+            f"err={row['errors']}")
+    return lines or ["  (no queries recorded)"]
+
+
+def _trace_lines(traces: dict[str, Any]) -> list[str]:
+    stats = traces.get("stats", {})
+    lines = [
+        f"  retained={stats.get('retained', 0)} "
+        f"ingested={stats.get('ingested', 0)} "
+        f"sampled_out={stats.get('sampled_out', 0)} "
+        f"evicted={stats.get('evicted', 0)} "
+        f"errors_kept={stats.get('errors_kept', 0)}"]
+    for row in traces.get("traces", ())[:5]:
+        error = row.get("error") or "-"
+        lines.append(
+            f"  {row.get('trace_id') or '?':<18} "
+            f"{row.get('op') or '?':<10} "
+            f"{row['duration_ms']:>9.2f}ms  spans={row['spans']:<4} "
+            f"error={error}")
+    return lines
+
+
+def render_dashboard(snap: dict[str, Any]) -> str:
+    """One snapshot as the terminal dashboard (pure; testable)."""
+    health = snap["health"]
+    lines = [
+        f"status={health.get('status', '?')} "
+        f"graphs={health.get('graphs', 0)} "
+        f"uptime={health.get('uptime_s', 0.0):.0f}s "
+        f"in_flight={health.get('in_flight', 0)} "
+        f"queued={health.get('queued', 0)}",
+        "slo:",
+        *_slo_lines(snap["slo"]),
+        "slowlog (by total time):",
+        *_slowlog_lines(snap["slowlog"]),
+        "traces:",
+        *_trace_lines(snap["traces"]),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.live",
+        description="Poll a repro.serve instance and render a live "
+                    "SLO/slowlog/trace dashboard.")
+    parser.add_argument("--url", required=True,
+                        help="server base url, e.g. "
+                             "http://127.0.0.1:8080")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="render N frames then exit "
+                             "(0 = poll until interrupted)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print raw snapshot JSON instead of the "
+                             "dashboard")
+    args = parser.parse_args(argv)
+
+    frame = 0
+    try:
+        while True:
+            frame += 1
+            try:
+                snap = snapshot(args.url)
+            except LiveError as exc:
+                print(f"error: {exc}")
+                return 1
+            if args.as_json:
+                print(json.dumps(snap, indent=2))
+            else:
+                print(f"-- repro.obs.live frame {frame} "
+                      f"({args.url}) --")
+                print(render_dashboard(snap))
+            if args.iterations and frame >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

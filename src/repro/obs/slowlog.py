@@ -1,0 +1,152 @@
+"""Slow-query log: fingerprinted per-query latency/error aggregation.
+
+Section 6.2's "profiling and debugging slow queries" needs more than a
+global latency histogram: operators ask *which query shape* is slow.
+This module normalizes query text into a **fingerprint** (literals
+collapsed, whitespace canonicalized) so the thousands of variants of
+one template aggregate into a single row, then keeps bounded
+statistics per fingerprint:
+
+* request count, error count, cache-hit count;
+* total / max / min latency (total-time ordering finds the queries
+  that matter — a 2ms query run 10^5 times outranks one 80ms one);
+* the **top-k slowest samples**, each carrying its ``trace_id`` — the
+  link from an aggregate row to the full span tree in the
+  :class:`~repro.obs.retention.TraceStore`.
+
+Memory is bounded twice: samples per fingerprint are a k-item
+min-heap, and the fingerprint table itself is an LRU capped at
+``max_fingerprints`` (eviction is counted, never silent).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import re
+import threading
+from collections import OrderedDict
+from typing import Any
+
+#: Literal-normalization passes, in order: quoted strings first so a
+#: digit inside a string does not survive as a fake parameter.
+_STRING = re.compile(r"'[^']*'|\"[^\"]*\"")
+_NUMBER = re.compile(r"(?<![\w.])-?\d+(?:\.\d+)?\b")
+
+
+def fingerprint(text: str) -> str:
+    """Canonical shape of a query: literals become ``?``, whitespace
+    collapses. Distinct parameterizations of one template share a
+    fingerprint; structurally different queries never do."""
+    normalized = _STRING.sub("?", text)
+    normalized = _NUMBER.sub("?", normalized)
+    return " ".join(normalized.split())
+
+
+class _Aggregate:
+    """Running statistics for one fingerprint."""
+
+    __slots__ = ("count", "errors", "cached", "total_ms", "max_ms",
+                 "min_ms", "last_error", "samples")
+
+    def __init__(self):
+        self.count = 0
+        self.errors = 0
+        self.cached = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self.min_ms: float | None = None
+        self.last_error: str | None = None
+        # (latency_ms, tiebreak, trace_id) min-heap of the slowest k.
+        self.samples: list[tuple[float, int, str | None]] = []
+
+
+class SlowLog:
+    """Thread-safe bounded per-fingerprint query aggregation."""
+
+    def __init__(self, *, top_k: int = 5,
+                 max_fingerprints: int = 256):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if max_fingerprints < 1:
+            raise ValueError("max_fingerprints must be >= 1")
+        self.top_k = top_k
+        self.max_fingerprints = max_fingerprints
+        self._lock = threading.Lock()
+        self._table: OrderedDict[str, _Aggregate] = OrderedDict()
+        self._tiebreak = itertools.count()
+        self.recorded = 0
+        self.evicted_fingerprints = 0
+
+    def record(self, text: str, latency_ms: float, *,
+               error: str | None = None, cached: bool = False,
+               trace_id: str | None = None) -> str:
+        """Fold one query execution into its fingerprint's aggregate;
+        returns the fingerprint."""
+        key = fingerprint(text)
+        with self._lock:
+            self.recorded += 1
+            agg = self._table.get(key)
+            if agg is None:
+                agg = self._table[key] = _Aggregate()
+            else:
+                self._table.move_to_end(key)
+            agg.count += 1
+            agg.total_ms += latency_ms
+            agg.max_ms = max(agg.max_ms, latency_ms)
+            agg.min_ms = (latency_ms if agg.min_ms is None
+                          else min(agg.min_ms, latency_ms))
+            if cached:
+                agg.cached += 1
+            if error is not None:
+                agg.errors += 1
+                agg.last_error = error
+            entry = (latency_ms, next(self._tiebreak), trace_id)
+            if len(agg.samples) < self.top_k:
+                heapq.heappush(agg.samples, entry)
+            elif latency_ms > agg.samples[0][0]:
+                heapq.heapreplace(agg.samples, entry)
+            while len(self._table) > self.max_fingerprints:
+                self._table.popitem(last=False)
+                self.evicted_fingerprints += 1
+        return key
+
+    def report(self, limit: int = 20) -> list[dict[str, Any]]:
+        """Aggregates sorted by total time descending (the queries
+        eating the most wall-clock overall come first)."""
+        with self._lock:
+            rows = []
+            for key, agg in self._table.items():
+                slowest = sorted(agg.samples, reverse=True)
+                rows.append({
+                    "fingerprint": key,
+                    "count": agg.count,
+                    "errors": agg.errors,
+                    "cached": agg.cached,
+                    "total_ms": round(agg.total_ms, 3),
+                    "mean_ms": round(agg.total_ms / agg.count, 3),
+                    "max_ms": round(agg.max_ms, 3),
+                    "min_ms": round(agg.min_ms or 0.0, 3),
+                    "last_error": agg.last_error,
+                    "slowest": [
+                        {"latency_ms": round(lat, 3),
+                         "trace_id": tid}
+                        for lat, _, tid in slowest
+                    ],
+                })
+        rows.sort(key=lambda row: row["total_ms"], reverse=True)
+        return rows[:limit]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "fingerprints": len(self._table),
+                "evicted_fingerprints": self.evicted_fingerprints,
+                "top_k": self.top_k,
+                "max_fingerprints": self.max_fingerprints,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._table.clear()

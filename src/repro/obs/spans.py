@@ -34,7 +34,16 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextvars import ContextVar
 from typing import Any, Callable, Iterator
+
+#: The ambient trace id (see :mod:`repro.obs.trace_context`). A
+#: ContextVar rather than a thread-local so the id survives
+#: generator/contextmanager suspension within a request; every *real*
+#: span opened while it is set records it as a ``trace_id`` attribute.
+#: The NULL_SPAN path never reads it, so tracing-off stays free.
+_TRACE_ID: ContextVar[str | None] = ContextVar(
+    "repro_trace_id", default=None)
 
 
 class _ThreadState(threading.local):
@@ -77,6 +86,9 @@ class Span:
             self.parent = stack[-1]
             self.parent.children.append(self)
         stack.append(self)
+        trace_id = _TRACE_ID.get()
+        if trace_id is not None and "trace_id" not in self.attributes:
+            self.attributes["trace_id"] = trace_id
         profiler = _PROFILER
         if profiler is not None:
             profiler._on_enter(self)

@@ -1,0 +1,101 @@
+"""Request-scoped trace ids, propagated via ``contextvars``.
+
+The survey ranks debugging among practitioners' top graph-processing
+challenges, and aggregate metrics cannot answer "why was *this*
+request slow?". This module is the identity layer of the answer: a
+trace id is minted once per request at the serve edge (or accepted
+from the ``X-Repro-Trace`` header) and held in a
+:class:`~contextvars.ContextVar`, so every span the request opens —
+``serve.request`` through ``query.run``, ``pregel.superstep``,
+``dist.superstep`` and each ``dist.worker.superstep`` — records the
+same ``trace_id`` attribute without any subsystem threading an
+argument through. The stamped trees are retrievable from the
+:class:`~repro.obs.retention.TraceStore` by id (``GET
+/debug/traces/{id}``) and linked from the slow-query log.
+
+Propagation contract:
+
+* the id flows wherever the context does — nested calls, generators,
+  and the synchronous :mod:`repro.dist` runtime all inherit it;
+* threads spawned *inside* a scope do not inherit automatically
+  (``contextvars`` semantics); a worker pool must re-enter
+  :func:`trace_scope` with the parent's id;
+* spans opened with an explicit ``trace_id=...`` attribute keep it —
+  the ambient id only fills the gap.
+
+Usage::
+
+    from repro.obs import trace_scope
+
+    with trace_scope() as trace_id:      # mint a fresh id
+        run_query(graph, text)           # every span carries trace_id
+
+    with trace_scope("a1b2c3"):          # adopt a caller's id
+        ...
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.spans import _TRACE_ID
+
+#: HTTP header carrying a caller-supplied trace id into the serve
+#: edge, and echoing the request's id back on every response.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Accepted id shape — url/header-safe, bounded. Anything else from
+#: the wire is rejected rather than laundered into the span store.
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (collision odds are negligible at
+    any realistic retention size)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id, if a scope is active."""
+    return _TRACE_ID.get()
+
+
+def valid_trace_id(raw: object) -> bool:
+    """Whether ``raw`` is an acceptable externally-supplied id."""
+    return isinstance(raw, str) and bool(_ID_PATTERN.match(raw))
+
+
+def accept_trace_id(raw: str | None) -> str:
+    """Adopt a wire-supplied id, or mint one when absent.
+
+    Raises :class:`ValueError` on a malformed id — the serve edge maps
+    that to a 400 rather than storing attacker-shaped keys.
+    """
+    if raw is None or raw == "":
+        return new_trace_id()
+    if not valid_trace_id(raw):
+        raise ValueError(
+            f"bad trace id {raw!r}: expected 1-64 chars of "
+            f"[A-Za-z0-9_-]")
+    return raw
+
+
+@contextmanager
+def trace_scope(trace_id: str | None = None) -> Iterator[str]:
+    """Bind a trace id for the duration of the block, yielding it.
+
+    With no argument: reuse the ambient id when one is already bound
+    (nested scopes share one trace), otherwise mint a fresh id. An
+    explicit argument always rebinds — that is how the serve edge
+    adopts an ``X-Repro-Trace`` id even mid-context.
+    """
+    if trace_id is None:
+        trace_id = _TRACE_ID.get() or new_trace_id()
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)

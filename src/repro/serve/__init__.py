@@ -22,6 +22,8 @@ from repro.serve.errors import (
     ServeError,
     ServeOverloaded,
     ServeQueueFull,
+    TraceNotFound,
+    error_status,
 )
 from repro.serve.server import ServerHandle, start_server
 from repro.serve.service import (
@@ -56,8 +58,10 @@ __all__ = [
     "ServeOverloaded",
     "ServeQueueFull",
     "ServerHandle",
+    "TraceNotFound",
     "TrafficMix",
     "build_schedule",
+    "error_status",
     "resolve_algorithm",
     "run_traffic",
     "start_server",

@@ -70,8 +70,34 @@ class GraphExists(ServeError):
         self.graph_id = graph_id
 
 
+class TraceNotFound(ServeError):
+    """The request named a trace id the retention store is not holding
+    (404) — it was never seen, sampled out, or already evicted."""
+
+    status = 404
+
+    def __init__(self, trace_id: str):
+        super().__init__(
+            f"no retained trace {trace_id!r}; it was never seen, "
+            f"head-sampled out, or already evicted (see "
+            f"/debug/traces for what is retained)")
+        self.trace_id = trace_id
+
+
 class BadRequest(ServeError):
     """The request payload is malformed or names unknown operations —
     rejected before any work runs (400)."""
 
     status = 400
+
+
+def error_status(exc: BaseException) -> int:
+    """The HTTP status one failure maps to — the single mapping the
+    transport, the SLO accounting, and the traffic harness share, so a
+    QueryError burns no error budget at the service layer yet shows up
+    as the same 400 on the wire."""
+    if isinstance(exc, ServeError):
+        return exc.status
+    if isinstance(exc, (ReproError, ValueError, KeyError, TypeError)):
+        return 400
+    return 500

@@ -10,13 +10,24 @@ Endpoints::
 
     GET    /healthz                           liveness + queue depths
     GET    /metrics                           obs counters/gauges/histograms
+    GET    /metrics?format=prom               Prometheus text exposition
     GET    /graphs                            hosted graphs
     POST   /graphs                            create (scenario or payload)
     GET    /graphs/{id}                       stats for one graph
     DELETE /graphs/{id}                       drop one graph
     POST   /graphs/{id}/query                 {"query": "MATCH ..."}
     POST   /graphs/{id}/mutate                {"operations": [...]}
-    POST   /graphs/{id}/algorithms/{name}     {"seed": 0}
+    POST   /graphs/{id}/algorithms/{name}     {"seed": 0,
+                                               "distributed": false}
+    GET    /debug/traces                      retained trace digests
+    GET    /debug/traces/{trace_id}           one trace's span tree
+    GET    /debug/slowlog                     fingerprinted slow queries
+    GET    /debug/slo                         burn-rate SLO evaluation
+
+Every request runs under a trace id — minted at the edge, or adopted
+from the ``X-Repro-Trace`` request header — and every response echoes
+it back in the same header, so a caller can immediately fetch its own
+trace from ``/debug/traces/{id}``.
 
 Run one with :func:`start_server` (ephemeral port by default) or from
 the CLI: ``python -m repro.serve --port 8080 --scenario product``.
@@ -29,15 +40,22 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
-from repro.errors import ReproError
-from repro.obs import get_tracer, is_enabled, reset_spans
-from repro.serve.errors import BadRequest, ServeError
+from repro.obs import render_prometheus
+from repro.obs.retention import TraceStore
+from repro.obs.trace_context import (
+    TRACE_HEADER,
+    accept_trace_id,
+    trace_scope,
+)
+from repro.serve.errors import BadRequest, error_status
 from repro.serve.service import GraphService
 
-#: Above this many retained root spans the server resets the span
-#: store — a resident process must not grow without bound just because
-#: observability is on. Metrics (counters/histograms) survive a reset.
+#: Above this many staged root spans in the global tracer, the server
+#: resets it — a resident process must not grow without bound just
+#: because observability is on. The retention TraceStore holds its own
+#: references, so retained traces and all metrics survive the reset.
 SPAN_RETENTION = 10_000
 
 _GRAPH = re.compile(r"^/graphs/(?P<gid>[^/]+)$")
@@ -45,6 +63,7 @@ _QUERY = re.compile(r"^/graphs/(?P<gid>[^/]+)/query$")
 _MUTATE = re.compile(r"^/graphs/(?P<gid>[^/]+)/mutate$")
 _ALGO = re.compile(
     r"^/graphs/(?P<gid>[^/]+)/algorithms/(?P<name>[^/]+)$")
+_TRACE = re.compile(r"^/debug/traces/(?P<tid>[^/]+)$")
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -77,42 +96,69 @@ class ServeHandler(BaseHTTPRequestHandler):
             raise BadRequest("request body must be a JSON object")
         return payload
 
-    def _send(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send(self, status: int, payload: dict[str, Any] | str,
+              trace_id: str | None = None) -> None:
+        """JSON for dict payloads, text/plain for str (Prometheus)."""
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _dispatch(self, method: str) -> None:
+        path, _, query_string = self.path.partition("?")
+        params = parse_qs(query_string)
+        trace_id = None
         try:
-            status, payload = self._route(method, self.path)
-        except ServeError as exc:
-            status, payload = exc.status, _error_payload(exc)
-        except ReproError as exc:
-            # Domain errors (query errors, schema violations, missing
-            # vertices) are the client's fault: named 400s.
-            status, payload = 400, _error_payload(exc)
-        except (ValueError, KeyError, TypeError) as exc:
-            status, payload = 400, _error_payload(exc)
-        except Exception as exc:  # noqa: BLE001 - last-resort mapping
-            status, payload = 500, _error_payload(exc)
+            trace_id = accept_trace_id(self.headers.get(TRACE_HEADER))
+            with trace_scope(trace_id):
+                status, payload = self._route(method, path, params)
+        except Exception as exc:  # noqa: BLE001 - the status mapping
+            status = error_status(exc)
+            payload = _error_payload(exc, status)
         try:
-            self._send(status, payload)
+            self._send(status, payload, trace_id)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client hung up; nothing to salvage
-        _trim_spans()
+        TraceStore.maintain(SPAN_RETENTION)
 
     # -- routing ---------------------------------------------------------
 
-    def _route(self, method: str,
-               path: str) -> tuple[int, dict[str, Any]]:
+    def _route(
+        self, method: str, path: str,
+        params: dict[str, list[str]],
+    ) -> tuple[int, dict[str, Any] | str]:
         service = self.service
         if method == "GET" and path == "/healthz":
             return 200, service.health()
         if method == "GET" and path == "/metrics":
+            fmt = (params.get("format") or ["json"])[0]
+            if fmt == "prom":
+                return 200, render_prometheus()
+            if fmt != "json":
+                raise BadRequest(
+                    f"unknown metrics format {fmt!r}; known: "
+                    f"['json', 'prom']")
             return 200, service.metrics()
+        if method == "GET" and path == "/debug/traces":
+            limit = int((params.get("limit") or ["50"])[0])
+            return 200, service.debug_traces(limit)
+        match = _TRACE.match(path)
+        if match and method == "GET":
+            return 200, service.debug_trace(match["tid"])
+        if method == "GET" and path == "/debug/slowlog":
+            limit = int((params.get("limit") or ["20"])[0])
+            return 200, service.debug_slowlog(limit)
+        if method == "GET" and path == "/debug/slo":
+            return 200, service.debug_slo()
         if method == "GET" and path == "/graphs":
             return 200, service.list_graphs()
         if method == "POST" and path == "/graphs":
@@ -149,8 +195,11 @@ class ServeHandler(BaseHTTPRequestHandler):
         match = _ALGO.match(path)
         if match and method == "POST":
             body = self._read_body()
-            result = service.algorithm(match["gid"], match["name"],
-                                       seed=int(body.get("seed", 0)))
+            result = service.algorithm(
+                match["gid"], match["name"],
+                seed=int(body.get("seed", 0)),
+                distributed=bool(body.get("distributed", False)),
+                shards=int(body.get("shards", 2)))
             return 200, result
         return 404, {"error": "NotFound", "status": 404,
                      "message": f"no route for {method} {path}"}
@@ -167,15 +216,12 @@ class ServeHandler(BaseHTTPRequestHandler):
         self._dispatch("DELETE")
 
 
-def _error_payload(exc: BaseException) -> dict[str, Any]:
+def _error_payload(exc: BaseException,
+                   status: int | None = None) -> dict[str, Any]:
+    if status is None:
+        status = error_status(exc)
     return {"error": type(exc).__name__, "message": str(exc),
-            "status": getattr(exc, "status", None)}
-
-
-def _trim_spans() -> None:
-    if is_enabled() and \
-            len(get_tracer().finished_roots()) > SPAN_RETENTION:
-        reset_spans()
+            "status": status}
 
 
 class ServerHandle:
@@ -238,15 +284,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-in-flight", type=int, default=8)
     parser.add_argument("--queue-limit", type=int, default=32)
     parser.add_argument("--cache-capacity", type=int, default=256)
+    parser.add_argument("--slo", action="append", default=None,
+                        metavar="SPEC",
+                        help="SLO spec (repeatable), e.g. "
+                             "'latency:query<250ms@0.99'; replaces "
+                             "the built-in defaults")
+    parser.add_argument("--sample-every", type=int, default=1,
+                        help="head-sample 1 in N ordinary traces "
+                             "(errors and the slow tail always kept)")
     parser.add_argument("--no-obs", action="store_true",
                         help="serve without span/metric collection")
     args = parser.parse_args(argv)
 
     if not args.no_obs:
         obs.enable()
-    service = GraphService(cache_capacity=args.cache_capacity,
-                           max_in_flight=args.max_in_flight,
-                           queue_limit=args.queue_limit)
+    try:
+        retention = obs.RetentionPolicy(sample_every=args.sample_every)
+        service = GraphService(cache_capacity=args.cache_capacity,
+                               max_in_flight=args.max_in_flight,
+                               queue_limit=args.queue_limit,
+                               slos=args.slo,
+                               retention=retention)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.scenario:
         info = service.create_graph(scenario=args.scenario,
                                     seed=args.seed)

@@ -36,10 +36,21 @@ from typing import Any, Iterator
 
 from repro.graphdb import GraphDatabase
 from repro.obs import get_registry, is_enabled, span
-from repro.obs.export import _jsonable
+from repro.obs.export import _jsonable, span_record
+from repro.obs.retention import RetentionPolicy, TraceStore
+from repro.obs.slo import SLOMonitor, SLOSpec
+from repro.obs.slowlog import SlowLog
+from repro.obs.spans import Span
+from repro.obs.trace_context import current_trace_id, trace_scope
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import QueryCache
-from repro.serve.errors import BadRequest, GraphExists, GraphNotFound
+from repro.serve.errors import (
+    BadRequest,
+    GraphExists,
+    GraphNotFound,
+    TraceNotFound,
+    error_status,
+)
 from repro.workloads import ALL_RUNNERS, run_computation
 
 #: Short endpoint aliases for the Table 9/10/11 runner names (exact
@@ -54,6 +65,15 @@ ALGORITHM_ALIASES: dict[str, str] = {
     "partitioning": "Graph Partitioning",
     "communities": "Community Detection",
 }
+
+
+#: SLOs a service monitors when none are configured: most queries
+#: fast, nearly all requests succeed. Literal grammar is validated by
+#: the CFG006 analysis rule.
+DEFAULT_SLOS: tuple[str, ...] = (
+    "latency:query<250ms@0.95",
+    "errors:*@0.99",
+)
 
 
 def resolve_algorithm(name: str) -> str:
@@ -107,7 +127,9 @@ class GraphService:
     def __init__(self, *, cache_capacity: int = 256,
                  max_in_flight: int = 8, queue_limit: int = 32,
                  queue_timeout_s: float = 5.0,
-                 handler_delay_ms: float = 0.0):
+                 handler_delay_ms: float = 0.0,
+                 slos: list[SLOSpec | str] | None = None,
+                 retention: RetentionPolicy | None = None):
         self._graphs: dict[str, GraphHandle] = {}
         self._lock = threading.RLock()
         self._next_id = 1
@@ -116,6 +138,10 @@ class GraphService:
             max_in_flight=max_in_flight, queue_limit=queue_limit,
             queue_timeout_s=queue_timeout_s)
         self.handler_delay_ms = handler_delay_ms
+        self.traces = TraceStore(retention)
+        self.slowlog = SlowLog()
+        self.slo = SLOMonitor(
+            list(DEFAULT_SLOS) if slos is None else slos)
         self._started = time.monotonic()
 
     # -- request plumbing ------------------------------------------------
@@ -129,29 +155,60 @@ class GraphService:
         (admission) and ``handler_ms`` (the work), and the same split
         feeds the ``serve.queue_wait_ms`` / ``serve.handler_ms`` /
         ``serve.request_ms`` histograms.
+
+        The whole request runs inside a :func:`trace_scope` — adopting
+        the transport's id when the HTTP layer bound one, minting a
+        fresh id otherwise — so every span the handler opens carries
+        the request's ``trace_id``. On exit the finished root span is
+        offered to the :class:`TraceStore` and the outcome recorded
+        against the service's SLOs.
         """
         if is_enabled():
             registry = get_registry()
             registry.inc("serve.requests")
             registry.inc(f"serve.requests.{op}")
-        with span("serve.request", op=op, graph=graph_id) as sp:
-            with self.admission.admit() as wait_ms:
-                sp.set("queue_wait_ms", round(wait_ms, 3))
-                if self.handler_delay_ms:
-                    time.sleep(self.handler_delay_ms / 1000.0)
-                handler_start = time.perf_counter()
-                try:
-                    yield sp
-                finally:
-                    handler_ms = (time.perf_counter()
-                                  - handler_start) * 1000.0
-                    sp.set("handler_ms", round(handler_ms, 3))
-                    if is_enabled():
-                        registry = get_registry()
-                        registry.observe("serve.handler_ms",
-                                         handler_ms)
-                        registry.observe("serve.request_ms",
-                                         wait_ms + handler_ms)
+        start = time.perf_counter()
+        status = 200
+        with trace_scope():
+            sp = span("serve.request", op=op, graph=graph_id)
+            try:
+                with sp:
+                    with self.admission.admit() as wait_ms:
+                        sp.set("queue_wait_ms", round(wait_ms, 3))
+                        if self.handler_delay_ms:
+                            time.sleep(self.handler_delay_ms / 1000.0)
+                        handler_start = time.perf_counter()
+                        try:
+                            yield sp
+                        finally:
+                            handler_ms = (time.perf_counter()
+                                          - handler_start) * 1000.0
+                            sp.set("handler_ms", round(handler_ms, 3))
+                            if is_enabled():
+                                registry = get_registry()
+                                registry.observe("serve.handler_ms",
+                                                 handler_ms)
+                                registry.observe("serve.request_ms",
+                                                 wait_ms + handler_ms)
+            except BaseException as exc:
+                status = error_status(exc)
+                raise
+            finally:
+                total_ms = (time.perf_counter() - start) * 1000.0
+                self._finish_request(op, sp, total_ms, status=status)
+
+    def _finish_request(self, op: str, sp: Any, total_ms: float, *,
+                        status: int) -> None:
+        """Post-request accounting: SLO outcome + trace retention.
+
+        Client mistakes (4xx below 429) do not burn the error budget —
+        only shed load (429/503) and server faults count — but *any*
+        failed request marks its trace as an error for the retention
+        tail, so the span tree behind a 400 stays debuggable.
+        """
+        self.slo.record(op, total_ms, error=status >= 429)
+        if isinstance(sp, Span) and sp.closed and sp.parent is None:
+            self.traces.ingest(sp, error=status != 200)
 
     def _handle(self, graph_id: str) -> GraphHandle:
         with self._lock:
@@ -250,28 +307,46 @@ class GraphService:
             raise BadRequest("query text must be a non-empty string")
         handle = self._handle(graph_id)
         with self._request("query", graph_id) as sp:
-            with handle.lock:
-                version = handle.db.data_version
-                if use_cache:
-                    cached = self.cache.get(graph_id, version, text)
-                    if cached is not None:
-                        sp.set("cache", "hit")
-                        return {**cached, "cache": "hit"}
-                # QRY pre-flight (strict): parse errors, unbound
-                # variables — and schema findings when the database
-                # has one — surface as QueryError -> 400 before the
-                # matcher runs.
-                result = handle.db.query(text, strict=True)
-                payload = {
-                    "columns": list(result.columns),
-                    "rows": _jsonable(result.rows),
-                    "row_count": len(result.rows),
-                    "version": version,
-                }
-                if use_cache:
-                    self.cache.put(graph_id, version, text, payload)
+            q_start = time.perf_counter()
+            trace_id = current_trace_id()
+
+            def q_ms() -> float:
+                return (time.perf_counter() - q_start) * 1000.0
+
+            try:
+                with handle.lock:
+                    version = handle.db.data_version
+                    if use_cache:
+                        cached = self.cache.get(graph_id, version,
+                                                text)
+                        if cached is not None:
+                            sp.set("cache", "hit")
+                            self.slowlog.record(text, q_ms(),
+                                                cached=True,
+                                                trace_id=trace_id)
+                            return {**cached, "cache": "hit"}
+                    # QRY pre-flight (strict): parse errors, unbound
+                    # variables — and schema findings when the database
+                    # has one — surface as QueryError -> 400 before the
+                    # matcher runs.
+                    result = handle.db.query(text, strict=True)
+                    payload = {
+                        "columns": list(result.columns),
+                        "rows": _jsonable(result.rows),
+                        "row_count": len(result.rows),
+                        "version": version,
+                    }
+                    if use_cache:
+                        self.cache.put(graph_id, version, text,
+                                       payload)
+            except Exception as exc:
+                self.slowlog.record(text, q_ms(),
+                                    error=type(exc).__name__,
+                                    trace_id=trace_id)
+                raise
             sp.set("cache", "miss")
             sp.set("rows", payload["row_count"])
+            self.slowlog.record(text, q_ms(), trace_id=trace_id)
             if is_enabled():
                 get_registry().inc("serve.queries")
             return {**payload, "cache": "miss"}
@@ -346,25 +421,71 @@ class GraphService:
 
     # -- algorithms ------------------------------------------------------
 
-    def algorithm(self, graph_id: str, name: str,
-                  seed: int = 0) -> dict[str, Any]:
-        """Run one registered survey workload on a hosted graph."""
+    def algorithm(self, graph_id: str, name: str, seed: int = 0, *,
+                  distributed: bool = False,
+                  shards: int = 2) -> dict[str, Any]:
+        """Run one registered survey workload on a hosted graph.
+
+        ``distributed=True`` routes through the :mod:`repro.dist`
+        runtime (sharded workers under a coordinator, same process);
+        the ambient trace id stamps every ``dist.worker.superstep``
+        span, so one served request is traceable down to per-shard
+        supersteps.
+        """
         runner_name = resolve_algorithm(name)
         handle = self._handle(graph_id)
         with self._request("algorithm", graph_id) as sp:
             sp.set("algorithm", runner_name)
+            if distributed:
+                sp.set("distributed", True)
+                sp.set("shards", shards)
             with handle.lock:
                 result = run_computation(runner_name, handle.db.graph,
-                                         seed=seed)
+                                         seed=seed,
+                                         distributed=distributed,
+                                         shards=shards)
             if is_enabled():
                 get_registry().inc("serve.algorithms")
             return {
                 "name": name,
                 "algorithm": runner_name,
                 "seed": seed,
+                "distributed": distributed,
                 "summary": _jsonable(result.summary),
                 "elapsed_ms": round(result.elapsed_ms, 3),
             }
+
+    # -- debug surfaces --------------------------------------------------
+
+    def debug_traces(self, limit: int = 50) -> dict[str, Any]:
+        """Newest-first digests of the retained traces + store stats."""
+        return {
+            "traces": self.traces.summaries(limit),
+            "stats": self.traces.stats(),
+        }
+
+    def debug_trace(self, trace_id: str) -> dict[str, Any]:
+        """One retained trace as flat span records (parents before
+        children — :func:`~repro.obs.export.link_span_records` shape).
+        404 when retention never kept or already evicted the id."""
+        root = self.traces.get(trace_id)
+        if root is None:
+            raise TraceNotFound(trace_id)
+        return {
+            "trace_id": trace_id,
+            "spans": [span_record(s) for s in root.walk()],
+        }
+
+    def debug_slowlog(self, limit: int = 20) -> dict[str, Any]:
+        """Slow-query aggregates by total time + slowlog stats."""
+        return {
+            "slowlog": self.slowlog.report(limit),
+            "stats": self.slowlog.stats(),
+        }
+
+    def debug_slo(self) -> dict[str, Any]:
+        """Current multi-window SLO burn-rate evaluation."""
+        return self.slo.evaluate()
 
     # -- health / metrics ------------------------------------------------
 
@@ -386,6 +507,9 @@ class GraphService:
                 "cache": self.cache.stats(),
                 "admission": self.admission.stats(),
                 "graphs": len(self._graphs),
+                "traces": self.traces.stats(),
+                "slowlog": self.slowlog.stats(),
+                "slo": self.slo.stats(),
             },
             **summary,
         }

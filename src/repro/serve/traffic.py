@@ -4,7 +4,14 @@
 read=0.7,write=0.2,algo=0.1`` boots a server (or targets ``--url``),
 replays a *deterministic* request schedule from N concurrent clients,
 and reports p50/p95/p99 latency, throughput, shed rate, and cache hit
-rate — the rates read back from the server's obs-backed ``/metrics``.
+rate. Cache figures are **deltas** between a ``/metrics`` snapshot
+taken before and after the run — against a long-lived ``--url`` server
+the absolute counters include every earlier run's traffic, which PR-7
+mistakenly reported as this run's hit rate.
+
+Each response's ``X-Repro-Trace`` id is recorded per request, and the
+report closes with per-run SLO compliance (``--slo`` literals, or the
+service defaults) over the run's own samples.
 
 Determinism is the point: the schedule is pure data derived from
 ``(seed, clients, requests, mix)`` via per-client
@@ -29,8 +36,18 @@ from http.client import HTTPConnection, HTTPException
 from typing import Any
 from urllib.parse import urlsplit
 
+from repro.obs.slo import evaluate_samples
+from repro.obs.trace_context import TRACE_HEADER
+
 #: Operation kinds a mix may name, with their request shapes below.
 MIX_OPS = ("read", "write", "algo")
+
+#: Traffic op -> the serve request op SLO specs target.
+SLO_OP_BY_TRAFFIC_OP = {
+    "read": "query",
+    "write": "mutate",
+    "algo": "algorithm",
+}
 
 #: Read queries cycled over the product graph (all strict-valid).
 READ_QUERIES = (
@@ -132,7 +149,12 @@ def build_schedule(seed: int, clients: int, requests: int,
 
 
 class ServeClient:
-    """A minimal JSON client over one reusable HTTP connection."""
+    """A minimal JSON client over one reusable HTTP connection.
+
+    ``last_trace_id`` holds the ``X-Repro-Trace`` id the server echoed
+    on the most recent response — the handle a caller needs to fetch
+    its own trace from ``/debug/traces/{id}``.
+    """
 
     def __init__(self, url: str, timeout: float = 30.0):
         parts = urlsplit(url)
@@ -141,6 +163,7 @@ class ServeClient:
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        self.last_trace_id: str | None = None
         self._conn: HTTPConnection | None = None
 
     def _connection(self) -> HTTPConnection:
@@ -170,6 +193,7 @@ class ServeClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+        self.last_trace_id = response.getheader(TRACE_HEADER)
         data = json.loads(raw) if raw else {}
         return response.status, data
 
@@ -190,9 +214,15 @@ def _entry_request(graph_id: str,
                                  "vertex": entry["vertex"],
                                  "key": entry["key"],
                                  "value": entry["value"]}]})
+    payload: dict[str, Any] = {"seed": 0}
+    if entry["name"] == "pagerank":
+        # PageRank rides the distributed runtime, so a traffic run
+        # exercises trace propagation down to per-shard supersteps.
+        payload["distributed"] = True
+        payload["shards"] = 2
     return ("POST",
             f"/graphs/{graph_id}/algorithms/{entry['name']}",
-            {"seed": 0})
+            payload)
 
 
 def _percentile(latencies: list[float], q: float) -> float:
@@ -209,11 +239,16 @@ def _percentile(latencies: list[float], q: float) -> float:
 def run_traffic(url: str | None = None, *, seed: int = 7,
                 clients: int = 8, requests: int = 25,
                 mix: TrafficMix | None = None,
-                graph_id: str = "traffic") -> dict[str, Any]:
+                graph_id: str = "traffic",
+                slos: list[str] | None = None) -> dict[str, Any]:
     """Replay the seeded schedule against ``url`` (self-boot a server
     on an ephemeral port when None) and return the report dict."""
     mix = mix or TrafficMix()
     plan = build_schedule(seed, clients, requests, mix)
+    if slos is None:
+        from repro.serve.service import DEFAULT_SLOS
+
+        slos = list(DEFAULT_SLOS)
 
     handle = None
     if url is None:
@@ -232,6 +267,10 @@ def run_traffic(url: str | None = None, *, seed: int = 7,
         if status not in (201, 409):  # 409: already hosted — reuse
             raise RuntimeError(
                 f"could not host traffic graph: HTTP {status}")
+        # Snapshot counters *before* the run: against a long-lived
+        # server the absolute values include pre-run traffic, so the
+        # report works in deltas.
+        _, metrics_before = admin.request("GET", "/metrics")
 
         results: list[dict[str, Any]] = []
         results_lock = threading.Lock()
@@ -247,7 +286,8 @@ def run_traffic(url: str | None = None, *, seed: int = 7,
                 elapsed_ms = (time.perf_counter() - start) * 1000.0
                 local.append({"op": entry["op"], "status": status,
                               "latency_ms": elapsed_ms,
-                              "cache": body.get("cache")})
+                              "cache": body.get("cache"),
+                              "trace_id": client.last_trace_id})
             client.close()
             with results_lock:
                 results.extend(local)
@@ -262,32 +302,47 @@ def run_traffic(url: str | None = None, *, seed: int = 7,
             thread.join()
         wall_s = time.perf_counter() - wall_start
 
-        _, metrics = admin.request("GET", "/metrics")
+        _, metrics_after = admin.request("GET", "/metrics")
         admin.close()
-        return _report(results, wall_s, metrics, seed=seed,
-                       clients=clients, requests=requests, mix=mix)
+        return _report(results, wall_s, metrics_before, metrics_after,
+                       seed=seed, clients=clients, requests=requests,
+                       mix=mix, slos=slos)
     finally:
         if handle is not None:
             handle.shutdown()
 
 
+def _counter_delta(before: dict[str, Any], after: dict[str, Any],
+                   name: str) -> int:
+    """This run's contribution to one monotonic counter (clamped at 0
+    in case the server restarted mid-run)."""
+    b = before.get("counters", {}).get(name, 0)
+    a = after.get("counters", {}).get(name, 0)
+    return max(0, a - b)
+
+
 def _report(results: list[dict[str, Any]], wall_s: float,
-            metrics: dict[str, Any], *, seed: int, clients: int,
-            requests: int, mix: TrafficMix) -> dict[str, Any]:
+            metrics_before: dict[str, Any],
+            metrics_after: dict[str, Any], *, seed: int, clients: int,
+            requests: int, mix: TrafficMix,
+            slos: list[str]) -> dict[str, Any]:
     latencies = [r["latency_ms"] for r in results
                  if r["status"] == 200]
     shed = sum(1 for r in results if r["status"] in (429, 503))
     errors = sum(1 for r in results
                  if r["status"] not in (200, 429, 503))
-    counters = metrics.get("counters", {})
-    hits = counters.get("serve.cache_hits", 0)
-    misses = counters.get("serve.cache_misses", 0)
+    hits = _counter_delta(metrics_before, metrics_after,
+                          "serve.cache_hits")
+    misses = _counter_delta(metrics_before, metrics_after,
+                            "serve.cache_misses")
     by_op: dict[str, int] = {}
     for r in results:
         by_op[r["op"]] = by_op.get(r["op"], 0) + 1
+    samples = [(SLO_OP_BY_TRAFFIC_OP[r["op"]], r["latency_ms"],
+                r["status"] != 200) for r in results]
     total = len(results)
     return {
-        "schema": "repro.serve.traffic/v1",
+        "schema": "repro.serve.traffic/v2",
         "seed": seed,
         "clients": clients,
         "requests_per_client": requests,
@@ -311,6 +366,7 @@ def _report(results: list[dict[str, Any]], wall_s: float,
             "hit_rate": (round(hits / (hits + misses), 4)
                          if hits + misses else 0.0),
         },
+        "slo": evaluate_samples(slos, samples),
     }
 
 
@@ -330,8 +386,14 @@ def render_report(report: dict[str, Any]) -> str:
         f"errors {report['errors']}",
         f"  cache hit rate {100 * report['cache']['hit_rate']:.1f}% "
         f"({report['cache']['hits']} hits / "
-        f"{report['cache']['misses']} misses)",
+        f"{report['cache']['misses']} misses, this run)",
     ]
+    for row in report.get("slo", ()):
+        verdict = "met" if row["met"] else "MISSED"
+        lines.append(
+            f"  slo {row['spec']}: {verdict}  compliance "
+            f"{100 * row['compliance']:.2f}% over {row['events']} "
+            f"requests ({row['bad']} bad)")
     return "\n".join(lines)
 
 
@@ -351,18 +413,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="requests per client")
     parser.add_argument("--mix", default="read=0.7,write=0.2,algo=0.1")
     parser.add_argument("--graph-id", default="traffic")
+    parser.add_argument("--slo", action="append", default=None,
+                        metavar="SPEC",
+                        help="SLO spec to grade the run against "
+                             "(repeatable); default: the service "
+                             "defaults")
     parser.add_argument("--json", action="store_true",
                         dest="as_json")
     args = parser.parse_args(argv)
 
     try:
         mix = TrafficMix.parse(args.mix)
+        if args.slo is not None:
+            from repro.obs.slo import parse_specs
+
+            parse_specs(args.slo)  # fail fast on bad literals
     except ValueError as exc:
         parser.error(str(exc))
     report = run_traffic(args.url, seed=args.seed,
                          clients=args.clients,
                          requests=args.requests, mix=mix,
-                         graph_id=args.graph_id)
+                         graph_id=args.graph_id, slos=args.slo)
     if args.as_json:
         print(json.dumps(report, indent=2))
     else:

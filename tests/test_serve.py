@@ -436,9 +436,10 @@ class TestTrafficHarness:
                    "--json"])
         assert rc == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["schema"] == "repro.serve.traffic/v1"
+        assert report["schema"] == "repro.serve.traffic/v2"
         assert report["seed"] == 7
         assert report["total_requests"] == 6
+        assert all("compliance" in row for row in report["slo"])
 
     def test_cli_rejects_bad_mix(self, capsys):
         from repro.serve.traffic import main
