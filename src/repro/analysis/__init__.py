@@ -31,6 +31,7 @@ errors and recording findings as obs span events.
 from repro.analysis.checkpoint_safety import check_value, roundtrip_problem
 from repro.analysis.config_check import (
     check_bench_cases,
+    check_breaker_config,
     check_fault_plan,
     check_fault_plan_object,
     check_slo_spec,
@@ -64,6 +65,7 @@ __all__ = [
     "analyze_program",
     "analyze_spec",
     "check_bench_cases",
+    "check_breaker_config",
     "check_fault_plan",
     "check_fault_plan_object",
     "check_query",

@@ -21,7 +21,11 @@ raising from inside a coordinator or a bench sweep.
 * **CFG006** — an SLO spec string is invalid (bad grammar, unknown
   request op, non-positive latency threshold, or a target outside
   (0, 1]) — the :meth:`repro.obs.slo.SLOSpec.parse` validation before
-  a monitor ever evaluates it.
+  a monitor ever evaluates it;
+* **CFG007** — a circuit-breaker/deadline config literal is invalid
+  (unknown key, non-numeric value, out-of-range threshold or window)
+  — the :meth:`repro.serve.resilience.BreakerConfig.parse` validation
+  as a pre-flight instead of a boot-time failure of the armed server.
 """
 
 from __future__ import annotations
@@ -59,6 +63,10 @@ register_rule(
     "CFG006", "config", Severity.ERROR,
     "SLO spec is invalid (bad grammar, unknown op, non-positive "
     "threshold, or target outside (0, 1])")
+register_rule(
+    "CFG007", "config", Severity.ERROR,
+    "breaker/deadline config is invalid (unknown key, non-numeric "
+    "value, or out-of-range window/threshold/probes/cooldown)")
 
 
 def check_fault_plan(spec: str, *, file: str = "<fault-plan>",
@@ -123,6 +131,23 @@ def check_slo_spec(spec: str, *, file: str = "<slo>",
         SLOSpec.parse(spec)
     except ValueError as error:
         report.add(finding("CFG006", str(error), file=file, line=line))
+    return report
+
+
+def check_breaker_config(spec: str, *, file: str = "<breaker>",
+                         line: int = 0) -> AnalysisReport:
+    """Validate a ``window=20,threshold=0.5,...`` breaker literal
+    (optionally carrying ``deadline_ms``) without arming a breaker."""
+    # Lazy for the same reason as check_traffic_mix: the serve stack
+    # is only imported when a breaker literal is actually checked.
+    from repro.serve.resilience import BreakerConfig
+
+    report = AnalysisReport()
+    report.note_target(file)
+    try:
+        BreakerConfig.parse(spec)
+    except ValueError as error:
+        report.add(finding("CFG007", str(error), file=file, line=line))
     return report
 
 

@@ -10,6 +10,8 @@ and runs the matching rule families:
   checks (including duplicate-slot rejection);
 * ``TrafficMix.parse("...")`` string literals get the CFG005
   traffic-mix checks (known op names, weights summing to 1);
+* ``BreakerConfig.parse("...")`` string literals get the CFG007
+  breaker/deadline checks (known keys, in-range window/threshold);
 * ``run_query(graph, "...")`` / ``repro.query.parse("...")`` string
   literals get the QRY parse + unbound-variable checks (schema-aware
   checks need a live :class:`~repro.graphs.schema.GraphSchema`, so
@@ -37,6 +39,7 @@ from repro.analysis.astutils import (
 from repro.analysis.findings import AnalysisReport, Severity
 from repro.analysis.query_check import check_query
 from repro.analysis.config_check import (
+    check_breaker_config,
     check_fault_plan,
     check_slo_spec,
     check_traffic_mix,
@@ -93,6 +96,17 @@ def _fault_plan_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
 def _traffic_mix_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
     dotted = dotted_name(node.func)
     if dotted is None or not dotted.endswith("TrafficMix.parse"):
+        return None
+    if node.args:
+        text = const_str(node.args[0])
+        if text is not None:
+            return text, node.args[0]
+    return None
+
+
+def _breaker_literal(node: ast.Call) -> tuple[str, ast.expr] | None:
+    dotted = dotted_name(node.func)
+    if dotted is None or not dotted.endswith("BreakerConfig.parse"):
         return None
     if node.args:
         text = const_str(node.args[0])
@@ -197,6 +211,13 @@ def _scan_tree(tree: ast.Module, file: str) -> AnalysisReport:
             text, literal = mix_literal
             sub = check_traffic_mix(text, file=file,
                                     line=literal.lineno)
+            report.findings.extend(sub.findings)
+            continue
+        breaker_literal = _breaker_literal(node)
+        if breaker_literal is not None:
+            text, literal = breaker_literal
+            sub = check_breaker_config(text, file=file,
+                                       line=literal.lineno)
             report.findings.extend(sub.findings)
             continue
         slo_literal = _slo_literal(node)

@@ -29,7 +29,14 @@ from typing import Any, Callable, Iterable
 
 from repro.errors import ReproError
 from repro.graphs.adjacency import Graph, Vertex
-from repro.obs import Span, forced_span, get_registry, is_enabled, span
+from repro.obs import (
+    Span,
+    current_deadline,
+    forced_span,
+    get_registry,
+    is_enabled,
+    span,
+)
 
 
 class PregelError(ReproError):
@@ -278,8 +285,14 @@ class PregelEngine:
     def _run_supersteps(self) -> PregelResult:
         stats: list[SuperstepStats] = []
         metrics = get_registry() if is_enabled() else None
+        deadline = current_deadline()
         superstep = 0
         while superstep < self._max_supersteps:
+            # Superstep boundaries are the engine's cooperative yield
+            # points: an expired request budget surfaces here rather
+            # than interrupting a compute() mid-vertex.
+            if deadline is not None:
+                deadline.check(f"pregel.superstep:{superstep}")
             active = [
                 v for v in self._values
                 if v not in self._halted or v in self._inbox

@@ -61,7 +61,13 @@ from repro.dist.resilience import (
 )
 from repro.dist.worker import Worker, WorkerStepResult
 from repro.graphs.adjacency import Graph, Vertex
-from repro.obs import get_registry, is_enabled, span
+from repro.obs import (
+    check_deadline,
+    current_deadline,
+    get_registry,
+    is_enabled,
+    span,
+)
 
 
 @dataclass(frozen=True)
@@ -296,6 +302,11 @@ class Coordinator:
             # accounting check below detects the mismatch and raises,
             # handing the superstep to the recovery supervisor.
             with span("dist.barrier", superstep=superstep) as barrier:
+                # The barrier is the coordinator's cooperative yield
+                # point: a DeadlineExceeded here is NOT an
+                # InjectedFault, so it bypasses the recovery
+                # supervisor and unwinds the whole run.
+                check_deadline(f"dist.barrier:{superstep}")
                 drop_budget = duplicate_budget = 0
                 if self._fault_plan is not None:
                     for fault in self._fault_plan.barrier_faults(
@@ -384,8 +395,11 @@ class Coordinator:
     def _run_supersteps(self) -> DistributedResult:
         stats: list[DistSuperstepStats] = []
         self._save_checkpoint(0)  # recovery floor for superstep-0 kills
+        deadline = current_deadline()
         superstep = 0
         while True:
+            if deadline is not None:
+                deadline.check(f"dist.superstep:{superstep}")
             if not any(w.has_active() for w in self.workers):
                 break
             if superstep >= self._max_supersteps:

@@ -77,6 +77,12 @@ class RetryPolicy:
     backoff_base_ms: float = 10.0
     backoff_factor: float = 2.0
     backoff_cap_ms: float = 1000.0
+    #: Jitter fraction in [0, 1): each backoff is scaled by a factor
+    #: drawn uniformly from ``[1 - jitter, 1 + jitter]``. The draw
+    #: comes from a *caller-supplied* seeded ``random.Random`` (see
+    #: :meth:`backoff_ms`), keeping the repo's seeded-determinism
+    #: contract — no hidden global randomness.
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -85,18 +91,32 @@ class RetryPolicy:
             raise ValueError("backoff times must be >= 0")
         if self.backoff_factor < 1:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
 
-    def backoff_ms(self, attempt: int) -> float:
-        """Backoff recorded for the ``attempt``-th consecutive recovery."""
+    def backoff_ms(self, attempt: int, rng=None) -> float:
+        """Backoff recorded for the ``attempt``-th consecutive recovery.
+
+        With ``jitter`` configured and a seeded ``rng`` supplied, the
+        exponential value is scaled by a uniform draw from
+        ``[1 - jitter, 1 + jitter]`` — clients desynchronize their
+        retries without losing per-seed reproducibility. Without an
+        rng the jitter is skipped (the recovery supervisor's recorded
+        schedules stay exact).
+        """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
-        return min(self.backoff_base_ms
-                   * self.backoff_factor ** (attempt - 1),
-                   self.backoff_cap_ms)
+        backoff = min(self.backoff_base_ms
+                      * self.backoff_factor ** (attempt - 1),
+                      self.backoff_cap_ms)
+        if self.jitter and rng is not None:
+            backoff *= rng.uniform(1.0 - self.jitter,
+                                   1.0 + self.jitter)
+        return backoff
 
-    def schedule(self) -> list[float]:
+    def schedule(self, rng=None) -> list[float]:
         """The full recorded backoff schedule, one entry per attempt."""
-        return [self.backoff_ms(attempt)
+        return [self.backoff_ms(attempt, rng)
                 for attempt in range(1, self.max_attempts + 1)]
 
 

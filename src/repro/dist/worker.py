@@ -29,7 +29,7 @@ from repro.dgps.pregel import (
     run_local_superstep,
 )
 from repro.graphs.adjacency import Vertex
-from repro.obs import span
+from repro.obs import check_deadline, span
 
 
 @dataclass
@@ -136,6 +136,8 @@ class Worker:
         with span("dist.worker.superstep", worker=self.name,
                   superstep=superstep,
                   shard_vertices=len(self.vertices)) as work_span:
+            check_deadline(f"dist.worker.superstep:{self.name}"
+                           f"@{superstep}")
             if injected_delay_ms:
                 work_span.set("injected_delay_ms", injected_delay_ms)
             self._previous_aggregates = previous_aggregates

@@ -64,6 +64,15 @@ from repro.obs.export import (
     span_record,
     to_jsonl,
 )
+from repro.obs.deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    parse_deadline_ms,
+)
 from repro.obs.retention import RetentionPolicy, TraceStore
 from repro.obs.slo import (
     SLOMonitor,
@@ -131,6 +140,9 @@ __all__ = [
     "SlowLog", "TraceStore", "accept_trace_id", "current_trace_id",
     "evaluate_samples", "fingerprint", "new_trace_id", "parse_specs",
     "trace_scope", "valid_trace_id",
+    # deadlines (repro.obs.deadline)
+    "DEADLINE_HEADER", "Deadline", "DeadlineExceeded", "check_deadline",
+    "current_deadline", "deadline_scope", "parse_deadline_ms",
     # timeline (the bench harness lives in repro.obs.bench — imported
     # explicitly, so `import repro.obs` stays light)
     "Lane", "SuperstepLanes", "Timeline", "build_timeline",

@@ -236,6 +236,20 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
                 last = service.query("bench", SERVE_QUERY)
         return last["cache"]
 
+    def serve_deadline_case():
+        # The cached-query loop under an armed (generous) deadline,
+        # so the compare gate (baseline: serve.query_cached) pins the
+        # cost of cooperative deadline checks — contextvar read +
+        # monotonic clock per row/boundary — on the hottest serve
+        # path.
+        from repro.obs.deadline import deadline_scope
+
+        service = _serve_service()
+        with deadline_scope(60_000.0):
+            for _ in range(SERVE_REQUESTS):
+                last = service.query("bench", SERVE_QUERY)
+        return last["cache"]
+
     suite.add("serve.query_cached", serve_cached_case,
               tags=("serve",), work=SERVE_REQUESTS,
               query=SERVE_QUERY, requests=SERVE_REQUESTS)
@@ -246,6 +260,11 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
     suite.add("serve.request_traced", serve_traced_case,
               tags=("serve",), work=SERVE_REQUESTS,
               query=SERVE_QUERY, requests=SERVE_REQUESTS,
+              baseline_case="serve.query_cached")
+    suite.add("serve.query_deadline", serve_deadline_case,
+              tags=("serve",), work=SERVE_REQUESTS,
+              query=SERVE_QUERY, requests=SERVE_REQUESTS,
+              deadline_ms=60_000.0,
               baseline_case="serve.query_cached")
 
     return suite

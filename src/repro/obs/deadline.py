@@ -1,0 +1,178 @@
+"""Request deadlines, propagated via ``contextvars`` and checked
+cooperatively.
+
+The survey's operational complaints — queries that "never come back",
+batch jobs starving interactive traffic — share one root cause: once a
+request starts executing, nothing bounds it. Admission control (PR 7)
+bounds *queue* wait; this module bounds *execution*. A
+:class:`Deadline` is minted once per request at the serve edge (or
+adopted from the ``X-Repro-Deadline-Ms`` header) and bound in a
+:class:`~contextvars.ContextVar` beside the trace id. Long-running
+loops check it at their natural yield points — the query executor's
+row loop, Pregel superstep boundaries, the dist Coordinator's barriers
+and each Worker's superstep — and an expired budget raises
+:class:`DeadlineExceeded`, which the serve edge maps to HTTP 504. The
+exception unwinds through ordinary ``with`` blocks, so the admission
+slot, graph lock, and open spans all release cleanly.
+
+Propagation contract (mirrors :mod:`repro.obs.trace_context`):
+
+* the deadline flows wherever the context does — nested calls,
+  generators, and the synchronous :mod:`repro.dist` runtime inherit
+  it; threads spawned inside a scope do not (``contextvars``
+  semantics);
+* checks are *cooperative*: code between yield points is never
+  interrupted, so an expired budget surfaces at the next boundary
+  (for a distributed run, within about one superstep);
+* every real span opened under a deadline records
+  ``deadline_remaining_ms`` at entry, so a finished trace shows the
+  budget draining layer by layer;
+* no ambient deadline means no checks and no overhead — the fast
+  path is one ContextVar read and a ``None`` test.
+
+Usage::
+
+    from repro.obs import deadline_scope, current_deadline
+
+    with deadline_scope(250):            # 250 ms budget
+        run_query(graph, text)           # raises DeadlineExceeded
+                                         # if the row loop overruns
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.obs.spans import _DEADLINE
+
+#: HTTP header carrying a caller-supplied execution budget (in
+#: milliseconds) into the serve edge.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+#: Largest accepted budget — one hour. Anything above is a malformed
+#: request, not a real deadline.
+MAX_BUDGET_MS = 3_600_000.0
+
+
+class DeadlineExceeded(ReproError):
+    """A request overran its execution budget.
+
+    Raised from a cooperative check point; carries where the overrun
+    was detected and by how much. The serve edge maps it to HTTP 504.
+    """
+
+    def __init__(self, where: str, budget_ms: float, overrun_ms: float):
+        self.where = where
+        self.budget_ms = budget_ms
+        self.overrun_ms = overrun_ms
+        super().__init__(
+            f"deadline of {budget_ms:g} ms exceeded by "
+            f"{overrun_ms:.1f} ms at {where}")
+
+
+class Deadline:
+    """An absolute expiry instant derived from a millisecond budget.
+
+    The clock is injectable (monotonic by default) so tests can drive
+    expiry deterministically, the same way :class:`~repro.obs.slo.\
+SLOMonitor` takes ``clock=``.
+    """
+
+    __slots__ = ("budget_ms", "_expires_at", "_clock")
+
+    def __init__(self, budget_ms: float, *,
+                 clock: Callable[[], float] = time.monotonic):
+        budget_ms = float(budget_ms)
+        if not budget_ms > 0:
+            raise ValueError(
+                f"deadline budget must be positive, got {budget_ms!r}")
+        if budget_ms > MAX_BUDGET_MS:
+            raise ValueError(
+                f"deadline budget {budget_ms:g} ms exceeds the "
+                f"{MAX_BUDGET_MS:g} ms cap")
+        self.budget_ms = budget_ms
+        self._clock = clock
+        self._expires_at = clock() + budget_ms / 1000.0
+
+    def remaining_ms(self) -> float:
+        """Milliseconds until expiry; negative once overrun."""
+        return (self._expires_at - self._clock()) * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_ms() <= 0.0
+
+    def check(self, where: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        remaining = self.remaining_ms()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(where, self.budget_ms, -remaining)
+
+    def __repr__(self) -> str:
+        return (f"Deadline({self.budget_ms:g} ms, "
+                f"remaining={self.remaining_ms():.1f} ms)")
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline, if a scope is active.
+
+    Loop bodies should call this once before iterating and keep the
+    result — ``None`` means no checks at all, and a captured deadline
+    avoids a ContextVar read per iteration.
+    """
+    return _DEADLINE.get()  # type: ignore[return-value]
+
+
+def check_deadline(where: str) -> None:
+    """Check the ambient deadline at a single yield point.
+
+    One ContextVar read and a ``None`` test when no deadline is bound;
+    otherwise delegates to :meth:`Deadline.check`.
+    """
+    deadline = _DEADLINE.get()
+    if deadline is not None:
+        deadline.check(where)  # type: ignore[union-attr]
+
+
+def parse_deadline_ms(raw: str | None) -> float | None:
+    """Parse an ``X-Repro-Deadline-Ms`` header value.
+
+    Returns ``None`` when the header is absent; raises
+    :class:`ValueError` on anything that is not a positive number of
+    milliseconds (the serve edge maps that to a 400).
+    """
+    if raw is None or raw == "":
+        return None
+    try:
+        budget_ms = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"bad {DEADLINE_HEADER} value {raw!r}: expected a "
+            f"positive number of milliseconds") from None
+    if not budget_ms > 0 or budget_ms > MAX_BUDGET_MS:
+        raise ValueError(
+            f"bad {DEADLINE_HEADER} value {raw!r}: expected "
+            f"0 < ms <= {MAX_BUDGET_MS:g}")
+    return budget_ms
+
+
+@contextmanager
+def deadline_scope(
+        budget: Deadline | float | int) -> Iterator[Deadline]:
+    """Bind a deadline for the duration of the block, yielding it.
+
+    Accepts a millisecond budget (a fresh :class:`Deadline` starts
+    ticking now) or a pre-built :class:`Deadline` (tests inject fake
+    clocks this way). Nested scopes rebind — the innermost deadline is
+    the effective one; the serve edge binds exactly once per request.
+    """
+    deadline = budget if isinstance(budget, Deadline) else \
+        Deadline(budget)
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)

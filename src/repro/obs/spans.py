@@ -45,6 +45,14 @@ from typing import Any, Callable, Iterator
 _TRACE_ID: ContextVar[str | None] = ContextVar(
     "repro_trace_id", default=None)
 
+#: The ambient request deadline (see :mod:`repro.obs.deadline`), bound
+#: beside the trace id. Every *real* span opened while it is set stamps
+#: ``deadline_remaining_ms`` at entry, so a finished trace shows the
+#: budget draining through serve -> query/pregel -> dist worker spans.
+#: The NULL_SPAN path never reads it, so tracing-off stays free.
+_DEADLINE: ContextVar[Any] = ContextVar(
+    "repro_deadline", default=None)
+
 
 class _ThreadState(threading.local):
     """Per-thread stack of currently open spans."""
@@ -89,6 +97,11 @@ class Span:
         trace_id = _TRACE_ID.get()
         if trace_id is not None and "trace_id" not in self.attributes:
             self.attributes["trace_id"] = trace_id
+        deadline = _DEADLINE.get()
+        if deadline is not None and \
+                "deadline_remaining_ms" not in self.attributes:
+            self.attributes["deadline_remaining_ms"] = round(
+                deadline.remaining_ms(), 3)
         profiler = _PROFILER
         if profiler is not None:
             profiler._on_enter(self)

@@ -17,7 +17,7 @@ from typing import Any, Iterator
 from repro.errors import QueryError
 from repro.graphs.adjacency import Vertex
 from repro.graphs.property_graph import PropertyGraph
-from repro.obs import get_registry, is_enabled, span
+from repro.obs import current_deadline, get_registry, is_enabled, span
 from repro.query.ast import (
     Comparison,
     Direction,
@@ -100,7 +100,10 @@ def run_query(
                 raise QueryError(
                     "query rejected by static analysis: "
                     + "; ".join(f.render() for f in analysis.errors))
+        deadline = current_deadline()
         for binding in _match_patterns(catalog, query):
+            if deadline is not None:
+                deadline.check("query.run:row")
             if query.limit is not None and len(result.rows) >= query.limit:
                 break
             row = tuple(

@@ -17,13 +17,20 @@ from repro.serve.admission import AdmissionController
 from repro.serve.cache import QueryCache
 from repro.serve.errors import (
     BadRequest,
+    BreakerOpen,
     GraphExists,
     GraphNotFound,
     ServeError,
     ServeOverloaded,
     ServeQueueFull,
+    ServiceDraining,
     TraceNotFound,
     error_status,
+)
+from repro.serve.resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
 )
 from repro.serve.server import ServerHandle, start_server
 from repro.serve.service import (
@@ -37,12 +44,20 @@ from repro.serve.service import (
 #: under two names.
 _TRAFFIC_EXPORTS = ("TrafficMix", "build_schedule", "run_traffic")
 
+#: Same deal for :mod:`repro.serve.chaos` — the harness imports the
+#: HTTP stack lazily, and the package must not force that.
+_CHAOS_EXPORTS = ("ChaosDirective", "ChaosInjector", "run_serve_chaos")
+
 
 def __getattr__(name):
     if name in _TRAFFIC_EXPORTS:
         from repro.serve import traffic
 
         return getattr(traffic, name)
+    if name in _CHAOS_EXPORTS:
+        from repro.serve import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")
 
@@ -50,6 +65,12 @@ __all__ = [
     "ALGORITHM_ALIASES",
     "AdmissionController",
     "BadRequest",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerOpen",
+    "ChaosDirective",
+    "ChaosInjector",
+    "CircuitBreaker",
     "GraphExists",
     "GraphNotFound",
     "GraphService",
@@ -58,11 +79,13 @@ __all__ = [
     "ServeOverloaded",
     "ServeQueueFull",
     "ServerHandle",
+    "ServiceDraining",
     "TraceNotFound",
     "TrafficMix",
     "build_schedule",
     "error_status",
     "resolve_algorithm",
+    "run_serve_chaos",
     "run_traffic",
     "start_server",
 ]

@@ -13,11 +13,20 @@ Hit/miss/eviction counts land in :mod:`repro.obs`
 (``serve.cache_hits`` / ``serve.cache_misses`` /
 ``serve.cache_evictions``) whenever observability is enabled, which is
 where the traffic harness's "cache hit rate" figure comes from.
+
+Degraded serving (:mod:`repro.serve.resilience`) adds one deliberate
+exception to the never-stale rule: :meth:`QueryCache.get_stale` finds
+the newest *superseded-version* entry for a ``(graph_id, query)``
+pair, with its age, so an open circuit breaker can answer from history
+— but only callers that explicitly opt in (and mark the response
+``"stale": true``) ever see those entries; :meth:`QueryCache.get`
+stays version-exact.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any
 
@@ -30,15 +39,19 @@ CacheKey = tuple[str, int, str]
 class QueryCache:
     """A bounded, thread-safe, version-keyed result cache."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, *, clock=time.monotonic):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        #: Insert instant per key, for stale-serve age reporting.
+        self._stamps: dict[CacheKey, float] = {}
+        self._clock = clock
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_hits = 0
 
     def _key(self, graph_id: str, version: int,
              query: str) -> CacheKey:
@@ -68,12 +81,42 @@ class QueryCache:
         with self._lock:
             self._entries[key] = payload
             self._entries.move_to_end(key)
+            self._stamps[key] = self._clock()
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                doomed_key, _ = self._entries.popitem(last=False)
+                self._stamps.pop(doomed_key, None)
                 evicted += 1
             self.evictions += evicted
         if evicted and is_enabled():
             get_registry().inc("serve.cache_evictions", evicted)
+
+    def get_stale(self, graph_id: str, query: str) -> Any:
+        """The newest superseded-or-current entry for one query, or
+        ``None``.
+
+        Degraded-mode lookup for an open circuit breaker: scans every
+        retained version of ``(graph_id, query)`` and returns
+        ``(payload, version, age_s)`` for the highest version present
+        (a bounded O(capacity) scan — this path only runs while
+        degraded). The caller owns marking the response
+        ``"stale": true``; this method never masquerades as
+        :meth:`get`.
+        """
+        best_key: CacheKey | None = None
+        with self._lock:
+            for key in self._entries:
+                if key[0] == graph_id and key[2] == query:
+                    if best_key is None or key[1] > best_key[1]:
+                        best_key = key
+            if best_key is None:
+                return None
+            self.stale_hits += 1
+            payload = self._entries[best_key]
+            age_s = self._clock() - self._stamps.get(
+                best_key, self._clock())
+        if is_enabled():
+            get_registry().inc("serve.cache_stale_hits")
+        return payload, best_key[1], age_s
 
     def drop_graph(self, graph_id: str) -> int:
         """Drop every entry of one graph (graph deletion); returns the
@@ -82,11 +125,13 @@ class QueryCache:
             doomed = [k for k in self._entries if k[0] == graph_id]
             for key in doomed:
                 del self._entries[key]
+                self._stamps.pop(key, None)
         return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._stamps.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -101,6 +146,7 @@ class QueryCache:
                 "hits": hits,
                 "misses": misses,
                 "evictions": self.evictions,
+                "stale_hits": self.stale_hits,
                 "hit_rate": (hits / (hits + misses)
                              if hits + misses else 0.0),
             }

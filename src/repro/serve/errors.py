@@ -10,6 +10,7 @@ tests, the traffic harness, and operators see *which* policy fired —
 from __future__ import annotations
 
 from repro.errors import ReproError
+from repro.obs.deadline import DeadlineExceeded
 
 
 class ServeError(ReproError):
@@ -91,6 +92,37 @@ class BadRequest(ServeError):
     status = 400
 
 
+class BreakerOpen(ServeError):
+    """The operation's circuit breaker is open and no degraded answer
+    (stale cache entry) was available — shed with ``Retry-After``
+    (503) so clients back off until the half-open probe window."""
+
+    status = 503
+
+    def __init__(self, op: str, retry_after_s: float):
+        super().__init__(
+            f"circuit breaker for {op!r} is open; retry after "
+            f"{retry_after_s:.1f}s")
+        self.op = op
+        #: Seconds until the breaker next admits a half-open probe —
+        #: sent as the ``Retry-After`` header.
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDraining(ServeError):
+    """The service is draining for shutdown: in-flight requests finish,
+    new ones are shed with ``Retry-After`` (503) before consuming an
+    admission slot."""
+
+    status = 503
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"service is draining for shutdown; retry after "
+            f"{retry_after_s:.1f}s")
+        self.retry_after_s = retry_after_s
+
+
 def error_status(exc: BaseException) -> int:
     """The HTTP status one failure maps to — the single mapping the
     transport, the SLO accounting, and the traffic harness share, so a
@@ -98,6 +130,10 @@ def error_status(exc: BaseException) -> int:
     as the same 400 on the wire."""
     if isinstance(exc, ServeError):
         return exc.status
+    if isinstance(exc, DeadlineExceeded):
+        # An overrun execution budget is a gateway timeout, not a
+        # client error — it burns error budget and trips breakers.
+        return 504
     if isinstance(exc, (ReproError, ValueError, KeyError, TypeError)):
         return 400
     return 500

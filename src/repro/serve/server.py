@@ -23,11 +23,15 @@ Endpoints::
     GET    /debug/traces/{trace_id}           one trace's span tree
     GET    /debug/slowlog                     fingerprinted slow queries
     GET    /debug/slo                         burn-rate SLO evaluation
+    GET    /debug/breakers                    circuit-breaker states
 
 Every request runs under a trace id — minted at the edge, or adopted
 from the ``X-Repro-Trace`` request header — and every response echoes
 it back in the same header, so a caller can immediately fetch its own
-trace from ``/debug/traces/{id}``.
+trace from ``/debug/traces/{id}``. An ``X-Repro-Deadline-Ms`` request
+header binds an execution budget the same way (see
+:mod:`repro.obs.deadline`): overrunning it maps to a 504, and sheds
+(breaker open, draining) carry a ``Retry-After`` response header.
 
 Run one with :func:`start_server` (ephemeral port by default) or from
 the CLI: ``python -m repro.serve --port 8080 --scenario product``.
@@ -38,11 +42,18 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs
 
 from repro.obs import render_prometheus
+from repro.obs.deadline import (
+    DEADLINE_HEADER,
+    deadline_scope,
+    parse_deadline_ms,
+)
 from repro.obs.retention import TraceStore
 from repro.obs.trace_context import (
     TRACE_HEADER,
@@ -97,8 +108,15 @@ class ServeHandler(BaseHTTPRequestHandler):
         return payload
 
     def _send(self, status: int, payload: dict[str, Any] | str,
-              trace_id: str | None = None) -> None:
-        """JSON for dict payloads, text/plain for str (Prometheus)."""
+              trace_id: str | None = None, *,
+              extra_headers: dict[str, str] | None = None,
+              drip: tuple[int, float] | None = None) -> None:
+        """JSON for dict payloads, text/plain for str (Prometheus).
+
+        ``drip`` (chaos only) writes the body in N chunks with a gap
+        between them, simulating a slow/tarpitted response the client
+        must survive.
+        """
         if isinstance(payload, str):
             body = payload.encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -110,22 +128,72 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if trace_id is not None:
             self.send_header(TRACE_HEADER, trace_id)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
+        if drip is not None and len(body) > 1:
+            chunks, gap_ms = drip
+            size = max(1, len(body) // max(1, chunks))
+            for start in range(0, len(body), size):
+                self.wfile.write(body[start:start + size])
+                self.wfile.flush()
+                time.sleep(gap_ms / 1000.0)
+            return
         self.wfile.write(body)
+
+    def _chaos_directive(self):
+        """The parsed ``X-Repro-Chaos`` directive, or ``None``.
+
+        Honored only when the service was armed with a chaos injector
+        — an unarmed production service ignores the header entirely.
+        """
+        if self.service.chaos is None:
+            return None
+        from repro.serve.chaos import CHAOS_HEADER, ChaosDirective
+
+        raw = self.headers.get(CHAOS_HEADER)
+        if raw is None or raw == "":
+            return None
+        try:
+            return ChaosDirective.parse(raw)
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
 
     def _dispatch(self, method: str) -> None:
         path, _, query_string = self.path.partition("?")
         params = parse_qs(query_string)
         trace_id = None
+        extra_headers: dict[str, str] = {}
+        directive = None
         try:
             trace_id = accept_trace_id(self.headers.get(TRACE_HEADER))
-            with trace_scope(trace_id):
+            try:
+                budget_ms = parse_deadline_ms(
+                    self.headers.get(DEADLINE_HEADER))
+            except ValueError as exc:
+                raise BadRequest(str(exc)) from None
+            directive = self._chaos_directive()
+            budget_ctx = (deadline_scope(budget_ms)
+                          if budget_ms is not None else nullcontext())
+            if directive is not None:
+                from repro.serve.chaos import chaos_scope
+
+                chaos_ctx: Any = chaos_scope(directive)
+            else:
+                chaos_ctx = nullcontext()
+            with trace_scope(trace_id), budget_ctx, chaos_ctx:
                 status, payload = self._route(method, path, params)
         except Exception as exc:  # noqa: BLE001 - the status mapping
             status = error_status(exc)
             payload = _error_payload(exc, status)
+            retry_after = getattr(exc, "retry_after_s", None)
+            if retry_after is not None:
+                extra_headers["Retry-After"] = (
+                    f"{max(0.0, float(retry_after)):.3f}")
+        drip = directive.drip if directive is not None else None
         try:
-            self._send(status, payload, trace_id)
+            self._send(status, payload, trace_id,
+                       extra_headers=extra_headers, drip=drip)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client hung up; nothing to salvage
         TraceStore.maintain(SPAN_RETENTION)
@@ -159,6 +227,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             return 200, service.debug_slowlog(limit)
         if method == "GET" and path == "/debug/slo":
             return 200, service.debug_slo()
+        if method == "GET" and path == "/debug/breakers":
+            return 200, service.debug_breakers()
         if method == "GET" and path == "/graphs":
             return 200, service.list_graphs()
         if method == "POST" and path == "/graphs":
@@ -238,7 +308,22 @@ class ServerHandle:
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain_s: float = 5.0) -> None:
+        """Graceful drain, then stop.
+
+        The service first stops *accepting*: new requests are shed
+        with 503 + ``Retry-After`` (no admission slot consumed) while
+        queued and in-flight handlers run to completion, polled up to
+        the ``drain_s`` budget. Only then does the listener stop and
+        the serve thread join — in-flight work is never stranded the
+        way the old hard-join could.
+        """
+        self.service.begin_drain(retry_after_s=max(0.1, drain_s))
+        drain_until = time.monotonic() + max(0.0, drain_s)
+        while not self.service.drained():
+            if time.monotonic() >= drain_until:
+                break
+            time.sleep(0.01)
         self.httpd.shutdown()
         self.httpd.server_close()
         self.thread.join(timeout=5.0)
@@ -294,6 +379,14 @@ def main(argv: list[str] | None = None) -> int:
                              "(errors and the slow tail always kept)")
     parser.add_argument("--no-obs", action="store_true",
                         help="serve without span/metric collection")
+    parser.add_argument("--breaker", default=None, metavar="SPEC",
+                        help="circuit-breaker config literal, e.g. "
+                             "'window=20,threshold=0.5,min_requests=5,"
+                             "probes=2,cooldown_s=5'")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="default execution budget minted per "
+                             "request (overridable per request via "
+                             "the X-Repro-Deadline-Ms header)")
     args = parser.parse_args(argv)
 
     if not args.no_obs:
@@ -304,7 +397,9 @@ def main(argv: list[str] | None = None) -> int:
                                max_in_flight=args.max_in_flight,
                                queue_limit=args.queue_limit,
                                slos=args.slo,
-                               retention=retention)
+                               retention=retention,
+                               breaker=args.breaker,
+                               default_deadline_ms=args.deadline_ms)
     except ValueError as exc:
         parser.error(str(exc))
     if args.scenario:

@@ -30,12 +30,17 @@ from __future__ import annotations
 
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.graphdb import GraphDatabase
 from repro.obs import get_registry, is_enabled, span
+from repro.obs.deadline import (
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.obs.export import _jsonable, span_record
 from repro.obs.retention import RetentionPolicy, TraceStore
 from repro.obs.slo import SLOMonitor, SLOSpec
@@ -46,11 +51,14 @@ from repro.serve.admission import AdmissionController
 from repro.serve.cache import QueryCache
 from repro.serve.errors import (
     BadRequest,
+    BreakerOpen,
     GraphExists,
     GraphNotFound,
+    ServiceDraining,
     TraceNotFound,
     error_status,
 )
+from repro.serve.resilience import BreakerBoard, BreakerConfig
 from repro.workloads import ALL_RUNNERS, run_computation
 
 #: Short endpoint aliases for the Table 9/10/11 runner names (exact
@@ -129,7 +137,11 @@ class GraphService:
                  queue_timeout_s: float = 5.0,
                  handler_delay_ms: float = 0.0,
                  slos: list[SLOSpec | str] | None = None,
-                 retention: RetentionPolicy | None = None):
+                 retention: RetentionPolicy | None = None,
+                 breaker: BreakerBoard | BreakerConfig | str |
+                 None = None,
+                 default_deadline_ms: float | None = None,
+                 chaos: Any = None):
         self._graphs: dict[str, GraphHandle] = {}
         self._lock = threading.RLock()
         self._next_id = 1
@@ -142,6 +154,23 @@ class GraphService:
         self.slowlog = SlowLog()
         self.slo = SLOMonitor(
             list(DEFAULT_SLOS) if slos is None else slos)
+        self.breakers = (breaker if isinstance(breaker, BreakerBoard)
+                         else BreakerBoard(breaker))
+        #: Execution budget minted per request when the transport did
+        #: not adopt one from ``X-Repro-Deadline-Ms``. ``None`` (the
+        #: default) leaves execution unbounded, matching pre-deadline
+        #: behavior. A ``deadline_ms`` in the breaker config literal
+        #: applies when the explicit kwarg is absent.
+        if default_deadline_ms is None:
+            default_deadline_ms = self.breakers.config.deadline_ms
+        self.default_deadline_ms = default_deadline_ms
+        #: Fault-injection hook (see :mod:`repro.serve.chaos`): an
+        #: object with ``apply(op, sp)`` / ``kill_plan()``, consulted
+        #: inside the breaker guard so injected faults feed breaker
+        #: windows exactly like organic ones. ``None`` in production.
+        self.chaos = chaos
+        self._draining = False
+        self._drain_retry_after_s = 1.0
         self._started = time.monotonic()
 
     # -- request plumbing ------------------------------------------------
@@ -163,18 +192,33 @@ class GraphService:
         offered to the :class:`TraceStore` and the outcome recorded
         against the service's SLOs.
         """
+        if self._draining:
+            # Shed before consuming an admission slot; still recorded
+            # against the SLOs so the drain window is visible.
+            self.slo.record(op, 0.0, error=True)
+            raise ServiceDraining(self._drain_retry_after_s)
         if is_enabled():
             registry = get_registry()
             registry.inc("serve.requests")
             registry.inc(f"serve.requests.{op}")
         start = time.perf_counter()
         status = 200
-        with trace_scope():
+        # Mint the service's default execution budget unless the
+        # transport already adopted one from the deadline header.
+        if self.default_deadline_ms is not None \
+                and current_deadline() is None:
+            budget_ctx: Any = deadline_scope(self.default_deadline_ms)
+        else:
+            budget_ctx = nullcontext()
+        with trace_scope(), budget_ctx:
             sp = span("serve.request", op=op, graph=graph_id)
             try:
                 with sp:
                     with self.admission.admit() as wait_ms:
                         sp.set("queue_wait_ms", round(wait_ms, 3))
+                        # A request that spent its whole budget in the
+                        # queue 504s here, before any handler work.
+                        check_deadline("serve.admission")
                         if self.handler_delay_ms:
                             time.sleep(self.handler_delay_ms / 1000.0)
                         handler_start = time.perf_counter()
@@ -216,6 +260,68 @@ class GraphService:
         if handle is None:
             raise GraphNotFound(graph_id, list(self._graphs))
         return handle
+
+    # -- resilience plumbing ---------------------------------------------
+
+    @contextmanager
+    def _breaker_guard(self, op: str, sp: Any) -> Iterator[None]:
+        """Pass one request through ``op``'s circuit breaker.
+
+        Acquire (which may shed with
+        :class:`~repro.serve.errors.BreakerOpen`), run the body, then
+        record the outcome — only server faults (mapped status >=
+        500) feed the error window, so client 4xx and the breaker's
+        own sheds never trip it. The chaos hook runs *inside* the
+        guard: injected faults are indistinguishable from organic
+        ones.
+        """
+        breaker = self.breakers.for_op(op)
+        kind = breaker.acquire()
+        if kind == "probe":
+            sp.set("breaker", "probe")
+        try:
+            if self.chaos is not None:
+                self.chaos.apply(op, sp)
+            yield
+        except BaseException as exc:
+            breaker.record(kind, error=error_status(exc) >= 500)
+            raise
+        else:
+            breaker.record(kind, error=False)
+
+    def _stale_response(self, graph_id: str, text: str, sp: Any,
+                        q_ms: Callable[[], float],
+                        trace_id: str | None) -> dict[str, Any] | None:
+        """A degraded answer from the newest superseded cache entry,
+        explicitly marked, or ``None`` when history has nothing."""
+        found = self.cache.get_stale(graph_id, text)
+        if found is None:
+            return None
+        payload, _version, age_s = found
+        sp.set("cache", "stale")
+        sp.set("stale_age_s", round(age_s, 3))
+        self.slowlog.record(text, q_ms(), cached=True,
+                            trace_id=trace_id)
+        if is_enabled():
+            get_registry().inc("serve.degraded.stale_serves")
+        return {**payload, "cache": "stale", "stale": True,
+                "stale_age_s": round(age_s, 3)}
+
+    def begin_drain(self, *, retry_after_s: float = 1.0) -> None:
+        """Stop accepting new requests (503 + ``Retry-After``);
+        in-flight handlers run to completion. Idempotent — the
+        graceful half of :meth:`ServerHandle.shutdown`."""
+        self._drain_retry_after_s = retry_after_s
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drained(self) -> bool:
+        """Whether no request is queued or executing."""
+        return (self.admission.in_flight == 0
+                and self.admission.waiting == 0)
 
     # -- graph lifecycle -------------------------------------------------
 
@@ -301,7 +407,12 @@ class GraphService:
 
         The response's ``cache`` field says which path served it; the
         rest of the payload is byte-identical either way (the cache
-        stores the serialized payload).
+        stores the serialized payload). Degraded modes: with the query
+        breaker open, the newest superseded cache entry is served
+        (marked ``"stale": true`` with its age) instead of shedding;
+        with any *other* breaker open, a cache miss also prefers a
+        stale entry over recomputation, so a degraded service keeps
+        answering from history.
         """
         if not isinstance(text, str) or not text.strip():
             raise BadRequest("query text must be a non-empty string")
@@ -313,7 +424,23 @@ class GraphService:
             def q_ms() -> float:
                 return (time.perf_counter() - q_start) * 1000.0
 
+            breaker = self.breakers.for_op("query")
             try:
+                kind = breaker.acquire()
+            except BreakerOpen:
+                stale = (self._stale_response(graph_id, text, sp,
+                                              q_ms, trace_id)
+                         if use_cache else None)
+                if stale is not None:
+                    return stale
+                if is_enabled():
+                    get_registry().inc("serve.degraded.shed")
+                raise
+            if kind == "probe":
+                sp.set("breaker", "probe")
+            try:
+                if self.chaos is not None:
+                    self.chaos.apply("query", sp)
                 with handle.lock:
                     version = handle.db.data_version
                     if use_cache:
@@ -324,7 +451,19 @@ class GraphService:
                             self.slowlog.record(text, q_ms(),
                                                 cached=True,
                                                 trace_id=trace_id)
+                            breaker.record(kind, error=False)
                             return {**cached, "cache": "hit"}
+                        if kind == "closed" \
+                                and self.breakers.degraded():
+                            # Service-wide degradation: avoid fresh
+                            # recomputation when history can answer.
+                            # Probes never shortcut — they must prove
+                            # the real path.
+                            stale = self._stale_response(
+                                graph_id, text, sp, q_ms, trace_id)
+                            if stale is not None:
+                                breaker.record(kind, error=False)
+                                return stale
                     # QRY pre-flight (strict): parse errors, unbound
                     # variables — and schema findings when the database
                     # has one — surface as QueryError -> 400 before the
@@ -340,10 +479,13 @@ class GraphService:
                         self.cache.put(graph_id, version, text,
                                        payload)
             except Exception as exc:
+                breaker.record(kind,
+                               error=error_status(exc) >= 500)
                 self.slowlog.record(text, q_ms(),
                                     error=type(exc).__name__,
                                     trace_id=trace_id)
                 raise
+            breaker.record(kind, error=False)
             sp.set("cache", "miss")
             sp.set("rows", payload["row_count"])
             self.slowlog.record(text, q_ms(), trace_id=trace_id)
@@ -388,12 +530,13 @@ class GraphService:
                     f"mutation {op!r} is missing field(s) {missing}")
         handle = self._handle(graph_id)
         with self._request("mutate", graph_id) as sp:
-            with handle.lock:
-                db = handle.db
-                with db.transaction():
-                    for raw in operations:
-                        self._apply_mutation(db, raw)
-                version = db.data_version
+            with self._breaker_guard("mutate", sp):
+                with handle.lock:
+                    db = handle.db
+                    with db.transaction():
+                        for raw in operations:
+                            self._apply_mutation(db, raw)
+                    version = db.data_version
             sp.set("operations", len(operations))
             if is_enabled():
                 get_registry().inc("serve.mutations",
@@ -439,11 +582,20 @@ class GraphService:
             if distributed:
                 sp.set("distributed", True)
                 sp.set("shards", shards)
-            with handle.lock:
-                result = run_computation(runner_name, handle.db.graph,
-                                         seed=seed,
-                                         distributed=distributed,
-                                         shards=shards)
+            with self._breaker_guard("algorithm", sp):
+                # Chaos may order a mid-request worker kill (FaultPlan
+                # DSL) — only meaningful on the distributed runtime,
+                # where the recovery supervisor absorbs it.
+                fault_plan = None
+                if self.chaos is not None and distributed:
+                    fault_plan = self.chaos.kill_plan()
+                    if fault_plan is not None:
+                        sp.set("chaos.kill", str(fault_plan))
+                with handle.lock:
+                    result = run_computation(
+                        runner_name, handle.db.graph, seed=seed,
+                        distributed=distributed, shards=shards,
+                        fault_plan=fault_plan)
             if is_enabled():
                 get_registry().inc("serve.algorithms")
             return {
@@ -487,11 +639,22 @@ class GraphService:
         """Current multi-window SLO burn-rate evaluation."""
         return self.slo.evaluate()
 
+    def debug_breakers(self) -> dict[str, Any]:
+        """Per-operation breaker states, transitions, and the
+        completed-outage durations (MTTR input)."""
+        return {
+            "config": self.breakers.config.render(),
+            "breakers": self.breakers.stats(),
+            "transitions": self.breakers.transitions(),
+            "recovery_ms": [round(ms, 3)
+                            for ms in self.breakers.recovery_ms()],
+        }
+
     # -- health / metrics ------------------------------------------------
 
     def health(self) -> dict[str, Any]:
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "graphs": len(self._graphs),
             "uptime_s": round(time.monotonic() - self._started, 3),
             **self.admission.stats(),
@@ -510,6 +673,7 @@ class GraphService:
                 "traces": self.traces.stats(),
                 "slowlog": self.slowlog.stats(),
                 "slo": self.slo.stats(),
+                "breakers": self.breakers.stats(),
             },
             **summary,
         }

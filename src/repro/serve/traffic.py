@@ -36,8 +36,17 @@ from http.client import HTTPConnection, HTTPException
 from typing import Any
 from urllib.parse import urlsplit
 
+from repro.dist.resilience import RetryPolicy
 from repro.obs.slo import evaluate_samples
 from repro.obs.trace_context import TRACE_HEADER
+
+#: Client-side connection retries share the recovery layer's
+#: RetryPolicy (exponential backoff + cap); the jitter fraction
+#: desynchronizes concurrent clients, drawn from each client's seeded
+#: rng so runs stay reproducible per seed.
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base_ms=10.0, backoff_factor=2.0,
+    backoff_cap_ms=200.0, jitter=0.2)
 
 #: Operation kinds a mix may name, with their request shapes below.
 MIX_OPS = ("read", "write", "algo")
@@ -156,13 +165,18 @@ class ServeClient:
     its own trace from ``/debug/traces/{id}``.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    def __init__(self, url: str, timeout: float = 30.0, *,
+                 retry_policy: RetryPolicy | None = None,
+                 rng: random.Random | None = None):
         parts = urlsplit(url)
         if parts.hostname is None:
             raise ValueError(f"bad server url {url!r}")
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        self.retry_policy = retry_policy or DEFAULT_CLIENT_RETRY
+        #: Seeded stream for backoff jitter; None disables jitter.
+        self.rng = rng
         self.last_trace_id: str | None = None
         self._conn: HTTPConnection | None = None
 
@@ -173,26 +187,35 @@ class ServeClient:
         return self._conn
 
     def request(self, method: str, path: str,
-                payload: dict | None = None
+                payload: dict | None = None, *,
+                headers: dict[str, str] | None = None,
                 ) -> tuple[int, dict[str, Any]]:
         body = None
-        headers = {}
+        send_headers = dict(headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        try:
-            conn = self._connection()
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-        except (OSError, HTTPException):
-            # Drop the (possibly half-closed) connection and retry
-            # once on a fresh one.
-            self.close()
-            conn = self._connection()
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+            send_headers["Content-Type"] = "application/json"
+        policy = self.retry_policy
+        response = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body,
+                             headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (OSError, HTTPException):
+                # Connection-level failure (an HTTP error status is
+                # never retried here): drop the possibly half-closed
+                # connection and try a fresh one per the shared
+                # RetryPolicy, jittered from this client's seeded rng.
+                self.close()
+                if attempt >= policy.max_attempts:
+                    raise
+                time.sleep(
+                    policy.backoff_ms(attempt, self.rng) / 1000.0)
+        assert response is not None
         self.last_trace_id = response.getheader(TRACE_HEADER)
         data = json.loads(raw) if raw else {}
         return response.status, data
@@ -275,8 +298,10 @@ def run_traffic(url: str | None = None, *, seed: int = 7,
         results: list[dict[str, Any]] = []
         results_lock = threading.Lock()
 
-        def worker(schedule: list[dict[str, Any]]) -> None:
-            client = ServeClient(url)
+        def worker(index: int,
+                   schedule: list[dict[str, Any]]) -> None:
+            client = ServeClient(
+                url, rng=random.Random(seed * 2000003 + index))
             local: list[dict[str, Any]] = []
             for entry in schedule:
                 method, path, payload = _entry_request(graph_id,
@@ -292,7 +317,7 @@ def run_traffic(url: str | None = None, *, seed: int = 7,
             with results_lock:
                 results.extend(local)
 
-        threads = [threading.Thread(target=worker, args=(schedule,),
+        threads = [threading.Thread(target=worker, args=(i, schedule),
                                     name=f"traffic-{i}")
                    for i, schedule in enumerate(plan)]
         wall_start = time.perf_counter()

@@ -324,12 +324,13 @@ ALL_RUNNERS: dict[str, Callable] = {
 }
 
 
-def _run_components_distributed(graph, seed, shards):
+def _run_components_distributed(graph, seed, shards, fault_plan=None):
     from repro.dgps.algorithms import connected_components_spec
     from repro.dist import run_distributed_pregel
 
     result = run_distributed_pregel(
-        graph, connected_components_spec(graph), k=shards, seed=seed)
+        graph, connected_components_spec(graph), k=shards, seed=seed,
+        fault_plan=fault_plan)
     return {"components": len(set(result.values.values())),
             "shards": result.k,
             "supersteps": result.supersteps,
@@ -337,13 +338,14 @@ def _run_components_distributed(graph, seed, shards):
             "combined_messages": result.combined_messages()}
 
 
-def _run_ranking_distributed(graph, seed, shards):
+def _run_ranking_distributed(graph, seed, shards, fault_plan=None):
     from repro.algorithms import top_ranked
     from repro.dgps.algorithms import pagerank_spec
     from repro.dist import run_distributed_pregel
 
     result = run_distributed_pregel(
-        graph, pagerank_spec(graph, supersteps=10), k=shards, seed=seed)
+        graph, pagerank_spec(graph, supersteps=10), k=shards, seed=seed,
+        fault_plan=fault_plan)
     return {"top_pagerank": top_ranked(result.values, 3),
             "shards": result.k,
             "supersteps": result.supersteps,
@@ -360,18 +362,26 @@ DISTRIBUTED_RUNNERS: dict[str, Callable] = {
 
 def run_computation(name: str, graph: Graph, seed: int = 0, *,
                     distributed: bool = False,
-                    shards: int = 4) -> WorkloadResult:
+                    shards: int = 4,
+                    fault_plan=None) -> WorkloadResult:
     """Run one surveyed computation by its Table 9/10/11 name.
 
     Each run is wrapped in a labeled ``workload.computation`` span and,
     while observability is on, feeds the ``workload.computation_ms``
     latency histogram. ``distributed=True`` opts the computation into
     the sharded runtime (:mod:`repro.dist`) with ``shards`` workers —
-    available for the names in :data:`DISTRIBUTED_RUNNERS`.
+    available for the names in :data:`DISTRIBUTED_RUNNERS`. A
+    ``fault_plan`` (:class:`repro.dist.FaultPlan`) rides along to the
+    distributed runtime — the serve chaos harness injects mid-request
+    worker kills this way.
     """
     if name not in ALL_RUNNERS:
         raise ValueError(
             f"unknown computation {name!r}; known: {sorted(ALL_RUNNERS)}")
+    if fault_plan is not None and not distributed:
+        raise ValueError(
+            "fault_plan requires distributed=True (only the sharded "
+            "runtime has a recovery supervisor)")
     if distributed:
         try:
             runner = DISTRIBUTED_RUNNERS[name]
@@ -380,7 +390,7 @@ def run_computation(name: str, graph: Graph, seed: int = 0, *,
                 f"no distributed runner for {name!r}; "
                 f"distributed-capable: {sorted(DISTRIBUTED_RUNNERS)}"
             ) from None
-        args = (graph, seed, shards)
+        args = (graph, seed, shards, fault_plan)
     else:
         runner = ALL_RUNNERS[name]
         args = (graph, seed)
