@@ -19,7 +19,23 @@ gap with an AST-driven checker — a rule registry with severity levels,
   against a :class:`~repro.graphs.schema.GraphSchema`: unknown
   labels/properties, type-mismatched predicates, unbound variables;
 * **CFG** (:mod:`~repro.analysis.config_check`) — fault plans (parse
-  errors, duplicate slots) and bench-case configs as pure checkers.
+  errors, duplicate slots) and bench-case configs as pure checkers;
+* **RACE** (:mod:`~repro.analysis.concurrency`) — flow-sensitive
+  thread-safety: unguarded self-state mutation in lock-holding
+  classes, acquire without release on every path, raw
+  ``ContextVar.set()``, blocking calls in request handlers;
+* **LEAK**/**DLC** (:mod:`~repro.analysis.resources`) — admission
+  slots, spans, and file handles released on every exit (checked on
+  the intra-function CFG of :mod:`~repro.analysis.cfg` with
+  exception edges), plus deadline-coverage for loops in
+  deadline-engaged functions;
+* **SUP** (:mod:`~repro.analysis.suppressions`) — inline
+  ``# repro: ignore[RULE]`` markers, with stale markers flagged.
+
+Adoption infrastructure lives next to the rules: a committed
+baseline (:mod:`~repro.analysis.baseline`) grandfathers pre-existing
+findings, and :func:`render_sarif` exports SARIF 2.1.0 for CI code
+scanning.
 
 Opt-in ``strict=True`` wiring runs these at build time in the spec
 builders (:func:`repro.dgps.algorithms.pagerank_spec` ...), the
@@ -28,6 +44,12 @@ builders (:func:`repro.dgps.algorithms.pagerank_spec` ...), the
 errors and recording findings as obs span events.
 """
 
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.checkpoint_safety import check_value, roundtrip_problem
 from repro.analysis.config_check import (
     check_bench_cases,
@@ -49,19 +71,35 @@ from repro.analysis.query_check import check_query
 from repro.analysis.registry import RuleInfo, all_rules, rule_info
 from repro.analysis.reporters import (
     render_json,
+    render_profile,
     render_rule_catalog,
+    render_sarif,
     render_text,
 )
-from repro.analysis.scanner import analyze_paths, scan_file, scan_source
+from repro.analysis.scanner import (
+    analyze_paths,
+    ast_cache_stats,
+    rule_timings,
+    scan_file,
+    scan_source,
+)
+from repro.analysis.suppressions import (
+    apply_suppressions,
+    extract_suppressions,
+)
 
 __all__ = [
     "AnalysisError",
     "AnalysisReport",
+    "BaselineError",
     "Finding",
     "RuleInfo",
     "Severity",
     "all_rules",
     "analyze_paths",
+    "apply_baseline",
+    "apply_suppressions",
+    "ast_cache_stats",
     "analyze_program",
     "analyze_spec",
     "check_bench_cases",
@@ -72,12 +110,18 @@ __all__ = [
     "check_slo_spec",
     "check_traffic_mix",
     "check_value",
+    "extract_suppressions",
+    "load_baseline",
     "record_findings",
     "render_json",
+    "render_profile",
     "render_rule_catalog",
+    "render_sarif",
     "render_text",
     "roundtrip_problem",
     "rule_info",
+    "rule_timings",
     "scan_file",
     "scan_source",
+    "write_baseline",
 ]

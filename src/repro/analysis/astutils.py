@@ -12,7 +12,7 @@ import ast
 import inspect
 import textwrap
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 #: parameter names that mark a function as a vertex program.
 CONTEXT_PARAM_NAMES = frozenset({"ctx", "context"})
@@ -108,8 +108,16 @@ def module_imports(tree: ast.Module) -> dict[str, str]:
     """Map import aliases to dotted origins for a module AST:
     ``import numpy as np`` -> ``{"np": "numpy"}``; ``from random
     import randint`` -> ``{"randint": "random.randint"}``."""
+    return imports_from_nodes(ast.walk(tree))
+
+
+def imports_from_nodes(
+        nodes: Iterable[ast.AST]) -> dict[str, str]:
+    """:func:`module_imports` over an already-walked node stream, so
+    a caller sharing one tree walk across rule families does not pay
+    for a second full traversal."""
     imports: dict[str, str] = {}
-    for node in ast.walk(tree):
+    for node in nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 local = alias.asname or alias.name.split(".")[0]

@@ -1,0 +1,104 @@
+"""Baseline grandfathering for incremental rule adoption.
+
+Turning on a new rule family over a mature tree usually surfaces debt
+nobody can pay down in one PR. The baseline makes adoption monotonic:
+``--update-baseline`` snapshots today's findings into a committed
+JSON file, ``--baseline`` filters exactly those findings out of later
+runs, and anything *new* still gates. The repo's own policy is
+stricter — ``analysis-baseline.json`` is committed **empty** and a
+tier-1 test asserts it stays empty — but the mechanism is what makes
+that promise enforceable rather than aspirational.
+
+Matching is on ``(rule, posix-normalized file, message)``: stable
+across line drift from unrelated edits, invalidated the moment the
+finding's substance changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePath
+from typing import Any
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.errors import ReproError
+
+BASELINE_SCHEMA = "repro.analysis/baseline/v1"
+
+BaselineKey = tuple[str, str, str]
+
+
+class BaselineError(ReproError):
+    """Unreadable or schema-mismatched baseline file."""
+
+
+def baseline_key(item: Finding) -> BaselineKey:
+    return (item.rule, _norm(item.file), item.message)
+
+
+def _norm(file: str) -> str:
+    path = PurePath(file).as_posix()
+    return path[2:] if path.startswith("./") else path
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(
+            f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(
+            f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict) \
+            or data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} does not declare schema "
+            f"{BASELINE_SCHEMA!r}")
+    entries = data.get("findings", [])
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        try:
+            keys.add((entry["rule"], _norm(entry["file"]),
+                      entry["message"]))
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"baseline {path} entry {entry!r} is missing "
+                f"rule/file/message") from error
+    return keys
+
+
+def apply_baseline(
+        report: AnalysisReport,
+        baseline: set[BaselineKey]) -> tuple[AnalysisReport, int]:
+    """(report minus baselined findings, matched count)."""
+    kept = AnalysisReport(targets=list(report.targets))
+    matched = 0
+    for item in report.findings:
+        if baseline_key(item) in baseline:
+            matched += 1
+        else:
+            kept.add(item)
+    return kept, matched
+
+
+def baseline_payload(report: AnalysisReport) -> dict[str, Any]:
+    entries: list[dict[str, str]] = []
+    seen: set[BaselineKey] = set()
+    for item in report.sorted_findings():
+        key = baseline_key(item)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({"rule": key[0], "file": key[1],
+                        "message": key[2]})
+    return {"schema": BASELINE_SCHEMA, "findings": entries}
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> int:
+    """Snapshot the report's findings; returns the entry count."""
+    payload = baseline_payload(report)
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(payload["findings"])

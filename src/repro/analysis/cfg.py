@@ -1,0 +1,240 @@
+"""A small intra-function control-flow graph over ``ast`` nodes.
+
+The LEAK/RACE resource rules need one question answered precisely:
+*from this acquire site, does every path to function exit pass a
+release?* Linear scans get ``try/finally`` wrong and miss the
+exception edges entirely — the classic leak is not the happy path but
+the ``raise`` between acquire and release. This module builds a
+deliberately small CFG:
+
+* one node per statement (``finally`` bodies are wired twice — once
+  for normal completion, once for the exception continuation — so a
+  release inside ``finally`` covers both);
+* **normal edges** follow textual/structural flow (branches, loops,
+  ``break``/``continue``/``return``);
+* **exception edges** model "this statement raised": every statement
+  can raise, jumping to the innermost enclosing handler dispatch (or
+  straight to EXIT when nothing encloses it).
+
+Reachability is then plain DFS:
+:func:`releases_on_all_paths` starts from the acquire's *normal*
+successors (the acquire itself failing acquires nothing, so its own
+exception edge is not a leak) and reports whether EXIT is reachable
+without crossing a statement the caller recognizes as a release.
+
+The graph is intentionally path-insensitive — no values, no aliasing —
+which is exactly the contract the concurrency rules document: pair
+acquires with ``with`` or ``try/finally``, and the checker can prove
+you right.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+#: Virtual exit node: normal returns, unhandled raises, and falling
+#: off the end all flow here.
+EXIT = -1
+
+
+class Cfg:
+    """Statement-level flow graph for one function body."""
+
+    def __init__(self) -> None:
+        #: node id -> statement (None for synthetic dispatch nodes).
+        self.statements: list[ast.stmt | None] = []
+        self._normal: dict[int, set[int]] = {}
+        self._exceptional: dict[int, set[int]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def _node(self, stmt: ast.stmt | None) -> int:
+        self.statements.append(stmt)
+        return len(self.statements) - 1
+
+    def _edge(self, src: int, dst: int, *, exc: bool = False) -> None:
+        table = self._exceptional if exc else self._normal
+        table.setdefault(src, set()).add(dst)
+
+    # -- queries ---------------------------------------------------------
+
+    def normal_successors(self, node: int) -> set[int]:
+        return self._normal.get(node, set())
+
+    def successors(self, node: int) -> set[int]:
+        return self.normal_successors(node) | \
+            self._exceptional.get(node, set())
+
+    def nodes_for(self, stmt: ast.stmt) -> list[int]:
+        """Every node id carrying ``stmt`` (finally bodies appear
+        twice)."""
+        return [i for i, s in enumerate(self.statements) if s is stmt]
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Cfg:
+    """The flow graph of ``func``'s body.
+
+    ``return``/``break``/``continue`` do not jump to their targets
+    directly — they follow a *continuation* threaded through the
+    wiring, so an enclosing ``finally`` body intercepts them (one
+    wired copy per distinct continuation) exactly as the runtime
+    does.
+    """
+    cfg = Cfg()
+
+    def wire_block(stmts: list[ast.stmt], follow: int, exc: int,
+                   loop: tuple[int, int] | None, ret: int) -> int:
+        """Wire a statement list whose fall-through target is
+        ``follow``; returns the entry node (``follow`` when empty)."""
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = wire_stmt(stmt, entry, exc, loop, ret)
+        return entry
+
+    def wire_stmt(stmt: ast.stmt, follow: int, exc: int,
+                  loop: tuple[int, int] | None, ret: int) -> int:
+        node = cfg._node(stmt)
+        if isinstance(stmt, ast.Return):
+            cfg._edge(node, ret)
+            cfg._edge(node, exc, exc=True)
+        elif isinstance(stmt, ast.Raise):
+            cfg._edge(node, exc, exc=True)
+        elif isinstance(stmt, ast.Break):
+            cfg._edge(node, loop[1] if loop else EXIT)
+        elif isinstance(stmt, ast.Continue):
+            cfg._edge(node, loop[0] if loop else EXIT)
+        elif isinstance(stmt, ast.If):
+            cfg._edge(node, wire_block(stmt.body, follow, exc,
+                                       loop, ret))
+            cfg._edge(node, wire_block(stmt.orelse, follow, exc,
+                                       loop, ret))
+            cfg._edge(node, exc, exc=True)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            # The header node doubles as the loop head: the body falls
+            # back into it, and loop exhaustion runs orelse -> follow.
+            body_entry = wire_block(stmt.body, node, exc,
+                                    (node, follow), ret)
+            cfg._edge(node, body_entry)
+            cfg._edge(node, wire_block(stmt.orelse, follow, exc,
+                                       loop, ret))
+            cfg._edge(node, exc, exc=True)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg._edge(node, wire_block(stmt.body, follow, exc,
+                                       loop, ret))
+            cfg._edge(node, exc, exc=True)
+        elif isinstance(stmt, ast.Try):
+            follow_norm, follow_exc = follow, exc
+            inner_loop, inner_ret = loop, ret
+            if stmt.finalbody:
+                # One wired copy of the finally per continuation it
+                # can intercept: normal completion, the exception
+                # re-raise, an early return, and (when inside a loop)
+                # break/continue.
+                follow_norm = wire_block(stmt.finalbody, follow,
+                                         exc, loop, ret)
+                follow_exc = wire_block(stmt.finalbody, exc, exc,
+                                        loop, ret)
+                inner_ret = wire_block(stmt.finalbody, ret, exc,
+                                       loop, ret)
+                if loop is not None:
+                    inner_loop = (
+                        wire_block(stmt.finalbody, loop[0], exc,
+                                   loop, ret),
+                        wire_block(stmt.finalbody, loop[1], exc,
+                                   loop, ret))
+            dispatch = cfg._node(None)
+            for handler in stmt.handlers:
+                cfg._edge(dispatch, wire_block(
+                    handler.body, follow_norm, follow_exc,
+                    inner_loop, inner_ret))
+            cfg._edge(dispatch, follow_exc, exc=True)  # unhandled
+            else_entry = wire_block(stmt.orelse, follow_norm,
+                                    follow_exc, inner_loop, inner_ret)
+            cfg._edge(node, wire_block(stmt.body, else_entry,
+                                       dispatch, inner_loop,
+                                       inner_ret))
+            # The try header performs no computation; anything raised
+            # inside it is already routed via dispatch/finally, so its
+            # own exception continuation is the finally's exc copy.
+            cfg._edge(node, follow_exc, exc=True)
+        else:
+            # Simple statement: fall through, or raise.
+            cfg._edge(node, follow)
+            cfg._edge(node, exc, exc=True)
+        return node
+
+    wire_block(list(func.body), EXIT, EXIT, None, EXIT)
+    return cfg
+
+
+def own_statements(
+        func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.stmt]:
+    """Every statement in ``func``'s own body, recursively, without
+    descending into nested function/class definitions (those run in a
+    different dynamic extent and get their own CFG)."""
+    collected: list[ast.stmt] = []
+
+    def visit(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            collected.append(stmt)
+            if isinstance(stmt, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                visit(getattr(stmt, attr, []))
+            for handler in getattr(stmt, "handlers", []):
+                visit(handler.body)
+
+    visit(list(func.body))
+    return collected
+
+
+def own_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression nodes belonging to ``stmt`` *itself* — headers
+    for compound statements, the whole node for simple ones. Walking
+    these never re-visits expressions owned by nested statements."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        exprs: list[ast.AST] = []
+        for item in stmt.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        return exprs
+    if isinstance(stmt, (ast.Try, ast.FunctionDef,
+                         ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def releases_on_all_paths(
+        cfg: Cfg, acquire: ast.stmt,
+        is_release: Callable[[ast.stmt], bool]) -> bool:
+    """Whether every path from ``acquire`` to EXIT crosses a statement
+    ``is_release`` accepts.
+
+    The search starts at the acquire's *normal* successors — a failed
+    acquire holds nothing — and then follows both normal and exception
+    edges; reaching EXIT without a release is a leak.
+    """
+    release_nodes = {
+        i for i, stmt in enumerate(cfg.statements)
+        if stmt is not None and stmt is not acquire and is_release(stmt)
+    }
+    frontier: list[int] = []
+    for node in cfg.nodes_for(acquire):
+        frontier.extend(cfg.normal_successors(node))
+    seen: set[int] = set()
+    while frontier:
+        node = frontier.pop()
+        if node == EXIT:
+            return False
+        if node in seen or node in release_nodes:
+            continue
+        seen.add(node)
+        frontier.extend(cfg.successors(node))
+    return True

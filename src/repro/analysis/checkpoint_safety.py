@@ -27,6 +27,9 @@ from repro.analysis.astutils import ProgramAst, dotted_name
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import finding, register_rule
 
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
 register_rule(
     "CKPT001", "checkpoint-safety", Severity.ERROR,
     "vertex value / aggregator is not JSON-serializable; the durable "

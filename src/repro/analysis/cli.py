@@ -4,8 +4,11 @@ Subcommands:
 
 * ``check PATH [PATH...]`` (the default — bare paths work:
   ``python -m repro.analysis src/repro examples``): run the custom
-  rule families over the files, print text or ``--json`` findings,
-  exit 1 when any error-severity finding survives filtering.
+  rule families over the files, print text, ``--json``, or
+  ``--sarif`` findings, exit 1 when any error-severity finding
+  survives filtering, ``--baseline``/``--update-baseline``
+  grandfathering, and ``# repro: ignore[RULE]`` suppressions;
+  ``--profile`` appends per-rule-family sweep timings.
 * ``selfcheck [PATH...]``: run ``ruff`` and ``mypy`` (when installed;
   both are optional dev tools and are skipped with a note otherwise)
   plus the custom rules and the bench-suite config check over the
@@ -20,14 +23,26 @@ import importlib.util
 import subprocess
 import sys
 
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.findings import AnalysisReport, Severity
 from repro.analysis.registry import match_selection
 from repro.analysis.reporters import (
     render_json,
+    render_profile,
     render_rule_catalog,
+    render_sarif,
     render_text,
 )
-from repro.analysis.scanner import analyze_paths
+from repro.analysis.scanner import (
+    analyze_paths,
+    ast_cache_stats,
+    rule_timings,
+)
 
 _SUBCOMMANDS = ("check", "selfcheck", "rules")
 
@@ -56,10 +71,33 @@ def _csv(text: str | None) -> tuple[str, ...] | None:
 def _cmd_check(args: argparse.Namespace) -> int:
     report = _filter(analyze_paths(args.paths), _csv(args.select),
                      _csv(args.ignore) or ())
-    if args.json:
+    if args.update_baseline:
+        if args.baseline is None:
+            print("--update-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        count = write_baseline(report, args.baseline)
+        print(f"baseline {args.baseline}: {count} finding(s) "
+              f"recorded")
+        return 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        report, matched = apply_baseline(report, baseline)
+        if matched:
+            print(f"baseline: {matched} finding(s) grandfathered",
+                  file=sys.stderr)
+    if args.sarif:
+        print(render_sarif(report))
+    elif args.json:
         print(render_json(report))
     else:
         print(render_text(report))
+    if args.profile:
+        print(render_profile(rule_timings(), ast_cache_stats()))
     return report.exit_code(fail_on=Severity.parse(args.fail_on))
 
 
@@ -129,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--fail-on", default="error",
                        choices=("info", "warning", "error"),
                        help="lowest severity that causes exit 1")
+    check.add_argument("--sarif", action="store_true",
+                       help="emit a SARIF 2.1.0 log instead of text")
+    check.add_argument("--baseline", default=None, metavar="PATH",
+                       help="grandfather findings recorded in this "
+                            "baseline file")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="snapshot surviving findings into "
+                            "--baseline and exit 0")
+    check.add_argument("--profile", action="store_true",
+                       help="append per-rule-family sweep timings "
+                            "and cache stats")
     check.set_defaults(func=_cmd_check)
 
     selfcheck = sub.add_parser(

@@ -1,0 +1,582 @@
+"""RACE rules: thread-safety lints over the serve/dist/obs stack.
+
+The serve layer (PRs 7-9) is genuinely multi-threaded —
+``ThreadingHTTPServer`` handlers, admission slots, circuit breakers,
+contextvar-bound trace ids and deadlines — and its thread-safety
+invariants were previously enforced only by convention. These rules
+make the conventions machine-checked:
+
+* **RACE001** — a class that allocates its own ``threading.Lock`` /
+  ``RLock`` has declared "my state is shared"; every mutation of
+  ``self`` state outside a ``with self._lock:`` block (or an
+  acquire/release pair) is a lost-update waiting for load. Private
+  helpers documented "call with the lock held" are honored via an
+  intra-class call-graph fixpoint: a method whose every intra-class
+  call site is lock-guarded (or inside another lock-bound method) is
+  itself lock-bound. ``__init__``-family methods are exempt — the
+  object is not yet shared.
+* **RACE002** — a bare ``lock.acquire()`` must reach a ``release()``
+  on *every* path (checked on the intra-function CFG, exception edges
+  included); ``with`` or ``try/finally`` are the accepted shapes.
+* **RACE003** — a ``ContextVar.set()`` is only safe inside a
+  scope-managed helper (the ``trace_scope`` / ``deadline_scope``
+  pattern): a ``@contextmanager`` function that resets the var in a
+  ``finally``. A raw ``set()`` leaks ambient state into whatever runs
+  next on the thread.
+* **RACE004** — blocking calls (``time.sleep``, un-timeouted
+  ``socket`` / ``http.client`` constructors) inside request-handler
+  methods pin a server thread; handlers must stay non-blocking or
+  opt in explicitly via ``# repro: ignore[RACE004]``.
+
+Everything here is pure syntax over one module's AST — no imports are
+executed. Locks received from outside (constructor parameters) are
+invisible to RACE001 by design: the rule keys on the allocation site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    dotted_name,
+    iter_functions,
+    module_imports,
+    resolve_dotted,
+)
+from repro.analysis.cfg import (
+    build_cfg,
+    own_exprs,
+    own_statements,
+    releases_on_all_paths,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import finding, register_rule
+
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
+register_rule(
+    "RACE001", "concurrency", Severity.ERROR,
+    "lock-holding class mutates self state outside its lock")
+register_rule(
+    "RACE002", "concurrency", Severity.ERROR,
+    "lock.acquire() without a release on every path")
+register_rule(
+    "RACE003", "concurrency", Severity.ERROR,
+    "ContextVar.set() outside a scope-managed helper")
+register_rule(
+    "RACE004", "concurrency", Severity.WARNING,
+    "blocking call inside a request-handler method")
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: resolved constructors that make a class "lock-holding".
+_LOCK_FACTORIES = frozenset({"threading.Lock", "threading.RLock"})
+
+#: method names whose call mutates the receiver in place (shared with
+#: the DET rules' view of container mutation).
+_MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "extend", "insert", "update",
+    "setdefault", "pop", "popitem", "popleft", "remove", "discard",
+    "clear", "sort", "reverse", "move_to_end", "__setitem__",
+})
+
+#: methods that run before the object can be shared across threads.
+_UNSHARED_METHODS = frozenset({
+    "__init__", "__post_init__", "__new__", "__del__",
+})
+
+_SCOPE_DECORATORS = frozenset({
+    "contextlib.contextmanager", "contextlib.asynccontextmanager",
+})
+
+_HANDLER_BASES = ("BaseHTTPRequestHandler", "SimpleHTTPRequestHandler")
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.attr``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _self_rooted(node: ast.AST) -> str | None:
+    """Dotted path under ``self`` when the attribute/subscript chain
+    roots at ``self`` (``self.a.b[k]`` -> ``a.b``)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        inner = node.value
+        while isinstance(inner, ast.Subscript):
+            inner = inner.value
+        node = inner
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lock_call(node: ast.expr, imports: dict[str, str]) -> bool:
+    return (isinstance(node, ast.Call)
+            and resolve_dotted(node.func, imports) in _LOCK_FACTORIES)
+
+
+def _field_lock_default(node: ast.expr,
+                        imports: dict[str, str]) -> bool:
+    """``field(default_factory=threading.RLock)`` (dataclass form)."""
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = resolve_dotted(node.func, imports)
+    if resolved not in ("dataclasses.field", "field"):
+        return False
+    for keyword in node.keywords:
+        if (keyword.arg == "default_factory"
+                and resolve_dotted(keyword.value, imports)
+                in _LOCK_FACTORIES):
+            return True
+    return False
+
+
+def lock_attrs(cls: ast.ClassDef, imports: dict[str, str]) -> set[str]:
+    """Attribute names holding a lock this class allocates itself."""
+    attrs: set[str] = set()
+    for stmt in cls.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+                and (_is_lock_call(stmt.value, imports)
+                     or _field_lock_default(stmt.value, imports))):
+            attrs.add(stmt.target.id)
+    for method in cls.body:
+        if not isinstance(method, FunctionNode):
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_lock_call(node.value, imports):
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    attrs.add(attr)
+    return attrs
+
+
+# -- RACE001: unguarded self-state mutation ---------------------------
+
+
+def _scan_method(method: FunctionNode, locks: set[str]) -> tuple[
+        list[tuple[int, str]], list[tuple[str, bool]]]:
+    """(unguarded mutations as ``(line, description)``, intra-class
+    call sites as ``(callee, guarded)``)."""
+    mutations: list[tuple[int, str]] = []
+    calls: list[tuple[str, bool]] = []
+
+    def is_lock_expr(expr: ast.expr) -> bool:
+        attr = _self_attr(expr)
+        return attr is not None and attr in locks
+
+    def lock_op(stmt: ast.stmt, op: str) -> bool:
+        """``self.<lock>.acquire()`` / ``.release()`` statement."""
+        if not isinstance(stmt, ast.Expr):
+            return False
+        call = stmt.value
+        return (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == op
+                and is_lock_expr(call.func.value))
+
+    def scan_expr(expr: ast.AST, guarded: bool) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id == "self":
+                calls.append((func.attr, guarded))
+            elif func.attr in _MUTATING_METHODS and not guarded:
+                rooted = _self_rooted(func.value)
+                if rooted is not None and rooted not in locks:
+                    mutations.append((
+                        node.lineno,
+                        f"self.{rooted}.{func.attr}(...)"))
+
+    def store_targets(stmt: ast.stmt) -> list[ast.expr]:
+        if isinstance(stmt, ast.Assign):
+            return list(stmt.targets)
+        if isinstance(stmt, ast.AugAssign):
+            return [stmt.target]
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            return [stmt.target]
+        if isinstance(stmt, ast.Delete):
+            return list(stmt.targets)
+        return []
+
+    def scan_stores(stmt: ast.stmt) -> None:
+        flat: list[ast.expr] = []
+        for target in store_targets(stmt):
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        for target in flat:
+            rooted = _self_rooted(target)
+            if rooted is not None and rooted not in locks:
+                mutations.append((stmt.lineno, f"self.{rooted}"))
+
+    def visit_block(stmts: list[ast.stmt], guarded: bool) -> None:
+        held = guarded
+        for stmt in stmts:
+            visit_stmt(stmt, held)
+            if lock_op(stmt, "acquire"):
+                held = True
+            elif lock_op(stmt, "release"):
+                held = guarded
+
+    def visit_stmt(stmt: ast.stmt, guarded: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                is_lock_expr(item.context_expr) for item in stmt.items)
+            for expr in own_exprs(stmt):
+                scan_expr(expr, guarded)
+            visit_block(stmt.body, inner)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, FunctionNode):
+            # Nested defs inherit the syntactic guard state; closures
+            # escaping the lock are out of scope for a syntax rule.
+            visit_block(stmt.body, guarded)
+            return
+        if isinstance(stmt, ast.Try):
+            visit_block(stmt.body, guarded)
+            for handler in stmt.handlers:
+                visit_block(handler.body, guarded)
+            visit_block(stmt.orelse, guarded)
+            visit_block(stmt.finalbody, guarded)
+            return
+        for expr in own_exprs(stmt):
+            scan_expr(expr, guarded)
+        if not guarded:
+            scan_stores(stmt)
+        for attr in ("body", "orelse"):
+            visit_block(getattr(stmt, attr, []), guarded)
+
+    visit_block(list(method.body), False)
+    return mutations, calls
+
+
+def _check_race001(cls: ast.ClassDef, file: str,
+                   imports: dict[str, str]) -> list[Finding]:
+    locks = lock_attrs(cls, imports)
+    if not locks:
+        return []
+    methods = [m for m in cls.body if isinstance(m, FunctionNode)]
+    per_method: dict[str, list[tuple[int, str]]] = {}
+    call_sites: dict[str, list[tuple[str, bool]]] = {}
+    for method in methods:
+        mutations, calls = _scan_method(method, locks)
+        per_method[method.name] = mutations
+        for callee, guarded in calls:
+            call_sites.setdefault(callee, []).append(
+                (method.name, guarded))
+
+    # Fixpoint: a method is lock-bound when every intra-class call
+    # site is guarded, inside an unshared method, or inside another
+    # lock-bound method ("call with the lock held" helpers).
+    lock_bound: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in per_method:
+            if name in lock_bound:
+                continue
+            sites = call_sites.get(name, [])
+            if sites and all(
+                    guarded or caller in lock_bound
+                    or caller in _UNSHARED_METHODS
+                    for caller, guarded in sites):
+                lock_bound.add(name)
+                changed = True
+
+    findings: list[Finding] = []
+    for method in methods:
+        if method.name in _UNSHARED_METHODS \
+                or method.name in lock_bound:
+            continue
+        for line, description in per_method[method.name]:
+            findings.append(finding(
+                "RACE001",
+                f"{description} mutated outside "
+                f"'with self.{sorted(locks)[0]}:' in lock-holding "
+                f"class {cls.name}",
+                file=file, line=line,
+                symbol=f"{cls.name}.{method.name}"))
+    return findings
+
+
+# -- RACE002: acquire without release on every path -------------------
+
+
+def _contains_method_call(stmt: ast.stmt, receiver: str,
+                          method: str) -> bool:
+    for expr in own_exprs(stmt):
+        for node in ast.walk(expr):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == method
+                    and dotted_name(node.func.value) == receiver):
+                return True
+    return False
+
+
+def bare_acquire(stmt: ast.stmt,
+                 receivers: set[str]) -> tuple[str, int] | None:
+    """(receiver, line) when ``stmt`` is an unconditional blocking
+    ``<receiver>.acquire()`` statement (no timeout/blocking args —
+    conditional acquires hand the failure path back to the caller)."""
+    if isinstance(stmt, ast.Expr):
+        value: ast.expr = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    else:
+        return None
+    if not (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "acquire"
+            and not value.args and not value.keywords):
+        return None
+    receiver = dotted_name(value.func.value)
+    if receiver is None or receiver not in receivers:
+        return None
+    return receiver, value.lineno
+
+
+def _acquire_receivers(func: FunctionNode, cls_locks: set[str],
+                       imports: dict[str, str]) -> set[str]:
+    receivers = {f"self.{attr}" for attr in cls_locks}
+    for stmt in own_statements(func):
+        if isinstance(stmt, ast.Assign) \
+                and _is_lock_call(stmt.value, imports):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    receivers.add(target.id)
+    return receivers
+
+
+def check_release_paths(
+        func: FunctionNode, receivers: set[str], rule_id: str,
+        file: str, what: str) -> list[Finding]:
+    """Shared CFG walk for RACE002/LEAK001: every bare ``.acquire()``
+    on ``receivers`` must reach a ``.release()`` on every path."""
+    findings: list[Finding] = []
+    cfg = None
+    for stmt in own_statements(func):
+        acquired = bare_acquire(stmt, receivers)
+        if acquired is None:
+            continue
+        receiver, line = acquired
+        if cfg is None:
+            cfg = build_cfg(func)
+        if not releases_on_all_paths(
+                cfg, stmt,
+                lambda s, r=receiver: _contains_method_call(
+                    s, r, "release")):
+            findings.append(finding(
+                rule_id,
+                f"{receiver}.acquire() may exit {func.name} without "
+                f"release; wrap the {what} in 'with' or try/finally",
+                file=file, line=line, symbol=func.name))
+    return findings
+
+
+def _check_race002(
+        file: str, imports: dict[str, str],
+        classes: list[ast.ClassDef],
+        functions: list[FunctionNode]) -> list[Finding]:
+    cls_locks: dict[int, set[str]] = {}
+    for node in classes:
+        attrs = lock_attrs(node, imports)
+        for member in node.body:
+            if isinstance(member, FunctionNode):
+                cls_locks[id(member)] = attrs
+    findings: list[Finding] = []
+    for func in functions:
+        receivers = _acquire_receivers(
+            func, cls_locks.get(id(func), set()), imports)
+        if receivers:
+            findings.extend(check_release_paths(
+                func, receivers, "RACE002", file, "critical section"))
+    return findings
+
+
+# -- RACE003: contextvar set outside a scope helper -------------------
+
+
+def _is_scope_helper(func: FunctionNode,
+                     imports: dict[str, str]) -> bool:
+    return any(
+        resolve_dotted(decorator, imports) in _SCOPE_DECORATORS
+        or dotted_name(decorator) in ("contextmanager",
+                                      "asynccontextmanager")
+        for decorator in func.decorator_list)
+
+
+def _resets_in_finally(func: FunctionNode, var: str) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "reset"
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == var):
+                    return True
+    return False
+
+
+def _check_race003(tree: ast.Module, file: str,
+                   imports: dict[str, str]) -> list[Finding]:
+    declared: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) \
+                and isinstance(stmt.value, ast.Call) \
+                and resolve_dotted(stmt.value.func, imports) in (
+                    "contextvars.ContextVar", "ContextVar"):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    declared.add(target.id)
+
+    # One traversal collects both the set-sites and the reset receiver
+    # names; candidates are judged afterwards, once reset_names is
+    # complete.
+    sets: list[tuple[str, int, FunctionNode | None]] = []
+    reset_names: set[str] = set()
+
+    def visit(node: ast.AST, enclosing: FunctionNode | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call) \
+                    and isinstance(child.func, ast.Attribute) \
+                    and isinstance(child.func.value, ast.Name):
+                if child.func.attr == "set":
+                    sets.append((child.func.value.id, child.lineno,
+                                 enclosing))
+                elif child.func.attr == "reset":
+                    reset_names.add(child.func.value.id)
+            if isinstance(child, FunctionNode):
+                visit(child, child)
+            else:
+                visit(child, enclosing)
+
+    visit(tree, None)
+
+    findings: list[Finding] = []
+    for var, line, enclosing in sets:
+        known = var in declared or (
+            var in imports and var in reset_names)
+        if known and not (
+                enclosing is not None
+                and _is_scope_helper(enclosing, imports)
+                and _resets_in_finally(enclosing, var)):
+            findings.append(finding(
+                "RACE003",
+                f"{var}.set(...) outside a scope-managed "
+                f"helper; use a @contextmanager that resets "
+                f"the token in finally",
+                file=file, line=line,
+                symbol=enclosing.name if enclosing else None))
+    return findings
+
+
+# -- RACE004: blocking calls in request handlers ----------------------
+
+
+def _handler_classes(
+        classes: list[ast.ClassDef],
+        imports: dict[str, str]) -> list[ast.ClassDef]:
+    handlers: dict[str, ast.ClassDef] = {}
+    for cls in classes:
+        for base in cls.bases:
+            resolved = resolve_dotted(base, imports) or ""
+            if resolved.rsplit(".", 1)[-1] in _HANDLER_BASES:
+                handlers[cls.name] = cls
+    # one level of in-module inheritance
+    for cls in classes:
+        if cls.name in handlers:
+            continue
+        for base in cls.bases:
+            if isinstance(base, ast.Name) and base.id in handlers:
+                handlers[cls.name] = cls
+    return list(handlers.values())
+
+
+def _blocking_reason(node: ast.Call,
+                     imports: dict[str, str]) -> str | None:
+    resolved = resolve_dotted(node.func, imports)
+    if resolved == "time.sleep":
+        return "time.sleep()"
+    if resolved in ("http.client.HTTPConnection",
+                    "http.client.HTTPSConnection",
+                    "socket.create_connection",
+                    "socket.socket"):
+        if not any(kw.arg == "timeout" for kw in node.keywords):
+            return f"un-timeouted {resolved}"
+    return None
+
+
+def _check_race004(classes: list[ast.ClassDef], file: str,
+                   imports: dict[str, str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls in _handler_classes(classes, imports):
+        for method in cls.body:
+            if not isinstance(method, FunctionNode):
+                continue
+            for stmt in own_statements(method):
+                for expr in own_exprs(stmt):
+                    for node in ast.walk(expr):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        reason = _blocking_reason(node, imports)
+                        if reason is not None:
+                            findings.append(finding(
+                                "RACE004",
+                                f"{reason} blocks a server thread "
+                                f"inside request handler "
+                                f"{cls.name}.{method.name}",
+                                file=file, line=node.lineno,
+                                symbol=f"{cls.name}.{method.name}"))
+    return findings
+
+
+def check_module(
+        tree: ast.Module, file: str, *,
+        imports: dict[str, str] | None = None,
+        classes: list[ast.ClassDef] | None = None,
+        functions: list[FunctionNode] | None = None) -> list[Finding]:
+    """Run RACE001-004 over one parsed module.
+
+    ``imports``/``classes``/``functions`` let the scanner share one
+    tree walk across every rule family; when omitted (direct calls,
+    tests) they are derived here.
+    """
+    if imports is None:
+        imports = module_imports(tree)
+    if classes is None:
+        classes = [n for n in ast.walk(tree)
+                   if isinstance(n, ast.ClassDef)]
+    if functions is None:
+        functions = list(iter_functions(tree))
+    findings: list[Finding] = []
+    for node in classes:
+        findings.extend(_check_race001(node, file, imports))
+    findings.extend(_check_race002(file, imports, classes, functions))
+    findings.extend(_check_race003(tree, file, imports))
+    findings.extend(_check_race004(classes, file, imports))
+    return findings

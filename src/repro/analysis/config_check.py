@@ -41,6 +41,9 @@ from repro.dist.faults import FaultPlan, duplicate_faults
 if TYPE_CHECKING:
     from repro.obs.bench import BenchSuite
 
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
 register_rule(
     "CFG001", "config", Severity.ERROR,
     "fault-plan spec string fails to parse")

@@ -30,6 +30,9 @@ from repro.analysis.astutils import ProgramAst, dotted_name, resolve_dotted
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import finding, register_rule
 
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
 register_rule(
     "DET001", "determinism", Severity.ERROR,
     "vertex program reads an entropy source (unseeded random / time / "

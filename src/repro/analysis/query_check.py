@@ -30,6 +30,9 @@ from repro.graphs.schema import GraphSchema
 from repro.query.ast import Comparison, Literal, PropertyRef, Query
 from repro.query.parser import parse
 
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
 register_rule(
     "QRY001", "query", Severity.ERROR,
     "query text fails to parse")

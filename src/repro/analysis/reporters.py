@@ -1,11 +1,19 @@
-"""Text and JSON rendering of analysis reports."""
+"""Text, JSON, and SARIF rendering of analysis reports."""
 
 from __future__ import annotations
 
 import json
+from pathlib import PurePath
 
-from repro.analysis.findings import AnalysisReport
+from repro.analysis.findings import AnalysisReport, Severity
 from repro.analysis.registry import all_rules
+
+#: SARIF 2.1.0 result levels for our severities.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
 
 
 def render_text(report: AnalysisReport) -> str:
@@ -18,6 +26,81 @@ def render_text(report: AnalysisReport) -> str:
 
 def render_json(report: AnalysisReport, indent: int = 2) -> str:
     return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def render_sarif(report: AnalysisReport, indent: int = 2) -> str:
+    """SARIF 2.1.0 log for CI code-scanning upload: one run, the full
+    rule catalog in ``tool.driver.rules``, one ``result`` per finding
+    with a physical location (posix uri + 1-based start line)."""
+    rules = [
+        {
+            "id": info.rule_id,
+            "shortDescription": {"text": info.summary},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[info.severity],
+            },
+            "properties": {"family": info.family},
+        }
+        for info in all_rules()
+    ]
+    results = []
+    for item in report.sorted_findings():
+        result = {
+            "ruleId": item.rule,
+            "level": _SARIF_LEVELS[item.severity],
+            "message": {"text": item.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": PurePath(item.file).as_posix(),
+                    },
+                    "region": {"startLine": max(item.line, 1)},
+                },
+            }],
+        }
+        if item.symbol:
+            result["properties"] = {"symbol": item.symbol}
+        results.append(result)
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri":
+                        "https://example.invalid/repro-analysis",
+                    "version": "1.0.0",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=indent, sort_keys=True)
+
+
+def render_profile(family_ms: dict[str, float],
+                   cache_stats: dict[str, object]) -> str:
+    """The ``--profile`` table: sweep milliseconds per rule family
+    plus AST/result cache effectiveness."""
+    lines = ["rule-family timings (ms):"]
+    if family_ms:
+        width = max(len(name) for name in family_ms)
+        total = sum(family_ms.values())
+        for name in sorted(family_ms,
+                           key=lambda n: -family_ms[n]):
+            lines.append(f"  {name:<{width}}  {family_ms[name]:9.3f}")
+        lines.append(f"  {'total':<{width}}  {total:9.3f}")
+    else:
+        lines.append("  (no rule sweeps ran)")
+    lines.append(
+        "ast cache: "
+        f"{cache_stats['hits']} hit(s), "
+        f"{cache_stats['misses']} miss(es), "
+        f"{cache_stats['entries']} cached parse(s), "
+        f"{cache_stats['result_hits']} whole-file result hit(s)")
+    return "\n".join(lines)
 
 
 def render_rule_catalog() -> str:

@@ -1,0 +1,341 @@
+"""LEAK + DLC rules: resource lifetimes and deadline coverage.
+
+The serve layer hands out three kinds of scarce resources — admission
+slots (a bounded semaphore shared by every handler thread), trace
+spans (open spans distort latency attribution and pin memory), and
+file handles. All three follow the same contract: acquire must be
+paired with a release reachable on **every** exit, exception paths
+included. The LEAK rules check that contract on the intra-function
+CFG from :mod:`repro.analysis.cfg`:
+
+* **LEAK001** — an admission slot (``.admit()`` guard not used as a
+  context manager) or an unconditional semaphore ``.acquire()``
+  without a release on all paths starves the server: each leak
+  permanently shrinks the admission pool.
+* **LEAK002** — a ``span(...)`` / ``forced_span(...)`` that is never
+  entered (``with`` directly, or assigned and entered later) records
+  nothing and leaks its attribute payload. Returning the span, or
+  storing it on ``self`` for a sibling method to close, transfers
+  ownership and is exempt.
+* **LEAK003** — ``handle = open(...)`` without ``with`` needs
+  ``handle.close()`` reachable on every path; a discarded
+  ``open(...)`` result is always a leak. Returning the handle
+  transfers ownership.
+
+**DLC001** closes the deadline-protocol gap: a function that engages
+the protocol (captures :func:`repro.obs.deadline.current_deadline`)
+but runs a loop with no cooperative check — ``deadline.check(...)``
+or ``check_deadline(...)`` in *some* loop — can blow through its
+budget unbounded. The rule is function-level on purpose: one checked
+hot loop is cooperative even if a trivial sibling loop (listener
+fan-out, stats fold) is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    iter_functions,
+    module_imports,
+    resolve_dotted,
+)
+from repro.analysis.cfg import (
+    build_cfg,
+    own_exprs,
+    own_statements,
+    releases_on_all_paths,
+)
+from repro.analysis.concurrency import (
+    FunctionNode,
+    check_release_paths,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import finding, register_rule
+
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
+register_rule(
+    "LEAK001", "resources", Severity.ERROR,
+    "admission slot/semaphore acquired without guaranteed release")
+register_rule(
+    "LEAK002", "resources", Severity.WARNING,
+    "span created but never entered as a context manager")
+register_rule(
+    "LEAK003", "resources", Severity.ERROR,
+    "file handle opened without close on every path")
+register_rule(
+    "DLC001", "deadline-coverage", Severity.WARNING,
+    "deadline-engaged function loops without a cooperative check")
+
+_SEMAPHORE_FACTORIES = frozenset({
+    "threading.Semaphore", "threading.BoundedSemaphore",
+})
+
+_DEADLINE_CAPTURE = frozenset({
+    "repro.obs.current_deadline",
+    "repro.obs.deadline.current_deadline",
+})
+
+_DEADLINE_CHECK = frozenset({
+    "repro.obs.check_deadline",
+    "repro.obs.deadline.check_deadline",
+})
+
+
+def _with_usage(
+        statements: list[ast.stmt]) -> tuple[set[str], set[int]]:
+    """(names entered via ``with name:``, ids of expressions used
+    directly as ``with`` items)."""
+    entered: set[str] = set()
+    item_ids: set[int] = set()
+    for stmt in statements:
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            continue
+        for item in stmt.items:
+            if isinstance(item.context_expr, ast.Name):
+                entered.add(item.context_expr.id)
+            else:
+                for node in ast.walk(item.context_expr):
+                    item_ids.add(id(node))
+    return entered, item_ids
+
+
+def _returned_names(statements: list[ast.stmt]) -> set[str]:
+    names: set[str] = set()
+    for stmt in statements:
+        if isinstance(stmt, ast.Return) \
+                and isinstance(stmt.value, ast.Name):
+            names.add(stmt.value.id)
+    return names
+
+
+# -- span factories ----------------------------------------------------
+
+#: import-resolved origins of the span factories; matching on the
+#: resolved origin (not the bare name) keeps a module's own ``span``
+#: helper, or any unrelated ``x.span(...)`` method, out of scope.
+_SPAN_ORIGINS = frozenset({
+    "repro.obs.span", "repro.obs.spans.span",
+    "repro.obs.forced_span", "repro.obs.spans.forced_span",
+})
+
+
+def _class_semaphore_attrs(
+        classes: list[ast.ClassDef],
+        imports: dict[str, str]) -> dict[int, set[str]]:
+    """``id(method)`` -> the ``self.X`` semaphore receivers of its
+    enclosing class (one pass over the module's classes)."""
+    by_func: dict[int, set[str]] = {}
+    for node in classes:
+        attrs: set[str] = set()
+        methods = [m for m in node.body
+                   if isinstance(m, FunctionNode)]
+        for method in methods:
+            for sub in ast.walk(method):
+                if isinstance(sub, ast.Assign) \
+                        and isinstance(sub.value, ast.Call) \
+                        and resolve_dotted(sub.value.func, imports) \
+                        in _SEMAPHORE_FACTORIES:
+                    for target in sub.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value,
+                                               ast.Name)
+                                and target.value.id == "self"):
+                            attrs.add(f"self.{target.attr}")
+        if attrs:
+            for method in methods:
+                by_func[id(method)] = attrs
+    return by_func
+
+
+def _contains_close(stmt: ast.stmt, name: str) -> bool:
+    for expr in own_exprs(stmt):
+        for node in ast.walk(expr):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "close"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name):
+                return True
+    return False
+
+
+def _owned_assign_target(stmt: ast.stmt,
+                         node: ast.AST) -> ast.expr | None:
+    """The single assignment target when ``node`` is exactly the
+    value of ``stmt``."""
+    if (isinstance(stmt, ast.Assign) and node is stmt.value
+            and len(stmt.targets) == 1):
+        return stmt.targets[0]
+    return None
+
+
+def _check_function(func: FunctionNode, file: str,
+                    imports: dict[str, str],
+                    sem_attrs: set[str]) -> list[Finding]:
+    """LEAK001-003 + DLC001 over one function, in one sweep."""
+    statements = own_statements(func)
+    entered, item_ids = _with_usage(statements)
+    returned = _returned_names(statements)
+    findings: list[Finding] = []
+    cfg = None
+
+    def get_cfg():
+        nonlocal cfg
+        if cfg is None:
+            cfg = build_cfg(func)
+        return cfg
+
+    # LEAK001a: unconditional semaphore acquires need releases.
+    receivers = set(sem_attrs)
+    for stmt in statements:
+        if isinstance(stmt, ast.Assign) \
+                and isinstance(stmt.value, ast.Call) \
+                and resolve_dotted(stmt.value.func, imports) \
+                in _SEMAPHORE_FACTORIES:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    receivers.add(target.id)
+    if receivers:
+        findings.extend(check_release_paths(
+            func, receivers, "LEAK001", file, "admission slot"))
+
+    loops: list[ast.stmt] = []
+    captured: set[str] = set()
+    engaged = False
+
+    for stmt in statements:
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            loops.append(stmt)
+        for expr in own_exprs(stmt):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = resolve_dotted(node.func, imports)
+                target = _owned_assign_target(stmt, node)
+
+                # DLC001: deadline capture sites.
+                if resolved in _DEADLINE_CAPTURE:
+                    engaged = True
+                    if isinstance(target, ast.Name):
+                        captured.add(target.id)
+                    continue
+
+                # LEAK001b: bare .admit() guards must be entered.
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "admit" \
+                        and id(node) not in item_ids \
+                        and not (isinstance(target, ast.Name)
+                                 and target.id in entered) \
+                        and not (isinstance(stmt, ast.Return)
+                                 and node is stmt.value):
+                    findings.append(finding(
+                        "LEAK001",
+                        "admit() slot guard is never entered; use "
+                        "'with ...admit():' so the slot is returned "
+                        "on every path",
+                        file=file, line=node.lineno,
+                        symbol=func.name))
+                    continue
+
+                # LEAK002: spans must be entered (or ownership must
+                # transfer: returned, or stored on self for a
+                # sibling method to close).
+                if resolved in _SPAN_ORIGINS:
+                    if id(node) in item_ids \
+                            or isinstance(stmt, ast.Return):
+                        continue
+                    if isinstance(target, ast.Name) \
+                            and (target.id in entered
+                                 or target.id in returned):
+                        continue
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        continue
+                    findings.append(finding(
+                        "LEAK002",
+                        "span is created but never entered; enter "
+                        "it ('with span(...):') so it closes and "
+                        "records on every path",
+                        file=file, line=node.lineno,
+                        symbol=func.name))
+                    continue
+
+                # LEAK003: open() handles.
+                if resolved == "open" and id(node) not in item_ids:
+                    if isinstance(target, ast.Name):
+                        handle = target.id
+                        if handle in returned:
+                            continue
+                        if releases_on_all_paths(
+                                get_cfg(), stmt,
+                                lambda s, h=handle:
+                                _contains_close(s, h)):
+                            continue
+                        findings.append(finding(
+                            "LEAK003",
+                            f"{handle} = open(...) may exit "
+                            f"{func.name} without close; use 'with "
+                            f"open(...)' or try/finally",
+                            file=file, line=node.lineno,
+                            symbol=func.name))
+                    else:
+                        findings.append(finding(
+                            "LEAK003",
+                            "open(...) result is never closed; "
+                            "bind it with 'with open(...) as f:'",
+                            file=file, line=node.lineno,
+                            symbol=func.name))
+
+    # DLC001: engaged + loops but no loop has a cooperative check.
+    if engaged and loops:
+        def has_check(loop: ast.stmt) -> bool:
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                if resolve_dotted(node.func, imports) \
+                        in _DEADLINE_CHECK:
+                    return True
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "check"
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in captured):
+                    return True
+            return False
+
+        if not any(has_check(loop) for loop in loops):
+            findings.append(finding(
+                "DLC001",
+                f"{func.name} captures current_deadline() but no "
+                f"loop performs a cooperative deadline check",
+                file=file, line=loops[0].lineno, symbol=func.name))
+    return findings
+
+
+def check_module(
+        tree: ast.Module, file: str, *,
+        imports: dict[str, str] | None = None,
+        classes: list[ast.ClassDef] | None = None,
+        functions: list[FunctionNode] | None = None) -> list[Finding]:
+    """Run LEAK001-003 and DLC001 over one parsed module.
+
+    ``imports``/``classes``/``functions`` let the scanner share one
+    tree walk across every rule family; when omitted (direct calls,
+    tests) they are derived here.
+    """
+    if imports is None:
+        imports = module_imports(tree)
+    if classes is None:
+        classes = [n for n in ast.walk(tree)
+                   if isinstance(n, ast.ClassDef)]
+    if functions is None:
+        functions = list(iter_functions(tree))
+    sem_attrs = _class_semaphore_attrs(classes, imports)
+    findings: list[Finding] = []
+    for func in functions:
+        findings.extend(_check_function(
+            func, file, imports, sem_attrs.get(id(func), set())))
+    return findings

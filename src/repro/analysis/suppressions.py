@@ -1,0 +1,120 @@
+"""Inline suppressions: ``# repro: ignore[RULE,...]`` comments.
+
+A growing rule set needs an escape hatch for deliberate violations —
+the serve layer's chaos drip-feed *wants* to sleep inside a request
+handler — but unaudited escape hatches rot. The contract here:
+
+* a suppression silences findings **on its own line only**, matched
+  by exact rule id (``RACE004``) or family prefix (``RACE``);
+* every token must earn its keep: a token that silences nothing is
+  itself a finding (**SUP001**), so stale suppressions surface the
+  moment the code they excused changes;
+* SUP001 cannot be suppressed — the audit trail has no trapdoor.
+
+Extraction tokenizes the source and matches **comment tokens only**
+(cached alongside the parse in the scanner) — a docstring that merely
+*mentions* the marker syntax is not a suppression. Files that fail to
+tokenize fall back to a per-line regex so a suppression next to a
+syntax oddity still counts.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import finding, register_rule
+
+#: bumped whenever rule behavior changes; keys the scan-result cache.
+RULE_VERSION = "1"
+
+register_rule(
+    "SUP001", "suppression", Severity.WARNING,
+    "suppression comment matches no finding on its line")
+
+_MARKER = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: ignore[...]`` marker."""
+
+    line: int
+    rules: tuple[str, ...]
+
+
+def _marker_rules(text: str) -> tuple[str, ...]:
+    match = _MARKER.search(text)
+    if match is None:
+        return ()
+    return tuple(
+        token.strip().upper()
+        for token in match.group(1).split(",") if token.strip())
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]] | None:
+    """(line, comment text) for every comment token, or None when the
+    source does not tokenize."""
+    comments: list[tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(
+                io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+    return comments
+
+
+def extract_suppressions(source: str) -> tuple[Suppression, ...]:
+    """Every suppression marker in ``source``, line-anchored."""
+    comments = _comment_lines(source)
+    if comments is None:
+        comments = list(enumerate(source.splitlines(), start=1))
+    found: list[Suppression] = []
+    for lineno, text in comments:
+        rules = _marker_rules(text)
+        if rules:
+            found.append(Suppression(line=lineno, rules=rules))
+    return tuple(found)
+
+
+def _token_matches(token: str, rule_id: str) -> bool:
+    return rule_id == token or (
+        rule_id.startswith(token) and len(token) >= 3)
+
+
+def apply_suppressions(
+        findings: list[Finding],
+        suppressions: tuple[Suppression, ...],
+        file: str) -> list[Finding]:
+    """Drop findings a same-line marker matches; emit SUP001 for
+    every token that matched nothing."""
+    if not suppressions:
+        return findings
+    by_line = {s.line: s for s in suppressions}
+    used: set[tuple[int, str]] = set()
+    kept: list[Finding] = []
+    for item in findings:
+        marker = by_line.get(item.line)
+        token = None
+        if marker is not None and item.rule != "SUP001":
+            token = next(
+                (t for t in marker.rules
+                 if _token_matches(t, item.rule)), None)
+        if token is None:
+            kept.append(item)
+        else:
+            used.add((marker.line, token))
+    for marker in suppressions:
+        for token in marker.rules:
+            if (marker.line, token) not in used:
+                kept.append(finding(
+                    "SUP001",
+                    f"ignore[{token}] suppresses nothing on this "
+                    f"line; delete the stale marker",
+                    file=file, line=marker.line))
+    return kept

@@ -202,9 +202,39 @@ def register_default_cases(suite: BenchSuite) -> BenchSuite:
         return {"targets": len(report.targets),
                 "findings": len(report.findings)}
 
-    # Tracks the static analyzer's own runtime over the full source
-    # tree, so a slow rule regresses visibly like any other kernel.
+    # Tracks the analyzer's steady-state sweep over the full source
+    # tree. After the warmup rep this measures the *incremental* path
+    # (unchanged files hit the whole-file result cache), which is
+    # what CI re-runs pay; cold rule cost is tracked separately by
+    # analysis.concurrency_sweep below.
     suite.add("analysis.full_sweep", analysis_full_sweep_case,
+              tags=("analysis",), paths="src/repro")
+
+    def analysis_concurrency_sweep_case():
+        from pathlib import Path
+
+        import repro
+        from repro.analysis import analyze_paths
+        from repro.analysis.registry import match_selection
+        from repro.analysis.scanner import clear_ast_cache
+
+        # Cold on purpose: clearing the caches makes every rep pay
+        # the full parse + rule cost, so a slow RACE/LEAK/DLC rule
+        # regresses visibly instead of hiding behind the result
+        # cache.
+        clear_ast_cache()
+        package_root = Path(repro.__file__).parent
+        report = analyze_paths([package_root])
+        select = ("RACE", "LEAK", "DLC", "SUP")
+        findings = [f for f in report.findings
+                    if match_selection(f.rule, select, ())]
+        return {"targets": len(report.targets),
+                "findings": len(findings)}
+
+    # Cold-cache cost of the concurrency/resource-safety families
+    # (the most traversal-heavy rules) over the full source tree.
+    suite.add("analysis.concurrency_sweep",
+              analysis_concurrency_sweep_case,
               tags=("analysis",), paths="src/repro")
 
     # -- service layer (GraphService driven directly, no socket: the

@@ -235,10 +235,12 @@ class Tracer:
         self._subscribers: list[Callable[[Span], None]] = []
 
     def enable(self) -> None:
-        self.enabled = True
+        with self._lock:
+            self.enabled = True
 
     def disable(self) -> None:
-        self.enabled = False
+        with self._lock:
+            self.enabled = False
 
     def reset(self) -> None:
         with self._lock:
@@ -355,5 +357,8 @@ class capture:
         return self._handle
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        _TRACER.enabled = self._previous
+        if self._previous:
+            _TRACER.enable()
+        else:
+            _TRACER.disable()
         return False

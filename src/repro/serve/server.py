@@ -137,7 +137,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             for start in range(0, len(body), size):
                 self.wfile.write(body[start:start + size])
                 self.wfile.flush()
-                time.sleep(gap_ms / 1000.0)
+                # Chaos drip-feed: stalling this thread is the point.
+                time.sleep(gap_ms / 1000.0)  # repro: ignore[RACE004]
             return
         self.wfile.write(body)
 

@@ -311,8 +311,9 @@ class GraphService:
         """Stop accepting new requests (503 + ``Retry-After``);
         in-flight handlers run to completion. Idempotent — the
         graceful half of :meth:`ServerHandle.shutdown`."""
-        self._drain_retry_after_s = retry_after_s
-        self._draining = True
+        with self._lock:
+            self._drain_retry_after_s = retry_after_s
+            self._draining = True
 
     @property
     def draining(self) -> bool:

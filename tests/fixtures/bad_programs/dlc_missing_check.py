@@ -1,0 +1,11 @@
+"""Seeded-bad fixture: DLC001 — deadline engaged, loop unchecked."""
+
+from repro.obs import current_deadline
+
+
+def drain(queue):
+    deadline = current_deadline()
+    total = 0
+    while queue:
+        total += queue.pop()
+    return {"total": total, "deadline": deadline}

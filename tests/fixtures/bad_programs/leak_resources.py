@@ -1,0 +1,28 @@
+"""Seeded-bad fixture: LEAK001-003 — slot, span, and file lifetimes."""
+
+import threading
+
+from repro.obs import span
+
+
+class SlotPool:
+    def __init__(self, limit):
+        self._slots = threading.BoundedSemaphore(limit)
+
+    def handle(self, payload, work):
+        self._slots.acquire()  # work() may raise: slot never returns
+        result = work(payload)
+        self._slots.release()
+        return result
+
+
+def record(payload):
+    sp = span("fixture.record", size=len(payload))
+    return len(payload)
+
+
+def dump(path, lines, encoder):
+    fh = open(path, "w")  # encoder() may raise: handle never closes
+    for line in lines:
+        fh.write(encoder(line))
+    fh.close()

@@ -1,0 +1,36 @@
+"""Clean twin of ``race_unguarded_handler.py`` — no findings.
+
+Same shape, same deliberate delay, but the read-modify-write runs
+under the lock and the handler thread never sleeps, so the analyzer
+stays quiet and the live test counts every hit exactly once.
+"""
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler
+
+
+class HitCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self):
+        with self._lock:
+            current = self.total
+            time.sleep(0.001)  # same delay, now serialized
+            self.total = current + 1
+
+
+COUNTER = HitCounter()
+
+
+class CleanHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        COUNTER.bump()
+        self.send_response(200)
+        self.end_headers()
+        self.wfile.write(str(COUNTER.total).encode())
+
+    def log_message(self, *args):
+        pass

@@ -1,0 +1,19 @@
+"""Seeded-bad fixture: RACE002 + RACE003 — lock/contextvar discipline."""
+
+import threading
+from contextvars import ContextVar
+
+ACTIVE = ContextVar("active", default=None)
+
+
+def risky_section(jobs):
+    gate = threading.Lock()
+    gate.acquire()  # a raising job skips the release below
+    for job in jobs:
+        job.run()
+    gate.release()
+
+
+def tag_request(request_id):
+    ACTIVE.set(request_id)  # raw set: leaks into the next task
+    return request_id

@@ -1,0 +1,39 @@
+"""Seeded-bad fixture: RACE001 + RACE004 — racy handler state.
+
+Served under ``ThreadingHTTPServer`` the unguarded read-sleep-write
+in ``HitCounter.bump`` drops updates under concurrent load; the clean
+twin (``race_clean_handler.py``) does not. The live test in
+``test_analysis_concurrency.py`` demonstrates both.
+"""
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler
+
+
+class HitCounter:
+    """Declares shared state (allocates its own lock) then ignores it."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self):
+        current = self.total
+        time.sleep(0.001)  # widen the race window
+        self.total = current + 1
+
+
+COUNTER = HitCounter()
+
+
+class RacyHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        time.sleep(0.001)
+        COUNTER.bump()
+        self.send_response(200)
+        self.end_headers()
+        self.wfile.write(str(COUNTER.total).encode())
+
+    def log_message(self, *args):
+        pass

@@ -1,0 +1,20 @@
+"""Seeded-bad fixture: SUP001 — one earning marker, one stale.
+
+``noisy_rank`` genuinely violates DET001 and its marker silences it;
+``steady_rank`` is deterministic, so its leftover marker suppresses
+nothing and must itself be reported.
+"""
+
+import random
+
+
+def noisy_rank(ctx):
+    rank = ctx.value + random.random()  # repro: ignore[DET001]
+    ctx.send_to_neighbors(rank)
+    return rank
+
+
+def steady_rank(ctx):
+    rank = ctx.value * 0.85  # repro: ignore[DET001]
+    ctx.send_to_neighbors(rank)
+    return rank

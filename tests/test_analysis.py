@@ -76,11 +76,15 @@ class TestRegistry:
         families = {info.family for info in all_rules()}
         assert {"determinism", "checkpoint-safety", "query", "config",
                 "source"} <= families
+        assert {"concurrency", "resources", "deadline-coverage",
+                "suppression"} <= families
         assert rules >= {"DET001", "DET002", "DET003", "CKPT001",
                          "CKPT002", "CKPT003", "QRY001", "QRY002",
                          "QRY003", "QRY004", "QRY005", "QRY006",
                          "CFG001", "CFG002", "CFG003", "CFG004",
-                         "SRC001"}
+                         "SRC001", "RACE001", "RACE002", "RACE003",
+                         "RACE004", "LEAK001", "LEAK002", "LEAK003",
+                         "DLC001", "SUP001"}
 
     def test_match_selection_prefixes(self):
         assert match_selection("DET001", ("DET",), ())
@@ -103,7 +107,8 @@ class TestGoldenCorpus:
         fired = {rule for findings in GOLDEN.values()
                  for rule, _, _ in findings}
         assert {r[:3] for r in fired} >= {"DET", "CKP", "QRY", "CFG",
-                                          "SRC"}
+                                          "SRC", "RAC", "LEA", "DLC",
+                                          "SUP"}
 
     def test_findings_anchor_to_real_lines(self):
         report = analyze_paths([FIXTURES])
@@ -272,7 +277,7 @@ class TestCli:
     def test_ignore_everything_exits_zero(self, capsys):
         code = cli_main([
             "check", str(FIXTURES),
-            "--ignore", "DET,CKPT,QRY,CFG,SRC"])
+            "--ignore", "DET,CKPT,QRY,CFG,SRC,RACE,LEAK,DLC,SUP"])
         capsys.readouterr()
         assert code == 0
 

@@ -1,0 +1,565 @@
+"""Concurrency & resource-safety analysis: rules, CFG, suppressions,
+baseline, SARIF, and the live racy-handler demonstration."""
+
+import ast
+import importlib.util
+import json
+import textwrap
+import threading
+import uuid
+from http.client import HTTPConnection
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    BaselineError,
+    analyze_paths,
+    apply_baseline,
+    ast_cache_stats,
+    extract_suppressions,
+    load_baseline,
+    render_sarif,
+    scan_source,
+    write_baseline,
+)
+from repro.analysis.cfg import (
+    build_cfg,
+    own_statements,
+    releases_on_all_paths,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.scanner import clear_ast_cache, scan_file
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).parent / "fixtures" / "bad_programs"
+
+
+def _rules(report):
+    return sorted(f.rule for f in report.findings)
+
+
+class TestRace001:
+    def test_unguarded_mutation_is_flagged(self):
+        report = scan_source(textwrap.dedent("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+        """))
+        (item,) = report.findings
+        assert item.rule == "RACE001"
+        assert item.line == 9
+        assert item.symbol == "Box.add"
+
+    def test_lock_bound_helper_fixpoint(self):
+        # _append's only call site is guarded, so it is "call with
+        # the lock held" and its mutation is not a finding.
+        report = scan_source(textwrap.dedent("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._append(item)
+
+                def _append(self, item):
+                    self._items.append(item)
+        """))
+        assert report.findings == []
+
+    def test_lockless_class_is_out_of_scope(self):
+        report = scan_source(textwrap.dedent("""\
+            class Plain:
+                def __init__(self):
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+        """))
+        assert report.findings == []
+
+
+class TestRace002:
+    def test_conditional_acquire_is_exempt(self):
+        report = scan_source(textwrap.dedent("""\
+            import threading
+
+            def try_once(work):
+                lock = threading.Lock()
+                got = lock.acquire(timeout=0.5)
+                if got:
+                    work()
+                    lock.release()
+        """))
+        assert report.findings == []
+
+    def test_try_finally_release_is_clean(self):
+        report = scan_source(textwrap.dedent("""\
+            import threading
+
+            def guarded(work):
+                lock = threading.Lock()
+                lock.acquire()
+                try:
+                    work()
+                finally:
+                    lock.release()
+        """))
+        assert report.findings == []
+
+
+class TestRace003:
+    def test_scope_helper_is_compliant(self):
+        report = scan_source(textwrap.dedent("""\
+            from contextlib import contextmanager
+            from contextvars import ContextVar
+
+            VAR = ContextVar("v", default=None)
+
+            @contextmanager
+            def scope(value):
+                token = VAR.set(value)
+                try:
+                    yield
+                finally:
+                    VAR.reset(token)
+        """))
+        assert report.findings == []
+
+    def test_raw_set_in_plain_function_fires(self):
+        report = scan_source(textwrap.dedent("""\
+            from contextvars import ContextVar
+
+            VAR = ContextVar("v", default=None)
+
+            def leak(value):
+                VAR.set(value)
+        """))
+        assert _rules(report) == ["RACE003"]
+
+
+class TestLeakRules:
+    def test_with_open_is_clean(self):
+        report = scan_source(textwrap.dedent("""\
+            def read(path):
+                with open(path) as fh:
+                    return fh.read()
+        """))
+        assert report.findings == []
+
+    def test_close_in_finally_is_clean(self):
+        report = scan_source(textwrap.dedent("""\
+            def read(path, decode):
+                fh = open(path)
+                try:
+                    return decode(fh.read())
+                finally:
+                    fh.close()
+        """))
+        assert report.findings == []
+
+    def test_discarded_open_is_flagged(self):
+        report = scan_source("def touch(p):\n    open(p, 'w')\n")
+        assert _rules(report) == ["LEAK003"]
+
+    def test_returned_span_transfers_ownership(self):
+        report = scan_source(textwrap.dedent("""\
+            from repro.obs import span
+
+            def start(name):
+                sp = span(name)
+                return sp
+        """))
+        assert report.findings == []
+
+    def test_self_stored_span_transfers_ownership(self):
+        report = scan_source(textwrap.dedent("""\
+            from repro.obs import span
+
+            class Tx:
+                def begin(self):
+                    self._span = span("tx")
+                    self._span.__enter__()
+        """))
+        assert report.findings == []
+
+
+class TestDlc001:
+    def test_checked_loop_is_cooperative(self):
+        report = scan_source(textwrap.dedent("""\
+            from repro.obs import current_deadline
+
+            def drain(queue):
+                deadline = current_deadline()
+                while queue:
+                    deadline.check("drain")
+                    queue.pop()
+        """))
+        assert report.findings == []
+
+    def test_loopless_capture_is_fine(self):
+        report = scan_source(textwrap.dedent("""\
+            from repro.obs import current_deadline
+
+            def stamp():
+                return current_deadline()
+        """))
+        assert report.findings == []
+
+
+class TestCfg:
+    @staticmethod
+    def _func(src):
+        return ast.parse(textwrap.dedent(src)).body[0]
+
+    @staticmethod
+    def _is_release(stmt):
+        return (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr == "release")
+
+    def test_finally_covers_exception_edges(self):
+        func = self._func("""\
+            def f(lock, work):
+                lock.acquire()
+                try:
+                    work()
+                finally:
+                    lock.release()
+        """)
+        acquire = own_statements(func)[0]
+        assert releases_on_all_paths(
+            build_cfg(func), acquire, self._is_release)
+
+    def test_raising_call_escapes_without_release(self):
+        func = self._func("""\
+            def f(lock, work):
+                lock.acquire()
+                work()
+                lock.release()
+        """)
+        acquire = own_statements(func)[0]
+        assert not releases_on_all_paths(
+            build_cfg(func), acquire, self._is_release)
+
+    def test_early_return_escapes_without_release(self):
+        func = self._func("""\
+            def f(lock, fast):
+                lock.acquire()
+                if fast:
+                    return None
+                lock.release()
+                return True
+        """)
+        acquire = own_statements(func)[0]
+        assert not releases_on_all_paths(
+            build_cfg(func), acquire, self._is_release)
+
+
+class TestSuppressions:
+    def test_comment_marker_extracted(self):
+        (sup,) = extract_suppressions(
+            "x = 1  # repro: ignore[RACE001, LEAK]\n")
+        assert sup.line == 1
+        assert sup.rules == ("RACE001", "LEAK")
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        src = '"""prose about # repro: ignore[RACE001] syntax."""\n'
+        assert extract_suppressions(src) == ()
+
+    def test_family_prefix_silences_and_is_used(self):
+        report = scan_source(textwrap.dedent("""\
+            from contextvars import ContextVar
+
+            VAR = ContextVar("v", default=None)
+
+            def leak(value):
+                VAR.set(value)  # repro: ignore[RACE]
+        """))
+        assert report.findings == []
+
+    def test_stale_marker_fires_sup001(self):
+        report = scan_source("x = 1  # repro: ignore[RACE001]\n")
+        assert _rules(report) == ["SUP001"]
+        assert report.findings[0].line == 1
+
+    def test_sup001_is_not_suppressible(self):
+        report = scan_source("x = 1  # repro: ignore[SUP001]\n")
+        assert _rules(report) == ["SUP001"]
+
+    def test_short_prefix_does_not_match(self):
+        # two-letter tokens never match a rule: the RACE003 finding
+        # survives and the token is reported stale.
+        report = scan_source(textwrap.dedent("""\
+            from contextvars import ContextVar
+
+            VAR = ContextVar("v", default=None)
+
+            def leak(value):
+                VAR.set(value)  # repro: ignore[RA]
+        """))
+        assert _rules(report) == ["RACE003", "SUP001"]
+
+
+class TestBaseline:
+    BAD = ("from contextvars import ContextVar\n"
+           "VAR = ContextVar('v', default=None)\n"
+           "def leak(value):\n"
+           "    VAR.set(value)\n")
+
+    def test_round_trip_grandfathers(self, tmp_path, capsys):
+        target = tmp_path / "legacy.py"
+        target.write_text(self.BAD)
+        baseline = tmp_path / "base.json"
+        assert cli_main(["check", str(target), "--baseline",
+                         str(baseline), "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 finding(s) recorded" in out
+        code = cli_main(["check", str(target), "--baseline",
+                         str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1 finding(s) grandfathered" in captured.err
+
+    def test_new_findings_are_not_masked(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "base.json"
+        cli_main(["check", str(clean), "--baseline", str(baseline),
+                  "--update-baseline"])
+        bad = tmp_path / "bad.py"
+        bad.write_text(self.BAD)
+        code = cli_main(["check", str(bad), "--baseline",
+                         str(baseline)])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_update_requires_baseline_path(self, capsys):
+        code = cli_main(["check", str(FIXTURES),
+                         "--update-baseline"])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text("{not json")
+        code = cli_main(["check", str(FIXTURES), "--baseline",
+                         str(baseline)])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = cli_main(["check", str(FIXTURES), "--baseline",
+                         str(tmp_path / "absent.json")])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_library_round_trip(self, tmp_path):
+        target = tmp_path / "legacy.py"
+        target.write_text(self.BAD)
+        report = analyze_paths([target])
+        baseline_path = tmp_path / "base.json"
+        assert write_baseline(report, baseline_path) == 1
+        baseline = load_baseline(baseline_path)
+        filtered, matched = apply_baseline(report, baseline)
+        assert matched == 1
+        assert filtered.findings == []
+        with pytest.raises(BaselineError):
+            load_baseline(tmp_path / "absent.json")
+
+
+class TestSarif:
+    def test_sarif_shape(self):
+        report = analyze_paths(
+            [FIXTURES / "race_lock_discipline.py"])
+        payload = json.loads(render_sarif(report))
+        assert payload["version"] == "2.1.0"
+        assert "sarif-2.1.0" in payload["$schema"]
+        run = payload["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RACE002", "RACE003", "LEAK001", "DLC001",
+                "SUP001"} <= rules
+        results = run["results"]
+        assert {r["ruleId"] for r in results} == {"RACE002",
+                                                 "RACE003"}
+        for result in results:
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"].endswith(
+                "race_lock_discipline.py")
+            assert loc["region"]["startLine"] >= 1
+
+    def test_cli_sarif_flag(self, capsys):
+        code = cli_main(["check",
+                         str(FIXTURES / "dlc_missing_check.py"),
+                         "--sarif"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert code == 0  # DLC001 is a warning; default gate is error
+
+
+class TestProfileAndCache:
+    def test_result_cache_hits_on_rescan(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import threading\n")
+        clear_ast_cache()
+        scan_file(target)
+        stats = ast_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["result_hits"] == 0
+        first = dict(stats["family_ms"])
+        assert "concurrency" in first and "resources" in first
+        scan_file(target)
+        stats = ast_cache_stats()
+        assert stats["result_hits"] == 1
+        # a whole-file result hit re-runs no rules
+        assert stats["family_ms"] == first
+
+    def test_edit_invalidates_result_cache(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        clear_ast_cache()
+        scan_file(target)
+        import os
+        target.write_text("x = 1  # repro: ignore[RACE001]\n")
+        os.utime(target, ns=(1, 1))  # force a new signature
+        report = scan_file(target)
+        assert _rules(report) == ["SUP001"]
+
+    def test_profile_flag_prints_timings(self, capsys, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        assert cli_main(["check", str(target), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "rule-family timings (ms):" in out
+        assert "ast cache:" in out
+
+
+class TestFixedTruePositives:
+    """The serve/obs races fixed in this change stay fixed."""
+
+    def test_spans_and_service_scan_clean(self):
+        for rel in ("src/repro/obs/spans.py",
+                    "src/repro/serve/service.py"):
+            report = analyze_paths([REPO / rel])
+            assert [f for f in report.findings
+                    if f.rule.startswith(("RACE", "LEAK"))] == []
+
+    def test_server_drip_suppression_still_earns_its_keep(self):
+        report = analyze_paths([REPO / "src/repro/serve/server.py"])
+        assert all(f.rule != "SUP001" for f in report.findings)
+
+    def test_capture_restores_previous_state(self):
+        from repro.obs import spans
+        spans.enable()
+        try:
+            with spans.capture():
+                assert spans.is_enabled()
+            assert spans.is_enabled()
+            spans.disable()
+            with spans.capture():
+                assert spans.is_enabled()
+            assert not spans.is_enabled()
+        finally:
+            spans.disable()
+
+
+def _load_fixture(name):
+    path = FIXTURES / name
+    spec = importlib.util.spec_from_file_location(
+        f"fixture_{uuid.uuid4().hex}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _hammer(handler_cls, workers, requests_each):
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler_cls)
+    thread = threading.Thread(target=server.serve_forever,
+                              daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    errors = []
+
+    def worker():
+        for _ in range(requests_each):
+            conn = HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                conn.request("GET", "/")
+                conn.getresponse().read()
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+            finally:
+                conn.close()
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    server.shutdown()
+    server.server_close()
+    assert errors == []
+
+
+class TestLiveRace:
+    """The racy fixture both fails the lint and actually corrupts
+    state under ``ThreadingHTTPServer`` load; its clean twin does
+    neither."""
+
+    WORKERS = 8
+    REQUESTS = 6
+
+    def test_racy_handler_fails_lint_and_drops_updates(self):
+        report = analyze_paths(
+            [FIXTURES / "race_unguarded_handler.py"])
+        assert {"RACE001", "RACE004"} <= set(_rules(report))
+
+        module = _load_fixture("race_unguarded_handler.py")
+        _hammer(module.RacyHandler, self.WORKERS, self.REQUESTS)
+        total = self.WORKERS * self.REQUESTS
+        assert module.COUNTER.total < total
+
+    def test_clean_handler_passes_lint_and_counts_every_hit(self):
+        report = analyze_paths(
+            [FIXTURES / "race_clean_handler.py"])
+        assert report.findings == []
+
+        module = _load_fixture("race_clean_handler.py")
+        _hammer(module.CleanHandler, self.WORKERS, self.REQUESTS)
+        assert module.COUNTER.total == self.WORKERS * self.REQUESTS
+
+
+@pytest.mark.analysis_concurrency_smoke
+class TestConcurrencyGate:
+    """The acceptance gate: the committed baseline is empty and the
+    whole source tree passes the new families against it."""
+
+    def test_committed_baseline_is_empty(self):
+        payload = json.loads(
+            (REPO / "analysis-baseline.json").read_text())
+        assert payload["schema"] == "repro.analysis/baseline/v1"
+        assert payload["findings"] == []
+
+    def test_src_repro_gates_clean(self, capsys):
+        code = cli_main([
+            "check", str(REPO / "src" / "repro"),
+            "--select", "RACE,LEAK,DLC,SUP",
+            "--baseline", str(REPO / "analysis-baseline.json")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "grandfathered" not in captured.err
